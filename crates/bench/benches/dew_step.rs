@@ -1,0 +1,86 @@
+//! Criterion micro-benchmark: DEW per-request throughput across
+//! associativities and block sizes, and with properties toggled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dew_bench::suite::SuiteScale;
+use dew_core::{DewOptions, DewTree, PassConfig};
+use dew_workloads::mediabench::App;
+
+fn trace_addrs(n: u64) -> Vec<u64> {
+    App::JpegEncode
+        .generate(n, SuiteScale::default().seed)
+        .records()
+        .iter()
+        .map(|r| r.addr)
+        .collect()
+}
+
+fn bench_assoc(c: &mut Criterion) {
+    let addrs = trace_addrs(100_000);
+    let mut group = c.benchmark_group("dew_step/assoc");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    for assoc in [1u32, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(assoc), &assoc, |b, &assoc| {
+            b.iter(|| {
+                let pass = PassConfig::new(2, 0, 14, assoc).expect("valid");
+                let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+                for &a in &addrs {
+                    tree.step(a);
+                }
+                tree.counters().tag_comparisons
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_size(c: &mut Criterion) {
+    let addrs = trace_addrs(100_000);
+    let mut group = c.benchmark_group("dew_step/block");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    for block_bits in [2u32, 4, 6] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(1u32 << block_bits),
+            &block_bits,
+            |b, &bits| {
+                b.iter(|| {
+                    let pass = PassConfig::new(bits, 0, 14, 4).expect("valid");
+                    let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+                    for &a in &addrs {
+                        tree.step(a);
+                    }
+                    tree.counters().tag_comparisons
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_properties(c: &mut Criterion) {
+    let addrs = trace_addrs(100_000);
+    let mut group = c.benchmark_group("dew_step/properties");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    let variants: [(&str, DewOptions); 3] = [
+        ("all_on", DewOptions::default()),
+        ("all_off", DewOptions::unoptimized()),
+        ("lru", DewOptions::lru()),
+    ];
+    for (name, opts) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, &opts| {
+            b.iter(|| {
+                let pass = PassConfig::new(2, 0, 14, 4).expect("valid");
+                let mut tree = DewTree::new(pass, opts).expect("sound");
+                for &a in &addrs {
+                    tree.step(a);
+                }
+                tree.counters().tag_comparisons
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assoc, bench_block_size, bench_properties);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmark: per-request throughput of the reference
+//! (Dinero-equivalent) simulator across policies and associativities — the
+//! denominator of the paper's speedup claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dew_bench::suite::SuiteScale;
+use dew_cachesim::{Cache, CacheConfig, Replacement};
+use dew_trace::Record;
+use dew_workloads::mediabench::App;
+
+fn trace_records(n: u64) -> Vec<Record> {
+    App::JpegEncode.generate(n, SuiteScale::default().seed).into_records()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let records = trace_records(100_000);
+    let mut group = c.benchmark_group("reference_step/policy");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    let policies = [
+        ("fifo", Replacement::Fifo),
+        ("lru", Replacement::Lru),
+        ("plru", Replacement::Plru),
+        ("random", Replacement::Random(42)),
+    ];
+    for (name, policy) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| {
+                let config = CacheConfig::new(256, 4, 16, policy).expect("valid");
+                let mut cache = Cache::new(config);
+                for r in &records {
+                    cache.access(*r);
+                }
+                cache.stats().misses()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_assoc(c: &mut Criterion) {
+    let records = trace_records(100_000);
+    let mut group = c.benchmark_group("reference_step/assoc");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for assoc in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(assoc), &assoc, |b, &assoc| {
+            b.iter(|| {
+                let config = CacheConfig::new(256, assoc, 16, Replacement::Fifo).expect("valid");
+                let mut cache = Cache::new(config);
+                for r in &records {
+                    cache.access(*r);
+                }
+                cache.stats().misses()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_assoc);
+criterion_main!(benches);

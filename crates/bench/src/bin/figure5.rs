@@ -1,0 +1,49 @@
+//! Reproduces **Figure 5**: speedup of DEW over the reference simulator
+//! (ratio of simulation times), per application × block size, for
+//! associativity pairs 1&4 and 1&8.
+//!
+//! Reuses `results/table3.csv` when present (run the `table3` binary first
+//! for full-scale data); otherwise collects a quick-scale grid in place.
+
+use dew_bench::report::TextTable;
+use dew_bench::suite::{workload_suite, SuiteScale};
+use dew_bench::table3::{collect, default_csv_path, load_csv, Table3Row, BLOCK_BYTES};
+use dew_workloads::mediabench::App;
+
+fn main() {
+    let rows = load_or_collect();
+
+    println!("Figure 5: speedup of DEW over the reference (simulation-time ratio)\n");
+    for &assoc in &[4u32, 8] {
+        println!("associativity pair 1 & {assoc}:");
+        let mut t = TextTable::new(&["application", "B=4", "B=16", "B=64"]);
+        for app in App::ALL {
+            let mut cells = vec![app.name().to_owned()];
+            for &block in &BLOCK_BYTES {
+                let cell = rows
+                    .iter()
+                    .find(|r| r.app == app && r.block_bytes == block && r.assoc == assoc)
+                    .map_or_else(|| "-".to_owned(), |r| format!("{:.1}x", r.speedup()));
+                cells.push(cell);
+            }
+            t.row_owned(cells);
+        }
+        print!("{}", t.render());
+        println!();
+    }
+    println!("(paper: bars from ~9x to ~40x; peak at DJPEG, A=8, B=64)");
+}
+
+fn load_or_collect() -> Vec<Table3Row> {
+    let path = default_csv_path();
+    if let Some(rows) = load_csv(&path) {
+        eprintln!("using cached rows from {}", path.display());
+        return rows;
+    }
+    eprintln!("no {} — collecting a quick-scale grid (run the table3 binary for full scale)",
+        path.display());
+    let suite = workload_suite(SuiteScale::quick());
+    collect(&suite, |r| {
+        eprintln!("  {} B={} A=1&{} done", r.app.name(), r.block_bytes, r.assoc);
+    })
+}

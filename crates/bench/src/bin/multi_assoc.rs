@@ -1,0 +1,85 @@
+//! Extension benchmark: one multi-associativity pass versus the paper's
+//! one-pass-per-associativity methodology.
+//!
+//! A [`MultiAssocTree`] carries independent FIFO tag lists for every
+//! associativity in each node, sharing the walk, the MRA early stop and the
+//! direct-mapped results; Table 1's 28 passes become 7. This bench measures
+//! what that sharing is worth, with results cross-checked between the two.
+
+use std::time::Instant;
+
+use dew_bench::report::{thousands, TextTable};
+use dew_bench::suite::SuiteScale;
+use dew_core::{DewOptions, DewTree, MultiAssocTree, PassConfig};
+use dew_workloads::mediabench::App;
+
+const SET_BITS: (u32, u32) = (0, 14);
+const MAX_ASSOC: u32 = 16;
+
+fn main() {
+    let scale = SuiteScale::from_env();
+    let app = App::JpegEncode;
+    let requests = scale.requests_for(app);
+    eprintln!("generating {app} trace ({requests} requests) ...");
+    let trace = app.generate(requests, scale.seed);
+
+    println!(
+        "Multi-associativity extension on {app} ({requests} requests, sets 2^{}..2^{}, \
+         assoc 1..{MAX_ASSOC}, block 4 B)\n",
+        SET_BITS.0, SET_BITS.1
+    );
+    let mut t = TextTable::new(&["strategy", "passes", "time(s)", "comparisons"]);
+
+    // The paper's methodology: one DewTree pass per associativity above 1.
+    let start = Instant::now();
+    let mut per_assoc_comparisons = 0u64;
+    let mut separate = Vec::new();
+    for assoc in [2u32, 4, 8, 16] {
+        let pass = PassConfig::new(2, SET_BITS.0, SET_BITS.1, assoc).expect("valid");
+        let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+        for r in trace.records() {
+            tree.step(r.addr);
+        }
+        per_assoc_comparisons += tree.counters().tag_comparisons;
+        separate.push(tree.results());
+    }
+    let separate_secs = start.elapsed().as_secs_f64();
+    t.row_owned(vec![
+        "per-assoc passes (paper)".into(),
+        "4".into(),
+        format!("{separate_secs:.3}"),
+        thousands(per_assoc_comparisons),
+    ]);
+
+    // The extension: everything in one pass.
+    let start = Instant::now();
+    let mut multi = MultiAssocTree::new(2, SET_BITS.0, SET_BITS.1, MAX_ASSOC, DewOptions::default())
+        .expect("valid");
+    for r in trace.records() {
+        multi.step(r.addr);
+    }
+    let multi_secs = start.elapsed().as_secs_f64();
+    t.row_owned(vec![
+        "multi-assoc pass (extension)".into(),
+        "1".into(),
+        format!("{multi_secs:.3}"),
+        thousands(multi.counters().tag_comparisons),
+    ]);
+    print!("{}", t.render());
+
+    // Cross-check every configuration between the two strategies.
+    let mr = multi.results();
+    for (i, assoc) in [2u32, 4, 8, 16].iter().enumerate() {
+        for set_bits in SET_BITS.0..=SET_BITS.1 {
+            let sets = 1u32 << set_bits;
+            assert_eq!(
+                mr.misses(sets, *assoc),
+                separate[i].misses(sets, *assoc),
+                "sets={sets} assoc={assoc}"
+            );
+            assert_eq!(mr.misses(sets, 1), separate[i].misses(sets, 1), "DM sets={sets}");
+        }
+    }
+    println!("\nall 75 configurations agree between the two strategies (asserted).");
+    println!("speedup of the shared pass: {:.2}x", separate_secs / multi_secs);
+}

@@ -1,0 +1,41 @@
+//! Reproduces **Table 2**: the trace inventory.
+//!
+//! Prints, per application, the paper's request count alongside this
+//! reproduction's scaled surrogate trace (request count, access-kind mix,
+//! and 4-byte-block footprint). The substitution rationale is in `DESIGN.md`.
+
+use dew_bench::report::{thousands, TextTable};
+use dew_bench::suite::{workload_suite, SuiteScale};
+use dew_trace::AccessKind;
+
+fn main() {
+    let scale = SuiteScale::from_env();
+    println!("Table 2: trace files used for simulation");
+    println!("(paper: SimpleScalar/PISA Mediabench traces; here: synthetic surrogates)\n");
+
+    let suite = workload_suite(scale);
+    let mut t = TextTable::new(&[
+        "application",
+        "paper requests",
+        "our requests",
+        "reads",
+        "writes",
+        "ifetches",
+        "blocks(4B)",
+    ]);
+    for (app, trace) in &suite {
+        let stats = trace.stats();
+        t.row_owned(vec![
+            app.name().to_owned(),
+            thousands(app.paper_requests()),
+            thousands(stats.total()),
+            thousands(stats.count(AccessKind::Read)),
+            thousands(stats.count(AccessKind::Write)),
+            thousands(stats.count(AccessKind::InstrFetch)),
+            thousands(stats.unique_blocks(2).expect("4B footprint tracked")),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nscale: paper counts / {} clamped to [{}, {}] requests, seed {}",
+        scale.divisor, thousands(scale.min_requests), thousands(scale.max_requests), scale.seed);
+}

@@ -1,0 +1,76 @@
+//! Reproduces **Table 3**: simulation time and total tag comparisons, DEW vs
+//! the per-configuration reference simulator, per application × block size ×
+//! associativity pair.
+//!
+//! Every cell also cross-checks DEW's miss counts against the reference for
+//! all 30 configurations it covers (the paper's verification methodology).
+//! Rows are written to `results/table3.csv` for the figure binaries.
+
+use dew_bench::report::{thousands, TextTable};
+use dew_bench::suite::{workload_suite, SuiteScale};
+use dew_bench::table3::{collect, default_csv_path, save_csv, ASSOCS, BLOCK_BYTES};
+
+fn main() {
+    let scale = SuiteScale::from_env();
+    eprintln!("generating workload suite ({scale:?}) ...");
+    let suite = workload_suite(scale);
+
+    eprintln!(
+        "running {} cells (6 apps x {} block sizes x {} associativity pairs); \
+         each cell = 1 DEW pass + 30 reference passes ...",
+        6 * BLOCK_BYTES.len() * ASSOCS.len(),
+        BLOCK_BYTES.len(),
+        ASSOCS.len()
+    );
+    let rows = collect(&suite, |row| {
+        eprintln!(
+            "  {} B={} A=1&{}: dew {:.2}s ref {:.2}s speedup {:.1}x",
+            row.app.name(),
+            row.block_bytes,
+            row.assoc,
+            row.dew_seconds,
+            row.ref_seconds,
+            row.speedup()
+        );
+    });
+
+    println!("\nTable 3: DEW vs reference — simulation time and tag comparisons\n");
+    let mut t = TextTable::new(&[
+        "application",
+        "block",
+        "assoc pair",
+        "DEW time(s)",
+        "ref time(s)",
+        "speedup",
+        "DEW comps",
+        "ref comps",
+        "reduction",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.app.name().to_owned(),
+            format!("{}", r.block_bytes),
+            format!("1 & {}", r.assoc),
+            format!("{:.3}", r.dew_seconds),
+            format!("{:.3}", r.ref_seconds),
+            format!("{:.1}x", r.speedup()),
+            thousands(r.dew_comparisons),
+            thousands(r.ref_comparisons),
+            format!("{:.1}%", r.comparison_reduction_pct()),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let speedups: Vec<f64> = rows.iter().map(dew_bench::table3::Table3Row::speedup).collect();
+    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().cloned().fold(0.0, f64::max);
+    println!("\nspeedup: mean {mean:.1}x, min {min:.1}x, max {max:.1}x");
+    println!("(paper: mean 18x, range 8x .. 40x on its hardware and trace sizes)");
+
+    let path = default_csv_path();
+    match save_csv(&rows, &path) {
+        Ok(()) => println!("rows written to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,128 @@
+//! Minimal aligned-text table rendering for the harness binaries.
+
+/// A simple right-aligned text table with a header row.
+///
+/// # Examples
+///
+/// ```
+/// use dew_bench::report::TextTable;
+///
+/// let mut t = TextTable::new(&["app", "misses"]);
+/// t.row(&["CJPEG", "123"]);
+/// let s = t.render();
+/// assert!(s.contains("CJPEG"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: &[&str]) {
+        let mut r: Vec<String> = cells.iter().map(|s| (*s).to_owned()).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        let mut r = cells;
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Renders the table: header, separator, rows; first column
+    /// left-aligned, the rest right-aligned.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i == 0 {
+                        format!("{c:<w$}", w = width[i])
+                    } else {
+                        format!("{c:>w$}", w = width[i])
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a count with thousands separators (`1234567` → `1,234,567`).
+#[must_use]
+pub fn thousands(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(&["a", "b", "c"]);
+        t.row(&["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn thousands_separators() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_000), "1,000");
+        assert_eq!(thousands(25_680_911), "25,680,911");
+    }
+}

@@ -1,0 +1,100 @@
+//! The benchmark workload suite: scaled Mediabench surrogates.
+
+use dew_trace::Trace;
+use dew_workloads::mediabench::App;
+
+/// How to scale the paper's Table 2 request counts down to bench-friendly
+/// sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteScale {
+    /// Divisor applied to each app's paper request count.
+    pub divisor: u64,
+    /// Lower clamp on the scaled count.
+    pub min_requests: u64,
+    /// Upper clamp on the scaled count.
+    pub max_requests: u64,
+    /// Seed for the generators.
+    pub seed: u64,
+}
+
+impl Default for SuiteScale {
+    /// Paper counts / 256, clamped to `[500k, 4M]`: every app keeps its
+    /// relative weight but the whole Table 3 grid completes in minutes.
+    fn default() -> Self {
+        SuiteScale { divisor: 256, min_requests: 500_000, max_requests: 4_000_000, seed: 2010 }
+    }
+}
+
+impl SuiteScale {
+    /// A tiny suite (100 k requests per app) for smoke runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        SuiteScale { divisor: u64::MAX, min_requests: 100_000, max_requests: 100_000, seed: 2010 }
+    }
+
+    /// The request count this scale assigns to `app`.
+    #[must_use]
+    pub fn requests_for(&self, app: App) -> u64 {
+        (app.paper_requests() / self.divisor.max(1))
+            .clamp(self.min_requests, self.max_requests)
+    }
+
+    /// Reads overrides from the process environment:
+    /// `DEW_BENCH_QUICK=1` selects [`SuiteScale::quick`];
+    /// `DEW_BENCH_MAX_REQUESTS=n` caps the per-app request count.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut scale = if std::env::var_os("DEW_BENCH_QUICK").is_some() {
+            SuiteScale::quick()
+        } else {
+            SuiteScale::default()
+        };
+        if let Some(v) = std::env::var_os("DEW_BENCH_MAX_REQUESTS") {
+            if let Ok(n) = v.to_string_lossy().parse::<u64>() {
+                scale.max_requests = n.max(1);
+                scale.min_requests = scale.min_requests.min(scale.max_requests);
+            }
+        }
+        scale
+    }
+}
+
+/// Generates the six-app suite at the given scale.
+#[must_use]
+pub fn workload_suite(scale: SuiteScale) -> Vec<(App, Trace)> {
+    App::ALL
+        .iter()
+        .map(|&app| (app, app.generate(scale.requests_for(app), scale.seed)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_keeps_relative_weights() {
+        let s = SuiteScale::default();
+        assert!(s.requests_for(App::Mpeg2Encode) >= s.requests_for(App::JpegDecode));
+        assert!(s.requests_for(App::JpegDecode) >= s.min_requests);
+        assert!(s.requests_for(App::Mpeg2Encode) <= s.max_requests);
+    }
+
+    #[test]
+    fn quick_scale_is_uniform() {
+        let s = SuiteScale::quick();
+        for app in App::ALL {
+            assert_eq!(s.requests_for(app), 100_000);
+        }
+    }
+
+    #[test]
+    fn suite_has_all_apps_at_requested_sizes() {
+        let scale = SuiteScale { divisor: u64::MAX, min_requests: 2_000, max_requests: 2_000, seed: 1 };
+        let suite = workload_suite(scale);
+        assert_eq!(suite.len(), 6);
+        for (app, trace) in &suite {
+            assert_eq!(trace.len(), 2_000, "{app}");
+        }
+    }
+}

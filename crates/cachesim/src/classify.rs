@@ -1,0 +1,224 @@
+//! 3C miss classification: compulsory / capacity / conflict.
+//!
+//! The classic model (Hill & Smith, "Evaluating associativity in CPU caches",
+//! IEEE ToC 1989 — reference 11 of the DEW paper) attributes each miss of a
+//! real cache to one of three causes:
+//!
+//! * **compulsory** — the block was never referenced before (would miss even
+//!   in an infinite cache);
+//! * **capacity** — not compulsory, and a fully-associative LRU cache of the
+//!   same total capacity also misses (the working set simply doesn't fit);
+//! * **conflict** — not compulsory, and the fully-associative cache *hits*
+//!   (the miss is an artefact of limited associativity / set conflicts).
+//!
+//! Note that for non-LRU real caches (FIFO in particular) the real cache may
+//! *hit* where the fully-associative LRU model misses; such "anti-conflict"
+//! accesses are not misses and are therefore not classified.
+//!
+//! # Examples
+//!
+//! ```
+//! use dew_cachesim::classify::{MissClass, ThreeCClassifier};
+//! use dew_cachesim::{CacheConfig, Replacement};
+//! use dew_trace::Record;
+//!
+//! # fn main() -> Result<(), dew_cachesim::ConfigError> {
+//! let config = CacheConfig::new(2, 1, 4, Replacement::Fifo)?;
+//! let mut c = ThreeCClassifier::new(config);
+//! assert_eq!(c.access(Record::read(0x0)), Some(MissClass::Compulsory));
+//! assert_eq!(c.access(Record::read(0x0)), None); // hit
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use dew_trace::Record;
+
+use crate::cache::Cache;
+use crate::config::CacheConfig;
+use crate::lru_list::LruList;
+use crate::stats::CacheStats;
+
+/// The cause a miss is attributed to. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissClass {
+    /// First-ever reference to the block.
+    Compulsory,
+    /// Fully-associative LRU of equal capacity misses too.
+    Capacity,
+    /// Fully-associative LRU of equal capacity would have hit.
+    Conflict,
+}
+
+impl fmt::Display for MissClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MissClass::Compulsory => f.write_str("compulsory"),
+            MissClass::Capacity => f.write_str("capacity"),
+            MissClass::Conflict => f.write_str("conflict"),
+        }
+    }
+}
+
+/// Per-class miss totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreeCCounts {
+    /// Compulsory misses.
+    pub compulsory: u64,
+    /// Capacity misses.
+    pub capacity: u64,
+    /// Conflict misses.
+    pub conflict: u64,
+}
+
+impl ThreeCCounts {
+    /// Sum of the three classes (equals the cache's total misses).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+}
+
+/// A cache simulator that additionally classifies every miss.
+///
+/// Wraps a [`Cache`] and runs, in lockstep, a fully-associative LRU model of
+/// the same capacity (in blocks) to separate capacity from conflict misses.
+#[derive(Debug, Clone)]
+pub struct ThreeCClassifier {
+    cache: Cache,
+    full_assoc: LruList,
+    capacity_blocks: usize,
+    counts: ThreeCCounts,
+}
+
+impl ThreeCClassifier {
+    /// Creates a classifier for `config`.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let capacity_blocks = (config.sets() as usize) * (config.assoc() as usize);
+        ThreeCClassifier {
+            cache: Cache::new(config),
+            full_assoc: LruList::with_capacity(capacity_blocks),
+            capacity_blocks,
+            counts: ThreeCCounts::default(),
+        }
+    }
+
+    /// Simulates one request. Returns the class when it missed, `None` on a
+    /// hit.
+    pub fn access(&mut self, record: Record) -> Option<MissClass> {
+        let block = record.block(self.cache.config().block_bits()).get();
+        let out = self.cache.access(record);
+
+        // Maintain the fully-associative LRU model for every access.
+        let fa_hit = self.full_assoc.touch(block);
+        if !fa_hit && self.full_assoc.len() > self.capacity_blocks {
+            self.full_assoc.pop_least_recent();
+        }
+
+        if out.hit {
+            return None;
+        }
+        let class = if out.first_touch {
+            MissClass::Compulsory
+        } else if fa_hit {
+            MissClass::Conflict
+        } else {
+            MissClass::Capacity
+        };
+        match class {
+            MissClass::Compulsory => self.counts.compulsory += 1,
+            MissClass::Capacity => self.counts.capacity += 1,
+            MissClass::Conflict => self.counts.conflict += 1,
+        }
+        Some(class)
+    }
+
+    /// Per-class totals so far.
+    #[must_use]
+    pub fn counts(&self) -> ThreeCCounts {
+        self.counts
+    }
+
+    /// The wrapped cache's statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// The wrapped cache.
+    #[must_use]
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Replacement;
+
+    fn classifier(sets: u32, assoc: u32) -> ThreeCClassifier {
+        ThreeCClassifier::new(
+            CacheConfig::new(sets, assoc, 4, Replacement::Fifo).expect("valid"),
+        )
+    }
+
+    #[test]
+    fn first_touches_are_compulsory() {
+        let mut c = classifier(4, 1);
+        for i in 0..4u64 {
+            assert_eq!(c.access(Record::read(i * 4)), Some(MissClass::Compulsory));
+        }
+        assert_eq!(c.counts().compulsory, 4);
+    }
+
+    #[test]
+    fn conflict_miss_detected() {
+        // Direct-mapped 2-set cache (capacity 2 blocks). Blocks 0 and 2 both
+        // map to set 0 and thrash, while a 2-entry fully-associative cache
+        // holds both.
+        let mut c = classifier(2, 1);
+        c.access(Record::read(0x0)); // block 0 compulsory
+        c.access(Record::read(0x8)); // block 2 compulsory, evicts 0 in set 0
+        assert_eq!(c.access(Record::read(0x0)), Some(MissClass::Conflict));
+        assert_eq!(c.access(Record::read(0x8)), Some(MissClass::Conflict));
+        assert_eq!(c.counts(), ThreeCCounts { compulsory: 2, capacity: 0, conflict: 2 });
+    }
+
+    #[test]
+    fn capacity_miss_detected() {
+        // 1-set 1-way cache (capacity 1 block). A cyclic working set of 3
+        // blocks misses everywhere; the fully-associative model of capacity 1
+        // also misses, so re-references are capacity misses.
+        let mut c = classifier(1, 1);
+        for _round in 0..2 {
+            for b in 0..3u64 {
+                c.access(Record::read(b * 4));
+            }
+        }
+        let counts = c.counts();
+        assert_eq!(counts.compulsory, 3);
+        assert_eq!(counts.capacity, 3);
+        assert_eq!(counts.conflict, 0);
+    }
+
+    #[test]
+    fn class_totals_equal_cache_misses() {
+        let mut c = classifier(4, 2);
+        for i in 0..500u64 {
+            let addr = (i * 7919) % 256;
+            c.access(Record::read(addr));
+        }
+        assert_eq!(c.counts().total(), c.stats().misses());
+        assert_eq!(c.stats().accesses(), 500);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MissClass::Compulsory.to_string(), "compulsory");
+        assert_eq!(MissClass::Capacity.to_string(), "capacity");
+        assert_eq!(MissClass::Conflict.to_string(), "conflict");
+    }
+}

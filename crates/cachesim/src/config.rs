@@ -1,0 +1,381 @@
+//! Cache configuration: the `(S, A, B)` triple of the paper plus policies.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::policy::{AllocatePolicy, Replacement, WritePolicy};
+
+/// A validated cache configuration.
+///
+/// Mirrors the paper's parameterisation (Section 3): set count `S`,
+/// associativity `A` and block size `B`, all powers of two, with total size
+/// `T = S × B × A`. Replacement/write/allocate policies select the simulator
+/// behaviour beyond the geometry.
+///
+/// Construct through [`CacheConfig::builder`] (validating) or
+/// [`CacheConfig::new`] (validating, positional).
+///
+/// # Examples
+///
+/// ```
+/// use dew_cachesim::{CacheConfig, Replacement};
+///
+/// # fn main() -> Result<(), dew_cachesim::ConfigError> {
+/// let c = CacheConfig::new(128, 4, 32, Replacement::Fifo)?;
+/// assert_eq!(c.total_bytes(), 128 * 4 * 32);
+/// assert_eq!(c.set_bits(), 7);
+/// assert_eq!(c.block_bits(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    sets: u32,
+    assoc: u32,
+    block_bytes: u32,
+    replacement: Replacement,
+    write: WritePolicy,
+    allocate: AllocatePolicy,
+}
+
+impl CacheConfig {
+    /// Creates a validated configuration with default write policies
+    /// (write-back, write-allocate).
+    ///
+    /// # Errors
+    ///
+    /// See [`CacheConfigBuilder::build`].
+    pub fn new(
+        sets: u32,
+        assoc: u32,
+        block_bytes: u32,
+        replacement: Replacement,
+    ) -> Result<Self, ConfigError> {
+        CacheConfig::builder()
+            .sets(sets)
+            .assoc(assoc)
+            .block_bytes(block_bytes)
+            .replacement(replacement)
+            .build()
+    }
+
+    /// Starts building a configuration. Defaults: 1 set, 1 way, 4-byte
+    /// blocks, FIFO, write-back, write-allocate.
+    #[must_use]
+    pub fn builder() -> CacheConfigBuilder {
+        CacheConfigBuilder::new()
+    }
+
+    /// Number of sets `S` (a power of two).
+    #[must_use]
+    pub const fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// Associativity `A` (a power of two).
+    #[must_use]
+    pub const fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Block size `B` in bytes (a power of two).
+    #[must_use]
+    pub const fn block_bytes(&self) -> u32 {
+        self.block_bytes
+    }
+
+    /// Total capacity `T = S × A × B` in bytes.
+    #[must_use]
+    pub const fn total_bytes(&self) -> u64 {
+        self.sets as u64 * self.assoc as u64 * self.block_bytes as u64
+    }
+
+    /// `log2(S)`: number of index bits.
+    #[must_use]
+    pub const fn set_bits(&self) -> u32 {
+        self.sets.trailing_zeros()
+    }
+
+    /// `log2(B)`: number of block-offset bits.
+    #[must_use]
+    pub const fn block_bits(&self) -> u32 {
+        self.block_bytes.trailing_zeros()
+    }
+
+    /// The replacement policy.
+    #[must_use]
+    pub const fn replacement(&self) -> Replacement {
+        self.replacement
+    }
+
+    /// The write policy.
+    #[must_use]
+    pub const fn write_policy(&self) -> WritePolicy {
+        self.write
+    }
+
+    /// The write-miss allocation policy.
+    #[must_use]
+    pub const fn allocate_policy(&self) -> AllocatePolicy {
+        self.allocate
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}s/{}w/{}B {} ({} bytes)",
+            self.sets,
+            self.assoc,
+            self.block_bytes,
+            self.replacement,
+            self.total_bytes()
+        )
+    }
+}
+
+/// Builder for [`CacheConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use dew_cachesim::{CacheConfig, Replacement, WritePolicy};
+///
+/// # fn main() -> Result<(), dew_cachesim::ConfigError> {
+/// let c = CacheConfig::builder()
+///     .sets(16)
+///     .assoc(2)
+///     .block_bytes(8)
+///     .replacement(Replacement::Lru)
+///     .write_policy(WritePolicy::WriteThrough)
+///     .build()?;
+/// assert_eq!(c.sets(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheConfigBuilder {
+    sets: u32,
+    assoc: u32,
+    block_bytes: u32,
+    replacement: Replacement,
+    write: WritePolicy,
+    allocate: AllocatePolicy,
+}
+
+impl Default for CacheConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CacheConfigBuilder {
+    /// Creates a builder with the defaults documented on
+    /// [`CacheConfig::builder`].
+    #[must_use]
+    pub fn new() -> Self {
+        CacheConfigBuilder {
+            sets: 1,
+            assoc: 1,
+            block_bytes: 4,
+            replacement: Replacement::Fifo,
+            write: WritePolicy::default(),
+            allocate: AllocatePolicy::default(),
+        }
+    }
+
+    /// Sets the number of sets `S`.
+    #[must_use]
+    pub fn sets(mut self, sets: u32) -> Self {
+        self.sets = sets;
+        self
+    }
+
+    /// Sets the associativity `A`.
+    #[must_use]
+    pub fn assoc(mut self, assoc: u32) -> Self {
+        self.assoc = assoc;
+        self
+    }
+
+    /// Sets the block size `B` in bytes.
+    #[must_use]
+    pub fn block_bytes(mut self, block_bytes: u32) -> Self {
+        self.block_bytes = block_bytes;
+        self
+    }
+
+    /// Sets the replacement policy.
+    #[must_use]
+    pub fn replacement(mut self, replacement: Replacement) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Sets the write policy.
+    #[must_use]
+    pub fn write_policy(mut self, write: WritePolicy) -> Self {
+        self.write = write;
+        self
+    }
+
+    /// Sets the write-miss allocation policy.
+    #[must_use]
+    pub fn allocate_policy(mut self, allocate: AllocatePolicy) -> Self {
+        self.allocate = allocate;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::NotPowerOfTwo`] — any of `S`, `A`, `B` is zero or not
+    ///   a power of two;
+    /// * [`ConfigError::PlruAssocTooLarge`] — PLRU with associativity above
+    ///   [`CacheConfigBuilder::MAX_PLRU_ASSOC`];
+    /// * [`ConfigError::TooLarge`] — the geometry overflows the address
+    ///   arithmetic (`log2(S) + log2(B) > 58`), which also guarantees the
+    ///   DEW tag sentinel can never collide with a real tag.
+    pub fn build(self) -> Result<CacheConfig, ConfigError> {
+        for (name, v) in [("sets", self.sets), ("assoc", self.assoc), ("block_bytes", self.block_bytes)]
+        {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo { field: name, value: v });
+            }
+        }
+        if matches!(self.replacement, Replacement::Plru)
+            && self.assoc > Self::MAX_PLRU_ASSOC
+        {
+            return Err(ConfigError::PlruAssocTooLarge(self.assoc));
+        }
+        if self.sets.trailing_zeros() + self.block_bytes.trailing_zeros() > 58 {
+            return Err(ConfigError::TooLarge);
+        }
+        Ok(CacheConfig {
+            sets: self.sets,
+            assoc: self.assoc,
+            block_bytes: self.block_bytes,
+            replacement: self.replacement,
+            write: self.write,
+            allocate: self.allocate,
+        })
+    }
+}
+
+impl CacheConfigBuilder {
+    /// Largest associativity supported by the tree-PLRU implementation.
+    pub const MAX_PLRU_ASSOC: u32 = 64;
+}
+
+/// Errors produced when validating a [`CacheConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A geometry field was zero or not a power of two.
+    NotPowerOfTwo {
+        /// Which field (`"sets"`, `"assoc"` or `"block_bytes"`).
+        field: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+    /// PLRU replacement was requested with an unsupported associativity.
+    PlruAssocTooLarge(u32),
+    /// The geometry exceeds the supported address arithmetic.
+    TooLarge,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { field, value } => {
+                write!(f, "{field} must be a nonzero power of two, got {value}")
+            }
+            ConfigError::PlruAssocTooLarge(a) => {
+                write!(f, "plru supports associativity up to 64, got {a}")
+            }
+            ConfigError::TooLarge => {
+                write!(f, "log2(sets) + log2(block_bytes) must not exceed 58")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_powers_of_two() {
+        for bad in [0u32, 3, 6, 12, 100] {
+            assert!(matches!(
+                CacheConfig::builder().sets(bad).build(),
+                Err(ConfigError::NotPowerOfTwo { field: "sets", .. })
+            ));
+            assert!(matches!(
+                CacheConfig::builder().assoc(bad).build(),
+                Err(ConfigError::NotPowerOfTwo { field: "assoc", .. })
+            ));
+            assert!(matches!(
+                CacheConfig::builder().block_bytes(bad).build(),
+                Err(ConfigError::NotPowerOfTwo { field: "block_bytes", .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let c = CacheConfig::new(256, 8, 64, Replacement::Lru).expect("valid");
+        assert_eq!(c.set_bits(), 8);
+        assert_eq!(c.block_bits(), 6);
+        assert_eq!(c.total_bytes(), 256 * 8 * 64);
+        assert_eq!(c.assoc(), 8);
+    }
+
+    #[test]
+    fn plru_assoc_limit() {
+        assert!(CacheConfig::builder()
+            .assoc(128)
+            .replacement(Replacement::Plru)
+            .build()
+            .is_err());
+        assert!(CacheConfig::builder()
+            .assoc(64)
+            .replacement(Replacement::Plru)
+            .build()
+            .is_ok());
+        // The limit only applies to PLRU.
+        assert!(CacheConfig::builder()
+            .assoc(128)
+            .replacement(Replacement::Fifo)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn oversized_geometry_rejected() {
+        assert!(matches!(
+            CacheConfig::builder().sets(1 << 30).block_bytes(1 << 30).build(),
+            Err(ConfigError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn display_shows_geometry() {
+        let c = CacheConfig::new(4, 2, 16, Replacement::Fifo).expect("valid");
+        let s = c.to_string();
+        assert!(s.contains("4s"), "{s}");
+        assert!(s.contains("fifo"), "{s}");
+    }
+
+    #[test]
+    fn paper_config_space_extremes_are_valid() {
+        // Table 1: S up to 2^14, B up to 64, A up to 16 -> 16 MiB max.
+        let c = CacheConfig::new(1 << 14, 16, 64, Replacement::Fifo).expect("valid");
+        assert_eq!(c.total_bytes(), 16 * 1024 * 1024);
+        let c = CacheConfig::new(1, 1, 1, Replacement::Fifo).expect("1-byte cache");
+        assert_eq!(c.total_bytes(), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! A two-level cache hierarchy.
+//!
+//! Dinero IV is a multi-level simulator (its CLI wires L1/L2/L3 chains); the
+//! DEW paper only evaluates level 1, but the substrate keeps parity so
+//! downstream users can model the common embedded L1→L2 arrangement:
+//! demand requests hit L1; L1 misses are fetched through L2; L1 dirty
+//! evictions are written into L2 (write-back); L2 misses go to memory.
+//!
+//! The hierarchy is *non-inclusive, non-exclusive* ("mainly inclusive"), the
+//! default behaviour of simple hierarchies: L2 is not forcibly invalidated
+//! when L1 replaces a block, and L1 refills always install in L2 too.
+//!
+//! # Examples
+//!
+//! ```
+//! use dew_cachesim::hierarchy::TwoLevel;
+//! use dew_cachesim::{CacheConfig, Replacement};
+//! use dew_trace::Record;
+//!
+//! # fn main() -> Result<(), dew_cachesim::ConfigError> {
+//! let l1 = CacheConfig::new(16, 2, 16, Replacement::Fifo)?;
+//! let l2 = CacheConfig::new(256, 4, 16, Replacement::Lru)?;
+//! let mut h = TwoLevel::new(l1, l2)?;
+//! for i in 0..10_000u64 {
+//!     h.access(Record::read((i % 40) * 16));
+//! }
+//! assert!(h.l2_stats().accesses() < h.l1_stats().accesses(), "L2 filters through L1");
+//! # Ok(())
+//! # }
+//! ```
+
+use dew_trace::{AccessKind, Record};
+
+use crate::cache::Cache;
+use crate::config::{CacheConfig, ConfigError};
+use crate::stats::CacheStats;
+
+/// A demand-fetched, write-back two-level hierarchy.
+#[derive(Debug, Clone)]
+pub struct TwoLevel {
+    l1: Cache,
+    l2: Cache,
+    /// Requests that missed both levels (memory transactions).
+    memory_fetches: u64,
+}
+
+/// Outcome of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyOutcome {
+    /// Hit in L1.
+    pub l1_hit: bool,
+    /// Hit in L2 (only meaningful when L1 missed; `false` on L1 hits).
+    pub l2_hit: bool,
+}
+
+impl TwoLevel {
+    /// Builds a hierarchy from two configurations.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::TooLarge`] if the L2 block size is smaller than L1's
+    /// (refills could not be satisfied in one transaction).
+    pub fn new(l1: CacheConfig, l2: CacheConfig) -> Result<Self, ConfigError> {
+        if l2.block_bytes() < l1.block_bytes() {
+            return Err(ConfigError::TooLarge);
+        }
+        Ok(TwoLevel { l1: Cache::new(l1), l2: Cache::new(l2), memory_fetches: 0 })
+    }
+
+    /// L1 statistics (sees every demand request).
+    #[must_use]
+    pub fn l1_stats(&self) -> &CacheStats {
+        self.l1.stats()
+    }
+
+    /// L2 statistics (sees L1 misses and L1 dirty write-backs).
+    #[must_use]
+    pub fn l2_stats(&self) -> &CacheStats {
+        self.l2.stats()
+    }
+
+    /// Requests that had to go to memory.
+    #[must_use]
+    pub fn memory_fetches(&self) -> u64 {
+        self.memory_fetches
+    }
+
+    /// Global miss rate: memory fetches per demand access.
+    #[must_use]
+    pub fn global_miss_rate(&self) -> f64 {
+        let accesses = self.l1.stats().accesses();
+        if accesses == 0 {
+            0.0
+        } else {
+            self.memory_fetches as f64 / accesses as f64
+        }
+    }
+
+    /// Simulates one demand request through the hierarchy.
+    pub fn access(&mut self, record: Record) -> HierarchyOutcome {
+        let out1 = self.l1.access(record);
+        if out1.hit {
+            return HierarchyOutcome { l1_hit: true, l2_hit: false };
+        }
+        // L1 dirty victim is written back into L2 (not a demand access for
+        // L2's hit/miss accounting; modelled as a write touch).
+        if let Some(victim) = out1.evicted.filter(|v| v.dirty) {
+            let addr = victim.block << self.l1.config().block_bits();
+            self.l2.access(Record::write(addr));
+        }
+        // The refill itself: L2 lookup with the demand kind (loads stay
+        // loads; an allocating store appears as a read-for-ownership fetch).
+        let refill_kind = match record.kind {
+            AccessKind::InstrFetch => AccessKind::InstrFetch,
+            _ => AccessKind::Read,
+        };
+        let out2 = self.l2.access(Record::new(record.addr, refill_kind));
+        if !out2.hit {
+            self.memory_fetches += 1;
+        }
+        HierarchyOutcome { l1_hit: false, l2_hit: out2.hit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Replacement;
+
+    fn hierarchy(l1_sets: u32, l2_sets: u32) -> TwoLevel {
+        let l1 = CacheConfig::new(l1_sets, 2, 16, Replacement::Fifo).expect("valid");
+        let l2 = CacheConfig::new(l2_sets, 4, 16, Replacement::Lru).expect("valid");
+        TwoLevel::new(l1, l2).expect("compatible")
+    }
+
+    #[test]
+    fn l2_sees_only_l1_misses() {
+        let mut h = hierarchy(4, 64);
+        for _ in 0..3 {
+            for b in 0..32u64 {
+                h.access(Record::read(b * 16));
+            }
+        }
+        assert_eq!(h.l1_stats().accesses(), 96);
+        assert_eq!(
+            h.l2_stats().accesses(),
+            h.l1_stats().misses(),
+            "every L2 access is an L1 miss (no dirty write-backs here)"
+        );
+    }
+
+    #[test]
+    fn l2_turns_l1_capacity_misses_into_l2_hits() {
+        // Working set of 32 blocks: thrashes a 8-block L1, fits a 256-block L2.
+        let mut h = hierarchy(4, 64);
+        for _round in 0..10 {
+            for b in 0..32u64 {
+                h.access(Record::read(b * 16));
+            }
+        }
+        assert!(h.l1_stats().miss_rate() > 0.5, "L1 thrashes");
+        // After the first (compulsory) round, L2 holds the whole set.
+        assert_eq!(h.memory_fetches(), 32, "only compulsory misses reach memory");
+        assert!(h.global_miss_rate() < 0.11);
+    }
+
+    #[test]
+    fn dirty_l1_victims_are_written_to_l2() {
+        let mut h = hierarchy(1, 64);
+        // Two blocks alternating in a 2-way L1 set; writes make them dirty.
+        h.access(Record::write(0x00));
+        h.access(Record::write(0x10));
+        h.access(Record::write(0x20)); // evicts dirty block 0 -> L2 write
+        let l2_writes = h.l2_stats().accesses_of(dew_trace::AccessKind::Write);
+        assert_eq!(l2_writes, 1, "one dirty victim written back into L2");
+    }
+
+    #[test]
+    fn incompatible_block_sizes_rejected() {
+        let l1 = CacheConfig::new(4, 1, 32, Replacement::Fifo).expect("valid");
+        let l2 = CacheConfig::new(64, 4, 16, Replacement::Lru).expect("valid");
+        assert!(TwoLevel::new(l1, l2).is_err());
+    }
+
+    #[test]
+    fn ifetches_keep_their_kind_in_l2() {
+        let mut h = hierarchy(1, 16);
+        h.access(Record::ifetch(0x40));
+        assert_eq!(h.l2_stats().accesses_of(dew_trace::AccessKind::InstrFetch), 1);
+    }
+
+    #[test]
+    fn empty_hierarchy_rates() {
+        let h = hierarchy(4, 16);
+        assert_eq!(h.global_miss_rate(), 0.0);
+        assert_eq!(h.memory_fetches(), 0);
+    }
+}

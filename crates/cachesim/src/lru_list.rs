@@ -1,0 +1,285 @@
+//! An indexed doubly-linked LRU list over `u64` keys.
+//!
+//! Used by the fully-associative models in [`crate::classify`] and by the
+//! single-pass LRU comparator in `dew-core`. Operations are O(1) amortised:
+//! the list is stored as `Vec`-indexed nodes with a free list, and a
+//! `HashMap` maps keys to slots.
+//!
+//! # Examples
+//!
+//! ```
+//! use dew_cachesim::lru_list::LruList;
+//!
+//! let mut l = LruList::new();
+//! l.touch(10);
+//! l.touch(20);
+//! l.touch(10); // 10 becomes most recent
+//! assert_eq!(l.least_recent(), Some(20));
+//! assert_eq!(l.len(), 2);
+//! assert_eq!(l.pop_least_recent(), Some(20));
+//! assert_eq!(l.least_recent(), Some(10));
+//! ```
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// A recency-ordered set of `u64` keys with O(1) touch/evict.
+///
+/// The *most recent* end is the head; the *least recent* end is the tail.
+#[derive(Debug, Clone, Default)]
+pub struct LruList {
+    nodes: Vec<Node>,
+    slots: HashMap<u64, usize>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl LruList {
+    /// Creates an empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        LruList { nodes: Vec::new(), slots: HashMap::new(), free: Vec::new(), head: NIL, tail: NIL }
+    }
+
+    /// Creates an empty list with capacity for `n` keys.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        LruList {
+            nodes: Vec::with_capacity(n),
+            slots: HashMap::with_capacity(n),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of keys currently tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no key is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// `true` when `key` is tracked.
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        self.slots.contains_key(&key)
+    }
+
+    /// Makes `key` the most recent entry, inserting it if absent. Returns
+    /// `true` when the key was already present.
+    pub fn touch(&mut self, key: u64) -> bool {
+        if let Some(&slot) = self.slots.get(&key) {
+            self.unlink(slot);
+            self.push_front(slot);
+            true
+        } else {
+            let slot = self.alloc(key);
+            self.slots.insert(key, slot);
+            self.push_front(slot);
+            false
+        }
+    }
+
+    /// The least recently touched key, if any.
+    #[must_use]
+    pub fn least_recent(&self) -> Option<u64> {
+        (self.tail != NIL).then(|| self.nodes[self.tail].key)
+    }
+
+    /// The most recently touched key, if any.
+    #[must_use]
+    pub fn most_recent(&self) -> Option<u64> {
+        (self.head != NIL).then(|| self.nodes[self.head].key)
+    }
+
+    /// Removes and returns the least recently touched key.
+    pub fn pop_least_recent(&mut self) -> Option<u64> {
+        let tail = self.tail;
+        if tail == NIL {
+            return None;
+        }
+        let key = self.nodes[tail].key;
+        self.unlink(tail);
+        self.slots.remove(&key);
+        self.free.push(tail);
+        Some(key)
+    }
+
+    /// Removes `key` if present, returning whether it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        if let Some(slot) = self.slots.remove(&key) {
+            self.unlink(slot);
+            self.free.push(slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates keys from most recent to least recent.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { list: self, cursor: self.head }
+    }
+
+    fn alloc(&mut self, key: u64) -> usize {
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot] = Node { key, prev: NIL, next: NIL };
+            slot
+        } else {
+            self.nodes.push(Node { key, prev: NIL, next: NIL });
+            self.nodes.len() - 1
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = NIL;
+    }
+}
+
+/// Iterator over an [`LruList`], most recent first. Created by
+/// [`LruList::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    list: &'a LruList,
+    cursor: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cursor];
+        self.cursor = node.next;
+        Some(node.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_orders_by_recency() {
+        let mut l = LruList::new();
+        for k in [1u64, 2, 3] {
+            assert!(!l.touch(k));
+        }
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![3, 2, 1]);
+        assert!(l.touch(1));
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![1, 3, 2]);
+        assert_eq!(l.least_recent(), Some(2));
+        assert_eq!(l.most_recent(), Some(1));
+    }
+
+    #[test]
+    fn pop_removes_in_lru_order() {
+        let mut l = LruList::new();
+        for k in 0..5u64 {
+            l.touch(k);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| l.pop_least_recent()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert!(l.is_empty());
+        assert_eq!(l.pop_least_recent(), None);
+    }
+
+    #[test]
+    fn remove_middle_keeps_links_intact() {
+        let mut l = LruList::new();
+        for k in 0..4u64 {
+            l.touch(k);
+        }
+        assert!(l.remove(2));
+        assert!(!l.remove(2));
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![3, 1, 0]);
+        assert_eq!(l.len(), 3);
+        // Slots are recycled.
+        l.touch(9);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![9, 3, 1, 0]);
+    }
+
+    #[test]
+    fn single_element_edge_cases() {
+        let mut l = LruList::new();
+        l.touch(42);
+        assert_eq!(l.least_recent(), Some(42));
+        assert_eq!(l.most_recent(), Some(42));
+        assert!(l.remove(42));
+        assert_eq!(l.least_recent(), None);
+        assert!(l.is_empty());
+        l.touch(43);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![43]);
+    }
+
+    #[test]
+    fn matches_naive_model_on_mixed_operations() {
+        // Reference model: Vec kept in most-recent-first order.
+        let mut l = LruList::new();
+        let mut model: Vec<u64> = Vec::new();
+        let ops: Vec<(u8, u64)> = (0..500)
+            .map(|i| {
+                let x = (i * 2654435761u64) >> 7;
+                ((x % 3) as u8, x % 17)
+            })
+            .collect();
+        for (op, key) in ops {
+            match op {
+                0 | 1 => {
+                    l.touch(key);
+                    model.retain(|&k| k != key);
+                    model.insert(0, key);
+                }
+                _ => {
+                    let was = l.remove(key);
+                    let had = model.iter().any(|&k| k == key);
+                    model.retain(|&k| k != key);
+                    assert_eq!(was, had);
+                }
+            }
+            assert_eq!(l.iter().collect::<Vec<_>>(), model);
+            assert_eq!(l.least_recent(), model.last().copied());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Replacement, write and allocation policies.
+
+use std::fmt;
+
+/// Block replacement policy of a cache.
+///
+/// The DEW paper targets [`Replacement::Fifo`]; [`Replacement::Lru`] is the
+/// policy of the prior single-pass simulators (Janapsatya, CRCB); tree-PLRU
+/// and seeded random round out the set Dinero IV offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Replacement {
+    /// First-in first-out (round-robin): the victim is the way holding the
+    /// least recently *inserted* block. Hits do not change the state.
+    Fifo,
+    /// Least recently used: the victim is the way holding the least recently
+    /// *accessed* block. Hits refresh recency.
+    Lru,
+    /// Tree-based pseudo-LRU: a binary tree of direction bits approximates
+    /// LRU with one bit per internal node. Requires power-of-two
+    /// associativity.
+    Plru,
+    /// Uniform random victim, from a deterministic per-cache PRNG seeded with
+    /// the given value (so simulations are reproducible).
+    Random(u64),
+}
+
+impl Replacement {
+    /// A short lowercase name (`fifo`, `lru`, `plru`, `random`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Replacement::Fifo => "fifo",
+            Replacement::Lru => "lru",
+            Replacement::Plru => "plru",
+            Replacement::Random(_) => "random",
+        }
+    }
+}
+
+impl fmt::Display for Replacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happens on a data write that hits (or is allocated into) the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WritePolicy {
+    /// Writes mark the block dirty; the block is written to memory only when
+    /// evicted (counted as a write-back).
+    #[default]
+    WriteBack,
+    /// Every write is propagated to memory immediately; blocks are never
+    /// dirty.
+    WriteThrough,
+}
+
+impl fmt::Display for WritePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WritePolicy::WriteBack => f.write_str("write-back"),
+            WritePolicy::WriteThrough => f.write_str("write-through"),
+        }
+    }
+}
+
+/// What happens on a data write that misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AllocatePolicy {
+    /// The block is fetched and installed (the DEW paper's implicit policy:
+    /// every request allocates, so hit/miss behaviour is kind-agnostic).
+    #[default]
+    WriteAllocate,
+    /// The write goes straight to memory; the cache is not modified.
+    NoWriteAllocate,
+}
+
+impl fmt::Display for AllocatePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocatePolicy::WriteAllocate => f.write_str("write-allocate"),
+            AllocatePolicy::NoWriteAllocate => f.write_str("no-write-allocate"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Replacement::Fifo.name(), "fifo");
+        assert_eq!(Replacement::Lru.name(), "lru");
+        assert_eq!(Replacement::Plru.name(), "plru");
+        assert_eq!(Replacement::Random(7).name(), "random");
+    }
+
+    #[test]
+    fn defaults_match_paper_assumptions() {
+        assert_eq!(WritePolicy::default(), WritePolicy::WriteBack);
+        assert_eq!(AllocatePolicy::default(), AllocatePolicy::WriteAllocate);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for r in [Replacement::Fifo, Replacement::Lru, Replacement::Plru, Replacement::Random(0)] {
+            assert!(!r.to_string().is_empty());
+        }
+        assert!(!WritePolicy::WriteThrough.to_string().is_empty());
+        assert!(!AllocatePolicy::NoWriteAllocate.to_string().is_empty());
+    }
+}

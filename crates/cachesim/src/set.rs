@@ -1,0 +1,285 @@
+//! A single cache set with pluggable replacement state.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::policy::Replacement;
+
+/// One way (line frame) of a set.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Way {
+    pub tag: u64,
+    pub valid: bool,
+    pub dirty: bool,
+    /// Monotonic time of the last access; replacement state for LRU.
+    pub last_access: u64,
+}
+
+impl Way {
+    const EMPTY: Way = Way { tag: 0, valid: false, dirty: false, last_access: 0 };
+}
+
+/// A block evicted from a set by an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Victim {
+    pub tag: u64,
+    pub dirty: bool,
+}
+
+/// A set-associative cache set.
+///
+/// The set owns per-policy replacement state: a round-robin pointer for FIFO,
+/// per-way access times for LRU, and a tree of direction bits for PLRU.
+/// Random replacement draws from an RNG owned by the enclosing cache so that
+/// whole-cache simulations are reproducible from a seed.
+#[derive(Debug, Clone)]
+pub(crate) struct CacheSet {
+    ways: Box<[Way]>,
+    policy: Replacement,
+    /// FIFO: the way that holds the least recently inserted block.
+    fifo_ptr: u32,
+    /// PLRU: direction bits indexed by heap position (root at index 1).
+    plru_bits: u64,
+}
+
+impl CacheSet {
+    pub fn new(assoc: u32, policy: Replacement) -> Self {
+        CacheSet {
+            ways: vec![Way::EMPTY; assoc as usize].into_boxed_slice(),
+            policy,
+            fifo_ptr: 0,
+            plru_bits: 0,
+        }
+    }
+
+    /// Sequentially searches the valid ways for `tag`, Dinero-style.
+    ///
+    /// Returns the matching way index (if any) and the number of tag
+    /// comparisons performed: one per valid way examined, stopping at the
+    /// match.
+    pub fn lookup(&self, tag: u64) -> (Option<usize>, u64) {
+        let mut comparisons = 0;
+        for (i, way) in self.ways.iter().enumerate() {
+            if way.valid {
+                comparisons += 1;
+                if way.tag == tag {
+                    return (Some(i), comparisons);
+                }
+            }
+        }
+        (None, comparisons)
+    }
+
+    /// Updates replacement state after a hit on `way`.
+    pub fn touch(&mut self, way: usize, now: u64) {
+        match self.policy {
+            Replacement::Fifo => {} // FIFO state is insertion order only
+            Replacement::Lru => self.ways[way].last_access = now,
+            Replacement::Plru => self.plru_touch(way),
+            Replacement::Random(_) => {}
+        }
+    }
+
+    /// Marks `way` dirty (write-back stores).
+    pub fn mark_dirty(&mut self, way: usize) {
+        self.ways[way].dirty = true;
+    }
+
+    /// Inserts `tag`, evicting per policy when the set is full.
+    ///
+    /// Returns the victim (when a valid block was replaced) — the caller
+    /// decides whether a dirty victim costs a write-back.
+    pub fn insert(
+        &mut self,
+        tag: u64,
+        dirty: bool,
+        now: u64,
+        rng: Option<&mut SmallRng>,
+    ) -> Option<Victim> {
+        let way = self.choose_victim_way(rng);
+        let victim = self.ways[way];
+        self.ways[way] = Way { tag, valid: true, dirty, last_access: now };
+        match self.policy {
+            Replacement::Fifo => {
+                self.fifo_ptr = (self.fifo_ptr + 1) % self.ways.len() as u32;
+            }
+            Replacement::Plru => self.plru_touch(way),
+            Replacement::Lru | Replacement::Random(_) => {}
+        }
+        victim.valid.then_some(Victim { tag: victim.tag, dirty: victim.dirty })
+    }
+
+    /// Number of valid ways (used by statistics and tests).
+    pub fn valid_count(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+
+    fn choose_victim_way(&mut self, rng: Option<&mut SmallRng>) -> usize {
+        match self.policy {
+            // FIFO round-robin: because blocks are only ever inserted at the
+            // pointer and never invalidated, the pointer always designates
+            // either the next empty way (cold start) or the oldest block.
+            Replacement::Fifo => self.fifo_ptr as usize,
+            Replacement::Lru => {
+                if let Some(i) = self.ways.iter().position(|w| !w.valid) {
+                    i
+                } else {
+                    self.ways
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, w)| w.last_access)
+                        .map(|(i, _)| i)
+                        .expect("set has at least one way")
+                }
+            }
+            Replacement::Plru => {
+                if let Some(i) = self.ways.iter().position(|w| !w.valid) {
+                    i
+                } else {
+                    self.plru_victim()
+                }
+            }
+            Replacement::Random(_) => {
+                if let Some(i) = self.ways.iter().position(|w| !w.valid) {
+                    i
+                } else {
+                    let rng = rng.expect("random policy requires an rng");
+                    rng.gen_range(0..self.ways.len())
+                }
+            }
+        }
+    }
+
+    /// Follows the PLRU direction bits from the root to the pseudo-LRU leaf.
+    fn plru_victim(&self) -> usize {
+        let assoc = self.ways.len();
+        let levels = assoc.trailing_zeros();
+        let mut idx = 1usize;
+        for _ in 0..levels {
+            let bit = (self.plru_bits >> idx) & 1;
+            idx = 2 * idx + bit as usize;
+        }
+        idx - assoc
+    }
+
+    /// Points every direction bit on the path to `way` *away* from it.
+    fn plru_touch(&mut self, way: usize) {
+        let assoc = self.ways.len();
+        let levels = assoc.trailing_zeros();
+        let mut idx = 1usize;
+        for level in (0..levels).rev() {
+            let dir = (way >> level) & 1;
+            if dir == 0 {
+                self.plru_bits |= 1 << idx;
+            } else {
+                self.plru_bits &= !(1 << idx);
+            }
+            idx = 2 * idx + dir;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_counts_valid_comparisons_only() {
+        let mut s = CacheSet::new(4, Replacement::Fifo);
+        s.insert(10, false, 0, None);
+        s.insert(20, false, 1, None);
+        // Hit on second way: two comparisons (both valid ways scanned).
+        assert_eq!(s.lookup(20), (Some(1), 2));
+        // Hit on first way: one comparison.
+        assert_eq!(s.lookup(10), (Some(0), 1));
+        // Miss: both valid ways compared, invalid ways skipped for free.
+        assert_eq!(s.lookup(99), (None, 2));
+    }
+
+    #[test]
+    fn fifo_round_robin_eviction_order() {
+        let mut s = CacheSet::new(2, Replacement::Fifo);
+        assert_eq!(s.insert(1, false, 0, None), None);
+        assert_eq!(s.insert(2, false, 1, None), None);
+        // Hits must not perturb FIFO order.
+        s.touch(1, 2);
+        s.touch(0, 3);
+        let v = s.insert(3, false, 4, None).expect("full set evicts");
+        assert_eq!(v.tag, 1, "oldest block leaves first");
+        let v = s.insert(4, false, 5, None).expect("full set evicts");
+        assert_eq!(v.tag, 2);
+        let v = s.insert(5, false, 6, None).expect("full set evicts");
+        assert_eq!(v.tag, 3, "round robin wraps");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_accessed() {
+        let mut s = CacheSet::new(2, Replacement::Lru);
+        s.insert(1, false, 0, None);
+        s.insert(2, false, 1, None);
+        s.touch(0, 2); // tag 1 becomes most recent
+        let v = s.insert(3, false, 3, None).expect("evicts");
+        assert_eq!(v.tag, 2, "LRU honours the hit, unlike FIFO");
+    }
+
+    #[test]
+    fn lru_fills_invalid_ways_first() {
+        let mut s = CacheSet::new(4, Replacement::Lru);
+        for t in 1..=4u64 {
+            assert_eq!(s.insert(t, false, t, None), None, "cold fill evicts nothing");
+        }
+        assert_eq!(s.valid_count(), 4);
+    }
+
+    #[test]
+    fn plru_victim_is_never_the_most_recent() {
+        let mut s = CacheSet::new(8, Replacement::Plru);
+        for t in 0..8u64 {
+            s.insert(t, false, t, None);
+        }
+        for probe in 0..8usize {
+            s.touch(probe, 100);
+            let victim = s.plru_victim();
+            assert_ne!(victim, probe, "PLRU never picks the just-touched way");
+        }
+    }
+
+    #[test]
+    fn plru_degenerates_to_lru_for_two_ways() {
+        let mut s = CacheSet::new(2, Replacement::Plru);
+        s.insert(1, false, 0, None);
+        s.insert(2, false, 1, None);
+        s.touch(0, 2);
+        let v = s.insert(3, false, 3, None).expect("evicts");
+        assert_eq!(v.tag, 2);
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<u64> {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut s = CacheSet::new(4, Replacement::Random(seed));
+            let mut evicted = Vec::new();
+            for t in 0..32u64 {
+                if let Some(v) = s.insert(t, false, t, Some(&mut rng)) {
+                    evicted.push(v.tag);
+                }
+            }
+            evicted
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds explore different orders");
+    }
+
+    #[test]
+    fn dirty_flag_travels_with_the_victim() {
+        let mut s = CacheSet::new(1, Replacement::Fifo);
+        s.insert(1, false, 0, None);
+        s.mark_dirty(0);
+        let v = s.insert(2, false, 1, None).expect("evicts");
+        assert!(v.dirty);
+        let v = s.insert(3, true, 2, None).expect("evicts");
+        assert_eq!((v.tag, v.dirty), (2, false));
+    }
+}

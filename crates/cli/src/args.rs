@@ -1,0 +1,216 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Supports `--key value`, `--key=value` and boolean `--flag` options plus
+//! positional arguments — enough for the `dew` tool without pulling a CLI
+//! framework into the offline dependency set.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Parsed command line: positionals in order, options by name.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors from argument parsing and typed lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// `--key` appeared at the end with no value and is not a known flag.
+    MissingValue(String),
+    /// A required option was absent.
+    Required(String),
+    /// An option's value failed to parse as the requested type.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// The raw value that failed to parse.
+        value: String,
+        /// Target type name.
+        ty: &'static str,
+    },
+    /// An option was present that the command does not understand.
+    Unknown(String),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgsError::Required(k) => write!(f, "missing required option --{k}"),
+            ArgsError::BadValue { key, value, ty } => {
+                write!(f, "option --{key}: `{value}` is not a valid {ty}")
+            }
+            ArgsError::Unknown(k) => write!(f, "unknown option --{k}"),
+        }
+    }
+}
+
+impl Error for ArgsError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name). `flag_names` lists
+    /// the boolean options that take no value.
+    pub fn parse<I, S>(raw: I, flag_names: &[&str]) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if let Some((k, v)) = key.split_once('=') {
+                    args.options.insert(k.to_owned(), v.to_owned());
+                } else if flag_names.contains(&key) {
+                    args.flags.push(key.to_owned());
+                } else if let Some(v) = iter.next() {
+                    args.options.insert(key.to_owned(), v);
+                } else {
+                    return Err(ArgsError::MissingValue(key.to_owned()));
+                }
+            } else {
+                args.positional.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional arguments, in order.
+    #[must_use]
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// `true` when the boolean flag was given.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw value of `--name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Typed lookup with a default for absent options.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::BadValue`] when present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgsError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                key: name.to_owned(),
+                value: v.to_owned(),
+                ty: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Typed lookup for a required option.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::Required`] when absent, [`ArgsError::BadValue`] when
+    /// unparsable.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgsError> {
+        match self.get(name) {
+            None => Err(ArgsError::Required(name.to_owned())),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                key: name.to_owned(),
+                value: v.to_owned(),
+                ty: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Rejects options outside `known` (flags were validated at parse time).
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::Unknown`] naming the first unexpected option.
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), ArgsError> {
+        for k in self.options.keys() {
+            if !known.contains(&k.as_str()) {
+                return Err(ArgsError::Unknown(k.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_positionals_options_and_flags() {
+        let a = Args::parse(
+            ["simulate", "--sets", "64", "--assoc=4", "--verbose", "trace.din"],
+            &["verbose"],
+        )
+        .expect("parses");
+        assert_eq!(a.positional(), ["simulate", "trace.din"]);
+        assert_eq!(a.get("sets"), Some("64"));
+        assert_eq!(a.get("assoc"), Some("4"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn typed_lookups() {
+        let a = Args::parse(["--n", "42"], &[]).expect("parses");
+        assert_eq!(a.get_or("n", 0u32).expect("ok"), 42);
+        assert_eq!(a.get_or("m", 7u32).expect("default"), 7);
+        assert_eq!(a.require::<u32>("n").expect("ok"), 42);
+        assert!(matches!(a.require::<u32>("m"), Err(ArgsError::Required(_))));
+    }
+
+    #[test]
+    fn bad_values_are_reported_with_context() {
+        let a = Args::parse(["--n", "xyz"], &[]).expect("parses");
+        match a.get_or("n", 0u32) {
+            Err(ArgsError::BadValue { key, value, .. }) => {
+                assert_eq!(key, "n");
+                assert_eq!(value, "xyz");
+            }
+            other => panic!("expected BadValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_option_without_value_errors() {
+        assert!(matches!(
+            Args::parse(["--sets"], &[]),
+            Err(ArgsError::MissingValue(k)) if k == "sets"
+        ));
+    }
+
+    #[test]
+    fn unknown_option_rejection() {
+        let a = Args::parse(["--good", "1", "--bad", "2"], &[]).expect("parses");
+        assert!(a.reject_unknown(&["good", "bad"]).is_ok());
+        assert!(matches!(
+            a.reject_unknown(&["good"]),
+            Err(ArgsError::Unknown(k)) if k == "bad"
+        ));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ArgsError::MissingValue("x".into()),
+            ArgsError::Required("x".into()),
+            ArgsError::BadValue { key: "x".into(), value: "y".into(), ty: "u32" },
+            ArgsError::Unknown("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

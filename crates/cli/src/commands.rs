@@ -1,0 +1,457 @@
+//! Command implementations. Each returns its report as a `String` so the
+//! logic is directly testable; `main` only prints.
+
+use std::path::Path;
+
+use dew_cachesim::classify::ThreeCClassifier;
+use dew_cachesim::{AllocatePolicy, Cache, CacheConfig, Replacement, WritePolicy};
+use dew_core::{sweep_trace, ConfigSpace, DewOptions};
+use dew_explore::{best_edp_under, evaluate_sweep, pareto_front, EnergyModel};
+use dew_trace::Trace;
+use dew_workloads::mediabench::App;
+
+use crate::args::{Args, ArgsError};
+use crate::error::CliError;
+use crate::USAGE;
+
+/// Executes a raw command line (without the program name) and returns the
+/// report to print.
+///
+/// # Errors
+///
+/// [`CliError`] for unknown commands, bad arguments, or execution failures.
+pub fn run<I, S>(raw: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args = Args::parse(raw, &["classify"])?;
+    let command = args.positional().first().map(String::as_str).unwrap_or("help");
+    match command {
+        "simulate" => simulate(&args),
+        "sweep" => sweep(&args),
+        "verify" => verify(&args),
+        "stats" => stats(&args),
+        "convert" => convert(&args),
+        "generate" => generate(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+/// Loads a trace, dispatching on the file extension (`.din` is text).
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let p = Path::new(path);
+    if p.extension().is_some_and(|e| e == "din") {
+        Ok(Trace::read_din_file(p)?)
+    } else {
+        Ok(Trace::read_bin_file(p)?)
+    }
+}
+
+fn save_trace(trace: &Trace, path: &str) -> Result<(), CliError> {
+    let p = Path::new(path);
+    if p.extension().is_some_and(|e| e == "din") {
+        trace.write_din_file(p)?;
+    } else {
+        trace.write_bin_file(p)?;
+    }
+    Ok(())
+}
+
+fn parse_policy(s: &str, seed: u64) -> Result<Replacement, CliError> {
+    match s {
+        "fifo" => Ok(Replacement::Fifo),
+        "lru" => Ok(Replacement::Lru),
+        "plru" => Ok(Replacement::Plru),
+        "random" => Ok(Replacement::Random(seed)),
+        other => Err(CliError::Args(ArgsError::BadValue {
+            key: "policy".into(),
+            value: other.into(),
+            ty: "replacement policy (fifo|lru|plru|random)",
+        })),
+    }
+}
+
+/// Parses an inclusive `LO..HI` log2 range.
+fn parse_range(s: &str, key: &str) -> Result<(u32, u32), CliError> {
+    let bad = || {
+        CliError::Args(ArgsError::BadValue {
+            key: key.into(),
+            value: s.into(),
+            ty: "inclusive log2 range LO..HI",
+        })
+    };
+    let (lo, hi) = s.split_once("..").ok_or_else(bad)?;
+    Ok((lo.trim().parse().map_err(|_| bad())?, hi.trim().parse().map_err(|_| bad())?))
+}
+
+fn simulate(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&[
+        "trace", "sets", "assoc", "block", "policy", "seed", "write-policy", "allocate",
+    ])?;
+    let trace = load_trace(&args.require::<String>("trace")?)?;
+    let seed = args.get_or("seed", 0u64)?;
+    let policy = parse_policy(args.get("policy").unwrap_or("fifo"), seed)?;
+    let write = match args.get("write-policy").unwrap_or("wb") {
+        "wt" => WritePolicy::WriteThrough,
+        _ => WritePolicy::WriteBack,
+    };
+    let allocate = match args.get("allocate").unwrap_or("wa") {
+        "nwa" => AllocatePolicy::NoWriteAllocate,
+        _ => AllocatePolicy::WriteAllocate,
+    };
+    let config = CacheConfig::builder()
+        .sets(args.require("sets")?)
+        .assoc(args.require("assoc")?)
+        .block_bytes(args.require("block")?)
+        .replacement(policy)
+        .write_policy(write)
+        .allocate_policy(allocate)
+        .build()?;
+
+    let mut out = format!("config: {config}\n");
+    if args.flag("classify") {
+        let mut c = ThreeCClassifier::new(config);
+        for r in &trace {
+            c.access(*r);
+        }
+        let counts = c.counts();
+        out.push_str(&format!("{}\n", c.stats()));
+        out.push_str(&format!(
+            "3C: {} compulsory, {} capacity, {} conflict\n",
+            counts.compulsory, counts.capacity, counts.conflict
+        ));
+    } else {
+        let mut cache = Cache::new(config);
+        for r in &trace {
+            cache.access(*r);
+        }
+        out.push_str(&format!("{}\n", cache.stats()));
+    }
+    Ok(out)
+}
+
+fn sweep(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&[
+        "trace", "sets", "blocks", "assocs", "policy", "threads", "csv", "budget",
+    ])?;
+    let trace = load_trace(&args.require::<String>("trace")?)?;
+    let sets = parse_range(args.get("sets").unwrap_or("0..14"), "sets")?;
+    let blocks = parse_range(args.get("blocks").unwrap_or("0..6"), "blocks")?;
+    let assocs = parse_range(args.get("assocs").unwrap_or("0..4"), "assocs")?;
+    let space = ConfigSpace::new(sets, blocks, assocs)?;
+    let options = match args.get("policy").unwrap_or("fifo") {
+        "lru" => DewOptions::lru(),
+        _ => DewOptions::default(),
+    };
+    let threads = args.get_or("threads", 0usize)?;
+
+    let start = std::time::Instant::now();
+    let outcome = sweep_trace(&space, trace.records(), options, threads)?;
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut out = format!(
+        "swept {} configurations over {} requests in {:.2}s ({} passes, policy {})\n\n",
+        outcome.config_count(),
+        outcome.accesses(),
+        elapsed,
+        outcome.passes().len(),
+        options.policy,
+    );
+    out.push_str(&format!(
+        "{:>8} {:>6} {:>7} {:>12} {:>10}\n",
+        "sets", "assoc", "block", "misses", "miss rate"
+    ));
+    for c in outcome.sorted() {
+        let rate = c.misses as f64 / outcome.accesses().max(1) as f64;
+        out.push_str(&format!(
+            "{:>8} {:>6} {:>7} {:>12} {:>9.4}%\n",
+            c.sets,
+            c.assoc,
+            c.block_bytes,
+            c.misses,
+            rate * 100.0
+        ));
+    }
+
+    if let Some(csv) = args.get("csv") {
+        let mut text = String::from("sets,assoc,block_bytes,misses,accesses\n");
+        for c in outcome.sorted() {
+            text.push_str(&format!(
+                "{},{},{},{},{}\n",
+                c.sets, c.assoc, c.block_bytes, c.misses, outcome.accesses()
+            ));
+        }
+        std::fs::write(csv, text)?;
+        out.push_str(&format!("\ncsv written to {csv}\n"));
+    }
+
+    if let Some(budget) = args.get("budget") {
+        let budget: u64 = budget.parse().map_err(|_| {
+            CliError::Args(ArgsError::BadValue {
+                key: "budget".into(),
+                value: budget.into(),
+                ty: "byte count",
+            })
+        })?;
+        let evals = evaluate_sweep(&outcome, &EnergyModel::default());
+        let front = pareto_front(&evals);
+        out.push_str(&format!("\nPareto front (energy vs cycles): {} configurations\n", front.len()));
+        match best_edp_under(&evals, budget) {
+            Some(best) => out.push_str(&format!("best EDP within {budget} bytes: {best}\n")),
+            None => out.push_str(&format!("no configuration fits within {budget} bytes\n")),
+        }
+    }
+    Ok(out)
+}
+
+fn verify(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&["trace", "sets", "blocks", "assocs", "policy"])?;
+    let trace = load_trace(&args.require::<String>("trace")?)?;
+    let sets = parse_range(args.get("sets").unwrap_or("0..8"), "sets")?;
+    let blocks = parse_range(args.get("blocks").unwrap_or("2..4"), "blocks")?;
+    let assocs = parse_range(args.get("assocs").unwrap_or("0..2"), "assocs")?;
+    let space = ConfigSpace::new(sets, blocks, assocs)?;
+    let (options, policy) = match args.get("policy").unwrap_or("fifo") {
+        "lru" => (DewOptions::lru(), Replacement::Lru),
+        _ => (DewOptions::default(), Replacement::Fifo),
+    };
+
+    let start = std::time::Instant::now();
+    let sweep = sweep_trace(&space, trace.records(), options, 0)?;
+    let dew_time = start.elapsed().as_secs_f64();
+
+    let start = std::time::Instant::now();
+    let mut mismatches = Vec::new();
+    for (s, a, b) in space.configs() {
+        let config = CacheConfig::new(s, a, b, policy)?;
+        let mut cache = Cache::new(config);
+        for r in &trace {
+            cache.access(*r);
+        }
+        let expected = cache.stats().misses();
+        let got = sweep.misses(s, a, b);
+        if got != Some(expected) {
+            mismatches.push(format!("  sets={s} assoc={a} block={b}: dew {got:?} != {expected}"));
+        }
+    }
+    let ref_time = start.elapsed().as_secs_f64();
+
+    let mut out = format!(
+        "verified {} configurations over {} requests (policy {})\n\
+         DEW: {dew_time:.3}s ({} passes); reference: {ref_time:.3}s ({} passes); speedup {:.1}x\n",
+        space.config_count(),
+        trace.len(),
+        policy,
+        sweep.passes().len(),
+        space.config_count(),
+        ref_time / dew_time.max(1e-9),
+    );
+    if mismatches.is_empty() {
+        out.push_str("all miss counts match exactly.\n");
+        Ok(out)
+    } else {
+        out.push_str(&mismatches.join("\n"));
+        Err(CliError::Usage(format!("{out}\nverification FAILED")))
+    }
+}
+
+fn stats(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&["trace"])?;
+    let trace = load_trace(&args.require::<String>("trace")?)?;
+    let s = trace.stats();
+    let mut out = format!("{s}\n");
+    for bits in dew_trace::TraceStats::FOOTPRINT_BLOCK_BITS {
+        out.push_str(&format!(
+            "unique {:>2}-byte blocks: {}\n",
+            1u32 << bits,
+            s.unique_blocks(bits).expect("tracked size")
+        ));
+    }
+    Ok(out)
+}
+
+fn convert(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&["input", "output"])?;
+    let input: String = args.require("input")?;
+    let output: String = args.require("output")?;
+    let trace = load_trace(&input)?;
+    save_trace(&trace, &output)?;
+    let in_size = std::fs::metadata(&input)?.len();
+    let out_size = std::fs::metadata(&output)?.len();
+    Ok(format!(
+        "converted {} records: {input} ({in_size} B) -> {output} ({out_size} B)\n",
+        trace.len()
+    ))
+}
+
+fn generate(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&["app", "requests", "output", "seed"])?;
+    let name: String = args.require("app")?;
+    let app = match name.to_lowercase().as_str() {
+        "cjpeg" | "jpeg_enc" => App::JpegEncode,
+        "djpeg" | "jpeg_dec" => App::JpegDecode,
+        "g721_enc" => App::G721Encode,
+        "g721_dec" => App::G721Decode,
+        "mpeg2_enc" => App::Mpeg2Encode,
+        "mpeg2_dec" => App::Mpeg2Decode,
+        other => {
+            return Err(CliError::Args(ArgsError::BadValue {
+                key: "app".into(),
+                value: other.into(),
+                ty: "application name (cjpeg|djpeg|g721_enc|g721_dec|mpeg2_enc|mpeg2_dec)",
+            }))
+        }
+    };
+    let requests = args.require::<u64>("requests")?;
+    let seed = args.get_or("seed", 2010u64)?;
+    let output: String = args.require("output")?;
+    let trace = app.generate(requests, seed);
+    save_trace(&trace, &output)?;
+    Ok(format!("generated {} ({requests} requests, seed {seed}) -> {output}\n", app.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("dew_cli_{}_{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let help = run(["help"]).expect("help");
+        assert!(help.contains("USAGE"));
+        let empty: [&str; 0] = [];
+        assert!(run(empty).expect("defaults to help").contains("USAGE"));
+        assert!(matches!(run(["frobnicate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn generate_stats_simulate_convert_round_trip() {
+        let bin = tmp("t.dewt");
+        let din = tmp("t.din");
+
+        let msg = run([
+            "generate", "--app", "cjpeg", "--requests", "5000", "--output", &bin, "--seed", "3",
+        ])
+        .expect("generate");
+        assert!(msg.contains("CJPEG"), "{msg}");
+
+        let msg = run(["stats", "--trace", &bin]).expect("stats");
+        assert!(msg.contains("5000 requests"), "{msg}");
+
+        let msg = run([
+            "simulate", "--trace", &bin, "--sets", "64", "--assoc", "2", "--block", "16",
+        ])
+        .expect("simulate");
+        assert!(msg.contains("miss rate"), "{msg}");
+
+        let msg = run(["simulate", "--trace", &bin, "--sets", "8", "--assoc", "2", "--block",
+            "16", "--policy", "lru", "--classify"])
+        .expect("classify");
+        assert!(msg.contains("3C:"), "{msg}");
+
+        let msg = run(["convert", "--input", &bin, "--output", &din]).expect("convert");
+        assert!(msg.contains("converted 5000 records"), "{msg}");
+        let back = run(["stats", "--trace", &din]).expect("stats on din");
+        assert!(back.contains("5000 requests"));
+
+        let _ = std::fs::remove_file(&bin);
+        let _ = std::fs::remove_file(&din);
+    }
+
+    #[test]
+    fn sweep_reports_and_writes_csv() {
+        let bin = tmp("s.dewt");
+        let csv = tmp("s.csv");
+        run(["generate", "--app", "g721_enc", "--requests", "8000", "--output", &bin])
+            .expect("generate");
+        let msg = run([
+            "sweep", "--trace", &bin, "--sets", "0..4", "--blocks", "2..2", "--assocs", "0..1",
+            "--csv", &csv, "--budget", "4096",
+        ])
+        .expect("sweep");
+        assert!(msg.contains("swept 10 configurations"), "{msg}");
+        assert!(msg.contains("Pareto front"), "{msg}");
+        let csv_text = std::fs::read_to_string(&csv).expect("csv written");
+        assert_eq!(csv_text.lines().count(), 11, "header + 10 rows");
+        let _ = std::fs::remove_file(&bin);
+        let _ = std::fs::remove_file(&csv);
+    }
+
+    #[test]
+    fn verify_passes_on_real_traces() {
+        let bin = tmp("v.dewt");
+        run(["generate", "--app", "mpeg2_dec", "--requests", "6000", "--output", &bin])
+            .expect("generate");
+        let msg = run([
+            "verify", "--trace", &bin, "--sets", "0..5", "--blocks", "2..3", "--assocs", "0..2",
+        ])
+        .expect("verify fifo");
+        assert!(msg.contains("all miss counts match exactly"), "{msg}");
+        let msg = run([
+            "verify", "--trace", &bin, "--sets", "0..4", "--blocks", "2..2", "--assocs", "1..1",
+            "--policy", "lru",
+        ])
+        .expect("verify lru");
+        assert!(msg.contains("all miss counts match exactly"), "{msg}");
+        let _ = std::fs::remove_file(&bin);
+    }
+
+    #[test]
+    fn sweep_lru_policy_selected() {
+        let bin = tmp("l.dewt");
+        run(["generate", "--app", "djpeg", "--requests", "3000", "--output", &bin])
+            .expect("generate");
+        let msg = run([
+            "sweep", "--trace", &bin, "--sets", "0..2", "--blocks", "2..2", "--assocs", "1..1",
+            "--policy", "lru",
+        ])
+        .expect("lru sweep");
+        assert!(msg.contains("policy lru"), "{msg}");
+        let _ = std::fs::remove_file(&bin);
+    }
+
+    #[test]
+    fn argument_errors_are_reported() {
+        assert!(matches!(
+            run(["simulate", "--sets", "64"]),
+            Err(CliError::Args(ArgsError::Required(k))) if k == "trace"
+        ));
+        assert!(matches!(
+            run(["simulate", "--trace", "x.dewt", "--sets", "64", "--assoc", "2", "--block",
+                "16", "--bogus", "1"]),
+            Err(CliError::Args(ArgsError::Unknown(k))) if k == "bogus"
+        ));
+        assert!(matches!(run(["stats", "--trace", "/does/not/exist"]), Err(CliError::Trace(_))));
+    }
+
+    #[test]
+    fn range_parsing() {
+        assert_eq!(parse_range("0..14", "sets").expect("ok"), (0, 14));
+        assert_eq!(parse_range("3 .. 5", "sets").expect("ok"), (3, 5));
+        assert!(parse_range("5", "sets").is_err());
+        assert!(parse_range("a..b", "sets").is_err());
+    }
+
+    #[test]
+    fn bad_policy_and_app_names() {
+        let bin = tmp("p.dewt");
+        run(["generate", "--app", "cjpeg", "--requests", "100", "--output", &bin])
+            .expect("generate");
+        assert!(run([
+            "simulate", "--trace", &bin, "--sets", "4", "--assoc", "1", "--block", "4",
+            "--policy", "belady"
+        ])
+        .is_err());
+        assert!(run(["generate", "--app", "quake", "--requests", "10", "--output", &bin])
+            .is_err());
+        let _ = std::fs::remove_file(&bin);
+    }
+}

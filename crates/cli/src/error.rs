@@ -1,0 +1,93 @@
+//! The CLI's unified error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::args::ArgsError;
+
+/// Anything that can go wrong executing a `dew` command.
+#[derive(Debug)]
+pub enum CliError {
+    /// No command or an unknown command was given.
+    Usage(String),
+    /// Bad command-line arguments.
+    Args(ArgsError),
+    /// Trace file problems.
+    Trace(dew_trace::TraceError),
+    /// Invalid cache configuration.
+    Config(dew_cachesim::ConfigError),
+    /// Invalid DEW geometry or options.
+    Dew(dew_core::DewError),
+    /// Filesystem problems.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Args(e) => write!(f, "argument error: {e}"),
+            CliError::Trace(e) => write!(f, "trace error: {e}"),
+            CliError::Config(e) => write!(f, "configuration error: {e}"),
+            CliError::Dew(e) => write!(f, "dew error: {e}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Args(e) => Some(e),
+            CliError::Trace(e) => Some(e),
+            CliError::Config(e) => Some(e),
+            CliError::Dew(e) => Some(e),
+            CliError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ArgsError> for CliError {
+    fn from(e: ArgsError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<dew_trace::TraceError> for CliError {
+    fn from(e: dew_trace::TraceError) -> Self {
+        CliError::Trace(e)
+    }
+}
+
+impl From<dew_cachesim::ConfigError> for CliError {
+    fn from(e: dew_cachesim::ConfigError) -> Self {
+        CliError::Config(e)
+    }
+}
+
+impl From<dew_core::DewError> for CliError {
+    fn from(e: dew_core::DewError) -> Self {
+        CliError::Dew(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CliError::from(ArgsError::Required("trace".into()));
+        assert!(e.to_string().contains("trace"));
+        assert!(e.source().is_some());
+        let e = CliError::Usage("no command".into());
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! Library backing the `dew` command-line tool.
+//!
+//! The binary (`src/main.rs`) is a thin dispatcher over [`run`]; all command
+//! logic lives here so it can be unit-tested without spawning processes.
+//!
+//! ```text
+//! dew simulate --trace t.din --sets 64 --assoc 4 --block 16 [--policy fifo]
+//! dew sweep    --trace t.din [--sets 0..14 --blocks 0..6 --assocs 0..4]
+//! dew stats    --trace t.din
+//! dew convert  --input t.din --output t.dewt
+//! dew generate --app cjpeg --requests 100000 --output t.dewt [--seed 1]
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+mod commands;
+mod error;
+
+pub use commands::run;
+pub use error::CliError;
+
+/// Usage text printed for `dew help` and argument errors.
+pub const USAGE: &str = "\
+dew — trace-driven L1 cache simulation tools (DEW reproduction)
+
+USAGE:
+  dew <command> [options]
+
+COMMANDS:
+  simulate   simulate one cache configuration over a trace file
+             --trace FILE --sets N --assoc N --block BYTES
+             [--policy fifo|lru|plru|random] [--seed N]
+             [--write-policy wb|wt] [--allocate wa|nwa] [--classify]
+  sweep      simulate a whole configuration space in DEW single passes
+             --trace FILE [--sets LO..HI] [--blocks LO..HI] [--assocs LO..HI]
+             (ranges are log2, inclusive; defaults 0..14, 0..6, 0..4)
+             [--policy fifo|lru] [--threads N] [--csv FILE] [--budget BYTES]
+  verify     run DEW and the reference simulator, cross-check every config
+             --trace FILE [--sets LO..HI] [--blocks LO..HI] [--assocs LO..HI]
+             [--policy fifo|lru]
+  stats      print trace statistics
+             --trace FILE
+  convert    convert between trace formats (by file extension)
+             --input FILE --output FILE
+  generate   synthesise a Mediabench-like workload trace
+             --app cjpeg|djpeg|g721_enc|g721_dec|mpeg2_enc|mpeg2_dec
+             --requests N --output FILE [--seed N]
+  help       print this message
+
+Trace files: `.din` is the Dinero text format; anything else is the compact
+dew binary format.
+";

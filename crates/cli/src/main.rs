@@ -1,0 +1,12 @@
+//! The `dew` command-line tool. See [`dew_cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dew_cli::run(args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

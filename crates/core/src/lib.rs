@@ -1,0 +1,72 @@
+//! **DEW** — exact single-pass multi-configuration level-1 cache simulation
+//! for the FIFO replacement policy.
+//!
+//! Reproduction of Haque, Peddersen, Janapsatya & Parameswaran, *"DEW: A Fast
+//! Level 1 Cache Simulation Approach for Embedded Processors with FIFO
+//! Replacement Policy"*, DATE 2010.
+//!
+//! One pass of a [`DewTree`] over a memory trace produces exact hit/miss
+//! counts for **every power-of-two set count** in a range at one
+//! associativity — and, for free, the direct-mapped results — by organising
+//! the caches' sets into a binomial forest and exploiting three properties of
+//! FIFO caches:
+//!
+//! * **MRA early termination** — a request matching a set's most recently
+//!   accessed tag hits there and at every larger set count (Property 2);
+//! * **wave pointers** — FIFO never moves a resident block, so the way it
+//!   occupied in the child set last time is the only way it can occupy now;
+//!   one comparison decides hit or miss (Property 3);
+//! * **MRE entries** — the most recently evicted tag is certainly absent, so
+//!   a match decides a miss without searching (Property 4).
+//!
+//! [`sweep_trace`] covers a whole `(S, A, B)` space ([`ConfigSpace`], e.g.
+//! the paper's 525-configuration Table 1 space) with the minimal set of
+//! passes, in parallel. The [`lru_tree`] module provides the LRU counterpart
+//! (stack property + set-refinement inclusion, in the spirit of Janapsatya's
+//! method and the CRCB enhancements) that the paper positions DEW against.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dew_core::{DewOptions, DewTree, PassConfig};
+//! use dew_trace::Record;
+//!
+//! # fn main() -> Result<(), dew_core::DewError> {
+//! // Simulate set counts 1..=256 at associativity 4 (plus direct-mapped),
+//! // 16-byte blocks, over a toy trace.
+//! let mut tree = DewTree::new(PassConfig::new(4, 0, 8, 4)?, DewOptions::default())?;
+//! for i in 0..10_000u64 {
+//!     tree.step_record(Record::read((i * 24) % 65_536));
+//! }
+//! let results = tree.results();
+//! for level in results.levels() {
+//!     println!("{:>5} sets: {:>6} misses", level.sets(), level.misses());
+//! }
+//! println!("work: {}", tree.counters());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+pub mod snapshot;
+pub mod lru_tree;
+mod multi_assoc;
+mod node;
+mod options;
+mod results;
+mod space;
+mod sweep;
+mod timeline;
+mod tree;
+
+pub use counters::DewCounters;
+pub use multi_assoc::MultiAssocTree;
+pub use options::{DewOptions, TreePolicy};
+pub use results::{AllAssocResults, ConfigResult, LevelResult, PassResults, SweepOutcome};
+pub use space::{ConfigSpace, DewError, PassConfig};
+pub use sweep::sweep_trace;
+pub use timeline::{MissTimeline, WindowSample};
+pub use tree::DewTree;

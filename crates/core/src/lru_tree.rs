@@ -1,0 +1,423 @@
+//! Single-pass multi-configuration **LRU** simulation over the same binomial
+//! forest — the comparator family DEW is positioned against.
+//!
+//! The paper's related work (Section 2) builds on two classic LRU facts that
+//! FIFO lacks:
+//!
+//! 1. **Stack property** (Mattson/Gecsei): keeping each set as a
+//!    recency-ordered list, a request that hits at depth `d` hits every
+//!    associativity `a > d` — one list yields exact results for *all*
+//!    associativities simultaneously.
+//! 2. **Set-refinement inclusion** (Hill & Smith; the basis of Janapsatya's
+//!    method): a hit in the cache with `S` sets is guaranteed to be a hit
+//!    with `2S` sets, because the competitors of a block in the finer cache
+//!    are a subset of its competitors in the coarser one. Consequently a
+//!    block's hit depth is non-increasing down the tree, and once it hits at
+//!    depth 0 (it is the set's MRU block) it is at depth 0 everywhere below:
+//!    the walk can stop with *no* state updates — the LRU analogue of DEW's
+//!    Property 2.
+//!
+//! [`LruTreeSimulator`] implements this family in the spirit of Janapsatya's
+//! method with the CRCB-style consecutive-duplicate elision of Tojo et al.
+//! (both toggleable via [`LruTreeOptions`]): MRU-first searches exploit
+//! temporal locality, and per-node move-to-front lists produce exact miss
+//! counts for every power-of-two associativity up to the list depth, at every
+//! set count, in one pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use dew_core::lru_tree::{LruTreeOptions, LruTreeSimulator};
+//! use dew_trace::Record;
+//!
+//! # fn main() -> Result<(), dew_core::DewError> {
+//! // Set counts 1..=8, associativities 1, 2 and 4, 4-byte blocks.
+//! let mut sim = LruTreeSimulator::new(2, 0, 3, 4, LruTreeOptions::default())?;
+//! for i in 0..100u64 {
+//!     sim.step_record(Record::read((i % 10) * 4));
+//! }
+//! let misses_dm = sim.results().misses(8, 1).expect("simulated");
+//! let misses_4w = sim.results().misses(8, 4).expect("simulated");
+//! assert!(misses_4w <= misses_dm, "the LRU stack property");
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use dew_trace::Record;
+
+use crate::node::INVALID_TAG;
+use crate::results::AllAssocResults;
+use crate::space::{DewError, PassConfig};
+
+/// Behaviour toggles of the LRU comparator (both default to on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LruTreeOptions {
+    /// Stop the walk when the request hits at depth 0 (it is the MRU block
+    /// of the set): by set-refinement inclusion it is MRU at every larger
+    /// set count, so no accounting or list update is needed below.
+    pub depth_zero_stop: bool,
+    /// CRCB-style elision: a request to the same block as the immediately
+    /// preceding request hits at depth 0 everywhere and is skipped outright.
+    pub duplicate_elision: bool,
+}
+
+impl Default for LruTreeOptions {
+    fn default() -> Self {
+        LruTreeOptions { depth_zero_stop: true, duplicate_elision: true }
+    }
+}
+
+/// Work counters of the LRU comparator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LruTreeCounters {
+    /// Requests simulated (skipped duplicates included).
+    pub accesses: u64,
+    /// Tree nodes visited.
+    pub node_evaluations: u64,
+    /// Walks ended early by a depth-0 hit.
+    pub depth_zero_stops: u64,
+    /// Requests elided as consecutive duplicates.
+    pub duplicate_skips: u64,
+    /// Tag comparisons performed (MRU-first sequential search).
+    pub tag_comparisons: u64,
+}
+
+impl fmt::Display for LruTreeCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} evaluations, {} depth-0 stops, {} duplicate skips, {} comparisons",
+            self.accesses,
+            self.node_evaluations,
+            self.depth_zero_stops,
+            self.duplicate_skips,
+            self.tag_comparisons
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LruLevel {
+    /// `num_sets × max_assoc` tags, each set's slice in MRU-first order.
+    tags: Vec<u64>,
+    /// Valid prefix length per set.
+    valid: Vec<u32>,
+    /// Miss counters indexed like the associativity list (1, 2, 4, …).
+    misses: Vec<u64>,
+}
+
+/// Exact single-pass LRU simulator for all set counts in a range and all
+/// power-of-two associativities up to a maximum. See the module docs.
+#[derive(Debug, Clone)]
+pub struct LruTreeSimulator {
+    pass: PassConfig,
+    opts: LruTreeOptions,
+    assoc_list: Vec<u32>,
+    levels: Vec<LruLevel>,
+    counters: LruTreeCounters,
+    prev_block: u64,
+}
+
+impl LruTreeSimulator {
+    /// Builds a simulator for set counts `2^min_set_bits..=2^max_set_bits`,
+    /// block size `2^block_bits` bytes, and associativities
+    /// `1, 2, 4, …, max_assoc`.
+    ///
+    /// # Errors
+    ///
+    /// The same geometry validation as [`PassConfig::new`].
+    pub fn new(
+        block_bits: u32,
+        min_set_bits: u32,
+        max_set_bits: u32,
+        max_assoc: u32,
+        opts: LruTreeOptions,
+    ) -> Result<Self, DewError> {
+        let pass = PassConfig::new(block_bits, min_set_bits, max_set_bits, max_assoc)?;
+        let assoc_list: Vec<u32> = (0..=max_assoc.trailing_zeros()).map(|b| 1 << b).collect();
+        let levels = (min_set_bits..=max_set_bits)
+            .map(|sb| {
+                let n = 1usize << sb;
+                LruLevel {
+                    tags: vec![INVALID_TAG; n * max_assoc as usize],
+                    valid: vec![0; n],
+                    misses: vec![0; assoc_list.len()],
+                }
+            })
+            .collect();
+        Ok(LruTreeSimulator {
+            pass,
+            opts,
+            assoc_list,
+            levels,
+            counters: LruTreeCounters::default(),
+            prev_block: INVALID_TAG,
+        })
+    }
+
+    /// The simulated associativities, ascending.
+    #[must_use]
+    pub fn assoc_list(&self) -> &[u32] {
+        &self.assoc_list
+    }
+
+    /// The geometry of the forest.
+    #[must_use]
+    pub fn pass(&self) -> &PassConfig {
+        &self.pass
+    }
+
+    /// The work counters.
+    #[must_use]
+    pub fn counters(&self) -> &LruTreeCounters {
+        &self.counters
+    }
+
+    /// Simulates one record (only the address matters).
+    pub fn step_record(&mut self, record: Record) {
+        self.step(record.addr);
+    }
+
+    /// Simulates every record of an iterator.
+    pub fn run<I>(&mut self, records: I)
+    where
+        I: IntoIterator<Item = Record>,
+    {
+        for r in records {
+            self.step(r.addr);
+        }
+    }
+
+    /// Simulates one request by byte address.
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::DewTree::step`]: the block number must not collide with
+    /// the internal sentinel.
+    pub fn step(&mut self, addr: u64) {
+        let block = addr >> self.pass.block_bits();
+        assert_ne!(block, INVALID_TAG, "address {addr:#x} exceeds the supported range");
+        self.counters.accesses += 1;
+        if self.opts.duplicate_elision && block == self.prev_block {
+            // The block is the MRU entry of every set on its path: a hit at
+            // depth 0 for every configuration, and move-to-front is a no-op.
+            self.counters.duplicate_skips += 1;
+            return;
+        }
+        self.prev_block = block;
+        let max_assoc = self.pass.assoc() as usize;
+
+        for li in 0..self.levels.len() {
+            let set_bits = self.pass.min_set_bits() + li as u32;
+            let set_idx =
+                if set_bits == 0 { 0 } else { (block & ((1u64 << set_bits) - 1)) as usize };
+            self.counters.node_evaluations += 1;
+            let level = &mut self.levels[li];
+            let base = set_idx * max_assoc;
+            let valid = level.valid[set_idx] as usize;
+            let list = &mut level.tags[base..base + max_assoc];
+
+            // MRU-first search: Janapsatya's temporal-locality order.
+            let mut depth = None;
+            for (d, &t) in list[..valid].iter().enumerate() {
+                self.counters.tag_comparisons += 1;
+                if t == block {
+                    depth = Some(d);
+                    break;
+                }
+            }
+
+            match depth {
+                Some(0) => {
+                    // Depth 0: a hit for every associativity; by inclusion it
+                    // is depth 0 at every larger set count too.
+                    if self.opts.depth_zero_stop {
+                        self.counters.depth_zero_stops += 1;
+                        return;
+                    }
+                }
+                Some(d) => {
+                    // Stack property: miss for every associativity <= d.
+                    for (ai, &a) in self.assoc_list.iter().enumerate() {
+                        if (a as usize) <= d {
+                            level.misses[ai] += 1;
+                        }
+                    }
+                    // Move to front preserves exact LRU order for all assocs.
+                    list[..=d].rotate_right(1);
+                }
+                None => {
+                    for m in &mut level.misses {
+                        *m += 1;
+                    }
+                    // Insert at the MRU position; the LRU tag of a full list
+                    // falls off the end (evicted from the widest cache; the
+                    // narrower caches' contents are the list prefixes).
+                    let occupied = valid.min(max_assoc);
+                    if occupied < max_assoc {
+                        level.valid[set_idx] = (occupied + 1) as u32;
+                    }
+                    list[..(occupied + 1).min(max_assoc)].rotate_right(1);
+                    list[0] = block;
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the per-configuration miss counts.
+    #[must_use]
+    pub fn results(&self) -> AllAssocResults {
+        AllAssocResults::new(
+            self.pass,
+            self.counters.accesses,
+            self.assoc_list.clone(),
+            self.levels.iter().map(|l| l.misses.clone()).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dew_cachesim::{simulate_trace, CacheConfig, Replacement};
+
+    fn addrs(n: usize, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if i % 6 == 0 {
+                    x % (1 << 12)
+                } else {
+                    (x % 80) * 4
+                }
+            })
+            .collect()
+    }
+
+    fn oracle(sets: u32, assoc: u32, block: u32, addrs: &[u64]) -> u64 {
+        let records: Vec<Record> = addrs.iter().map(|&a| Record::read(a)).collect();
+        simulate_trace(
+            CacheConfig::new(sets, assoc, block, Replacement::Lru).expect("valid"),
+            &records,
+        )
+        .misses()
+    }
+
+    #[test]
+    fn matches_reference_lru_for_all_configs() {
+        let a = addrs(3000, 0x5EED_1111);
+        let mut sim = LruTreeSimulator::new(2, 0, 5, 8, LruTreeOptions::default()).expect("valid");
+        for &x in &a {
+            sim.step(x);
+        }
+        let r = sim.results();
+        for set_bits in 0..=5u32 {
+            for assoc in [1u32, 2, 4, 8] {
+                let sets = 1 << set_bits;
+                assert_eq!(
+                    r.misses(sets, assoc),
+                    Some(oracle(sets, assoc, 4, &a)),
+                    "sets={sets} assoc={assoc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn options_do_not_change_results() {
+        let a = addrs(2000, 0x5EED_2222);
+        let variants = [
+            LruTreeOptions { depth_zero_stop: false, duplicate_elision: false },
+            LruTreeOptions { depth_zero_stop: true, duplicate_elision: false },
+            LruTreeOptions { depth_zero_stop: false, duplicate_elision: true },
+            LruTreeOptions::default(),
+        ];
+        let runs: Vec<AllAssocResults> = variants
+            .iter()
+            .map(|&o| {
+                let mut sim = LruTreeSimulator::new(2, 0, 4, 4, o).expect("valid");
+                for &x in &a {
+                    sim.step(x);
+                }
+                sim.results()
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r, &runs[0]);
+        }
+    }
+
+    #[test]
+    fn optimisations_cut_work() {
+        // A loopy trace with many consecutive duplicates.
+        let mut a = Vec::new();
+        for i in 0..400u64 {
+            let x = (i % 5) * 4;
+            a.push(x);
+            a.push(x); // immediate duplicate
+        }
+        let run = |o: LruTreeOptions| {
+            let mut sim = LruTreeSimulator::new(2, 0, 6, 4, o).expect("valid");
+            for &x in &a {
+                sim.step(x);
+            }
+            *sim.counters()
+        };
+        let off = run(LruTreeOptions { depth_zero_stop: false, duplicate_elision: false });
+        let on = run(LruTreeOptions::default());
+        assert!(on.node_evaluations < off.node_evaluations);
+        assert!(on.tag_comparisons < off.tag_comparisons);
+        assert!(on.duplicate_skips > 0);
+    }
+
+    #[test]
+    fn stack_property_holds_in_results() {
+        let a = addrs(2500, 0x5EED_3333);
+        let mut sim = LruTreeSimulator::new(2, 0, 5, 16, LruTreeOptions::default()).expect("valid");
+        for &x in &a {
+            sim.step(x);
+        }
+        let r = sim.results();
+        for set_bits in 0..=5u32 {
+            let sets = 1 << set_bits;
+            let mut prev = u64::MAX;
+            for assoc in [1u32, 2, 4, 8, 16] {
+                let m = r.misses(sets, assoc).expect("simulated");
+                assert!(m <= prev, "LRU misses non-increasing in associativity");
+                prev = m;
+            }
+        }
+    }
+
+    #[test]
+    fn inclusion_property_holds_in_results() {
+        let a = addrs(2500, 0x5EED_4444);
+        let mut sim = LruTreeSimulator::new(2, 0, 6, 4, LruTreeOptions::default()).expect("valid");
+        for &x in &a {
+            sim.step(x);
+        }
+        let r = sim.results();
+        for assoc in [1u32, 2, 4] {
+            let mut prev = u64::MAX;
+            for set_bits in 0..=6u32 {
+                let m = r.misses(1 << set_bits, assoc).expect("simulated");
+                assert!(m <= prev, "LRU misses non-increasing in set count (inclusion)");
+                prev = m;
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_configs_return_none() {
+        let sim = LruTreeSimulator::new(2, 1, 3, 4, LruTreeOptions::default()).expect("valid");
+        let r = sim.results();
+        assert_eq!(r.misses(1, 4), None, "below min set count");
+        assert_eq!(r.misses(8, 3), None, "unsimulated associativity");
+        assert_eq!(r.misses(6, 2), None, "non power-of-two sets");
+    }
+}

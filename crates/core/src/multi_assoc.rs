@@ -1,0 +1,439 @@
+//! **Extension**: all associativities in one FIFO pass.
+//!
+//! The paper runs one DEW pass per `(block size, associativity)` pair
+//! because FIFO has no stack property: unlike LRU, one tag list cannot
+//! answer for several associativities. But nothing stops a single pass from
+//! carrying **independent FIFO tag lists for every associativity** in each
+//! tree node, sharing everything that *is* associativity-independent — the
+//! walk, the MRA comparison (and its early termination, which is sound for
+//! every associativity at once), and the direct-mapped results. One
+//! [`MultiAssocTree`] pass therefore covers `levels × assoc_list`
+//! configurations, turning the paper's 28-pass Table 1 sweep into 7 passes,
+//! at the cost of wider nodes.
+//!
+//! Per associativity the per-node machinery is exactly [`crate::DewTree`]'s:
+//! wave pointers (tracked per list) and MRE entries short-circuit
+//! determinations; the same Algorithm 1/2 handlers apply.
+//!
+//! # Examples
+//!
+//! ```
+//! use dew_core::{DewOptions, MultiAssocTree};
+//! use dew_trace::Record;
+//!
+//! # fn main() -> Result<(), dew_core::DewError> {
+//! // Set counts 1..=256, associativities 1/2/4/8, one pass.
+//! let mut tree = MultiAssocTree::new(2, 0, 8, 8, DewOptions::default())?;
+//! for i in 0..5_000u64 {
+//!     tree.step_record(Record::read((i % 900) * 4));
+//! }
+//! let results = tree.results();
+//! assert!(results.misses(64, 8).expect("simulated") <= results.accesses());
+//! # Ok(())
+//! # }
+//! ```
+
+use dew_trace::Record;
+
+use crate::counters::DewCounters;
+use crate::node::{NodeMeta, WayEntry, EMPTY_WAVE, INVALID_TAG};
+use crate::options::{DewOptions, TreePolicy};
+use crate::results::AllAssocResults;
+use crate::space::{DewError, PassConfig};
+
+/// Per-level storage: shared MRA/DM state plus one independent FIFO list
+/// family per associativity above 1.
+#[derive(Debug, Clone)]
+struct MultiLevel {
+    /// Shared per-set MRA tags (the direct-mapped cache contents).
+    mra: Vec<u64>,
+    /// Per associativity (index parallels `assoc_list[1..]`): node metadata
+    /// and flat way storage, exactly as in `DewTree`.
+    lists: Vec<AssocLists>,
+    dm_misses: u64,
+    /// Misses per associativity, indexed like `assoc_list[1..]`.
+    misses: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct AssocLists {
+    assoc: usize,
+    meta: Vec<NodeMeta>,
+    ways: Vec<WayEntry>,
+}
+
+/// A single-pass FIFO simulator for every power-of-two associativity up to a
+/// maximum, at every set count in a range. See the module docs.
+#[derive(Debug, Clone)]
+pub struct MultiAssocTree {
+    pass: PassConfig,
+    opts: DewOptions,
+    assoc_list: Vec<u32>,
+    levels: Vec<MultiLevel>,
+    counters: DewCounters,
+    prev_block: u64,
+    /// Per-list parent matching-entry way, reused across steps to avoid a
+    /// per-request allocation.
+    parent_way: Vec<Option<usize>>,
+}
+
+impl MultiAssocTree {
+    /// Builds the forest for set counts `2^min_set_bits..=2^max_set_bits`,
+    /// block size `2^block_bits`, associativities `1, 2, …, max_assoc`.
+    ///
+    /// # Errors
+    ///
+    /// Geometry errors as [`PassConfig::new`];
+    /// [`DewError::UnsoundOptions`] for LRU options (this extension is
+    /// FIFO-only: LRU already gets all associativities from one list via the
+    /// stack property — use [`crate::lru_tree::LruTreeSimulator`]).
+    pub fn new(
+        block_bits: u32,
+        min_set_bits: u32,
+        max_set_bits: u32,
+        max_assoc: u32,
+        opts: DewOptions,
+    ) -> Result<Self, DewError> {
+        opts.validate()?;
+        if opts.policy == TreePolicy::Lru {
+            return Err(DewError::UnsoundOptions(
+                "multi-assoc lists are FIFO-only; LRU gets all associativities from \
+                 the stack property (lru_tree)",
+            ));
+        }
+        let pass = PassConfig::new(block_bits, min_set_bits, max_set_bits, max_assoc)?;
+        let assoc_list: Vec<u32> = (0..=max_assoc.trailing_zeros()).map(|b| 1 << b).collect();
+        let levels = (min_set_bits..=max_set_bits)
+            .map(|sb| {
+                let n = 1usize << sb;
+                MultiLevel {
+                    mra: vec![INVALID_TAG; n],
+                    lists: assoc_list[1..]
+                        .iter()
+                        .map(|&a| AssocLists {
+                            assoc: a as usize,
+                            meta: vec![NodeMeta::EMPTY; n],
+                            ways: vec![WayEntry::EMPTY; n * a as usize],
+                        })
+                        .collect(),
+                    dm_misses: 0,
+                    misses: vec![0; assoc_list.len() - 1],
+                }
+            })
+            .collect();
+        let num_lists = assoc_list.len() - 1;
+        Ok(MultiAssocTree {
+            pass,
+            opts,
+            assoc_list,
+            levels,
+            counters: DewCounters::new(),
+            prev_block: INVALID_TAG,
+            parent_way: vec![None; num_lists],
+        })
+    }
+
+    /// The simulated associativities, ascending (always starting at 1).
+    #[must_use]
+    pub fn assoc_list(&self) -> &[u32] {
+        &self.assoc_list
+    }
+
+    /// The forest geometry (`assoc()` reports the maximum).
+    #[must_use]
+    pub fn pass(&self) -> &PassConfig {
+        &self.pass
+    }
+
+    /// Aggregate work counters. Per-node MRA work is counted once while
+    /// wave/MRE/search work is summed over the associativity lists, so the
+    /// [`DewCounters::is_consistent`] identity of a single-associativity
+    /// [`crate::DewTree`] does **not** apply here: one node evaluation feeds
+    /// several lists.
+    #[must_use]
+    pub fn counters(&self) -> &DewCounters {
+        &self.counters
+    }
+
+    /// Simulates one record (only the address matters).
+    pub fn step_record(&mut self, record: Record) {
+        self.step(record.addr);
+    }
+
+    /// Simulates every record of an iterator.
+    pub fn run<I>(&mut self, records: I)
+    where
+        I: IntoIterator<Item = Record>,
+    {
+        for r in records {
+            self.step(r.addr);
+        }
+    }
+
+    /// Simulates one request by byte address.
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::DewTree::step`]: the block number must not collide with
+    /// the internal sentinel.
+    pub fn step(&mut self, addr: u64) {
+        let block = addr >> self.pass.block_bits();
+        assert_ne!(block, INVALID_TAG, "address {addr:#x} exceeds the supported range");
+        self.counters.accesses += 1;
+        if self.opts.dup_elision && block == self.prev_block {
+            self.counters.duplicate_skips += 1;
+            return;
+        }
+        self.prev_block = block;
+        let num_lists = self.assoc_list.len() - 1;
+        // Parent matching-entry way (global index) per associativity list.
+        let mut parent_way = std::mem::take(&mut self.parent_way);
+        parent_way.fill(None);
+
+        for li in 0..self.levels.len() {
+            let set_bits = self.pass.min_set_bits() + li as u32;
+            let set_idx =
+                if set_bits == 0 { 0 } else { (block & ((1u64 << set_bits) - 1)) as usize };
+            self.counters.node_evaluations += 1;
+            self.counters.tag_comparisons += 1; // the one shared MRA compare
+            let (lower, rest) = self.levels.split_at_mut(li);
+            let level = &mut rest[0];
+
+            let mra_match = level.mra[set_idx] == block;
+            if mra_match {
+                if self.opts.mra_stop {
+                    // Sound for every associativity at once: an MRA match
+                    // proves nothing in this set (or any descendant) changed
+                    // since the block was resident — in all the lists.
+                    self.counters.mra_stops += 1;
+                    self.parent_way = parent_way;
+                    return;
+                }
+            } else {
+                level.dm_misses += 1;
+            }
+
+            for ai in 0..num_lists {
+                let list = &mut level.lists[ai];
+                let assoc = list.assoc;
+                let mut meta = list.meta[set_idx];
+                let ways = &mut list.ways[set_idx * assoc..(set_idx + 1) * assoc];
+
+                let mut determined: Option<Option<usize>> = None;
+                if self.opts.wave {
+                    if let Some(pw) = parent_way[ai] {
+                        let wave = lower[li - 1].lists[ai].ways[pw].wave;
+                        if wave != EMPTY_WAVE {
+                            self.counters.tag_comparisons += 1;
+                            let w = wave as usize;
+                            if ways[w].tag == block {
+                                self.counters.wave_hits += 1;
+                                determined = Some(Some(w));
+                            } else {
+                                self.counters.wave_misses += 1;
+                                determined = Some(None);
+                            }
+                        }
+                    }
+                }
+                if determined.is_none() && self.opts.mre {
+                    self.counters.tag_comparisons += 1;
+                    if meta.mre == block {
+                        self.counters.mre_misses += 1;
+                        determined = Some(None);
+                    }
+                }
+                let found = match determined {
+                    Some(f) => f,
+                    None => {
+                        self.counters.searches += 1;
+                        let valid = meta.valid as usize;
+                        let mut found = None;
+                        for (i, entry) in ways[..valid].iter().enumerate() {
+                            self.counters.search_comparisons += 1;
+                            self.counters.tag_comparisons += 1;
+                            if entry.tag == block {
+                                found = Some(i);
+                                break;
+                            }
+                        }
+                        found
+                    }
+                };
+                debug_assert!(!(mra_match && found.is_none()), "MRA match must hit in list");
+
+                let n = match found {
+                    Some(n) => n, // Algorithm 1 (MRA handled at level scope)
+                    None => {
+                        // Algorithm 2.
+                        level.misses[ai] += 1;
+                        let n = meta.fifo_ptr as usize;
+                        if self.opts.mre && meta.mre == block {
+                            std::mem::swap(&mut ways[n].tag, &mut meta.mre);
+                            std::mem::swap(&mut ways[n].wave, &mut meta.mre_wave);
+                        } else {
+                            let evicted = ways[n];
+                            ways[n] = WayEntry { tag: block, wave: EMPTY_WAVE };
+                            if evicted.tag == INVALID_TAG {
+                                meta.valid += 1;
+                            } else if self.opts.mre {
+                                meta.mre = evicted.tag;
+                                meta.mre_wave = evicted.wave;
+                            }
+                        }
+                        meta.fifo_ptr = (meta.fifo_ptr + 1) % assoc as u32;
+                        n
+                    }
+                };
+                list.meta[set_idx] = meta;
+                if self.opts.wave {
+                    if let Some(pw) = parent_way[ai] {
+                        lower[li - 1].lists[ai].ways[pw].wave = n as u32;
+                    }
+                }
+                parent_way[ai] = Some(set_idx * assoc + n);
+            }
+            level.mra[set_idx] = block;
+        }
+        self.parent_way = parent_way;
+    }
+
+    /// Snapshot of the per-configuration miss counts (associativity 1 comes
+    /// from the shared direct-mapped accounting).
+    #[must_use]
+    pub fn results(&self) -> AllAssocResults {
+        let misses = self
+            .levels
+            .iter()
+            .map(|l| {
+                let mut row = Vec::with_capacity(self.assoc_list.len());
+                row.push(l.dm_misses);
+                row.extend_from_slice(&l.misses);
+                row
+            })
+            .collect();
+        AllAssocResults::new(
+            self.pass,
+            self.counters.accesses,
+            self.assoc_list.clone(),
+            misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DewTree;
+    use dew_cachesim::{simulate_trace, CacheConfig, Replacement};
+
+    fn addrs(n: usize, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if i % 6 == 0 {
+                    x % (1 << 12)
+                } else {
+                    (x % 90) * 4
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_for_every_assoc_and_set_count() {
+        let a = addrs(3000, 0xA5A5);
+        let mut tree = MultiAssocTree::new(2, 0, 5, 8, DewOptions::default()).expect("valid");
+        for &x in &a {
+            tree.step(x);
+        }
+        let r = tree.results();
+        let records: Vec<Record> = a.iter().map(|&x| Record::read(x)).collect();
+        for set_bits in 0..=5u32 {
+            for assoc in [1u32, 2, 4, 8] {
+                let sets = 1 << set_bits;
+                let config =
+                    CacheConfig::new(sets, assoc, 4, Replacement::Fifo).expect("valid");
+                let expected = simulate_trace(config, &records).misses();
+                assert_eq!(r.misses(sets, assoc), Some(expected), "sets={sets} assoc={assoc}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_separate_dew_trees_and_saves_mra_work() {
+        let a = addrs(4000, 0x77);
+        let mut multi = MultiAssocTree::new(2, 0, 8, 16, DewOptions::default()).expect("valid");
+        for &x in &a {
+            multi.step(x);
+        }
+        let mr = multi.results();
+
+        let mut separate_comparisons = 0;
+        for assoc in [2u32, 4, 8, 16] {
+            let pass = PassConfig::new(2, 0, 8, assoc).expect("valid");
+            let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+            for &x in &a {
+                tree.step(x);
+            }
+            separate_comparisons += tree.counters().tag_comparisons;
+            let r = tree.results();
+            for set_bits in 0..=8u32 {
+                let sets = 1 << set_bits;
+                assert_eq!(mr.misses(sets, assoc), r.misses(sets, assoc), "assoc={assoc}");
+                assert_eq!(mr.misses(sets, 1), r.misses(sets, 1), "DM via assoc={assoc}");
+            }
+        }
+        assert!(
+            multi.counters().tag_comparisons < separate_comparisons,
+            "sharing the walk and MRA must cut total comparisons: {} vs {}",
+            multi.counters().tag_comparisons,
+            separate_comparisons
+        );
+    }
+
+    #[test]
+    fn options_do_not_change_results() {
+        let a = addrs(2000, 0x99);
+        let mut reference = None;
+        for opts in DewOptions::ablation_grid(TreePolicy::Fifo) {
+            let mut tree = MultiAssocTree::new(2, 0, 4, 4, opts).expect("valid");
+            for &x in &a {
+                tree.step(x);
+            }
+            let r = tree.results();
+            match &reference {
+                None => reference = Some(r),
+                Some(expected) => assert_eq!(&r, expected, "{opts}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lru_options_are_rejected() {
+        assert!(matches!(
+            MultiAssocTree::new(2, 0, 4, 4, DewOptions::lru()),
+            Err(DewError::UnsoundOptions(_))
+        ));
+    }
+
+    #[test]
+    fn assoc_one_only_still_works() {
+        let a = addrs(1000, 0x11);
+        let mut tree = MultiAssocTree::new(2, 0, 4, 1, DewOptions::default()).expect("valid");
+        for &x in &a {
+            tree.step(x);
+        }
+        let r = tree.results();
+        let records: Vec<Record> = a.iter().map(|&x| Record::read(x)).collect();
+        for set_bits in 0..=4u32 {
+            let sets = 1 << set_bits;
+            let config = CacheConfig::new(sets, 1, 4, Replacement::Fifo).expect("valid");
+            let expected = simulate_trace(config, &records).misses();
+            assert_eq!(r.misses(sets, 1), Some(expected));
+        }
+    }
+}

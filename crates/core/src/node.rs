@@ -1,0 +1,82 @@
+//! Per-node storage of the simulation forest.
+//!
+//! The paper's layout (Section 5): each tag-list entry holds a tag and a wave
+//! pointer; each tree node additionally holds the MRA tag, the MRE tag and
+//! the MRE entry's wave pointer. Per node that is `96 + 64·A` bits in the
+//! paper's 32-bit implementation; this crate widens tags to 64 bits (see
+//! `DESIGN.md`, substitutions).
+//!
+//! Nodes are stored flat per forest level: a `Vec<NodeMeta>` for the scalar
+//! fields plus a `Vec<WayEntry>` of `num_sets × assoc` tag-list entries, so a
+//! node's tag list is the slice `ways[idx*assoc .. (idx+1)*assoc]`.
+
+/// Sentinel for "no tag": cold MRA/MRE entries and invalid ways.
+///
+/// Block numbers are bounded by the `max_set_bits + block_bits <= 58`
+/// validation in [`crate::PassConfig::new`] plus a runtime assert in
+/// `step`, so real tags can never equal the sentinel.
+pub(crate) const INVALID_TAG: u64 = u64::MAX;
+
+/// Sentinel for an "empty" wave pointer (paper Algorithm 2, line 7).
+pub(crate) const EMPTY_WAVE: u32 = u32::MAX;
+
+/// One tag-list entry: the resident tag plus its wave pointer into the
+/// child node on the tag's own path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WayEntry {
+    /// The resident block number, or [`INVALID_TAG`].
+    pub tag: u64,
+    /// Way position this tag occupied in the child node when last handled
+    /// there, or [`EMPTY_WAVE`].
+    pub wave: u32,
+}
+
+impl WayEntry {
+    pub(crate) const EMPTY: WayEntry = WayEntry { tag: INVALID_TAG, wave: EMPTY_WAVE };
+}
+
+/// The scalar per-node state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct NodeMeta {
+    /// Most Recently Accessed tag: the last block *handled* at this node.
+    /// Doubles as the content of the direct-mapped cache's set (Property 2).
+    pub mra: u64,
+    /// Most Recently Evicted tag (Property 4), or [`INVALID_TAG`].
+    pub mre: u64,
+    /// Wave pointer preserved alongside the MRE tag (Algorithm 2, line 8).
+    pub mre_wave: u32,
+    /// FIFO round-robin pointer: the way holding the least recently inserted
+    /// block (equivalently, during cold fill, the next empty way).
+    pub fifo_ptr: u32,
+    /// Number of valid ways. Ways fill in physical order, so the valid
+    /// entries are always the prefix `ways[..valid]`.
+    pub valid: u32,
+}
+
+impl NodeMeta {
+    pub(crate) const EMPTY: NodeMeta =
+        NodeMeta { mra: INVALID_TAG, mre: INVALID_TAG, mre_wave: EMPTY_WAVE, fifo_ptr: 0, valid: 0 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_constants_are_cold() {
+        assert_eq!(WayEntry::EMPTY.tag, INVALID_TAG);
+        assert_eq!(WayEntry::EMPTY.wave, EMPTY_WAVE);
+        let m = NodeMeta::EMPTY;
+        assert_eq!(m.mra, INVALID_TAG);
+        assert_eq!(m.mre, INVALID_TAG);
+        assert_eq!(m.valid, 0);
+        assert_eq!(m.fifo_ptr, 0);
+    }
+
+    #[test]
+    fn storage_is_compact() {
+        // The flat layout relies on these staying small.
+        assert_eq!(std::mem::size_of::<WayEntry>(), 16);
+        assert!(std::mem::size_of::<NodeMeta>() <= 32);
+    }
+}

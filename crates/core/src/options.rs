@@ -1,0 +1,210 @@
+//! Simulation options: replacement policy of the simulated caches and the
+//! per-property toggles used for the paper's Table 4 ablation.
+
+use std::fmt;
+
+use crate::space::DewError;
+
+/// Replacement policy simulated by a DEW tree's tag lists.
+///
+/// The paper's target is [`TreePolicy::Fifo`]. [`TreePolicy::Lru`] exercises
+/// the paper's Section 2.1 remark that DEW "can simulate caches with the LRU
+/// replacement policy, but will typically be slower" than LRU-specialised
+/// methods: under LRU the MRA early termination must stay off (recency state
+/// below the stop level would go stale), so every request walks all levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TreePolicy {
+    /// First-in first-out tag lists (the paper's subject).
+    #[default]
+    Fifo,
+    /// Least-recently-used tag lists (supported but slower; see above).
+    Lru,
+}
+
+impl fmt::Display for TreePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreePolicy::Fifo => f.write_str("fifo"),
+            TreePolicy::Lru => f.write_str("lru"),
+        }
+    }
+}
+
+/// Per-property toggles for DEW's optimisations (paper Section 3.2).
+///
+/// The properties are pure *optimisations*: disabling any combination must
+/// not change the simulated miss counts, only the amount of work performed —
+/// an invariant the test-suite checks exhaustively. All properties default to
+/// enabled.
+///
+/// * `mra_stop` — Property 2: when the requested tag equals a node's MRA tag,
+///   stop the walk and count hits for every larger set count.
+/// * `wave` — Property 3: use (and maintain) wave pointers to decide hit or
+///   miss with one comparison instead of a tag-list search.
+/// * `mre` — Property 4: use (and maintain) the most-recently-evicted entry
+///   to decide misses without a search, and to preserve wave pointers across
+///   evict/re-insert cycles.
+/// * `dup_elision` — *extension* (off by default): skip a request whose
+///   block equals the immediately preceding request's block, in the spirit
+///   of Tojo et al.'s CRCB enhancements, whose "findings … are also true for
+///   FIFO replacement policy" (paper Section 2). Sound for both policies: a
+///   repeated block hits at every level, FIFO hits change nothing, and the
+///   LRU recency order within every set is unaffected because no other block
+///   intervened.
+///
+/// # Examples
+///
+/// ```
+/// use dew_core::DewOptions;
+///
+/// let all_on = DewOptions::default();
+/// assert!(all_on.mra_stop && all_on.wave && all_on.mre);
+/// assert!(!all_on.dup_elision, "the CRCB-style extension is opt-in");
+///
+/// // Property-1-only DEW: the "unoptimized" baseline of Table 4.
+/// let plain = DewOptions::unoptimized();
+/// assert!(!plain.mra_stop && !plain.wave && !plain.mre);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DewOptions {
+    /// Property 2: MRA early termination (and free direct-mapped results).
+    pub mra_stop: bool,
+    /// Property 3: wave pointers.
+    pub wave: bool,
+    /// Property 4: most-recently-evicted entry.
+    pub mre: bool,
+    /// CRCB-style consecutive-duplicate elision (extension, off by default).
+    pub dup_elision: bool,
+    /// Replacement policy of the simulated tag lists.
+    pub policy: TreePolicy,
+}
+
+impl Default for DewOptions {
+    fn default() -> Self {
+        DewOptions {
+            mra_stop: true,
+            wave: true,
+            mre: true,
+            dup_elision: false,
+            policy: TreePolicy::Fifo,
+        }
+    }
+}
+
+impl DewOptions {
+    /// All properties enabled, FIFO policy (the paper's configuration).
+    #[must_use]
+    pub fn new() -> Self {
+        DewOptions::default()
+    }
+
+    /// Only Property 1 (the binomial tree) — every node on the path is
+    /// evaluated with a full search. Table 4's worst-case baseline.
+    #[must_use]
+    pub fn unoptimized() -> Self {
+        DewOptions {
+            mra_stop: false,
+            wave: false,
+            mre: false,
+            dup_elision: false,
+            policy: TreePolicy::Fifo,
+        }
+    }
+
+    /// All sound properties enabled for LRU tag lists (the MRA early stop is
+    /// off, as required; wave pointers and MRE remain sound under LRU because
+    /// blocks never move between ways while resident).
+    #[must_use]
+    pub fn lru() -> Self {
+        DewOptions {
+            mra_stop: false,
+            wave: true,
+            mre: true,
+            dup_elision: false,
+            policy: TreePolicy::Lru,
+        }
+    }
+
+    /// Checks the combination for soundness.
+    ///
+    /// # Errors
+    ///
+    /// [`DewError::UnsoundOptions`] when `mra_stop` is combined with
+    /// [`TreePolicy::Lru`].
+    pub fn validate(&self) -> Result<(), DewError> {
+        if self.mra_stop && self.policy == TreePolicy::Lru {
+            return Err(DewError::UnsoundOptions(
+                "the MRA early stop would leave LRU recency state stale at larger set counts",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Enumerates the 8 on/off combinations of the three properties at a
+    /// given policy, skipping unsound ones (used by the ablation bench).
+    #[must_use]
+    pub fn ablation_grid(policy: TreePolicy) -> Vec<DewOptions> {
+        let mut grid = Vec::new();
+        for bits in 0..8u8 {
+            let opts = DewOptions {
+                mra_stop: bits & 1 != 0,
+                wave: bits & 2 != 0,
+                mre: bits & 4 != 0,
+                dup_elision: false,
+                policy,
+            };
+            if opts.validate().is_ok() {
+                grid.push(opts);
+            }
+        }
+        grid
+    }
+}
+
+impl fmt::Display for DewOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[mra:{} wave:{} mre:{}{}]",
+            self.policy,
+            if self.mra_stop { "on" } else { "off" },
+            if self.wave { "on" } else { "off" },
+            if self.mre { "on" } else { "off" },
+            if self.dup_elision { " dup-elision" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_everything() {
+        let o = DewOptions::new();
+        assert!(o.mra_stop && o.wave && o.mre);
+        assert_eq!(o.policy, TreePolicy::Fifo);
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn lru_with_mra_stop_is_rejected() {
+        let o = DewOptions { policy: TreePolicy::Lru, ..DewOptions::default() };
+        assert!(matches!(o.validate(), Err(DewError::UnsoundOptions(_))));
+        assert!(DewOptions::lru().validate().is_ok());
+    }
+
+    #[test]
+    fn ablation_grid_sizes() {
+        assert_eq!(DewOptions::ablation_grid(TreePolicy::Fifo).len(), 8);
+        // LRU drops the 4 combinations with mra_stop on.
+        assert_eq!(DewOptions::ablation_grid(TreePolicy::Lru).len(), 4);
+    }
+
+    #[test]
+    fn display_encodes_toggles() {
+        let s = DewOptions::unoptimized().to_string();
+        assert!(s.contains("mra:off"), "{s}");
+        assert!(s.contains("fifo"), "{s}");
+    }
+}

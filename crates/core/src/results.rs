@@ -1,0 +1,360 @@
+//! Result types: per-level miss counts of a pass and aggregated sweep tables.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::counters::DewCounters;
+use crate::space::PassConfig;
+
+/// Miss counts for one forest level (one simulated set count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelResult {
+    set_bits: u32,
+    misses: u64,
+    dm_misses: u64,
+}
+
+impl LevelResult {
+    pub(crate) fn new(set_bits: u32, misses: u64, dm_misses: u64) -> Self {
+        LevelResult { set_bits, misses, dm_misses }
+    }
+
+    /// `log2` of the set count of this level.
+    #[must_use]
+    pub const fn set_bits(&self) -> u32 {
+        self.set_bits
+    }
+
+    /// The set count of this level.
+    #[must_use]
+    pub const fn sets(&self) -> u32 {
+        1 << self.set_bits
+    }
+
+    /// Misses of the cache with this set count at the pass associativity.
+    #[must_use]
+    pub const fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Misses of the direct-mapped cache with this set count (the free
+    /// associativity-1 results produced by the MRA comparisons).
+    #[must_use]
+    pub const fn dm_misses(&self) -> u64 {
+        self.dm_misses
+    }
+}
+
+/// The complete output of one DEW pass: per-level miss counts for the pass
+/// associativity and for associativity 1.
+///
+/// # Examples
+///
+/// ```
+/// use dew_core::{DewOptions, DewTree, PassConfig};
+/// use dew_trace::Record;
+///
+/// # fn main() -> Result<(), dew_core::DewError> {
+/// let mut tree = DewTree::new(PassConfig::new(2, 0, 3, 4)?, DewOptions::default())?;
+/// for i in 0..100u64 {
+///     tree.step_record(Record::read(i * 4));
+/// }
+/// let results = tree.results();
+/// // A pure streaming workload misses everywhere:
+/// assert_eq!(results.misses(8, 4), Some(100));
+/// assert_eq!(results.misses(8, 1), Some(100));
+/// assert_eq!(results.misses(8, 2), None); // not simulated by this pass
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassResults {
+    pass: PassConfig,
+    accesses: u64,
+    levels: Vec<LevelResult>,
+}
+
+impl PassResults {
+    pub(crate) fn new(pass: PassConfig, accesses: u64, levels: Vec<LevelResult>) -> Self {
+        PassResults { pass, accesses, levels }
+    }
+
+    /// The pass this result belongs to.
+    #[must_use]
+    pub fn pass(&self) -> &PassConfig {
+        &self.pass
+    }
+
+    /// Requests simulated.
+    #[must_use]
+    pub const fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Per-level results, smallest set count first.
+    #[must_use]
+    pub fn levels(&self) -> &[LevelResult] {
+        &self.levels
+    }
+
+    /// Miss count of the cache with `sets` sets at `assoc` ways, if this pass
+    /// simulated that combination (`assoc` must be 1 or the pass
+    /// associativity; `sets` must be a simulated power of two).
+    #[must_use]
+    pub fn misses(&self, sets: u32, assoc: u32) -> Option<u64> {
+        if !sets.is_power_of_two() {
+            return None;
+        }
+        let set_bits = sets.trailing_zeros();
+        if set_bits < self.pass.min_set_bits() || set_bits > self.pass.max_set_bits() {
+            return None;
+        }
+        let level = &self.levels[(set_bits - self.pass.min_set_bits()) as usize];
+        if assoc == self.pass.assoc() {
+            Some(level.misses())
+        } else if assoc == 1 {
+            Some(level.dm_misses())
+        } else {
+            None
+        }
+    }
+
+    /// Hit count, complementary to [`PassResults::misses`].
+    #[must_use]
+    pub fn hits(&self, sets: u32, assoc: u32) -> Option<u64> {
+        self.misses(sets, assoc).map(|m| self.accesses - m)
+    }
+
+    /// Miss rate in `0.0..=1.0`; `None` for combinations this pass did not
+    /// simulate, `0.0` for an empty run.
+    #[must_use]
+    pub fn miss_rate(&self, sets: u32, assoc: u32) -> Option<f64> {
+        self.misses(sets, assoc).map(|m| {
+            if self.accesses == 0 {
+                0.0
+            } else {
+                m as f64 / self.accesses as f64
+            }
+        })
+    }
+}
+
+impl fmt::Display for PassResults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pass {} over {} requests:", self.pass, self.accesses)?;
+        for l in &self.levels {
+            writeln!(
+                f,
+                "  sets {:>6}: misses(A={}) {:>10}, misses(A=1) {:>10}",
+                l.sets(),
+                self.pass.assoc(),
+                l.misses(),
+                l.dm_misses()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Miss counts for every `(set count, associativity)` pair produced by a
+/// single pass of an all-associativity simulator ([`crate::lru_tree::LruTreeSimulator`]
+/// or [`crate::MultiAssocTree`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllAssocResults {
+    pass: PassConfig,
+    accesses: u64,
+    assoc_list: Vec<u32>,
+    /// `misses[level][assoc_index]`.
+    misses: Vec<Vec<u64>>,
+}
+
+impl AllAssocResults {
+    pub(crate) fn new(
+        pass: PassConfig,
+        accesses: u64,
+        assoc_list: Vec<u32>,
+        misses: Vec<Vec<u64>>,
+    ) -> Self {
+        debug_assert_eq!(misses.len() as u32, pass.num_levels());
+        debug_assert!(misses.iter().all(|m| m.len() == assoc_list.len()));
+        AllAssocResults { pass, accesses, assoc_list, misses }
+    }
+
+    /// Requests simulated.
+    #[must_use]
+    pub const fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// The simulated associativities, ascending.
+    #[must_use]
+    pub fn assoc_list(&self) -> &[u32] {
+        &self.assoc_list
+    }
+
+    /// Miss count for `sets` sets at `assoc` ways, if simulated.
+    #[must_use]
+    pub fn misses(&self, sets: u32, assoc: u32) -> Option<u64> {
+        if !sets.is_power_of_two() {
+            return None;
+        }
+        let set_bits = sets.trailing_zeros();
+        if set_bits < self.pass.min_set_bits() || set_bits > self.pass.max_set_bits() {
+            return None;
+        }
+        let ai = self.assoc_list.iter().position(|&a| a == assoc)?;
+        Some(self.misses[(set_bits - self.pass.min_set_bits()) as usize][ai])
+    }
+
+    /// Miss rate for `sets` sets at `assoc` ways, if simulated.
+    #[must_use]
+    pub fn miss_rate(&self, sets: u32, assoc: u32) -> Option<f64> {
+        self.misses(sets, assoc).map(|m| {
+            if self.accesses == 0 {
+                0.0
+            } else {
+                m as f64 / self.accesses as f64
+            }
+        })
+    }
+}
+
+/// One fully-specified configuration result inside a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigResult {
+    /// Number of sets.
+    pub sets: u32,
+    /// Associativity.
+    pub assoc: u32,
+    /// Block size in bytes.
+    pub block_bytes: u32,
+    /// Total misses over the trace.
+    pub misses: u64,
+}
+
+impl ConfigResult {
+    /// Total cache capacity in bytes.
+    #[must_use]
+    pub const fn total_bytes(&self) -> u64 {
+        self.sets as u64 * self.assoc as u64 * self.block_bytes as u64
+    }
+}
+
+/// Aggregated results of a multi-pass sweep over a configuration space.
+///
+/// Built by [`crate::sweep_trace`]; maps every `(sets, assoc, block)` of the
+/// space to its exact miss count, and retains the per-pass work counters.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    accesses: u64,
+    misses: HashMap<(u32, u32, u32), u64>,
+    passes: Vec<(PassConfig, DewCounters)>,
+}
+
+impl SweepOutcome {
+    pub(crate) fn new(
+        accesses: u64,
+        misses: HashMap<(u32, u32, u32), u64>,
+        passes: Vec<(PassConfig, DewCounters)>,
+    ) -> Self {
+        SweepOutcome { accesses, misses, passes }
+    }
+
+    /// Requests in the swept trace.
+    #[must_use]
+    pub const fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Number of configurations with results.
+    #[must_use]
+    pub fn config_count(&self) -> usize {
+        self.misses.len()
+    }
+
+    /// Miss count for `(sets, assoc, block_bytes)`, if in the swept space.
+    #[must_use]
+    pub fn misses(&self, sets: u32, assoc: u32, block_bytes: u32) -> Option<u64> {
+        self.misses.get(&(sets, assoc, block_bytes)).copied()
+    }
+
+    /// Miss rate for `(sets, assoc, block_bytes)`, if in the swept space.
+    #[must_use]
+    pub fn miss_rate(&self, sets: u32, assoc: u32, block_bytes: u32) -> Option<f64> {
+        self.misses(sets, assoc, block_bytes).map(|m| {
+            if self.accesses == 0 {
+                0.0
+            } else {
+                m as f64 / self.accesses as f64
+            }
+        })
+    }
+
+    /// Iterates every configuration result, in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = ConfigResult> + '_ {
+        self.misses.iter().map(|(&(sets, assoc, block_bytes), &misses)| ConfigResult {
+            sets,
+            assoc,
+            block_bytes,
+            misses,
+        })
+    }
+
+    /// Every configuration result, sorted by (block, assoc, sets) for stable
+    /// reporting.
+    #[must_use]
+    pub fn sorted(&self) -> Vec<ConfigResult> {
+        let mut v: Vec<ConfigResult> = self.iter().collect();
+        v.sort_by_key(|c| (c.block_bytes, c.assoc, c.sets));
+        v
+    }
+
+    /// The per-pass work counters, in pass order.
+    #[must_use]
+    pub fn passes(&self) -> &[(PassConfig, DewCounters)] {
+        &self.passes
+    }
+
+    /// Sum of all passes' work counters.
+    #[must_use]
+    pub fn total_counters(&self) -> DewCounters {
+        self.passes.iter().fold(DewCounters::new(), |acc, (_, c)| acc + *c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_result_capacity() {
+        let c = ConfigResult { sets: 64, assoc: 4, block_bytes: 16, misses: 0 };
+        assert_eq!(c.total_bytes(), 4096);
+    }
+
+    #[test]
+    fn sweep_outcome_lookup_and_sort() {
+        let mut m = HashMap::new();
+        m.insert((1u32, 1u32, 4u32), 10u64);
+        m.insert((2, 1, 4), 8);
+        m.insert((1, 2, 4), 9);
+        let o = SweepOutcome::new(100, m, Vec::new());
+        assert_eq!(o.misses(2, 1, 4), Some(8));
+        assert_eq!(o.misses(4, 1, 4), None);
+        assert_eq!(o.miss_rate(1, 1, 4), Some(0.1));
+        assert_eq!(o.config_count(), 3);
+        let sorted = o.sorted();
+        assert_eq!(sorted.len(), 3);
+        assert!(sorted.windows(2).all(|w| {
+            (w[0].block_bytes, w[0].assoc, w[0].sets) <= (w[1].block_bytes, w[1].assoc, w[1].sets)
+        }));
+    }
+
+    #[test]
+    fn empty_outcome_miss_rate_is_zero() {
+        let mut m = HashMap::new();
+        m.insert((1u32, 1u32, 4u32), 0u64);
+        let o = SweepOutcome::new(0, m, Vec::new());
+        assert_eq!(o.miss_rate(1, 1, 4), Some(0.0));
+    }
+}

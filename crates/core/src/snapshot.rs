@@ -1,0 +1,162 @@
+//! Checkpointing support: serialise a [`crate::DewTree`]'s complete state to
+//! bytes and restore it later.
+//!
+//! Real traces are long (the paper's MPEG2 encode trace has 3.7 billion
+//! requests); checkpoints let a simulation be split across batch jobs, saved
+//! before the interesting region of a trace, or shipped between machines.
+//! The format is a versioned little-endian dump of the forest — geometry and
+//! options are embedded, so a snapshot is self-describing:
+//!
+//! ```text
+//! magic  b"DEWS"
+//! version u8 (currently 1)
+//! pass    block_bits, min_set_bits, max_set_bits, assoc   (u32 each)
+//! opts    flags u8 (bit0 mra_stop, 1 wave, 2 mre, 3 dup_elision, 4 lru)
+//! state   counters (10 × u64), now, prev_block
+//! levels  per level: misses, dm_misses, node metadata, way entries,
+//!         last-access times (LRU only) — sizes derived from the pass
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use dew_core::{DewOptions, DewTree, PassConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pass = PassConfig::new(2, 0, 4, 2)?;
+//! let mut tree = DewTree::new(pass, DewOptions::default())?;
+//! for a in 0..1000u64 {
+//!     tree.step(a * 4 % 512);
+//! }
+//! let snapshot = tree.to_snapshot();
+//!
+//! let mut restored = DewTree::from_snapshot(&snapshot)?;
+//! restored.step(0x40); // continues exactly where `tree` would
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// File magic of the snapshot format.
+pub const MAGIC: [u8; 4] = *b"DEWS";
+/// Current snapshot format version.
+pub const VERSION: u8 = 1;
+
+/// Errors restoring a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with the snapshot magic.
+    BadMagic,
+    /// The snapshot was written by an unsupported format version.
+    UnsupportedVersion(u8),
+    /// The buffer ended before the state was complete, or geometry fields
+    /// were invalid.
+    Corrupt(&'static str),
+    /// Trailing bytes after the complete state.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a dew snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after snapshot state")
+            }
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+/// A little-endian byte reader over a snapshot buffer.
+#[derive(Debug)]
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Corrupt("unexpected end of snapshot"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
+/// Little-endian append helpers for the writer side.
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_reads_what_writers_wrote() {
+        let mut buf = Vec::new();
+        buf.push(7u8);
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, u64::MAX - 1);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.u8().expect("u8"), 7);
+        assert_eq!(c.u32().expect("u32"), 0xdead_beef);
+        assert_eq!(c.u64().expect("u64"), u64::MAX - 1);
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn cursor_detects_truncation() {
+        let buf = [1u8, 2, 3];
+        let mut c = Cursor::new(&buf);
+        assert!(c.u32().is_err());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            SnapshotError::BadMagic,
+            SnapshotError::UnsupportedVersion(3),
+            SnapshotError::Corrupt("x"),
+            SnapshotError::TrailingBytes(9),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

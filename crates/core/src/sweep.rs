@@ -1,0 +1,195 @@
+//! Multi-pass sweep driver: cover a whole [`ConfigSpace`] with the minimal
+//! set of DEW passes, optionally in parallel.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dew_trace::Record;
+
+use crate::counters::DewCounters;
+use crate::options::DewOptions;
+use crate::results::{PassResults, SweepOutcome};
+use crate::space::{ConfigSpace, DewError};
+use crate::tree::DewTree;
+
+/// Simulates every configuration of `space` over `records`, running one DEW
+/// pass per `(block size, associativity)` pair (associativity-1 results ride
+/// along with every pass, per the paper).
+///
+/// `threads == 0` selects the machine's available parallelism; passes are
+/// independent, so they distribute over a simple work queue. Results are
+/// deterministic regardless of the thread count.
+///
+/// # Errors
+///
+/// [`DewError::UnsoundOptions`] when `options` fails validation.
+///
+/// # Panics
+///
+/// Panics if two passes of the same block size disagree on the
+/// associativity-1 miss counts — an internal consistency failure that the
+/// exactness tests rule out.
+///
+/// # Examples
+///
+/// ```
+/// use dew_core::{sweep_trace, ConfigSpace, DewOptions};
+/// use dew_trace::Record;
+///
+/// # fn main() -> Result<(), dew_core::DewError> {
+/// let space = ConfigSpace::new((0, 4), (2, 4), (0, 2))?;
+/// let trace: Vec<Record> = (0..500u64).map(|i| Record::read((i % 97) * 4)).collect();
+/// let outcome = sweep_trace(&space, &trace, DewOptions::default(), 1)?;
+/// assert_eq!(outcome.config_count() as u64, space.config_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep_trace(
+    space: &ConfigSpace,
+    records: &[Record],
+    options: DewOptions,
+    threads: usize,
+) -> Result<SweepOutcome, DewError> {
+    options.validate()?;
+    let passes = space.passes();
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+    .min(passes.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, PassResults, DewCounters)>> =
+        Mutex::new(Vec::with_capacity(passes.len()));
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(pass) = passes.get(i) else { break };
+                let mut tree =
+                    DewTree::new(*pass, options).expect("pass and options validated above");
+                for r in records {
+                    tree.step(r.addr);
+                }
+                let results = tree.results();
+                let counters = *tree.counters();
+                collected
+                    .lock()
+                    .expect("no worker panics while holding the lock")
+                    .push((i, results, counters));
+            });
+        }
+    });
+
+    let mut collected = collected.into_inner().expect("workers joined");
+    collected.sort_by_key(|(i, ..)| *i);
+
+    let include_dm = space.assoc_bits().0 == 0;
+    let mut misses: HashMap<(u32, u32, u32), u64> = HashMap::new();
+    let mut dm_seen: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut pass_counters = Vec::with_capacity(collected.len());
+    for (_, results, counters) in &collected {
+        let pass = results.pass();
+        for level in results.levels() {
+            let key = (level.sets(), pass.assoc(), pass.block_bytes());
+            misses.insert(key, level.misses());
+            if include_dm {
+                // Every pass of a block size re-derives the same DM results;
+                // cross-check them (a free internal consistency oracle).
+                let prev = dm_seen.insert((level.sets(), pass.block_bytes()), level.dm_misses());
+                if let Some(prev) = prev {
+                    assert_eq!(
+                        prev,
+                        level.dm_misses(),
+                        "passes disagree on DM misses at sets={} block={}",
+                        level.sets(),
+                        pass.block_bytes()
+                    );
+                }
+                misses.insert((level.sets(), 1, pass.block_bytes()), level.dm_misses());
+            }
+        }
+        pass_counters.push((*pass, *counters));
+    }
+
+    Ok(SweepOutcome::new(records.len() as u64, misses, pass_counters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dew_cachesim::{simulate_trace, CacheConfig, Replacement};
+
+    fn trace(n: usize) -> Vec<Record> {
+        let mut x = 0x9E37_79B9u64;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let addr = if i % 5 == 0 { x % (1 << 12) } else { (x % 96) * 4 };
+                Record::read(addr)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_covers_every_config_exactly() {
+        let space = ConfigSpace::new((0, 4), (0, 2), (0, 2)).expect("valid");
+        let records = trace(1200);
+        let outcome = sweep_trace(&space, &records, DewOptions::default(), 2).expect("sweep");
+        assert_eq!(outcome.config_count() as u64, space.config_count());
+        assert_eq!(outcome.accesses(), 1200);
+        for (sets, assoc, block) in space.configs() {
+            let expected = simulate_trace(
+                CacheConfig::new(sets, assoc, block, Replacement::Fifo).expect("valid"),
+                &records,
+            )
+            .misses();
+            assert_eq!(
+                outcome.misses(sets, assoc, block),
+                Some(expected),
+                "({sets},{assoc},{block})"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let space = ConfigSpace::new((0, 5), (0, 3), (0, 3)).expect("valid");
+        let records = trace(800);
+        let seq = sweep_trace(&space, &records, DewOptions::default(), 1).expect("sweep");
+        let par = sweep_trace(&space, &records, DewOptions::default(), 0).expect("sweep");
+        let mut a = seq.sorted();
+        let mut b = par.sorted();
+        a.sort_by_key(|c| (c.block_bytes, c.assoc, c.sets));
+        b.sort_by_key(|c| (c.block_bytes, c.assoc, c.sets));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unsound_options_rejected() {
+        let space = ConfigSpace::new((0, 2), (0, 0), (0, 1)).expect("valid");
+        let opts = DewOptions {
+            policy: crate::options::TreePolicy::Lru,
+            ..DewOptions::default()
+        };
+        assert!(sweep_trace(&space, &[], opts, 1).is_err());
+    }
+
+    #[test]
+    fn counters_reported_per_pass() {
+        let space = ConfigSpace::new((0, 3), (1, 2), (0, 1)).expect("valid");
+        let records = trace(300);
+        let outcome = sweep_trace(&space, &records, DewOptions::default(), 1).expect("sweep");
+        assert_eq!(outcome.passes().len(), space.passes().len());
+        for (_, c) in outcome.passes() {
+            assert_eq!(c.accesses, 300);
+            assert!(c.is_consistent());
+        }
+        assert_eq!(outcome.total_counters().accesses, 300 * outcome.passes().len() as u64);
+    }
+}

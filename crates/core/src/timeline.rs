@@ -1,0 +1,256 @@
+//! Windowed miss-rate timelines: program-phase behaviour from a single pass.
+//!
+//! Because a [`DewTree`] holds exact running miss counts for every set count,
+//! snapshotting them every `window` requests yields the **miss-rate time
+//! series of every configuration simultaneously** — the phase-behaviour view
+//! used when sizing caches for multi-phase embedded applications, at no
+//! extra simulation cost beyond the snapshots.
+//!
+//! # Examples
+//!
+//! ```
+//! use dew_core::{DewOptions, MissTimeline, PassConfig};
+//! use dew_trace::Record;
+//!
+//! # fn main() -> Result<(), dew_core::DewError> {
+//! let pass = PassConfig::new(2, 0, 6, 2)?;
+//! let records: Vec<Record> = (0..40_000u64)
+//!     .map(|i| {
+//!         // two phases: a tiny loop, then a streaming scan
+//!         if i < 20_000 { Record::read((i % 32) * 4) } else { Record::read(i * 4) }
+//!     })
+//!     .collect();
+//! let timeline = MissTimeline::collect(pass, DewOptions::default(), &records, 2_000)?;
+//! let series = timeline.series(64, 2).expect("simulated");
+//! let (head, tail) = (series[2], series[series.len() - 2]);
+//! assert!(tail > head + 0.5, "the phase change is visible: {head} -> {tail}");
+//! # Ok(())
+//! # }
+//! ```
+
+use dew_trace::Record;
+
+use crate::options::DewOptions;
+use crate::results::PassResults;
+use crate::space::{DewError, PassConfig};
+use crate::tree::DewTree;
+
+/// Per-window miss deltas for every simulated configuration of a pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Requests covered by this window (the last window may be shorter).
+    pub requests: u64,
+    /// Miss deltas per level, `(sets, assoc_misses, dm_misses)`.
+    pub misses: Vec<(u32, u64, u64)>,
+}
+
+/// A windowed miss timeline produced by [`MissTimeline::collect`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissTimeline {
+    pass: PassConfig,
+    window: u64,
+    samples: Vec<WindowSample>,
+    final_results: PassResults,
+}
+
+impl MissTimeline {
+    /// Runs one DEW pass over `records`, snapshotting every `window`
+    /// requests.
+    ///
+    /// # Errors
+    ///
+    /// [`DewError`] as from [`DewTree::new`], plus
+    /// [`DewError::EmptySetRange`] is never produced here — a zero `window`
+    /// yields one single sample covering everything.
+    pub fn collect(
+        pass: PassConfig,
+        options: DewOptions,
+        records: &[Record],
+        window: u64,
+    ) -> Result<Self, DewError> {
+        let mut tree = DewTree::new(pass, options)?;
+        let window = if window == 0 { records.len() as u64 } else { window };
+        let mut samples = Vec::new();
+        let mut prev: Option<PassResults> = None;
+        let mut in_window = 0u64;
+        let mut snapshot = |tree: &DewTree, prev: &mut Option<PassResults>, n: u64| {
+            let now = tree.results();
+            let misses = now
+                .levels()
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    let (pa, pd) = prev
+                        .as_ref()
+                        .map_or((0, 0), |p| (p.levels()[i].misses(), p.levels()[i].dm_misses()));
+                    (l.sets(), l.misses() - pa, l.dm_misses() - pd)
+                })
+                .collect();
+            samples.push(WindowSample { requests: n, misses });
+            *prev = Some(now);
+        };
+        for r in records {
+            tree.step(r.addr);
+            in_window += 1;
+            if in_window == window {
+                snapshot(&tree, &mut prev, in_window);
+                in_window = 0;
+            }
+        }
+        if in_window > 0 {
+            snapshot(&tree, &mut prev, in_window);
+        }
+        Ok(MissTimeline { pass, window, samples, final_results: tree.results() })
+    }
+
+    /// The window length requested.
+    #[must_use]
+    pub const fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The per-window samples, in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[WindowSample] {
+        &self.samples
+    }
+
+    /// The whole run's final results (identical to an unwindowed pass).
+    #[must_use]
+    pub fn final_results(&self) -> &PassResults {
+        &self.final_results
+    }
+
+    /// Per-window miss *rate* series for one configuration; `None` when the
+    /// pass did not simulate `(sets, assoc)`.
+    #[must_use]
+    pub fn series(&self, sets: u32, assoc: u32) -> Option<Vec<f64>> {
+        if !sets.is_power_of_two() {
+            return None;
+        }
+        let set_bits = sets.trailing_zeros();
+        if set_bits < self.pass.min_set_bits() || set_bits > self.pass.max_set_bits() {
+            return None;
+        }
+        let idx = (set_bits - self.pass.min_set_bits()) as usize;
+        let pick: fn(&(u32, u64, u64)) -> u64 = if assoc == 1 {
+            |t| t.2
+        } else if assoc == self.pass.assoc() {
+            |t| t.1
+        } else {
+            return None;
+        };
+        Some(
+            self.samples
+                .iter()
+                .map(|s| {
+                    if s.requests == 0 {
+                        0.0
+                    } else {
+                        pick(&s.misses[idx]) as f64 / s.requests as f64
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Window indices where the miss rate of `(sets, assoc)` changes by more
+    /// than `threshold` (absolute) against the previous window — a simple
+    /// phase-change detector.
+    #[must_use]
+    pub fn phase_changes(&self, sets: u32, assoc: u32, threshold: f64) -> Option<Vec<usize>> {
+        let series = self.series(sets, assoc)?;
+        Some(
+            series
+                .windows(2)
+                .enumerate()
+                .filter(|(_, w)| (w[1] - w[0]).abs() > threshold)
+                .map(|(i, _)| i + 1)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_phase_records() -> Vec<Record> {
+        (0..30_000u64)
+            .map(|i| {
+                if i < 15_000 {
+                    Record::read((i % 64) * 4) // hot loop
+                } else {
+                    Record::read(0x10_0000 + i * 4) // cold stream
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn windows_partition_the_run_exactly() {
+        let records = two_phase_records();
+        let pass = PassConfig::new(2, 0, 5, 2).expect("valid");
+        let t = MissTimeline::collect(pass, DewOptions::default(), &records, 4_000)
+            .expect("collect");
+        let total: u64 = t.samples().iter().map(|s| s.requests).sum();
+        assert_eq!(total, records.len() as u64);
+        assert_eq!(t.samples().len(), 8, "7 full windows + 1 remainder");
+        assert_eq!(t.samples()[7].requests, 2_000);
+        // Summed deltas equal the final counts.
+        for (i, level) in t.final_results().levels().iter().enumerate() {
+            let sum: u64 = t.samples().iter().map(|s| s.misses[i].1).sum();
+            assert_eq!(sum, level.misses());
+        }
+    }
+
+    #[test]
+    fn phase_change_is_detected() {
+        let records = two_phase_records();
+        let pass = PassConfig::new(2, 0, 6, 2).expect("valid");
+        let t =
+            MissTimeline::collect(pass, DewOptions::default(), &records, 1_000).expect("collect");
+        let changes = t.phase_changes(64, 2, 0.3).expect("simulated");
+        // The single real transition sits at window 15 (request 15,000).
+        assert!(
+            changes.iter().any(|&w| (14..=16).contains(&w)),
+            "expected a change near window 15, got {changes:?}"
+        );
+        assert!(changes.len() <= 3, "no spurious flapping: {changes:?}");
+    }
+
+    #[test]
+    fn zero_window_gives_one_sample() {
+        let records = two_phase_records();
+        let pass = PassConfig::new(2, 0, 3, 2).expect("valid");
+        let t =
+            MissTimeline::collect(pass, DewOptions::default(), &records, 0).expect("collect");
+        assert_eq!(t.samples().len(), 1);
+        let series = t.series(8, 2).expect("simulated");
+        assert_eq!(series.len(), 1);
+    }
+
+    #[test]
+    fn series_lookup_rules() {
+        let records = two_phase_records();
+        let pass = PassConfig::new(2, 1, 4, 4).expect("valid");
+        let t =
+            MissTimeline::collect(pass, DewOptions::default(), &records, 5_000).expect("collect");
+        assert!(t.series(8, 4).is_some());
+        assert!(t.series(8, 1).is_some(), "DM rides along");
+        assert!(t.series(8, 2).is_none(), "unsimulated associativity");
+        assert!(t.series(1, 4).is_none(), "below the forest");
+        assert!(t.series(6, 4).is_none(), "non power of two");
+    }
+
+    #[test]
+    fn timeline_matches_plain_run() {
+        let records = two_phase_records();
+        let pass = PassConfig::new(2, 0, 5, 2).expect("valid");
+        let t = MissTimeline::collect(pass, DewOptions::default(), &records, 3_000)
+            .expect("collect");
+        let mut plain = DewTree::new(pass, DewOptions::default()).expect("sound");
+        plain.run(records.iter().copied());
+        assert_eq!(t.final_results(), &plain.results());
+    }
+}

@@ -1,0 +1,941 @@
+//! The DEW simulation forest: binomial trees of cache sets with wave
+//! pointers, MRA early termination and MRE victim entries.
+
+use dew_trace::Record;
+
+use crate::counters::DewCounters;
+use crate::node::{NodeMeta, WayEntry, EMPTY_WAVE, INVALID_TAG};
+use crate::options::{DewOptions, TreePolicy};
+use crate::results::{LevelResult, PassResults};
+use crate::space::{DewError, PassConfig};
+
+/// One forest level: all `2^set_bits` sets of the cache with that set count,
+/// stored flat (node `i`'s tag list is `ways[i*assoc .. (i+1)*assoc]`).
+#[derive(Debug, Clone)]
+struct Level {
+    meta: Vec<NodeMeta>,
+    ways: Vec<WayEntry>,
+    /// Per-way last-access time; only populated under [`TreePolicy::Lru`].
+    last_access: Vec<u64>,
+    misses: u64,
+    dm_misses: u64,
+}
+
+impl Level {
+    fn new(num_sets: usize, assoc: usize, lru: bool) -> Self {
+        Level {
+            meta: vec![NodeMeta::EMPTY; num_sets],
+            ways: vec![WayEntry::EMPTY; num_sets * assoc],
+            last_access: if lru { vec![0; num_sets * assoc] } else { Vec::new() },
+            misses: 0,
+            dm_misses: 0,
+        }
+    }
+}
+
+/// The DEW simulator: one pass over a trace produces exact miss counts for
+/// every simulated set count at the pass associativity *and* at
+/// associativity 1.
+///
+/// # How a request is simulated
+///
+/// A request's block maps to exactly one node per level (its set at that set
+/// count); the nodes form a root-to-leaf path because the set index at level
+/// `l+1` extends the index at level `l` by one address bit. [`DewTree::step`]
+/// walks that path top-down (smallest set count first) and, per node:
+///
+/// 1. compares the **MRA tag** — a match means the block was the last one
+///    handled at this node, so nothing in this set (or any descendant set on
+///    the block's path) has changed since the block was resident: the request
+///    hits *here and at every larger set count*, and the walk stops
+///    (Property 2). The MRA comparison simultaneously yields the
+///    direct-mapped result for this level, because a direct-mapped set always
+///    holds its most recent requester;
+/// 2. otherwise consults the parent entry's **wave pointer**: because FIFO
+///    never moves a resident block between ways, the pointer — refreshed on
+///    every walk — still names the block's way if the block is resident at
+///    all, so one comparison decides hit *or* miss (Property 3);
+/// 3. otherwise compares the **MRE tag**: the most recently evicted block is
+///    certainly absent, so a match decides a miss without a search
+///    (Property 4);
+/// 4. otherwise falls back to searching the tag list.
+///
+/// Hits and misses are then applied with the paper's Algorithm 1/2: a miss
+/// inserts at the FIFO round-robin position; if the victim of an earlier
+/// eviction (held in the MRE entry) is the requested block, the entry is
+/// exchanged back in, preserving its wave pointer across the evict/re-insert
+/// cycle.
+///
+/// ## Why the early stop is sound (Property 2)
+///
+/// Invariant: if a node's MRA tag equals block `T`, then every descendant
+/// node on `T`'s path also has MRA = `T`, and `T` is resident in all of them.
+/// Walks modify MRA top-down along a contiguous prefix of the path, and stop
+/// only at a node whose MRA already equals the request — so a stale
+/// "MRA = T" below a stop point can only be *preserved*, never invalidated,
+/// by requests that stop above it (a stop means a hit everywhere below, and
+/// FIFO hits change nothing). Any request that actually reaches a descendant
+/// overwrites its MRA, breaking the invariant's premise rather than its
+/// conclusion. Exactness against a per-configuration reference simulator is
+/// enforced for every configuration by the test-suite.
+///
+/// # Examples
+///
+/// ```
+/// use dew_core::{DewOptions, DewTree, PassConfig};
+/// use dew_trace::Record;
+///
+/// # fn main() -> Result<(), dew_core::DewError> {
+/// // Set counts 1..=16, 4-way, 4-byte blocks — plus free direct-mapped results.
+/// let pass = PassConfig::new(2, 0, 4, 4)?;
+/// let mut tree = DewTree::new(pass, DewOptions::default())?;
+/// for i in 0..32u64 {
+///     tree.step_record(Record::read((i % 8) * 4));
+/// }
+/// // 8 hot blocks fit a 16-set direct-mapped cache: only compulsory misses.
+/// assert_eq!(tree.results().misses(16, 1), Some(8));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DewTree {
+    pass: PassConfig,
+    opts: DewOptions,
+    levels: Vec<Level>,
+    counters: DewCounters,
+    now: u64,
+    /// Block of the previous request, for the CRCB-style elision extension.
+    prev_block: u64,
+}
+
+impl DewTree {
+    /// Builds an empty forest for `pass` with behaviour `opts`.
+    ///
+    /// # Errors
+    ///
+    /// [`DewError::UnsoundOptions`] when `opts` fails
+    /// [`DewOptions::validate`] (the MRA stop with LRU lists).
+    pub fn new(pass: PassConfig, opts: DewOptions) -> Result<Self, DewError> {
+        opts.validate()?;
+        let lru = opts.policy == TreePolicy::Lru;
+        let assoc = pass.assoc() as usize;
+        let levels = (pass.min_set_bits()..=pass.max_set_bits())
+            .map(|set_bits| Level::new(1usize << set_bits, assoc, lru))
+            .collect();
+        Ok(DewTree {
+            pass,
+            opts,
+            levels,
+            counters: DewCounters::new(),
+            now: 0,
+            prev_block: INVALID_TAG,
+        })
+    }
+
+    /// The pass specification.
+    #[must_use]
+    pub fn pass(&self) -> &PassConfig {
+        &self.pass
+    }
+
+    /// The options in effect.
+    #[must_use]
+    pub fn options(&self) -> &DewOptions {
+        &self.opts
+    }
+
+    /// Requests simulated so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.counters.accesses
+    }
+
+    /// The work counters (Table 3/4 quantities).
+    #[must_use]
+    pub fn counters(&self) -> &DewCounters {
+        &self.counters
+    }
+
+    /// Simulates one request given as a trace record. Only the address
+    /// matters: the paper's simulation is kind-agnostic (every miss
+    /// allocates).
+    pub fn step_record(&mut self, record: Record) {
+        self.step(record.addr);
+    }
+
+    /// Simulates every record of an iterator.
+    pub fn run<I>(&mut self, records: I)
+    where
+        I: IntoIterator<Item = Record>,
+    {
+        for r in records {
+            self.step(r.addr);
+        }
+    }
+
+    /// Simulates one request by byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block number equals the internal sentinel (only possible
+    /// for addresses at the very top of the 64-bit space with tiny blocks;
+    /// real traces validated through [`PassConfig::new`]'s geometry limits
+    /// never reach it).
+    pub fn step(&mut self, addr: u64) {
+        let block = addr >> self.pass.block_bits();
+        assert_ne!(block, INVALID_TAG, "address {addr:#x} exceeds the supported range");
+        self.counters.accesses += 1;
+        self.now += 1;
+        if self.opts.dup_elision && block == self.prev_block {
+            // CRCB-style extension: the block was the previous request, so it
+            // is resident (and MRU) at every level — a hit everywhere with no
+            // state to update under FIFO, and an idempotent recency refresh
+            // under LRU (no other block touched these sets in between).
+            self.counters.duplicate_skips += 1;
+            return;
+        }
+        self.prev_block = block;
+        let assoc = self.pass.assoc() as usize;
+        let lru = self.opts.policy == TreePolicy::Lru;
+        // Global way index (within the previous level) of the entry that
+        // holds `block` after handling — "the parent node's matching entry".
+        let mut parent_way: Option<usize> = None;
+
+        for li in 0..self.levels.len() {
+            let set_bits = self.pass.min_set_bits() + li as u32;
+            let set_idx = if set_bits == 0 { 0 } else { (block & ((1u64 << set_bits) - 1)) as usize };
+
+            self.counters.node_evaluations += 1;
+            self.counters.tag_comparisons += 1; // the MRA comparison
+            let (lower, rest) = self.levels.split_at_mut(li);
+            let level = &mut rest[0];
+            let mut meta = level.meta[set_idx];
+
+            let mra_match = meta.mra == block;
+            if mra_match {
+                if self.opts.mra_stop {
+                    // Property 2: hit here and at every larger set count, for
+                    // the pass associativity and for associativity 1 alike.
+                    self.counters.mra_stops += 1;
+                    return;
+                }
+            } else {
+                // The direct-mapped cache at this level holds its most recent
+                // requester, so an MRA mismatch is exactly a DM miss.
+                level.dm_misses += 1;
+            }
+
+            let ways = &mut level.ways[set_idx * assoc..(set_idx + 1) * assoc];
+
+            // Hit/miss determination: wave pointer, then MRE, then search.
+            let mut determined: Option<Option<usize>> = None;
+            if self.opts.wave {
+                if let Some(pw) = parent_way {
+                    let wave = lower[li - 1].ways[pw].wave;
+                    if wave != EMPTY_WAVE {
+                        // Property 3: a valid wave pointer names the only way
+                        // this block can occupy, so one comparison decides.
+                        self.counters.tag_comparisons += 1;
+                        let w = wave as usize;
+                        debug_assert!(w < assoc, "wave pointer within tag list");
+                        if ways[w].tag == block {
+                            self.counters.wave_hits += 1;
+                            determined = Some(Some(w));
+                        } else {
+                            self.counters.wave_misses += 1;
+                            determined = Some(None);
+                        }
+                    }
+                }
+            }
+            if determined.is_none() && self.opts.mre {
+                // Property 4: the most recently evicted block is certainly
+                // not in the tag list.
+                self.counters.tag_comparisons += 1;
+                if meta.mre == block {
+                    self.counters.mre_misses += 1;
+                    determined = Some(None);
+                }
+            }
+            let found = match determined {
+                Some(f) => f,
+                None => {
+                    self.counters.searches += 1;
+                    let valid = meta.valid as usize;
+                    let mut found = None;
+                    for (i, entry) in ways[..valid].iter().enumerate() {
+                        self.counters.search_comparisons += 1;
+                        self.counters.tag_comparisons += 1;
+                        if entry.tag == block {
+                            found = Some(i);
+                            break;
+                        }
+                    }
+                    found
+                }
+            };
+            debug_assert!(
+                !(mra_match && found.is_none()),
+                "an MRA match implies residency; miss determination is wrong"
+            );
+
+            let n = match found {
+                Some(n) => {
+                    // Algorithm 1: Handle_hit.
+                    meta.mra = block;
+                    if lru {
+                        level.last_access[set_idx * assoc + n] = self.now;
+                    }
+                    n
+                }
+                None => {
+                    // Algorithm 2: Handle_miss.
+                    meta.mra = block;
+                    level.misses += 1;
+                    let n = if lru {
+                        if (meta.valid as usize) < assoc {
+                            meta.valid as usize
+                        } else {
+                            let base = set_idx * assoc;
+                            (0..assoc)
+                                .min_by_key(|&i| level.last_access[base + i])
+                                .expect("assoc >= 1")
+                        }
+                    } else {
+                        // FIFO: the round-robin pointer designates the least
+                        // recently inserted block (or the next empty way).
+                        meta.fifo_ptr as usize
+                    };
+                    if self.opts.mre && meta.mre == block {
+                        // Algorithm 2, line 5: exchange the victim way with
+                        // the MRE entry, restoring the block's preserved wave
+                        // pointer.
+                        debug_assert_eq!(
+                            meta.valid as usize, assoc,
+                            "MRE only holds a tag after an eviction, which requires a full set"
+                        );
+                        std::mem::swap(&mut ways[n].tag, &mut meta.mre);
+                        std::mem::swap(&mut ways[n].wave, &mut meta.mre_wave);
+                    } else {
+                        // Algorithm 2, lines 7-8: fresh insert; the evicted
+                        // entry (tag and wave pointer) moves to the MRE slot.
+                        let evicted = ways[n];
+                        ways[n] = WayEntry { tag: block, wave: EMPTY_WAVE };
+                        if evicted.tag == INVALID_TAG {
+                            meta.valid += 1;
+                        } else if self.opts.mre {
+                            meta.mre = evicted.tag;
+                            meta.mre_wave = evicted.wave;
+                        }
+                    }
+                    if lru {
+                        level.last_access[set_idx * assoc + n] = self.now;
+                    } else {
+                        meta.fifo_ptr = (meta.fifo_ptr + 1) % assoc as u32;
+                    }
+                    n
+                }
+            };
+            level.meta[set_idx] = meta;
+            // Algorithm 1 line 3 / Algorithm 2 line 10: refresh the parent's
+            // matching entry's wave pointer.
+            if self.opts.wave {
+                if let Some(pw) = parent_way {
+                    lower[li - 1].ways[pw].wave = n as u32;
+                }
+            }
+            parent_way = Some(set_idx * assoc + n);
+        }
+    }
+
+    /// Snapshot of the per-level miss counts.
+    #[must_use]
+    pub fn results(&self) -> PassResults {
+        let levels = self
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(li, l)| {
+                LevelResult::new(self.pass.min_set_bits() + li as u32, l.misses, l.dm_misses)
+            })
+            .collect();
+        PassResults::new(self.pass, self.counters.accesses, levels)
+    }
+
+    /// Storage the paper's 32-bit model assigns to this forest:
+    /// `Σ_levels S × (96 + 64·A)` bits (Section 5).
+    #[must_use]
+    pub fn paper_model_bits(&self) -> u64 {
+        let a = u64::from(self.pass.assoc());
+        (self.pass.min_set_bits()..=self.pass.max_set_bits())
+            .map(|sb| (1u64 << sb) * (96 + 64 * a))
+            .sum()
+    }
+
+    /// Serialises the complete simulation state (geometry, options,
+    /// counters, every node) to bytes. See [`crate::snapshot`] for the
+    /// format and the use case.
+    #[must_use]
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        use crate::snapshot::{put_u32, put_u64, MAGIC, VERSION};
+        let mut out = Vec::with_capacity(64 + self.footprint_bytes() * 2);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        put_u32(&mut out, self.pass.block_bits());
+        put_u32(&mut out, self.pass.min_set_bits());
+        put_u32(&mut out, self.pass.max_set_bits());
+        put_u32(&mut out, self.pass.assoc());
+        let flags = u8::from(self.opts.mra_stop)
+            | u8::from(self.opts.wave) << 1
+            | u8::from(self.opts.mre) << 2
+            | u8::from(self.opts.dup_elision) << 3
+            | u8::from(self.opts.policy == TreePolicy::Lru) << 4;
+        out.push(flags);
+        let c = &self.counters;
+        for v in [
+            c.accesses,
+            c.node_evaluations,
+            c.mra_stops,
+            c.wave_hits,
+            c.wave_misses,
+            c.mre_misses,
+            c.searches,
+            c.duplicate_skips,
+            c.search_comparisons,
+            c.tag_comparisons,
+        ] {
+            put_u64(&mut out, v);
+        }
+        put_u64(&mut out, self.now);
+        put_u64(&mut out, self.prev_block);
+        for level in &self.levels {
+            put_u64(&mut out, level.misses);
+            put_u64(&mut out, level.dm_misses);
+            for m in &level.meta {
+                put_u64(&mut out, m.mra);
+                put_u64(&mut out, m.mre);
+                put_u32(&mut out, m.mre_wave);
+                put_u32(&mut out, m.fifo_ptr);
+                put_u32(&mut out, m.valid);
+            }
+            for w in &level.ways {
+                put_u64(&mut out, w.tag);
+                put_u32(&mut out, w.wave);
+            }
+            for &t in &level.last_access {
+                put_u64(&mut out, t);
+            }
+        }
+        out
+    }
+
+    /// Restores a tree from [`DewTree::to_snapshot`] output. The snapshot is
+    /// self-describing: geometry and options are recovered from it.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::snapshot::SnapshotError`] for foreign, truncated or
+    /// internally inconsistent buffers.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{Cursor, SnapshotError, MAGIC, VERSION};
+        let mut cur = Cursor::new(bytes);
+        if cur.bytes(4)? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = cur.u8()?;
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let (block_bits, min_set_bits, max_set_bits, assoc) =
+            (cur.u32()?, cur.u32()?, cur.u32()?, cur.u32()?);
+        let pass = PassConfig::new(block_bits, min_set_bits, max_set_bits, assoc)
+            .map_err(|_| SnapshotError::Corrupt("invalid pass geometry"))?;
+        let flags = cur.u8()?;
+        let opts = DewOptions {
+            mra_stop: flags & 1 != 0,
+            wave: flags & 2 != 0,
+            mre: flags & 4 != 0,
+            dup_elision: flags & 8 != 0,
+            policy: if flags & 16 != 0 { TreePolicy::Lru } else { TreePolicy::Fifo },
+        };
+        let mut tree = DewTree::new(pass, opts)
+            .map_err(|_| SnapshotError::Corrupt("unsound option flags"))?;
+        let c = &mut tree.counters;
+        c.accesses = cur.u64()?;
+        c.node_evaluations = cur.u64()?;
+        c.mra_stops = cur.u64()?;
+        c.wave_hits = cur.u64()?;
+        c.wave_misses = cur.u64()?;
+        c.mre_misses = cur.u64()?;
+        c.searches = cur.u64()?;
+        c.duplicate_skips = cur.u64()?;
+        c.search_comparisons = cur.u64()?;
+        c.tag_comparisons = cur.u64()?;
+        tree.now = cur.u64()?;
+        tree.prev_block = cur.u64()?;
+        let assoc = pass.assoc() as usize;
+        for level in &mut tree.levels {
+            level.misses = cur.u64()?;
+            level.dm_misses = cur.u64()?;
+            for m in &mut level.meta {
+                m.mra = cur.u64()?;
+                m.mre = cur.u64()?;
+                m.mre_wave = cur.u32()?;
+                m.fifo_ptr = cur.u32()?;
+                m.valid = cur.u32()?;
+                if m.fifo_ptr as usize >= assoc || m.valid as usize > assoc {
+                    return Err(SnapshotError::Corrupt("node state out of range"));
+                }
+            }
+            for w in &mut level.ways {
+                w.tag = cur.u64()?;
+                w.wave = cur.u32()?;
+                if w.wave != EMPTY_WAVE && w.wave as usize >= assoc {
+                    return Err(SnapshotError::Corrupt("wave pointer out of range"));
+                }
+            }
+            for t in &mut level.last_access {
+                *t = cur.u64()?;
+            }
+        }
+        if cur.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes(cur.remaining()));
+        }
+        Ok(tree)
+    }
+
+    /// Actual heap footprint of the forest's node storage in bytes
+    /// (this implementation's 64-bit tags; excludes counters).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| {
+                l.meta.len() * std::mem::size_of::<NodeMeta>()
+                    + l.ways.len() * std::mem::size_of::<WayEntry>()
+                    + l.last_access.len() * std::mem::size_of::<u64>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dew_cachesim::{Cache, CacheConfig, Replacement};
+
+    fn fifo_tree(block_bits: u32, min: u32, max: u32, assoc: u32) -> DewTree {
+        DewTree::new(
+            PassConfig::new(block_bits, min, max, assoc).expect("valid pass"),
+            DewOptions::default(),
+        )
+        .expect("valid options")
+    }
+
+    /// Reference miss count via the per-configuration simulator.
+    fn reference_misses(
+        sets: u32,
+        assoc: u32,
+        block_bytes: u32,
+        policy: Replacement,
+        addrs: &[u64],
+    ) -> u64 {
+        let mut cache =
+            Cache::new(CacheConfig::new(sets, assoc, block_bytes, policy).expect("valid config"));
+        for &a in addrs {
+            cache.access(Record::read(a));
+        }
+        cache.stats().misses()
+    }
+
+    fn pseudo_random_addrs(n: usize, span: u64, seed: u64) -> Vec<u64> {
+        // Deterministic xorshift mix: localised with occasional far jumps.
+        let mut x = seed | 1;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if i % 7 == 0 {
+                    x % span
+                } else {
+                    (x % 64) * 4 + (i as u64 % 3) * 128
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_trace_misses_everywhere() {
+        let mut t = fifo_tree(2, 0, 3, 2);
+        for i in 0..64u64 {
+            t.step(i * 4);
+        }
+        let r = t.results();
+        for sets in [1u32, 2, 4, 8] {
+            assert_eq!(r.misses(sets, 2), Some(64), "sets={sets}");
+            assert_eq!(r.misses(sets, 1), Some(64), "sets={sets}");
+        }
+    }
+
+    #[test]
+    fn repeated_address_stops_at_the_root() {
+        let mut t = fifo_tree(2, 0, 4, 4);
+        for _ in 0..10 {
+            t.step(0x40);
+        }
+        let c = t.counters();
+        // First request walks all 5 levels; the other 9 stop at the root.
+        assert_eq!(c.node_evaluations, 5 + 9);
+        assert_eq!(c.mra_stops, 9);
+        assert!(c.is_consistent());
+        let r = t.results();
+        assert_eq!(r.misses(1, 4), Some(1));
+        assert_eq!(r.misses(16, 1), Some(1));
+    }
+
+    #[test]
+    fn matches_reference_fifo_on_mixed_trace() {
+        let addrs = pseudo_random_addrs(4000, 1 << 14, 0xDEB5_1234);
+        for (block_bits, assoc) in [(0u32, 2u32), (2, 4), (4, 8), (6, 16), (2, 1)] {
+            let mut t = fifo_tree(block_bits, 0, 6, assoc);
+            for &a in &addrs {
+                t.step(a);
+            }
+            assert!(t.counters().is_consistent());
+            let r = t.results();
+            for set_bits in 0..=6u32 {
+                let sets = 1u32 << set_bits;
+                let expected =
+                    reference_misses(sets, assoc, 1 << block_bits, Replacement::Fifo, &addrs);
+                assert_eq!(
+                    r.misses(sets, assoc),
+                    Some(expected),
+                    "sets={sets} assoc={assoc} block_bits={block_bits}"
+                );
+                let expected_dm =
+                    reference_misses(sets, 1, 1 << block_bits, Replacement::Fifo, &addrs);
+                assert_eq!(r.misses(sets, 1), Some(expected_dm), "DM sets={sets}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_lru_on_mixed_trace() {
+        let addrs = pseudo_random_addrs(3000, 1 << 12, 0xABCD_EF01);
+        let pass = PassConfig::new(2, 0, 5, 4).expect("valid");
+        let mut t = DewTree::new(pass, DewOptions::lru()).expect("valid");
+        for &a in &addrs {
+            t.step(a);
+        }
+        assert!(t.counters().is_consistent());
+        let r = t.results();
+        for set_bits in 0..=5u32 {
+            let sets = 1u32 << set_bits;
+            let expected = reference_misses(sets, 4, 4, Replacement::Lru, &addrs);
+            assert_eq!(r.misses(sets, 4), Some(expected), "LRU sets={sets}");
+            let expected_dm = reference_misses(sets, 1, 4, Replacement::Lru, &addrs);
+            assert_eq!(r.misses(sets, 1), Some(expected_dm), "LRU DM sets={sets}");
+        }
+    }
+
+    #[test]
+    fn properties_do_not_change_results() {
+        let addrs = pseudo_random_addrs(2500, 1 << 12, 0x1357_9BDF);
+        let pass = PassConfig::new(2, 0, 5, 4).expect("valid");
+        let baseline = {
+            let mut t = DewTree::new(pass, DewOptions::unoptimized()).expect("valid");
+            for &a in &addrs {
+                t.step(a);
+            }
+            t.results()
+        };
+        for opts in DewOptions::ablation_grid(TreePolicy::Fifo) {
+            let mut t = DewTree::new(pass, opts).expect("valid");
+            for &a in &addrs {
+                t.step(a);
+            }
+            assert!(t.counters().is_consistent(), "{opts}");
+            assert_eq!(t.results(), baseline, "results changed under {opts}");
+        }
+    }
+
+    #[test]
+    fn properties_reduce_work_monotonically() {
+        // Byte-addressable sequential loop: consecutive requests share a
+        // block (the paper's traces have this shape), so the MRA stop fires
+        // on most requests and the short-circuit checks pay off.
+        let addrs: Vec<u64> = (0..4000u64).map(|i| i % 640).collect();
+        let pass = PassConfig::new(2, 0, 6, 4).expect("valid");
+        let run = |opts: DewOptions| {
+            let mut t = DewTree::new(pass, opts).expect("valid");
+            for &a in &addrs {
+                t.step(a);
+            }
+            *t.counters()
+        };
+        let none = run(DewOptions::unoptimized());
+        let full = run(DewOptions::default());
+        assert!(full.node_evaluations < none.node_evaluations, "MRA stop prunes evaluations");
+        assert!(full.tag_comparisons < none.tag_comparisons, "properties cut comparisons");
+        assert_eq!(
+            none.node_evaluations,
+            none.unoptimized_evaluations(pass.num_levels()),
+            "without the stop, every request visits every level"
+        );
+    }
+
+    #[test]
+    fn forest_with_min_sets_above_one() {
+        let addrs = pseudo_random_addrs(1500, 1 << 10, 0xFEED_BEEF);
+        let mut t = fifo_tree(2, 3, 6, 2);
+        for &a in &addrs {
+            t.step(a);
+        }
+        let r = t.results();
+        assert_eq!(r.misses(4, 2), None, "below the forest's smallest set count");
+        for set_bits in 3..=6u32 {
+            let sets = 1u32 << set_bits;
+            let expected = reference_misses(sets, 2, 4, Replacement::Fifo, &addrs);
+            assert_eq!(r.misses(sets, 2), Some(expected), "forest sets={sets}");
+        }
+    }
+
+    #[test]
+    fn single_level_tree_works() {
+        let addrs = pseudo_random_addrs(500, 1 << 8, 0x600D_CAFE);
+        let mut t = fifo_tree(0, 4, 4, 4);
+        for &a in &addrs {
+            t.step(a);
+        }
+        let expected = reference_misses(16, 4, 1, Replacement::Fifo, &addrs);
+        assert_eq!(t.results().misses(16, 4), Some(expected));
+    }
+
+    #[test]
+    fn assoc_one_tree_agrees_with_its_own_dm_results() {
+        let addrs = pseudo_random_addrs(1000, 1 << 10, 0x0BAD_F00D);
+        let mut t = fifo_tree(2, 0, 5, 1);
+        for &a in &addrs {
+            t.step(a);
+        }
+        let r = t.results();
+        for l in r.levels() {
+            assert_eq!(
+                l.misses(),
+                l.dm_misses(),
+                "a 1-way tag list and the MRA entry simulate the same cache"
+            );
+        }
+    }
+
+    #[test]
+    fn mre_restores_wave_pointers_across_evictions() {
+        // Thrash two blocks in a direct-mapped root so evict/re-insert cycles
+        // exercise the MRE exchange path (Algorithm 2 line 5).
+        let mut t = fifo_tree(2, 0, 2, 1);
+        for i in 0..40u64 {
+            t.step(if i % 2 == 0 { 0x00 } else { 0x100 });
+        }
+        let c = t.counters();
+        assert!(c.mre_misses > 0, "MRE determinations must fire: {c}");
+        assert!(c.is_consistent());
+        // Exactness under thrashing:
+        let addrs: Vec<u64> = (0..40u64).map(|i| if i % 2 == 0 { 0x00 } else { 0x100 }).collect();
+        for set_bits in 0..=2u32 {
+            let sets = 1u32 << set_bits;
+            let expected = reference_misses(sets, 1, 4, Replacement::Fifo, &addrs);
+            assert_eq!(t.results().misses(sets, 1), Some(expected));
+        }
+    }
+
+    #[test]
+    fn wave_pointers_fire_on_tree_descent() {
+        // A loop over a few blocks: after warm-up, descents should be decided
+        // by wave pointers or MRA stops, not searches.
+        let mut t = fifo_tree(2, 0, 3, 4);
+        let addrs: Vec<u64> = (0..12u64).map(|i| (i % 3) * 4).collect();
+        for &a in &addrs {
+            t.step(a);
+        }
+        let c = t.counters();
+        assert!(c.wave_hits > 0, "wave hits expected: {c}");
+        assert!(c.is_consistent());
+    }
+
+    #[test]
+    fn belady_anomaly_exists_under_fifo() {
+        // The canonical Belady sequence: FIFO with MORE capacity can miss
+        // MORE. This is why FIFO has no inclusion property and why DEW cannot
+        // reuse the LRU single-pass machinery (paper Section 1).
+        let seq = [1u64, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5];
+        let addrs: Vec<u64> = seq.iter().map(|b| b * 4).collect();
+        let m3 = reference_misses(1, 4, 4, Replacement::Fifo, &addrs[..]); // 4 ways
+        let m4 = {
+            // 3-way FIFO is not power-of-two; emulate via fully-assoc FIFO of
+            // 3 blocks using a 1-set cache with assoc rounded? Instead compare
+            // 4-way (1 set) against 8-way (1 set): classic anomaly needs 3 vs
+            // 4 frames, so check against the DEW tree level structure instead:
+            m3
+        };
+        let _ = m4;
+        // Direct check of the anomaly with exact FIFO frame counts 3 and 4
+        // using a tiny inline model (power-of-two caches can't express 3
+        // ways).
+        fn fifo_misses(frames: usize, seq: &[u64]) -> u32 {
+            let mut q: Vec<u64> = Vec::new();
+            let mut misses = 0;
+            for &b in seq {
+                if !q.contains(&b) {
+                    misses += 1;
+                    if q.len() == frames {
+                        q.remove(0);
+                    }
+                    q.push(b);
+                }
+            }
+            misses
+        }
+        assert!(
+            fifo_misses(4, &seq) > fifo_misses(3, &seq),
+            "Belady's anomaly: 4 frames must miss more than 3 on this sequence"
+        );
+    }
+
+    #[test]
+    fn memory_models() {
+        let t = fifo_tree(2, 0, 2, 4);
+        // Levels with 1, 2 and 4 sets: (1+2+4) x (96 + 64*4) bits.
+        assert_eq!(t.paper_model_bits(), 7 * (96 + 256));
+        assert!(t.footprint_bytes() > 0);
+        let lru = DewTree::new(PassConfig::new(2, 0, 2, 4).expect("valid"), DewOptions::lru())
+            .expect("valid");
+        assert!(lru.footprint_bytes() > t.footprint_bytes(), "LRU stores access times");
+    }
+
+    #[test]
+    fn run_and_step_record_are_step_by_address() {
+        let records: Vec<Record> = (0..50u64).map(|i| Record::read((i % 9) * 8)).collect();
+        let mut a = fifo_tree(2, 0, 3, 2);
+        a.run(records.iter().copied());
+        let mut b = fifo_tree(2, 0, 3, 2);
+        for r in &records {
+            b.step_record(*r);
+        }
+        assert_eq!(a.results(), b.results());
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported range")]
+    fn sentinel_address_panics() {
+        let mut t = fifo_tree(0, 0, 1, 1);
+        t.step(u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_identically() {
+        let addrs = pseudo_random_addrs(3000, 1 << 12, 0x5AFE_5AFE);
+        let (first, second) = addrs.split_at(1500);
+        for opts in [DewOptions::default(), DewOptions::lru(), DewOptions::unoptimized()] {
+            let pass = PassConfig::new(2, 0, 6, 4).expect("valid");
+            // Uninterrupted run.
+            let mut straight = DewTree::new(pass, opts).expect("sound");
+            for &a in &addrs {
+                straight.step(a);
+            }
+            // Checkpointed run: simulate half, snapshot, restore, finish.
+            let mut head = DewTree::new(pass, opts).expect("sound");
+            for &a in first {
+                head.step(a);
+            }
+            let snapshot = head.to_snapshot();
+            drop(head);
+            let mut tail = DewTree::from_snapshot(&snapshot).expect("restores");
+            assert_eq!(tail.pass(), &pass);
+            assert_eq!(tail.options(), &opts);
+            for &a in second {
+                tail.step(a);
+            }
+            assert_eq!(tail.results(), straight.results(), "{opts}");
+            assert_eq!(tail.counters(), straight.counters(), "{opts}");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_foreign_and_corrupt_buffers() {
+        use crate::snapshot::SnapshotError;
+        assert!(matches!(
+            DewTree::from_snapshot(b"nope"),
+            Err(SnapshotError::Corrupt(_)) | Err(SnapshotError::BadMagic)
+        ));
+        let mut t = fifo_tree(2, 0, 2, 2);
+        t.step(0x100);
+        let mut snap = t.to_snapshot();
+        // Wrong version.
+        let mut wrong_version = snap.clone();
+        wrong_version[4] = 99;
+        assert!(matches!(
+            DewTree::from_snapshot(&wrong_version),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+        // Truncated.
+        snap.truncate(snap.len() - 3);
+        assert!(matches!(DewTree::from_snapshot(&snap), Err(SnapshotError::Corrupt(_))));
+        // Trailing garbage.
+        let mut long = t.to_snapshot();
+        long.push(0);
+        assert!(matches!(DewTree::from_snapshot(&long), Err(SnapshotError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn duplicate_elision_preserves_results_and_skips_work() {
+        // Byte-sequential accesses: with 16-byte blocks, 15 of every 16
+        // requests repeat the previous block.
+        let addrs: Vec<u64> = (0..2000u64).map(|i| i % 512).collect();
+        let pass = PassConfig::new(4, 0, 5, 4).expect("valid");
+        let plain = {
+            let mut t = DewTree::new(pass, DewOptions::default()).expect("sound");
+            for &a in &addrs {
+                t.step(a);
+            }
+            (t.results(), *t.counters())
+        };
+        let elided = {
+            let opts = DewOptions { dup_elision: true, ..DewOptions::default() };
+            let mut t = DewTree::new(pass, opts).expect("sound");
+            for &a in &addrs {
+                t.step(a);
+            }
+            (t.results(), *t.counters())
+        };
+        assert_eq!(plain.0, elided.0, "elision must not change results");
+        assert!(elided.1.duplicate_skips > 1000, "skips: {}", elided.1.duplicate_skips);
+        assert!(elided.1.node_evaluations < plain.1.node_evaluations);
+        assert!(elided.1.is_consistent());
+    }
+
+    #[test]
+    fn duplicate_elision_is_exact_under_lru_too() {
+        let addrs: Vec<u64> = (0..3000u64)
+            .map(|i| {
+                let x = (i * 2654435761) >> 5;
+                (x % 128) * 2 // pairs of accesses to nearby bytes
+            })
+            .collect();
+        let pass = PassConfig::new(2, 0, 4, 4).expect("valid");
+        let opts = DewOptions { dup_elision: true, ..DewOptions::lru() };
+        let mut t = DewTree::new(pass, opts).expect("sound");
+        for &a in &addrs {
+            t.step(a);
+        }
+        let r = t.results();
+        for set_bits in 0..=4u32 {
+            let sets = 1u32 << set_bits;
+            for a in [1u32, 4] {
+                let expected = reference_misses(sets, a, 4, Replacement::Lru, &addrs);
+                assert_eq!(r.misses(sets, a), Some(expected), "sets={sets} assoc={a}");
+            }
+        }
+    }
+}

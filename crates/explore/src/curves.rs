@@ -1,0 +1,175 @@
+//! Miss-rate curves: the designer's view of a sweep.
+//!
+//! A *miss-rate curve* plots miss rate against cache size along one axis of
+//! the configuration space (usually set count, at fixed associativity and
+//! block size). Cache tuning flows like Janapsatya's — the paper's
+//! motivation — read two things off these curves: the **knee** (the smallest
+//! cache after which returns diminish) and the **saturation point** (where
+//! the curve flattens into its compulsory-miss floor).
+
+use dew_core::SweepOutcome;
+
+/// One point of a miss-rate curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Number of sets.
+    pub sets: u32,
+    /// Total cache size in bytes.
+    pub total_bytes: u64,
+    /// Exact miss count.
+    pub misses: u64,
+    /// Miss rate in `0.0..=1.0`.
+    pub miss_rate: f64,
+}
+
+/// A miss-rate curve along the set-count axis at fixed `(assoc, block)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissRateCurve {
+    /// Associativity held fixed.
+    pub assoc: u32,
+    /// Block size in bytes held fixed.
+    pub block_bytes: u32,
+    /// Points sorted by ascending set count.
+    pub points: Vec<CurvePoint>,
+}
+
+impl MissRateCurve {
+    /// Extracts the curve for `(assoc, block_bytes)` from a sweep; `None`
+    /// when the sweep contains no such configurations.
+    #[must_use]
+    pub fn from_sweep(sweep: &SweepOutcome, assoc: u32, block_bytes: u32) -> Option<Self> {
+        let mut points: Vec<CurvePoint> = sweep
+            .iter()
+            .filter(|c| c.assoc == assoc && c.block_bytes == block_bytes)
+            .map(|c| CurvePoint {
+                sets: c.sets,
+                total_bytes: c.total_bytes(),
+                misses: c.misses,
+                miss_rate: if sweep.accesses() == 0 {
+                    0.0
+                } else {
+                    c.misses as f64 / sweep.accesses() as f64
+                },
+            })
+            .collect();
+        if points.is_empty() {
+            return None;
+        }
+        points.sort_by_key(|p| p.sets);
+        Some(MissRateCurve { assoc, block_bytes, points })
+    }
+
+    /// The knee: the point after which no further size step improves the
+    /// miss rate by at least `threshold` (absolute delta). Robust against
+    /// mid-curve plateaus, which would fool a "first flattening" rule.
+    #[must_use]
+    pub fn knee(&self, threshold: f64) -> CurvePoint {
+        let mut knee_idx = 0;
+        for (i, w) in self.points.windows(2).enumerate() {
+            if w[0].miss_rate - w[1].miss_rate >= threshold {
+                knee_idx = i + 1;
+            }
+        }
+        self.points[knee_idx]
+    }
+
+    /// The smallest configuration within `tolerance` (relative) of the
+    /// curve's best miss rate — "as good as the biggest cache, minus ε".
+    #[must_use]
+    pub fn smallest_within(&self, tolerance: f64) -> CurvePoint {
+        let best = self
+            .points
+            .iter()
+            .map(|p| p.miss_rate)
+            .fold(f64::INFINITY, f64::min);
+        let bound = best * (1.0 + tolerance.max(0.0)) + f64::EPSILON;
+        *self
+            .points
+            .iter()
+            .find(|p| p.miss_rate <= bound)
+            .expect("the minimum itself always qualifies")
+    }
+
+    /// Renders the curve as CSV (`sets,total_bytes,misses,miss_rate`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("sets,total_bytes,misses,miss_rate\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{:.6}\n",
+                p.sets, p.total_bytes, p.misses, p.miss_rate
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dew_core::{sweep_trace, ConfigSpace, DewOptions};
+    use dew_trace::Record;
+
+    fn sweep() -> SweepOutcome {
+        // A looping workload over a ~1.2 KiB hot region with occasional far
+        // references: miss rate falls with size until the working set fits
+        // (4 KiB direct-mapped at 2^10 sets), then flattens.
+        let records: Vec<Record> = (0..20_000u64)
+            .map(|i| {
+                if i % 13 == 0 {
+                    // Never-reused noise at a 4 KiB stride: a compulsory-miss
+                    // floor pinned to one set index, so no cache size can
+                    // remove it and the curve truly flattens.
+                    Record::read(0x10_0000 + i * 4096)
+                } else {
+                    Record::read((i % 300) * 4)
+                }
+            })
+            .collect();
+        let space = ConfigSpace::new((0, 10), (2, 2), (0, 1)).expect("valid");
+        sweep_trace(&space, &records, DewOptions::default(), 1).expect("sweep")
+    }
+
+    #[test]
+    fn curve_extraction_is_sorted_and_complete() {
+        let s = sweep();
+        let c = MissRateCurve::from_sweep(&s, 2, 4).expect("present");
+        assert_eq!(c.points.len(), 11);
+        assert!(c.points.windows(2).all(|w| w[0].sets < w[1].sets));
+        assert!(MissRateCurve::from_sweep(&s, 16, 4).is_none(), "unswept assoc");
+    }
+
+    #[test]
+    fn curves_flatten_and_knee_is_found() {
+        let s = sweep();
+        let c = MissRateCurve::from_sweep(&s, 1, 4).expect("present");
+        let first = c.points.first().expect("nonempty");
+        let last = c.points.last().expect("nonempty");
+        assert!(last.miss_rate < first.miss_rate, "bigger caches help this workload");
+        let knee = c.knee(0.005);
+        assert!(knee.sets < last.sets, "knee below the largest cache");
+        // Past the knee, every step is sub-threshold, so the knee sits near
+        // the asymptote.
+        assert!(knee.miss_rate <= last.miss_rate + 0.005 * c.points.len() as f64);
+    }
+
+    #[test]
+    fn smallest_within_prefers_small_caches() {
+        let s = sweep();
+        let c = MissRateCurve::from_sweep(&s, 2, 4).expect("present");
+        let tight = c.smallest_within(0.0);
+        let loose = c.smallest_within(0.5);
+        assert!(loose.sets <= tight.sets);
+        let best = c.points.iter().map(|p| p.miss_rate).fold(f64::INFINITY, f64::min);
+        assert!(tight.miss_rate <= best + 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = sweep();
+        let c = MissRateCurve::from_sweep(&s, 1, 4).expect("present");
+        let csv = c.to_csv();
+        assert_eq!(csv.lines().count(), 1 + c.points.len());
+        assert!(csv.starts_with("sets,"));
+    }
+}

@@ -1,0 +1,215 @@
+//! An analytic cache energy and timing model.
+//!
+//! The DEW paper motivates fast simulation with cache *tuning*: picking the
+//! `(S, A, B)` that minimises energy/maximises performance for an embedded
+//! application (Section 1, citing Janapsatya's exploration flow). This module
+//! supplies the missing piece: a transparent, documented analytic model that
+//! converts exact miss counts into energy and cycle estimates.
+//!
+//! The model is deliberately simple (CACTI-flavoured first-order terms, not a
+//! circuit simulator) and fully parameterised, so its constants can be
+//! recalibrated without touching the exploration code:
+//!
+//! * **dynamic read energy** — a set-associative cache reads `A` ways of
+//!   `8·B`-bit data plus tags in parallel and drives a `log2(S)` decoder:
+//!   `E_dyn = A·(c_data·8B + c_tag·t) + c_dec·log2(S)` pJ, with `t` the tag
+//!   width for a 32-bit address space;
+//! * **miss energy** — a miss fetches the whole block from memory:
+//!   `E_miss = c_mem_static + c_mem·8B` pJ;
+//! * **leakage** — proportional to the cache's total bits and to runtime:
+//!   `P_leak = c_leak · bits` (pJ per cycle);
+//! * **timing** — hit latency grows with capacity (1 cycle up to 4 KiB,
+//!   +1 per 8× beyond), and a miss pays a fixed memory latency plus block
+//!   transfer time over a 32-bit bus.
+
+use std::fmt;
+
+/// Geometry of a cache being evaluated (a subset of the simulator configs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub assoc: u32,
+    /// Block size in bytes.
+    pub block_bytes: u32,
+}
+
+impl Geometry {
+    /// Total capacity in bytes.
+    #[must_use]
+    pub const fn total_bytes(&self) -> u64 {
+        self.sets as u64 * self.assoc as u64 * self.block_bytes as u64
+    }
+
+    /// Total storage bits including tags and valid bits, for a 32-bit
+    /// address space.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        let tag_bits = u64::from(self.tag_bits()) + 1; // +1 valid bit
+        let data_bits = 8 * u64::from(self.block_bytes);
+        u64::from(self.sets) * u64::from(self.assoc) * (data_bits + tag_bits)
+    }
+
+    /// Tag width in bits for a 32-bit address space.
+    #[must_use]
+    pub fn tag_bits(&self) -> u32 {
+        32u32
+            .saturating_sub(self.sets.trailing_zeros())
+            .saturating_sub(self.block_bytes.trailing_zeros())
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s/{}w/{}B ({} B)", self.sets, self.assoc, self.block_bytes, self.total_bytes())
+    }
+}
+
+/// The analytic model's coefficients. See the module docs for the formulas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// pJ per data bit read per way.
+    pub c_data: f64,
+    /// pJ per tag bit read per way.
+    pub c_tag: f64,
+    /// pJ per decoder address bit.
+    pub c_dec: f64,
+    /// Fixed pJ per memory (miss) transaction.
+    pub c_mem_static: f64,
+    /// pJ per bit fetched from memory.
+    pub c_mem: f64,
+    /// Leakage pJ per storage bit per cycle.
+    pub c_leak: f64,
+    /// Memory latency in cycles charged to every miss.
+    pub mem_latency_cycles: u64,
+    /// Bus width in bytes for block refills.
+    pub bus_bytes: u32,
+}
+
+impl Default for EnergyModel {
+    /// Coefficients in the vicinity of published 65 nm L1 numbers; absolute
+    /// values matter less than their ratios for ranking configurations.
+    fn default() -> Self {
+        EnergyModel {
+            c_data: 0.009,
+            c_tag: 0.011,
+            c_dec: 0.4,
+            c_mem_static: 180.0,
+            c_mem: 0.16,
+            c_leak: 1.2e-6,
+            mem_latency_cycles: 50,
+            bus_bytes: 4,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Dynamic energy of one cache access, in pJ.
+    #[must_use]
+    pub fn access_energy_pj(&self, g: Geometry) -> f64 {
+        let ways = f64::from(g.assoc);
+        let data_bits = 8.0 * f64::from(g.block_bytes);
+        let tag_bits = f64::from(g.tag_bits());
+        let dec_bits = f64::from(g.sets.trailing_zeros().max(1));
+        ways * (self.c_data * data_bits + self.c_tag * tag_bits) + self.c_dec * dec_bits
+    }
+
+    /// Energy of one miss's memory refill, in pJ.
+    #[must_use]
+    pub fn miss_energy_pj(&self, g: Geometry) -> f64 {
+        self.c_mem_static + self.c_mem * 8.0 * f64::from(g.block_bytes)
+    }
+
+    /// Hit latency in cycles: 1 up to 4 KiB, plus one per 8× capacity beyond.
+    #[must_use]
+    pub fn hit_cycles(&self, g: Geometry) -> u64 {
+        let mut bytes = g.total_bytes();
+        let mut cycles = 1;
+        while bytes > 4096 {
+            bytes /= 8;
+            cycles += 1;
+        }
+        cycles
+    }
+
+    /// Miss penalty in cycles: memory latency plus block transfer.
+    #[must_use]
+    pub fn miss_penalty_cycles(&self, g: Geometry) -> u64 {
+        self.mem_latency_cycles
+            + u64::from(g.block_bytes.div_ceil(self.bus_bytes.max(1)))
+    }
+
+    /// Total runtime in cycles for `accesses` requests of which `misses`
+    /// missed.
+    #[must_use]
+    pub fn total_cycles(&self, g: Geometry, accesses: u64, misses: u64) -> u64 {
+        accesses * self.hit_cycles(g) + misses * self.miss_penalty_cycles(g)
+    }
+
+    /// Total energy in nanojoules: dynamic + refill + leakage over runtime.
+    #[must_use]
+    pub fn total_energy_nj(&self, g: Geometry, accesses: u64, misses: u64) -> f64 {
+        let dynamic = accesses as f64 * self.access_energy_pj(g);
+        let refill = misses as f64 * self.miss_energy_pj(g);
+        let leak =
+            self.c_leak * g.total_bits() as f64 * self.total_cycles(g, accesses, misses) as f64;
+        (dynamic + refill + leak) / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(sets: u32, assoc: u32, block: u32) -> Geometry {
+        Geometry { sets, assoc, block_bytes: block }
+    }
+
+    #[test]
+    fn geometry_accounting() {
+        let c = g(64, 2, 16);
+        assert_eq!(c.total_bytes(), 2048);
+        assert_eq!(c.tag_bits(), 32 - 6 - 4);
+        // data: 2048*8 bits; tags: 64*2*(22+1) bits.
+        assert_eq!(c.total_bits(), 2048 * 8 + 128 * 23);
+    }
+
+    #[test]
+    fn access_energy_grows_with_associativity_and_block() {
+        let m = EnergyModel::default();
+        assert!(m.access_energy_pj(g(64, 4, 16)) > m.access_energy_pj(g(64, 2, 16)));
+        assert!(m.access_energy_pj(g(64, 2, 32)) > m.access_energy_pj(g(64, 2, 16)));
+    }
+
+    #[test]
+    fn miss_energy_grows_with_block() {
+        let m = EnergyModel::default();
+        assert!(m.miss_energy_pj(g(1, 1, 64)) > m.miss_energy_pj(g(1, 1, 4)));
+    }
+
+    #[test]
+    fn hit_latency_steps_with_capacity() {
+        let m = EnergyModel::default();
+        assert_eq!(m.hit_cycles(g(64, 2, 16)), 1); // 2 KiB
+        assert_eq!(m.hit_cycles(g(256, 2, 16)), 2); // 8 KiB
+        assert!(m.hit_cycles(g(1 << 14, 16, 64)) > 3); // 16 MiB
+    }
+
+    #[test]
+    fn fewer_misses_never_cost_more() {
+        let m = EnergyModel::default();
+        let c = g(128, 2, 16);
+        let e_hi = m.total_energy_nj(c, 1_000_000, 100_000);
+        let e_lo = m.total_energy_nj(c, 1_000_000, 10_000);
+        assert!(e_lo < e_hi);
+        assert!(m.total_cycles(c, 1_000_000, 10_000) < m.total_cycles(c, 1_000_000, 100_000));
+    }
+
+    #[test]
+    fn miss_penalty_includes_transfer() {
+        let m = EnergyModel::default();
+        assert_eq!(m.miss_penalty_cycles(g(1, 1, 4)), 50 + 1);
+        assert_eq!(m.miss_penalty_cycles(g(1, 1, 64)), 50 + 16);
+    }
+}

@@ -1,0 +1,43 @@
+//! Cache design-space exploration on top of DEW sweeps.
+//!
+//! The DEW paper's motivation (Section 1) is tuning the level-1 cache of an
+//! embedded processor: the exact per-configuration miss counts that DEW
+//! produces in a single trace pass feed an energy/performance model, and the
+//! designer picks from the resulting Pareto front. This crate supplies that
+//! last mile:
+//!
+//! * [`EnergyModel`] / [`Geometry`] — a transparent analytic energy & timing
+//!   model (documented first-order formulas, recalibratable constants);
+//! * [`evaluate_sweep`] — turns a [`dew_core::SweepOutcome`] into
+//!   [`Evaluation`]s (energy, cycles, miss rate, EDP);
+//! * [`pareto_front`], [`best_edp_under`], [`fastest_under`] — selection
+//!   helpers for the usual embedded design questions.
+//!
+//! # Examples
+//!
+//! ```
+//! use dew_core::{sweep_trace, ConfigSpace, DewOptions};
+//! use dew_explore::{evaluate_sweep, pareto_front, EnergyModel};
+//! use dew_trace::Record;
+//!
+//! # fn main() -> Result<(), dew_core::DewError> {
+//! let space = ConfigSpace::new((0, 4), (2, 4), (0, 1))?;
+//! let trace: Vec<Record> = (0..5_000u64).map(|i| Record::read((i % 700) * 4)).collect();
+//! let sweep = sweep_trace(&space, &trace, DewOptions::default(), 1)?;
+//! let evals = evaluate_sweep(&sweep, &EnergyModel::default());
+//! let front = pareto_front(&evals);
+//! assert!(!front.is_empty() && front.len() <= evals.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod curves;
+mod energy;
+mod explore;
+
+pub use curves::{CurvePoint, MissRateCurve};
+pub use energy::{EnergyModel, Geometry};
+pub use explore::{best_edp_under, evaluate_sweep, fastest_under, pareto_front, Evaluation};

@@ -1,0 +1,338 @@
+//! A two-pass assembler for the little ISA.
+//!
+//! Syntax, one instruction per line:
+//!
+//! ```text
+//! # comment
+//! loop:                       ; a label
+//!     li   r1, 100
+//!     lw   r2, 8(r3)          ; loads use imm(reg) addressing
+//!     addi r1, r1, -1
+//!     bne  r1, r0, loop
+//!     halt
+//! ```
+//!
+//! Labels are resolved to instruction indices in a second pass.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{Instr, Reg};
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The kinds of assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// Unknown mnemonic.
+    UnknownOp(String),
+    /// Malformed operand list.
+    BadOperands(String),
+    /// A register outside `r0..r15`.
+    BadRegister(String),
+    /// An unparsable immediate.
+    BadImmediate(String),
+    /// A label used but never defined.
+    UndefinedLabel(String),
+    /// The same label defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match &self.kind {
+            AsmErrorKind::UnknownOp(s) => format!("unknown instruction `{s}`"),
+            AsmErrorKind::BadOperands(s) => format!("bad operands `{s}`"),
+            AsmErrorKind::BadRegister(s) => format!("bad register `{s}`"),
+            AsmErrorKind::BadImmediate(s) => format!("bad immediate `{s}`"),
+            AsmErrorKind::UndefinedLabel(s) => format!("undefined label `{s}`"),
+            AsmErrorKind::DuplicateLabel(s) => format!("duplicate label `{s}`"),
+        };
+        write!(f, "line {}: {what}", self.line)
+    }
+}
+
+impl Error for AsmError {}
+
+/// Assembles source text into instructions.
+///
+/// # Errors
+///
+/// The first [`AsmError`] encountered, with its source line.
+///
+/// # Examples
+///
+/// ```
+/// use dew_isa::assemble;
+///
+/// let program = assemble(
+///     "start:\n  li r1, 3\n  addi r1, r1, -1\n  bne r1, r0, start\n  halt\n",
+/// )?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), dew_isa::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
+    // Pass 1: strip comments, collect labels and raw statements.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut statements: Vec<(usize, String)> = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = raw.split(&['#', ';'][..]).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break; // not a label (e.g. an operand list) — let pass 2 judge
+            }
+            if labels.insert(label.to_owned(), statements.len()).is_some() {
+                return Err(AsmError {
+                    line: lineno + 1,
+                    kind: AsmErrorKind::DuplicateLabel(label.to_owned()),
+                });
+            }
+            rest = tail[1..].trim();
+        }
+        if !rest.is_empty() {
+            statements.push((lineno + 1, rest.to_owned()));
+        }
+    }
+
+    // Pass 2: encode.
+    let mut program = Vec::with_capacity(statements.len());
+    for (line, stmt) in statements {
+        program.push(encode(&stmt, line, &labels)?);
+    }
+    Ok(program)
+}
+
+fn reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let bad = || AsmError { line, kind: AsmErrorKind::BadRegister(tok.to_owned()) };
+    let digits = tok.trim().strip_prefix('r').ok_or_else(bad)?;
+    let n: u8 = digits.parse().map_err(|_| bad())?;
+    if n > 15 {
+        return Err(bad());
+    }
+    Ok(Reg(n))
+}
+
+fn imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let tok = tok.trim();
+    let parse = |s: &str, radix| i64::from_str_radix(s, radix);
+    let value = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        parse(hex, 16)
+    } else if let Some(hex) = tok.strip_prefix("-0x") {
+        parse(hex, 16).map(|v| -v)
+    } else {
+        tok.parse()
+    };
+    value.map_err(|_| AsmError { line, kind: AsmErrorKind::BadImmediate(tok.to_owned()) })
+}
+
+/// Parses `imm(reg)` memory operands.
+fn mem(tok: &str, line: usize) -> Result<(Reg, i64), AsmError> {
+    let bad = || AsmError { line, kind: AsmErrorKind::BadOperands(tok.to_owned()) };
+    let open = tok.find('(').ok_or_else(bad)?;
+    let close = tok.rfind(')').ok_or_else(bad)?;
+    if close < open {
+        return Err(bad());
+    }
+    let offset = tok[..open].trim();
+    let offset = if offset.is_empty() { 0 } else { imm(offset, line)? };
+    Ok((reg(&tok[open + 1..close], line)?, offset))
+}
+
+/// Resolves a branch target: a label name, or `@N` for an absolute
+/// instruction index (the form `Instr`'s `Display` emits, so disassembled
+/// programs re-assemble).
+fn label(tok: &str, line: usize, labels: &HashMap<String, usize>) -> Result<usize, AsmError> {
+    let tok = tok.trim();
+    if let Some(index) = tok.strip_prefix('@') {
+        return index.parse().map_err(|_| AsmError {
+            line,
+            kind: AsmErrorKind::UndefinedLabel(tok.to_owned()),
+        });
+    }
+    labels.get(tok).copied().ok_or_else(|| AsmError {
+        line,
+        kind: AsmErrorKind::UndefinedLabel(tok.to_owned()),
+    })
+}
+
+fn encode(stmt: &str, line: usize, labels: &HashMap<String, usize>) -> Result<Instr, AsmError> {
+    let (op, rest) = stmt.split_once(char::is_whitespace).unwrap_or((stmt, ""));
+    let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let want = |n: usize| {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(AsmError { line, kind: AsmErrorKind::BadOperands(rest.trim().to_owned()) })
+        }
+    };
+    let instr = match op.to_lowercase().as_str() {
+        "li" => {
+            want(2)?;
+            Instr::Li(reg(ops[0], line)?, imm(ops[1], line)?)
+        }
+        "add" => {
+            want(3)?;
+            Instr::Add(reg(ops[0], line)?, reg(ops[1], line)?, reg(ops[2], line)?)
+        }
+        "sub" => {
+            want(3)?;
+            Instr::Sub(reg(ops[0], line)?, reg(ops[1], line)?, reg(ops[2], line)?)
+        }
+        "mul" => {
+            want(3)?;
+            Instr::Mul(reg(ops[0], line)?, reg(ops[1], line)?, reg(ops[2], line)?)
+        }
+        "addi" => {
+            want(3)?;
+            Instr::Addi(reg(ops[0], line)?, reg(ops[1], line)?, imm(ops[2], line)?)
+        }
+        "sari" => {
+            want(3)?;
+            let shift = imm(ops[2], line)?;
+            Instr::Sari(reg(ops[0], line)?, reg(ops[1], line)?, shift.clamp(0, 63) as u32)
+        }
+        "andi" => {
+            want(3)?;
+            Instr::Andi(reg(ops[0], line)?, reg(ops[1], line)?, imm(ops[2], line)?)
+        }
+        "lw" => {
+            want(2)?;
+            let (base, off) = mem(ops[1], line)?;
+            Instr::Lw(reg(ops[0], line)?, base, off)
+        }
+        "sw" => {
+            want(2)?;
+            let (base, off) = mem(ops[1], line)?;
+            Instr::Sw(reg(ops[0], line)?, base, off)
+        }
+        "lb" => {
+            want(2)?;
+            let (base, off) = mem(ops[1], line)?;
+            Instr::Lb(reg(ops[0], line)?, base, off)
+        }
+        "sb" => {
+            want(2)?;
+            let (base, off) = mem(ops[1], line)?;
+            Instr::Sb(reg(ops[0], line)?, base, off)
+        }
+        "beq" => {
+            want(3)?;
+            Instr::Beq(reg(ops[0], line)?, reg(ops[1], line)?, label(ops[2], line, labels)?)
+        }
+        "bne" => {
+            want(3)?;
+            Instr::Bne(reg(ops[0], line)?, reg(ops[1], line)?, label(ops[2], line, labels)?)
+        }
+        "blt" => {
+            want(3)?;
+            Instr::Blt(reg(ops[0], line)?, reg(ops[1], line)?, label(ops[2], line, labels)?)
+        }
+        "jmp" => {
+            want(1)?;
+            Instr::Jmp(label(ops[0], line, labels)?)
+        }
+        "call" => {
+            want(1)?;
+            Instr::Call(label(ops[0], line, labels)?)
+        }
+        "ret" => {
+            want(0)?;
+            Instr::Ret
+        }
+        "halt" => {
+            want(0)?;
+            Instr::Halt
+        }
+        "nop" => {
+            want(0)?;
+            Instr::Nop
+        }
+        other => {
+            return Err(AsmError { line, kind: AsmErrorKind::UnknownOp(other.to_owned()) });
+        }
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_loops_with_labels() {
+        let p = assemble(
+            "# count down\n\
+             \tli r1, 5\n\
+             loop: addi r1, r1, -1\n\
+             \tbne r1, r0, loop\n\
+             \thalt\n",
+        )
+        .expect("assembles");
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[2], Instr::Bne(Reg(1), Reg(0), 1));
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let p = assemble("lw r1, 8(r2)\nsw r3, (r4)\nlb r5, -4(r6)\nhalt\n").expect("assembles");
+        assert_eq!(p[0], Instr::Lw(Reg(1), Reg(2), 8));
+        assert_eq!(p[1], Instr::Sw(Reg(3), Reg(4), 0));
+        assert_eq!(p[2], Instr::Lb(Reg(5), Reg(6), -4));
+    }
+
+    #[test]
+    fn hex_immediates_and_comments() {
+        let p = assemble("li r1, 0x1000 ; base\nli r2, -0x10 # neg\nhalt").expect("assembles");
+        assert_eq!(p[0], Instr::Li(Reg(1), 0x1000));
+        assert_eq!(p[1], Instr::Li(Reg(2), -16));
+    }
+
+    #[test]
+    fn multiple_labels_share_a_target() {
+        let p = assemble("a: b: nop\njmp a\njmp b\n").expect("assembles");
+        assert_eq!(p[1], Instr::Jmp(0));
+        assert_eq!(p[2], Instr::Jmp(0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nfrobnicate r1\n").expect_err("unknown op");
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UnknownOp(_)));
+
+        let err = assemble("lw r1, 8(r99)\n").expect_err("bad register");
+        assert!(matches!(err.kind, AsmErrorKind::BadRegister(_)));
+
+        let err = assemble("jmp nowhere\n").expect_err("undefined label");
+        assert!(matches!(err.kind, AsmErrorKind::UndefinedLabel(_)));
+
+        let err = assemble("x: nop\nx: nop\n").expect_err("duplicate label");
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+
+        let err = assemble("li r1\n").expect_err("operand count");
+        assert!(matches!(err.kind, AsmErrorKind::BadOperands(_)));
+
+        let err = assemble("li r1, banana\n").expect_err("immediate");
+        assert!(matches!(err.kind, AsmErrorKind::BadImmediate(_)));
+    }
+
+    #[test]
+    fn display_of_errors_mentions_line() {
+        let err = assemble("nop\nbip\n").expect_err("unknown");
+        assert!(err.to_string().contains("line 2"));
+    }
+}

@@ -1,0 +1,134 @@
+//! The instruction set: a 16-register little RISC machine.
+//!
+//! Sixteen 64-bit registers `r0..r15` (`r0` reads as zero; `r15` is the
+//! stack pointer by convention), 4-byte instructions, byte-addressed memory
+//! with word (4-byte) and byte loads/stores. Rich enough to express the
+//! loop/call/table-lookup structure of embedded kernels, small enough to
+//! interpret in a page of code.
+
+use std::fmt;
+
+/// A register name `r0..r15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The always-zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// The conventional stack pointer.
+    pub const SP: Reg = Reg(15);
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One instruction. Branch/jump/call targets are instruction indices
+/// (resolved from labels by the assembler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `rd = imm`
+    Li(Reg, i64),
+    /// `rd = ra + rb`
+    Add(Reg, Reg, Reg),
+    /// `rd = ra - rb`
+    Sub(Reg, Reg, Reg),
+    /// `rd = ra * rb`
+    Mul(Reg, Reg, Reg),
+    /// `rd = ra + imm`
+    Addi(Reg, Reg, i64),
+    /// `rd = ra >> imm` (arithmetic)
+    Sari(Reg, Reg, u32),
+    /// `rd = ra & imm`
+    Andi(Reg, Reg, i64),
+    /// `rd = mem32[ra + imm]` (sign-less 32-bit load)
+    Lw(Reg, Reg, i64),
+    /// `mem32[ra + imm] = rs`
+    Sw(Reg, Reg, i64),
+    /// `rd = mem8[ra + imm]`
+    Lb(Reg, Reg, i64),
+    /// `mem8[ra + imm] = rs`
+    Sb(Reg, Reg, i64),
+    /// branch to `target` when `ra == rb`
+    Beq(Reg, Reg, usize),
+    /// branch to `target` when `ra != rb`
+    Bne(Reg, Reg, usize),
+    /// branch to `target` when `ra < rb` (signed)
+    Blt(Reg, Reg, usize),
+    /// unconditional jump
+    Jmp(usize),
+    /// push the return index on the stack and jump
+    Call(usize),
+    /// pop the return index and jump to it
+    Ret,
+    /// stop execution
+    Halt,
+    /// do nothing
+    Nop,
+}
+
+impl Instr {
+    /// `true` for instructions that end a basic block.
+    #[must_use]
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Instr::Beq(..)
+                | Instr::Bne(..)
+                | Instr::Blt(..)
+                | Instr::Jmp(_)
+                | Instr::Call(_)
+                | Instr::Ret
+                | Instr::Halt
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Li(d, i) => write!(f, "li {d}, {i}"),
+            Instr::Add(d, a, b) => write!(f, "add {d}, {a}, {b}"),
+            Instr::Sub(d, a, b) => write!(f, "sub {d}, {a}, {b}"),
+            Instr::Mul(d, a, b) => write!(f, "mul {d}, {a}, {b}"),
+            Instr::Addi(d, a, i) => write!(f, "addi {d}, {a}, {i}"),
+            Instr::Sari(d, a, i) => write!(f, "sari {d}, {a}, {i}"),
+            Instr::Andi(d, a, i) => write!(f, "andi {d}, {a}, {i}"),
+            Instr::Lw(d, a, i) => write!(f, "lw {d}, {i}({a})"),
+            Instr::Sw(s, a, i) => write!(f, "sw {s}, {i}({a})"),
+            Instr::Lb(d, a, i) => write!(f, "lb {d}, {i}({a})"),
+            Instr::Sb(s, a, i) => write!(f, "sb {s}, {i}({a})"),
+            Instr::Beq(a, b, t) => write!(f, "beq {a}, {b}, @{t}"),
+            Instr::Bne(a, b, t) => write!(f, "bne {a}, {b}, @{t}"),
+            Instr::Blt(a, b, t) => write!(f, "blt {a}, {b}, @{t}"),
+            Instr::Jmp(t) => write!(f, "jmp @{t}"),
+            Instr::Call(t) => write!(f, "call @{t}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Instr::Jmp(0).is_control_flow());
+        assert!(Instr::Ret.is_control_flow());
+        assert!(Instr::Halt.is_control_flow());
+        assert!(!Instr::Add(Reg(1), Reg(2), Reg(3)).is_control_flow());
+        assert!(!Instr::Lw(Reg(1), Reg(2), 0).is_control_flow());
+    }
+
+    #[test]
+    fn display_is_assembly_like() {
+        assert_eq!(Instr::Li(Reg(3), -7).to_string(), "li r3, -7");
+        assert_eq!(Instr::Lw(Reg(1), Reg(2), 8).to_string(), "lw r1, 8(r2)");
+        assert_eq!(Instr::Beq(Reg(1), Reg(0), 5).to_string(), "beq r1, r0, @5");
+    }
+}

@@ -1,0 +1,283 @@
+//! A library of assembly kernels whose executions produce verifiable traces.
+//!
+//! Each constructor returns assembly source parameterised by problem size;
+//! [`run_program`] assembles, executes and hands back both the memory trace
+//! and the machine state, so tests can check the *computation* was right
+//! before trusting the *trace* — the property that distinguishes an executed
+//! trace from a synthetic one.
+
+use crate::asm::{assemble, AsmError};
+use crate::cpu::{Cpu, RunOutcome};
+
+/// Byte address of the first input array in all kernels.
+pub const A_BASE: u64 = 0x0010_0000;
+/// Byte address of the second input / output array.
+pub const B_BASE: u64 = 0x0020_0000;
+/// Byte address of results (sums, match counts).
+pub const OUT_BASE: u64 = 0x0030_0000;
+
+/// Sums `n` words of `A` into `OUT[0]` — a pure streaming read kernel.
+#[must_use]
+pub fn vector_sum(n: u32) -> String {
+    format!(
+        "\
+        li   r1, {a}          # cursor\n\
+        li   r2, {n}          # remaining\n\
+        li   r3, 0            # accumulator\n\
+        loop:\n\
+        lw   r4, (r1)\n\
+        add  r3, r3, r4\n\
+        addi r1, r1, 4\n\
+        addi r2, r2, -1\n\
+        bne  r2, r0, loop\n\
+        li   r5, {out}\n\
+        sw   r3, (r5)\n\
+        halt\n",
+        a = A_BASE,
+        n = n,
+        out = OUT_BASE
+    )
+}
+
+/// Copies `n` words from `A` to `B` — interleaved read/write streams.
+#[must_use]
+pub fn memcpy_words(n: u32) -> String {
+    format!(
+        "\
+        li   r1, {a}\n\
+        li   r2, {b}\n\
+        li   r3, {n}\n\
+        loop:\n\
+        lw   r4, (r1)\n\
+        sw   r4, (r2)\n\
+        addi r1, r1, 4\n\
+        addi r2, r2, 4\n\
+        addi r3, r3, -1\n\
+        bne  r3, r0, loop\n\
+        halt\n",
+        a = A_BASE,
+        b = B_BASE,
+        n = n
+    )
+}
+
+/// Naive `n×n` word matrix multiply `OUT = A × B` — the column walks of `B`
+/// are the classic cache stressor.
+#[must_use]
+pub fn matmul(n: u32) -> String {
+    format!(
+        "\
+        li   r10, {n}\n\
+        li   r11, 4\n\
+        li   r1, 0            # i\n\
+        iloop:\n\
+        li   r2, 0            # j\n\
+        jloop:\n\
+        li   r3, 0            # k\n\
+        li   r4, 0            # acc\n\
+        kloop:\n\
+        mul  r5, r1, r10      # A[i][k]\n\
+        add  r5, r5, r3\n\
+        mul  r5, r5, r11\n\
+        addi r5, r5, {a}\n\
+        lw   r6, (r5)\n\
+        mul  r7, r3, r10      # B[k][j]\n\
+        add  r7, r7, r2\n\
+        mul  r7, r7, r11\n\
+        addi r7, r7, {b}\n\
+        lw   r8, (r7)\n\
+        mul  r6, r6, r8\n\
+        add  r4, r4, r6\n\
+        addi r3, r3, 1\n\
+        blt  r3, r10, kloop\n\
+        mul  r5, r1, r10      # OUT[i][j]\n\
+        add  r5, r5, r2\n\
+        mul  r5, r5, r11\n\
+        addi r5, r5, {out}\n\
+        sw   r4, (r5)\n\
+        addi r2, r2, 1\n\
+        blt  r2, r10, jloop\n\
+        addi r1, r1, 1\n\
+        blt  r1, r10, iloop\n\
+        halt\n",
+        n = n,
+        a = A_BASE,
+        b = B_BASE,
+        out = OUT_BASE
+    )
+}
+
+/// Histogram of `n` bytes of `A` into 256 word counters at `OUT` — data-
+/// dependent scattered writes over a small hot table.
+#[must_use]
+pub fn histogram(n: u32) -> String {
+    format!(
+        "\
+        li   r1, {a}\n\
+        li   r2, {n}\n\
+        li   r3, {out}\n\
+        loop:\n\
+        lb   r4, (r1)\n\
+        add  r5, r4, r4\n\
+        add  r5, r5, r5       # r5 = 4*byte\n\
+        add  r5, r5, r3       # counter address\n\
+        lw   r6, (r5)\n\
+        addi r6, r6, 1\n\
+        sw   r6, (r5)\n\
+        addi r1, r1, 1\n\
+        addi r2, r2, -1\n\
+        bne  r2, r0, loop\n\
+        halt\n",
+        a = A_BASE,
+        n = n,
+        out = OUT_BASE
+    )
+}
+
+/// Recursive Fibonacci of `n` via the call stack — call/return heavy,
+/// exercising stack locality.
+#[must_use]
+pub fn fib_recursive(n: u32) -> String {
+    format!(
+        "\
+        li   r1, {n}\n\
+        call fib\n\
+        li   r5, {out}\n\
+        sw   r2, (r5)\n\
+        halt\n\
+        # fib(r1) -> r2, clobbers r3, r4; uses the memory stack for locals\n\
+        fib:\n\
+        li   r3, 2\n\
+        blt  r1, r3, base\n\
+        addi r15, r15, -8     # frame: save n and fib(n-1)\n\
+        sw   r1, (r15)\n\
+        addi r1, r1, -1\n\
+        call fib\n\
+        sw   r2, 4(r15)\n\
+        lw   r1, (r15)\n\
+        addi r1, r1, -2\n\
+        call fib\n\
+        lw   r4, 4(r15)\n\
+        add  r2, r2, r4\n\
+        addi r15, r15, 8\n\
+        ret\n\
+        base:\n\
+        add  r2, r1, r0       # fib(0)=0, fib(1)=1\n\
+        ret\n",
+        n = n,
+        out = OUT_BASE
+    )
+}
+
+/// Assembles and runs a program with inputs pre-loaded, returning the
+/// outcome and the machine for result inspection.
+///
+/// # Errors
+///
+/// [`AsmError`] when the source does not assemble.
+pub fn run_program(
+    source: &str,
+    inputs: &[(u64, u32)],
+    fuel: u64,
+) -> Result<(Cpu, RunOutcome), AsmError> {
+    let program = assemble(source)?;
+    let mut cpu = Cpu::new();
+    for &(addr, value) in inputs {
+        cpu.poke_word(addr, value);
+    }
+    let outcome = cpu.run(&program, fuel);
+    Ok((cpu, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Stop;
+    use dew_trace::AccessKind;
+
+    #[test]
+    fn vector_sum_computes_and_streams() {
+        let inputs: Vec<(u64, u32)> = (0..50).map(|i| (A_BASE + i * 4, (i + 1) as u32)).collect();
+        let (cpu, out) = run_program(&vector_sum(50), &inputs, 10_000).expect("assembles");
+        assert_eq!(out.stop, Stop::Halted);
+        assert_eq!(cpu.peek_word(OUT_BASE), (1..=50).sum::<u32>());
+        let reads = out.trace.iter().filter(|r| r.kind == AccessKind::Read).count();
+        assert_eq!(reads, 50, "one load per element");
+    }
+
+    #[test]
+    fn memcpy_copies_exactly() {
+        let inputs: Vec<(u64, u32)> =
+            (0..32).map(|i| (A_BASE + i * 4, 0xA0_0000 + i as u32)).collect();
+        let (cpu, out) = run_program(&memcpy_words(32), &inputs, 10_000).expect("assembles");
+        assert_eq!(out.stop, Stop::Halted);
+        for i in 0..32u64 {
+            assert_eq!(cpu.peek_word(B_BASE + i * 4), 0xA0_0000 + i as u32);
+        }
+        let writes = out.trace.iter().filter(|r| r.kind == AccessKind::Write).count();
+        assert_eq!(writes, 32);
+    }
+
+    #[test]
+    fn histogram_counts_every_byte() {
+        // Bytes 0..16 repeated: counter b gets n/16 increments.
+        let mut inputs = Vec::new();
+        for w in 0..16u64 {
+            // four bytes per word: w*4, w*4+1, ...
+            let b0 = (w * 4 % 16) as u32;
+            let word = b0 | ((b0 + 1) % 16) << 8 | ((b0 + 2) % 16) << 16 | ((b0 + 3) % 16) << 24;
+            inputs.push((A_BASE + w * 4, word));
+        }
+        let (cpu, out) = run_program(&histogram(64), &inputs, 50_000).expect("assembles");
+        assert_eq!(out.stop, Stop::Halted);
+        let total: u32 = (0..256u64).map(|b| cpu.peek_word(OUT_BASE + b * 4)).sum();
+        assert_eq!(total, 64, "every byte counted once");
+    }
+
+    #[test]
+    fn matmul_computes_the_product() {
+        // 3x3: A = row-major 1..9, B = identity -> OUT == A.
+        let n = 3u64;
+        let mut inputs = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                inputs.push((A_BASE + (i * n + j) * 4, (i * n + j + 1) as u32));
+                inputs.push((B_BASE + (i * n + j) * 4, u32::from(i == j)));
+            }
+        }
+        let (cpu, out) = run_program(&matmul(3), &inputs, 100_000).expect("assembles");
+        assert_eq!(out.stop, Stop::Halted);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    cpu.peek_word(OUT_BASE + (i * n + j) * 4),
+                    (i * n + j + 1) as u32,
+                    "OUT[{i}][{j}]"
+                );
+            }
+        }
+        // n^3 loads of A and of B each, n^2 stores.
+        let reads = out.trace.iter().filter(|r| r.kind == AccessKind::Read).count() as u64;
+        let writes = out.trace.iter().filter(|r| r.kind == AccessKind::Write).count() as u64;
+        assert_eq!(reads, 2 * n * n * n);
+        assert_eq!(writes, n * n);
+    }
+
+    #[test]
+    fn fib_recursive_is_correct_and_stack_heavy() {
+        let (cpu, out) = run_program(&fib_recursive(12), &[], 1_000_000).expect("assembles");
+        assert_eq!(out.stop, Stop::Halted);
+        assert_eq!(cpu.peek_word(OUT_BASE), 144, "fib(12)");
+        // Recursion drives significant stack traffic.
+        let data = out.trace.iter().filter(|r| r.kind != AccessKind::InstrFetch).count();
+        assert!(data > 500, "stack frames read and written: {data}");
+    }
+
+    #[test]
+    fn executed_traces_have_realistic_ifetch_majorities() {
+        let inputs: Vec<(u64, u32)> = (0..100).map(|i| (A_BASE + i * 4, i as u32)).collect();
+        let (_, out) = run_program(&vector_sum(100), &inputs, 10_000).expect("assembles");
+        let f = out.trace.stats().ifetch_fraction();
+        assert!((0.5..0.95).contains(&f), "ifetch fraction {f}");
+    }
+}

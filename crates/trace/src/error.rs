@@ -1,0 +1,118 @@
+//! Error types for trace parsing and I/O.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Failure to parse a single trace record from its textual form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseRecordError {
+    /// The line was empty.
+    MissingLabel,
+    /// The line had a label but no address field.
+    MissingAddress,
+    /// The label field was not an integer.
+    BadLabel(String),
+    /// The label was an integer outside `0..=2`.
+    UnknownLabel(u8),
+    /// The address field was not valid hexadecimal.
+    BadAddress(String),
+}
+
+impl fmt::Display for ParseRecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRecordError::MissingLabel => write!(f, "missing access-kind label"),
+            ParseRecordError::MissingAddress => write!(f, "missing address field"),
+            ParseRecordError::BadLabel(s) => write!(f, "label `{s}` is not an integer"),
+            ParseRecordError::UnknownLabel(l) => {
+                write!(f, "label {l} is not a din access kind (expected 0, 1 or 2)")
+            }
+            ParseRecordError::BadAddress(s) => write!(f, "address `{s}` is not hexadecimal"),
+        }
+    }
+}
+
+impl Error for ParseRecordError {}
+
+/// Errors produced while reading or writing trace files.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A malformed record, with its 1-based line (text) or record (binary)
+    /// number.
+    Parse {
+        /// 1-based position of the offending record.
+        position: u64,
+        /// What went wrong.
+        source: ParseRecordError,
+    },
+    /// The binary stream did not start with the expected magic bytes.
+    BadMagic,
+    /// The binary stream declared an unsupported format version.
+    UnsupportedVersion(u8),
+    /// The binary stream ended in the middle of a record.
+    Truncated,
+    /// A varint field exceeded the 64-bit range.
+    VarintOverflow,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { position, source } => {
+                write!(f, "bad record at position {position}: {source}")
+            }
+            TraceError::BadMagic => write!(f, "not a dew binary trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported binary trace version {v}")
+            }
+            TraceError::Truncated => write!(f, "binary trace ended mid-record"),
+            TraceError::VarintOverflow => write!(f, "varint field exceeds 64 bits"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants: Vec<TraceError> = vec![
+            TraceError::Io(io::Error::new(io::ErrorKind::Other, "x")),
+            TraceError::Parse { position: 3, source: ParseRecordError::MissingLabel },
+            TraceError::BadMagic,
+            TraceError::UnsupportedVersion(9),
+            TraceError::Truncated,
+            TraceError::VarintOverflow,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_error_is_source_of_trace_error() {
+        let err = TraceError::Parse { position: 1, source: ParseRecordError::MissingAddress };
+        assert!(err.source().is_some());
+    }
+}

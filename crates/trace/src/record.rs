@@ -1,0 +1,315 @@
+//! The fundamental trace value types: [`AccessKind`], [`Record`] and
+//! [`BlockAddr`].
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseRecordError;
+
+/// The kind of a memory request.
+///
+/// The discriminants match the labels of the Dinero IV `din` trace format
+/// (`0` data read, `1` data write, `2` instruction fetch), so conversion to
+/// and from trace files is direct.
+///
+/// # Examples
+///
+/// ```
+/// use dew_trace::AccessKind;
+///
+/// assert_eq!(AccessKind::Read.din_label(), 0);
+/// assert_eq!(AccessKind::from_din_label(2), Some(AccessKind::InstrFetch));
+/// assert_eq!(AccessKind::from_din_label(7), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum AccessKind {
+    /// A data load.
+    Read = 0,
+    /// A data store.
+    Write = 1,
+    /// An instruction fetch.
+    InstrFetch = 2,
+}
+
+impl AccessKind {
+    /// All kinds, in `din`-label order.
+    pub const ALL: [AccessKind; 3] = [AccessKind::Read, AccessKind::Write, AccessKind::InstrFetch];
+
+    /// The Dinero IV `din` label for this kind.
+    #[must_use]
+    pub const fn din_label(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a Dinero IV `din` label. Returns `None` for labels other than
+    /// `0`, `1` and `2`.
+    #[must_use]
+    pub const fn from_din_label(label: u8) -> Option<Self> {
+        match label {
+            0 => Some(AccessKind::Read),
+            1 => Some(AccessKind::Write),
+            2 => Some(AccessKind::InstrFetch),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`AccessKind::Read`] and [`AccessKind::InstrFetch`].
+    #[must_use]
+    pub const fn is_load(self) -> bool {
+        matches!(self, AccessKind::Read | AccessKind::InstrFetch)
+    }
+
+    /// `true` for [`AccessKind::Write`].
+    #[must_use]
+    pub const fn is_store(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::InstrFetch => "ifetch",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One memory request: a byte address plus the [`AccessKind`].
+///
+/// Addresses are byte addresses, as in the paper ("All these requests are for
+/// byte addressable memory", Table 2). Cache simulators derive the block
+/// address by shifting off the block-offset bits; see [`Record::block`].
+///
+/// # Examples
+///
+/// ```
+/// use dew_trace::{AccessKind, Record};
+///
+/// let r = Record::new(0x1234, AccessKind::Read);
+/// // Block number for a 16-byte block: the low 4 bits are the offset.
+/// assert_eq!(r.block(4).get(), 0x123);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Record {
+    /// The byte address of the request.
+    pub addr: u64,
+    /// What kind of request it is.
+    pub kind: AccessKind,
+}
+
+impl Record {
+    /// Creates a record from a byte address and a kind.
+    #[must_use]
+    pub const fn new(addr: u64, kind: AccessKind) -> Self {
+        Record { addr, kind }
+    }
+
+    /// Convenience constructor for a data read.
+    #[must_use]
+    pub const fn read(addr: u64) -> Self {
+        Record::new(addr, AccessKind::Read)
+    }
+
+    /// Convenience constructor for a data write.
+    #[must_use]
+    pub const fn write(addr: u64) -> Self {
+        Record::new(addr, AccessKind::Write)
+    }
+
+    /// Convenience constructor for an instruction fetch.
+    #[must_use]
+    pub const fn ifetch(addr: u64) -> Self {
+        Record::new(addr, AccessKind::InstrFetch)
+    }
+
+    /// The block address for a block of `2^block_bits` bytes.
+    #[must_use]
+    pub const fn block(&self, block_bits: u32) -> BlockAddr {
+        BlockAddr::from_byte_addr(self.addr, block_bits)
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:#x}", self.kind.din_label(), self.addr)
+    }
+}
+
+impl FromStr for Record {
+    type Err = ParseRecordError;
+
+    /// Parses a Dinero `din` line: `<label> <hex-address>`.
+    ///
+    /// Addresses may be given with or without a `0x` prefix; the label must be
+    /// `0`, `1` or `2`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split_whitespace();
+        let label = parts.next().ok_or(ParseRecordError::MissingLabel)?;
+        let addr = parts.next().ok_or(ParseRecordError::MissingAddress)?;
+        // Tolerate (and ignore) trailing fields, like Dinero does for the
+        // optional size column.
+        let label: u8 = label
+            .parse()
+            .map_err(|_| ParseRecordError::BadLabel(label.to_owned()))?;
+        let kind =
+            AccessKind::from_din_label(label).ok_or(ParseRecordError::UnknownLabel(label))?;
+        let digits = addr.strip_prefix("0x").or_else(|| addr.strip_prefix("0X")).unwrap_or(addr);
+        let addr = u64::from_str_radix(digits, 16)
+            .map_err(|_| ParseRecordError::BadAddress(addr.to_owned()))?;
+        Ok(Record::new(addr, kind))
+    }
+}
+
+/// A cache-block address: the byte address with the block-offset bits shifted
+/// off.
+///
+/// This newtype keeps block numbers from being confused with byte addresses
+/// when both flow through simulator code.
+///
+/// # Examples
+///
+/// ```
+/// use dew_trace::BlockAddr;
+///
+/// let b = BlockAddr::from_byte_addr(0xABCD, 6); // 64-byte blocks
+/// assert_eq!(b.get(), 0xABCD >> 6);
+/// assert_eq!(b.set_index(4), (0xABCDu64 >> 6) & 0xF); // 16 sets
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Wraps a raw block number.
+    #[must_use]
+    pub const fn new(block: u64) -> Self {
+        BlockAddr(block)
+    }
+
+    /// Computes the block number of `addr` for blocks of `2^block_bits` bytes.
+    #[must_use]
+    pub const fn from_byte_addr(addr: u64, block_bits: u32) -> Self {
+        BlockAddr(addr >> block_bits)
+    }
+
+    /// The raw block number.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The set index in a cache with `2^set_bits` sets: the low `set_bits`
+    /// bits of the block number.
+    #[must_use]
+    pub const fn set_index(self, set_bits: u32) -> u64 {
+        if set_bits == 0 {
+            0
+        } else if set_bits >= 64 {
+            self.0
+        } else {
+            self.0 & ((1u64 << set_bits) - 1)
+        }
+    }
+
+    /// The tag in a cache with `2^set_bits` sets: the block number with the
+    /// index bits shifted off.
+    #[must_use]
+    pub const fn tag(self, set_bits: u32) -> u64 {
+        if set_bits >= 64 {
+            0
+        } else {
+            self.0 >> set_bits
+        }
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<BlockAddr> for u64 {
+    fn from(b: BlockAddr) -> u64 {
+        b.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_din_labels_round_trip() {
+        for kind in AccessKind::ALL {
+            assert_eq!(AccessKind::from_din_label(kind.din_label()), Some(kind));
+        }
+        assert_eq!(AccessKind::from_din_label(3), None);
+        assert_eq!(AccessKind::from_din_label(255), None);
+    }
+
+    #[test]
+    fn kind_load_store_classification() {
+        assert!(AccessKind::Read.is_load());
+        assert!(AccessKind::InstrFetch.is_load());
+        assert!(!AccessKind::Write.is_load());
+        assert!(AccessKind::Write.is_store());
+        assert!(!AccessKind::Read.is_store());
+    }
+
+    #[test]
+    fn record_block_extraction() {
+        let r = Record::read(0b1111_0110);
+        assert_eq!(r.block(0).get(), 0b1111_0110);
+        assert_eq!(r.block(2).get(), 0b11_1101);
+        assert_eq!(r.block(6).get(), 0b11);
+    }
+
+    #[test]
+    fn record_parses_din_lines() {
+        let r: Record = "0 1000".parse().expect("plain hex");
+        assert_eq!(r, Record::read(0x1000));
+        let r: Record = "1 0xdeadbeef".parse().expect("0x prefix");
+        assert_eq!(r, Record::write(0xdead_beef));
+        let r: Record = "2 ffff 4".parse().expect("trailing size field ignored");
+        assert_eq!(r, Record::ifetch(0xffff));
+    }
+
+    #[test]
+    fn record_parse_errors() {
+        assert!(matches!("".parse::<Record>(), Err(ParseRecordError::MissingLabel)));
+        assert!(matches!("0".parse::<Record>(), Err(ParseRecordError::MissingAddress)));
+        assert!(matches!("x 10".parse::<Record>(), Err(ParseRecordError::BadLabel(_))));
+        assert!(matches!("9 10".parse::<Record>(), Err(ParseRecordError::UnknownLabel(9))));
+        assert!(matches!("0 zz".parse::<Record>(), Err(ParseRecordError::BadAddress(_))));
+    }
+
+    #[test]
+    fn record_display_round_trips_through_parse() {
+        let orig = Record::write(0xabc0);
+        let shown = orig.to_string();
+        let parsed: Record = shown.parse().expect("display output parses");
+        assert_eq!(parsed, orig);
+    }
+
+    #[test]
+    fn block_addr_index_and_tag_partition_the_block_number() {
+        let b = BlockAddr::new(0b1011_0110_1101);
+        for set_bits in 0..=12 {
+            let rebuilt = (b.tag(set_bits) << set_bits) | b.set_index(set_bits);
+            assert_eq!(rebuilt, b.get(), "set_bits={set_bits}");
+        }
+    }
+
+    #[test]
+    fn block_addr_extreme_set_bits() {
+        let b = BlockAddr::new(u64::MAX);
+        assert_eq!(b.set_index(64), u64::MAX);
+        assert_eq!(b.tag(64), 0);
+        assert_eq!(b.set_index(0), 0);
+        assert_eq!(b.tag(0), u64::MAX);
+    }
+}

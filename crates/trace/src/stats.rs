@@ -1,0 +1,188 @@
+//! Streaming statistics over a trace: request counts per kind, address range,
+//! and unique-block footprints.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::record::{AccessKind, Record};
+
+/// Aggregate statistics of a trace.
+///
+/// Collected in one streaming pass via [`TraceStats::observe`], or from a
+/// whole trace via [`crate::Trace::stats`]. Unique-block footprints are
+/// tracked for every block size in [`TraceStats::FOOTPRINT_BLOCK_BITS`]
+/// (4-byte through 64-byte blocks), matching the block sizes highlighted in
+/// the paper's evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use dew_trace::{Record, TraceStats};
+///
+/// let mut s = TraceStats::new();
+/// s.observe(Record::read(0x10));
+/// s.observe(Record::read(0x14));
+/// s.observe(Record::read(0x10));
+/// assert_eq!(s.total(), 3);
+/// // With 4-byte blocks, addresses 0x10 and 0x14 are two distinct blocks.
+/// assert_eq!(s.unique_blocks(2), Some(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    counts: [u64; 3],
+    min_addr: Option<u64>,
+    max_addr: Option<u64>,
+    footprints: Vec<(u32, HashSet<u64>)>,
+}
+
+impl TraceStats {
+    /// Block sizes (as log2 of bytes) for which unique-block footprints are
+    /// tracked: 4, 16 and 64 bytes — the block sizes of Table 3.
+    pub const FOOTPRINT_BLOCK_BITS: [u32; 3] = [2, 4, 6];
+
+    /// Creates an empty statistics accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceStats {
+            counts: [0; 3],
+            min_addr: None,
+            max_addr: None,
+            footprints: Self::FOOTPRINT_BLOCK_BITS
+                .iter()
+                .map(|&b| (b, HashSet::new()))
+                .collect(),
+        }
+    }
+
+    /// Feeds one record into the accumulator.
+    pub fn observe(&mut self, record: Record) {
+        self.counts[record.kind as usize] += 1;
+        self.min_addr = Some(self.min_addr.map_or(record.addr, |m| m.min(record.addr)));
+        self.max_addr = Some(self.max_addr.map_or(record.addr, |m| m.max(record.addr)));
+        for (bits, set) in &mut self.footprints {
+            set.insert(record.addr >> *bits);
+        }
+    }
+
+    /// Number of requests of one kind.
+    #[must_use]
+    pub fn count(&self, kind: AccessKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Total number of requests.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Lowest address observed, if any record was observed.
+    #[must_use]
+    pub fn min_addr(&self) -> Option<u64> {
+        self.min_addr
+    }
+
+    /// Highest address observed, if any record was observed.
+    #[must_use]
+    pub fn max_addr(&self) -> Option<u64> {
+        self.max_addr
+    }
+
+    /// Number of distinct blocks touched, for `2^block_bits`-byte blocks.
+    ///
+    /// Only the block sizes in [`TraceStats::FOOTPRINT_BLOCK_BITS`] are
+    /// tracked; other sizes return `None`.
+    #[must_use]
+    pub fn unique_blocks(&self, block_bits: u32) -> Option<u64> {
+        self.footprints
+            .iter()
+            .find(|(b, _)| *b == block_bits)
+            .map(|(_, set)| set.len() as u64)
+    }
+
+    /// The fraction of requests that are instruction fetches, in `0.0..=1.0`.
+    /// Returns `0.0` for an empty trace.
+    #[must_use]
+    pub fn ifetch_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(AccessKind::InstrFetch) as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests ({} reads, {} writes, {} ifetches)",
+            self.total(),
+            self.count(AccessKind::Read),
+            self.count(AccessKind::Write),
+            self.count(AccessKind::InstrFetch),
+        )?;
+        if let (Some(lo), Some(hi)) = (self.min_addr, self.max_addr) {
+            write!(f, ", addresses {lo:#x}..={hi:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let s = TraceStats::new();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.min_addr(), None);
+        assert_eq!(s.max_addr(), None);
+        assert_eq!(s.unique_blocks(2), Some(0));
+        assert_eq!(s.ifetch_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tracks_address_range() {
+        let mut s = TraceStats::new();
+        s.observe(Record::read(50));
+        s.observe(Record::read(10));
+        s.observe(Record::read(99));
+        assert_eq!(s.min_addr(), Some(10));
+        assert_eq!(s.max_addr(), Some(99));
+    }
+
+    #[test]
+    fn footprint_shrinks_with_block_size() {
+        let mut s = TraceStats::new();
+        for addr in (0..256u64).step_by(4) {
+            s.observe(Record::read(addr));
+        }
+        let f4 = s.unique_blocks(2).expect("4B tracked");
+        let f16 = s.unique_blocks(4).expect("16B tracked");
+        let f64b = s.unique_blocks(6).expect("64B tracked");
+        assert_eq!(f4, 64);
+        assert_eq!(f16, 16);
+        assert_eq!(f64b, 4);
+        assert_eq!(s.unique_blocks(3), None, "untracked size returns None");
+    }
+
+    #[test]
+    fn ifetch_fraction_reflects_mix() {
+        let mut s = TraceStats::new();
+        s.observe(Record::ifetch(0));
+        s.observe(Record::ifetch(4));
+        s.observe(Record::read(8));
+        s.observe(Record::write(12));
+        assert!((s.ifetch_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = TraceStats::new();
+        s.observe(Record::read(0x42));
+        assert!(s.to_string().contains("1 requests"));
+    }
+}

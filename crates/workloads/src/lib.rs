@@ -1,0 +1,39 @@
+//! Synthetic memory-trace workload generators for the DEW reproduction.
+//!
+//! The DEW paper evaluates on Mediabench applications traced with
+//! SimpleScalar; those artefacts are not available offline, so this crate
+//! synthesises traces with equivalent *structure* (see `DESIGN.md` for the
+//! substitution argument):
+//!
+//! * [`kernels`] — archetypal locality patterns (streaming, tiled 2D walks,
+//!   phased working sets, pointer chasing, reuse-distance-controlled
+//!   streams), each a composable [`kernels::Kernel`];
+//! * [`code`] — a loop-body instruction-fetch model for interleaving ifetch
+//!   traffic the way SimpleScalar traces do;
+//! * [`mediabench`] — six surrogates mirroring the paper's Table 2
+//!   applications (JPEG/G721/MPEG2, encode and decode);
+//! * [`zipf`] — the popularity distribution shaping temporal locality.
+//!
+//! # Examples
+//!
+//! ```
+//! use dew_workloads::mediabench::App;
+//! use dew_workloads::kernels::{Kernel, PointerChase};
+//!
+//! // A scaled-down CJPEG-like trace:
+//! let trace = App::JpegEncode.generate(50_000, 1);
+//! assert_eq!(trace.len(), 50_000);
+//!
+//! // A cache-hostile kernel for stress tests:
+//! let chase = PointerChase { base: 0, nodes: 4096, node_bytes: 64, steps: 10_000 };
+//! assert_eq!(chase.generate(1).len(), 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod code;
+pub mod kernels;
+pub mod numeric;
+pub mod mediabench;
+pub mod zipf;

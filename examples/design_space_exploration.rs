@@ -1,0 +1,57 @@
+//! Cache design-space exploration — the paper's motivating use case.
+//!
+//! Sweeps the paper's full Table 1 space (525 configurations: sets 2^0..2^14,
+//! blocks 1..64 B, assoc 1..16) over an MPEG2-decode-like workload with
+//! parallel DEW passes, evaluates every configuration under the analytic
+//! energy/timing model, and reports the Pareto front plus the best choices
+//! under typical embedded constraints.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use std::time::Instant;
+
+use dew_core::{sweep_trace, ConfigSpace, DewOptions};
+use dew_explore::{best_edp_under, evaluate_sweep, fastest_under, pareto_front, EnergyModel};
+use dew_workloads::mediabench::App;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = App::Mpeg2Decode;
+    let trace = app.generate(400_000, 11);
+    let space = ConfigSpace::paper();
+    println!("exploring {space}");
+    println!("workload: {app} ({} requests)\n", trace.len());
+
+    let start = Instant::now();
+    let sweep = sweep_trace(&space, trace.records(), DewOptions::default(), 0)?;
+    println!(
+        "swept {} configurations in {:.2}s ({} DEW passes, parallel)",
+        sweep.config_count(),
+        start.elapsed().as_secs_f64(),
+        sweep.passes().len()
+    );
+
+    let model = EnergyModel::default();
+    let evals = evaluate_sweep(&sweep, &model);
+
+    let front = pareto_front(&evals);
+    println!("\nPareto front (energy vs cycles), {} of {} configurations:", front.len(), evals.len());
+    for e in front.iter().take(15) {
+        println!("  {e}");
+    }
+    if front.len() > 15 {
+        println!("  ... and {} more", front.len() - 15);
+    }
+
+    for budget_kib in [1u64, 4, 16, 64] {
+        let budget = budget_kib * 1024;
+        match (best_edp_under(&evals, budget), fastest_under(&evals, budget)) {
+            (Some(edp), Some(fast)) => {
+                println!("\nwithin {budget_kib:>3} KiB:");
+                println!("  best energy-delay: {edp}");
+                println!("  fastest:           {fast}");
+            }
+            _ => println!("\nwithin {budget_kib:>3} KiB: nothing fits"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Hardware extensions around the L1: victim caches, sequential prefetching
+//! and a two-level hierarchy.
+//!
+//! DEW answers "which (S, A, B) is best?"; this example shows the substrate
+//! answering the neighbouring hardware questions with the same trace:
+//!
+//! * a **victim cache** — the hardware big sibling of DEW's MRE entry —
+//!   absorbing direct-mapped conflict misses;
+//! * **sequential prefetching** (miss / tagged) converting streaming misses
+//!   into hits;
+//! * an **L1 + L2 hierarchy** filtering the miss stream.
+//!
+//! Run with: `cargo run --release --example hardware_extensions`
+
+use dew_cachesim::hierarchy::TwoLevel;
+use dew_cachesim::prefetch::{PrefetchPolicy, PrefetchingCache};
+use dew_cachesim::victim::VictimCache;
+use dew_cachesim::{Cache, CacheConfig, Replacement};
+use dew_workloads::mediabench::App;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = App::Mpeg2Encode.generate(300_000, 8);
+    println!("workload: {} ({} requests)\n", App::Mpeg2Encode, trace.len());
+
+    // Baseline: a direct-mapped 4 KiB L1.
+    let dm = CacheConfig::new(256, 1, 16, Replacement::Fifo)?;
+    let mut plain = Cache::new(dm);
+    for r in &trace {
+        plain.access(*r);
+    }
+    println!("plain DM 4 KiB:            {:>8} misses", plain.stats().misses());
+
+    // The same cache with a small victim buffer.
+    for entries in [2usize, 8] {
+        let mut vc = VictimCache::new(dm, entries);
+        for r in &trace {
+            vc.access(*r);
+        }
+        println!(
+            "  + {entries}-entry victim cache: {:>8} effective misses ({} served by the buffer)",
+            vc.effective_misses(),
+            vc.victim_hits()
+        );
+    }
+
+    // The same cache with sequential prefetching.
+    for (name, policy) in
+        [("miss prefetch  ", PrefetchPolicy::Miss), ("tagged prefetch", PrefetchPolicy::Tagged)]
+    {
+        let mut pf = PrefetchingCache::new(dm, policy, 1);
+        for r in &trace {
+            pf.access(*r);
+        }
+        println!(
+            "  + {name}:       {:>8} misses ({} prefetches, {} useful)",
+            pf.stats().misses(),
+            pf.prefetches_issued(),
+            pf.useful_prefetches()
+        );
+    }
+
+    // A two-level arrangement.
+    let l2 = CacheConfig::new(1024, 8, 16, Replacement::Lru)?;
+    let mut h = TwoLevel::new(dm, l2)?;
+    for r in &trace {
+        h.access(*r);
+    }
+    println!(
+        "  + 128 KiB L2:              {:>8} memory fetches (global miss rate {:.3}%)",
+        h.memory_fetches(),
+        h.global_miss_rate() * 100.0
+    );
+
+    println!(
+        "\nL1 miss rate {:.3}% -> each extension attacks a different slice of it.",
+        plain.stats().miss_rate() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Trace tooling: generate, inspect, and convert trace files.
+//!
+//! Produces a workload trace, writes it in both the Dinero `din` text format
+//! and the compact zigzag-delta binary format, reads both back, verifies
+//! they agree, and prints statistics and the compression ratio.
+//!
+//! Run with: `cargo run --example trace_tools`
+
+use dew_trace::{Trace, TraceStats};
+use dew_workloads::mediabench::App;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = App::G721Encode.generate(100_000, 3);
+    let dir = std::env::temp_dir().join("dew_trace_tools");
+    std::fs::create_dir_all(&dir)?;
+    let din_path = dir.join("g721.din");
+    let bin_path = dir.join("g721.dewt");
+
+    // Write both formats.
+    trace.write_din_file(&din_path)?;
+    trace.write_bin_file(&bin_path)?;
+    let din_bytes = std::fs::metadata(&din_path)?.len();
+    let bin_bytes = std::fs::metadata(&bin_path)?.len();
+
+    // Read back and verify.
+    let from_din = Trace::read_din_file(&din_path)?;
+    let from_bin = Trace::read_bin_file(&bin_path)?;
+    assert_eq!(from_din, trace, "din round trip");
+    assert_eq!(from_bin, trace, "binary round trip");
+
+    // Inspect.
+    let stats: TraceStats = trace.stats();
+    println!("trace: {stats}");
+    for bits in TraceStats::FOOTPRINT_BLOCK_BITS {
+        println!(
+            "  unique {:>2}-byte blocks: {}",
+            1u32 << bits,
+            stats.unique_blocks(bits).expect("tracked")
+        );
+    }
+    println!("\nfile sizes for {} records:", trace.len());
+    println!("  din text: {:>9} bytes ({:.1} B/record)", din_bytes, din_bytes as f64 / trace.len() as f64);
+    println!("  binary:   {:>9} bytes ({:.1} B/record)", bin_bytes, bin_bytes as f64 / trace.len() as f64);
+    println!("  compression vs text: {:.1}x", din_bytes as f64 / bin_bytes as f64);
+
+    std::fs::remove_file(&din_path)?;
+    std::fs::remove_file(&bin_path)?;
+    Ok(())
+}

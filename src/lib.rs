@@ -1,0 +1,25 @@
+//! Workspace façade for the DEW reproduction.
+//!
+//! This crate hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`); it re-exports the member crates so examples
+//! can use one coherent namespace:
+//!
+//! * [`trace`] — trace model and file formats ([`dew_trace`]);
+//! * [`workloads`] — synthetic workload generators ([`dew_workloads`]);
+//! * [`cachesim`] — the per-configuration reference simulator
+//!   ([`dew_cachesim`]);
+//! * [`core`] — DEW itself ([`dew_core`]);
+//! * [`explore`] — energy models and design-space exploration
+//!   ([`dew_explore`]).
+//!
+//! See `README.md` for the project overview, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for paper-versus-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dew_cachesim as cachesim;
+pub use dew_core as core;
+pub use dew_explore as explore;
+pub use dew_trace as trace;
+pub use dew_workloads as workloads;

@@ -1,0 +1,72 @@
+//! Property-based round-trip tests for the trace file formats.
+
+use proptest::prelude::*;
+
+use dew_trace::binary::{BinReader, BinWriter};
+use dew_trace::din::{DinReader, DinWriter};
+use dew_trace::{AccessKind, Record};
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (any::<u64>(), 0u8..3).prop_map(|(addr, k)| {
+        Record::new(addr, AccessKind::from_din_label(k).expect("0..3 are valid labels"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn din_round_trips(records in prop::collection::vec(record_strategy(), 0..200)) {
+        let mut buf = Vec::new();
+        let mut w = DinWriter::new(&mut buf);
+        w.write_all(records.iter().copied()).expect("write");
+        w.finish().expect("finish");
+        let back: Vec<Record> = DinReader::new(buf.as_slice())
+            .collect::<Result<_, _>>()
+            .expect("read");
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn binary_round_trips(records in prop::collection::vec(record_strategy(), 0..200)) {
+        let mut buf = Vec::new();
+        let mut w = BinWriter::new(&mut buf).expect("header");
+        w.write_all(records.iter().copied()).expect("write");
+        w.finish().expect("finish");
+        let back: Vec<Record> = BinReader::new(buf.as_slice())
+            .expect("header")
+            .collect::<Result<_, _>>()
+            .expect("read");
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn binary_never_larger_than_fixed_encoding_for_local_traces(
+        base in 0u64..1_000_000,
+        steps in prop::collection::vec(-512i64..512, 1..300),
+    ) {
+        // Locality-heavy traces (small deltas) must encode in <= 3 bytes per
+        // record: 1 kind byte + <= 2 varint bytes for |delta| < 8192.
+        let mut addr = base;
+        let records: Vec<Record> = steps
+            .iter()
+            .map(|&d| {
+                addr = addr.wrapping_add(d as u64);
+                Record::read(addr)
+            })
+            .collect();
+        let mut buf = Vec::new();
+        let mut w = BinWriter::new(&mut buf).expect("header");
+        w.write_all(records.iter().copied()).expect("write");
+        w.finish().expect("finish");
+        let payload = buf.len() - 5; // minus header
+        prop_assert!(payload <= records.len() * 3 + 10);
+    }
+
+    #[test]
+    fn record_display_parses_back(record in record_strategy()) {
+        let shown = record.to_string();
+        let parsed: Record = shown.parse().expect("display output is valid din");
+        prop_assert_eq!(parsed, record);
+    }
+}

@@ -1,0 +1,80 @@
+//! Fractional simulation (paper Section 2, related work): sampling a trace
+//! trades accuracy for speed. These tests quantify the trade-off the paper
+//! alludes to — and confirm that DEW itself never needs to make it, since a
+//! full pass is exact by construction.
+
+use dew_core::{DewOptions, DewTree, PassConfig};
+use dew_trace::sample::{periodic, prefix, relative_error, retained_fraction, stratified};
+use dew_trace::Trace;
+use dew_workloads::mediabench::App;
+
+/// Miss rate of a 4-way, 64-set, 16-byte-block cache over a trace, via DEW.
+fn miss_rate(trace: &Trace) -> f64 {
+    let pass = PassConfig::new(4, 6, 6, 4).expect("valid");
+    let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+    tree.run(trace.iter().copied());
+    tree.results().miss_rate(64, 4).expect("simulated")
+}
+
+#[test]
+fn cluster_sampling_approximates_the_full_trace() {
+    let full = App::JpegEncode.generate(200_000, 17);
+    let full_rate = miss_rate(&full);
+    assert!(full_rate > 0.0);
+
+    // Keep 25% in clusters of 2500: locality within clusters survives.
+    let sampled = periodic(&full, 10_000, 2_500);
+    assert!((retained_fraction(&full, &sampled) - 0.25).abs() < 1e-9);
+    let err = relative_error(full_rate, miss_rate(&sampled));
+    assert!(
+        err < 0.35,
+        "cluster sampling should land near the full-trace miss rate, got {:.1}% error",
+        err * 100.0
+    );
+}
+
+#[test]
+fn longer_samples_are_more_accurate_than_shorter_ones() {
+    let full = App::G721Decode.generate(200_000, 23);
+    let full_rate = miss_rate(&full);
+    let coarse = relative_error(full_rate, miss_rate(&periodic(&full, 10_000, 500)));
+    let fine = relative_error(full_rate, miss_rate(&periodic(&full, 10_000, 5_000)));
+    assert!(
+        fine <= coarse + 0.02,
+        "more sample mass must not hurt accuracy much: fine {fine:.3} vs coarse {coarse:.3}"
+    );
+}
+
+#[test]
+fn stratified_sampling_is_far_less_accurate_than_cluster_sampling() {
+    // Keeping every 16th request breaks the same-block runs that caches (and
+    // DEW's MRA property) live on; at equal retention, contiguous clusters
+    // preserve the miss rate far better — the known failure mode of naive
+    // stride sampling.
+    let full = App::JpegEncode.generate(200_000, 29);
+    let full_rate = miss_rate(&full);
+    let cluster = periodic(&full, 16_000, 1_000); // 1/16, contiguous
+    let strided = stratified(&full, 16); // 1/16, shredded
+    let ratio = cluster.len() as f64 / strided.len() as f64;
+    assert!((0.9..1.1).contains(&ratio), "comparable retention: {ratio}");
+    let cluster_err = relative_error(full_rate, miss_rate(&cluster));
+    let strided_err = relative_error(full_rate, miss_rate(&strided));
+    assert!(
+        strided_err > 2.0 * cluster_err,
+        "stride sampling should be far off while clusters stay close: \
+         strided {strided_err:.3} vs cluster {cluster_err:.3} (full rate {full_rate:.4})"
+    );
+}
+
+#[test]
+fn prefix_sampling_overweights_cold_start() {
+    // A short prefix is dominated by compulsory misses.
+    let full = App::Mpeg2Decode.generate(300_000, 31);
+    let full_rate = miss_rate(&full);
+    let head_rate = miss_rate(&prefix(&full, 10_000));
+    assert!(
+        head_rate >= full_rate,
+        "cold-start prefix cannot under-estimate the long-run miss rate: \
+         head {head_rate:.4} vs full {full_rate:.4}"
+    );
+}

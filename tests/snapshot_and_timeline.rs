@@ -1,0 +1,72 @@
+//! Workspace-level tests for the checkpointing and phase-analysis
+//! extensions: snapshots must survive the filesystem and resume exactly;
+//! timelines must expose the phase structure of the Mediabench surrogates.
+
+use dew_core::{DewOptions, DewTree, MissTimeline, PassConfig};
+use dew_workloads::mediabench::App;
+
+#[test]
+fn snapshot_survives_disk_and_resumes_exactly() {
+    let trace = App::G721Encode.generate(40_000, 12);
+    let records = trace.records();
+    let (head, tail) = records.split_at(records.len() / 2);
+    let pass = PassConfig::new(2, 0, 10, 4).expect("valid");
+
+    // Uninterrupted run.
+    let mut straight = DewTree::new(pass, DewOptions::default()).expect("sound");
+    straight.run(records.iter().copied());
+
+    // Checkpoint through a file, as a batch job would.
+    let mut first_half = DewTree::new(pass, DewOptions::default()).expect("sound");
+    first_half.run(head.iter().copied());
+    let dir = std::env::temp_dir().join("dew_snapshot_test");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join(format!("ckpt{}.dews", std::process::id()));
+    std::fs::write(&path, first_half.to_snapshot()).expect("write snapshot");
+    drop(first_half);
+
+    let bytes = std::fs::read(&path).expect("read snapshot");
+    let mut resumed = DewTree::from_snapshot(&bytes).expect("restore");
+    resumed.run(tail.iter().copied());
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(resumed.results(), straight.results());
+    assert_eq!(resumed.counters(), straight.counters());
+}
+
+#[test]
+fn snapshot_size_tracks_the_forest_footprint() {
+    let pass = PassConfig::new(2, 0, 8, 4).expect("valid");
+    let tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+    let snapshot = tree.to_snapshot();
+    // Ways dominate: (2^9 - 1) nodes x 4 entries x 12 bytes payload, plus
+    // metadata; the snapshot must be within 3x of the in-memory footprint
+    // and never trivially small.
+    assert!(snapshot.len() > tree.footprint_bytes() / 2);
+    assert!(snapshot.len() < tree.footprint_bytes() * 3);
+}
+
+#[test]
+fn mediabench_timelines_are_stable_within_an_app() {
+    // The surrogates are repetitive unit loops: after warm-up, windowed miss
+    // rates should stay within a modest band (no phantom phase changes), and
+    // the timeline must agree with an unwindowed run.
+    let trace = App::JpegEncode.generate(120_000, 9);
+    let pass = PassConfig::new(4, 0, 10, 4).expect("valid");
+    let timeline = MissTimeline::collect(pass, DewOptions::default(), trace.records(), 10_000)
+        .expect("collect");
+
+    let mut plain = DewTree::new(pass, DewOptions::default()).expect("sound");
+    plain.run(trace.iter().copied());
+    assert_eq!(timeline.final_results(), &plain.results());
+
+    let series = timeline.series(256, 4).expect("simulated");
+    let steady = &series[2..];
+    let (lo, hi) = steady
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    assert!(
+        hi - lo < 0.2,
+        "steady-state windows should stay in a narrow band: {lo:.4}..{hi:.4}"
+    );
+}
