@@ -10,7 +10,9 @@ use dew_trace::Record;
 use dew_workloads::mediabench::App;
 
 fn trace_records(n: u64) -> Vec<Record> {
-    App::JpegEncode.generate(n, SuiteScale::default().seed).into_records()
+    App::JpegEncode
+        .generate(n, SuiteScale::default().seed)
+        .into_records()
 }
 
 fn bench_policies(c: &mut Criterion) {

@@ -12,7 +12,9 @@ use dew_trace::Record;
 use dew_workloads::mediabench::App;
 
 fn trace_records(n: u64) -> Vec<Record> {
-    App::JpegDecode.generate(n, SuiteScale::default().seed).into_records()
+    App::JpegDecode
+        .generate(n, SuiteScale::default().seed)
+        .into_records()
 }
 
 fn bench_sweep(c: &mut Criterion) {
@@ -24,13 +26,17 @@ fn bench_sweep(c: &mut Criterion) {
 
     group.bench_function("dew_single_thread", |b| {
         b.iter(|| {
-            sweep_trace(&space, &records, DewOptions::default(), 1).expect("sweep").config_count()
+            sweep_trace(&space, &records, DewOptions::default(), 1)
+                .expect("sweep")
+                .config_count()
         });
     });
 
     group.bench_function("dew_parallel", |b| {
         b.iter(|| {
-            sweep_trace(&space, &records, DewOptions::default(), 0).expect("sweep").config_count()
+            sweep_trace(&space, &records, DewOptions::default(), 0)
+                .expect("sweep")
+                .config_count()
         });
     });
 

@@ -43,10 +43,17 @@ fn load_or_collect() -> Vec<Table3Row> {
         eprintln!("using cached rows from {}", path.display());
         return rows;
     }
-    eprintln!("no {} — collecting a quick-scale grid (run the table3 binary for full scale)",
-        path.display());
+    eprintln!(
+        "no {} — collecting a quick-scale grid (run the table3 binary for full scale)",
+        path.display()
+    );
     let suite = workload_suite(SuiteScale::quick());
     collect(&suite, |r| {
-        eprintln!("  {} B={} A=1&{} done", r.app.name(), r.block_bytes, r.assoc);
+        eprintln!(
+            "  {} B={} A=1&{} done",
+            r.app.name(),
+            r.block_bytes,
+            r.assoc
+        );
     })
 }

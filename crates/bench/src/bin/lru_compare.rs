@@ -27,7 +27,13 @@ fn main() {
     let trace = app.generate(requests, scale.seed);
     let pass = PassConfig::new(2, SET_BITS.0, SET_BITS.1, ASSOC).expect("valid pass");
 
-    let mut t = TextTable::new(&["simulator", "policy", "time(s)", "evaluations", "comparisons"]);
+    let mut t = TextTable::new(&[
+        "simulator",
+        "policy",
+        "time(s)",
+        "evaluations",
+        "comparisons",
+    ]);
 
     // DEW with FIFO: full properties.
     let start = Instant::now();
@@ -100,8 +106,16 @@ fn main() {
 
     // Cross-check every LRU result.
     for &(sets, expected) in &ref_misses {
-        assert_eq!(dew_lru.results().misses(sets, ASSOC), Some(expected), "DEW-LRU sets={sets}");
-        assert_eq!(lru_tree.results().misses(sets, ASSOC), Some(expected), "LRU tree sets={sets}");
+        assert_eq!(
+            dew_lru.results().misses(sets, ASSOC),
+            Some(expected),
+            "DEW-LRU sets={sets}"
+        );
+        assert_eq!(
+            lru_tree.results().misses(sets, ASSOC),
+            Some(expected),
+            "LRU tree sets={sets}"
+        );
     }
 
     println!(
@@ -115,6 +129,8 @@ fn main() {
          than LRU-specialised methods)",
         dew_lru_secs / tree_secs
     );
-    println!("DEW-FIFO / DEW-LRU time ratio: {:.2}x (FIFO enjoys the MRA early stop)",
-        fifo_secs / dew_lru_secs);
+    println!(
+        "DEW-FIFO / DEW-LRU time ratio: {:.2}x (FIFO enjoys the MRA early stop)",
+        fifo_secs / dew_lru_secs
+    );
 }

@@ -53,8 +53,9 @@ fn main() {
 
     // The extension: everything in one pass.
     let start = Instant::now();
-    let mut multi = MultiAssocTree::new(2, SET_BITS.0, SET_BITS.1, MAX_ASSOC, DewOptions::default())
-        .expect("valid");
+    let mut multi =
+        MultiAssocTree::new(2, SET_BITS.0, SET_BITS.1, MAX_ASSOC, DewOptions::default())
+            .expect("valid");
     for r in trace.records() {
         multi.step(r.addr);
     }
@@ -77,9 +78,16 @@ fn main() {
                 separate[i].misses(sets, *assoc),
                 "sets={sets} assoc={assoc}"
             );
-            assert_eq!(mr.misses(sets, 1), separate[i].misses(sets, 1), "DM sets={sets}");
+            assert_eq!(
+                mr.misses(sets, 1),
+                separate[i].misses(sets, 1),
+                "DM sets={sets}"
+            );
         }
     }
     println!("\nall 75 configurations agree between the two strategies (asserted).");
-    println!("speedup of the shared pass: {:.2}x", separate_secs / multi_secs);
+    println!(
+        "speedup of the shared pass: {:.2}x",
+        separate_secs / multi_secs
+    );
 }

@@ -38,7 +38,10 @@ fn main() {
     print!("{}", t.render());
 
     println!("\ntotal configurations: {}", space.config_count());
-    println!("DEW passes needed:    {} (associativity 1 rides along with every pass)", space.passes().len());
+    println!(
+        "DEW passes needed:    {} (associativity 1 rides along with every pass)",
+        space.passes().len()
+    );
     let sizes: Vec<u64> = space
         .configs()
         .map(|(s, a, b)| u64::from(s) * u64::from(a) * u64::from(b))

@@ -36,6 +36,11 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
-    println!("\nscale: paper counts / {} clamped to [{}, {}] requests, seed {}",
-        scale.divisor, thousands(scale.min_requests), thousands(scale.max_requests), scale.seed);
+    println!(
+        "\nscale: paper counts / {} clamped to [{}, {}] requests, seed {}",
+        scale.divisor,
+        thousands(scale.min_requests),
+        thousands(scale.max_requests),
+        scale.seed
+    );
 }

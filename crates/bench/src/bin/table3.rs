@@ -61,7 +61,10 @@ fn main() {
     }
     print!("{}", t.render());
 
-    let speedups: Vec<f64> = rows.iter().map(dew_bench::table3::Table3Row::speedup).collect();
+    let speedups: Vec<f64> = rows
+        .iter()
+        .map(dew_bench::table3::Table3Row::speedup)
+        .collect();
     let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
     let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = speedups.iter().cloned().fold(0.0, f64::max);

@@ -49,8 +49,14 @@ fn main() {
         let c8 = run_pass(trace, 8);
         // The walk structure is associativity-independent (the stop rule only
         // consults MRA tags): both passes must agree on these columns.
-        assert_eq!(c4.node_evaluations, c8.node_evaluations, "{app}: evals differ across assoc");
-        assert_eq!(c4.mra_stops, c8.mra_stops, "{app}: MRA stops differ across assoc");
+        assert_eq!(
+            c4.node_evaluations, c8.node_evaluations,
+            "{app}: evals differ across assoc"
+        );
+        assert_eq!(
+            c4.mra_stops, c8.mra_stops,
+            "{app}: MRA stops differ across assoc"
+        );
         t.row_owned(vec![
             app.name().to_owned(),
             m(c4.unoptimized_evaluations(levels)),

@@ -23,7 +23,10 @@ impl TextTable {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (short rows are padded with empty cells).

@@ -21,7 +21,12 @@ impl Default for SuiteScale {
     /// Paper counts / 256, clamped to `[500k, 4M]`: every app keeps its
     /// relative weight but the whole Table 3 grid completes in minutes.
     fn default() -> Self {
-        SuiteScale { divisor: 256, min_requests: 500_000, max_requests: 4_000_000, seed: 2010 }
+        SuiteScale {
+            divisor: 256,
+            min_requests: 500_000,
+            max_requests: 4_000_000,
+            seed: 2010,
+        }
     }
 }
 
@@ -29,14 +34,18 @@ impl SuiteScale {
     /// A tiny suite (100 k requests per app) for smoke runs.
     #[must_use]
     pub fn quick() -> Self {
-        SuiteScale { divisor: u64::MAX, min_requests: 100_000, max_requests: 100_000, seed: 2010 }
+        SuiteScale {
+            divisor: u64::MAX,
+            min_requests: 100_000,
+            max_requests: 100_000,
+            seed: 2010,
+        }
     }
 
     /// The request count this scale assigns to `app`.
     #[must_use]
     pub fn requests_for(&self, app: App) -> u64 {
-        (app.paper_requests() / self.divisor.max(1))
-            .clamp(self.min_requests, self.max_requests)
+        (app.paper_requests() / self.divisor.max(1)).clamp(self.min_requests, self.max_requests)
     }
 
     /// Reads overrides from the process environment:
@@ -90,7 +99,12 @@ mod tests {
 
     #[test]
     fn suite_has_all_apps_at_requested_sizes() {
-        let scale = SuiteScale { divisor: u64::MAX, min_requests: 2_000, max_requests: 2_000, seed: 1 };
+        let scale = SuiteScale {
+            divisor: u64::MAX,
+            min_requests: 2_000,
+            max_requests: 2_000,
+            seed: 1,
+        };
         let suite = workload_suite(scale);
         assert_eq!(suite.len(), 6);
         for (app, trace) in &suite {

@@ -105,7 +105,9 @@ pub fn measure_cell(app: App, trace: &Trace, block_bytes: u32, assoc: u32) -> Ta
             ref_seconds += start.elapsed().as_secs_f64();
             ref_comparisons += cache.stats().tag_comparisons();
             let expected = cache.stats().misses();
-            let got = dew_results.misses(1 << set_bits, a).expect("simulated by the pass");
+            let got = dew_results
+                .misses(1 << set_bits, a)
+                .expect("simulated by the pass");
             assert_eq!(
                 got, expected,
                 "{app}: DEW and reference disagree at sets=2^{set_bits} assoc={a} block={block_bytes}"
@@ -128,10 +130,7 @@ pub fn measure_cell(app: App, trace: &Trace, block_bytes: u32, assoc: u32) -> Ta
 /// Collects the full grid for a suite of app traces. `progress` receives a
 /// line per finished cell.
 #[must_use]
-pub fn collect(
-    suite: &[(App, Trace)],
-    mut progress: impl FnMut(&Table3Row),
-) -> Vec<Table3Row> {
+pub fn collect(suite: &[(App, Trace)], mut progress: impl FnMut(&Table3Row)) -> Vec<Table3Row> {
     let mut rows = Vec::new();
     for (app, trace) in suite {
         for &block_bytes in &BLOCK_BYTES {
@@ -218,7 +217,10 @@ mod tests {
         let row = measure_cell(App::JpegDecode, &trace, 4, 4);
         assert_eq!(row.requests, 20_000);
         assert!(row.dew_comparisons > 0);
-        assert!(row.ref_comparisons > row.dew_comparisons, "DEW compares less");
+        assert!(
+            row.ref_comparisons > row.dew_comparisons,
+            "DEW compares less"
+        );
         assert!(row.speedup() > 0.0);
         assert!(row.comparison_reduction_pct() > 0.0);
     }
@@ -227,8 +229,7 @@ mod tests {
     fn csv_round_trip() {
         let trace = App::G721Encode.generate(5_000, 1);
         let rows = vec![measure_cell(App::G721Encode, &trace, 16, 8)];
-        let path = std::env::temp_dir()
-            .join(format!("dew_table3_{}.csv", std::process::id()));
+        let path = std::env::temp_dir().join(format!("dew_table3_{}.csv", std::process::id()));
         save_csv(&rows, &path).expect("save");
         let back = load_csv(&path).expect("load");
         assert_eq!(back.len(), 1);
@@ -241,8 +242,7 @@ mod tests {
 
     #[test]
     fn load_csv_rejects_garbage() {
-        let path = std::env::temp_dir()
-            .join(format!("dew_table3_bad_{}.csv", std::process::id()));
+        let path = std::env::temp_dir().join(format!("dew_table3_bad_{}.csv", std::process::id()));
         std::fs::write(&path, "header\nnot,a,row\n").expect("write");
         assert!(load_csv(&path).is_none());
         let _ = std::fs::remove_file(&path);

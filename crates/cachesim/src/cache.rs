@@ -76,7 +76,9 @@ impl Cache {
         };
         Cache {
             config,
-            sets: (0..config.sets()).map(|_| CacheSet::new(config.assoc(), config.replacement())).collect(),
+            sets: (0..config.sets())
+                .map(|_| CacheSet::new(config.assoc(), config.replacement()))
+                .collect(),
             stats: CacheStats::new(),
             now: 0,
             rng,
@@ -138,12 +140,11 @@ impl Cache {
                 if first_touch {
                     self.stats.record_compulsory();
                 }
-                let allocate = !is_store
-                    || self.config.allocate_policy() == AllocatePolicy::WriteAllocate;
+                let allocate =
+                    !is_store || self.config.allocate_policy() == AllocatePolicy::WriteAllocate;
                 if allocate {
                     self.stats.record_demand_fetch();
-                    let dirty =
-                        is_store && self.config.write_policy() == WritePolicy::WriteBack;
+                    let dirty = is_store && self.config.write_policy() == WritePolicy::WriteBack;
                     if is_store && self.config.write_policy() == WritePolicy::WriteThrough {
                         self.stats.record_memory_write();
                     }
@@ -167,7 +168,12 @@ impl Cache {
             }
         };
         self.stats.record_access(record.kind, hit);
-        AccessOutcome { hit, first_touch, evicted, comparisons }
+        AccessOutcome {
+            hit,
+            first_touch,
+            evicted,
+            comparisons,
+        }
     }
 
     /// Installs `block` (a block address) as if fetched, *without* touching
@@ -239,7 +245,13 @@ mod tests {
         c.access(Record::read(0x0)); // block 0 -> set 0
         c.access(Record::read(0x4)); // block 1 -> set 1
         let out = c.access(Record::read(0x8)); // block 2 -> set 0, evicts block 0
-        assert_eq!(out.evicted, Some(EvictedBlock { block: 0, dirty: false }));
+        assert_eq!(
+            out.evicted,
+            Some(EvictedBlock {
+                block: 0,
+                dirty: false
+            })
+        );
         assert!(c.probe(0x4), "set 1 untouched");
         assert!(!c.probe(0x0));
         assert!(c.probe(0x8));
@@ -323,7 +335,10 @@ mod tests {
         c.access(Record::read(0x4)); // 1 valid way -> 1 comparison
         c.access(Record::read(0x0)); // hit way 0 -> 1 comparison
         c.access(Record::read(0x4)); // hit way 1 -> 2 comparisons
-        assert_eq!(c.stats().tag_comparisons(), 0 + 1 + 1 + 2);
+        #[allow(clippy::identity_op)] // one term per access above
+        {
+            assert_eq!(c.stats().tag_comparisons(), 0 + 1 + 1 + 2);
+        }
     }
 
     #[test]

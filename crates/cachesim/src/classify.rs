@@ -160,9 +160,7 @@ mod tests {
     use crate::policy::Replacement;
 
     fn classifier(sets: u32, assoc: u32) -> ThreeCClassifier {
-        ThreeCClassifier::new(
-            CacheConfig::new(sets, assoc, 4, Replacement::Fifo).expect("valid"),
-        )
+        ThreeCClassifier::new(CacheConfig::new(sets, assoc, 4, Replacement::Fifo).expect("valid"))
     }
 
     #[test]
@@ -184,7 +182,14 @@ mod tests {
         c.access(Record::read(0x8)); // block 2 compulsory, evicts 0 in set 0
         assert_eq!(c.access(Record::read(0x0)), Some(MissClass::Conflict));
         assert_eq!(c.access(Record::read(0x8)), Some(MissClass::Conflict));
-        assert_eq!(c.counts(), ThreeCCounts { compulsory: 2, capacity: 0, conflict: 2 });
+        assert_eq!(
+            c.counts(),
+            ThreeCCounts {
+                compulsory: 2,
+                capacity: 0,
+                conflict: 2
+            }
+        );
     }
 
     #[test]

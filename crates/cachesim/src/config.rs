@@ -239,15 +239,19 @@ impl CacheConfigBuilder {
     ///   arithmetic (`log2(S) + log2(B) > 58`), which also guarantees the
     ///   DEW tag sentinel can never collide with a real tag.
     pub fn build(self) -> Result<CacheConfig, ConfigError> {
-        for (name, v) in [("sets", self.sets), ("assoc", self.assoc), ("block_bytes", self.block_bytes)]
-        {
+        for (name, v) in [
+            ("sets", self.sets),
+            ("assoc", self.assoc),
+            ("block_bytes", self.block_bytes),
+        ] {
             if v == 0 || !v.is_power_of_two() {
-                return Err(ConfigError::NotPowerOfTwo { field: name, value: v });
+                return Err(ConfigError::NotPowerOfTwo {
+                    field: name,
+                    value: v,
+                });
             }
         }
-        if matches!(self.replacement, Replacement::Plru)
-            && self.assoc > Self::MAX_PLRU_ASSOC
-        {
+        if matches!(self.replacement, Replacement::Plru) && self.assoc > Self::MAX_PLRU_ASSOC {
             return Err(ConfigError::PlruAssocTooLarge(self.assoc));
         }
         if self.sets.trailing_zeros() + self.block_bytes.trailing_zeros() > 58 {
@@ -320,7 +324,10 @@ mod tests {
             ));
             assert!(matches!(
                 CacheConfig::builder().block_bytes(bad).build(),
-                Err(ConfigError::NotPowerOfTwo { field: "block_bytes", .. })
+                Err(ConfigError::NotPowerOfTwo {
+                    field: "block_bytes",
+                    ..
+                })
             ));
         }
     }
@@ -357,7 +364,10 @@ mod tests {
     #[test]
     fn oversized_geometry_rejected() {
         assert!(matches!(
-            CacheConfig::builder().sets(1 << 30).block_bytes(1 << 30).build(),
+            CacheConfig::builder()
+                .sets(1 << 30)
+                .block_bytes(1 << 30)
+                .build(),
             Err(ConfigError::TooLarge)
         ));
     }

@@ -64,7 +64,11 @@ impl TwoLevel {
         if l2.block_bytes() < l1.block_bytes() {
             return Err(ConfigError::TooLarge);
         }
-        Ok(TwoLevel { l1: Cache::new(l1), l2: Cache::new(l2), memory_fetches: 0 })
+        Ok(TwoLevel {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            memory_fetches: 0,
+        })
     }
 
     /// L1 statistics (sees every demand request).
@@ -100,7 +104,10 @@ impl TwoLevel {
     pub fn access(&mut self, record: Record) -> HierarchyOutcome {
         let out1 = self.l1.access(record);
         if out1.hit {
-            return HierarchyOutcome { l1_hit: true, l2_hit: false };
+            return HierarchyOutcome {
+                l1_hit: true,
+                l2_hit: false,
+            };
         }
         // L1 dirty victim is written back into L2 (not a demand access for
         // L2's hit/miss accounting; modelled as a write touch).
@@ -118,7 +125,10 @@ impl TwoLevel {
         if !out2.hit {
             self.memory_fetches += 1;
         }
-        HierarchyOutcome { l1_hit: false, l2_hit: out2.hit }
+        HierarchyOutcome {
+            l1_hit: false,
+            l2_hit: out2.hit,
+        }
     }
 }
 
@@ -160,7 +170,11 @@ mod tests {
         }
         assert!(h.l1_stats().miss_rate() > 0.5, "L1 thrashes");
         // After the first (compulsory) round, L2 holds the whole set.
-        assert_eq!(h.memory_fetches(), 32, "only compulsory misses reach memory");
+        assert_eq!(
+            h.memory_fetches(),
+            32,
+            "only compulsory misses reach memory"
+        );
         assert!(h.global_miss_rate() < 0.11);
     }
 
@@ -186,7 +200,10 @@ mod tests {
     fn ifetches_keep_their_kind_in_l2() {
         let mut h = hierarchy(1, 16);
         h.access(Record::ifetch(0x40));
-        assert_eq!(h.l2_stats().accesses_of(dew_trace::AccessKind::InstrFetch), 1);
+        assert_eq!(
+            h.l2_stats().accesses_of(dew_trace::AccessKind::InstrFetch),
+            1
+        );
     }
 
     #[test]

@@ -47,7 +47,13 @@ impl LruList {
     /// Creates an empty list.
     #[must_use]
     pub fn new() -> Self {
-        LruList { nodes: Vec::new(), slots: HashMap::new(), free: Vec::new(), head: NIL, tail: NIL }
+        LruList {
+            nodes: Vec::new(),
+            slots: HashMap::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
     }
 
     /// Creates an empty list with capacity for `n` keys.
@@ -133,15 +139,26 @@ impl LruList {
 
     /// Iterates keys from most recent to least recent.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { list: self, cursor: self.head }
+        Iter {
+            list: self,
+            cursor: self.head,
+        }
     }
 
     fn alloc(&mut self, key: u64) -> usize {
         if let Some(slot) = self.free.pop() {
-            self.nodes[slot] = Node { key, prev: NIL, next: NIL };
+            self.nodes[slot] = Node {
+                key,
+                prev: NIL,
+                next: NIL,
+            };
             slot
         } else {
-            self.nodes.push(Node { key, prev: NIL, next: NIL });
+            self.nodes.push(Node {
+                key,
+                prev: NIL,
+                next: NIL,
+            });
             self.nodes.len() - 1
         }
     }
@@ -273,7 +290,7 @@ mod tests {
                 }
                 _ => {
                     let was = l.remove(key);
-                    let had = model.iter().any(|&k| k == key);
+                    let had = model.contains(&key);
                     model.retain(|&k| k != key);
                     assert_eq!(was, had);
                 }

@@ -104,7 +104,12 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        for r in [Replacement::Fifo, Replacement::Lru, Replacement::Plru, Replacement::Random(0)] {
+        for r in [
+            Replacement::Fifo,
+            Replacement::Lru,
+            Replacement::Plru,
+            Replacement::Random(0),
+        ] {
             assert!(!r.to_string().is_empty());
         }
         assert!(!WritePolicy::WriteThrough.to_string().is_empty());

@@ -190,7 +190,11 @@ mod tests {
             demand_only.access(Record::read(i * 16));
             with_pf.access(Record::read(i * 16));
         }
-        assert_eq!(demand_only.stats().misses(), 64, "pure stream misses every block");
+        assert_eq!(
+            demand_only.stats().misses(),
+            64,
+            "pure stream misses every block"
+        );
         assert!(
             with_pf.stats().misses() <= 33,
             "degree-1 prefetch halves stream misses: {}",

@@ -16,7 +16,12 @@ pub(crate) struct Way {
 }
 
 impl Way {
-    const EMPTY: Way = Way { tag: 0, valid: false, dirty: false, last_access: 0 };
+    const EMPTY: Way = Way {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        last_access: 0,
+    };
 }
 
 /// A block evicted from a set by an insertion.
@@ -98,7 +103,12 @@ impl CacheSet {
     ) -> Option<Victim> {
         let way = self.choose_victim_way(rng);
         let victim = self.ways[way];
-        self.ways[way] = Way { tag, valid: true, dirty, last_access: now };
+        self.ways[way] = Way {
+            tag,
+            valid: true,
+            dirty,
+            last_access: now,
+        };
         match self.policy {
             Replacement::Fifo => {
                 self.fifo_ptr = (self.fifo_ptr + 1) % self.ways.len() as u32;
@@ -106,7 +116,10 @@ impl CacheSet {
             Replacement::Plru => self.plru_touch(way),
             Replacement::Lru | Replacement::Random(_) => {}
         }
-        victim.valid.then_some(Victim { tag: victim.tag, dirty: victim.dirty })
+        victim.valid.then_some(Victim {
+            tag: victim.tag,
+            dirty: victim.dirty,
+        })
     }
 
     /// Number of valid ways (used by statistics and tests).
@@ -227,7 +240,11 @@ mod tests {
     fn lru_fills_invalid_ways_first() {
         let mut s = CacheSet::new(4, Replacement::Lru);
         for t in 1..=4u64 {
-            assert_eq!(s.insert(t, false, t, None), None, "cold fill evicts nothing");
+            assert_eq!(
+                s.insert(t, false, t, None),
+                None,
+                "cold fill evicts nothing"
+            );
         }
         assert_eq!(s.valid_count(), 4);
     }

@@ -127,8 +127,16 @@ mod tests {
             plain.access(Record::read(addr));
             buffered.access(Record::read(addr));
         }
-        assert_eq!(plain.effective_misses(), 200, "pure ping-pong never hits DM");
-        assert_eq!(buffered.effective_misses(), 2, "only the two compulsory misses remain");
+        assert_eq!(
+            plain.effective_misses(),
+            200,
+            "pure ping-pong never hits DM"
+        );
+        assert_eq!(
+            buffered.effective_misses(),
+            2,
+            "only the two compulsory misses remain"
+        );
         assert_eq!(buffered.victim_hits(), 198);
     }
 
@@ -141,7 +149,11 @@ mod tests {
                 vc.access(Record::read(b * 16));
             }
         }
-        assert_eq!(vc.victim_hits(), 0, "LRU buffer can't hold a 64-block cycle");
+        assert_eq!(
+            vc.victim_hits(),
+            0,
+            "LRU buffer can't hold a 64-block cycle"
+        );
         assert_eq!(vc.effective_misses(), 192);
     }
 
@@ -167,7 +179,7 @@ mod tests {
         assert!(vc.access(Record::read(0x20)), "block 2 still buffered");
         let hits_before = vc.victim_hits();
         vc.access(Record::read(0x00)); // block 0 was dropped
-        // block 0's access missed both structures: victim_hits unchanged.
-        assert_eq!(vc.victim_hits(), hits_before + 0);
+                                       // block 0's access missed both structures: victim_hits unchanged.
+        assert_eq!(vc.victim_hits(), hits_before);
     }
 }

@@ -152,7 +152,14 @@ mod tests {
     #[test]
     fn parses_positionals_options_and_flags() {
         let a = Args::parse(
-            ["simulate", "--sets", "64", "--assoc=4", "--verbose", "trace.din"],
+            [
+                "simulate",
+                "--sets",
+                "64",
+                "--assoc=4",
+                "--verbose",
+                "trace.din",
+            ],
             &["verbose"],
         )
         .expect("parses");
@@ -207,7 +214,11 @@ mod tests {
         for e in [
             ArgsError::MissingValue("x".into()),
             ArgsError::Required("x".into()),
-            ArgsError::BadValue { key: "x".into(), value: "y".into(), ty: "u32" },
+            ArgsError::BadValue {
+                key: "x".into(),
+                value: "y".into(),
+                ty: "u32",
+            },
             ArgsError::Unknown("x".into()),
         ] {
             assert!(!e.to_string().is_empty());

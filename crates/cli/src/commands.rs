@@ -26,7 +26,11 @@ where
     S: Into<String>,
 {
     let args = Args::parse(raw, &["classify"])?;
-    let command = args.positional().first().map(String::as_str).unwrap_or("help");
+    let command = args
+        .positional()
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
     match command {
         "simulate" => simulate(&args),
         "sweep" => sweep(&args),
@@ -35,7 +39,9 @@ where
         "convert" => convert(&args),
         "generate" => generate(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
-        other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -83,12 +89,22 @@ fn parse_range(s: &str, key: &str) -> Result<(u32, u32), CliError> {
         })
     };
     let (lo, hi) = s.split_once("..").ok_or_else(bad)?;
-    Ok((lo.trim().parse().map_err(|_| bad())?, hi.trim().parse().map_err(|_| bad())?))
+    Ok((
+        lo.trim().parse().map_err(|_| bad())?,
+        hi.trim().parse().map_err(|_| bad())?,
+    ))
 }
 
 fn simulate(args: &Args) -> Result<String, CliError> {
     args.reject_unknown(&[
-        "trace", "sets", "assoc", "block", "policy", "seed", "write-policy", "allocate",
+        "trace",
+        "sets",
+        "assoc",
+        "block",
+        "policy",
+        "seed",
+        "write-policy",
+        "allocate",
     ])?;
     let trace = load_trace(&args.require::<String>("trace")?)?;
     let seed = args.get_or("seed", 0u64)?;
@@ -180,7 +196,11 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         for c in outcome.sorted() {
             text.push_str(&format!(
                 "{},{},{},{},{}\n",
-                c.sets, c.assoc, c.block_bytes, c.misses, outcome.accesses()
+                c.sets,
+                c.assoc,
+                c.block_bytes,
+                c.misses,
+                outcome.accesses()
             ));
         }
         std::fs::write(csv, text)?;
@@ -197,7 +217,10 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         })?;
         let evals = evaluate_sweep(&outcome, &EnergyModel::default());
         let front = pareto_front(&evals);
-        out.push_str(&format!("\nPareto front (energy vs cycles): {} configurations\n", front.len()));
+        out.push_str(&format!(
+            "\nPareto front (energy vs cycles): {} configurations\n",
+            front.len()
+        ));
         match best_edp_under(&evals, budget) {
             Some(best) => out.push_str(&format!("best EDP within {budget} bytes: {best}\n")),
             None => out.push_str(&format!("no configuration fits within {budget} bytes\n")),
@@ -233,7 +256,9 @@ fn verify(args: &Args) -> Result<String, CliError> {
         let expected = cache.stats().misses();
         let got = sweep.misses(s, a, b);
         if got != Some(expected) {
-            mismatches.push(format!("  sets={s} assoc={a} block={b}: dew {got:?} != {expected}"));
+            mismatches.push(format!(
+                "  sets={s} assoc={a} block={b}: dew {got:?} != {expected}"
+            ));
         }
     }
     let ref_time = start.elapsed().as_secs_f64();
@@ -309,7 +334,10 @@ fn generate(args: &Args) -> Result<String, CliError> {
     let output: String = args.require("output")?;
     let trace = app.generate(requests, seed);
     save_trace(&trace, &output)?;
-    Ok(format!("generated {} ({requests} requests, seed {seed}) -> {output}\n", app.name()))
+    Ok(format!(
+        "generated {} ({requests} requests, seed {seed}) -> {output}\n",
+        app.name()
+    ))
 }
 
 #[cfg(test)]
@@ -338,7 +366,15 @@ mod tests {
         let din = tmp("t.din");
 
         let msg = run([
-            "generate", "--app", "cjpeg", "--requests", "5000", "--output", &bin, "--seed", "3",
+            "generate",
+            "--app",
+            "cjpeg",
+            "--requests",
+            "5000",
+            "--output",
+            &bin,
+            "--seed",
+            "3",
         ])
         .expect("generate");
         assert!(msg.contains("CJPEG"), "{msg}");
@@ -352,8 +388,20 @@ mod tests {
         .expect("simulate");
         assert!(msg.contains("miss rate"), "{msg}");
 
-        let msg = run(["simulate", "--trace", &bin, "--sets", "8", "--assoc", "2", "--block",
-            "16", "--policy", "lru", "--classify"])
+        let msg = run([
+            "simulate",
+            "--trace",
+            &bin,
+            "--sets",
+            "8",
+            "--assoc",
+            "2",
+            "--block",
+            "16",
+            "--policy",
+            "lru",
+            "--classify",
+        ])
         .expect("classify");
         assert!(msg.contains("3C:"), "{msg}");
 
@@ -370,8 +418,16 @@ mod tests {
     fn sweep_reports_and_writes_csv() {
         let bin = tmp("s.dewt");
         let csv = tmp("s.csv");
-        run(["generate", "--app", "g721_enc", "--requests", "8000", "--output", &bin])
-            .expect("generate");
+        run([
+            "generate",
+            "--app",
+            "g721_enc",
+            "--requests",
+            "8000",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
         let msg = run([
             "sweep", "--trace", &bin, "--sets", "0..4", "--blocks", "2..2", "--assocs", "0..1",
             "--csv", &csv, "--budget", "4096",
@@ -388,8 +444,16 @@ mod tests {
     #[test]
     fn verify_passes_on_real_traces() {
         let bin = tmp("v.dewt");
-        run(["generate", "--app", "mpeg2_dec", "--requests", "6000", "--output", &bin])
-            .expect("generate");
+        run([
+            "generate",
+            "--app",
+            "mpeg2_dec",
+            "--requests",
+            "6000",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
         let msg = run([
             "verify", "--trace", &bin, "--sets", "0..5", "--blocks", "2..3", "--assocs", "0..2",
         ])
@@ -407,8 +471,16 @@ mod tests {
     #[test]
     fn sweep_lru_policy_selected() {
         let bin = tmp("l.dewt");
-        run(["generate", "--app", "djpeg", "--requests", "3000", "--output", &bin])
-            .expect("generate");
+        run([
+            "generate",
+            "--app",
+            "djpeg",
+            "--requests",
+            "3000",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
         let msg = run([
             "sweep", "--trace", &bin, "--sets", "0..2", "--blocks", "2..2", "--assocs", "1..1",
             "--policy", "lru",
@@ -429,7 +501,10 @@ mod tests {
                 "16", "--bogus", "1"]),
             Err(CliError::Args(ArgsError::Unknown(k))) if k == "bogus"
         ));
-        assert!(matches!(run(["stats", "--trace", "/does/not/exist"]), Err(CliError::Trace(_))));
+        assert!(matches!(
+            run(["stats", "--trace", "/does/not/exist"]),
+            Err(CliError::Trace(_))
+        ));
     }
 
     #[test]
@@ -443,15 +518,31 @@ mod tests {
     #[test]
     fn bad_policy_and_app_names() {
         let bin = tmp("p.dewt");
-        run(["generate", "--app", "cjpeg", "--requests", "100", "--output", &bin])
-            .expect("generate");
+        run([
+            "generate",
+            "--app",
+            "cjpeg",
+            "--requests",
+            "100",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
         assert!(run([
-            "simulate", "--trace", &bin, "--sets", "4", "--assoc", "1", "--block", "4",
-            "--policy", "belady"
+            "simulate", "--trace", &bin, "--sets", "4", "--assoc", "1", "--block", "4", "--policy",
+            "belady"
         ])
         .is_err());
-        assert!(run(["generate", "--app", "quake", "--requests", "10", "--output", &bin])
-            .is_err());
+        assert!(run([
+            "generate",
+            "--app",
+            "quake",
+            "--requests",
+            "10",
+            "--output",
+            &bin
+        ])
+        .is_err());
         let _ = std::fs::remove_file(&bin);
     }
 }

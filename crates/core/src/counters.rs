@@ -133,8 +133,18 @@ mod tests {
 
     #[test]
     fn addition_is_fieldwise() {
-        let a = DewCounters { accesses: 1, node_evaluations: 2, tag_comparisons: 3, ..Default::default() };
-        let b = DewCounters { accesses: 10, node_evaluations: 20, searches: 5, ..Default::default() };
+        let a = DewCounters {
+            accesses: 1,
+            node_evaluations: 2,
+            tag_comparisons: 3,
+            ..Default::default()
+        };
+        let b = DewCounters {
+            accesses: 10,
+            node_evaluations: 20,
+            searches: 5,
+            ..Default::default()
+        };
         let c = a + b;
         assert_eq!(c.accesses, 11);
         assert_eq!(c.node_evaluations, 22);
@@ -144,7 +154,10 @@ mod tests {
 
     #[test]
     fn unoptimized_is_accesses_times_levels() {
-        let c = DewCounters { accesses: 100, ..Default::default() };
+        let c = DewCounters {
+            accesses: 100,
+            ..Default::default()
+        };
         assert_eq!(c.unoptimized_evaluations(15), 1500);
     }
 

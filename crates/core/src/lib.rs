@@ -51,12 +51,12 @@
 #![warn(missing_docs)]
 
 mod counters;
-pub mod snapshot;
 pub mod lru_tree;
 mod multi_assoc;
 mod node;
 mod options;
 mod results;
+pub mod snapshot;
 mod space;
 mod sweep;
 mod timeline;

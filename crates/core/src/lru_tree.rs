@@ -65,7 +65,10 @@ pub struct LruTreeOptions {
 
 impl Default for LruTreeOptions {
     fn default() -> Self {
-        LruTreeOptions { depth_zero_stop: true, duplicate_elision: true }
+        LruTreeOptions {
+            depth_zero_stop: true,
+            duplicate_elision: true,
+        }
     }
 }
 
@@ -198,7 +201,10 @@ impl LruTreeSimulator {
     /// the internal sentinel.
     pub fn step(&mut self, addr: u64) {
         let block = addr >> self.pass.block_bits();
-        assert_ne!(block, INVALID_TAG, "address {addr:#x} exceeds the supported range");
+        assert_ne!(
+            block, INVALID_TAG,
+            "address {addr:#x} exceeds the supported range"
+        );
         self.counters.accesses += 1;
         if self.opts.duplicate_elision && block == self.prev_block {
             // The block is the MRU entry of every set on its path: a hit at
@@ -211,8 +217,11 @@ impl LruTreeSimulator {
 
         for li in 0..self.levels.len() {
             let set_bits = self.pass.min_set_bits() + li as u32;
-            let set_idx =
-                if set_bits == 0 { 0 } else { (block & ((1u64 << set_bits) - 1)) as usize };
+            let set_idx = if set_bits == 0 {
+                0
+            } else {
+                (block & ((1u64 << set_bits) - 1)) as usize
+            };
             self.counters.node_evaluations += 1;
             let level = &mut self.levels[li];
             let base = set_idx * max_assoc;
@@ -332,9 +341,18 @@ mod tests {
     fn options_do_not_change_results() {
         let a = addrs(2000, 0x5EED_2222);
         let variants = [
-            LruTreeOptions { depth_zero_stop: false, duplicate_elision: false },
-            LruTreeOptions { depth_zero_stop: true, duplicate_elision: false },
-            LruTreeOptions { depth_zero_stop: false, duplicate_elision: true },
+            LruTreeOptions {
+                depth_zero_stop: false,
+                duplicate_elision: false,
+            },
+            LruTreeOptions {
+                depth_zero_stop: true,
+                duplicate_elision: false,
+            },
+            LruTreeOptions {
+                depth_zero_stop: false,
+                duplicate_elision: true,
+            },
             LruTreeOptions::default(),
         ];
         let runs: Vec<AllAssocResults> = variants
@@ -368,7 +386,10 @@ mod tests {
             }
             *sim.counters()
         };
-        let off = run(LruTreeOptions { depth_zero_stop: false, duplicate_elision: false });
+        let off = run(LruTreeOptions {
+            depth_zero_stop: false,
+            duplicate_elision: false,
+        });
         let on = run(LruTreeOptions::default());
         assert!(on.node_evaluations < off.node_evaluations);
         assert!(on.tag_comparisons < off.tag_comparisons);
@@ -406,7 +427,10 @@ mod tests {
             let mut prev = u64::MAX;
             for set_bits in 0..=6u32 {
                 let m = r.misses(1 << set_bits, assoc).expect("simulated");
-                assert!(m <= prev, "LRU misses non-increasing in set count (inclusion)");
+                assert!(
+                    m <= prev,
+                    "LRU misses non-increasing in set count (inclusion)"
+                );
                 prev = m;
             }
         }

@@ -178,7 +178,10 @@ impl MultiAssocTree {
     /// the internal sentinel.
     pub fn step(&mut self, addr: u64) {
         let block = addr >> self.pass.block_bits();
-        assert_ne!(block, INVALID_TAG, "address {addr:#x} exceeds the supported range");
+        assert_ne!(
+            block, INVALID_TAG,
+            "address {addr:#x} exceeds the supported range"
+        );
         self.counters.accesses += 1;
         if self.opts.dup_elision && block == self.prev_block {
             self.counters.duplicate_skips += 1;
@@ -192,8 +195,11 @@ impl MultiAssocTree {
 
         for li in 0..self.levels.len() {
             let set_bits = self.pass.min_set_bits() + li as u32;
-            let set_idx =
-                if set_bits == 0 { 0 } else { (block & ((1u64 << set_bits) - 1)) as usize };
+            let set_idx = if set_bits == 0 {
+                0
+            } else {
+                (block & ((1u64 << set_bits) - 1)) as usize
+            };
             self.counters.node_evaluations += 1;
             self.counters.tag_comparisons += 1; // the one shared MRA compare
             let (lower, rest) = self.levels.split_at_mut(li);
@@ -213,6 +219,10 @@ impl MultiAssocTree {
                 level.dm_misses += 1;
             }
 
+            // `ai` indexes three parallel structures (this level's lists,
+            // the parent-way cache and the lower level's lists); an iterator
+            // chain over one of them would hide that coupling.
+            #[allow(clippy::needless_range_loop)]
             for ai in 0..num_lists {
                 let list = &mut level.lists[ai];
                 let assoc = list.assoc;
@@ -260,7 +270,10 @@ impl MultiAssocTree {
                         found
                     }
                 };
-                debug_assert!(!(mra_match && found.is_none()), "MRA match must hit in list");
+                debug_assert!(
+                    !(mra_match && found.is_none()),
+                    "MRA match must hit in list"
+                );
 
                 let n = match found {
                     Some(n) => n, // Algorithm 1 (MRA handled at level scope)
@@ -273,7 +286,10 @@ impl MultiAssocTree {
                             std::mem::swap(&mut ways[n].wave, &mut meta.mre_wave);
                         } else {
                             let evicted = ways[n];
-                            ways[n] = WayEntry { tag: block, wave: EMPTY_WAVE };
+                            ways[n] = WayEntry {
+                                tag: block,
+                                wave: EMPTY_WAVE,
+                            };
                             if evicted.tag == INVALID_TAG {
                                 meta.valid += 1;
                             } else if self.opts.mre {
@@ -355,10 +371,13 @@ mod tests {
         for set_bits in 0..=5u32 {
             for assoc in [1u32, 2, 4, 8] {
                 let sets = 1 << set_bits;
-                let config =
-                    CacheConfig::new(sets, assoc, 4, Replacement::Fifo).expect("valid");
+                let config = CacheConfig::new(sets, assoc, 4, Replacement::Fifo).expect("valid");
                 let expected = simulate_trace(config, &records).misses();
-                assert_eq!(r.misses(sets, assoc), Some(expected), "sets={sets} assoc={assoc}");
+                assert_eq!(
+                    r.misses(sets, assoc),
+                    Some(expected),
+                    "sets={sets} assoc={assoc}"
+                );
             }
         }
     }
@@ -383,8 +402,16 @@ mod tests {
             let r = tree.results();
             for set_bits in 0..=8u32 {
                 let sets = 1 << set_bits;
-                assert_eq!(mr.misses(sets, assoc), r.misses(sets, assoc), "assoc={assoc}");
-                assert_eq!(mr.misses(sets, 1), r.misses(sets, 1), "DM via assoc={assoc}");
+                assert_eq!(
+                    mr.misses(sets, assoc),
+                    r.misses(sets, assoc),
+                    "assoc={assoc}"
+                );
+                assert_eq!(
+                    mr.misses(sets, 1),
+                    r.misses(sets, 1),
+                    "DM via assoc={assoc}"
+                );
             }
         }
         assert!(

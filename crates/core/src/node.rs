@@ -32,7 +32,10 @@ pub(crate) struct WayEntry {
 }
 
 impl WayEntry {
-    pub(crate) const EMPTY: WayEntry = WayEntry { tag: INVALID_TAG, wave: EMPTY_WAVE };
+    pub(crate) const EMPTY: WayEntry = WayEntry {
+        tag: INVALID_TAG,
+        wave: EMPTY_WAVE,
+    };
 }
 
 /// The scalar per-node state.
@@ -54,8 +57,13 @@ pub(crate) struct NodeMeta {
 }
 
 impl NodeMeta {
-    pub(crate) const EMPTY: NodeMeta =
-        NodeMeta { mra: INVALID_TAG, mre: INVALID_TAG, mre_wave: EMPTY_WAVE, fifo_ptr: 0, valid: 0 };
+    pub(crate) const EMPTY: NodeMeta = NodeMeta {
+        mra: INVALID_TAG,
+        mre: INVALID_TAG,
+        mre_wave: EMPTY_WAVE,
+        fifo_ptr: 0,
+        valid: 0,
+    };
 }
 
 #[cfg(test)]

@@ -189,7 +189,10 @@ mod tests {
 
     #[test]
     fn lru_with_mra_stop_is_rejected() {
-        let o = DewOptions { policy: TreePolicy::Lru, ..DewOptions::default() };
+        let o = DewOptions {
+            policy: TreePolicy::Lru,
+            ..DewOptions::default()
+        };
         assert!(matches!(o.validate(), Err(DewError::UnsoundOptions(_))));
         assert!(DewOptions::lru().validate().is_ok());
     }

@@ -16,7 +16,11 @@ pub struct LevelResult {
 
 impl LevelResult {
     pub(crate) fn new(set_bits: u32, misses: u64, dm_misses: u64) -> Self {
-        LevelResult { set_bits, misses, dm_misses }
+        LevelResult {
+            set_bits,
+            misses,
+            dm_misses,
+        }
     }
 
     /// `log2` of the set count of this level.
@@ -76,7 +80,11 @@ pub struct PassResults {
 
 impl PassResults {
     pub(crate) fn new(pass: PassConfig, accesses: u64, levels: Vec<LevelResult>) -> Self {
-        PassResults { pass, accesses, levels }
+        PassResults {
+            pass,
+            accesses,
+            levels,
+        }
     }
 
     /// The pass this result belongs to.
@@ -177,7 +185,12 @@ impl AllAssocResults {
     ) -> Self {
         debug_assert_eq!(misses.len() as u32, pass.num_levels());
         debug_assert!(misses.iter().all(|m| m.len() == assoc_list.len()));
-        AllAssocResults { pass, accesses, assoc_list, misses }
+        AllAssocResults {
+            pass,
+            accesses,
+            assoc_list,
+            misses,
+        }
     }
 
     /// Requests simulated.
@@ -257,7 +270,11 @@ impl SweepOutcome {
         misses: HashMap<(u32, u32, u32), u64>,
         passes: Vec<(PassConfig, DewCounters)>,
     ) -> Self {
-        SweepOutcome { accesses, misses, passes }
+        SweepOutcome {
+            accesses,
+            misses,
+            passes,
+        }
     }
 
     /// Requests in the swept trace.
@@ -292,12 +309,14 @@ impl SweepOutcome {
 
     /// Iterates every configuration result, in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = ConfigResult> + '_ {
-        self.misses.iter().map(|(&(sets, assoc, block_bytes), &misses)| ConfigResult {
-            sets,
-            assoc,
-            block_bytes,
-            misses,
-        })
+        self.misses
+            .iter()
+            .map(|(&(sets, assoc, block_bytes), &misses)| ConfigResult {
+                sets,
+                assoc,
+                block_bytes,
+                misses,
+            })
     }
 
     /// Every configuration result, sorted by (block, assoc, sets) for stable
@@ -318,7 +337,9 @@ impl SweepOutcome {
     /// Sum of all passes' work counters.
     #[must_use]
     pub fn total_counters(&self) -> DewCounters {
-        self.passes.iter().fold(DewCounters::new(), |acc, (_, c)| acc + *c)
+        self.passes
+            .iter()
+            .fold(DewCounters::new(), |acc, (_, c)| acc + *c)
     }
 }
 
@@ -328,7 +349,12 @@ mod tests {
 
     #[test]
     fn config_result_capacity() {
-        let c = ConfigResult { sets: 64, assoc: 4, block_bytes: 16, misses: 0 };
+        let c = ConfigResult {
+            sets: 64,
+            assoc: 4,
+            block_bytes: 16,
+            misses: 0,
+        };
         assert_eq!(c.total_bytes(), 4096);
     }
 

@@ -58,7 +58,10 @@ impl PassConfig {
         assoc: u32,
     ) -> Result<Self, DewError> {
         if min_set_bits > max_set_bits {
-            return Err(DewError::EmptySetRange { min_set_bits, max_set_bits });
+            return Err(DewError::EmptySetRange {
+                min_set_bits,
+                max_set_bits,
+            });
         }
         if assoc == 0 || !assoc.is_power_of_two() {
             return Err(DewError::BadAssoc(assoc));
@@ -66,7 +69,12 @@ impl PassConfig {
         if max_set_bits > 30 || max_set_bits + block_bits > 58 {
             return Err(DewError::TooLarge);
         }
-        Ok(PassConfig { block_bits, min_set_bits, max_set_bits, assoc })
+        Ok(PassConfig {
+            block_bits,
+            min_set_bits,
+            max_set_bits,
+            assoc,
+        })
     }
 
     /// `log2` of the block size in bytes.
@@ -316,14 +324,23 @@ pub enum DewError {
 impl fmt::Display for DewError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DewError::EmptySetRange { min_set_bits, max_set_bits } => {
-                write!(f, "empty range: min 2^{min_set_bits} > max 2^{max_set_bits}")
+            DewError::EmptySetRange {
+                min_set_bits,
+                max_set_bits,
+            } => {
+                write!(
+                    f,
+                    "empty range: min 2^{min_set_bits} > max 2^{max_set_bits}"
+                )
             }
             DewError::BadAssoc(a) => {
                 write!(f, "associativity must be a nonzero power of two, got {a}")
             }
             DewError::TooLarge => {
-                write!(f, "max_set_bits must be <= 30 and max_set_bits + block_bits <= 58")
+                write!(
+                    f,
+                    "max_set_bits must be <= 30 and max_set_bits + block_bits <= 58"
+                )
             }
             DewError::UnsoundOptions(why) => write!(f, "unsound option combination: {why}"),
         }
@@ -339,10 +356,16 @@ mod tests {
     #[test]
     fn pass_config_validation() {
         assert!(PassConfig::new(2, 3, 1, 4).is_err(), "inverted range");
-        assert!(PassConfig::new(2, 0, 4, 3).is_err(), "non power-of-two assoc");
+        assert!(
+            PassConfig::new(2, 0, 4, 3).is_err(),
+            "non power-of-two assoc"
+        );
         assert!(PassConfig::new(2, 0, 4, 0).is_err(), "zero assoc");
         assert!(PassConfig::new(40, 0, 31, 2).is_err(), "too large");
-        assert!(PassConfig::new(6, 0, 14, 16).is_ok(), "paper's largest pass");
+        assert!(
+            PassConfig::new(6, 0, 14, 16).is_ok(),
+            "paper's largest pass"
+        );
     }
 
     #[test]
@@ -400,7 +423,10 @@ mod tests {
     #[test]
     fn error_display_nonempty() {
         for e in [
-            DewError::EmptySetRange { min_set_bits: 2, max_set_bits: 1 },
+            DewError::EmptySetRange {
+                min_set_bits: 2,
+                max_set_bits: 1,
+            },
             DewError::BadAssoc(3),
             DewError::TooLarge,
             DewError::UnsoundOptions("demo"),

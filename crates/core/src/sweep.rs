@@ -115,7 +115,11 @@ pub fn sweep_trace(
         pass_counters.push((*pass, *counters));
     }
 
-    Ok(SweepOutcome::new(records.len() as u64, misses, pass_counters))
+    Ok(SweepOutcome::new(
+        records.len() as u64,
+        misses,
+        pass_counters,
+    ))
 }
 
 #[cfg(test)]
@@ -130,7 +134,11 @@ mod tests {
                 x ^= x << 13;
                 x ^= x >> 7;
                 x ^= x << 17;
-                let addr = if i % 5 == 0 { x % (1 << 12) } else { (x % 96) * 4 };
+                let addr = if i % 5 == 0 {
+                    x % (1 << 12)
+                } else {
+                    (x % 96) * 4
+                };
                 Record::read(addr)
             })
             .collect()
@@ -190,6 +198,9 @@ mod tests {
             assert_eq!(c.accesses, 300);
             assert!(c.is_consistent());
         }
-        assert_eq!(outcome.total_counters().accesses, 300 * outcome.passes().len() as u64);
+        assert_eq!(
+            outcome.total_counters().accesses,
+            300 * outcome.passes().len() as u64
+        );
     }
 }

@@ -69,7 +69,11 @@ impl MissTimeline {
         window: u64,
     ) -> Result<Self, DewError> {
         let mut tree = DewTree::new(pass, options)?;
-        let window = if window == 0 { records.len() as u64 } else { window };
+        let window = if window == 0 {
+            records.len() as u64
+        } else {
+            window
+        };
         let mut samples = Vec::new();
         let mut prev: Option<PassResults> = None;
         let mut in_window = 0u64;
@@ -80,13 +84,16 @@ impl MissTimeline {
                 .iter()
                 .enumerate()
                 .map(|(i, l)| {
-                    let (pa, pd) = prev
-                        .as_ref()
-                        .map_or((0, 0), |p| (p.levels()[i].misses(), p.levels()[i].dm_misses()));
+                    let (pa, pd) = prev.as_ref().map_or((0, 0), |p| {
+                        (p.levels()[i].misses(), p.levels()[i].dm_misses())
+                    });
                     (l.sets(), l.misses() - pa, l.dm_misses() - pd)
                 })
                 .collect();
-            samples.push(WindowSample { requests: n, misses });
+            samples.push(WindowSample {
+                requests: n,
+                misses,
+            });
             *prev = Some(now);
         };
         for r in records {
@@ -100,7 +107,12 @@ impl MissTimeline {
         if in_window > 0 {
             snapshot(&tree, &mut prev, in_window);
         }
-        Ok(MissTimeline { pass, window, samples, final_results: tree.results() })
+        Ok(MissTimeline {
+            pass,
+            window,
+            samples,
+            final_results: tree.results(),
+        })
     }
 
     /// The window length requested.
@@ -191,8 +203,8 @@ mod tests {
     fn windows_partition_the_run_exactly() {
         let records = two_phase_records();
         let pass = PassConfig::new(2, 0, 5, 2).expect("valid");
-        let t = MissTimeline::collect(pass, DewOptions::default(), &records, 4_000)
-            .expect("collect");
+        let t =
+            MissTimeline::collect(pass, DewOptions::default(), &records, 4_000).expect("collect");
         let total: u64 = t.samples().iter().map(|s| s.requests).sum();
         assert_eq!(total, records.len() as u64);
         assert_eq!(t.samples().len(), 8, "7 full windows + 1 remainder");
@@ -223,8 +235,7 @@ mod tests {
     fn zero_window_gives_one_sample() {
         let records = two_phase_records();
         let pass = PassConfig::new(2, 0, 3, 2).expect("valid");
-        let t =
-            MissTimeline::collect(pass, DewOptions::default(), &records, 0).expect("collect");
+        let t = MissTimeline::collect(pass, DewOptions::default(), &records, 0).expect("collect");
         assert_eq!(t.samples().len(), 1);
         let series = t.series(8, 2).expect("simulated");
         assert_eq!(series.len(), 1);
@@ -247,8 +258,8 @@ mod tests {
     fn timeline_matches_plain_run() {
         let records = two_phase_records();
         let pass = PassConfig::new(2, 0, 5, 2).expect("valid");
-        let t = MissTimeline::collect(pass, DewOptions::default(), &records, 3_000)
-            .expect("collect");
+        let t =
+            MissTimeline::collect(pass, DewOptions::default(), &records, 3_000).expect("collect");
         let mut plain = DewTree::new(pass, DewOptions::default()).expect("sound");
         plain.run(records.iter().copied());
         assert_eq!(t.final_results(), &plain.results());

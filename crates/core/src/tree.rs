@@ -26,7 +26,11 @@ impl Level {
         Level {
             meta: vec![NodeMeta::EMPTY; num_sets],
             ways: vec![WayEntry::EMPTY; num_sets * assoc],
-            last_access: if lru { vec![0; num_sets * assoc] } else { Vec::new() },
+            last_access: if lru {
+                vec![0; num_sets * assoc]
+            } else {
+                Vec::new()
+            },
             misses: 0,
             dm_misses: 0,
         }
@@ -183,7 +187,10 @@ impl DewTree {
     /// never reach it).
     pub fn step(&mut self, addr: u64) {
         let block = addr >> self.pass.block_bits();
-        assert_ne!(block, INVALID_TAG, "address {addr:#x} exceeds the supported range");
+        assert_ne!(
+            block, INVALID_TAG,
+            "address {addr:#x} exceeds the supported range"
+        );
         self.counters.accesses += 1;
         self.now += 1;
         if self.opts.dup_elision && block == self.prev_block {
@@ -203,7 +210,11 @@ impl DewTree {
 
         for li in 0..self.levels.len() {
             let set_bits = self.pass.min_set_bits() + li as u32;
-            let set_idx = if set_bits == 0 { 0 } else { (block & ((1u64 << set_bits) - 1)) as usize };
+            let set_idx = if set_bits == 0 {
+                0
+            } else {
+                (block & ((1u64 << set_bits) - 1)) as usize
+            };
 
             self.counters.node_evaluations += 1;
             self.counters.tag_comparisons += 1; // the MRA comparison
@@ -320,7 +331,10 @@ impl DewTree {
                         // Algorithm 2, lines 7-8: fresh insert; the evicted
                         // entry (tag and wave pointer) moves to the MRE slot.
                         let evicted = ways[n];
-                        ways[n] = WayEntry { tag: block, wave: EMPTY_WAVE };
+                        ways[n] = WayEntry {
+                            tag: block,
+                            wave: EMPTY_WAVE,
+                        };
                         if evicted.tag == INVALID_TAG {
                             meta.valid += 1;
                         } else if self.opts.mre {
@@ -456,10 +470,14 @@ impl DewTree {
             wave: flags & 2 != 0,
             mre: flags & 4 != 0,
             dup_elision: flags & 8 != 0,
-            policy: if flags & 16 != 0 { TreePolicy::Lru } else { TreePolicy::Fifo },
+            policy: if flags & 16 != 0 {
+                TreePolicy::Lru
+            } else {
+                TreePolicy::Fifo
+            },
         };
-        let mut tree = DewTree::new(pass, opts)
-            .map_err(|_| SnapshotError::Corrupt("unsound option flags"))?;
+        let mut tree =
+            DewTree::new(pass, opts).map_err(|_| SnapshotError::Corrupt("unsound option flags"))?;
         let c = &mut tree.counters;
         c.accesses = cur.u64()?;
         c.node_evaluations = cur.u64()?;
@@ -676,8 +694,14 @@ mod tests {
         };
         let none = run(DewOptions::unoptimized());
         let full = run(DewOptions::default());
-        assert!(full.node_evaluations < none.node_evaluations, "MRA stop prunes evaluations");
-        assert!(full.tag_comparisons < none.tag_comparisons, "properties cut comparisons");
+        assert!(
+            full.node_evaluations < none.node_evaluations,
+            "MRA stop prunes evaluations"
+        );
+        assert!(
+            full.tag_comparisons < none.tag_comparisons,
+            "properties cut comparisons"
+        );
         assert_eq!(
             none.node_evaluations,
             none.unoptimized_evaluations(pass.num_levels()),
@@ -693,7 +717,11 @@ mod tests {
             t.step(a);
         }
         let r = t.results();
-        assert_eq!(r.misses(4, 2), None, "below the forest's smallest set count");
+        assert_eq!(
+            r.misses(4, 2),
+            None,
+            "below the forest's smallest set count"
+        );
         for set_bits in 3..=6u32 {
             let sets = 1u32 << set_bits;
             let expected = reference_misses(sets, 2, 4, Replacement::Fifo, &addrs);
@@ -741,7 +769,9 @@ mod tests {
         assert!(c.mre_misses > 0, "MRE determinations must fire: {c}");
         assert!(c.is_consistent());
         // Exactness under thrashing:
-        let addrs: Vec<u64> = (0..40u64).map(|i| if i % 2 == 0 { 0x00 } else { 0x100 }).collect();
+        let addrs: Vec<u64> = (0..40u64)
+            .map(|i| if i % 2 == 0 { 0x00 } else { 0x100 })
+            .collect();
         for set_bits in 0..=2u32 {
             let sets = 1u32 << set_bits;
             let expected = reference_misses(sets, 1, 4, Replacement::Fifo, &addrs);
@@ -808,9 +838,15 @@ mod tests {
         // Levels with 1, 2 and 4 sets: (1+2+4) x (96 + 64*4) bits.
         assert_eq!(t.paper_model_bits(), 7 * (96 + 256));
         assert!(t.footprint_bytes() > 0);
-        let lru = DewTree::new(PassConfig::new(2, 0, 2, 4).expect("valid"), DewOptions::lru())
-            .expect("valid");
-        assert!(lru.footprint_bytes() > t.footprint_bytes(), "LRU stores access times");
+        let lru = DewTree::new(
+            PassConfig::new(2, 0, 2, 4).expect("valid"),
+            DewOptions::lru(),
+        )
+        .expect("valid");
+        assert!(
+            lru.footprint_bytes() > t.footprint_bytes(),
+            "LRU stores access times"
+        );
     }
 
     #[test]
@@ -837,7 +873,11 @@ mod tests {
     fn snapshot_round_trip_resumes_identically() {
         let addrs = pseudo_random_addrs(3000, 1 << 12, 0x5AFE_5AFE);
         let (first, second) = addrs.split_at(1500);
-        for opts in [DewOptions::default(), DewOptions::lru(), DewOptions::unoptimized()] {
+        for opts in [
+            DewOptions::default(),
+            DewOptions::lru(),
+            DewOptions::unoptimized(),
+        ] {
             let pass = PassConfig::new(2, 0, 6, 4).expect("valid");
             // Uninterrupted run.
             let mut straight = DewTree::new(pass, opts).expect("sound");
@@ -881,11 +921,17 @@ mod tests {
         ));
         // Truncated.
         snap.truncate(snap.len() - 3);
-        assert!(matches!(DewTree::from_snapshot(&snap), Err(SnapshotError::Corrupt(_))));
+        assert!(matches!(
+            DewTree::from_snapshot(&snap),
+            Err(SnapshotError::Corrupt(_))
+        ));
         // Trailing garbage.
         let mut long = t.to_snapshot();
         long.push(0);
-        assert!(matches!(DewTree::from_snapshot(&long), Err(SnapshotError::TrailingBytes(1))));
+        assert!(matches!(
+            DewTree::from_snapshot(&long),
+            Err(SnapshotError::TrailingBytes(1))
+        ));
     }
 
     #[test]
@@ -902,7 +948,10 @@ mod tests {
             (t.results(), *t.counters())
         };
         let elided = {
-            let opts = DewOptions { dup_elision: true, ..DewOptions::default() };
+            let opts = DewOptions {
+                dup_elision: true,
+                ..DewOptions::default()
+            };
             let mut t = DewTree::new(pass, opts).expect("sound");
             for &a in &addrs {
                 t.step(a);
@@ -910,7 +959,11 @@ mod tests {
             (t.results(), *t.counters())
         };
         assert_eq!(plain.0, elided.0, "elision must not change results");
-        assert!(elided.1.duplicate_skips > 1000, "skips: {}", elided.1.duplicate_skips);
+        assert!(
+            elided.1.duplicate_skips > 1000,
+            "skips: {}",
+            elided.1.duplicate_skips
+        );
         assert!(elided.1.node_evaluations < plain.1.node_evaluations);
         assert!(elided.1.is_consistent());
     }
@@ -924,7 +977,10 @@ mod tests {
             })
             .collect();
         let pass = PassConfig::new(2, 0, 4, 4).expect("valid");
-        let opts = DewOptions { dup_elision: true, ..DewOptions::lru() };
+        let opts = DewOptions {
+            dup_elision: true,
+            ..DewOptions::lru()
+        };
         let mut t = DewTree::new(pass, opts).expect("sound");
         for &a in &addrs {
             t.step(a);

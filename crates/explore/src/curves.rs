@@ -56,7 +56,11 @@ impl MissRateCurve {
             return None;
         }
         points.sort_by_key(|p| p.sets);
-        Some(MissRateCurve { assoc, block_bytes, points })
+        Some(MissRateCurve {
+            assoc,
+            block_bytes,
+            points,
+        })
     }
 
     /// The knee: the point after which no further size step improves the
@@ -136,7 +140,10 @@ mod tests {
         let c = MissRateCurve::from_sweep(&s, 2, 4).expect("present");
         assert_eq!(c.points.len(), 11);
         assert!(c.points.windows(2).all(|w| w[0].sets < w[1].sets));
-        assert!(MissRateCurve::from_sweep(&s, 16, 4).is_none(), "unswept assoc");
+        assert!(
+            MissRateCurve::from_sweep(&s, 16, 4).is_none(),
+            "unswept assoc"
+        );
     }
 
     #[test]
@@ -145,7 +152,10 @@ mod tests {
         let c = MissRateCurve::from_sweep(&s, 1, 4).expect("present");
         let first = c.points.first().expect("nonempty");
         let last = c.points.last().expect("nonempty");
-        assert!(last.miss_rate < first.miss_rate, "bigger caches help this workload");
+        assert!(
+            last.miss_rate < first.miss_rate,
+            "bigger caches help this workload"
+        );
         let knee = c.knee(0.005);
         assert!(knee.sets < last.sets, "knee below the largest cache");
         // Past the knee, every step is sub-threshold, so the knee sits near
@@ -160,7 +170,11 @@ mod tests {
         let tight = c.smallest_within(0.0);
         let loose = c.smallest_within(0.5);
         assert!(loose.sets <= tight.sets);
-        let best = c.points.iter().map(|p| p.miss_rate).fold(f64::INFINITY, f64::min);
+        let best = c
+            .points
+            .iter()
+            .map(|p| p.miss_rate)
+            .fold(f64::INFINITY, f64::min);
         assert!(tight.miss_rate <= best + 1e-12);
     }
 

@@ -62,7 +62,14 @@ impl Geometry {
 
 impl fmt::Display for Geometry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}s/{}w/{}B ({} B)", self.sets, self.assoc, self.block_bytes, self.total_bytes())
+        write!(
+            f,
+            "{}s/{}w/{}B ({} B)",
+            self.sets,
+            self.assoc,
+            self.block_bytes,
+            self.total_bytes()
+        )
     }
 }
 
@@ -136,8 +143,7 @@ impl EnergyModel {
     /// Miss penalty in cycles: memory latency plus block transfer.
     #[must_use]
     pub fn miss_penalty_cycles(&self, g: Geometry) -> u64 {
-        self.mem_latency_cycles
-            + u64::from(g.block_bytes.div_ceil(self.bus_bytes.max(1)))
+        self.mem_latency_cycles + u64::from(g.block_bytes.div_ceil(self.bus_bytes.max(1)))
     }
 
     /// Total runtime in cycles for `accesses` requests of which `misses`
@@ -163,7 +169,11 @@ mod tests {
     use super::*;
 
     fn g(sets: u32, assoc: u32, block: u32) -> Geometry {
-        Geometry { sets, assoc, block_bytes: block }
+        Geometry {
+            sets,
+            assoc,
+            block_bytes: block,
+        }
     }
 
     #[test]

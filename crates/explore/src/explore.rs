@@ -77,8 +77,11 @@ pub fn evaluate_sweep(sweep: &SweepOutcome, model: &EnergyModel) -> Vec<Evaluati
     let mut evals: Vec<Evaluation> = sweep
         .iter()
         .map(|c| {
-            let geometry =
-                Geometry { sets: c.sets, assoc: c.assoc, block_bytes: c.block_bytes };
+            let geometry = Geometry {
+                sets: c.sets,
+                assoc: c.assoc,
+                block_bytes: c.block_bytes,
+            };
             Evaluation {
                 geometry,
                 accesses: sweep.accesses(),
@@ -108,7 +111,11 @@ pub fn pareto_front(evals: &[Evaluation]) -> Vec<Evaluation> {
             front.push(e);
         }
     }
-    front.sort_by(|a, b| a.energy_nj.partial_cmp(&b.energy_nj).expect("finite energies"));
+    front.sort_by(|a, b| {
+        a.energy_nj
+            .partial_cmp(&b.energy_nj)
+            .expect("finite energies")
+    });
     front
 }
 
@@ -131,9 +138,11 @@ pub fn fastest_under(evals: &[Evaluation], max_bytes: u64) -> Option<Evaluation>
         .iter()
         .filter(|e| e.geometry.total_bytes() <= max_bytes)
         .min_by(|a, b| {
-            a.cycles
-                .cmp(&b.cycles)
-                .then(a.energy_nj.partial_cmp(&b.energy_nj).expect("finite energies"))
+            a.cycles.cmp(&b.cycles).then(
+                a.energy_nj
+                    .partial_cmp(&b.energy_nj)
+                    .expect("finite energies"),
+            )
         })
         .copied()
 }
@@ -144,7 +153,11 @@ mod tests {
 
     fn eval(sets: u32, energy: f64, cycles: u64) -> Evaluation {
         Evaluation {
-            geometry: Geometry { sets, assoc: 1, block_bytes: 4 },
+            geometry: Geometry {
+                sets,
+                assoc: 1,
+                block_bytes: 4,
+            },
             accesses: 100,
             misses: 10,
             energy_nj: energy,
@@ -155,10 +168,10 @@ mod tests {
     #[test]
     fn pareto_front_filters_dominated_points() {
         let evals = vec![
-            eval(1, 10.0, 100), // on the front
-            eval(2, 12.0, 90),  // on the front
-            eval(4, 12.0, 95),  // dominated by (12.0, 90)
-            eval(8, 9.0, 120),  // on the front
+            eval(1, 10.0, 100),  // on the front
+            eval(2, 12.0, 90),   // on the front
+            eval(4, 12.0, 95),   // dominated by (12.0, 90)
+            eval(8, 9.0, 120),   // on the front
             eval(16, 20.0, 200), // dominated by everything
         ];
         let front = pareto_front(&evals);

@@ -117,7 +117,10 @@ pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
 }
 
 fn reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
-    let bad = || AsmError { line, kind: AsmErrorKind::BadRegister(tok.to_owned()) };
+    let bad = || AsmError {
+        line,
+        kind: AsmErrorKind::BadRegister(tok.to_owned()),
+    };
     let digits = tok.trim().strip_prefix('r').ok_or_else(bad)?;
     let n: u8 = digits.parse().map_err(|_| bad())?;
     if n > 15 {
@@ -136,19 +139,29 @@ fn imm(tok: &str, line: usize) -> Result<i64, AsmError> {
     } else {
         tok.parse()
     };
-    value.map_err(|_| AsmError { line, kind: AsmErrorKind::BadImmediate(tok.to_owned()) })
+    value.map_err(|_| AsmError {
+        line,
+        kind: AsmErrorKind::BadImmediate(tok.to_owned()),
+    })
 }
 
 /// Parses `imm(reg)` memory operands.
 fn mem(tok: &str, line: usize) -> Result<(Reg, i64), AsmError> {
-    let bad = || AsmError { line, kind: AsmErrorKind::BadOperands(tok.to_owned()) };
+    let bad = || AsmError {
+        line,
+        kind: AsmErrorKind::BadOperands(tok.to_owned()),
+    };
     let open = tok.find('(').ok_or_else(bad)?;
     let close = tok.rfind(')').ok_or_else(bad)?;
     if close < open {
         return Err(bad());
     }
     let offset = tok[..open].trim();
-    let offset = if offset.is_empty() { 0 } else { imm(offset, line)? };
+    let offset = if offset.is_empty() {
+        0
+    } else {
+        imm(offset, line)?
+    };
     Ok((reg(&tok[open + 1..close], line)?, offset))
 }
 
@@ -171,12 +184,19 @@ fn label(tok: &str, line: usize, labels: &HashMap<String, usize>) -> Result<usiz
 
 fn encode(stmt: &str, line: usize, labels: &HashMap<String, usize>) -> Result<Instr, AsmError> {
     let (op, rest) = stmt.split_once(char::is_whitespace).unwrap_or((stmt, ""));
-    let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let ops: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
     let want = |n: usize| {
         if ops.len() == n {
             Ok(())
         } else {
-            Err(AsmError { line, kind: AsmErrorKind::BadOperands(rest.trim().to_owned()) })
+            Err(AsmError {
+                line,
+                kind: AsmErrorKind::BadOperands(rest.trim().to_owned()),
+            })
         }
     };
     let instr = match op.to_lowercase().as_str() {
@@ -203,7 +223,11 @@ fn encode(stmt: &str, line: usize, labels: &HashMap<String, usize>) -> Result<In
         "sari" => {
             want(3)?;
             let shift = imm(ops[2], line)?;
-            Instr::Sari(reg(ops[0], line)?, reg(ops[1], line)?, shift.clamp(0, 63) as u32)
+            Instr::Sari(
+                reg(ops[0], line)?,
+                reg(ops[1], line)?,
+                shift.clamp(0, 63) as u32,
+            )
         }
         "andi" => {
             want(3)?;
@@ -231,15 +255,27 @@ fn encode(stmt: &str, line: usize, labels: &HashMap<String, usize>) -> Result<In
         }
         "beq" => {
             want(3)?;
-            Instr::Beq(reg(ops[0], line)?, reg(ops[1], line)?, label(ops[2], line, labels)?)
+            Instr::Beq(
+                reg(ops[0], line)?,
+                reg(ops[1], line)?,
+                label(ops[2], line, labels)?,
+            )
         }
         "bne" => {
             want(3)?;
-            Instr::Bne(reg(ops[0], line)?, reg(ops[1], line)?, label(ops[2], line, labels)?)
+            Instr::Bne(
+                reg(ops[0], line)?,
+                reg(ops[1], line)?,
+                label(ops[2], line, labels)?,
+            )
         }
         "blt" => {
             want(3)?;
-            Instr::Blt(reg(ops[0], line)?, reg(ops[1], line)?, label(ops[2], line, labels)?)
+            Instr::Blt(
+                reg(ops[0], line)?,
+                reg(ops[1], line)?,
+                label(ops[2], line, labels)?,
+            )
         }
         "jmp" => {
             want(1)?;
@@ -262,7 +298,10 @@ fn encode(stmt: &str, line: usize, labels: &HashMap<String, usize>) -> Result<In
             Instr::Nop
         }
         other => {
-            return Err(AsmError { line, kind: AsmErrorKind::UnknownOp(other.to_owned()) });
+            return Err(AsmError {
+                line,
+                kind: AsmErrorKind::UnknownOp(other.to_owned()),
+            });
         }
     };
     Ok(instr)

@@ -62,7 +62,10 @@ impl Cpu {
     pub fn new() -> Self {
         let mut regs = [0i64; 16];
         regs[Reg::SP.0 as usize] = STACK_TOP as i64;
-        Cpu { regs, mem: HashMap::new() }
+        Cpu {
+            regs,
+            mem: HashMap::new(),
+        }
     }
 
     /// Reads a register (`r0` is always zero).
@@ -114,7 +117,8 @@ impl Cpu {
     fn store(&mut self, addr: u64, bytes: u64, value: i64, out: &mut Vec<Record>) {
         out.push(Record::write(addr));
         for i in 0..bytes {
-            self.mem.insert(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+            self.mem
+                .insert(addr.wrapping_add(i), (value >> (8 * i)) as u8);
         }
     }
 
@@ -256,15 +260,26 @@ mod tests {
             100,
         );
         assert_eq!(cpu.reg(Reg(3)), 123456);
-        let reads = out.trace.iter().filter(|r| r.kind == AccessKind::Read).count();
-        let writes = out.trace.iter().filter(|r| r.kind == AccessKind::Write).count();
+        let reads = out
+            .trace
+            .iter()
+            .filter(|r| r.kind == AccessKind::Read)
+            .count();
+        let writes = out
+            .trace
+            .iter()
+            .filter(|r| r.kind == AccessKind::Write)
+            .count();
         assert_eq!((reads, writes), (1, 1));
         assert_eq!(cpu.peek_word(0x1008), 123456);
     }
 
     #[test]
     fn byte_accesses_are_byte_sized() {
-        let (cpu, _) = run("li r1, 0x2000\nli r2, 0x1ff\nsb r2, (r1)\nlb r3, (r1)\nhalt\n", 100);
+        let (cpu, _) = run(
+            "li r1, 0x2000\nli r2, 0x1ff\nsb r2, (r1)\nlb r3, (r1)\nhalt\n",
+            100,
+        );
         assert_eq!(cpu.reg(Reg(3)), 0xff, "byte store truncates");
     }
 
@@ -315,6 +330,12 @@ mod tests {
         let program = assemble("li r1, 0x3000\nlw r2, (r1)\nhalt\n").expect("assembles");
         let out = cpu.run(&program, 10);
         assert_eq!(cpu.reg(Reg(2)), 77);
-        assert_eq!(out.trace.iter().filter(|r| r.kind == AccessKind::Read).count(), 1);
+        assert_eq!(
+            out.trace
+                .iter()
+                .filter(|r| r.kind == AccessKind::Read)
+                .count(),
+            1
+        );
     }
 }

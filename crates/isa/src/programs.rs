@@ -201,20 +201,29 @@ mod tests {
         let (cpu, out) = run_program(&vector_sum(50), &inputs, 10_000).expect("assembles");
         assert_eq!(out.stop, Stop::Halted);
         assert_eq!(cpu.peek_word(OUT_BASE), (1..=50).sum::<u32>());
-        let reads = out.trace.iter().filter(|r| r.kind == AccessKind::Read).count();
+        let reads = out
+            .trace
+            .iter()
+            .filter(|r| r.kind == AccessKind::Read)
+            .count();
         assert_eq!(reads, 50, "one load per element");
     }
 
     #[test]
     fn memcpy_copies_exactly() {
-        let inputs: Vec<(u64, u32)> =
-            (0..32).map(|i| (A_BASE + i * 4, 0xA0_0000 + i as u32)).collect();
+        let inputs: Vec<(u64, u32)> = (0..32)
+            .map(|i| (A_BASE + i * 4, 0xA0_0000 + i as u32))
+            .collect();
         let (cpu, out) = run_program(&memcpy_words(32), &inputs, 10_000).expect("assembles");
         assert_eq!(out.stop, Stop::Halted);
         for i in 0..32u64 {
             assert_eq!(cpu.peek_word(B_BASE + i * 4), 0xA0_0000 + i as u32);
         }
-        let writes = out.trace.iter().filter(|r| r.kind == AccessKind::Write).count();
+        let writes = out
+            .trace
+            .iter()
+            .filter(|r| r.kind == AccessKind::Write)
+            .count();
         assert_eq!(writes, 32);
     }
 
@@ -257,8 +266,16 @@ mod tests {
             }
         }
         // n^3 loads of A and of B each, n^2 stores.
-        let reads = out.trace.iter().filter(|r| r.kind == AccessKind::Read).count() as u64;
-        let writes = out.trace.iter().filter(|r| r.kind == AccessKind::Write).count() as u64;
+        let reads = out
+            .trace
+            .iter()
+            .filter(|r| r.kind == AccessKind::Read)
+            .count() as u64;
+        let writes = out
+            .trace
+            .iter()
+            .filter(|r| r.kind == AccessKind::Write)
+            .count() as u64;
         assert_eq!(reads, 2 * n * n * n);
         assert_eq!(writes, n * n);
     }
@@ -269,7 +286,11 @@ mod tests {
         assert_eq!(out.stop, Stop::Halted);
         assert_eq!(cpu.peek_word(OUT_BASE), 144, "fib(12)");
         // Recursion drives significant stack traffic.
-        let data = out.trace.iter().filter(|r| r.kind != AccessKind::InstrFetch).count();
+        let data = out
+            .trace
+            .iter()
+            .filter(|r| r.kind != AccessKind::InstrFetch)
+            .count();
         assert!(data > 500, "stack frames read and written: {data}");
     }
 

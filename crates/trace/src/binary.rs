@@ -81,7 +81,11 @@ fn read_varint(input: &mut impl Read) -> Result<Option<u64>, TraceError> {
         let mut byte = [0u8; 1];
         match input.read(&mut byte) {
             Ok(0) => {
-                return if first { Ok(None) } else { Err(TraceError::Truncated) };
+                return if first {
+                    Ok(None)
+                } else {
+                    Err(TraceError::Truncated)
+                };
             }
             Ok(_) => {}
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -117,7 +121,11 @@ impl<W: Write> BinWriter<W> {
     pub fn new(mut inner: W) -> Result<Self, TraceError> {
         inner.write_all(&MAGIC)?;
         inner.write_all(&[VERSION])?;
-        Ok(BinWriter { inner, prev_addr: 0, written: 0 })
+        Ok(BinWriter {
+            inner,
+            prev_addr: 0,
+            written: 0,
+        })
     }
 
     /// Appends one record.
@@ -196,7 +204,12 @@ impl<R: Read> BinReader<R> {
         if header[4] != VERSION {
             return Err(TraceError::UnsupportedVersion(header[4]));
         }
-        Ok(BinReader { inner, prev_addr: 0, position: 0, failed: false })
+        Ok(BinReader {
+            inner,
+            prev_addr: 0,
+            position: 0,
+            failed: false,
+        })
     }
 
     fn next_record(&mut self) -> Option<Result<Record, TraceError>> {
@@ -259,7 +272,10 @@ mod tests {
         let mut w = BinWriter::new(&mut out).expect("header");
         w.write_all(records.iter().copied()).expect("write");
         w.finish().expect("finish");
-        BinReader::new(out.as_slice()).expect("header").collect::<Result<_, _>>().expect("read")
+        BinReader::new(out.as_slice())
+            .expect("header")
+            .collect::<Result<_, _>>()
+            .expect("read")
     }
 
     #[test]
@@ -291,7 +307,9 @@ mod tests {
 
     #[test]
     fn sequential_trace_is_compact() {
-        let records: Vec<Record> = (0..1000u64).map(|i| Record::ifetch(0x4000 + i * 4)).collect();
+        let records: Vec<Record> = (0..1000u64)
+            .map(|i| Record::ifetch(0x4000 + i * 4))
+            .collect();
         let mut out = Vec::new();
         let mut w = BinWriter::new(&mut out).expect("header");
         w.write_all(records.iter().copied()).expect("write");
@@ -302,8 +320,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_and_version() {
-        assert!(matches!(BinReader::new(&b"NOPE\x01rest"[..]), Err(TraceError::BadMagic)));
-        assert!(matches!(BinReader::new(&b"DEW"[..]), Err(TraceError::BadMagic)));
+        assert!(matches!(
+            BinReader::new(&b"NOPE\x01rest"[..]),
+            Err(TraceError::BadMagic)
+        ));
+        assert!(matches!(
+            BinReader::new(&b"DEW"[..]),
+            Err(TraceError::BadMagic)
+        ));
         assert!(matches!(
             BinReader::new(&b"DEWT\x63"[..]),
             Err(TraceError::UnsupportedVersion(0x63))
@@ -314,7 +338,8 @@ mod tests {
     fn detects_truncation_mid_record() {
         let mut out = Vec::new();
         let mut w = BinWriter::new(&mut out).expect("header");
-        w.write_record(Record::read(0x1234_5678_9abc)).expect("write");
+        w.write_record(Record::read(0x1234_5678_9abc))
+            .expect("write");
         w.finish().expect("finish");
         out.pop(); // chop the last varint byte
         let mut reader = BinReader::new(out.as_slice()).expect("header");
@@ -325,28 +350,43 @@ mod tests {
     #[test]
     fn detects_unknown_kind_byte() {
         let mut out = Vec::new();
-        BinWriter::new(&mut out).expect("header").finish().expect("finish");
+        BinWriter::new(&mut out)
+            .expect("header")
+            .finish()
+            .expect("finish");
         out.push(9); // bogus kind
         out.push(0); // delta 0
         let mut reader = BinReader::new(out.as_slice()).expect("header");
-        assert!(matches!(reader.next(), Some(Err(TraceError::Parse { position: 1, .. }))));
+        assert!(matches!(
+            reader.next(),
+            Some(Err(TraceError::Parse { position: 1, .. }))
+        ));
     }
 
     #[test]
     fn detects_varint_overflow() {
         let mut out = Vec::new();
-        BinWriter::new(&mut out).expect("header").finish().expect("finish");
+        BinWriter::new(&mut out)
+            .expect("header")
+            .finish()
+            .expect("finish");
         out.push(0); // kind: read
         out.extend_from_slice(&[0xff; 10]); // 70 payload bits, all continuations
         out.push(0x7f);
         let mut reader = BinReader::new(out.as_slice()).expect("header");
-        assert!(matches!(reader.next(), Some(Err(TraceError::VarintOverflow))));
+        assert!(matches!(
+            reader.next(),
+            Some(Err(TraceError::VarintOverflow))
+        ));
     }
 
     #[test]
     fn empty_stream_yields_no_records() {
         let mut out = Vec::new();
-        BinWriter::new(&mut out).expect("header").finish().expect("finish");
+        BinWriter::new(&mut out)
+            .expect("header")
+            .finish()
+            .expect("finish");
         let mut reader = BinReader::new(out.as_slice()).expect("header");
         assert!(reader.next().is_none());
     }

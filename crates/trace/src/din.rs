@@ -44,7 +44,11 @@ impl<R: BufRead> DinReader<R> {
     /// Creates a reader over any buffered source. A plain `&[u8]` works for
     /// in-memory parsing; pass `&mut reader` to keep ownership.
     pub fn new(inner: R) -> Self {
-        DinReader { inner, line: 0, buf: String::new() }
+        DinReader {
+            inner,
+            line: 0,
+            buf: String::new(),
+        }
     }
 
     /// The number of source lines consumed so far (including skipped ones).
@@ -71,10 +75,14 @@ impl<R: BufRead> DinReader<R> {
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
-            return Some(trimmed.parse::<Record>().map_err(|source| TraceError::Parse {
-                position: self.line,
-                source,
-            }));
+            return Some(
+                trimmed
+                    .parse::<Record>()
+                    .map_err(|source| TraceError::Parse {
+                        position: self.line,
+                        source,
+                    }),
+            );
         }
     }
 }
@@ -148,8 +156,9 @@ mod tests {
     #[test]
     fn reads_skipping_comments_and_blanks() {
         let src = "# header\n\n0 100\n   \n2 200\n";
-        let recs: Vec<Record> =
-            DinReader::new(src.as_bytes()).collect::<Result<_, _>>().expect("parse");
+        let recs: Vec<Record> = DinReader::new(src.as_bytes())
+            .collect::<Result<_, _>>()
+            .expect("parse");
         assert_eq!(recs, vec![Record::read(0x100), Record::ifetch(0x200)]);
     }
 
@@ -169,24 +178,29 @@ mod tests {
 
     #[test]
     fn writer_output_is_reader_input() {
-        let records =
-            vec![Record::read(0xdead), Record::write(0xbeef), Record::ifetch(0x1234_5678)];
+        let records = vec![
+            Record::read(0xdead),
+            Record::write(0xbeef),
+            Record::ifetch(0x1234_5678),
+        ];
         let mut out = Vec::new();
         let mut w = DinWriter::new(&mut out);
         w.write_all(records.iter().copied()).expect("write");
         assert_eq!(w.records_written(), 3);
         w.finish().expect("finish");
 
-        let back: Vec<Record> =
-            DinReader::new(out.as_slice()).collect::<Result<_, _>>().expect("read");
+        let back: Vec<Record> = DinReader::new(out.as_slice())
+            .collect::<Result<_, _>>()
+            .expect("read");
         assert_eq!(back, records);
     }
 
     #[test]
     fn tolerates_dinero_size_column() {
         let src = "1 400 4\n";
-        let recs: Vec<Record> =
-            DinReader::new(src.as_bytes()).collect::<Result<_, _>>().expect("parse");
+        let recs: Vec<Record> = DinReader::new(src.as_bytes())
+            .collect::<Result<_, _>>()
+            .expect("parse");
         assert_eq!(recs, vec![Record::new(0x400, AccessKind::Write)]);
     }
 

@@ -98,8 +98,11 @@ mod tests {
     #[test]
     fn display_is_nonempty_for_all_variants() {
         let variants: Vec<TraceError> = vec![
-            TraceError::Io(io::Error::new(io::ErrorKind::Other, "x")),
-            TraceError::Parse { position: 3, source: ParseRecordError::MissingLabel },
+            TraceError::Io(io::Error::other("x")),
+            TraceError::Parse {
+                position: 3,
+                source: ParseRecordError::MissingLabel,
+            },
             TraceError::BadMagic,
             TraceError::UnsupportedVersion(9),
             TraceError::Truncated,
@@ -112,7 +115,10 @@ mod tests {
 
     #[test]
     fn parse_error_is_source_of_trace_error() {
-        let err = TraceError::Parse { position: 1, source: ParseRecordError::MissingAddress };
+        let err = TraceError::Parse {
+            position: 1,
+            source: ParseRecordError::MissingAddress,
+        };
         assert!(err.source().is_some());
     }
 }

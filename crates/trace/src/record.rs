@@ -157,7 +157,10 @@ impl FromStr for Record {
             .map_err(|_| ParseRecordError::BadLabel(label.to_owned()))?;
         let kind =
             AccessKind::from_din_label(label).ok_or(ParseRecordError::UnknownLabel(label))?;
-        let digits = addr.strip_prefix("0x").or_else(|| addr.strip_prefix("0X")).unwrap_or(addr);
+        let digits = addr
+            .strip_prefix("0x")
+            .or_else(|| addr.strip_prefix("0X"))
+            .unwrap_or(addr);
         let addr = u64::from_str_radix(digits, 16)
             .map_err(|_| ParseRecordError::BadAddress(addr.to_owned()))?;
         Ok(Record::new(addr, kind))
@@ -280,11 +283,26 @@ mod tests {
 
     #[test]
     fn record_parse_errors() {
-        assert!(matches!("".parse::<Record>(), Err(ParseRecordError::MissingLabel)));
-        assert!(matches!("0".parse::<Record>(), Err(ParseRecordError::MissingAddress)));
-        assert!(matches!("x 10".parse::<Record>(), Err(ParseRecordError::BadLabel(_))));
-        assert!(matches!("9 10".parse::<Record>(), Err(ParseRecordError::UnknownLabel(9))));
-        assert!(matches!("0 zz".parse::<Record>(), Err(ParseRecordError::BadAddress(_))));
+        assert!(matches!(
+            "".parse::<Record>(),
+            Err(ParseRecordError::MissingLabel)
+        ));
+        assert!(matches!(
+            "0".parse::<Record>(),
+            Err(ParseRecordError::MissingAddress)
+        ));
+        assert!(matches!(
+            "x 10".parse::<Record>(),
+            Err(ParseRecordError::BadLabel(_))
+        ));
+        assert!(matches!(
+            "9 10".parse::<Record>(),
+            Err(ParseRecordError::UnknownLabel(9))
+        ));
+        assert!(matches!(
+            "0 zz".parse::<Record>(),
+            Err(ParseRecordError::BadAddress(_))
+        ));
     }
 
     #[test]

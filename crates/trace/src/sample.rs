@@ -100,7 +100,11 @@ mod tests {
     fn prefix_truncates() {
         let t = trace(10);
         assert_eq!(prefix(&t, 4).len(), 4);
-        assert_eq!(prefix(&t, 100).len(), 10, "prefix longer than trace is the trace");
+        assert_eq!(
+            prefix(&t, 100).len(),
+            10,
+            "prefix longer than trace is the trace"
+        );
         assert_eq!(prefix(&t, 0).len(), 0);
     }
 

@@ -34,7 +34,9 @@ impl Trace {
     /// Creates an empty trace.
     #[must_use]
     pub fn new() -> Self {
-        Trace { records: Vec::new() }
+        Trace {
+            records: Vec::new(),
+        }
     }
 
     /// Creates a trace from a vector of records.
@@ -145,7 +147,9 @@ impl fmt::Display for Trace {
 
 impl FromIterator<Record> for Trace {
     fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
-        Trace { records: iter.into_iter().collect() }
+        Trace {
+            records: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -40,7 +40,11 @@ impl CodeWalker {
     #[must_use]
     pub fn new(base: u64, instructions: u64) -> Self {
         assert!(instructions > 0, "a loop body has at least one instruction");
-        CodeWalker { base, body_bytes: instructions * 4, pc: base }
+        CodeWalker {
+            base,
+            body_bytes: instructions * 4,
+            pc: base,
+        }
     }
 
     /// Emits the next instruction fetch, advancing (and wrapping) the PC.

@@ -206,7 +206,9 @@ impl Kernel for PointerChase {
         }
         let mut cur = 0usize;
         for _ in 0..self.steps {
-            out.push(Record::read(self.base + cur as u64 * u64::from(self.node_bytes)));
+            out.push(Record::read(
+                self.base + cur as u64 * u64::from(self.node_bytes),
+            ));
             cur = next[cur] as usize;
         }
     }
@@ -241,9 +243,7 @@ impl Kernel for StackDistanceWalk {
         let mut stack: Vec<u64> = Vec::with_capacity(self.depth as usize + 1);
         let mut fresh: u64 = 0;
         for _ in 0..self.accesses {
-            let block = if stack.is_empty()
-                || rng.gen_bool(self.new_block_prob.clamp(0.0, 1.0))
-            {
+            let block = if stack.is_empty() || rng.gen_bool(self.new_block_prob.clamp(0.0, 1.0)) {
                 let b = fresh;
                 fresh += 1;
                 b
@@ -255,7 +255,9 @@ impl Kernel for StackDistanceWalk {
             stack.retain(|&b| b != block);
             stack.insert(0, block);
             stack.truncate(self.depth as usize);
-            out.push(Record::read(self.base + block * u64::from(self.block_bytes)));
+            out.push(Record::read(
+                self.base + block * u64::from(self.block_bytes),
+            ));
         }
     }
 }
@@ -267,7 +269,13 @@ mod tests {
 
     #[test]
     fn strided_stream_is_exactly_strided() {
-        let k = StridedStream { base: 0, count: 4, stride: 8, kind: AccessKind::Write, passes: 2 };
+        let k = StridedStream {
+            base: 0,
+            count: 4,
+            stride: 8,
+            kind: AccessKind::Write,
+            passes: 2,
+        };
         let t = k.generate(0);
         assert_eq!(t.len(), 8);
         let addrs: Vec<u64> = t.iter().map(|r| r.addr).collect();
@@ -312,33 +320,59 @@ mod tests {
     fn phases_respect_regions_and_counts() {
         let k = WorkingSetPhases {
             phases: vec![
-                Phase { base: 0x1000, words: 16, accesses: 100 },
-                Phase { base: 0x8000, words: 16, accesses: 50 },
+                Phase {
+                    base: 0x1000,
+                    words: 16,
+                    accesses: 100,
+                },
+                Phase {
+                    base: 0x8000,
+                    words: 16,
+                    accesses: 50,
+                },
             ],
             zipf_exponent: 1.0,
             write_fraction: 0.3,
         };
         let t = k.generate(42);
         assert_eq!(t.len(), 150);
-        assert!(t.records()[..100].iter().all(|r| (0x1000..0x1040).contains(&r.addr)));
-        assert!(t.records()[100..].iter().all(|r| (0x8000..0x8040).contains(&r.addr)));
+        assert!(t.records()[..100]
+            .iter()
+            .all(|r| (0x1000..0x1040).contains(&r.addr)));
+        assert!(t.records()[100..]
+            .iter()
+            .all(|r| (0x8000..0x8040).contains(&r.addr)));
         let writes = t.iter().filter(|r| r.kind == AccessKind::Write).count();
         assert!((15..=75).contains(&writes), "write mix near 30%: {writes}");
     }
 
     #[test]
     fn pointer_chase_visits_whole_cycle() {
-        let k = PointerChase { base: 0, nodes: 16, node_bytes: 64, steps: 16 };
+        let k = PointerChase {
+            base: 0,
+            nodes: 16,
+            node_bytes: 64,
+            steps: 16,
+        };
         let t = k.generate(9);
         let mut visited: Vec<u64> = t.iter().map(|r| r.addr / 64).collect();
         visited.sort_unstable();
         visited.dedup();
-        assert_eq!(visited.len(), 16, "a single cycle visits every node once per lap");
+        assert_eq!(
+            visited.len(),
+            16,
+            "a single cycle visits every node once per lap"
+        );
     }
 
     #[test]
     fn pointer_chase_is_deterministic_per_seed() {
-        let k = PointerChase { base: 0, nodes: 32, node_bytes: 16, steps: 100 };
+        let k = PointerChase {
+            base: 0,
+            nodes: 32,
+            node_bytes: 16,
+            steps: 100,
+        };
         assert_eq!(k.generate(5), k.generate(5));
         assert_ne!(k.generate(5), k.generate(6));
     }
@@ -353,7 +387,10 @@ mod tests {
             accesses: 5000,
             block_bytes: 16,
         };
-        let cold = StackDistanceWalk { new_block_prob: 0.9, ..hot.clone() };
+        let cold = StackDistanceWalk {
+            new_block_prob: 0.9,
+            ..hot.clone()
+        };
         let footprint = |t: &Trace| {
             let mut s = TraceStats::new();
             for r in t {
@@ -372,10 +409,25 @@ mod tests {
     #[test]
     fn kernel_names_are_stable() {
         assert_eq!(
-            StridedStream { base: 0, count: 1, stride: 1, kind: AccessKind::Read, passes: 1 }
-                .name(),
+            StridedStream {
+                base: 0,
+                count: 1,
+                stride: 1,
+                kind: AccessKind::Read,
+                passes: 1
+            }
+            .name(),
             "strided_stream"
         );
-        assert_eq!(PointerChase { base: 0, nodes: 1, node_bytes: 1, steps: 0 }.name(), "pointer_chase");
+        assert_eq!(
+            PointerChase {
+                base: 0,
+                nodes: 1,
+                node_bytes: 1,
+                steps: 0
+            }
+            .name(),
+            "pointer_chase"
+        );
     }
 }

@@ -34,6 +34,6 @@
 
 pub mod code;
 pub mod kernels;
-pub mod numeric;
 pub mod mediabench;
+pub mod numeric;
 pub mod zipf;

@@ -169,7 +169,7 @@ fn jpeg_unit(out: &mut Vec<Record>, rng: &mut SmallRng, encode: bool) {
         } else {
             // Huffman/zigzag tables with skewed popularity.
             let e = rng.gen_range(0..256u64);
-            out.push(Record::read(layout::TABLES + 0x400 + (e * e >> 8) * 2));
+            out.push(Record::read(layout::TABLES + 0x400 + ((e * e) >> 8) * 2));
             out.push(Record::write(pixel_base + (i / 8) * IMG_W + (i % 8)));
         }
     }
@@ -236,9 +236,17 @@ fn mpeg2_encode_unit(out: &mut Vec<Record>, rng: &mut SmallRng) {
     // re-read overlapping reference rows (spatial + temporal reuse).
     let mut search = CodeWalker::new(layout::CODE + 0x2400, 48);
     for step in [4i64, 2, 1] {
-        for (dy, dx) in [(0i64, 0i64), (-1, 0), (1, 0), (0, -1), (0, 1), (-1, -1), (1, 1)] {
-            let ry = (my * MB) as i64 + dy * step + rng.gen_range(-1..=1);
-            let rx = (mx * MB) as i64 + dx * step + rng.gen_range(-1..=1);
+        for (dy, dx) in [
+            (0i64, 0i64),
+            (-1, 0),
+            (1, 0),
+            (0, -1),
+            (0, 1),
+            (-1, -1),
+            (1, 1),
+        ] {
+            let ry = (my * MB) as i64 + dy * step + rng.gen_range(-1i64..=1);
+            let rx = (mx * MB) as i64 + dx * step + rng.gen_range(-1i64..=1);
             let ry = ry.clamp(0, (IMG_H - MB) as i64) as u64;
             let rx = rx.clamp(0, (IMG_W - MB) as i64) as u64;
             let cand = layout::REF_FRAME + ry * IMG_W + rx;
@@ -331,8 +339,10 @@ mod tests {
     #[test]
     fn paper_request_counts_match_table2() {
         let total: u64 = App::ALL.iter().map(|a| a.paper_requests()).sum();
-        assert_eq!(total, 25_680_911 + 7_617_458 + 154_999_563 + 154_856_346
-            + 3_738_851_450 + 1_411_434_040);
+        assert_eq!(
+            total,
+            25_680_911 + 7_617_458 + 154_999_563 + 154_856_346 + 3_738_851_450 + 1_411_434_040
+        );
     }
 
     #[test]

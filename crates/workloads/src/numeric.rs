@@ -211,8 +211,18 @@ mod tests {
 
     #[test]
     fn naive_and_tiled_matmul_touch_the_same_data() {
-        let naive = MatMul { n: 12, elem_bytes: 8, tile: 0, base: 0 };
-        let tiled = MatMul { n: 12, elem_bytes: 8, tile: 4, base: 0 };
+        let naive = MatMul {
+            n: 12,
+            elem_bytes: 8,
+            tile: 0,
+            base: 0,
+        };
+        let tiled = MatMul {
+            n: 12,
+            elem_bytes: 8,
+            tile: 4,
+            base: 0,
+        };
         let tn = naive.generate(0);
         let tt = tiled.generate(0);
         assert_eq!(tn.len(), tt.len(), "same work, different order");
@@ -231,8 +241,18 @@ mod tests {
         // 6x6 tile working set (~1 KiB) fits comfortably. The non-power-of-
         // two row stride (480 B) spreads tile rows across sets instead of
         // aliasing them all onto one — the usual padding trick.
-        let naive = MatMul { n: 60, elem_bytes: 8, tile: 0, base: 0 };
-        let tiled = MatMul { n: 60, elem_bytes: 8, tile: 6, base: 0 };
+        let naive = MatMul {
+            n: 60,
+            elem_bytes: 8,
+            tile: 0,
+            base: 0,
+        };
+        let tiled = MatMul {
+            n: 60,
+            elem_bytes: 8,
+            tile: 6,
+            base: 0,
+        };
         let config = CacheConfig::new(16, 8, 32, Replacement::Lru).expect("4 KiB cache");
         let m_naive = simulate_trace(config, naive.generate(0).records()).misses();
         let m_tiled = simulate_trace(config, tiled.generate(0).records()).misses();
@@ -244,7 +264,11 @@ mod tests {
 
     #[test]
     fn fft_event_count_matches_formula() {
-        let fft = FftButterflies { log2_n: 6, elem_bytes: 8, base: 0 };
+        let fft = FftButterflies {
+            log2_n: 6,
+            elem_bytes: 8,
+            base: 0,
+        };
         let t = fft.generate(0);
         let n = 64u64;
         // Butterflies: log2(n) stages x n/2 butterflies x 4 accesses.
@@ -259,18 +283,30 @@ mod tests {
         // A direct-mapped cache whose set count divides the late-stage
         // strides sees the top/bottom of each butterfly collide; doubling
         // associativity at the same capacity removes those conflicts.
-        let fft = FftButterflies { log2_n: 10, elem_bytes: 8, base: 0 };
+        let fft = FftButterflies {
+            log2_n: 10,
+            elem_bytes: 8,
+            base: 0,
+        };
         let t = fft.generate(0);
         let dm = CacheConfig::new(64, 1, 16, Replacement::Lru).expect("valid");
         let sa = CacheConfig::new(32, 2, 16, Replacement::Lru).expect("same capacity");
         let m_dm = simulate_trace(dm, t.records()).misses();
         let m_sa = simulate_trace(sa, t.records()).misses();
-        assert!(m_sa < m_dm, "associativity must help the FFT: dm {m_dm}, 2-way {m_sa}");
+        assert!(
+            m_sa < m_dm,
+            "associativity must help the FFT: dm {m_dm}, 2-way {m_sa}"
+        );
     }
 
     #[test]
     fn call_stack_is_extremely_cache_friendly() {
-        let k = CallStack { stack_top: 0x7fff_0000, frame_words: 16, max_depth: 12, events: 2000 };
+        let k = CallStack {
+            stack_top: 0x7fff_0000,
+            frame_words: 16,
+            max_depth: 12,
+            events: 2000,
+        };
         let t = k.generate(3);
         assert!(!t.is_empty());
         let config = CacheConfig::new(16, 2, 32, Replacement::Fifo).expect("1 KiB");
@@ -284,9 +320,17 @@ mod tests {
 
     #[test]
     fn call_stack_respects_depth_bound() {
-        let k = CallStack { stack_top: 0x1_0000, frame_words: 4, max_depth: 3, events: 500 };
+        let k = CallStack {
+            stack_top: 0x1_0000,
+            frame_words: 4,
+            max_depth: 3,
+            events: 500,
+        };
         let t = k.generate(1);
         let lowest = t.iter().map(|r| r.addr).min().expect("nonempty");
-        assert!(lowest >= 0x1_0000 - 3 * 16, "never deeper than max_depth frames");
+        assert!(
+            lowest >= 0x1_0000 - 3 * 16,
+            "never deeper than max_depth frames"
+        );
     }
 }

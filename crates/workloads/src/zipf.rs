@@ -67,7 +67,10 @@ impl Zipf {
     /// Draws one rank in `0..len()`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         }
     }
@@ -106,8 +109,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut head_share = |s: f64| {
             let z = Zipf::new(50, s);
-            let hits =
-                (0..20_000).filter(|_| z.sample(&mut rng) == 0).count();
+            let hits = (0..20_000).filter(|_| z.sample(&mut rng) == 0).count();
             hits as f64 / 20_000.0
         };
         assert!(head_share(2.0) > head_share(0.5));

@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let evals = evaluate_sweep(&sweep, &model);
 
     let front = pareto_front(&evals);
-    println!("\nPareto front (energy vs cycles), {} of {} configurations:", front.len(), evals.len());
+    println!(
+        "\nPareto front (energy vs cycles), {} of {} configurations:",
+        front.len(),
+        evals.len()
+    );
     for e in front.iter().take(15) {
         println!("  {e}");
     }
@@ -44,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for budget_kib in [1u64, 4, 16, 64] {
         let budget = budget_kib * 1024;
-        match (best_edp_under(&evals, budget), fastest_under(&evals, budget)) {
+        match (
+            best_edp_under(&evals, budget),
+            fastest_under(&evals, budget),
+        ) {
             (Some(edp), Some(fast)) => {
                 println!("\nwithin {budget_kib:>3} KiB:");
                 println!("  best energy-delay: {edp}");

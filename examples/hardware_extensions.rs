@@ -20,7 +20,11 @@ use dew_workloads::mediabench::App;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = App::Mpeg2Encode.generate(300_000, 8);
-    println!("workload: {} ({} requests)\n", App::Mpeg2Encode, trace.len());
+    println!(
+        "workload: {} ({} requests)\n",
+        App::Mpeg2Encode,
+        trace.len()
+    );
 
     // Baseline: a direct-mapped 4 KiB L1.
     let dm = CacheConfig::new(256, 1, 16, Replacement::Fifo)?;
@@ -28,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for r in &trace {
         plain.access(*r);
     }
-    println!("plain DM 4 KiB:            {:>8} misses", plain.stats().misses());
+    println!(
+        "plain DM 4 KiB:            {:>8} misses",
+        plain.stats().misses()
+    );
 
     // The same cache with a small victim buffer.
     for entries in [2usize, 8] {
@@ -44,9 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The same cache with sequential prefetching.
-    for (name, policy) in
-        [("miss prefetch  ", PrefetchPolicy::Miss), ("tagged prefetch", PrefetchPolicy::Tagged)]
-    {
+    for (name, policy) in [
+        ("miss prefetch  ", PrefetchPolicy::Miss),
+        ("tagged prefetch", PrefetchPolicy::Tagged),
+    ] {
         let mut pf = PrefetchingCache::new(dm, policy, 1);
         for r in &trace {
             pf.access(*r);

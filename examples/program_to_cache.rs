@@ -24,14 +24,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let source = matmul(n as u32);
-    println!("assembling and executing a {n}x{n} matmul ({} lines of asm)", source.lines().count());
+    println!(
+        "assembling and executing a {n}x{n} matmul ({} lines of asm)",
+        source.lines().count()
+    );
     let (cpu, run) = run_program(&source, &inputs, 20_000_000)?;
     assert_eq!(run.stop, Stop::Halted);
 
     // 2. Verify the computation before trusting its trace: A x I == A.
     for i in 0..n {
         for j in 0..n {
-            assert_eq!(cpu.peek_word(OUT_BASE + (i * n + j) * 4), (i + 2 * j + 1) as u32);
+            assert_eq!(
+                cpu.peek_word(OUT_BASE + (i * n + j) * 4),
+                (i + 2 * j + 1) as u32
+            );
         }
     }
     let stats = run.trace.stats();
@@ -45,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Sweep a realistic embedded configuration space over the trace.
     let space = ConfigSpace::new((0, 10), (2, 5), (0, 3))?;
     let sweep = sweep_trace(&space, run.trace.records(), DewOptions::default(), 0)?;
-    println!("swept {} configurations in {} DEW passes", sweep.config_count(), sweep.passes().len());
+    println!(
+        "swept {} configurations in {} DEW passes",
+        sweep.config_count(),
+        sweep.passes().len()
+    );
 
     // 4. Pick caches under budgets.
     let evals = evaluate_sweep(&sweep, &EnergyModel::default());

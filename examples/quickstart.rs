@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Exact miss rates for all 30 configurations, from that single pass.
     let results = tree.results();
-    println!("\n{:>8} {:>12} {:>12}", "sets", "miss% (A=1)", "miss% (A=4)");
+    println!(
+        "\n{:>8} {:>12} {:>12}",
+        "sets", "miss% (A=1)", "miss% (A=4)"
+    );
     for level in results.levels() {
         let sets = level.sets();
         let dm = results.miss_rate(sets, 1).expect("simulated");

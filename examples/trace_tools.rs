@@ -39,9 +39,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\nfile sizes for {} records:", trace.len());
-    println!("  din text: {:>9} bytes ({:.1} B/record)", din_bytes, din_bytes as f64 / trace.len() as f64);
-    println!("  binary:   {:>9} bytes ({:.1} B/record)", bin_bytes, bin_bytes as f64 / trace.len() as f64);
-    println!("  compression vs text: {:.1}x", din_bytes as f64 / bin_bytes as f64);
+    println!(
+        "  din text: {:>9} bytes ({:.1} B/record)",
+        din_bytes,
+        din_bytes as f64 / trace.len() as f64
+    );
+    println!(
+        "  binary:   {:>9} bytes ({:.1} B/record)",
+        bin_bytes,
+        bin_bytes as f64 / trace.len() as f64
+    );
+    println!(
+        "  compression vs text: {:.1}x",
+        din_bytes as f64 / bin_bytes as f64
+    );
 
     std::fs::remove_file(&din_path)?;
     std::fs::remove_file(&bin_path)?;

@@ -18,25 +18,37 @@ fn executed_trace(source: &str, inputs: &[(u64, u32)], fuel: u64) -> Trace {
 }
 
 fn word_inputs(n: u64) -> Vec<(u64, u32)> {
-    (0..n).map(|i| (A_BASE + i * 4, (i * 7 + 3) as u32)).collect()
+    (0..n)
+        .map(|i| (A_BASE + i * 4, (i * 7 + 3) as u32))
+        .collect()
 }
 
 #[test]
 fn dew_is_exact_on_executed_program_traces() {
     let programs: Vec<(&str, Trace)> = vec![
-        ("vector_sum", executed_trace(&vector_sum(400), &word_inputs(400), 100_000)),
-        ("memcpy", executed_trace(&memcpy_words(300), &word_inputs(300), 100_000)),
-        ("matmul", executed_trace(&matmul(8), &word_inputs(128), 500_000)),
-        ("histogram", executed_trace(&histogram(256), &word_inputs(64), 100_000)),
+        (
+            "vector_sum",
+            executed_trace(&vector_sum(400), &word_inputs(400), 100_000),
+        ),
+        (
+            "memcpy",
+            executed_trace(&memcpy_words(300), &word_inputs(300), 100_000),
+        ),
+        (
+            "matmul",
+            executed_trace(&matmul(8), &word_inputs(128), 500_000),
+        ),
+        (
+            "histogram",
+            executed_trace(&histogram(256), &word_inputs(64), 100_000),
+        ),
         ("fib", executed_trace(&fib_recursive(14), &[], 2_000_000)),
     ];
     let space = ConfigSpace::new((0, 7), (2, 4), (0, 2)).expect("valid");
     for (name, trace) in &programs {
-        let sweep =
-            sweep_trace(&space, trace.records(), DewOptions::default(), 0).expect("sweep");
+        let sweep = sweep_trace(&space, trace.records(), DewOptions::default(), 0).expect("sweep");
         for (sets, assoc, block) in space.configs() {
-            let config =
-                CacheConfig::new(sets, assoc, block, Replacement::Fifo).expect("valid");
+            let config = CacheConfig::new(sets, assoc, block, Replacement::Fifo).expect("valid");
             let expected = simulate_trace(config, trace.records()).misses();
             assert_eq!(
                 sweep.misses(sets, assoc, block),

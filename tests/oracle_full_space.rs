@@ -59,7 +59,10 @@ fn sweep_totals_are_internally_consistent() {
     // must be positive for a non-trivial trace and bounded by accesses.
     for c in sweep.iter() {
         assert!(c.misses <= sweep.accesses());
-        assert!(c.misses > 0, "a 20k-request trace cannot fit entirely cold in {c:?}");
+        assert!(
+            c.misses > 0,
+            "a 20k-request trace cannot fit entirely cold in {c:?}"
+        );
     }
     for (_, counters) in sweep.passes() {
         assert!(counters.is_consistent());

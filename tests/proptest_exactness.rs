@@ -14,9 +14,9 @@ use dew_trace::Record;
 fn trace_strategy() -> impl Strategy<Value = Vec<Record>> {
     prop::collection::vec(
         prop_oneof![
-            (0u64..256).prop_map(|a| Record::read(a * 4)),      // hot words
-            (0u64..65_536).prop_map(Record::read),              // scattered
-            (0u64..64).prop_map(|a| Record::write(a)),          // hot bytes
+            (0u64..256).prop_map(|a| Record::read(a * 4)), // hot words
+            (0u64..65_536).prop_map(Record::read),         // scattered
+            (0u64..64).prop_map(Record::write),            // hot bytes
         ],
         1..600,
     )

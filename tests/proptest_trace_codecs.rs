@@ -8,7 +8,10 @@ use dew_trace::{AccessKind, Record};
 
 fn record_strategy() -> impl Strategy<Value = Record> {
     (any::<u64>(), 0u8..3).prop_map(|(addr, k)| {
-        Record::new(addr, AccessKind::from_din_label(k).expect("0..3 are valid labels"))
+        Record::new(
+            addr,
+            AccessKind::from_din_label(k).expect("0..3 are valid labels"),
+        )
     })
 }
 

@@ -68,8 +68,12 @@ fn stratified_sampling_is_far_less_accurate_than_cluster_sampling() {
 
 #[test]
 fn prefix_sampling_overweights_cold_start() {
-    // A short prefix is dominated by compulsory misses.
-    let full = App::Mpeg2Decode.generate(300_000, 31);
+    // A short prefix is dominated by compulsory misses. The MPEG2 surrogates
+    // are unsuitable here: their reference-frame initialisation is a tight,
+    // cache-friendly phase, so their prefixes *under*-estimate the long-run
+    // miss rate about as often as not. G721 streams steadily from the start,
+    // which is exactly the regime this test is about.
+    let full = App::G721Encode.generate(300_000, 31);
     let full_rate = miss_rate(&full);
     let head_rate = miss_rate(&prefix(&full, 10_000));
     assert!(

@@ -62,9 +62,9 @@ fn mediabench_timelines_are_stable_within_an_app() {
 
     let series = timeline.series(256, 4).expect("simulated");
     let steady = &series[2..];
-    let (lo, hi) = steady
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (lo, hi) = steady.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    });
     assert!(
         hi - lo < 0.2,
         "steady-state windows should stay in a narrow band: {lo:.4}..{hi:.4}"

@@ -21,7 +21,9 @@ fn sweep_feeds_exploration_end_to_end() {
         let on_front = front.iter().any(|f| f.geometry == e.geometry);
         if !on_front {
             assert!(
-                front.iter().any(|f| f.energy_nj <= e.energy_nj && f.cycles <= e.cycles),
+                front
+                    .iter()
+                    .any(|f| f.energy_nj <= e.energy_nj && f.cycles <= e.cycles),
                 "point {e} is neither on the front nor dominated"
             );
         }
@@ -31,7 +33,10 @@ fn sweep_feeds_exploration_end_to_end() {
     let small = best_edp_under(&evals, 512).expect("something fits in 512 B");
     assert!(small.geometry.total_bytes() <= 512);
     let large = best_edp_under(&evals, 64 * 1024).expect("fits");
-    assert!(large.edp() <= small.edp(), "a superset budget can only improve EDP");
+    assert!(
+        large.edp() <= small.edp(),
+        "a superset budget can only improve EDP"
+    );
     let fast = fastest_under(&evals, 64 * 1024).expect("fits");
     assert!(fast.cycles <= small.cycles);
 }
@@ -88,7 +93,10 @@ fn fifo_violates_inclusion_but_lru_does_not() {
             let sets = 1u32 << set_bits;
             // LRU inclusion: misses non-increasing with set count.
             let m_lru = lru_results.misses(sets, assoc).expect("simulated");
-            assert!(m_lru <= prev_lru, "LRU inclusion violated at sets={sets} assoc={assoc}");
+            assert!(
+                m_lru <= prev_lru,
+                "LRU inclusion violated at sets={sets} assoc={assoc}"
+            );
             prev_lru = m_lru;
             // FIFO: look for any non-monotonicity (not guaranteed for every
             // workload; tracked across the whole grid below).

@@ -21,8 +21,7 @@ fn g721_is_cache_friendlier_than_mpeg2_encode() {
     // windows. At a small cache the ordering must be stark.
     let g721 = App::G721Encode.generate(60_000, 2);
     let mpeg2 = App::Mpeg2Encode.generate(60_000, 2);
-    let (mr_g721, mr_mpeg2) =
-        (miss_rate(&g721, 64, 2, 16), miss_rate(&mpeg2, 64, 2, 16));
+    let (mr_g721, mr_mpeg2) = (miss_rate(&g721, 64, 2, 16), miss_rate(&mpeg2, 64, 2, 16));
     assert!(
         mr_g721 < mr_mpeg2,
         "g721 {mr_g721:.4} should miss less than mpeg2 encode {mr_mpeg2:.4}"
@@ -39,8 +38,13 @@ fn streaming_beats_pointer_chase_on_spatial_locality() {
         passes: 1,
     }
     .generate(1);
-    let chase =
-        PointerChase { base: 0, nodes: 20_000, node_bytes: 4, steps: 20_000 }.generate(1);
+    let chase = PointerChase {
+        base: 0,
+        nodes: 20_000,
+        node_bytes: 4,
+        steps: 20_000,
+    }
+    .generate(1);
     // With 64-byte blocks, the stream amortises each miss over 16 accesses;
     // the chase's next node is (almost) never in the same block.
     let mr_stream = miss_rate(&stream, 16, 2, 64);
@@ -109,7 +113,10 @@ fn dew_handles_every_app_with_consistent_counters() {
         let r = tree.results();
         for level in r.levels() {
             assert!(level.misses() <= 25_000);
-            assert!(level.dm_misses() >= level.misses() / 16, "{app}: DM plausibility");
+            assert!(
+                level.dm_misses() >= level.misses() / 16,
+                "{app}: DM plausibility"
+            );
         }
     }
 }
