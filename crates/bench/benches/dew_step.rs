@@ -28,7 +28,7 @@ fn bench_assoc(c: &mut Criterion) {
                 for &a in &addrs {
                     tree.step(a);
                 }
-                tree.counters().tag_comparisons
+                tree.results()
             });
         });
     }
@@ -50,11 +50,55 @@ fn bench_block_size(c: &mut Criterion) {
                     for &a in &addrs {
                         tree.step(a);
                     }
-                    tree.counters().tag_comparisons
+                    tree.results()
                 });
             },
         );
     }
+    group.finish();
+}
+
+/// The tentpole comparison: the monomorphized fast kernel (per-record and
+/// batched) against the instrumented instantiation, same pass, same trace.
+fn bench_kernel_variants(c: &mut Criterion) {
+    let addrs = trace_addrs(100_000);
+    let pass = PassConfig::new(2, 0, 14, 4).expect("valid");
+    let blocks: Vec<u64> = addrs.iter().map(|&a| a >> 2).collect();
+    let mut group = c.benchmark_group("dew_step/kernel");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("instrumented"),
+        &addrs,
+        |b, addrs| {
+            b.iter(|| {
+                let mut tree = DewTree::instrumented(pass, DewOptions::default()).expect("sound");
+                for &a in addrs {
+                    tree.step(a);
+                }
+                tree.results()
+            });
+        },
+    );
+    group.bench_with_input(BenchmarkId::from_parameter("fast"), &addrs, |b, addrs| {
+        b.iter(|| {
+            let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+            for &a in addrs {
+                tree.step(a);
+            }
+            tree.results()
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("run_blocks"),
+        &blocks,
+        |b, blocks| {
+            b.iter(|| {
+                let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+                tree.run_blocks(blocks);
+                tree.results()
+            });
+        },
+    );
     group.finish();
 }
 
@@ -75,12 +119,18 @@ fn bench_properties(c: &mut Criterion) {
                 for &a in &addrs {
                     tree.step(a);
                 }
-                tree.counters().tag_comparisons
+                tree.results()
             });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_assoc, bench_block_size, bench_properties);
+criterion_group!(
+    benches,
+    bench_assoc,
+    bench_block_size,
+    bench_kernel_variants,
+    bench_properties
+);
 criterion_main!(benches);

@@ -33,7 +33,7 @@ fn main() {
     let mut reference_results = None;
     for opts in DewOptions::ablation_grid(TreePolicy::Fifo) {
         let start = Instant::now();
-        let mut tree = DewTree::new(pass, opts).expect("sound options");
+        let mut tree = DewTree::instrumented(pass, opts).expect("sound options");
         for r in trace.records() {
             tree.step(r.addr);
         }

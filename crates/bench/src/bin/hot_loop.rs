@@ -1,0 +1,154 @@
+//! Hot-loop throughput tracker: measures steps/sec of the DEW kernel
+//! variants and writes `BENCH_hot_loop.json` so the perf trajectory is
+//! comparable across PRs.
+//!
+//! Variants:
+//!
+//! * `step_instrumented` — per-record stepping with the counting kernel (the
+//!   behaviour every pre-arena build had);
+//! * `step` — per-record stepping with the fast monomorphized kernel;
+//! * `run_blocks` — the fast kernel fed pre-decoded block batches (the sweep
+//!   path), decode time included in the measurement;
+//! * `run_blocks_instrumented` — batched with counters, isolating the cost
+//!   of instrumentation alone.
+//!
+//! Scale via `DEW_BENCH_QUICK=1` / `DEW_BENCH_MAX_REQUESTS=n`; the output
+//! path defaults to `BENCH_hot_loop.json` and can be overridden with
+//! `DEW_BENCH_JSON=path`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dew_bench::report::thousands;
+use dew_bench::suite::SuiteScale;
+use dew_core::{DewOptions, DewTree, PassConfig};
+use dew_trace::decode_blocks;
+use dew_workloads::mediabench::App;
+
+/// The bench pass: the paper's full 15-level forest, 4-way, 4-byte blocks
+/// (the same shape `benches/dew_step.rs` uses).
+const BLOCK_BITS: u32 = 2;
+const SET_BITS: (u32, u32) = (0, 14);
+const ASSOC: u32 = 4;
+
+struct Variant {
+    name: &'static str,
+    ns_per_step: f64,
+    steps_per_sec: f64,
+}
+
+/// Best-of-N wall time for `run`, in seconds.
+fn best_of<F: FnMut()>(samples: u32, mut run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let scale = SuiteScale::from_env();
+    let app = App::JpegEncode;
+    let requests = scale.requests_for(app).min(1_000_000);
+    let samples = if std::env::var_os("DEW_BENCH_QUICK").is_some() {
+        3
+    } else {
+        5
+    };
+    eprintln!("generating {app} trace ({requests} requests) ...");
+    let trace = app.generate(requests, scale.seed);
+    let records = trace.records();
+    let pass = PassConfig::new(BLOCK_BITS, SET_BITS.0, SET_BITS.1, ASSOC).expect("valid pass");
+    let n = records.len() as f64;
+
+    // Exactness guard: all variants must produce identical miss counts.
+    let reference = {
+        let mut t = DewTree::instrumented(pass, DewOptions::default()).expect("sound");
+        t.run(records.iter().copied());
+        t.results()
+    };
+
+    let mut variants = Vec::new();
+    let mut measure = |name: &'static str, instrument: bool, batched: bool| {
+        let secs = best_of(samples, || {
+            let mut tree = DewTree::with_instrumentation(pass, DewOptions::default(), instrument)
+                .expect("sound");
+            if batched {
+                let blocks = decode_blocks(records, BLOCK_BITS);
+                tree.run_blocks(&blocks);
+            } else {
+                for r in records {
+                    tree.step(r.addr);
+                }
+            }
+            assert_eq!(tree.results(), reference, "{name}: miss counts diverged");
+        });
+        let v = Variant {
+            name,
+            ns_per_step: secs * 1e9 / n,
+            steps_per_sec: n / secs,
+        };
+        println!(
+            "{:<24} {:>8.2} ns/step  {:>10} steps/s",
+            v.name,
+            v.ns_per_step,
+            thousands(v.steps_per_sec as u64)
+        );
+        variants.push(v);
+    };
+
+    measure("step_instrumented", true, false);
+    measure("step", false, false);
+    measure("run_blocks", false, true);
+    measure("run_blocks_instrumented", true, true);
+
+    let rate = |name: &str| {
+        variants
+            .iter()
+            .find(|v| v.name == name)
+            .expect("measured above")
+            .steps_per_sec
+    };
+    let speedup = rate("run_blocks") / rate("step_instrumented");
+    println!("\nspeedup run_blocks vs step_instrumented: {speedup:.2}x");
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"hot_loop\",");
+    let _ = writeln!(json, "  \"unix_time\": {unix_time},");
+    let _ = writeln!(json, "  \"app\": \"{}\",", app.name());
+    let _ = writeln!(json, "  \"requests\": {requests},");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(
+        json,
+        "  \"pass\": {{\"block_bits\": {BLOCK_BITS}, \"min_set_bits\": {}, \
+         \"max_set_bits\": {}, \"assoc\": {ASSOC}}},",
+        SET_BITS.0, SET_BITS.1
+    );
+    json.push_str("  \"variants\": [\n");
+    for (i, v) in variants.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"ns_per_step\": {:.3}, \"steps_per_sec\": {:.0}}}{}",
+            v.name,
+            v.ns_per_step,
+            v.steps_per_sec,
+            if i + 1 < variants.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"speedup_run_blocks_vs_instrumented\": {speedup:.3}"
+    );
+    json.push_str("}\n");
+
+    let path = std::env::var("DEW_BENCH_JSON").unwrap_or_else(|_| "BENCH_hot_loop.json".into());
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {path}");
+}

@@ -37,7 +37,7 @@ fn main() {
 
     // DEW with FIFO: full properties.
     let start = Instant::now();
-    let mut dew_fifo = DewTree::new(pass, DewOptions::default()).expect("sound");
+    let mut dew_fifo = DewTree::instrumented(pass, DewOptions::default()).expect("sound");
     for r in trace.records() {
         dew_fifo.step(r.addr);
     }
@@ -52,7 +52,7 @@ fn main() {
 
     // DEW with LRU: the MRA stop must stay off (paper Section 2.1).
     let start = Instant::now();
-    let mut dew_lru = DewTree::new(pass, DewOptions::lru()).expect("sound");
+    let mut dew_lru = DewTree::instrumented(pass, DewOptions::lru()).expect("sound");
     for r in trace.records() {
         dew_lru.step(r.addr);
     }

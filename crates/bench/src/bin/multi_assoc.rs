@@ -36,7 +36,7 @@ fn main() {
     let mut separate = Vec::new();
     for assoc in [2u32, 4, 8, 16] {
         let pass = PassConfig::new(2, SET_BITS.0, SET_BITS.1, assoc).expect("valid");
-        let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+        let mut tree = DewTree::instrumented(pass, DewOptions::default()).expect("sound");
         for r in trace.records() {
             tree.step(r.addr);
         }

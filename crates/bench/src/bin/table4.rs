@@ -16,7 +16,8 @@ use dew_trace::Trace;
 fn run_pass(trace: &Trace, assoc: u32) -> DewCounters {
     let pass =
         PassConfig::new(2, SET_BITS.0, SET_BITS.1, assoc).expect("table 4 pass geometry is valid");
-    let mut tree = DewTree::new(pass, DewOptions::default()).expect("default options are sound");
+    let mut tree =
+        DewTree::instrumented(pass, DewOptions::default()).expect("default options are sound");
     for r in trace.records() {
         tree.step(r.addr);
     }

@@ -13,6 +13,7 @@
 //! | `ablation` | extra: full on/off grid of the three properties |
 //! | `lru_compare` | extra: DEW-LRU vs the LRU-tree comparator |
 //! | `multi_assoc` | extra: one all-associativity pass vs per-assoc passes |
+//! | `hot_loop` | extra: kernel-variant steps/sec, writes `BENCH_hot_loop.json` |
 //!
 //! Run them with `cargo run --release -p dew-bench --bin <name>`. Scale is
 //! controlled by `DEW_BENCH_QUICK=1` and `DEW_BENCH_MAX_REQUESTS=n`

@@ -5,7 +5,7 @@ use std::path::Path;
 
 use dew_cachesim::classify::ThreeCClassifier;
 use dew_cachesim::{AllocatePolicy, Cache, CacheConfig, Replacement, WritePolicy};
-use dew_core::{sweep_trace, ConfigSpace, DewOptions};
+use dew_core::{sweep_trace, sweep_trace_instrumented, ConfigSpace, DewOptions};
 use dew_explore::{best_edp_under, evaluate_sweep, pareto_front, EnergyModel};
 use dew_trace::Trace;
 use dew_workloads::mediabench::App;
@@ -25,7 +25,7 @@ where
     I: IntoIterator<Item = S>,
     S: Into<String>,
 {
-    let args = Args::parse(raw, &["classify"])?;
+    let args = Args::parse(raw, &["classify", "counters"])?;
     let command = args
         .positional()
         .first()
@@ -150,7 +150,7 @@ fn simulate(args: &Args) -> Result<String, CliError> {
 
 fn sweep(args: &Args) -> Result<String, CliError> {
     args.reject_unknown(&[
-        "trace", "sets", "blocks", "assocs", "policy", "threads", "csv", "budget",
+        "trace", "sets", "blocks", "assocs", "policy", "threads", "csv", "budget", "counters",
     ])?;
     let trace = load_trace(&args.require::<String>("trace")?)?;
     let sets = parse_range(args.get("sets").unwrap_or("0..14"), "sets")?;
@@ -162,9 +162,17 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         _ => DewOptions::default(),
     };
     let threads = args.get_or("threads", 0usize)?;
+    let with_counters = args.flag("counters");
 
     let start = std::time::Instant::now();
-    let outcome = sweep_trace(&space, trace.records(), options, threads)?;
+    // The default sweep decodes the trace once per block size and drives the
+    // fast monomorphized kernel in batches; --counters opts into the
+    // instrumented kernel to report the per-pass work breakdown.
+    let outcome = if with_counters {
+        sweep_trace_instrumented(&space, trace.records(), options, threads)?
+    } else {
+        sweep_trace(&space, trace.records(), options, threads)?
+    };
     let elapsed = start.elapsed().as_secs_f64();
 
     let mut out = format!(
@@ -189,6 +197,13 @@ fn sweep(args: &Args) -> Result<String, CliError> {
             c.misses,
             rate * 100.0
         ));
+    }
+
+    if with_counters {
+        out.push_str("\nper-pass work counters:\n");
+        for (pass, c) in outcome.passes() {
+            out.push_str(&format!("  {pass}: {c}\n"));
+        }
     }
 
     if let Some(csv) = args.get("csv") {
@@ -439,6 +454,42 @@ mod tests {
         assert_eq!(csv_text.lines().count(), 11, "header + 10 rows");
         let _ = std::fs::remove_file(&bin);
         let _ = std::fs::remove_file(&csv);
+    }
+
+    #[test]
+    fn sweep_counters_flag_reports_work_breakdown() {
+        let bin = tmp("c.dewt");
+        run([
+            "generate",
+            "--app",
+            "g721_dec",
+            "--requests",
+            "4000",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
+        let plain = run([
+            "sweep", "--trace", &bin, "--sets", "0..3", "--blocks", "2..2", "--assocs", "0..1",
+        ])
+        .expect("sweep");
+        assert!(!plain.contains("per-pass work counters"), "{plain}");
+        let counted = run([
+            "sweep",
+            "--trace",
+            &bin,
+            "--sets",
+            "0..3",
+            "--blocks",
+            "2..2",
+            "--assocs",
+            "0..1",
+            "--counters",
+        ])
+        .expect("sweep with counters");
+        assert!(counted.contains("per-pass work counters"), "{counted}");
+        assert!(counted.contains("evaluations"), "{counted}");
+        let _ = std::fs::remove_file(&bin);
     }
 
     #[test]

@@ -33,8 +33,10 @@
 //!
 //! # fn main() -> Result<(), dew_core::DewError> {
 //! // Simulate set counts 1..=256 at associativity 4 (plus direct-mapped),
-//! // 16-byte blocks, over a toy trace.
-//! let mut tree = DewTree::new(PassConfig::new(4, 0, 8, 4)?, DewOptions::default())?;
+//! // 16-byte blocks, over a toy trace. `DewTree::new` builds the fastest
+//! // kernel; `instrumented` additionally maintains the work counters
+//! // printed below.
+//! let mut tree = DewTree::instrumented(PassConfig::new(4, 0, 8, 4)?, DewOptions::default())?;
 //! for i in 0..10_000u64 {
 //!     tree.step_record(Record::read((i * 24) % 65_536));
 //! }
@@ -67,6 +69,6 @@ pub use multi_assoc::MultiAssocTree;
 pub use options::{DewOptions, TreePolicy};
 pub use results::{AllAssocResults, ConfigResult, LevelResult, PassResults, SweepOutcome};
 pub use space::{ConfigSpace, DewError, PassConfig};
-pub use sweep::sweep_trace;
+pub use sweep::{sweep_trace, sweep_trace_instrumented};
 pub use timeline::{MissTimeline, WindowSample};
 pub use tree::DewTree;

@@ -70,6 +70,9 @@ pub struct MultiAssocTree {
     opts: DewOptions,
     assoc_list: Vec<u32>,
     levels: Vec<MultiLevel>,
+    /// Per-level set-index masks (`(1 << set_bits) - 1`), precomputed so the
+    /// walk indexes with one mask and no branch.
+    set_mask: Vec<u64>,
     counters: DewCounters,
     prev_block: u64,
     /// Per-list parent matching-entry way, reused across steps to avoid a
@@ -122,11 +125,15 @@ impl MultiAssocTree {
             })
             .collect();
         let num_lists = assoc_list.len() - 1;
+        let set_mask = (min_set_bits..=max_set_bits)
+            .map(|sb| (1u64 << sb) - 1)
+            .collect();
         Ok(MultiAssocTree {
             pass,
             opts,
             assoc_list,
             levels,
+            set_mask,
             counters: DewCounters::new(),
             prev_block: INVALID_TAG,
             parent_way: vec![None; num_lists],
@@ -194,12 +201,7 @@ impl MultiAssocTree {
         parent_way.fill(None);
 
         for li in 0..self.levels.len() {
-            let set_bits = self.pass.min_set_bits() + li as u32;
-            let set_idx = if set_bits == 0 {
-                0
-            } else {
-                (block & ((1u64 << set_bits) - 1)) as usize
-            };
+            let set_idx = (block & self.set_mask[li]) as usize;
             self.counters.node_evaluations += 1;
             self.counters.tag_comparisons += 1; // the one shared MRA compare
             let (lower, rest) = self.levels.split_at_mut(li);
@@ -297,7 +299,7 @@ impl MultiAssocTree {
                                 meta.mre_wave = evicted.wave;
                             }
                         }
-                        meta.fifo_ptr = (meta.fifo_ptr + 1) % assoc as u32;
+                        meta.fifo_ptr = crate::node::fifo_advance(meta.fifo_ptr, assoc);
                         n
                     }
                 };
@@ -394,7 +396,7 @@ mod tests {
         let mut separate_comparisons = 0;
         for assoc in [2u32, 4, 8, 16] {
             let pass = PassConfig::new(2, 0, 8, assoc).expect("valid");
-            let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+            let mut tree = DewTree::instrumented(pass, DewOptions::default()).expect("sound");
             for &x in &a {
                 tree.step(x);
             }

@@ -6,9 +6,11 @@
 //! paper's 32-bit implementation; this crate widens tags to 64 bits (see
 //! `DESIGN.md`, substitutions).
 //!
-//! Nodes are stored flat per forest level: a `Vec<NodeMeta>` for the scalar
-//! fields plus a `Vec<WayEntry>` of `num_sets × assoc` tag-list entries, so a
-//! node's tag list is the slice `ways[idx*assoc .. (idx+1)*assoc]`.
+//! The whole forest is stored as one flat arena (all levels concatenated): a
+//! single `Vec<NodeMeta>` for the scalar fields plus a single `Vec<WayEntry>`
+//! of tag-list entries, addressed through precomputed per-level node offsets,
+//! so node `i`'s tag list is the slice `ways[i*assoc .. (i+1)*assoc]` with
+//! `i` a forest-global node index.
 
 /// Sentinel for "no tag": cold MRA/MRE entries and invalid ways.
 ///
@@ -38,12 +40,12 @@ impl WayEntry {
     };
 }
 
-/// The scalar per-node state.
+/// The scalar per-node state, *except* the MRA tag: the MRA comparison runs
+/// on every node evaluation (and is all a Property-2 stop touches), so the
+/// forest keeps MRA tags in their own dense `u64` lane and this struct holds
+/// only the fields the miss/search paths need.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct NodeMeta {
-    /// Most Recently Accessed tag: the last block *handled* at this node.
-    /// Doubles as the content of the direct-mapped cache's set (Property 2).
-    pub mra: u64,
     /// Most Recently Evicted tag (Property 4), or [`INVALID_TAG`].
     pub mre: u64,
     /// Wave pointer preserved alongside the MRE tag (Algorithm 2, line 8).
@@ -58,12 +60,38 @@ pub(crate) struct NodeMeta {
 
 impl NodeMeta {
     pub(crate) const EMPTY: NodeMeta = NodeMeta {
-        mra: INVALID_TAG,
         mre: INVALID_TAG,
         mre_wave: EMPTY_WAVE,
         fifo_ptr: 0,
         valid: 0,
     };
+}
+
+/// Advances a FIFO round-robin pointer with a conditional wrap: `%` on a
+/// runtime associativity would be a hardware divide in the per-miss path.
+#[inline]
+pub(crate) fn fifo_advance(ptr: u32, assoc: usize) -> u32 {
+    let next = ptr + 1;
+    if next as usize == assoc {
+        0
+    } else {
+        next
+    }
+}
+
+/// Index of the least recently used way given the set's last-access lane
+/// (ties resolve to the lowest index, matching a stable minimum).
+#[inline]
+pub(crate) fn lru_victim(last_access: &[u64]) -> usize {
+    let mut victim = 0;
+    let mut oldest = last_access[0];
+    for (i, &t) in last_access.iter().enumerate().skip(1) {
+        if t < oldest {
+            oldest = t;
+            victim = i;
+        }
+    }
+    victim
 }
 
 #[cfg(test)]
@@ -75,7 +103,6 @@ mod tests {
         assert_eq!(WayEntry::EMPTY.tag, INVALID_TAG);
         assert_eq!(WayEntry::EMPTY.wave, EMPTY_WAVE);
         let m = NodeMeta::EMPTY;
-        assert_eq!(m.mra, INVALID_TAG);
         assert_eq!(m.mre, INVALID_TAG);
         assert_eq!(m.valid, 0);
         assert_eq!(m.fifo_ptr, 0);
@@ -85,6 +112,20 @@ mod tests {
     fn storage_is_compact() {
         // The flat layout relies on these staying small.
         assert_eq!(std::mem::size_of::<WayEntry>(), 16);
-        assert!(std::mem::size_of::<NodeMeta>() <= 32);
+        assert!(std::mem::size_of::<NodeMeta>() <= 24);
+    }
+
+    #[test]
+    fn fifo_advance_wraps_at_assoc() {
+        assert_eq!(fifo_advance(0, 4), 1);
+        assert_eq!(fifo_advance(3, 4), 0);
+        assert_eq!(fifo_advance(0, 1), 0);
+    }
+
+    #[test]
+    fn lru_victim_prefers_oldest_then_lowest_index() {
+        assert_eq!(lru_victim(&[5, 2, 9, 2]), 1, "ties take the first");
+        assert_eq!(lru_victim(&[1]), 0);
+        assert_eq!(lru_victim(&[7, 7, 7]), 0);
     }
 }

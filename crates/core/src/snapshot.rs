@@ -9,13 +9,20 @@
 //!
 //! ```text
 //! magic  b"DEWS"
-//! version u8 (currently 1)
+//! version u8 (currently 2)
 //! pass    block_bits, min_set_bits, max_set_bits, assoc   (u32 each)
-//! opts    flags u8 (bit0 mra_stop, 1 wave, 2 mre, 3 dup_elision, 4 lru)
+//! opts    flags u8 (bit0 mra_stop, 1 wave, 2 mre, 3 dup_elision, 4 lru,
+//!         5 instrumented — v2 only)
 //! state   counters (10 × u64), now, prev_block
-//! levels  per level: misses, dm_misses, node metadata, way entries,
-//!         last-access times (LRU only) — sizes derived from the pass
+//! arena   per level: misses, dm_misses; then the whole node-metadata lane,
+//!         the whole way-entry lane, and the last-access lane (LRU only) —
+//!         sizes derived from the pass
 //! ```
+//!
+//! Version 1 (the pre-arena format) interleaved each level's miss tallies,
+//! metadata, ways and last-access times; [`crate::DewTree::from_snapshot`]
+//! still decodes it, restoring an instrumented tree (the only kind version-1
+//! builds produced). Writers always emit version 2.
 //!
 //! # Examples
 //!
@@ -41,8 +48,10 @@ use std::fmt;
 
 /// File magic of the snapshot format.
 pub const MAGIC: [u8; 4] = *b"DEWS";
-/// Current snapshot format version.
-pub const VERSION: u8 = 1;
+/// Current snapshot format version (the arena-ordered layout).
+pub const VERSION: u8 = 2;
+/// The legacy per-level-interleaved layout; still decoded, never written.
+pub const VERSION_1: u8 = 1;
 
 /// Errors restoring a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

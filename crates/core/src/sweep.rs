@@ -3,9 +3,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
-use dew_trace::Record;
+use dew_trace::{decode_blocks, Record};
 
 use crate::counters::DewCounters;
 use crate::options::DewOptions;
@@ -17,9 +17,17 @@ use crate::tree::DewTree;
 /// pass per `(block size, associativity)` pair (associativity-1 results ride
 /// along with every pass, per the paper).
 ///
+/// The trace is decoded to bare block numbers **once per block size** and the
+/// buffer is shared across all passes and worker threads, so no pass
+/// re-iterates the 16-byte record stream; each pass runs the fast
+/// (uninstrumented) batched kernel via [`DewTree::run_blocks`]. Use
+/// [`sweep_trace_instrumented`] when the per-pass [`DewCounters`] breakdown
+/// matters.
+///
 /// `threads == 0` selects the machine's available parallelism; passes are
-/// independent, so they distribute over a simple work queue. Results are
-/// deterministic regardless of the thread count.
+/// independent, so they distribute over a simple work queue and each worker
+/// writes its result into a pre-sized per-pass slot (no lock, no re-sort).
+/// Results are deterministic regardless of the thread count.
 ///
 /// # Errors
 ///
@@ -51,6 +59,32 @@ pub fn sweep_trace(
     options: DewOptions,
     threads: usize,
 ) -> Result<SweepOutcome, DewError> {
+    sweep_trace_with(space, records, options, threads, false)
+}
+
+/// [`sweep_trace`] with instrumented passes: every pass maintains the full
+/// [`DewCounters`] breakdown (Table 1/3/4 quantities) at the cost of counter
+/// traffic in the kernel. Miss counts are bit-identical to [`sweep_trace`]'s.
+///
+/// # Errors
+///
+/// As [`sweep_trace`].
+pub fn sweep_trace_instrumented(
+    space: &ConfigSpace,
+    records: &[Record],
+    options: DewOptions,
+    threads: usize,
+) -> Result<SweepOutcome, DewError> {
+    sweep_trace_with(space, records, options, threads, true)
+}
+
+fn sweep_trace_with(
+    space: &ConfigSpace,
+    records: &[Record],
+    options: DewOptions,
+    threads: usize,
+    instrument: bool,
+) -> Result<SweepOutcome, DewError> {
     options.validate()?;
     let passes = space.passes();
     let workers = if threads == 0 {
@@ -60,39 +94,87 @@ pub fn sweep_trace(
     }
     .min(passes.len().max(1));
 
-    let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, PassResults, DewCounters)>> =
-        Mutex::new(Vec::with_capacity(passes.len()));
+    // One pre-sized slot per pass: the worker that claims a pass index is
+    // the only writer of its slot, so the result path has no lock and needs
+    // no post-hoc sort.
+    let slots: Vec<OnceLock<(PassResults, DewCounters)>> =
+        passes.iter().map(|_| OnceLock::new()).collect();
 
+    // Block numbers are decoded once per block size into a shared lane.
+    // Lanes are created lazily by the first worker to need them (the others
+    // share the `Arc`) and dropped by the last pass of their block size, so
+    // peak extra memory is bounded by the lanes in concurrent use — not by
+    // the number of block sizes — while one global work queue keeps every
+    // worker busy across group boundaries.
+    struct Lane {
+        blocks: Option<Arc<Vec<u64>>>,
+        /// Passes of this block size not yet completed.
+        remaining: usize,
+    }
+    let mut block_bits_order: Vec<u32> = Vec::new();
+    for pass in &passes {
+        if !block_bits_order.contains(&pass.block_bits()) {
+            block_bits_order.push(pass.block_bits());
+        }
+    }
+    let lanes: Vec<Mutex<Lane>> = block_bits_order
+        .iter()
+        .map(|&bits| {
+            Mutex::new(Lane {
+                blocks: None,
+                remaining: passes.iter().filter(|p| p.block_bits() == bits).count(),
+            })
+        })
+        .collect();
+    let lane_of = |bits: u32| -> &Mutex<Lane> {
+        let g = block_bits_order
+            .iter()
+            .position(|&b| b == bits)
+            .expect("every pass block size is in the lane table");
+        &lanes[g]
+    };
+
+    let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(pass) = passes.get(i) else { break };
-                let mut tree =
-                    DewTree::new(*pass, options).expect("pass and options validated above");
-                for r in records {
-                    tree.step(r.addr);
-                }
-                let results = tree.results();
-                let counters = *tree.counters();
-                collected
+                let blocks =
+                    {
+                        let mut lane = lane_of(pass.block_bits())
+                            .lock()
+                            .expect("no worker panics while holding a lane");
+                        Arc::clone(lane.blocks.get_or_insert_with(|| {
+                            Arc::new(decode_blocks(records, pass.block_bits()))
+                        }))
+                    };
+                let mut tree = DewTree::with_instrumentation(*pass, options, instrument)
+                    .expect("pass and options validated above");
+                tree.run_blocks(&blocks);
+                drop(blocks);
+                let claimed = slots[i].set((tree.results(), *tree.counters()));
+                assert!(claimed.is_ok(), "slot {i} claimed by exactly one worker");
+                let mut lane = lane_of(pass.block_bits())
                     .lock()
-                    .expect("no worker panics while holding the lock")
-                    .push((i, results, counters));
+                    .expect("no worker panics while holding a lane");
+                lane.remaining -= 1;
+                if lane.remaining == 0 {
+                    // Last pass of this block size: free the decoded lane.
+                    lane.blocks = None;
+                }
             });
         }
     });
 
-    let mut collected = collected.into_inner().expect("workers joined");
-    collected.sort_by_key(|(i, ..)| *i);
-
     let include_dm = space.assoc_bits().0 == 0;
     let mut misses: HashMap<(u32, u32, u32), u64> = HashMap::new();
     let mut dm_seen: HashMap<(u32, u32), u64> = HashMap::new();
-    let mut pass_counters = Vec::with_capacity(collected.len());
-    for (_, results, counters) in &collected {
-        let pass = results.pass();
+    let mut pass_counters = Vec::with_capacity(passes.len());
+    for (pass, slot) in passes.iter().zip(slots) {
+        let (results, counters) = slot
+            .into_inner()
+            .expect("every pass index was claimed and completed");
         for level in results.levels() {
             let key = (level.sets(), pass.assoc(), pass.block_bytes());
             misses.insert(key, level.misses());
@@ -112,7 +194,7 @@ pub fn sweep_trace(
                 misses.insert((level.sets(), 1, pass.block_bytes()), level.dm_misses());
             }
         }
-        pass_counters.push((*pass, *counters));
+        pass_counters.push((*pass, counters));
     }
 
     Ok(SweepOutcome::new(
@@ -179,6 +261,23 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_sweep_matches_fast_sweep() {
+        let space = ConfigSpace::new((0, 4), (0, 2), (0, 2)).expect("valid");
+        let records = trace(900);
+        let fast = sweep_trace(&space, &records, DewOptions::default(), 0).expect("sweep");
+        let slow =
+            sweep_trace_instrumented(&space, &records, DewOptions::default(), 0).expect("sweep");
+        let mut a = fast.sorted();
+        let mut b = slow.sorted();
+        a.sort_by_key(|c| (c.block_bytes, c.assoc, c.sets));
+        b.sort_by_key(|c| (c.block_bytes, c.assoc, c.sets));
+        assert_eq!(a, b, "instrumentation must not change miss counts");
+        // Only the instrumented sweep carries the per-node breakdown.
+        assert!(fast.passes().iter().all(|(_, c)| c.node_evaluations == 0));
+        assert!(slow.passes().iter().all(|(_, c)| c.node_evaluations > 0));
+    }
+
+    #[test]
     fn unsound_options_rejected() {
         let space = ConfigSpace::new((0, 2), (0, 0), (0, 1)).expect("valid");
         let opts = DewOptions {
@@ -192,7 +291,8 @@ mod tests {
     fn counters_reported_per_pass() {
         let space = ConfigSpace::new((0, 3), (1, 2), (0, 1)).expect("valid");
         let records = trace(300);
-        let outcome = sweep_trace(&space, &records, DewOptions::default(), 1).expect("sweep");
+        let outcome =
+            sweep_trace_instrumented(&space, &records, DewOptions::default(), 1).expect("sweep");
         assert_eq!(outcome.passes().len(), space.passes().len());
         for (_, c) in outcome.passes() {
             assert_eq!(c.accesses, 300);

@@ -4,36 +4,88 @@
 use dew_trace::Record;
 
 use crate::counters::DewCounters;
-use crate::node::{NodeMeta, WayEntry, EMPTY_WAVE, INVALID_TAG};
+use crate::node::{NodeMeta, EMPTY_WAVE, INVALID_TAG};
 use crate::options::{DewOptions, TreePolicy};
 use crate::results::{LevelResult, PassResults};
 use crate::space::{DewError, PassConfig};
 
-/// One forest level: all `2^set_bits` sets of the cache with that set count,
-/// stored flat (node `i`'s tag list is `ways[i*assoc .. (i+1)*assoc]`).
+/// Sentinel for "no parent matching entry" in the walk (root level, or the
+/// parent level determined the block without a resident entry).
+const NO_PARENT: usize = usize::MAX;
+
+/// The whole forest in one arena: every level's nodes and way entries live in
+/// a single pair of contiguous allocations, addressed through precomputed
+/// per-level node offsets and set masks.
+///
+/// Node `(li, set)` is `meta[node_off[li] + set]`; its tag list is
+/// `ways[(node_off[li] + set) * assoc ..][..assoc]`. The LRU `last_access`
+/// lane is kept out-of-line (indexed like `ways`) so FIFO passes never touch
+/// — or even allocate — it.
 #[derive(Debug, Clone)]
-struct Level {
+struct Forest {
+    /// The MRA-tag lane, dense and on its own: the MRA comparison runs on
+    /// every node evaluation and is the *only* state a Property-2 stop
+    /// touches, so stops read 8 bytes per node instead of a whole
+    /// [`NodeMeta`].
+    mra: Vec<u64>,
     meta: Vec<NodeMeta>,
-    ways: Vec<WayEntry>,
+    /// The way-tag lane (`num_nodes × assoc`, node `i`'s list at
+    /// `tags[i*assoc..][..assoc]`): dense `u64`s so residency searches scan
+    /// 8 bytes per way and vectorise.
+    tags: Vec<u64>,
+    /// The wave-pointer lane, parallel to `tags`; only the instrumented
+    /// kernel (the paper's shortcut ladder) reads or writes it, so it is
+    /// only allocated for instrumented trees.
+    waves: Vec<u32>,
     /// Per-way last-access time; only populated under [`TreePolicy::Lru`].
     last_access: Vec<u64>,
-    misses: u64,
-    dm_misses: u64,
+    /// Node-index base per level, plus a final entry holding the total node
+    /// count (so `node_off[li]..node_off[li + 1]` is level `li`'s node range).
+    node_off: Vec<usize>,
+    /// `(1 << set_bits) - 1` per level (zero for the single-set root level),
+    /// so the hot loop indexes with one mask and no branch.
+    set_mask: Vec<u64>,
+    misses: Vec<u64>,
+    dm_misses: Vec<u64>,
 }
 
-impl Level {
-    fn new(num_sets: usize, assoc: usize, lru: bool) -> Self {
-        Level {
-            meta: vec![NodeMeta::EMPTY; num_sets],
-            ways: vec![WayEntry::EMPTY; num_sets * assoc],
-            last_access: if lru {
-                vec![0; num_sets * assoc]
+impl Forest {
+    fn new(pass: &PassConfig, lru: bool, instrument: bool) -> Self {
+        let num_levels = pass.num_levels() as usize;
+        let assoc = pass.assoc() as usize;
+        let mut node_off = Vec::with_capacity(num_levels + 1);
+        let mut set_mask = Vec::with_capacity(num_levels);
+        let mut total = 0usize;
+        for set_bits in pass.min_set_bits()..=pass.max_set_bits() {
+            node_off.push(total);
+            set_mask.push((1u64 << set_bits) - 1);
+            total += 1usize << set_bits;
+        }
+        node_off.push(total);
+        Forest {
+            mra: vec![INVALID_TAG; total],
+            meta: vec![NodeMeta::EMPTY; total],
+            tags: vec![INVALID_TAG; total * assoc],
+            waves: if instrument {
+                vec![EMPTY_WAVE; total * assoc]
             } else {
                 Vec::new()
             },
-            misses: 0,
-            dm_misses: 0,
+            last_access: if lru {
+                vec![0; total * assoc]
+            } else {
+                Vec::new()
+            },
+            node_off,
+            set_mask,
+            misses: vec![0; num_levels],
+            dm_misses: vec![0; num_levels],
         }
+    }
+
+    /// Level `li`'s node-index range in the arena.
+    fn level_nodes(&self, li: usize) -> std::ops::Range<usize> {
+        self.node_off[li]..self.node_off[li + 1]
     }
 }
 
@@ -83,6 +135,23 @@ impl Level {
 /// conclusion. Exactness against a per-configuration reference simulator is
 /// enforced for every configuration by the test-suite.
 ///
+/// # The two kernels
+///
+/// The walk above is compiled twice. [`DewTree::instrumented`] builds the
+/// *instrumented* kernel: the paper's full determination ladder, with every
+/// [`DewCounters`] field maintained (the Table 3/4 quantities).
+/// [`DewTree::new`] builds the *fast* kernel: no counters, and — because
+/// Properties 3 and 4 only ever save comparisons, never change what is
+/// resident — no wave-pointer or MRE traffic at all; residency is decided
+/// by a branchless scan of the dense way-tag lane instead (under the
+/// uninstrumented kernel the `wave`/`mre` option flags therefore have no
+/// effect). Both kernels are further specialized over the paper's default
+/// configuration (all properties on, FIFO), folding every option test out
+/// of the default hot loop. All instantiations produce bit-identical miss
+/// counts — a property-tested invariant. Request-level counters
+/// (`accesses`, `duplicate_skips`) are maintained by every instantiation,
+/// since results need them.
+///
 /// # Examples
 ///
 /// ```
@@ -105,34 +174,69 @@ impl Level {
 pub struct DewTree {
     pass: PassConfig,
     opts: DewOptions,
-    levels: Vec<Level>,
+    forest: Forest,
     counters: DewCounters,
     now: u64,
     /// Block of the previous request, for the CRCB-style elision extension.
     prev_block: u64,
+    /// Which kernel instantiation `step` dispatches to.
+    instrument: bool,
+    /// `true` when `opts` matches the paper's default configuration and the
+    /// `DEFAULT_PATH` kernel instantiation applies.
+    specialized: bool,
 }
 
 impl DewTree {
-    /// Builds an empty forest for `pass` with behaviour `opts`.
+    /// Builds an empty forest for `pass` with behaviour `opts`, using the
+    /// fast (uninstrumented) kernel: per-node work counters stay zero and
+    /// cost nothing. Use [`DewTree::instrumented`] when the
+    /// [`DewTree::counters`] breakdown matters.
     ///
     /// # Errors
     ///
     /// [`DewError::UnsoundOptions`] when `opts` fails
     /// [`DewOptions::validate`] (the MRA stop with LRU lists).
     pub fn new(pass: PassConfig, opts: DewOptions) -> Result<Self, DewError> {
+        DewTree::with_instrumentation(pass, opts, false)
+    }
+
+    /// Builds a forest whose kernel maintains the full [`DewCounters`]
+    /// breakdown (Table 3/4 quantities). Miss counts are bit-identical to
+    /// [`DewTree::new`]'s; only the throughput differs.
+    ///
+    /// # Errors
+    ///
+    /// As [`DewTree::new`].
+    pub fn instrumented(pass: PassConfig, opts: DewOptions) -> Result<Self, DewError> {
+        DewTree::with_instrumentation(pass, opts, true)
+    }
+
+    /// Builds a forest selecting the kernel instantiation at runtime.
+    ///
+    /// # Errors
+    ///
+    /// As [`DewTree::new`].
+    pub fn with_instrumentation(
+        pass: PassConfig,
+        opts: DewOptions,
+        instrument: bool,
+    ) -> Result<Self, DewError> {
         opts.validate()?;
         let lru = opts.policy == TreePolicy::Lru;
-        let assoc = pass.assoc() as usize;
-        let levels = (pass.min_set_bits()..=pass.max_set_bits())
-            .map(|set_bits| Level::new(1usize << set_bits, assoc, lru))
-            .collect();
+        let specialized = opts.mra_stop
+            && opts.wave
+            && opts.mre
+            && !opts.dup_elision
+            && opts.policy == TreePolicy::Fifo;
         Ok(DewTree {
+            forest: Forest::new(&pass, lru, instrument),
             pass,
             opts,
-            levels,
             counters: DewCounters::new(),
             now: 0,
             prev_block: INVALID_TAG,
+            instrument,
+            specialized,
         })
     }
 
@@ -148,13 +252,22 @@ impl DewTree {
         &self.opts
     }
 
+    /// `true` when this tree maintains the per-node work counters.
+    #[must_use]
+    pub fn is_instrumented(&self) -> bool {
+        self.instrument
+    }
+
     /// Requests simulated so far.
     #[must_use]
     pub fn accesses(&self) -> u64 {
         self.counters.accesses
     }
 
-    /// The work counters (Table 3/4 quantities).
+    /// The work counters (Table 1/3/4 quantities). On a tree built with
+    /// [`DewTree::new`] only the request-level fields (`accesses`,
+    /// `duplicate_skips`) are maintained; the per-node breakdown requires
+    /// [`DewTree::instrumented`].
     #[must_use]
     pub fn counters(&self) -> &DewCounters {
         &self.counters
@@ -186,179 +299,404 @@ impl DewTree {
     /// real traces validated through [`PassConfig::new`]'s geometry limits
     /// never reach it).
     pub fn step(&mut self, addr: u64) {
-        let block = addr >> self.pass.block_bits();
+        self.step_block(addr >> self.pass.block_bits());
+    }
+
+    /// Simulates one request given as a pre-decoded block number
+    /// (`addr >> block_bits` for this pass's block size).
+    ///
+    /// # Panics
+    ///
+    /// As [`DewTree::step`], if `block` equals the internal sentinel.
+    pub fn step_block(&mut self, block: u64) {
         assert_ne!(
             block, INVALID_TAG,
-            "address {addr:#x} exceeds the supported range"
+            "block {block:#x} exceeds the supported range"
         );
+        match (self.instrument, self.specialized) {
+            (false, true) => self.step_block_fast::<true>(block),
+            (false, false) => self.step_block_fast::<false>(block),
+            (true, true) => self.kernel_instrumented::<true>(block),
+            (true, false) => self.kernel_instrumented::<false>(block),
+        }
+    }
+
+    /// Fast-kernel dispatch on the associativity. Widths 1 and 2 get their
+    /// own instantiation — there the scan reduces to one or two scalar
+    /// compares and the loop overhead dominates. Wider lists keep the
+    /// runtime-width scan, which LLVM vectorises better than a fully
+    /// unrolled conditional-move chain (measured on the `dew_step` bench).
+    fn step_block_fast<const DEFAULT_PATH: bool>(&mut self, block: u64) {
+        match self.pass.assoc() {
+            1 => self.kernel_fast::<DEFAULT_PATH, 1>(block),
+            2 => self.kernel_fast::<DEFAULT_PATH, 2>(block),
+            _ => self.kernel_fast::<DEFAULT_PATH, 0>(block),
+        }
+    }
+
+    /// Simulates a batch of pre-decoded block numbers (`addr >> block_bits`
+    /// for this pass's block size; see `dew_trace::decode_blocks`).
+    ///
+    /// This is the fastest way to drive a tree: the trace is decoded once,
+    /// the kernel dispatch happens once per batch instead of once per
+    /// request, and the same buffer can be shared across every pass of a
+    /// sweep (block numbers only depend on the block size, not on the
+    /// associativity or set counts).
+    ///
+    /// # Panics
+    ///
+    /// As [`DewTree::step`], if any block equals the internal sentinel.
+    pub fn run_blocks(&mut self, blocks: &[u64]) {
+        match (self.instrument, self.specialized) {
+            (false, true) => self.run_blocks_inner::<false, true>(blocks),
+            (false, false) => self.run_blocks_inner::<false, false>(blocks),
+            (true, true) => self.run_blocks_inner::<true, true>(blocks),
+            (true, false) => self.run_blocks_inner::<true, false>(blocks),
+        }
+    }
+
+    fn run_blocks_inner<const INSTRUMENT: bool, const DEFAULT_PATH: bool>(
+        &mut self,
+        blocks: &[u64],
+    ) {
+        if INSTRUMENT {
+            for &block in blocks {
+                assert_ne!(
+                    block, INVALID_TAG,
+                    "block {block:#x} exceeds the supported range"
+                );
+                self.kernel_instrumented::<DEFAULT_PATH>(block);
+            }
+        } else {
+            match self.pass.assoc() {
+                1 => self.run_blocks_fast::<DEFAULT_PATH, 1>(blocks),
+                2 => self.run_blocks_fast::<DEFAULT_PATH, 2>(blocks),
+                _ => self.run_blocks_fast::<DEFAULT_PATH, 0>(blocks),
+            }
+        }
+    }
+
+    fn run_blocks_fast<const DEFAULT_PATH: bool, const ASSOC: usize>(&mut self, blocks: &[u64]) {
+        for &block in blocks {
+            assert_ne!(
+                block, INVALID_TAG,
+                "block {block:#x} exceeds the supported range"
+            );
+            self.kernel_fast::<DEFAULT_PATH, ASSOC>(block);
+        }
+    }
+
+    /// Shared per-request prologue of both kernels: request accounting and
+    /// the CRCB-style duplicate elision. Returns `true` when the request was
+    /// elided whole.
+    #[inline(always)]
+    fn prologue<const DEFAULT_PATH: bool>(&mut self, block: u64) -> bool {
+        debug_assert!(!DEFAULT_PATH || self.specialized, "dispatch mismatch");
         self.counters.accesses += 1;
-        self.now += 1;
-        if self.opts.dup_elision && block == self.prev_block {
-            // CRCB-style extension: the block was the previous request, so it
-            // is resident (and MRU) at every level — a hit everywhere with no
-            // state to update under FIFO, and an idempotent recency refresh
-            // under LRU (no other block touched these sets in between).
-            self.counters.duplicate_skips += 1;
+        if !DEFAULT_PATH {
+            self.now += 1;
+            if self.opts.dup_elision {
+                if block == self.prev_block {
+                    // CRCB-style extension: the block was the previous
+                    // request, so it is resident (and MRU) at every level —
+                    // a hit everywhere with no state to update under FIFO,
+                    // and an idempotent recency refresh under LRU (no other
+                    // block touched these sets in between).
+                    self.counters.duplicate_skips += 1;
+                    return true;
+                }
+                self.prev_block = block;
+            }
+        }
+        false
+    }
+
+    /// The fast kernel: no counters, and — the decisive part — no wave or
+    /// MRE traffic at all.
+    ///
+    /// Properties 3 and 4 are *comparison-saving oracles*: they decide
+    /// hit/miss early but never change which block is resident where, so
+    /// miss counts do not depend on them (the ablation tests prove this).
+    /// On modern out-of-order hardware a branchless compare of every way in
+    /// the dense tag lane is cheaper than the shortcut ladder's
+    /// unpredictable branches — and once nothing reads wave pointers or MRE
+    /// entries, nothing needs to *maintain* them either, which removes the
+    /// parent-entry tracking and makes the per-level iterations independent
+    /// (the walk's only remaining serial dependence is the MRA stop).
+    /// The instrumented kernel keeps the full ladder, because the paper's
+    /// comparison counts are defined by it.
+    ///
+    /// `DEFAULT_PATH = true` additionally folds away the LRU machinery and
+    /// the elision check (the options are known to match the paper's
+    /// default configuration). `ASSOC` is the tag-list width when positive
+    /// (letting the scan unroll and the FIFO wrap fold to a mask) and `0`
+    /// for the generic runtime-width fallback.
+    fn kernel_fast<const DEFAULT_PATH: bool, const ASSOC: usize>(&mut self, block: u64) {
+        if self.prologue::<DEFAULT_PATH>(block) {
             return;
         }
-        self.prev_block = block;
-        let assoc = self.pass.assoc() as usize;
-        let lru = self.opts.policy == TreePolicy::Lru;
-        // Global way index (within the previous level) of the entry that
-        // holds `block` after handling — "the parent node's matching entry".
-        let mut parent_way: Option<usize> = None;
+        debug_assert!(ASSOC == 0 || ASSOC == self.pass.assoc() as usize);
+        let assoc = if ASSOC == 0 {
+            self.pass.assoc() as usize
+        } else {
+            ASSOC
+        };
+        let lru = !DEFAULT_PATH && self.opts.policy == TreePolicy::Lru;
+        let mra_stop = DEFAULT_PATH || self.opts.mra_stop;
+        let now = self.now;
+        let Forest {
+            mra,
+            meta,
+            tags,
+            last_access,
+            node_off,
+            set_mask,
+            misses,
+            dm_misses,
+            ..
+        } = &mut self.forest;
 
-        for li in 0..self.levels.len() {
-            let set_bits = self.pass.min_set_bits() + li as u32;
-            let set_idx = if set_bits == 0 {
-                0
-            } else {
-                (block & ((1u64 << set_bits) - 1)) as usize
-            };
-
-            self.counters.node_evaluations += 1;
-            self.counters.tag_comparisons += 1; // the MRA comparison
-            let (lower, rest) = self.levels.split_at_mut(li);
-            let level = &mut rest[0];
-            let mut meta = level.meta[set_idx];
-
-            let mra_match = meta.mra == block;
+        // One zipped iterator over the per-level lanes: the bounds checks
+        // collapse into the iterator, leaving only the arena accesses
+        // checked inside the loop.
+        let levels = set_mask
+            .iter()
+            .zip(node_off.iter())
+            .zip(misses.iter_mut().zip(dm_misses.iter_mut()));
+        for ((&mask, &off), (level_misses, level_dm_misses)) in levels {
+            let node = off + (block & mask) as usize;
+            let mra_match = mra[node] == block;
             if mra_match {
-                if self.opts.mra_stop {
+                if mra_stop {
                     // Property 2: hit here and at every larger set count, for
                     // the pass associativity and for associativity 1 alike.
-                    self.counters.mra_stops += 1;
                     return;
                 }
             } else {
                 // The direct-mapped cache at this level holds its most recent
                 // requester, so an MRA mismatch is exactly a DM miss.
-                level.dm_misses += 1;
+                *level_dm_misses += 1;
             }
+            mra[node] = block;
+            let base = node * assoc;
 
-            let ways = &mut level.ways[set_idx * assoc..(set_idx + 1) * assoc];
+            // Branchless residency check over the whole tag list: invalid
+            // ways hold the sentinel (which no real block equals), so the
+            // `valid` prefix length is irrelevant, and a resident block
+            // occupies exactly one way, so selecting the matching index with
+            // conditional moves is exact. The dense `u64` lane lets LLVM
+            // vectorise this compare.
+            let list = &tags[base..base + assoc];
+            let mut hit_way = usize::MAX;
+            for (i, &tag) in list.iter().enumerate() {
+                hit_way = if tag == block { i } else { hit_way };
+            }
+            debug_assert!(
+                !(mra_match && hit_way == usize::MAX),
+                "an MRA match implies residency; miss determination is wrong"
+            );
+
+            if hit_way != usize::MAX {
+                // Algorithm 1: Handle_hit (FIFO hits change nothing).
+                if lru {
+                    last_access[base + hit_way] = now;
+                }
+            } else {
+                // Algorithm 2: Handle_miss.
+                *level_misses += 1;
+                let m = &mut meta[node];
+                let n = if lru {
+                    if (m.valid as usize) < assoc {
+                        m.valid as usize
+                    } else {
+                        crate::node::lru_victim(&last_access[base..base + assoc])
+                    }
+                } else {
+                    // FIFO: the round-robin pointer designates the least
+                    // recently inserted block (or the next empty way).
+                    m.fifo_ptr as usize
+                };
+                let slot = &mut tags[base + n];
+                if *slot == INVALID_TAG {
+                    m.valid += 1;
+                }
+                *slot = block;
+                if lru {
+                    last_access[base + n] = now;
+                } else {
+                    m.fifo_ptr = crate::node::fifo_advance(m.fifo_ptr, assoc);
+                }
+            }
+        }
+    }
+
+    /// The instrumented kernel: the paper's full determination ladder (wave
+    /// pointer, then MRE, then a stop-at-match search), with every
+    /// [`DewCounters`] field maintained. Miss counts are bit-identical to
+    /// [`DewTree::kernel_fast`]'s — a property-tested invariant.
+    fn kernel_instrumented<const DEFAULT_PATH: bool>(&mut self, block: u64) {
+        if self.prologue::<DEFAULT_PATH>(block) {
+            return;
+        }
+        let assoc = self.pass.assoc() as usize;
+        let lru = !DEFAULT_PATH && self.opts.policy == TreePolicy::Lru;
+        let mra_stop = DEFAULT_PATH || self.opts.mra_stop;
+        let use_wave = DEFAULT_PATH || self.opts.wave;
+        let use_mre = DEFAULT_PATH || self.opts.mre;
+        let now = self.now;
+        let counters = &mut self.counters;
+        let Forest {
+            mra,
+            meta,
+            tags,
+            waves,
+            last_access,
+            node_off,
+            set_mask,
+            misses,
+            dm_misses,
+        } = &mut self.forest;
+        // Global way index (within the previous level) of the entry that
+        // holds `block` after handling — "the parent node's matching entry".
+        let mut parent = NO_PARENT;
+        // The current value of `waves[parent]`, carried in a register: every
+        // handling path below knows it without re-loading (a fresh insert
+        // leaves `EMPTY_WAVE`, an MRE exchange restores a value we just
+        // swapped, a hit reads it once at the end of the iteration). This
+        // breaks the walk's store-to-load dependence on the entry the
+        // previous level just wrote.
+        let mut parent_wave = EMPTY_WAVE;
+
+        let levels = set_mask
+            .iter()
+            .zip(node_off.iter())
+            .zip(misses.iter_mut().zip(dm_misses.iter_mut()));
+        for ((&mask, &off), (level_misses, level_dm_misses)) in levels {
+            let node = off + (block & mask) as usize;
+            counters.node_evaluations += 1;
+            counters.tag_comparisons += 1; // the MRA comparison
+            let mra_match = mra[node] == block;
+            if mra_match {
+                if mra_stop {
+                    // Property 2: hit here and at every larger set count, for
+                    // the pass associativity and for associativity 1 alike.
+                    counters.mra_stops += 1;
+                    return;
+                }
+            } else {
+                // The direct-mapped cache at this level holds its most recent
+                // requester, so an MRA mismatch is exactly a DM miss.
+                *level_dm_misses += 1;
+            }
+            let base = node * assoc;
+            let m = &mut meta[node];
 
             // Hit/miss determination: wave pointer, then MRE, then search.
-            let mut determined: Option<Option<usize>> = None;
-            if self.opts.wave {
-                if let Some(pw) = parent_way {
-                    let wave = lower[li - 1].ways[pw].wave;
-                    if wave != EMPTY_WAVE {
-                        // Property 3: a valid wave pointer names the only way
-                        // this block can occupy, so one comparison decides.
-                        self.counters.tag_comparisons += 1;
-                        let w = wave as usize;
-                        debug_assert!(w < assoc, "wave pointer within tag list");
-                        if ways[w].tag == block {
-                            self.counters.wave_hits += 1;
-                            determined = Some(Some(w));
-                        } else {
-                            self.counters.wave_misses += 1;
-                            determined = Some(None);
-                        }
-                    }
+            let mut found: Option<usize> = None;
+            let mut determined = false;
+            if use_wave && parent != NO_PARENT && parent_wave != EMPTY_WAVE {
+                // Property 3: a valid wave pointer names the only way this
+                // block can occupy, so one comparison decides.
+                counters.tag_comparisons += 1;
+                let w = parent_wave as usize;
+                debug_assert!(w < assoc, "wave pointer within tag list");
+                if tags[base + w] == block {
+                    counters.wave_hits += 1;
+                    found = Some(w);
+                } else {
+                    counters.wave_misses += 1;
                 }
+                determined = true;
             }
-            if determined.is_none() && self.opts.mre {
+            if !determined && use_mre {
                 // Property 4: the most recently evicted block is certainly
                 // not in the tag list.
-                self.counters.tag_comparisons += 1;
-                if meta.mre == block {
-                    self.counters.mre_misses += 1;
-                    determined = Some(None);
+                counters.tag_comparisons += 1;
+                if m.mre == block {
+                    counters.mre_misses += 1;
+                    determined = true;
                 }
             }
-            let found = match determined {
-                Some(f) => f,
-                None => {
-                    self.counters.searches += 1;
-                    let valid = meta.valid as usize;
-                    let mut found = None;
-                    for (i, entry) in ways[..valid].iter().enumerate() {
-                        self.counters.search_comparisons += 1;
-                        self.counters.tag_comparisons += 1;
-                        if entry.tag == block {
-                            found = Some(i);
-                            break;
-                        }
+            if !determined {
+                counters.searches += 1;
+                // The scan stops at the match, because the paper's
+                // comparison counts do.
+                for (i, &tag) in tags[base..base + m.valid as usize].iter().enumerate() {
+                    counters.search_comparisons += 1;
+                    counters.tag_comparisons += 1;
+                    if tag == block {
+                        found = Some(i);
+                        break;
                     }
-                    found
                 }
-            };
+            }
             debug_assert!(
                 !(mra_match && found.is_none()),
                 "an MRA match implies residency; miss determination is wrong"
             );
 
+            mra[node] = block;
             let n = match found {
                 Some(n) => {
                     // Algorithm 1: Handle_hit.
-                    meta.mra = block;
                     if lru {
-                        level.last_access[set_idx * assoc + n] = self.now;
+                        last_access[base + n] = now;
                     }
+                    parent_wave = waves[base + n];
                     n
                 }
                 None => {
                     // Algorithm 2: Handle_miss.
-                    meta.mra = block;
-                    level.misses += 1;
+                    *level_misses += 1;
                     let n = if lru {
-                        if (meta.valid as usize) < assoc {
-                            meta.valid as usize
+                        if (m.valid as usize) < assoc {
+                            m.valid as usize
                         } else {
-                            let base = set_idx * assoc;
-                            (0..assoc)
-                                .min_by_key(|&i| level.last_access[base + i])
-                                .expect("assoc >= 1")
+                            crate::node::lru_victim(&last_access[base..base + assoc])
                         }
                     } else {
                         // FIFO: the round-robin pointer designates the least
                         // recently inserted block (or the next empty way).
-                        meta.fifo_ptr as usize
+                        m.fifo_ptr as usize
                     };
-                    if self.opts.mre && meta.mre == block {
+                    if use_mre && m.mre == block {
                         // Algorithm 2, line 5: exchange the victim way with
                         // the MRE entry, restoring the block's preserved wave
                         // pointer.
                         debug_assert_eq!(
-                            meta.valid as usize, assoc,
+                            m.valid as usize, assoc,
                             "MRE only holds a tag after an eviction, which requires a full set"
                         );
-                        std::mem::swap(&mut ways[n].tag, &mut meta.mre);
-                        std::mem::swap(&mut ways[n].wave, &mut meta.mre_wave);
+                        std::mem::swap(&mut tags[base + n], &mut m.mre);
+                        std::mem::swap(&mut waves[base + n], &mut m.mre_wave);
+                        parent_wave = waves[base + n];
                     } else {
                         // Algorithm 2, lines 7-8: fresh insert; the evicted
                         // entry (tag and wave pointer) moves to the MRE slot.
-                        let evicted = ways[n];
-                        ways[n] = WayEntry {
-                            tag: block,
-                            wave: EMPTY_WAVE,
-                        };
-                        if evicted.tag == INVALID_TAG {
-                            meta.valid += 1;
-                        } else if self.opts.mre {
-                            meta.mre = evicted.tag;
-                            meta.mre_wave = evicted.wave;
+                        let evicted_tag = std::mem::replace(&mut tags[base + n], block);
+                        let evicted_wave = std::mem::replace(&mut waves[base + n], EMPTY_WAVE);
+                        parent_wave = EMPTY_WAVE;
+                        if evicted_tag == INVALID_TAG {
+                            m.valid += 1;
+                        } else if use_mre {
+                            m.mre = evicted_tag;
+                            m.mre_wave = evicted_wave;
                         }
                     }
                     if lru {
-                        level.last_access[set_idx * assoc + n] = self.now;
+                        last_access[base + n] = now;
                     } else {
-                        meta.fifo_ptr = (meta.fifo_ptr + 1) % assoc as u32;
+                        m.fifo_ptr = crate::node::fifo_advance(m.fifo_ptr, assoc);
                     }
                     n
                 }
             };
-            level.meta[set_idx] = meta;
             // Algorithm 1 line 3 / Algorithm 2 line 10: refresh the parent's
             // matching entry's wave pointer.
-            if self.opts.wave {
-                if let Some(pw) = parent_way {
-                    lower[li - 1].ways[pw].wave = n as u32;
-                }
+            if use_wave && parent != NO_PARENT {
+                waves[parent] = n as u32;
             }
-            parent_way = Some(set_idx * assoc + n);
+            parent = base + n;
         }
     }
 
@@ -366,11 +704,13 @@ impl DewTree {
     #[must_use]
     pub fn results(&self) -> PassResults {
         let levels = self
-            .levels
+            .forest
+            .misses
             .iter()
+            .zip(&self.forest.dm_misses)
             .enumerate()
-            .map(|(li, l)| {
-                LevelResult::new(self.pass.min_set_bits() + li as u32, l.misses, l.dm_misses)
+            .map(|(li, (&misses, &dm))| {
+                LevelResult::new(self.pass.min_set_bits() + li as u32, misses, dm)
             })
             .collect();
         PassResults::new(self.pass, self.counters.accesses, levels)
@@ -403,7 +743,8 @@ impl DewTree {
             | u8::from(self.opts.wave) << 1
             | u8::from(self.opts.mre) << 2
             | u8::from(self.opts.dup_elision) << 3
-            | u8::from(self.opts.policy == TreePolicy::Lru) << 4;
+            | u8::from(self.opts.policy == TreePolicy::Lru) << 4
+            | u8::from(self.instrument) << 5;
         out.push(flags);
         let c = &self.counters;
         for v in [
@@ -422,42 +763,54 @@ impl DewTree {
         }
         put_u64(&mut out, self.now);
         put_u64(&mut out, self.prev_block);
-        for level in &self.levels {
-            put_u64(&mut out, level.misses);
-            put_u64(&mut out, level.dm_misses);
-            for m in &level.meta {
-                put_u64(&mut out, m.mra);
-                put_u64(&mut out, m.mre);
-                put_u32(&mut out, m.mre_wave);
-                put_u32(&mut out, m.fifo_ptr);
-                put_u32(&mut out, m.valid);
-            }
-            for w in &level.ways {
-                put_u64(&mut out, w.tag);
-                put_u32(&mut out, w.wave);
-            }
-            for &t in &level.last_access {
-                put_u64(&mut out, t);
-            }
+        // Version 2 writes the arena in layout order: the per-level miss
+        // tallies, then the whole metadata lane, the whole way lane and the
+        // whole (possibly empty) last-access lane.
+        for (m, dm) in self.forest.misses.iter().zip(&self.forest.dm_misses) {
+            put_u64(&mut out, *m);
+            put_u64(&mut out, *dm);
+        }
+        for (&mra, m) in self.forest.mra.iter().zip(&self.forest.meta) {
+            put_u64(&mut out, mra);
+            put_u64(&mut out, m.mre);
+            put_u32(&mut out, m.mre_wave);
+            put_u32(&mut out, m.fifo_ptr);
+            put_u32(&mut out, m.valid);
+        }
+        // Fast trees carry no wave lane; on disk their entries read as
+        // "empty", which is exactly the state an instrumented kernel would
+        // never have consulted anyway.
+        for (i, &tag) in self.forest.tags.iter().enumerate() {
+            put_u64(&mut out, tag);
+            put_u32(
+                &mut out,
+                self.forest.waves.get(i).copied().unwrap_or(EMPTY_WAVE),
+            );
+        }
+        for &t in &self.forest.last_access {
+            put_u64(&mut out, t);
         }
         out
     }
 
     /// Restores a tree from [`DewTree::to_snapshot`] output. The snapshot is
-    /// self-describing: geometry and options are recovered from it.
+    /// self-describing: geometry and options are recovered from it. Both the
+    /// current (arena-ordered) version-2 layout and the legacy per-level
+    /// version-1 layout are accepted; version-1 snapshots restore as
+    /// instrumented trees, matching the kernel that wrote them.
     ///
     /// # Errors
     ///
     /// [`crate::snapshot::SnapshotError`] for foreign, truncated or
     /// internally inconsistent buffers.
     pub fn from_snapshot(bytes: &[u8]) -> Result<Self, crate::snapshot::SnapshotError> {
-        use crate::snapshot::{Cursor, SnapshotError, MAGIC, VERSION};
+        use crate::snapshot::{Cursor, SnapshotError, MAGIC, VERSION, VERSION_1};
         let mut cur = Cursor::new(bytes);
         if cur.bytes(4)? != MAGIC {
             return Err(SnapshotError::BadMagic);
         }
         let version = cur.u8()?;
-        if version != VERSION {
+        if version != VERSION && version != VERSION_1 {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let (block_bits, min_set_bits, max_set_bits, assoc) =
@@ -476,8 +829,10 @@ impl DewTree {
                 TreePolicy::Fifo
             },
         };
-        let mut tree =
-            DewTree::new(pass, opts).map_err(|_| SnapshotError::Corrupt("unsound option flags"))?;
+        // Version-1 trees always maintained the full counters.
+        let instrument = version == VERSION_1 || flags & 32 != 0;
+        let mut tree = DewTree::with_instrumentation(pass, opts, instrument)
+            .map_err(|_| SnapshotError::Corrupt("unsound option flags"))?;
         let c = &mut tree.counters;
         c.accesses = cur.u64()?;
         c.node_evaluations = cur.u64()?;
@@ -492,11 +847,11 @@ impl DewTree {
         tree.now = cur.u64()?;
         tree.prev_block = cur.u64()?;
         let assoc = pass.assoc() as usize;
-        for level in &mut tree.levels {
-            level.misses = cur.u64()?;
-            level.dm_misses = cur.u64()?;
-            for m in &mut level.meta {
-                m.mra = cur.u64()?;
+        let num_levels = pass.num_levels() as usize;
+
+        let read_meta =
+            |cur: &mut Cursor<'_>, mra: &mut u64, m: &mut NodeMeta| -> Result<(), SnapshotError> {
+                *mra = cur.u64()?;
                 m.mre = cur.u64()?;
                 m.mre_wave = cur.u32()?;
                 m.fifo_ptr = cur.u32()?;
@@ -504,15 +859,64 @@ impl DewTree {
                 if m.fifo_ptr as usize >= assoc || m.valid as usize > assoc {
                     return Err(SnapshotError::Corrupt("node state out of range"));
                 }
-            }
-            for w in &mut level.ways {
-                w.tag = cur.u64()?;
-                w.wave = cur.u32()?;
-                if w.wave != EMPTY_WAVE && w.wave as usize >= assoc {
+                Ok(())
+            };
+        let read_way =
+            |cur: &mut Cursor<'_>, tag: &mut u64, wave: &mut u32| -> Result<(), SnapshotError> {
+                *tag = cur.u64()?;
+                *wave = cur.u32()?;
+                if *wave != EMPTY_WAVE && *wave as usize >= assoc {
                     return Err(SnapshotError::Corrupt("wave pointer out of range"));
                 }
+                Ok(())
+            };
+
+        if version == VERSION_1 {
+            // Legacy layout: each level interleaves its miss tallies,
+            // metadata, ways and last-access times.
+            for li in 0..num_levels {
+                tree.forest.misses[li] = cur.u64()?;
+                tree.forest.dm_misses[li] = cur.u64()?;
+                let nodes = tree.forest.level_nodes(li);
+                let (mra_lane, meta_lane) = (
+                    &mut tree.forest.mra[nodes.clone()],
+                    &mut tree.forest.meta[nodes.clone()],
+                );
+                for (mra, m) in mra_lane.iter_mut().zip(meta_lane) {
+                    read_meta(&mut cur, mra, m)?;
+                }
+                let ways = nodes.start * assoc..nodes.end * assoc;
+                let (tag_lane, wave_lane) = (
+                    &mut tree.forest.tags[ways.clone()],
+                    &mut tree.forest.waves[ways.clone()],
+                );
+                for (tag, wave) in tag_lane.iter_mut().zip(wave_lane) {
+                    read_way(&mut cur, tag, wave)?;
+                }
+                if !tree.forest.last_access.is_empty() {
+                    for t in &mut tree.forest.last_access[ways] {
+                        *t = cur.u64()?;
+                    }
+                }
             }
-            for t in &mut level.last_access {
+        } else {
+            for li in 0..num_levels {
+                tree.forest.misses[li] = cur.u64()?;
+                tree.forest.dm_misses[li] = cur.u64()?;
+            }
+            let (mra_lane, meta_lane) = (&mut tree.forest.mra, &mut tree.forest.meta);
+            for (mra, m) in mra_lane.iter_mut().zip(meta_lane) {
+                read_meta(&mut cur, mra, m)?;
+            }
+            let has_waves = !tree.forest.waves.is_empty();
+            for i in 0..tree.forest.tags.len() {
+                let mut wave = EMPTY_WAVE;
+                read_way(&mut cur, &mut tree.forest.tags[i], &mut wave)?;
+                if has_waves {
+                    tree.forest.waves[i] = wave;
+                }
+            }
+            for t in &mut tree.forest.last_access {
                 *t = cur.u64()?;
             }
         }
@@ -526,14 +930,11 @@ impl DewTree {
     /// (this implementation's 64-bit tags; excludes counters).
     #[must_use]
     pub fn footprint_bytes(&self) -> usize {
-        self.levels
-            .iter()
-            .map(|l| {
-                l.meta.len() * std::mem::size_of::<NodeMeta>()
-                    + l.ways.len() * std::mem::size_of::<WayEntry>()
-                    + l.last_access.len() * std::mem::size_of::<u64>()
-            })
-            .sum()
+        self.forest.mra.len() * std::mem::size_of::<u64>()
+            + self.forest.meta.len() * std::mem::size_of::<NodeMeta>()
+            + self.forest.tags.len() * std::mem::size_of::<u64>()
+            + self.forest.waves.len() * std::mem::size_of::<u32>()
+            + self.forest.last_access.len() * std::mem::size_of::<u64>()
     }
 }
 
@@ -543,7 +944,7 @@ mod tests {
     use dew_cachesim::{Cache, CacheConfig, Replacement};
 
     fn fifo_tree(block_bits: u32, min: u32, max: u32, assoc: u32) -> DewTree {
-        DewTree::new(
+        DewTree::instrumented(
             PassConfig::new(block_bits, min, max, assoc).expect("valid pass"),
             DewOptions::default(),
         )
@@ -639,10 +1040,73 @@ mod tests {
     }
 
     #[test]
+    fn uninstrumented_kernel_matches_reference_too() {
+        let addrs = pseudo_random_addrs(4000, 1 << 14, 0xDEB5_1234);
+        let pass = PassConfig::new(2, 0, 6, 4).expect("valid");
+        let mut t = DewTree::new(pass, DewOptions::default()).expect("sound");
+        assert!(!t.is_instrumented());
+        for &a in &addrs {
+            t.step(a);
+        }
+        let r = t.results();
+        assert_eq!(t.counters().accesses, addrs.len() as u64);
+        assert_eq!(
+            t.counters().node_evaluations,
+            0,
+            "the fast kernel performs no per-node counting"
+        );
+        for set_bits in 0..=6u32 {
+            let sets = 1u32 << set_bits;
+            let expected = reference_misses(sets, 4, 4, Replacement::Fifo, &addrs);
+            assert_eq!(r.misses(sets, 4), Some(expected), "sets={sets}");
+        }
+    }
+
+    #[test]
+    fn instrumented_and_fast_kernels_are_bit_identical() {
+        let addrs = pseudo_random_addrs(5000, 1 << 13, 0x00DD_BA11);
+        for opts in [
+            DewOptions::default(),
+            DewOptions::unoptimized(),
+            DewOptions::lru(),
+        ] {
+            let pass = PassConfig::new(2, 0, 6, 4).expect("valid");
+            let mut slow = DewTree::instrumented(pass, opts).expect("sound");
+            let mut fast = DewTree::new(pass, opts).expect("sound");
+            for &a in &addrs {
+                slow.step(a);
+                fast.step(a);
+            }
+            assert_eq!(slow.results(), fast.results(), "{opts}");
+        }
+    }
+
+    #[test]
+    fn run_blocks_matches_per_record_stepping() {
+        let addrs = pseudo_random_addrs(3000, 1 << 12, 0xB10C_B10C);
+        let pass = PassConfig::new(4, 0, 5, 4).expect("valid");
+        let blocks: Vec<u64> = addrs.iter().map(|&a| a >> 4).collect();
+        for instrument in [false, true] {
+            let mut stepped =
+                DewTree::with_instrumentation(pass, DewOptions::default(), instrument)
+                    .expect("sound");
+            for &a in &addrs {
+                stepped.step(a);
+            }
+            let mut batched =
+                DewTree::with_instrumentation(pass, DewOptions::default(), instrument)
+                    .expect("sound");
+            batched.run_blocks(&blocks);
+            assert_eq!(stepped.results(), batched.results());
+            assert_eq!(stepped.counters(), batched.counters());
+        }
+    }
+
+    #[test]
     fn matches_reference_lru_on_mixed_trace() {
         let addrs = pseudo_random_addrs(3000, 1 << 12, 0xABCD_EF01);
         let pass = PassConfig::new(2, 0, 5, 4).expect("valid");
-        let mut t = DewTree::new(pass, DewOptions::lru()).expect("valid");
+        let mut t = DewTree::instrumented(pass, DewOptions::lru()).expect("valid");
         for &a in &addrs {
             t.step(a);
         }
@@ -669,7 +1133,7 @@ mod tests {
             t.results()
         };
         for opts in DewOptions::ablation_grid(TreePolicy::Fifo) {
-            let mut t = DewTree::new(pass, opts).expect("valid");
+            let mut t = DewTree::instrumented(pass, opts).expect("valid");
             for &a in &addrs {
                 t.step(a);
             }
@@ -686,7 +1150,7 @@ mod tests {
         let addrs: Vec<u64> = (0..4000u64).map(|i| i % 640).collect();
         let pass = PassConfig::new(2, 0, 6, 4).expect("valid");
         let run = |opts: DewOptions| {
-            let mut t = DewTree::new(pass, opts).expect("valid");
+            let mut t = DewTree::instrumented(pass, opts).expect("valid");
             for &a in &addrs {
                 t.step(a);
             }
@@ -799,16 +1263,6 @@ mod tests {
         // MORE. This is why FIFO has no inclusion property and why DEW cannot
         // reuse the LRU single-pass machinery (paper Section 1).
         let seq = [1u64, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5];
-        let addrs: Vec<u64> = seq.iter().map(|b| b * 4).collect();
-        let m3 = reference_misses(1, 4, 4, Replacement::Fifo, &addrs[..]); // 4 ways
-        let m4 = {
-            // 3-way FIFO is not power-of-two; emulate via fully-assoc FIFO of
-            // 3 blocks using a 1-set cache with assoc rounded? Instead compare
-            // 4-way (1 set) against 8-way (1 set): classic anomaly needs 3 vs
-            // 4 frames, so check against the DEW tree level structure instead:
-            m3
-        };
-        let _ = m4;
         // Direct check of the anomaly with exact FIFO frame counts 3 and 4
         // using a tiny inline model (power-of-two caches can't express 3
         // ways).
@@ -870,6 +1324,17 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "exceeds the supported range")]
+    fn sentinel_block_panics_in_batches() {
+        let mut t = DewTree::new(
+            PassConfig::new(0, 0, 1, 1).expect("valid"),
+            DewOptions::default(),
+        )
+        .expect("sound");
+        t.run_blocks(&[0, 1, u64::MAX]);
+    }
+
+    #[test]
     fn snapshot_round_trip_resumes_identically() {
         let addrs = pseudo_random_addrs(3000, 1 << 12, 0x5AFE_5AFE);
         let (first, second) = addrs.split_at(1500);
@@ -878,22 +1343,121 @@ mod tests {
             DewOptions::lru(),
             DewOptions::unoptimized(),
         ] {
-            let pass = PassConfig::new(2, 0, 6, 4).expect("valid");
-            // Uninterrupted run.
-            let mut straight = DewTree::new(pass, opts).expect("sound");
+            for instrument in [false, true] {
+                let pass = PassConfig::new(2, 0, 6, 4).expect("valid");
+                // Uninterrupted run.
+                let mut straight =
+                    DewTree::with_instrumentation(pass, opts, instrument).expect("sound");
+                for &a in &addrs {
+                    straight.step(a);
+                }
+                // Checkpointed run: simulate half, snapshot, restore, finish.
+                let mut head =
+                    DewTree::with_instrumentation(pass, opts, instrument).expect("sound");
+                for &a in first {
+                    head.step(a);
+                }
+                let snapshot = head.to_snapshot();
+                drop(head);
+                let mut tail = DewTree::from_snapshot(&snapshot).expect("restores");
+                assert_eq!(tail.pass(), &pass);
+                assert_eq!(tail.options(), &opts);
+                assert_eq!(tail.is_instrumented(), instrument);
+                for &a in second {
+                    tail.step(a);
+                }
+                assert_eq!(tail.results(), straight.results(), "{opts}");
+                assert_eq!(tail.counters(), straight.counters(), "{opts}");
+            }
+        }
+    }
+
+    /// Serialises a tree in the legacy version-1 layout (per-level
+    /// interleaved, no instrument flag), as PR-1-era builds wrote it.
+    fn to_snapshot_v1(tree: &DewTree) -> Vec<u8> {
+        use crate::snapshot::{put_u32, put_u64, MAGIC, VERSION_1};
+        let assoc = tree.pass.assoc() as usize;
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION_1);
+        put_u32(&mut out, tree.pass.block_bits());
+        put_u32(&mut out, tree.pass.min_set_bits());
+        put_u32(&mut out, tree.pass.max_set_bits());
+        put_u32(&mut out, tree.pass.assoc());
+        let flags = u8::from(tree.opts.mra_stop)
+            | u8::from(tree.opts.wave) << 1
+            | u8::from(tree.opts.mre) << 2
+            | u8::from(tree.opts.dup_elision) << 3
+            | u8::from(tree.opts.policy == TreePolicy::Lru) << 4;
+        out.push(flags);
+        let c = &tree.counters;
+        for v in [
+            c.accesses,
+            c.node_evaluations,
+            c.mra_stops,
+            c.wave_hits,
+            c.wave_misses,
+            c.mre_misses,
+            c.searches,
+            c.duplicate_skips,
+            c.search_comparisons,
+            c.tag_comparisons,
+        ] {
+            put_u64(&mut out, v);
+        }
+        put_u64(&mut out, tree.now);
+        put_u64(&mut out, tree.prev_block);
+        for li in 0..tree.pass.num_levels() as usize {
+            put_u64(&mut out, tree.forest.misses[li]);
+            put_u64(&mut out, tree.forest.dm_misses[li]);
+            let nodes = tree.forest.level_nodes(li);
+            for (mra, m) in tree.forest.mra[nodes.clone()]
+                .iter()
+                .zip(&tree.forest.meta[nodes.clone()])
+            {
+                put_u64(&mut out, *mra);
+                put_u64(&mut out, m.mre);
+                put_u32(&mut out, m.mre_wave);
+                put_u32(&mut out, m.fifo_ptr);
+                put_u32(&mut out, m.valid);
+            }
+            let ways = nodes.start * assoc..nodes.end * assoc;
+            for (&tag, &wave) in tree.forest.tags[ways.clone()]
+                .iter()
+                .zip(&tree.forest.waves[ways.clone()])
+            {
+                put_u64(&mut out, tag);
+                put_u32(&mut out, wave);
+            }
+            if !tree.forest.last_access.is_empty() {
+                for &t in &tree.forest.last_access[ways] {
+                    put_u64(&mut out, t);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn legacy_v1_snapshots_still_restore() {
+        let addrs = pseudo_random_addrs(2000, 1 << 11, 0x0001_E6AC);
+        let (first, second) = addrs.split_at(1000);
+        for opts in [DewOptions::default(), DewOptions::lru()] {
+            let pass = PassConfig::new(2, 0, 5, 4).expect("valid");
+            let mut straight = DewTree::instrumented(pass, opts).expect("sound");
             for &a in &addrs {
                 straight.step(a);
             }
-            // Checkpointed run: simulate half, snapshot, restore, finish.
-            let mut head = DewTree::new(pass, opts).expect("sound");
+            let mut head = DewTree::instrumented(pass, opts).expect("sound");
             for &a in first {
                 head.step(a);
             }
-            let snapshot = head.to_snapshot();
-            drop(head);
-            let mut tail = DewTree::from_snapshot(&snapshot).expect("restores");
-            assert_eq!(tail.pass(), &pass);
-            assert_eq!(tail.options(), &opts);
+            let v1 = to_snapshot_v1(&head);
+            let mut tail = DewTree::from_snapshot(&v1).expect("v1 decodes");
+            assert!(
+                tail.is_instrumented(),
+                "v1 snapshots come from always-instrumented builds"
+            );
             for &a in second {
                 tail.step(a);
             }
@@ -912,7 +1476,7 @@ mod tests {
         let mut t = fifo_tree(2, 0, 2, 2);
         t.step(0x100);
         let mut snap = t.to_snapshot();
-        // Wrong version.
+        // Unknown version.
         let mut wrong_version = snap.clone();
         wrong_version[4] = 99;
         assert!(matches!(
@@ -941,7 +1505,7 @@ mod tests {
         let addrs: Vec<u64> = (0..2000u64).map(|i| i % 512).collect();
         let pass = PassConfig::new(4, 0, 5, 4).expect("valid");
         let plain = {
-            let mut t = DewTree::new(pass, DewOptions::default()).expect("sound");
+            let mut t = DewTree::instrumented(pass, DewOptions::default()).expect("sound");
             for &a in &addrs {
                 t.step(a);
             }
@@ -952,7 +1516,7 @@ mod tests {
                 dup_elision: true,
                 ..DewOptions::default()
             };
-            let mut t = DewTree::new(pass, opts).expect("sound");
+            let mut t = DewTree::instrumented(pass, opts).expect("sound");
             for &a in &addrs {
                 t.step(a);
             }

@@ -14,7 +14,10 @@
 //! * a compact binary codec using zigzag-delta varint encoding
 //!   ([`binary::BinReader`], [`binary::BinWriter`]);
 //! * streaming [`stats::TraceStats`] (request counts per kind, address range,
-//!   unique-block footprints per block size).
+//!   unique-block footprints per block size);
+//! * batched block-number decoding ([`decode_blocks`], [`BlockChunks`]) so
+//!   multi-pass simulators decode `Record → u64` once per block size instead
+//!   of once per pass.
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+mod blocks;
 pub mod din;
 mod error;
 mod record;
@@ -41,6 +45,7 @@ pub mod sample;
 pub mod stats;
 mod trace;
 
+pub use blocks::{decode_blocks, decode_blocks_into, BlockChunks};
 pub use error::{ParseRecordError, TraceError};
 pub use record::{AccessKind, BlockAddr, Record};
 pub use stats::TraceStats;

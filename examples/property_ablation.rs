@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut reference = None;
     for opts in DewOptions::ablation_grid(TreePolicy::Fifo) {
-        let mut tree = DewTree::new(pass, opts)?;
+        let mut tree = DewTree::instrumented(pass, opts)?;
         tree.run(trace.iter().copied());
         let c = tree.counters();
         assert!(c.is_consistent(), "counter identity");

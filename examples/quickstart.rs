@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. One DEW pass: block size 16 B, set counts 2^0..2^14, assoc 1 & 4.
     let pass = PassConfig::new(4, 0, 14, 4)?;
-    let mut tree = DewTree::new(pass, DewOptions::default())?;
+    let mut tree = DewTree::instrumented(pass, DewOptions::default())?;
     tree.run(trace.iter().copied());
 
     // 3. Exact miss rates for all 30 configurations, from that single pass.

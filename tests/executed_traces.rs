@@ -65,7 +65,7 @@ fn executed_loops_fire_dews_properties() {
     // drive heavy MRA-stop rates at block sizes holding several instructions.
     let trace = executed_trace(&vector_sum(2_000), &word_inputs(2_000), 100_000);
     let pass = PassConfig::new(4, 0, 10, 4).expect("valid");
-    let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+    let mut tree = DewTree::instrumented(pass, DewOptions::default()).expect("sound");
     tree.run(trace.iter().copied());
     let c = tree.counters();
     assert!(c.is_consistent());

@@ -6,7 +6,7 @@
 //! ("hit and miss rates of DEW ... are exactly the same" as Dinero IV's).
 
 use dew_cachesim::{simulate_trace, CacheConfig, Replacement};
-use dew_core::{sweep_trace, ConfigSpace, DewOptions};
+use dew_core::{sweep_trace, sweep_trace_instrumented, ConfigSpace, DewOptions};
 use dew_trace::Trace;
 use dew_workloads::mediabench::App;
 
@@ -53,7 +53,8 @@ fn dew_matches_reference_for_every_app_spot_check() {
 fn sweep_totals_are_internally_consistent() {
     let trace = App::Mpeg2Decode.generate(20_000, 5);
     let space = ConfigSpace::new((0, 10), (0, 4), (2, 2)).expect("valid");
-    let sweep = sweep_trace(&space, trace.records(), DewOptions::default(), 0).expect("sweep");
+    let sweep =
+        sweep_trace_instrumented(&space, trace.records(), DewOptions::default(), 0).expect("sweep");
     // Misses never exceed accesses; larger associativity at fixed sets and
     // block is not guaranteed monotone for FIFO (Belady), but miss counts
     // must be positive for a non-trivial trace and bounded by accesses.

@@ -39,7 +39,7 @@ proptest! {
         let assoc = 1u32 << assoc_bits;
         let pass = PassConfig::new(block_bits, 0, max_set_bits, assoc).expect("valid");
         let opts = DewOptions { mra_stop, wave, mre, dup_elision, policy: TreePolicy::Fifo };
-        let mut tree = DewTree::new(pass, opts).expect("sound");
+        let mut tree = DewTree::instrumented(pass, opts).expect("sound");
         for r in &addrs {
             tree.step(r.addr);
         }
@@ -74,7 +74,7 @@ proptest! {
         let pass = PassConfig::new(block_bits, 0, max_set_bits, assoc).expect("valid");
         let opts =
             DewOptions { mra_stop: false, wave, mre, dup_elision, policy: TreePolicy::Lru };
-        let mut tree = DewTree::new(pass, opts).expect("sound");
+        let mut tree = DewTree::instrumented(pass, opts).expect("sound");
         for r in &addrs {
             tree.step(r.addr);
         }

@@ -1,0 +1,138 @@
+//! Property-based equivalence of the hot-loop variants: for arbitrary
+//! traces, geometries and both policies, the instrumented and fast
+//! (uninstrumented) kernel instantiations, and the per-record vs batched
+//! (`run_blocks`) drive paths, must produce identical [`PassResults`] — and,
+//! within an instrumentation mode, identical counters.
+
+use proptest::prelude::*;
+
+use dew_core::{DewOptions, DewTree, PassConfig, TreePolicy};
+use dew_trace::{decode_blocks, BlockChunks, Record};
+
+/// Traces mixing tight locality with scattered far references, as in the
+/// exactness properties.
+fn trace_strategy() -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..256).prop_map(|a| Record::read(a * 4)), // hot words
+            (0u64..65_536).prop_map(Record::read),         // scattered
+            (0u64..64).prop_map(Record::write),            // hot bytes
+        ],
+        1..500,
+    )
+}
+
+fn options_strategy() -> impl Strategy<Value = DewOptions> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(lru, mra_stop, wave, mre, dup_elision)| DewOptions {
+            // The MRA stop is unsound under LRU; mask it out there.
+            mra_stop: mra_stop && !lru,
+            wave,
+            mre,
+            dup_elision,
+            policy: if lru {
+                TreePolicy::Lru
+            } else {
+                TreePolicy::Fifo
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn instrumented_and_fast_kernels_agree(
+        records in trace_strategy(),
+        block_bits in 0u32..5,
+        min_set_bits in 0u32..3,
+        extra_set_bits in 0u32..5,
+        assoc_bits in 0u32..4,
+        opts in options_strategy(),
+    ) {
+        let pass = PassConfig::new(
+            block_bits,
+            min_set_bits,
+            min_set_bits + extra_set_bits,
+            1 << assoc_bits,
+        )
+        .expect("valid");
+        let mut fast = DewTree::new(pass, opts).expect("sound");
+        let mut slow = DewTree::instrumented(pass, opts).expect("sound");
+        for r in &records {
+            fast.step(r.addr);
+            slow.step(r.addr);
+        }
+        prop_assert!(slow.counters().is_consistent());
+        prop_assert_eq!(fast.results(), slow.results(), "kernels diverged under {}", opts);
+        // Request-level counters are maintained by both instantiations.
+        prop_assert_eq!(fast.counters().accesses, slow.counters().accesses);
+        prop_assert_eq!(fast.counters().duplicate_skips, slow.counters().duplicate_skips);
+    }
+
+    #[test]
+    fn batched_and_per_record_paths_agree(
+        records in trace_strategy(),
+        block_bits in 0u32..5,
+        max_set_bits in 0u32..6,
+        assoc_bits in 0u32..4,
+        instrument in any::<bool>(),
+        chunk_len in 1usize..300,
+        opts in options_strategy(),
+    ) {
+        let pass = PassConfig::new(block_bits, 0, max_set_bits, 1 << assoc_bits)
+            .expect("valid");
+        let mut stepped = DewTree::with_instrumentation(pass, opts, instrument).expect("sound");
+        for r in &records {
+            stepped.step(r.addr);
+        }
+
+        // Whole-trace batch.
+        let blocks = decode_blocks(&records, block_bits);
+        let mut batched = DewTree::with_instrumentation(pass, opts, instrument).expect("sound");
+        batched.run_blocks(&blocks);
+        prop_assert_eq!(stepped.results(), batched.results(), "run_blocks diverged under {}", opts);
+        prop_assert_eq!(stepped.counters(), batched.counters());
+
+        // Chunked streaming decode: same numbers through a bounded buffer.
+        let mut chunked = DewTree::with_instrumentation(pass, opts, instrument).expect("sound");
+        let mut chunks = BlockChunks::new(&records, block_bits, chunk_len);
+        while let Some(chunk) = chunks.next_chunk() {
+            chunked.run_blocks(chunk);
+        }
+        prop_assert_eq!(stepped.results(), chunked.results(), "chunked run diverged under {}", opts);
+        prop_assert_eq!(stepped.counters(), chunked.counters());
+    }
+
+    #[test]
+    fn snapshots_round_trip_across_kernel_variants(
+        records in trace_strategy(),
+        split in 0usize..500,
+        instrument in any::<bool>(),
+        opts in options_strategy(),
+    ) {
+        let pass = PassConfig::new(2, 0, 4, 4).expect("valid");
+        let split = split.min(records.len());
+        let mut straight = DewTree::with_instrumentation(pass, opts, instrument).expect("sound");
+        for r in &records {
+            straight.step(r.addr);
+        }
+        let mut head = DewTree::with_instrumentation(pass, opts, instrument).expect("sound");
+        for r in &records[..split] {
+            head.step(r.addr);
+        }
+        let mut tail = DewTree::from_snapshot(&head.to_snapshot()).expect("restores");
+        prop_assert_eq!(tail.is_instrumented(), instrument);
+        for r in &records[split..] {
+            tail.step(r.addr);
+        }
+        prop_assert_eq!(tail.results(), straight.results());
+        prop_assert_eq!(tail.counters(), straight.counters());
+    }
+}

@@ -49,7 +49,7 @@ fn evaluations_and_mra_stops_are_associativity_independent() {
     let mut seen = None;
     for assoc in [2u32, 4, 8, 16] {
         let pass = PassConfig::new(2, 0, 12, assoc).expect("valid");
-        let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+        let mut tree = DewTree::instrumented(pass, DewOptions::default()).expect("sound");
         tree.run(trace.iter().copied());
         let c = *tree.counters();
         assert!(c.is_consistent());

@@ -90,9 +90,9 @@ fn traces_survive_file_round_trips_and_simulate_identically() {
     let _ = std::fs::remove_file(&path);
 
     let pass = PassConfig::new(2, 0, 8, 4).expect("valid");
-    let mut a = DewTree::new(pass, DewOptions::default()).expect("sound");
+    let mut a = DewTree::instrumented(pass, DewOptions::default()).expect("sound");
     a.run(trace.iter().copied());
-    let mut b = DewTree::new(pass, DewOptions::default()).expect("sound");
+    let mut b = DewTree::instrumented(pass, DewOptions::default()).expect("sound");
     b.run(back.iter().copied());
     assert_eq!(a.results(), b.results());
     assert_eq!(a.counters(), b.counters());
@@ -103,7 +103,7 @@ fn dew_handles_every_app_with_consistent_counters() {
     for app in App::ALL {
         let trace = app.generate(25_000, 55);
         let pass = PassConfig::new(4, 0, 14, 8).expect("valid");
-        let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+        let mut tree = DewTree::instrumented(pass, DewOptions::default()).expect("sound");
         tree.run(trace.iter().copied());
         let c = tree.counters();
         assert!(c.is_consistent(), "{app}: {c}");
