@@ -1,0 +1,161 @@
+//! Bench regression guard: compares a freshly measured `BENCH_hot_loop.json`
+//! against the committed one and **warns** (never fails) when any variant's
+//! `steps_per_sec` dropped by more than the threshold (default 30%, override
+//! with `DEW_BENCH_GUARD_THRESHOLD=0.2`-style fractions).
+//!
+//! Usage: `bench_guard <committed.json> <fresh.json>`
+//!
+//! CI runs it after the hot-loop smoke so a kernel regression shows up in
+//! the job log (as a GitHub `::warning::` annotation) without blocking
+//! unrelated work; absolute throughput on shared runners is too noisy for a
+//! hard gate.
+
+use std::process::ExitCode;
+
+/// Extracts `(name, steps_per_sec)` pairs from a `BENCH_hot_loop.json`
+/// document. The format is the one `hot_loop.rs` writes: each variant
+/// object carries a `"name"` and a `"steps_per_sec"` field, in that order;
+/// anything else is ignored.
+fn parse_variants(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(i) = rest.find("\"name\": \"") {
+        rest = &rest[i + "\"name\": \"".len()..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_owned();
+        rest = &rest[end..];
+        // The rate must belong to this object: stop at the object's end.
+        let object_end = rest.find('}').unwrap_or(rest.len());
+        if let Some(j) = rest[..object_end].find("\"steps_per_sec\": ") {
+            let num = rest[j + "\"steps_per_sec\": ".len()..object_end]
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect::<String>();
+            if let Ok(rate) = num.parse::<f64>() {
+                out.push((name, rate));
+            }
+        }
+    }
+    out
+}
+
+/// Compares the two variant sets and returns one warning line per variant
+/// whose fresh rate dropped below `(1 - threshold) ×` the committed rate.
+/// Variants present on only one side are skipped (new or retired variants
+/// are not regressions).
+fn regressions(
+    committed: &[(String, f64)],
+    fresh: &[(String, f64)],
+    threshold: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, base) in committed {
+        let Some((_, now)) = fresh.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        if *base > 0.0 && *now < *base * (1.0 - threshold) {
+            out.push(format!(
+                "{name}: {now:.0} steps/s is {:.0}% below the committed {base:.0}",
+                (1.0 - now / base) * 100.0
+            ));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [committed_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: bench_guard <committed.json> <fresh.json>");
+        return ExitCode::FAILURE;
+    };
+    let threshold = std::env::var("DEW_BENCH_GUARD_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.30);
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            // Missing baselines must not fail CI either (first run on a
+            // fresh branch): warn and carry on.
+            println!("::warning::bench_guard: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(committed), Some(fresh)) = (read(committed_path), read(fresh_path)) else {
+        return ExitCode::SUCCESS;
+    };
+    let base = parse_variants(&committed);
+    let now = parse_variants(&fresh);
+    if base.is_empty() || now.is_empty() {
+        println!(
+            "::warning::bench_guard: no variants parsed (committed: {}, fresh: {})",
+            base.len(),
+            now.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let warnings = regressions(&base, &now, threshold);
+    for w in &warnings {
+        // Advisory only: the committed baseline may come from a different
+        // machine class than this runner, so a drop is a prompt to compare
+        // trajectories, not a verdict.
+        println!("::warning::hot_loop throughput regression — {w}");
+    }
+    if warnings.is_empty() {
+        println!(
+            "bench_guard: {} variants within {:.0}% of the committed baseline",
+            now.len(),
+            threshold * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "hot_loop",
+  "variants": [
+    {"name": "step", "ns_per_step": 50.460, "steps_per_sec": 19817516},
+    {"name": "run_blocks", "ns_per_step": 51.129, "steps_per_sec": 19558401}
+  ],
+  "sweep_shapes": [
+    {"name": "fused_a1_8", "trace_traversals": 1}
+  ]
+}"#;
+
+    #[test]
+    fn parses_variant_rates_and_skips_shapes_without_rates() {
+        let v = parse_variants(SAMPLE);
+        assert_eq!(
+            v,
+            vec![
+                ("step".to_owned(), 19817516.0),
+                ("run_blocks".to_owned(), 19558401.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn flags_only_drops_beyond_threshold() {
+        let base = vec![("a".to_owned(), 1000.0), ("b".to_owned(), 1000.0)];
+        let fresh = vec![
+            ("a".to_owned(), 650.0), // 35% drop: flagged
+            ("b".to_owned(), 750.0), // 25% drop: within threshold
+            ("c".to_owned(), 1.0),   // new variant: ignored
+        ];
+        let w = regressions(&base, &fresh, 0.30);
+        assert_eq!(w.len(), 1);
+        assert!(w[0].starts_with("a:"), "{w:?}");
+    }
+
+    #[test]
+    fn missing_and_faster_variants_do_not_warn() {
+        let base = vec![("gone".to_owned(), 500.0), ("fast".to_owned(), 100.0)];
+        let fresh = vec![("fast".to_owned(), 400.0)];
+        assert!(regressions(&base, &fresh, 0.30).is_empty());
+    }
+}

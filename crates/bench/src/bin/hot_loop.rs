@@ -10,7 +10,16 @@
 //! * `run_blocks` — the fast kernel fed pre-decoded block batches (the sweep
 //!   path), decode time included in the measurement;
 //! * `run_blocks_instrumented` — batched with counters, isolating the cost
-//!   of instrumentation alone.
+//!   of instrumentation alone;
+//! * `per_assoc_run_blocks` — the pre-fusion sweep schedule: one fast
+//!   `DewTree` pass per associativity 2/4/8 back to back (3 trace
+//!   traversals, one shared decode);
+//! * `fused_multi_assoc` — the fused kernel: every associativity 1..=8 in
+//!   **one** traversal of a `MultiAssocTree` (decode included);
+//! * `fused_multi_assoc_instrumented` — fused with the full counter ladder.
+//!
+//! The JSON also records `trace_traversals` per sweep shape so the fusion
+//! win stays visible in the perf trajectory.
 //!
 //! Scale via `DEW_BENCH_QUICK=1` / `DEW_BENCH_MAX_REQUESTS=n`; the output
 //! path defaults to `BENCH_hot_loop.json` and can be overridden with
@@ -21,8 +30,8 @@ use std::time::Instant;
 
 use dew_bench::report::thousands;
 use dew_bench::suite::SuiteScale;
-use dew_core::{DewOptions, DewTree, PassConfig};
-use dew_trace::decode_blocks;
+use dew_core::{DewOptions, DewTree, MultiAssocTree, PassConfig};
+use dew_trace::{decode_blocks, BlockChunks};
 use dew_workloads::mediabench::App;
 
 /// The bench pass: the paper's full 15-level forest, 4-way, 4-byte blocks
@@ -30,6 +39,10 @@ use dew_workloads::mediabench::App;
 const BLOCK_BITS: u32 = 2;
 const SET_BITS: (u32, u32) = (0, 14);
 const ASSOC: u32 = 4;
+/// The fused sweep shape: associativities 1..=8 at the same block size.
+const FUSED_MAX_ASSOC: u32 = 8;
+/// Associativities needing their own pass pre-fusion (1 rides along).
+const PER_ASSOC_PASSES: [u32; 3] = [2, 4, 8];
 
 struct Variant {
     name: &'static str,
@@ -104,6 +117,83 @@ fn main() {
     measure("run_blocks", false, true);
     measure("run_blocks_instrumented", true, true);
 
+    // The sweep-shape pair: every associativity 1..=8 at this block size,
+    // as the pre-fusion schedule ran it (one fast pass per associativity,
+    // back to back, sharing one decode) versus one fused traversal. All
+    // three fused/per-assoc variants are cross-checked against the fused
+    // reference below.
+    let fused_reference = {
+        let mut t = MultiAssocTree::instrumented(
+            BLOCK_BITS,
+            SET_BITS.0,
+            SET_BITS.1,
+            FUSED_MAX_ASSOC,
+            DewOptions::default(),
+        )
+        .expect("valid");
+        t.run(records.iter().copied());
+        t.results()
+    };
+    let mut record_variant = |name: &'static str, secs: f64| {
+        let v = Variant {
+            name,
+            ns_per_step: secs * 1e9 / n,
+            steps_per_sec: n / secs,
+        };
+        println!(
+            "{:<28} {:>8.2} ns/step  {:>10} steps/s",
+            v.name,
+            v.ns_per_step,
+            thousands(v.steps_per_sec as u64)
+        );
+        variants.push(v);
+    };
+
+    let secs = best_of(samples, || {
+        let blocks = decode_blocks(records, BLOCK_BITS);
+        for assoc in PER_ASSOC_PASSES {
+            let pass =
+                PassConfig::new(BLOCK_BITS, SET_BITS.0, SET_BITS.1, assoc).expect("valid pass");
+            let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+            tree.run_blocks(&blocks);
+            let r = tree.results();
+            for level in r.levels() {
+                assert_eq!(
+                    fused_reference.misses(level.sets(), assoc),
+                    Some(level.misses()),
+                    "per_assoc_run_blocks: miss counts diverged"
+                );
+            }
+        }
+    });
+    record_variant("per_assoc_run_blocks", secs);
+
+    for (name, instrument) in [
+        ("fused_multi_assoc", false),
+        ("fused_multi_assoc_instrumented", true),
+    ] {
+        let secs = best_of(samples, || {
+            let mut tree = MultiAssocTree::with_instrumentation(
+                BLOCK_BITS,
+                SET_BITS,
+                (0, FUSED_MAX_ASSOC.trailing_zeros()),
+                DewOptions::default(),
+                instrument,
+            )
+            .expect("valid");
+            let mut chunks = BlockChunks::new(records, BLOCK_BITS, BlockChunks::DEFAULT_CHUNK);
+            while let Some(chunk) = chunks.next_chunk() {
+                tree.run_blocks(chunk);
+            }
+            assert_eq!(
+                tree.results(),
+                fused_reference,
+                "{name}: miss counts diverged"
+            );
+        });
+        record_variant(name, secs);
+    }
+
     let rate = |name: &str| {
         variants
             .iter()
@@ -113,6 +203,8 @@ fn main() {
     };
     let speedup = rate("run_blocks") / rate("step_instrumented");
     println!("\nspeedup run_blocks vs step_instrumented: {speedup:.2}x");
+    let fused_speedup = rate("fused_multi_assoc") / rate("per_assoc_run_blocks");
+    println!("speedup fused_multi_assoc vs per_assoc_run_blocks: {fused_speedup:.2}x");
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -144,8 +236,16 @@ fn main() {
     json.push_str("  ],\n");
     let _ = writeln!(
         json,
-        "  \"speedup_run_blocks_vs_instrumented\": {speedup:.3}"
+        "  \"sweep_shapes\": [\n    {{\"name\": \"per_assoc_passes_a1_{FUSED_MAX_ASSOC}\", \
+         \"trace_traversals\": {}}},\n    {{\"name\": \"fused_a1_{FUSED_MAX_ASSOC}\", \
+         \"trace_traversals\": 1}}\n  ],",
+        PER_ASSOC_PASSES.len()
     );
+    let _ = writeln!(
+        json,
+        "  \"speedup_run_blocks_vs_instrumented\": {speedup:.3},"
+    );
+    let _ = writeln!(json, "  \"speedup_fused_vs_per_assoc\": {fused_speedup:.3}");
     json.push_str("}\n");
 
     let path = std::env::var("DEW_BENCH_JSON").unwrap_or_else(|_| "BENCH_hot_loop.json".into());

@@ -1,10 +1,13 @@
-//! Extension benchmark: one multi-associativity pass versus the paper's
-//! one-pass-per-associativity methodology.
+//! Extension benchmark: one fused multi-associativity pass versus the
+//! paper's one-pass-per-associativity methodology.
 //!
 //! A [`MultiAssocTree`] carries independent FIFO tag lists for every
 //! associativity in each node, sharing the walk, the MRA early stop and the
-//! direct-mapped results; Table 1's 28 passes become 7. This bench measures
-//! what that sharing is worth, with results cross-checked between the two.
+//! direct-mapped results, and pruning the wider lists' searches with
+//! cross-associativity intersection links; Table 1's 28 passes become 7
+//! trace traversals. This bench measures what that sharing is worth — the
+//! fast fused kernel for wall time, the instrumented one for the comparison
+//! counts — with results cross-checked between every strategy.
 
 use std::time::Instant;
 
@@ -24,13 +27,14 @@ fn main() {
     let trace = app.generate(requests, scale.seed);
 
     println!(
-        "Multi-associativity extension on {app} ({requests} requests, sets 2^{}..2^{}, \
+        "Fused multi-associativity extension on {app} ({requests} requests, sets 2^{}..2^{}, \
          assoc 1..{MAX_ASSOC}, block 4 B)\n",
         SET_BITS.0, SET_BITS.1
     );
-    let mut t = TextTable::new(&["strategy", "passes", "time(s)", "comparisons"]);
+    let mut t = TextTable::new(&["strategy", "traversals", "time(s)", "comparisons"]);
 
-    // The paper's methodology: one DewTree pass per associativity above 1.
+    // The paper's methodology: one DewTree pass per associativity above 1
+    // (instrumented, as every pre-arena build ran).
     let start = Instant::now();
     let mut per_assoc_comparisons = 0u64;
     let mut separate = Vec::new();
@@ -51,25 +55,41 @@ fn main() {
         thousands(per_assoc_comparisons),
     ]);
 
-    // The extension: everything in one pass.
+    // The extension, instrumented: one traversal, full ladder, counted.
     let start = Instant::now();
     let mut multi =
-        MultiAssocTree::new(2, SET_BITS.0, SET_BITS.1, MAX_ASSOC, DewOptions::default())
+        MultiAssocTree::instrumented(2, SET_BITS.0, SET_BITS.1, MAX_ASSOC, DewOptions::default())
             .expect("valid");
     for r in trace.records() {
         multi.step(r.addr);
     }
     let multi_secs = start.elapsed().as_secs_f64();
     t.row_owned(vec![
-        "multi-assoc pass (extension)".into(),
+        "fused pass (instrumented)".into(),
         "1".into(),
         format!("{multi_secs:.3}"),
         thousands(multi.counters().tag_comparisons),
     ]);
+
+    // The extension as the sweep runs it: the fast fused kernel.
+    let start = Instant::now();
+    let mut fast = MultiAssocTree::new(2, SET_BITS.0, SET_BITS.1, MAX_ASSOC, DewOptions::default())
+        .expect("valid");
+    for r in trace.records() {
+        fast.step(r.addr);
+    }
+    let fast_secs = start.elapsed().as_secs_f64();
+    t.row_owned(vec![
+        "fused pass (fast kernel)".into(),
+        "1".into(),
+        format!("{fast_secs:.3}"),
+        "-".into(),
+    ]);
     print!("{}", t.render());
 
-    // Cross-check every configuration between the two strategies.
+    // Cross-check every configuration between the strategies.
     let mr = multi.results();
+    assert_eq!(mr, fast.results(), "fused kernels diverged");
     for (i, assoc) in [2u32, 4, 8, 16].iter().enumerate() {
         for set_bits in SET_BITS.0..=SET_BITS.1 {
             let sets = 1u32 << set_bits;
@@ -85,9 +105,17 @@ fn main() {
             );
         }
     }
-    println!("\nall 75 configurations agree between the two strategies (asserted).");
+    println!("\nall 75 configurations agree between the strategies (asserted).");
     println!(
-        "speedup of the shared pass: {:.2}x",
-        separate_secs / multi_secs
+        "comparison cut of the fused instrumented pass: {:.2}x; \
+         wall-time speedup of the fast fused pass: {:.2}x",
+        per_assoc_comparisons as f64 / multi.counters().tag_comparisons as f64,
+        separate_secs / fast_secs
+    );
+    println!(
+        "intersection links settled {} evaluations ({} hits, {} misses)",
+        thousands(multi.counters().intersection_total()),
+        thousands(multi.counters().intersection_hits),
+        thousands(multi.counters().intersection_misses),
     );
 }

@@ -175,12 +175,25 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     };
     let elapsed = start.elapsed().as_secs_f64();
 
+    // Only the FIFO scheduler fuses; LRU runs one traversal per pass.
+    let schedule = if outcome.trace_traversals() < outcome.passes().len() as u64 {
+        format!(
+            "{} passes fused into {} trace traversals",
+            outcome.passes().len(),
+            outcome.trace_traversals()
+        )
+    } else {
+        format!(
+            "{} passes, {} trace traversals",
+            outcome.passes().len(),
+            outcome.trace_traversals()
+        )
+    };
     let mut out = format!(
-        "swept {} configurations over {} requests in {:.2}s ({} passes, policy {})\n\n",
+        "swept {} configurations over {} requests in {:.2}s ({schedule}, policy {})\n\n",
         outcome.config_count(),
         outcome.accesses(),
         elapsed,
-        outcome.passes().len(),
         options.policy,
     );
     out.push_str(&format!(
@@ -245,7 +258,7 @@ fn sweep(args: &Args) -> Result<String, CliError> {
 }
 
 fn verify(args: &Args) -> Result<String, CliError> {
-    args.reject_unknown(&["trace", "sets", "blocks", "assocs", "policy"])?;
+    args.reject_unknown(&["trace", "sets", "blocks", "assocs", "policy", "threads"])?;
     let trace = load_trace(&args.require::<String>("trace")?)?;
     let sets = parse_range(args.get("sets").unwrap_or("0..8"), "sets")?;
     let blocks = parse_range(args.get("blocks").unwrap_or("2..4"), "blocks")?;
@@ -255,9 +268,10 @@ fn verify(args: &Args) -> Result<String, CliError> {
         "lru" => (DewOptions::lru(), Replacement::Lru),
         _ => (DewOptions::default(), Replacement::Fifo),
     };
+    let threads = args.get_or("threads", 0usize)?;
 
     let start = std::time::Instant::now();
-    let sweep = sweep_trace(&space, trace.records(), options, 0)?;
+    let sweep = sweep_trace(&space, trace.records(), options, threads)?;
     let dew_time = start.elapsed().as_secs_f64();
 
     let start = std::time::Instant::now();
@@ -280,11 +294,13 @@ fn verify(args: &Args) -> Result<String, CliError> {
 
     let mut out = format!(
         "verified {} configurations over {} requests (policy {})\n\
-         DEW: {dew_time:.3}s ({} passes); reference: {ref_time:.3}s ({} passes); speedup {:.1}x\n",
+         DEW: {dew_time:.3}s ({} passes, {} trace traversals); \
+         reference: {ref_time:.3}s ({} passes); speedup {:.1}x\n",
         space.config_count(),
         trace.len(),
         policy,
         sweep.passes().len(),
+        sweep.trace_traversals(),
         space.config_count(),
         ref_time / dew_time.max(1e-9),
     );
@@ -449,6 +465,10 @@ mod tests {
         ])
         .expect("sweep");
         assert!(msg.contains("swept 10 configurations"), "{msg}");
+        assert!(
+            msg.contains("1 passes, 1 trace traversals"),
+            "one single-assoc block size is one pass, one traversal: {msg}"
+        );
         assert!(msg.contains("Pareto front"), "{msg}");
         let csv_text = std::fs::read_to_string(&csv).expect("csv written");
         assert_eq!(csv_text.lines().count(), 11, "header + 10 rows");
@@ -516,6 +536,70 @@ mod tests {
         ])
         .expect("verify lru");
         assert!(msg.contains("all miss counts match exactly"), "{msg}");
+        let _ = std::fs::remove_file(&bin);
+    }
+
+    #[test]
+    fn explicit_thread_counts_are_honoured_and_agree() {
+        let bin = tmp("th.dewt");
+        run([
+            "generate",
+            "--app",
+            "cjpeg",
+            "--requests",
+            "4000",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
+        let one = run([
+            "sweep",
+            "--trace",
+            &bin,
+            "--sets",
+            "0..3",
+            "--blocks",
+            "1..3",
+            "--assocs",
+            "0..2",
+            "--threads",
+            "1",
+        ])
+        .expect("single-threaded sweep");
+        let many = run([
+            "sweep",
+            "--trace",
+            &bin,
+            "--sets",
+            "0..3",
+            "--blocks",
+            "1..3",
+            "--assocs",
+            "0..2",
+            "--threads",
+            "4",
+        ])
+        .expect("multi-threaded sweep");
+        // The result tables (everything after the header line with the
+        // timing) must be identical regardless of the thread count.
+        let table = |s: &str| s.split_once('\n').map(|(_, t)| t.to_owned()).unwrap();
+        assert_eq!(table(&one), table(&many));
+        assert!(one.contains("fused into 3 trace traversals"), "{one}");
+        let verified = run([
+            "verify",
+            "--trace",
+            &bin,
+            "--sets",
+            "0..3",
+            "--blocks",
+            "2..2",
+            "--assocs",
+            "0..1",
+            "--threads",
+            "2",
+        ])
+        .expect("verify with threads");
+        assert!(verified.contains("1 trace traversals"), "{verified}");
         let _ = std::fs::remove_file(&bin);
     }
 

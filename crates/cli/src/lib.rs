@@ -33,16 +33,17 @@ COMMANDS:
              --trace FILE --sets N --assoc N --block BYTES
              [--policy fifo|lru|plru|random] [--seed N]
              [--write-policy wb|wt] [--allocate wa|nwa] [--classify]
-  sweep      simulate a whole configuration space in DEW single passes
-             (the trace is decoded once per block size and batched through
-             the fast kernel; passes run in parallel)
+  sweep      simulate a whole configuration space in fused DEW passes
+             (FIFO: one decode + one trace traversal per block size covers
+             every associativity at once; fused passes run in parallel)
              --trace FILE [--sets LO..HI] [--blocks LO..HI] [--assocs LO..HI]
              (ranges are log2, inclusive; defaults 0..14, 0..6, 0..4)
-             [--policy fifo|lru] [--threads N] [--csv FILE] [--budget BYTES]
+             [--policy fifo|lru] [--threads N (0 = auto, the default)]
+             [--csv FILE] [--budget BYTES]
              [--counters]  (instrumented kernel: per-pass work breakdown)
   verify     run DEW and the reference simulator, cross-check every config
              --trace FILE [--sets LO..HI] [--blocks LO..HI] [--assocs LO..HI]
-             [--policy fifo|lru]
+             [--policy fifo|lru] [--threads N (0 = auto, the default)]
   stats      print trace statistics
              --trace FILE
   convert    convert between trace formats (by file extension)

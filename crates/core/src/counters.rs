@@ -8,12 +8,18 @@
 //!   (hit or miss) without a search;
 //! * an MRE check is one additional comparison; only a *match* settles the
 //!   node (as a miss);
+//! * an intersection check (the fused multi-associativity extension's
+//!   cross-associativity link, see [`crate::MultiAssocTree`]) is one
+//!   additional comparison and settles the node (hit or miss) without a
+//!   search;
 //! * a search compares the requested tag against each valid way in physical
 //!   order, stopping at the match.
 //!
 //! Every node evaluation therefore lands in exactly one bucket:
-//! `mra_stops + wave_hits + wave_misses + mre_misses + searches ==
-//! node_evaluations`, an identity the test-suite enforces.
+//! `mra_stops + wave_hits + wave_misses + mre_misses + intersection_hits +
+//! intersection_misses + searches == node_evaluations`, an identity the
+//! test-suite enforces. The intersection buckets stay zero for single-pass
+//! [`crate::DewTree`]s, so the original paper identity is a special case.
 
 use std::fmt;
 use std::ops::{Add, AddAssign};
@@ -33,6 +39,13 @@ pub struct DewCounters {
     pub wave_misses: u64,
     /// Evaluations settled as misses by the MRE entry (Property 4).
     pub mre_misses: u64,
+    /// Evaluations settled as hits by a cross-associativity intersection
+    /// link (fused multi-associativity passes only; see
+    /// [`crate::MultiAssocTree`]).
+    pub intersection_hits: u64,
+    /// Evaluations settled as misses by a cross-associativity intersection
+    /// link (fused multi-associativity passes only).
+    pub intersection_misses: u64,
     /// Evaluations that fell through to a tag-list search.
     pub searches: u64,
     /// Requests skipped whole by the CRCB-style duplicate elision extension
@@ -57,6 +70,13 @@ impl DewCounters {
         self.wave_hits + self.wave_misses
     }
 
+    /// Evaluations settled by a cross-associativity intersection link
+    /// (hit or miss).
+    #[must_use]
+    pub fn intersection_total(&self) -> u64 {
+        self.intersection_hits + self.intersection_misses
+    }
+
     /// The worst-case evaluation count for a run of `self.accesses` requests
     /// over `num_levels` forest levels — Table 4's "Unoptimized evaluations"
     /// column (every request visits every level).
@@ -69,7 +89,13 @@ impl DewCounters {
     /// asserts this after every simulation.
     #[must_use]
     pub fn is_consistent(&self) -> bool {
-        self.mra_stops + self.wave_hits + self.wave_misses + self.mre_misses + self.searches
+        self.mra_stops
+            + self.wave_hits
+            + self.wave_misses
+            + self.mre_misses
+            + self.intersection_hits
+            + self.intersection_misses
+            + self.searches
             == self.node_evaluations
     }
 }
@@ -91,6 +117,8 @@ impl AddAssign for DewCounters {
         self.wave_hits += rhs.wave_hits;
         self.wave_misses += rhs.wave_misses;
         self.mre_misses += rhs.mre_misses;
+        self.intersection_hits += rhs.intersection_hits;
+        self.intersection_misses += rhs.intersection_misses;
         self.searches += rhs.searches;
         self.duplicate_skips += rhs.duplicate_skips;
         self.search_comparisons += rhs.search_comparisons;
@@ -102,13 +130,14 @@ impl fmt::Display for DewCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} accesses, {} evaluations ({} MRA stops, {} wave, {} MRE, {} searches), \
-             {} comparisons",
+            "{} accesses, {} evaluations ({} MRA stops, {} wave, {} MRE, {} intersection, \
+             {} searches), {} comparisons",
             self.accesses,
             self.node_evaluations,
             self.mra_stops,
             self.wave_total(),
             self.mre_misses,
+            self.intersection_total(),
             self.searches,
             self.tag_comparisons,
         )
@@ -129,6 +158,13 @@ mod tests {
         assert!(c.is_consistent());
         c.wave_hits = 1;
         assert!(!c.is_consistent());
+        // The intersection buckets participate in the identity too.
+        c.node_evaluations += 3;
+        c.intersection_hits = 2;
+        c.intersection_misses = 1;
+        assert!(!c.is_consistent());
+        c.wave_hits = 0;
+        assert!(c.is_consistent());
     }
 
     #[test]

@@ -20,8 +20,12 @@
 //!   a match decides a miss without searching (Property 4).
 //!
 //! [`sweep_trace`] covers a whole `(S, A, B)` space ([`ConfigSpace`], e.g.
-//! the paper's 525-configuration Table 1 space) with the minimal set of
-//! passes, in parallel. The [`lru_tree`] module provides the LRU counterpart
+//! the paper's 525-configuration Table 1 space) with **one fused trace
+//! traversal per block size**: a [`MultiAssocTree`] carries every
+//! associativity's FIFO tag lists through one shared walk (with
+//! CIPARSim-style intersection links pruning the wider lists' searches), so
+//! the paper's 28 per-pair passes become 7 traversals — in parallel across
+//! block sizes. The [`lru_tree`] module provides the LRU counterpart
 //! (stack property + set-refinement inclusion, in the spirit of Janapsatya's
 //! method and the CRCB enhancements) that the paper positions DEW against.
 //!

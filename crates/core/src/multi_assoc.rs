@@ -1,4 +1,6 @@
-//! **Extension**: all associativities in one FIFO pass.
+//! **Extension**: all associativities of one block size in one FIFO pass —
+//! the *fused* kernel behind [`crate::sweep_trace`]'s one-traversal-per-block-size
+//! scheduling.
 //!
 //! The paper runs one DEW pass per `(block size, associativity)` pair
 //! because FIFO has no stack property: unlike LRU, one tag list cannot
@@ -6,14 +8,59 @@
 //! carrying **independent FIFO tag lists for every associativity** in each
 //! tree node, sharing everything that *is* associativity-independent — the
 //! walk, the MRA comparison (and its early termination, which is sound for
-//! every associativity at once), and the direct-mapped results. One
-//! [`MultiAssocTree`] pass therefore covers `levels × assoc_list`
-//! configurations, turning the paper's 28-pass Table 1 sweep into 7 passes,
-//! at the cost of wider nodes.
+//! every associativity at once), the decoded block stream, and the
+//! direct-mapped results. One [`MultiAssocTree`] pass therefore covers
+//! `levels × assoc_list` configurations, turning the paper's 28-pass Table 1
+//! sweep into 7 trace traversals, at the cost of wider nodes.
 //!
-//! Per associativity the per-node machinery is exactly [`crate::DewTree`]'s:
-//! wave pointers (tracked per list) and MRE entries short-circuit
-//! determinations; the same Algorithm 1/2 handlers apply.
+//! # Storage
+//!
+//! Like [`crate::DewTree`] since the arena rebuild, the whole forest lives in
+//! flat lanes: one dense MRA lane (shared by every associativity), and one
+//! contiguous way-tag lane where node `i` holds the tag lists of *all*
+//! associativities back to back (`tags[i*stride ..][..stride]`, list `k` at
+//! its precomputed offset). A node evaluation therefore touches one
+//! contiguous region regardless of how many associativities ride along.
+//!
+//! # The two kernels
+//!
+//! The step kernel is compiled twice, mirroring `DewTree`:
+//!
+//! * the **fast** kernel ([`MultiAssocTree::new`]) keeps no per-node
+//!   counters and no wave/MRE/link state at all; each list's residency is
+//!   decided by a branchless scan of its slice of the contiguous tag lane
+//!   (invalid ways hold a sentinel), and FIFO hits mutate nothing;
+//! * the **instrumented** kernel ([`MultiAssocTree::instrumented`])
+//!   maintains the paper's full determination ladder per list — wave
+//!   pointer, then the *intersection link* below, then MRE, then a
+//!   stop-at-match search — with every [`DewCounters`] bucket live, both in
+//!   aggregate and per associativity (so a fused pass can report the
+//!   counters each per-associativity pass would have been entitled to).
+//!
+//! # The intersection link (CIPARSim-style pruning)
+//!
+//! CIPARSim (Haque et al., ICCAD 2011; see `PAPERS.md`) observed that FIFO
+//! caches of the same block size and set count but different associativity
+//! hold largely intersecting contents. This module exploits that
+//! observation *exactly*, with a pointer that works like the paper's wave
+//! pointers but across associativities instead of across set counts: each
+//! way entry of list `k` carries the way its tag occupied in list `k+1` of
+//! the same node when the tag was last handled there. When a request is
+//! confirmed a **hit** in list `k`, one comparison at the linked way decides
+//! hit *or* miss for list `k+1`, short-circuiting its search.
+//!
+//! Soundness is the wave-pointer argument transplanted: FIFO never moves a
+//! resident block between ways, and a block's way in list `k+1` can only
+//! change through an eviction followed by a re-insertion — and every
+//! insertion into any list of a node happens while *handling that block at
+//! that node*, which refreshes the link. So a consulted link is stale only
+//! if the block left list `k+1` entirely, in which case the linked way now
+//! holds a different tag and the comparison correctly reports a miss. The
+//! consult is gated on list `k` *hitting*: after a fresh insert the entry's
+//! link still describes the evicted victim and proves nothing about the
+//! requested block (FIFO has no inclusion across associativities — Belady's
+//! anomaly — which is exactly why the link carries a verifying comparison
+//! instead of being trusted blindly).
 //!
 //! # Examples
 //!
@@ -36,53 +83,156 @@
 use dew_trace::Record;
 
 use crate::counters::DewCounters;
-use crate::node::{NodeMeta, WayEntry, EMPTY_WAVE, INVALID_TAG};
+use crate::node::{EMPTY_WAVE, INVALID_TAG};
 use crate::options::{DewOptions, TreePolicy};
-use crate::results::AllAssocResults;
+use crate::results::{AllAssocResults, LevelResult, PassResults};
 use crate::space::{DewError, PassConfig};
 
-/// Per-level storage: shared MRA/DM state plus one independent FIFO list
-/// family per associativity above 1.
+/// Sentinel for "no matching entry" (root level, previous-list miss, …).
+const NO_ENTRY: usize = usize::MAX;
+
+/// Per-associativity ladder tallies of the instrumented kernel, kept
+/// separately from the aggregate [`DewCounters`] so a fused pass can be
+/// fanned out into per-associativity counter reports.
+#[derive(Debug, Clone, Copy, Default)]
+struct ListCounters {
+    wave_hits: u64,
+    wave_misses: u64,
+    mre_checks: u64,
+    mre_misses: u64,
+    intersection_hits: u64,
+    intersection_misses: u64,
+    searches: u64,
+    search_comparisons: u64,
+}
+
+/// The fused forest: flat lanes over `total_nodes` nodes, each node carrying
+/// every simulated associativity's tag list contiguously.
 #[derive(Debug, Clone)]
-struct MultiLevel {
-    /// Shared per-set MRA tags (the direct-mapped cache contents).
+struct FusedForest {
+    /// Shared per-node MRA tags (also the direct-mapped cache contents).
     mra: Vec<u64>,
-    /// Per associativity (index parallels `assoc_list[1..]`): node metadata
-    /// and flat way storage, exactly as in `DewTree`.
-    lists: Vec<AssocLists>,
-    dm_misses: u64,
-    /// Misses per associativity, indexed like `assoc_list[1..]`.
+    /// Contiguous multi-width way-tag lane: node `i`'s region is
+    /// `tags[i*stride ..][..stride]`, list `k` at `list_off[k]..+width[k]`.
+    tags: Vec<u64>,
+    /// FIFO round-robin pointer per `(node, list)`:
+    /// `fifo[i*num_lists + k]`.
+    fifo: Vec<u32>,
+    /// Valid-way count per `(node, list)`; instrumented only (the fast
+    /// kernel's sentinel scan never needs it).
+    valid: Vec<u32>,
+    /// MRE tag per `(node, list)`; instrumented only.
+    mre: Vec<u64>,
+    /// Wave pointer preserved alongside the MRE tag; instrumented only.
+    mre_wave: Vec<u32>,
+    /// Wave-pointer lane, parallel to `tags`; instrumented only.
+    waves: Vec<u32>,
+    /// Intersection-link lane, parallel to `tags`: the way this entry's tag
+    /// occupied in the *next wider* list of the same node when last handled.
+    /// Instrumented only.
+    xlink: Vec<u32>,
+    /// Node-index base per level plus a final total, as in `DewTree`.
+    node_off: Vec<usize>,
+    /// `(1 << set_bits) - 1` per level.
+    set_mask: Vec<u64>,
+    /// Misses per `(level, list)`, level-major.
     misses: Vec<u64>,
+    /// Direct-mapped misses per level (from the shared MRA comparisons).
+    dm_misses: Vec<u64>,
 }
 
-#[derive(Debug, Clone)]
-struct AssocLists {
-    assoc: usize,
-    meta: Vec<NodeMeta>,
-    ways: Vec<WayEntry>,
+impl FusedForest {
+    fn new(pass: &PassConfig, widths: &[usize], instrument: bool) -> Self {
+        let mut node_off = Vec::with_capacity(pass.num_levels() as usize + 1);
+        let mut set_mask = Vec::with_capacity(pass.num_levels() as usize);
+        let mut total = 0usize;
+        for set_bits in pass.min_set_bits()..=pass.max_set_bits() {
+            node_off.push(total);
+            set_mask.push((1u64 << set_bits) - 1);
+            total += 1usize << set_bits;
+        }
+        node_off.push(total);
+        let stride: usize = widths.iter().sum();
+        let num_lists = widths.len();
+        let num_levels = pass.num_levels() as usize;
+        FusedForest {
+            mra: vec![INVALID_TAG; total],
+            tags: vec![INVALID_TAG; total * stride],
+            fifo: vec![0; total * num_lists],
+            valid: if instrument {
+                vec![0; total * num_lists]
+            } else {
+                Vec::new()
+            },
+            mre: if instrument {
+                vec![INVALID_TAG; total * num_lists]
+            } else {
+                Vec::new()
+            },
+            mre_wave: if instrument {
+                vec![EMPTY_WAVE; total * num_lists]
+            } else {
+                Vec::new()
+            },
+            waves: if instrument {
+                vec![EMPTY_WAVE; total * stride]
+            } else {
+                Vec::new()
+            },
+            xlink: if instrument {
+                vec![EMPTY_WAVE; total * stride]
+            } else {
+                Vec::new()
+            },
+            node_off,
+            set_mask,
+            // `max(1)`: a DM-only tree (no lists) still iterates its levels
+            // through `chunks_exact_mut`, which needs a nonzero stride.
+            misses: vec![0; num_levels * num_lists.max(1)],
+            dm_misses: vec![0; num_levels],
+        }
+    }
 }
 
-/// A single-pass FIFO simulator for every power-of-two associativity up to a
-/// maximum, at every set count in a range. See the module docs.
+/// A single-pass FIFO simulator for a range of power-of-two associativities
+/// at every set count in a range. See the module docs.
 #[derive(Debug, Clone)]
 pub struct MultiAssocTree {
+    /// Geometry; `assoc()` reports the largest simulated associativity.
     pass: PassConfig,
     opts: DewOptions,
+    /// Every simulated associativity, ascending (includes 1 when the range
+    /// starts there; associativity-1 results come from the MRA lane).
     assoc_list: Vec<u32>,
-    levels: Vec<MultiLevel>,
-    /// Per-level set-index masks (`(1 << set_bits) - 1`), precomputed so the
-    /// walk indexes with one mask and no branch.
-    set_mask: Vec<u64>,
+    /// Tag-list widths of the materialised lists (the associativities above
+    /// 1), ascending powers of two.
+    widths: Vec<usize>,
+    /// Offset of each list inside a node's region of the way lane.
+    list_off: Vec<usize>,
+    /// Way-lane entries per node (`widths` summed).
+    stride: usize,
+    forest: FusedForest,
+    /// Aggregate work counters (real work performed once).
     counters: DewCounters,
+    /// Per-list ladder tallies, indexed like `widths`.
+    list_counters: Vec<ListCounters>,
+    /// Block of the previous request, for the CRCB-style elision extension.
     prev_block: u64,
-    /// Per-list parent matching-entry way, reused across steps to avoid a
-    /// per-request allocation.
-    parent_way: Vec<Option<usize>>,
+    /// Which kernel instantiation `step` dispatches to.
+    instrument: bool,
+    /// `true` when `opts` matches the paper's default configuration.
+    specialized: bool,
+    /// Instrumented-walk scratch: per list, the global way-lane index of the
+    /// parent node's matching entry (`NO_ENTRY` at the root).
+    parent: Vec<usize>,
 }
 
 impl MultiAssocTree {
-    /// Builds the forest for set counts `2^min_set_bits..=2^max_set_bits`,
-    /// block size `2^block_bits`, associativities `1, 2, …, max_assoc`.
+    /// Builds the fused forest for set counts
+    /// `2^min_set_bits..=2^max_set_bits`, block size `2^block_bits`,
+    /// associativities `1, 2, …, max_assoc`, using the fast
+    /// (uninstrumented) kernel. Use [`MultiAssocTree::instrumented`] when
+    /// the [`DewCounters`] breakdown matters.
     ///
     /// # Errors
     ///
@@ -97,6 +247,62 @@ impl MultiAssocTree {
         max_assoc: u32,
         opts: DewOptions,
     ) -> Result<Self, DewError> {
+        if max_assoc == 0 || !max_assoc.is_power_of_two() {
+            return Err(DewError::BadAssoc(max_assoc));
+        }
+        MultiAssocTree::with_instrumentation(
+            block_bits,
+            (min_set_bits, max_set_bits),
+            (0, max_assoc.trailing_zeros()),
+            opts,
+            false,
+        )
+    }
+
+    /// As [`MultiAssocTree::new`], but with the instrumented kernel: the
+    /// full per-list determination ladder (wave pointers, intersection
+    /// links, MRE entries) with every counter live. Miss counts are
+    /// bit-identical to the fast kernel's — a property-tested invariant.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiAssocTree::new`].
+    pub fn instrumented(
+        block_bits: u32,
+        min_set_bits: u32,
+        max_set_bits: u32,
+        max_assoc: u32,
+        opts: DewOptions,
+    ) -> Result<Self, DewError> {
+        if max_assoc == 0 || !max_assoc.is_power_of_two() {
+            return Err(DewError::BadAssoc(max_assoc));
+        }
+        MultiAssocTree::with_instrumentation(
+            block_bits,
+            (min_set_bits, max_set_bits),
+            (0, max_assoc.trailing_zeros()),
+            opts,
+            true,
+        )
+    }
+
+    /// Full-control constructor: inclusive `log2` ranges for the set counts
+    /// and the associativities (so a sweep whose space starts above
+    /// associativity 1 does not pay for lists it will not report), and a
+    /// runtime kernel selection. This is the entry point
+    /// [`crate::sweep_trace`] uses for its fused per-block-size passes.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiAssocTree::new`], plus [`DewError::EmptySetRange`] when the
+    /// associativity range is inverted.
+    pub fn with_instrumentation(
+        block_bits: u32,
+        set_bits: (u32, u32),
+        assoc_bits: (u32, u32),
+        opts: DewOptions,
+        instrument: bool,
+    ) -> Result<Self, DewError> {
         opts.validate()?;
         if opts.policy == TreePolicy::Lru {
             return Err(DewError::UnsoundOptions(
@@ -104,43 +310,47 @@ impl MultiAssocTree {
                  the stack property (lru_tree)",
             ));
         }
-        let pass = PassConfig::new(block_bits, min_set_bits, max_set_bits, max_assoc)?;
-        let assoc_list: Vec<u32> = (0..=max_assoc.trailing_zeros()).map(|b| 1 << b).collect();
-        let levels = (min_set_bits..=max_set_bits)
-            .map(|sb| {
-                let n = 1usize << sb;
-                MultiLevel {
-                    mra: vec![INVALID_TAG; n],
-                    lists: assoc_list[1..]
-                        .iter()
-                        .map(|&a| AssocLists {
-                            assoc: a as usize,
-                            meta: vec![NodeMeta::EMPTY; n],
-                            ways: vec![WayEntry::EMPTY; n * a as usize],
-                        })
-                        .collect(),
-                    dm_misses: 0,
-                    misses: vec![0; assoc_list.len() - 1],
-                }
-            })
+        if assoc_bits.0 > assoc_bits.1 {
+            return Err(DewError::EmptySetRange {
+                min_set_bits: assoc_bits.0,
+                max_set_bits: assoc_bits.1,
+            });
+        }
+        let pass = PassConfig::new(block_bits, set_bits.0, set_bits.1, 1 << assoc_bits.1)?;
+        let assoc_list: Vec<u32> = (assoc_bits.0..=assoc_bits.1).map(|b| 1 << b).collect();
+        let widths: Vec<usize> = (assoc_bits.0.max(1)..=assoc_bits.1)
+            .map(|b| 1usize << b)
             .collect();
-        let num_lists = assoc_list.len() - 1;
-        let set_mask = (min_set_bits..=max_set_bits)
-            .map(|sb| (1u64 << sb) - 1)
-            .collect();
+        let mut list_off = Vec::with_capacity(widths.len());
+        let mut stride = 0usize;
+        for &w in &widths {
+            list_off.push(stride);
+            stride += w;
+        }
+        let specialized = opts.mra_stop
+            && opts.wave
+            && opts.mre
+            && !opts.dup_elision
+            && opts.policy == TreePolicy::Fifo;
+        let num_lists = widths.len();
         Ok(MultiAssocTree {
+            forest: FusedForest::new(&pass, &widths, instrument),
             pass,
             opts,
             assoc_list,
-            levels,
-            set_mask,
+            widths,
+            list_off,
+            stride,
             counters: DewCounters::new(),
+            list_counters: vec![ListCounters::default(); num_lists],
             prev_block: INVALID_TAG,
-            parent_way: vec![None; num_lists],
+            instrument,
+            specialized,
+            parent: vec![NO_ENTRY; num_lists],
         })
     }
 
-    /// The simulated associativities, ascending (always starting at 1).
+    /// The simulated associativities, ascending.
     #[must_use]
     pub fn assoc_list(&self) -> &[u32] {
         &self.assoc_list
@@ -152,11 +362,18 @@ impl MultiAssocTree {
         &self.pass
     }
 
-    /// Aggregate work counters. Per-node MRA work is counted once while
-    /// wave/MRE/search work is summed over the associativity lists, so the
-    /// [`DewCounters::is_consistent`] identity of a single-associativity
-    /// [`crate::DewTree`] does **not** apply here: one node evaluation feeds
-    /// several lists.
+    /// `true` when this tree maintains the per-node work counters.
+    #[must_use]
+    pub fn is_instrumented(&self) -> bool {
+        self.instrument
+    }
+
+    /// Aggregate work counters: real work performed, with per-node MRA work
+    /// counted once while ladder work is summed over the associativity
+    /// lists. The [`DewCounters::is_consistent`] identity of a
+    /// single-associativity [`crate::DewTree`] does **not** apply to this
+    /// aggregate (one node evaluation feeds several lists); the fanned-out
+    /// [`MultiAssocTree::pass_counters`] views restore it.
     #[must_use]
     pub fn counters(&self) -> &DewCounters {
         &self.counters
@@ -184,149 +401,388 @@ impl MultiAssocTree {
     /// As [`crate::DewTree::step`]: the block number must not collide with
     /// the internal sentinel.
     pub fn step(&mut self, addr: u64) {
-        let block = addr >> self.pass.block_bits();
+        self.step_block(addr >> self.pass.block_bits());
+    }
+
+    /// Simulates one request given as a pre-decoded block number
+    /// (`addr >> block_bits` for this pass's block size).
+    ///
+    /// # Panics
+    ///
+    /// As [`MultiAssocTree::step`], if `block` equals the internal sentinel.
+    pub fn step_block(&mut self, block: u64) {
         assert_ne!(
             block, INVALID_TAG,
-            "address {addr:#x} exceeds the supported range"
+            "block {block:#x} exceeds the supported range"
         );
+        match (self.instrument, self.specialized) {
+            (false, true) => self.step_block_fast::<true>(block),
+            (false, false) => self.step_block_fast::<false>(block),
+            (true, true) => self.kernel_instrumented::<true>(block),
+            (true, false) => self.kernel_instrumented::<false>(block),
+        }
+    }
+
+    /// Simulates a batch of pre-decoded block numbers (see
+    /// `dew_trace::decode_blocks` / `dew_trace::BlockChunks`). This is the
+    /// fastest way to drive a fused pass: the sweep decodes the trace once
+    /// per block size and every associativity consumes the same lane.
+    ///
+    /// # Panics
+    ///
+    /// As [`MultiAssocTree::step`], if any block equals the internal
+    /// sentinel.
+    pub fn run_blocks(&mut self, blocks: &[u64]) {
+        match (self.instrument, self.specialized) {
+            (false, true) => self.run_blocks_fast::<true>(blocks),
+            (false, false) => self.run_blocks_fast::<false>(blocks),
+            (true, true) => {
+                for &b in blocks {
+                    assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
+                    self.kernel_instrumented::<true>(b);
+                }
+            }
+            (true, false) => {
+                for &b in blocks {
+                    assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
+                    self.kernel_instrumented::<false>(b);
+                }
+            }
+        }
+    }
+
+    /// Fast-kernel dispatch on the list shape. Consecutive power-of-two
+    /// widths mean the whole shape is `(first width, list count)`; the
+    /// common fused shapes (first width 2 with up to four lists — the
+    /// paper's sweep ranges — plus the single-list jobs) get their own
+    /// instantiation so every scan width is a compile-time constant and the
+    /// per-list loop unrolls into straight-line vectorisable compares.
+    /// Anything else falls back to the runtime-shape loop (`FIRST = 0`).
+    fn step_block_fast<const DEFAULT_PATH: bool>(&mut self, block: u64) {
+        macro_rules! shape {
+            ($b:expr, $($first:literal x $n:literal),+) => {
+                match (self.widths.first().copied().unwrap_or(0), self.widths.len()) {
+                    $(($first, $n) => self.kernel_fast::<DEFAULT_PATH, $first, $n>($b),)+
+                    _ => self.kernel_fast::<DEFAULT_PATH, 0, 0>($b),
+                }
+            };
+        }
+        shape!(block, 2 x 1, 2 x 2, 2 x 3, 2 x 4, 4 x 1, 8 x 1, 16 x 1)
+    }
+
+    fn run_blocks_fast<const DEFAULT_PATH: bool>(&mut self, blocks: &[u64]) {
+        macro_rules! drive {
+            ($first:literal, $n:literal) => {{
+                for &b in blocks {
+                    assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
+                    self.kernel_fast::<DEFAULT_PATH, $first, $n>(b);
+                }
+            }};
+        }
+        macro_rules! shapes {
+            ($($first:literal x $n:literal),+) => {
+                match (self.widths.first().copied().unwrap_or(0), self.widths.len()) {
+                    $(($first, $n) => drive!($first, $n),)+
+                    _ => drive!(0, 0),
+                }
+            };
+        }
+        shapes!(2 x 1, 2 x 2, 2 x 3, 2 x 4, 4 x 1, 8 x 1, 16 x 1)
+    }
+
+    /// Shared per-request prologue of both kernels: request accounting and
+    /// the CRCB-style duplicate elision. Returns `true` when the request was
+    /// elided whole.
+    #[inline(always)]
+    fn prologue<const DEFAULT_PATH: bool>(&mut self, block: u64) -> bool {
+        debug_assert!(!DEFAULT_PATH || self.specialized, "dispatch mismatch");
         self.counters.accesses += 1;
-        if self.opts.dup_elision && block == self.prev_block {
-            self.counters.duplicate_skips += 1;
+        if !DEFAULT_PATH && self.opts.dup_elision {
+            if block == self.prev_block {
+                self.counters.duplicate_skips += 1;
+                return true;
+            }
+            self.prev_block = block;
+        }
+        false
+    }
+
+    /// The fast fused kernel: no counters, no wave/MRE/link lanes. Each
+    /// list's residency is a branchless scan of its slice of the node's
+    /// contiguous tag region; FIFO hits mutate nothing, so an MRA match
+    /// (hit in every list) skips the lists entirely even when the early
+    /// stop is disabled.
+    ///
+    /// `FIRST`/`NLISTS` encode the list shape when positive (consecutive
+    /// power-of-two widths starting at `FIRST`, so every width, offset and
+    /// the stride are compile-time constants) and are both `0` for the
+    /// runtime fallback.
+    fn kernel_fast<const DEFAULT_PATH: bool, const FIRST: usize, const NLISTS: usize>(
+        &mut self,
+        block: u64,
+    ) {
+        if self.prologue::<DEFAULT_PATH>(block) {
             return;
         }
-        self.prev_block = block;
-        let num_lists = self.assoc_list.len() - 1;
-        // Parent matching-entry way (global index) per associativity list.
-        let mut parent_way = std::mem::take(&mut self.parent_way);
-        parent_way.fill(None);
+        debug_assert!(NLISTS == 0 || NLISTS == self.widths.len());
+        debug_assert!(FIRST == 0 || Some(&FIRST) == self.widths.first());
+        let num_lists = if NLISTS == 0 {
+            self.widths.len()
+        } else {
+            NLISTS
+        };
+        // Consecutive power-of-two widths: list `k` is `FIRST << k` wide at
+        // offset `FIRST·(2^k − 1)`, and the stride is `FIRST·(2^NLISTS − 1)`.
+        let stride = if FIRST == 0 {
+            self.stride
+        } else {
+            FIRST * ((1 << NLISTS) - 1)
+        };
+        debug_assert_eq!(stride, self.stride);
+        let mra_stop = DEFAULT_PATH || self.opts.mra_stop;
+        let f = &mut self.forest;
+        let levels = f.set_mask.iter().zip(f.node_off.iter()).zip(
+            f.misses
+                .chunks_exact_mut(num_lists.max(1))
+                .zip(f.dm_misses.iter_mut()),
+        );
+        for ((&mask, &off), (level_misses, level_dm_misses)) in levels {
+            let node = off + (block & mask) as usize;
+            if f.mra[node] == block {
+                if mra_stop {
+                    // Property 2, sound for every associativity at once.
+                    return;
+                }
+                // Hit in every list; FIFO hits change nothing.
+                continue;
+            }
+            *level_dm_misses += 1;
+            f.mra[node] = block;
+            let region = &mut f.tags[node * stride..(node + 1) * stride];
+            if FIRST == 0 {
+                // Runtime shape: independent branchless scans per list
+                // (widths may exceed what a position bitmask can hold).
+                #[allow(clippy::needless_range_loop)] // k indexes parallel lanes
+                for k in 0..num_lists {
+                    let (w, o) = (self.widths[k], self.list_off[k]);
+                    let lane = &mut region[o..o + w];
+                    let mut hit = false;
+                    for &tag in lane.iter() {
+                        hit |= tag == block;
+                    }
+                    if !hit {
+                        level_misses[k] += 1;
+                        let fp = &mut f.fifo[node * num_lists + k];
+                        lane[*fp as usize] = block;
+                        *fp = crate::node::fifo_advance(*fp, w);
+                    }
+                }
+            } else {
+                // Const shape (stride = FIRST·(2^NLISTS − 1) ≤ 30): one
+                // branchless scan of the node's whole contiguous region —
+                // every list at once — into a position bitmask; invalid
+                // ways hold the sentinel and a resident block occupies
+                // exactly one way per list, so a list hits iff its window
+                // of the mask is nonzero. The single dense loop vectorises.
+                let mut hit_mask = 0u32;
+                for (i, &tag) in region.iter().enumerate() {
+                    hit_mask |= u32::from(tag == block) << i;
+                }
+                #[allow(clippy::needless_range_loop)] // k indexes parallel lanes
+                for k in 0..num_lists {
+                    let (w, o) = (FIRST << k, FIRST * ((1 << k) - 1));
+                    if hit_mask & (((1u32 << w) - 1) << o) == 0 {
+                        level_misses[k] += 1;
+                        let fp = &mut f.fifo[node * num_lists + k];
+                        region[o + *fp as usize] = block;
+                        *fp = crate::node::fifo_advance(*fp, w);
+                    }
+                }
+            }
+        }
+    }
 
-        for li in 0..self.levels.len() {
-            let set_idx = (block & self.set_mask[li]) as usize;
-            self.counters.node_evaluations += 1;
-            self.counters.tag_comparisons += 1; // the one shared MRA compare
-            let (lower, rest) = self.levels.split_at_mut(li);
-            let level = &mut rest[0];
-
-            let mra_match = level.mra[set_idx] == block;
+    /// The instrumented fused kernel: the full determination ladder per
+    /// list — wave pointer, then intersection link, then MRE, then a
+    /// stop-at-match search — with the aggregate *and* per-list counters
+    /// maintained. Miss counts are bit-identical to the fast kernel's.
+    fn kernel_instrumented<const DEFAULT_PATH: bool>(&mut self, block: u64) {
+        if self.prologue::<DEFAULT_PATH>(block) {
+            return;
+        }
+        let num_lists = self.widths.len();
+        let stride = self.stride;
+        let mra_stop = DEFAULT_PATH || self.opts.mra_stop;
+        let use_wave = DEFAULT_PATH || self.opts.wave;
+        let use_mre = DEFAULT_PATH || self.opts.mre;
+        for p in &mut self.parent {
+            *p = NO_ENTRY;
+        }
+        let counters = &mut self.counters;
+        let f = &mut self.forest;
+        for li in 0..f.set_mask.len() {
+            let node = f.node_off[li] + (block & f.set_mask[li]) as usize;
+            counters.node_evaluations += 1;
+            counters.tag_comparisons += 1; // the one shared MRA comparison
+            let mra_match = f.mra[node] == block;
             if mra_match {
-                if self.opts.mra_stop {
-                    // Sound for every associativity at once: an MRA match
-                    // proves nothing in this set (or any descendant) changed
-                    // since the block was resident — in all the lists.
-                    self.counters.mra_stops += 1;
-                    self.parent_way = parent_way;
+                if mra_stop {
+                    // Property 2: hit here and at every larger set count,
+                    // in every list at once.
+                    counters.mra_stops += 1;
                     return;
                 }
             } else {
-                level.dm_misses += 1;
+                f.dm_misses[li] += 1;
             }
+            f.mra[node] = block;
+            let base = node * stride;
+            // The block's way entry in the previous (narrower) list of this
+            // node, and whether that list *hit* (the consult gate of the
+            // intersection link; see the module docs).
+            let mut prev_entry = NO_ENTRY;
+            let mut prev_hit = false;
+            for k in 0..num_lists {
+                let w = self.widths[k];
+                let start = base + self.list_off[k];
+                let ml = node * num_lists + k;
+                let lc = &mut self.list_counters[k];
 
-            // `ai` indexes three parallel structures (this level's lists,
-            // the parent-way cache and the lower level's lists); an iterator
-            // chain over one of them would hide that coupling.
-            #[allow(clippy::needless_range_loop)]
-            for ai in 0..num_lists {
-                let list = &mut level.lists[ai];
-                let assoc = list.assoc;
-                let mut meta = list.meta[set_idx];
-                let ways = &mut list.ways[set_idx * assoc..(set_idx + 1) * assoc];
-
-                let mut determined: Option<Option<usize>> = None;
-                if self.opts.wave {
-                    if let Some(pw) = parent_way[ai] {
-                        let wave = lower[li - 1].lists[ai].ways[pw].wave;
-                        if wave != EMPTY_WAVE {
-                            self.counters.tag_comparisons += 1;
-                            let w = wave as usize;
-                            if ways[w].tag == block {
-                                self.counters.wave_hits += 1;
-                                determined = Some(Some(w));
-                            } else {
-                                self.counters.wave_misses += 1;
-                                determined = Some(None);
-                            }
+                // Determination ladder.
+                let mut found: Option<usize> = None;
+                let mut determined = false;
+                if use_wave && self.parent[k] != NO_ENTRY {
+                    let wave = f.waves[self.parent[k]];
+                    if wave != EMPTY_WAVE {
+                        // Property 3: one comparison decides.
+                        counters.tag_comparisons += 1;
+                        let n = wave as usize;
+                        debug_assert!(n < w, "wave pointer within tag list");
+                        if f.tags[start + n] == block {
+                            counters.wave_hits += 1;
+                            lc.wave_hits += 1;
+                            found = Some(n);
+                        } else {
+                            counters.wave_misses += 1;
+                            lc.wave_misses += 1;
+                        }
+                        determined = true;
+                    }
+                }
+                if !determined && prev_hit {
+                    let x = f.xlink[prev_entry];
+                    if x != EMPTY_WAVE {
+                        // Intersection link: the narrower list hit, so the
+                        // link was refreshed at this block's last handling
+                        // and one comparison decides (module docs).
+                        counters.tag_comparisons += 1;
+                        let n = x as usize;
+                        debug_assert!(n < w, "intersection link within tag list");
+                        if f.tags[start + n] == block {
+                            counters.intersection_hits += 1;
+                            lc.intersection_hits += 1;
+                            found = Some(n);
+                        } else {
+                            counters.intersection_misses += 1;
+                            lc.intersection_misses += 1;
+                        }
+                        determined = true;
+                    }
+                }
+                if !determined && use_mre {
+                    // Property 4: the most recently evicted block is
+                    // certainly absent.
+                    counters.tag_comparisons += 1;
+                    lc.mre_checks += 1;
+                    if f.mre[ml] == block {
+                        counters.mre_misses += 1;
+                        lc.mre_misses += 1;
+                        determined = true;
+                    }
+                }
+                if !determined {
+                    counters.searches += 1;
+                    lc.searches += 1;
+                    let valid = f.valid[ml] as usize;
+                    // The scan stops at the match, because the paper's
+                    // comparison counts do.
+                    for (i, &tag) in f.tags[start..start + valid].iter().enumerate() {
+                        counters.search_comparisons += 1;
+                        counters.tag_comparisons += 1;
+                        lc.search_comparisons += 1;
+                        if tag == block {
+                            found = Some(i);
+                            break;
                         }
                     }
                 }
-                if determined.is_none() && self.opts.mre {
-                    self.counters.tag_comparisons += 1;
-                    if meta.mre == block {
-                        self.counters.mre_misses += 1;
-                        determined = Some(None);
-                    }
-                }
-                let found = match determined {
-                    Some(f) => f,
-                    None => {
-                        self.counters.searches += 1;
-                        let valid = meta.valid as usize;
-                        let mut found = None;
-                        for (i, entry) in ways[..valid].iter().enumerate() {
-                            self.counters.search_comparisons += 1;
-                            self.counters.tag_comparisons += 1;
-                            if entry.tag == block {
-                                found = Some(i);
-                                break;
-                            }
-                        }
-                        found
-                    }
-                };
                 debug_assert!(
                     !(mra_match && found.is_none()),
-                    "MRA match must hit in list"
+                    "an MRA match implies residency; miss determination is wrong"
                 );
 
                 let n = match found {
-                    Some(n) => n, // Algorithm 1 (MRA handled at level scope)
+                    Some(n) => n, // Algorithm 1: FIFO hits change nothing.
                     None => {
-                        // Algorithm 2.
-                        level.misses[ai] += 1;
-                        let n = meta.fifo_ptr as usize;
-                        if self.opts.mre && meta.mre == block {
-                            std::mem::swap(&mut ways[n].tag, &mut meta.mre);
-                            std::mem::swap(&mut ways[n].wave, &mut meta.mre_wave);
+                        // Algorithm 2: Handle_miss.
+                        f.misses[li * num_lists + k] += 1;
+                        let n = f.fifo[ml] as usize;
+                        if use_mre && f.mre[ml] == block {
+                            // Exchange the victim way with the MRE entry,
+                            // restoring the block's preserved wave pointer.
+                            debug_assert_eq!(
+                                f.valid[ml] as usize, w,
+                                "MRE only holds a tag after an eviction (full list)"
+                            );
+                            std::mem::swap(&mut f.tags[start + n], &mut f.mre[ml]);
+                            std::mem::swap(&mut f.waves[start + n], &mut f.mre_wave[ml]);
                         } else {
-                            let evicted = ways[n];
-                            ways[n] = WayEntry {
-                                tag: block,
-                                wave: EMPTY_WAVE,
-                            };
-                            if evicted.tag == INVALID_TAG {
-                                meta.valid += 1;
-                            } else if self.opts.mre {
-                                meta.mre = evicted.tag;
-                                meta.mre_wave = evicted.wave;
+                            let evicted_tag = std::mem::replace(&mut f.tags[start + n], block);
+                            let evicted_wave =
+                                std::mem::replace(&mut f.waves[start + n], EMPTY_WAVE);
+                            if evicted_tag == INVALID_TAG {
+                                f.valid[ml] += 1;
+                            } else if use_mre {
+                                f.mre[ml] = evicted_tag;
+                                f.mre_wave[ml] = evicted_wave;
                             }
                         }
-                        meta.fifo_ptr = crate::node::fifo_advance(meta.fifo_ptr, assoc);
+                        f.fifo[ml] = crate::node::fifo_advance(f.fifo[ml], w);
                         n
                     }
                 };
-                list.meta[set_idx] = meta;
-                if self.opts.wave {
-                    if let Some(pw) = parent_way[ai] {
-                        lower[li - 1].lists[ai].ways[pw].wave = n as u32;
-                    }
+                // Refresh the parent's matching entry's wave pointer
+                // (Algorithm 1 line 3 / Algorithm 2 line 10) …
+                if use_wave && self.parent[k] != NO_ENTRY {
+                    f.waves[self.parent[k]] = n as u32;
                 }
-                parent_way[ai] = Some(set_idx * assoc + n);
+                self.parent[k] = start + n;
+                // … and the previous list's intersection link. The refresh
+                // is unconditional (hit or insert): the block is resident in
+                // both lists after handling, which is what keeps a later
+                // consult exact.
+                if prev_entry != NO_ENTRY {
+                    f.xlink[prev_entry] = n as u32;
+                }
+                prev_entry = start + n;
+                prev_hit = found.is_some();
             }
-            level.mra[set_idx] = block;
         }
-        self.parent_way = parent_way;
     }
 
-    /// Snapshot of the per-configuration miss counts (associativity 1 comes
-    /// from the shared direct-mapped accounting).
+    /// Snapshot of the per-configuration miss counts (associativity 1, when
+    /// simulated, comes from the shared direct-mapped accounting).
     #[must_use]
     pub fn results(&self) -> AllAssocResults {
-        let misses = self
-            .levels
-            .iter()
-            .map(|l| {
+        let include_dm = self.assoc_list.first() == Some(&1);
+        let num_lists = self.widths.len();
+        let misses = (0..self.forest.dm_misses.len())
+            .map(|li| {
                 let mut row = Vec::with_capacity(self.assoc_list.len());
-                row.push(l.dm_misses);
-                row.extend_from_slice(&l.misses);
+                if include_dm {
+                    row.push(self.forest.dm_misses[li]);
+                }
+                row.extend_from_slice(&self.forest.misses[li * num_lists..(li + 1) * num_lists]);
                 row
             })
             .collect();
@@ -336,6 +792,120 @@ impl MultiAssocTree {
             self.assoc_list.clone(),
             misses,
         )
+    }
+
+    /// Fans this fused pass out into the [`PassResults`] a standalone
+    /// `(block size, assoc)` DEW pass would have produced, or `None` when
+    /// `assoc` was not simulated. This is how [`crate::sweep_trace`] keeps
+    /// its per-pass result shape while traversing the trace once per block
+    /// size.
+    #[must_use]
+    pub fn pass_results(&self, assoc: u32) -> Option<PassResults> {
+        if !self.assoc_list.contains(&assoc) {
+            return None;
+        }
+        let pass = PassConfig::new(
+            self.pass.block_bits(),
+            self.pass.min_set_bits(),
+            self.pass.max_set_bits(),
+            assoc,
+        )
+        .ok()?;
+        let num_lists = self.widths.len();
+        let k = self.widths.iter().position(|&w| w == assoc as usize);
+        let levels = self
+            .forest
+            .dm_misses
+            .iter()
+            .enumerate()
+            .map(|(li, &dm)| {
+                let misses = match k {
+                    Some(k) => self.forest.misses[li * num_lists + k],
+                    None => dm, // assoc 1: the MRA lane is the simulation
+                };
+                LevelResult::new(self.pass.min_set_bits() + li as u32, misses, dm)
+            })
+            .collect();
+        Some(PassResults::new(pass, self.counters.accesses, levels))
+    }
+
+    /// The [`DewCounters`] view a standalone pass at `assoc` is entitled to
+    /// report, derived from the fused walk: walk-level quantities
+    /// (evaluations, MRA stops, the per-evaluation MRA comparison) are
+    /// shared verbatim, ladder quantities come from that associativity's
+    /// list. The [`DewCounters::is_consistent`] identity holds for every
+    /// fanned-out view. Returns `None` when `assoc` was not simulated.
+    #[must_use]
+    pub fn pass_counters(&self, assoc: u32) -> Option<DewCounters> {
+        if !self.assoc_list.contains(&assoc) {
+            return None;
+        }
+        let shared = DewCounters {
+            accesses: self.counters.accesses,
+            duplicate_skips: self.counters.duplicate_skips,
+            node_evaluations: self.counters.node_evaluations,
+            mra_stops: self.counters.mra_stops,
+            ..DewCounters::new()
+        };
+        let mut c = match self.widths.iter().position(|&w| w == assoc as usize) {
+            Some(k) => {
+                let lc = &self.list_counters[k];
+                DewCounters {
+                    wave_hits: lc.wave_hits,
+                    wave_misses: lc.wave_misses,
+                    mre_misses: lc.mre_misses,
+                    intersection_hits: lc.intersection_hits,
+                    intersection_misses: lc.intersection_misses,
+                    searches: lc.searches,
+                    search_comparisons: lc.search_comparisons,
+                    tag_comparisons: self.counters.node_evaluations
+                        + lc.wave_hits
+                        + lc.wave_misses
+                        + lc.mre_checks
+                        + lc.intersection_hits
+                        + lc.intersection_misses
+                        + lc.search_comparisons,
+                    ..shared
+                }
+            }
+            None => {
+                // Associativity 1: the shared MRA comparison *is* the
+                // simulation; report each non-stopped evaluation as a
+                // one-comparison search of the single way.
+                let searches = self.counters.node_evaluations - self.counters.mra_stops;
+                DewCounters {
+                    searches,
+                    search_comparisons: searches,
+                    tag_comparisons: self.counters.node_evaluations + searches,
+                    ..shared
+                }
+            }
+        };
+        if !self.instrument {
+            // The fast kernel maintains only the request-level counters,
+            // exactly like `DewTree::new`.
+            c = DewCounters {
+                accesses: self.counters.accesses,
+                duplicate_skips: self.counters.duplicate_skips,
+                ..DewCounters::new()
+            };
+        }
+        Some(c)
+    }
+
+    /// Actual heap footprint of the forest's lanes in bytes (excludes
+    /// counters and scratch).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        let f = &self.forest;
+        f.mra.len() * 8
+            + f.tags.len() * 8
+            + f.fifo.len() * 4
+            + f.valid.len() * 4
+            + f.mre.len() * 8
+            + f.mre_wave.len() * 4
+            + f.waves.len() * 4
+            + f.xlink.len() * 4
     }
 }
 
@@ -364,30 +934,86 @@ mod tests {
     #[test]
     fn matches_reference_for_every_assoc_and_set_count() {
         let a = addrs(3000, 0xA5A5);
-        let mut tree = MultiAssocTree::new(2, 0, 5, 8, DewOptions::default()).expect("valid");
-        for &x in &a {
-            tree.step(x);
-        }
-        let r = tree.results();
-        let records: Vec<Record> = a.iter().map(|&x| Record::read(x)).collect();
-        for set_bits in 0..=5u32 {
-            for assoc in [1u32, 2, 4, 8] {
-                let sets = 1 << set_bits;
-                let config = CacheConfig::new(sets, assoc, 4, Replacement::Fifo).expect("valid");
-                let expected = simulate_trace(config, &records).misses();
-                assert_eq!(
-                    r.misses(sets, assoc),
-                    Some(expected),
-                    "sets={sets} assoc={assoc}"
-                );
+        for instrument in [false, true] {
+            let mut tree = MultiAssocTree::with_instrumentation(
+                2,
+                (0, 5),
+                (0, 3),
+                DewOptions::default(),
+                instrument,
+            )
+            .expect("valid");
+            for &x in &a {
+                tree.step(x);
+            }
+            let r = tree.results();
+            let records: Vec<Record> = a.iter().map(|&x| Record::read(x)).collect();
+            for set_bits in 0..=5u32 {
+                for assoc in [1u32, 2, 4, 8] {
+                    let sets = 1 << set_bits;
+                    let config =
+                        CacheConfig::new(sets, assoc, 4, Replacement::Fifo).expect("valid");
+                    let expected = simulate_trace(config, &records).misses();
+                    assert_eq!(
+                        r.misses(sets, assoc),
+                        Some(expected),
+                        "sets={sets} assoc={assoc} instrument={instrument}"
+                    );
+                }
             }
         }
     }
 
     #[test]
-    fn agrees_with_separate_dew_trees_and_saves_mra_work() {
+    fn fast_and_instrumented_kernels_are_bit_identical() {
+        let a = addrs(5000, 0xF00D);
+        for opts in DewOptions::ablation_grid(TreePolicy::Fifo) {
+            let mut fast = MultiAssocTree::new(2, 0, 6, 8, opts).expect("valid");
+            let mut slow = MultiAssocTree::instrumented(2, 0, 6, 8, opts).expect("valid");
+            for &x in &a {
+                fast.step(x);
+                slow.step(x);
+            }
+            assert_eq!(fast.results(), slow.results(), "{opts}");
+            assert_eq!(fast.counters().accesses, slow.counters().accesses, "{opts}");
+        }
+    }
+
+    #[test]
+    fn run_blocks_matches_per_record_stepping() {
+        let a = addrs(3000, 0xB10C);
+        let blocks: Vec<u64> = a.iter().map(|&x| x >> 2).collect();
+        for instrument in [false, true] {
+            let mut stepped = MultiAssocTree::with_instrumentation(
+                2,
+                (0, 5),
+                (0, 3),
+                DewOptions::default(),
+                instrument,
+            )
+            .expect("valid");
+            for &x in &a {
+                stepped.step(x);
+            }
+            let mut batched = MultiAssocTree::with_instrumentation(
+                2,
+                (0, 5),
+                (0, 3),
+                DewOptions::default(),
+                instrument,
+            )
+            .expect("valid");
+            batched.run_blocks(&blocks);
+            assert_eq!(stepped.results(), batched.results());
+            assert_eq!(stepped.counters(), batched.counters());
+        }
+    }
+
+    #[test]
+    fn agrees_with_separate_dew_trees_and_saves_comparisons() {
         let a = addrs(4000, 0x77);
-        let mut multi = MultiAssocTree::new(2, 0, 8, 16, DewOptions::default()).expect("valid");
+        let mut multi =
+            MultiAssocTree::instrumented(2, 0, 8, 16, DewOptions::default()).expect("valid");
         for &x in &a {
             multi.step(x);
         }
@@ -418,10 +1044,132 @@ mod tests {
         }
         assert!(
             multi.counters().tag_comparisons < separate_comparisons,
-            "sharing the walk and MRA must cut total comparisons: {} vs {}",
+            "sharing the walk, MRA and intersection links must cut total comparisons: {} vs {}",
             multi.counters().tag_comparisons,
             separate_comparisons
         );
+    }
+
+    #[test]
+    fn intersection_links_fire_and_fanned_counters_are_consistent() {
+        // The link sits *after* the paper's wave pointer in the ladder, so
+        // with waves disabled it becomes the primary short-circuit: a loopy
+        // working set gives the narrower lists plenty of hits to feed the
+        // links of the wider ones.
+        let a: Vec<u64> = (0..6000u64).map(|i| ((i * 13) % 200) * 4).collect();
+        let opts = DewOptions {
+            wave: false,
+            ..DewOptions::default()
+        };
+        let mut tree = MultiAssocTree::instrumented(2, 0, 6, 8, opts).expect("valid");
+        for &x in &a {
+            tree.step(x);
+        }
+        assert!(
+            tree.counters().intersection_total() > 0,
+            "intersection links must settle some evaluations: {}",
+            tree.counters()
+        );
+        for &assoc in tree.assoc_list() {
+            let c = tree.pass_counters(assoc).expect("simulated");
+            assert!(c.is_consistent(), "assoc={assoc}: {c}");
+            assert_eq!(c.accesses, a.len() as u64);
+            assert_eq!(c.node_evaluations, tree.counters().node_evaluations);
+        }
+        assert!(tree.pass_counters(32).is_none());
+    }
+
+    #[test]
+    fn intersection_links_fire_at_the_root_under_default_options() {
+        // With waves on, the link's exclusive territory is the root level
+        // (which has no parent entry to hold a wave pointer): loop over a
+        // working set that fits the wider root lists but not the narrowest.
+        let a: Vec<u64> = (0..4000u64).map(|i| (i % 3) * 4).collect();
+        let mut tree =
+            MultiAssocTree::instrumented(2, 0, 4, 8, DewOptions::default()).expect("valid");
+        for &x in &a {
+            tree.step(x);
+        }
+        assert!(
+            tree.counters().intersection_hits > 0,
+            "the 4-way root hits must short-circuit the 8-way search: {}",
+            tree.counters()
+        );
+        for &assoc in tree.assoc_list() {
+            let c = tree.pass_counters(assoc).expect("simulated");
+            assert!(c.is_consistent(), "assoc={assoc}: {c}");
+        }
+    }
+
+    #[test]
+    fn pass_results_fan_out_matches_all_assoc_view() {
+        let a = addrs(2500, 0xFA11);
+        let mut tree = MultiAssocTree::new(3, 1, 6, 8, DewOptions::default()).expect("valid");
+        for &x in &a {
+            tree.step(x);
+        }
+        let all = tree.results();
+        for &assoc in tree.assoc_list() {
+            let pr = tree.pass_results(assoc).expect("simulated");
+            assert_eq!(pr.pass().assoc(), assoc);
+            for set_bits in 1..=6u32 {
+                let sets = 1 << set_bits;
+                assert_eq!(
+                    pr.misses(sets, assoc),
+                    all.misses(sets, assoc),
+                    "sets={sets} assoc={assoc}"
+                );
+            }
+        }
+        assert!(tree.pass_results(16).is_none());
+    }
+
+    #[test]
+    fn assoc_range_above_one_skips_narrow_lists() {
+        let a = addrs(2000, 0x404);
+        let mut ranged =
+            MultiAssocTree::with_instrumentation(2, (0, 4), (2, 3), DewOptions::default(), false)
+                .expect("valid");
+        let mut full = MultiAssocTree::new(2, 0, 4, 8, DewOptions::default()).expect("valid");
+        for &x in &a {
+            ranged.step(x);
+            full.step(x);
+        }
+        assert_eq!(ranged.assoc_list(), &[4, 8]);
+        let (rr, fr) = (ranged.results(), full.results());
+        for set_bits in 0..=4u32 {
+            let sets = 1 << set_bits;
+            for assoc in [4u32, 8] {
+                assert_eq!(rr.misses(sets, assoc), fr.misses(sets, assoc));
+            }
+            assert_eq!(rr.misses(sets, 1), None, "assoc 1 not in the range");
+            assert_eq!(rr.misses(sets, 2), None, "assoc 2 not in the range");
+        }
+    }
+
+    #[test]
+    fn wide_runtime_shapes_use_the_fallback_scan() {
+        // Widths 2..=32 (stride 62) exceed the position bitmask of the
+        // const-shape kernel, exercising the runtime fallback.
+        let a = addrs(2500, 0x3C3C);
+        let mut tree = MultiAssocTree::new(2, 0, 3, 32, DewOptions::default()).expect("valid");
+        for &x in &a {
+            tree.step(x);
+        }
+        let r = tree.results();
+        let records: Vec<Record> = a.iter().map(|&x| Record::read(x)).collect();
+        for set_bits in 0..=3u32 {
+            for assoc in [2u32, 16, 32] {
+                let sets = 1 << set_bits;
+                let config = CacheConfig::new(sets, assoc, 4, Replacement::Fifo).expect("valid");
+                let expected = simulate_trace(config, &records).misses();
+                assert_eq!(
+                    r.misses(sets, assoc),
+                    Some(expected),
+                    "sets={sets} assoc={assoc}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -429,7 +1177,7 @@ mod tests {
         let a = addrs(2000, 0x99);
         let mut reference = None;
         for opts in DewOptions::ablation_grid(TreePolicy::Fifo) {
-            let mut tree = MultiAssocTree::new(2, 0, 4, 4, opts).expect("valid");
+            let mut tree = MultiAssocTree::instrumented(2, 0, 4, 4, opts).expect("valid");
             for &x in &a {
                 tree.step(x);
             }
@@ -442,6 +1190,28 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_elision_preserves_results() {
+        let a: Vec<u64> = (0..3000u64).map(|i| i % 700).collect();
+        let plain = {
+            let mut t = MultiAssocTree::new(4, 0, 5, 8, DewOptions::default()).expect("valid");
+            for &x in &a {
+                t.step(x);
+            }
+            t.results()
+        };
+        let opts = DewOptions {
+            dup_elision: true,
+            ..DewOptions::default()
+        };
+        let mut t = MultiAssocTree::instrumented(4, 0, 5, 8, opts).expect("valid");
+        for &x in &a {
+            t.step(x);
+        }
+        assert_eq!(t.results(), plain, "elision must not change results");
+        assert!(t.counters().duplicate_skips > 1000);
+    }
+
+    #[test]
     fn lru_options_are_rejected() {
         assert!(matches!(
             MultiAssocTree::new(2, 0, 4, 4, DewOptions::lru()),
@@ -450,19 +1220,57 @@ mod tests {
     }
 
     #[test]
+    fn bad_assoc_ranges_are_rejected() {
+        assert!(matches!(
+            MultiAssocTree::new(2, 0, 4, 3, DewOptions::default()),
+            Err(DewError::BadAssoc(3))
+        ));
+        assert!(matches!(
+            MultiAssocTree::new(2, 0, 4, 0, DewOptions::default()),
+            Err(DewError::BadAssoc(0))
+        ));
+        assert!(MultiAssocTree::with_instrumentation(
+            2,
+            (0, 4),
+            (3, 1),
+            DewOptions::default(),
+            false
+        )
+        .is_err());
+    }
+
+    #[test]
     fn assoc_one_only_still_works() {
         let a = addrs(1000, 0x11);
-        let mut tree = MultiAssocTree::new(2, 0, 4, 1, DewOptions::default()).expect("valid");
-        for &x in &a {
-            tree.step(x);
+        for instrument in [false, true] {
+            let mut tree = MultiAssocTree::with_instrumentation(
+                2,
+                (0, 4),
+                (0, 0),
+                DewOptions::default(),
+                instrument,
+            )
+            .expect("valid");
+            for &x in &a {
+                tree.step(x);
+            }
+            let r = tree.results();
+            let records: Vec<Record> = a.iter().map(|&x| Record::read(x)).collect();
+            for set_bits in 0..=4u32 {
+                let sets = 1 << set_bits;
+                let config = CacheConfig::new(sets, 1, 4, Replacement::Fifo).expect("valid");
+                let expected = simulate_trace(config, &records).misses();
+                assert_eq!(r.misses(sets, 1), Some(expected));
+            }
+            let c = tree.pass_counters(1).expect("simulated");
+            assert!(c.is_consistent());
         }
-        let r = tree.results();
-        let records: Vec<Record> = a.iter().map(|&x| Record::read(x)).collect();
-        for set_bits in 0..=4u32 {
-            let sets = 1 << set_bits;
-            let config = CacheConfig::new(sets, 1, 4, Replacement::Fifo).expect("valid");
-            let expected = simulate_trace(config, &records).misses();
-            assert_eq!(r.misses(sets, 1), Some(expected));
-        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported range")]
+    fn sentinel_block_panics_in_batches() {
+        let mut t = MultiAssocTree::new(0, 0, 1, 2, DewOptions::default()).expect("valid");
+        t.run_blocks(&[0, 1, u64::MAX]);
     }
 }

@@ -7,10 +7,10 @@
 //! `DESIGN.md`, substitutions).
 //!
 //! The whole forest is stored as one flat arena (all levels concatenated): a
-//! single `Vec<NodeMeta>` for the scalar fields plus a single `Vec<WayEntry>`
-//! of tag-list entries, addressed through precomputed per-level node offsets,
-//! so node `i`'s tag list is the slice `ways[i*assoc .. (i+1)*assoc]` with
-//! `i` a forest-global node index.
+//! single `Vec<NodeMeta>` for the scalar fields plus dense per-field lanes
+//! for the tags and wave pointers, addressed through precomputed per-level
+//! node offsets, so node `i`'s tag list is the slice
+//! `tags[i*assoc .. (i+1)*assoc]` with `i` a forest-global node index.
 
 /// Sentinel for "no tag": cold MRA/MRE entries and invalid ways.
 ///
@@ -21,24 +21,6 @@ pub(crate) const INVALID_TAG: u64 = u64::MAX;
 
 /// Sentinel for an "empty" wave pointer (paper Algorithm 2, line 7).
 pub(crate) const EMPTY_WAVE: u32 = u32::MAX;
-
-/// One tag-list entry: the resident tag plus its wave pointer into the
-/// child node on the tag's own path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct WayEntry {
-    /// The resident block number, or [`INVALID_TAG`].
-    pub tag: u64,
-    /// Way position this tag occupied in the child node when last handled
-    /// there, or [`EMPTY_WAVE`].
-    pub wave: u32,
-}
-
-impl WayEntry {
-    pub(crate) const EMPTY: WayEntry = WayEntry {
-        tag: INVALID_TAG,
-        wave: EMPTY_WAVE,
-    };
-}
 
 /// The scalar per-node state, *except* the MRA tag: the MRA comparison runs
 /// on every node evaluation (and is all a Property-2 stop touches), so the
@@ -100,18 +82,16 @@ mod tests {
 
     #[test]
     fn empty_constants_are_cold() {
-        assert_eq!(WayEntry::EMPTY.tag, INVALID_TAG);
-        assert_eq!(WayEntry::EMPTY.wave, EMPTY_WAVE);
         let m = NodeMeta::EMPTY;
         assert_eq!(m.mre, INVALID_TAG);
+        assert_eq!(m.mre_wave, EMPTY_WAVE);
         assert_eq!(m.valid, 0);
         assert_eq!(m.fifo_ptr, 0);
     }
 
     #[test]
     fn storage_is_compact() {
-        // The flat layout relies on these staying small.
-        assert_eq!(std::mem::size_of::<WayEntry>(), 16);
+        // The flat layout relies on this staying small.
         assert!(std::mem::size_of::<NodeMeta>() <= 24);
     }
 

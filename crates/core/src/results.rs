@@ -262,6 +262,7 @@ pub struct SweepOutcome {
     accesses: u64,
     misses: HashMap<(u32, u32, u32), u64>,
     passes: Vec<(PassConfig, DewCounters)>,
+    trace_traversals: u64,
 }
 
 impl SweepOutcome {
@@ -269,11 +270,13 @@ impl SweepOutcome {
         accesses: u64,
         misses: HashMap<(u32, u32, u32), u64>,
         passes: Vec<(PassConfig, DewCounters)>,
+        trace_traversals: u64,
     ) -> Self {
         SweepOutcome {
             accesses,
             misses,
             passes,
+            trace_traversals,
         }
     }
 
@@ -281,6 +284,15 @@ impl SweepOutcome {
     #[must_use]
     pub const fn accesses(&self) -> u64 {
         self.accesses
+    }
+
+    /// How many times the sweep iterated the trace (equivalently, how many
+    /// times it decoded block numbers). The fused FIFO scheduler performs
+    /// exactly one traversal per block size regardless of the associativity
+    /// range; the LRU fallback traverses once per `(block, assoc)` pass.
+    #[must_use]
+    pub const fn trace_traversals(&self) -> u64 {
+        self.trace_traversals
     }
 
     /// Number of configurations with results.
@@ -364,7 +376,8 @@ mod tests {
         m.insert((1u32, 1u32, 4u32), 10u64);
         m.insert((2, 1, 4), 8);
         m.insert((1, 2, 4), 9);
-        let o = SweepOutcome::new(100, m, Vec::new());
+        let o = SweepOutcome::new(100, m, Vec::new(), 2);
+        assert_eq!(o.trace_traversals(), 2);
         assert_eq!(o.misses(2, 1, 4), Some(8));
         assert_eq!(o.misses(4, 1, 4), None);
         assert_eq!(o.miss_rate(1, 1, 4), Some(0.1));
@@ -380,7 +393,7 @@ mod tests {
     fn empty_outcome_miss_rate_is_zero() {
         let mut m = HashMap::new();
         m.insert((1u32, 1u32, 4u32), 0u64);
-        let o = SweepOutcome::new(0, m, Vec::new());
+        let o = SweepOutcome::new(0, m, Vec::new(), 1);
         assert_eq!(o.miss_rate(1, 1, 4), Some(0.0));
     }
 }

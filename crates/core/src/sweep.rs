@@ -1,33 +1,45 @@
-//! Multi-pass sweep driver: cover a whole [`ConfigSpace`] with the minimal
-//! set of DEW passes, optionally in parallel.
+//! Sweep driver: cover a whole [`ConfigSpace`] with the minimal number of
+//! *trace traversals*, optionally in parallel.
+//!
+//! For FIFO spaces the scheduler is **fused**: all `(block size, assoc)`
+//! passes of one block size are folded into a single [`MultiAssocTree`]
+//! traversal (shared walk, shared MRA lane, per-associativity tag lists —
+//! see the `multi_assoc` module docs), so a sweep performs exactly one
+//! decode and one traversal per block size instead of one per pass. The
+//! fused results are fanned back out into the per-pass [`PassResults`]
+//! shape, so [`SweepOutcome`] is unchanged for callers. LRU spaces fall
+//! back to one [`DewTree`] pass per `(block size, assoc)` pair (the fused
+//! lists are FIFO-only).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::OnceLock;
 
-use dew_trace::{decode_blocks, Record};
+use dew_trace::{decode_blocks_into, BlockChunks, Record};
 
 use crate::counters::DewCounters;
-use crate::options::DewOptions;
+use crate::multi_assoc::MultiAssocTree;
+use crate::options::{DewOptions, TreePolicy};
 use crate::results::{PassResults, SweepOutcome};
-use crate::space::{ConfigSpace, DewError};
+use crate::space::{ConfigSpace, DewError, PassConfig};
 use crate::tree::DewTree;
 
-/// Simulates every configuration of `space` over `records`, running one DEW
-/// pass per `(block size, associativity)` pair (associativity-1 results ride
-/// along with every pass, per the paper).
+/// Simulates every configuration of `space` over `records`.
 ///
-/// The trace is decoded to bare block numbers **once per block size** and the
-/// buffer is shared across all passes and worker threads, so no pass
-/// re-iterates the 16-byte record stream; each pass runs the fast
-/// (uninstrumented) batched kernel via [`DewTree::run_blocks`]. Use
+/// Under FIFO (the default), the sweep schedules one **fused pass per block
+/// size**: the trace's block numbers are decoded once and streamed in
+/// chunks through a [`MultiAssocTree`] that simulates every associativity
+/// of the space simultaneously, so the trace is traversed once per block
+/// size no matter how wide the associativity range is
+/// ([`SweepOutcome::trace_traversals`] reports the count). Each fused pass
+/// runs the fast (uninstrumented) batched kernel; use
 /// [`sweep_trace_instrumented`] when the per-pass [`DewCounters`] breakdown
 /// matters.
 ///
-/// `threads == 0` selects the machine's available parallelism; passes are
-/// independent, so they distribute over a simple work queue and each worker
-/// writes its result into a pre-sized per-pass slot (no lock, no re-sort).
-/// Results are deterministic regardless of the thread count.
+/// `threads == 0` selects the machine's available parallelism; fused
+/// passes are independent, so they distribute over a simple work queue and
+/// each worker writes its results into pre-sized per-pass slots (no lock,
+/// no re-sort). Results are deterministic regardless of the thread count.
 ///
 /// # Errors
 ///
@@ -50,6 +62,8 @@ use crate::tree::DewTree;
 /// let trace: Vec<Record> = (0..500u64).map(|i| Record::read((i % 97) * 4)).collect();
 /// let outcome = sweep_trace(&space, &trace, DewOptions::default(), 1)?;
 /// assert_eq!(outcome.config_count() as u64, space.config_count());
+/// // Three block sizes, three traversals — however many associativities.
+/// assert_eq!(outcome.trace_traversals(), 3);
 /// # Ok(())
 /// # }
 /// ```
@@ -66,6 +80,11 @@ pub fn sweep_trace(
 /// [`DewCounters`] breakdown (Table 1/3/4 quantities) at the cost of counter
 /// traffic in the kernel. Miss counts are bit-identical to [`sweep_trace`]'s.
 ///
+/// In the fused FIFO scheduler the walk-level counters (node evaluations,
+/// MRA stops) are shared by all passes of a block size and reported
+/// verbatim in each; ladder counters come from each pass's own tag lists
+/// (see [`MultiAssocTree::pass_counters`]).
+///
 /// # Errors
 ///
 /// As [`sweep_trace`].
@@ -78,6 +97,24 @@ pub fn sweep_trace_instrumented(
     sweep_trace_with(space, records, options, threads, true)
 }
 
+/// One fused unit of work: every pass of one block size.
+struct FusedJob {
+    block_bits: u32,
+    /// Inclusive `log2` associativity range covered by the job's passes.
+    assoc_bits: (u32, u32),
+    /// Indices into the pass list (and the result slots) this job feeds.
+    pass_idx: Vec<usize>,
+}
+
+fn worker_count(threads: usize, work_items: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+    .min(work_items.max(1))
+}
+
 fn sweep_trace_with(
     space: &ConfigSpace,
     records: &[Record],
@@ -87,85 +124,20 @@ fn sweep_trace_with(
 ) -> Result<SweepOutcome, DewError> {
     options.validate()?;
     let passes = space.passes();
-    let workers = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        threads
-    }
-    .min(passes.len().max(1));
 
-    // One pre-sized slot per pass: the worker that claims a pass index is
-    // the only writer of its slot, so the result path has no lock and needs
+    // One pre-sized slot per pass: the worker that claims a job is the only
+    // writer of its passes' slots, so the result path has no lock and needs
     // no post-hoc sort.
     let slots: Vec<OnceLock<(PassResults, DewCounters)>> =
         passes.iter().map(|_| OnceLock::new()).collect();
 
-    // Block numbers are decoded once per block size into a shared lane.
-    // Lanes are created lazily by the first worker to need them (the others
-    // share the `Arc`) and dropped by the last pass of their block size, so
-    // peak extra memory is bounded by the lanes in concurrent use — not by
-    // the number of block sizes — while one global work queue keeps every
-    // worker busy across group boundaries.
-    struct Lane {
-        blocks: Option<Arc<Vec<u64>>>,
-        /// Passes of this block size not yet completed.
-        remaining: usize,
-    }
-    let mut block_bits_order: Vec<u32> = Vec::new();
-    for pass in &passes {
-        if !block_bits_order.contains(&pass.block_bits()) {
-            block_bits_order.push(pass.block_bits());
-        }
-    }
-    let lanes: Vec<Mutex<Lane>> = block_bits_order
-        .iter()
-        .map(|&bits| {
-            Mutex::new(Lane {
-                blocks: None,
-                remaining: passes.iter().filter(|p| p.block_bits() == bits).count(),
-            })
-        })
-        .collect();
-    let lane_of = |bits: u32| -> &Mutex<Lane> {
-        let g = block_bits_order
-            .iter()
-            .position(|&b| b == bits)
-            .expect("every pass block size is in the lane table");
-        &lanes[g]
+    let trace_traversals = if options.policy == TreePolicy::Lru {
+        run_per_pass(&passes, records, options, threads, instrument, &slots)
+    } else {
+        run_fused(
+            space, &passes, records, options, threads, instrument, &slots,
+        )
     };
-
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(pass) = passes.get(i) else { break };
-                let blocks =
-                    {
-                        let mut lane = lane_of(pass.block_bits())
-                            .lock()
-                            .expect("no worker panics while holding a lane");
-                        Arc::clone(lane.blocks.get_or_insert_with(|| {
-                            Arc::new(decode_blocks(records, pass.block_bits()))
-                        }))
-                    };
-                let mut tree = DewTree::with_instrumentation(*pass, options, instrument)
-                    .expect("pass and options validated above");
-                tree.run_blocks(&blocks);
-                drop(blocks);
-                let claimed = slots[i].set((tree.results(), *tree.counters()));
-                assert!(claimed.is_ok(), "slot {i} claimed by exactly one worker");
-                let mut lane = lane_of(pass.block_bits())
-                    .lock()
-                    .expect("no worker panics while holding a lane");
-                lane.remaining -= 1;
-                if lane.remaining == 0 {
-                    // Last pass of this block size: free the decoded lane.
-                    lane.blocks = None;
-                }
-            });
-        }
-    });
 
     let include_dm = space.assoc_bits().0 == 0;
     let mut misses: HashMap<(u32, u32, u32), u64> = HashMap::new();
@@ -180,7 +152,9 @@ fn sweep_trace_with(
             misses.insert(key, level.misses());
             if include_dm {
                 // Every pass of a block size re-derives the same DM results;
-                // cross-check them (a free internal consistency oracle).
+                // cross-check them (a free internal consistency oracle —
+                // trivially shared within a fused job, still meaningful
+                // across LRU fallback passes).
                 let prev = dm_seen.insert((level.sets(), pass.block_bytes()), level.dm_misses());
                 if let Some(prev) = prev {
                     assert_eq!(
@@ -201,7 +175,124 @@ fn sweep_trace_with(
         records.len() as u64,
         misses,
         pass_counters,
+        trace_traversals,
     ))
+}
+
+/// The fused FIFO scheduler: one decode and one [`MultiAssocTree`]
+/// traversal per block size. Returns the traversal count (the job count).
+/// Groups the passes by block size through an indexed map built once per
+/// sweep; the schedulers' claim paths never scan.
+fn group_by_block(passes: &[PassConfig]) -> Vec<FusedJob> {
+    let mut job_of_block: HashMap<u32, usize> = HashMap::new();
+    let mut jobs: Vec<FusedJob> = Vec::new();
+    for (i, pass) in passes.iter().enumerate() {
+        let j = *job_of_block.entry(pass.block_bits()).or_insert_with(|| {
+            jobs.push(FusedJob {
+                block_bits: pass.block_bits(),
+                assoc_bits: (u32::MAX, 0),
+                pass_idx: Vec::new(),
+            });
+            jobs.len() - 1
+        });
+        let job = &mut jobs[j];
+        job.pass_idx.push(i);
+        let ab = pass.assoc().trailing_zeros();
+        job.assoc_bits = (job.assoc_bits.0.min(ab), job.assoc_bits.1.max(ab));
+    }
+    jobs
+}
+
+fn run_fused(
+    space: &ConfigSpace,
+    passes: &[PassConfig],
+    records: &[Record],
+    options: DewOptions,
+    threads: usize,
+    instrument: bool,
+    slots: &[OnceLock<(PassResults, DewCounters)>],
+) -> u64 {
+    let jobs = group_by_block(passes);
+    let workers = worker_count(threads, jobs.len());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                // One streaming decoder per worker, reset per job: block
+                // numbers are decoded exactly once per block size and fed to
+                // the fused kernel in cache-sized batches through one
+                // reusable buffer.
+                let mut chunks = BlockChunks::new(&[], 0, BlockChunks::DEFAULT_CHUNK);
+                loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(j) else { break };
+                    let mut tree = MultiAssocTree::with_instrumentation(
+                        job.block_bits,
+                        space.set_bits(),
+                        job.assoc_bits,
+                        options,
+                        instrument,
+                    )
+                    .expect("pass geometry and options validated above");
+                    chunks.reset(records, job.block_bits);
+                    while let Some(chunk) = chunks.next_chunk() {
+                        tree.run_blocks(chunk);
+                    }
+                    for &i in &job.pass_idx {
+                        let assoc = passes[i].assoc();
+                        let fanned = (
+                            tree.pass_results(assoc).expect("job covers its passes"),
+                            tree.pass_counters(assoc).expect("job covers its passes"),
+                        );
+                        let claimed = slots[i].set(fanned);
+                        assert!(claimed.is_ok(), "slot {i} claimed by exactly one worker");
+                    }
+                }
+            });
+        }
+    });
+    jobs.len() as u64
+}
+
+/// The per-pass fallback (LRU spaces): one [`DewTree`] traversal per
+/// `(block size, assoc)` pair. Work is distributed at the same granularity
+/// as the fused scheduler — one claimed unit per block size, whose passes
+/// run sequentially over the claiming worker's single decoded lane — so
+/// each block size is decoded exactly once and peak extra memory stays
+/// bounded by one lane per worker, never one per pass. Returns the
+/// traversal count (every pass still iterates the lane once).
+fn run_per_pass(
+    passes: &[PassConfig],
+    records: &[Record],
+    options: DewOptions,
+    threads: usize,
+    instrument: bool,
+    slots: &[OnceLock<(PassResults, DewCounters)>],
+) -> u64 {
+    let jobs = group_by_block(passes);
+    let workers = worker_count(threads, jobs.len());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut blocks: Vec<u64> = Vec::new();
+                loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(j) else { break };
+                    decode_blocks_into(records, job.block_bits, &mut blocks);
+                    for &i in &job.pass_idx {
+                        let mut tree =
+                            DewTree::with_instrumentation(passes[i], options, instrument)
+                                .expect("pass and options validated above");
+                        tree.run_blocks(&blocks);
+                        let claimed = slots[i].set((tree.results(), *tree.counters()));
+                        assert!(claimed.is_ok(), "slot {i} claimed by exactly one worker");
+                    }
+                }
+            });
+        }
+    });
+    passes.len() as u64
 }
 
 #[cfg(test)]
@@ -248,6 +339,74 @@ mod tests {
     }
 
     #[test]
+    fn fused_sweep_traverses_once_per_block_size() {
+        // The headline of the fused scheduler: associativities 1..=8 at one
+        // block size cost exactly one decode and one trace traversal.
+        let records = trace(900);
+        let single_block = ConfigSpace::new((0, 6), (2, 2), (0, 3)).expect("valid");
+        let outcome = sweep_trace_instrumented(&single_block, &records, DewOptions::default(), 0)
+            .expect("sweep");
+        assert_eq!(outcome.trace_traversals(), 1);
+        // All walk-level counters of the block size's passes are the shared
+        // single-walk quantities.
+        let evals: Vec<u64> = outcome
+            .passes()
+            .iter()
+            .map(|(_, c)| c.node_evaluations)
+            .collect();
+        assert!(evals.iter().all(|&e| e > 0 && e == evals[0]));
+
+        let multi_block = ConfigSpace::new((0, 4), (0, 2), (0, 3)).expect("valid");
+        let outcome = sweep_trace_instrumented(&multi_block, &records, DewOptions::default(), 0)
+            .expect("sweep");
+        assert_eq!(outcome.trace_traversals(), 3, "one per block size");
+    }
+
+    #[test]
+    fn fused_matches_manual_per_pass_trees_bit_identically() {
+        let records = trace(1500);
+        let space = ConfigSpace::new((0, 5), (1, 3), (0, 3)).expect("valid");
+        let fused = sweep_trace(&space, &records, DewOptions::default(), 0).expect("sweep");
+        for pass in space.passes() {
+            let mut tree = DewTree::new(pass, DewOptions::default()).expect("sound");
+            tree.run(records.iter().copied());
+            let r = tree.results();
+            for level in r.levels() {
+                assert_eq!(
+                    fused.misses(level.sets(), pass.assoc(), pass.block_bytes()),
+                    Some(level.misses()),
+                    "{pass}"
+                );
+                assert_eq!(
+                    fused.misses(level.sets(), 1, pass.block_bytes()),
+                    Some(level.dm_misses()),
+                    "DM of {pass}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lru_fallback_traverses_once_per_pass() {
+        let records = trace(400);
+        let space = ConfigSpace::new((0, 3), (2, 3), (0, 1)).expect("valid");
+        let outcome = sweep_trace(&space, &records, DewOptions::lru(), 2).expect("sweep");
+        assert_eq!(
+            outcome.trace_traversals(),
+            space.passes().len() as u64,
+            "LRU has no fused lists"
+        );
+        for (sets, assoc, block) in space.configs() {
+            let expected = simulate_trace(
+                CacheConfig::new(sets, assoc, block, Replacement::Lru).expect("valid"),
+                &records,
+            )
+            .misses();
+            assert_eq!(outcome.misses(sets, assoc, block), Some(expected));
+        }
+    }
+
+    #[test]
     fn thread_count_does_not_change_results() {
         let space = ConfigSpace::new((0, 5), (0, 3), (0, 3)).expect("valid");
         let records = trace(800);
@@ -258,6 +417,7 @@ mod tests {
         a.sort_by_key(|c| (c.block_bytes, c.assoc, c.sets));
         b.sort_by_key(|c| (c.block_bytes, c.assoc, c.sets));
         assert_eq!(a, b);
+        assert_eq!(seq.trace_traversals(), par.trace_traversals());
     }
 
     #[test]

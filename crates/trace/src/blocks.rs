@@ -79,6 +79,15 @@ impl<'a> BlockChunks<'a> {
         }
     }
 
+    /// Re-targets the decoder at a new record stream and block size while
+    /// keeping the allocated buffer, so one decoder can serve many passes
+    /// (a sweep resets it once per block size instead of allocating per
+    /// pass).
+    pub fn reset(&mut self, records: &'a [Record], block_bits: u32) {
+        self.records = records;
+        self.block_bits = block_bits;
+    }
+
     /// Decodes and returns the next chunk, or `None` once the trace is
     /// exhausted. The returned slice is only valid until the next call.
     pub fn next_chunk(&mut self) -> Option<&[u64]> {
@@ -148,5 +157,20 @@ mod tests {
     fn empty_trace_yields_no_chunks() {
         let mut chunks = BlockChunks::new(&[], 4, 16);
         assert!(chunks.next_chunk().is_none());
+    }
+
+    #[test]
+    fn reset_reuses_one_decoder_across_block_sizes() {
+        let r = records(300);
+        let mut chunks = BlockChunks::new(&[], 0, 64);
+        assert!(chunks.next_chunk().is_none());
+        for bits in [0u32, 3, 5] {
+            chunks.reset(&r, bits);
+            let mut got = Vec::new();
+            while let Some(c) = chunks.next_chunk() {
+                got.extend_from_slice(c);
+            }
+            assert_eq!(got, decode_blocks(&r, bits), "bits={bits}");
+        }
     }
 }
