@@ -8,7 +8,11 @@
 //! CI runs it after the hot-loop smoke so a kernel regression shows up in
 //! the job log (as a GitHub `::warning::` annotation) without blocking
 //! unrelated work; absolute throughput on shared runners is too noisy for a
-//! hard gate.
+//! hard gate. When `GITHUB_STEP_SUMMARY` is set (it always is on GitHub
+//! runners), the guard additionally appends a markdown comparison table —
+//! variant, baseline steps/sec, fresh steps/sec, delta — to the job
+//! summary, so the trajectory is readable without opening the log, and the
+//! artifact upload of both JSON files makes it diffable per run.
 
 use std::process::ExitCode;
 
@@ -63,6 +67,61 @@ fn regressions(
     out
 }
 
+/// Renders the markdown comparison table for the step summary: one row per
+/// fresh variant (baseline-only variants are retired and omitted), with the
+/// committed rate, the fresh rate and the signed delta. New variants show a
+/// dash for the baseline columns.
+fn summary_table(committed: &[(String, f64)], fresh: &[(String, f64)], threshold: f64) -> String {
+    let mut out = String::from(
+        "## hot_loop bench guard\n\n\
+         | variant | baseline steps/sec | fresh steps/sec | delta |\n\
+         |---|---:|---:|---:|\n",
+    );
+    for (name, now) in fresh {
+        match committed.iter().find(|(n, _)| n == name) {
+            Some((_, base)) if *base > 0.0 => {
+                let delta = (now / base - 1.0) * 100.0;
+                let marker = if *now < *base * (1.0 - threshold) {
+                    " ⚠️"
+                } else {
+                    ""
+                };
+                out.push_str(&format!(
+                    "| `{name}` | {base:.0} | {now:.0} | {delta:+.1}%{marker} |\n"
+                ));
+            }
+            _ => {
+                out.push_str(&format!("| `{name}` | — | {now:.0} | new |\n"));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "\nAdvisory threshold: warn below −{:.0}% of the committed baseline. \
+         Both `BENCH_hot_loop.json` (committed) and `BENCH_hot_loop.fresh.json` \
+         (this run) are in the job artifact.\n",
+        threshold * 100.0
+    ));
+    out
+}
+
+/// Appends the table to `$GITHUB_STEP_SUMMARY` when the variable is set
+/// (appending is the documented contract for step summaries: every step
+/// shares the file).
+fn write_step_summary(table: &str) {
+    let Some(path) = std::env::var_os("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    use std::io::Write as _;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(table.as_bytes()));
+    if let Err(e) = appended {
+        println!("::warning::bench_guard: cannot write step summary: {e}");
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [committed_path, fresh_path] = args.as_slice() else {
@@ -95,6 +154,7 @@ fn main() -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
+    write_step_summary(&summary_table(&base, &now, threshold));
     let warnings = regressions(&base, &now, threshold);
     for w in &warnings {
         // Advisory only: the committed baseline may come from a different
@@ -157,5 +217,33 @@ mod tests {
         let base = vec![("gone".to_owned(), 500.0), ("fast".to_owned(), 100.0)];
         let fresh = vec![("fast".to_owned(), 400.0)];
         assert!(regressions(&base, &fresh, 0.30).is_empty());
+    }
+
+    #[test]
+    fn summary_table_reports_deltas_new_and_regressed_variants() {
+        let base = vec![
+            ("steady".to_owned(), 1000.0),
+            ("regressed".to_owned(), 1000.0),
+            ("retired".to_owned(), 42.0),
+        ];
+        let fresh = vec![
+            ("steady".to_owned(), 1100.0),
+            ("regressed".to_owned(), 500.0),
+            ("fused_lru".to_owned(), 2000.0),
+        ];
+        let t = summary_table(&base, &fresh, 0.30);
+        assert!(t.starts_with("## hot_loop bench guard"), "{t}");
+        assert!(t.contains("| variant | baseline steps/sec | fresh steps/sec | delta |"));
+        assert!(t.contains("| `steady` | 1000 | 1100 | +10.0% |"), "{t}");
+        assert!(
+            t.contains("| `regressed` | 1000 | 500 | -50.0% ⚠️ |"),
+            "{t}"
+        );
+        assert!(t.contains("| `fused_lru` | — | 2000 | new |"), "{t}");
+        assert!(
+            !t.contains("retired"),
+            "baseline-only variants omitted: {t}"
+        );
+        assert!(t.contains("−30%"), "threshold documented: {t}");
     }
 }

@@ -16,7 +16,13 @@
 //!   traversals, one shared decode);
 //! * `fused_multi_assoc` — the fused kernel: every associativity 1..=8 in
 //!   **one** traversal of a `MultiAssocTree` (decode included);
-//! * `fused_multi_assoc_instrumented` — fused with the full counter ladder.
+//! * `fused_multi_assoc_instrumented` — fused with the full counter ladder;
+//! * `per_assoc_lru_run_blocks` — the pre-fusion **LRU** sweep schedule:
+//!   one fast `DewTree` pass (LRU tag lists, MRA stop off) per
+//!   associativity 2/4/8 back to back, one shared decode;
+//! * `fused_lru` — the arena `LruTreeSimulator`: every associativity 1..=8
+//!   in **one** traversal via the stack property (decode included);
+//! * `fused_lru_instrumented` — fused LRU with the counted MRU-first search.
 //!
 //! The JSON also records `trace_traversals` per sweep shape so the fusion
 //! win stays visible in the perf trajectory.
@@ -30,6 +36,7 @@ use std::time::Instant;
 
 use dew_bench::report::thousands;
 use dew_bench::suite::SuiteScale;
+use dew_core::lru_tree::{LruTreeOptions, LruTreeSimulator};
 use dew_core::{DewOptions, DewTree, MultiAssocTree, PassConfig};
 use dew_trace::{decode_blocks, BlockChunks};
 use dew_workloads::mediabench::App;
@@ -194,6 +201,66 @@ fn main() {
         record_variant(name, secs);
     }
 
+    // The LRU sweep-shape pair, mirroring the FIFO one: the pre-fusion
+    // schedule (one DewTree-LRU pass per associativity, MRA stop off as
+    // soundness requires, sharing one decode) versus one fused traversal of
+    // the arena LruTreeSimulator, whose stack property answers every
+    // associativity from a single move-to-front lane. Options match what
+    // `sweep_trace` uses for LRU spaces (no duplicate elision by default).
+    let lru_opts = LruTreeOptions {
+        depth_zero_stop: true,
+        duplicate_elision: false,
+    };
+    let lru_reference = {
+        let mut sim = LruTreeSimulator::instrumented(
+            BLOCK_BITS,
+            SET_BITS.0,
+            SET_BITS.1,
+            FUSED_MAX_ASSOC,
+            lru_opts,
+        )
+        .expect("valid");
+        sim.run(records.iter().copied());
+        sim.results()
+    };
+    let secs = best_of(samples, || {
+        let blocks = decode_blocks(records, BLOCK_BITS);
+        for assoc in PER_ASSOC_PASSES {
+            let pass =
+                PassConfig::new(BLOCK_BITS, SET_BITS.0, SET_BITS.1, assoc).expect("valid pass");
+            let mut tree = DewTree::new(pass, DewOptions::lru()).expect("sound");
+            tree.run_blocks(&blocks);
+            let r = tree.results();
+            for level in r.levels() {
+                assert_eq!(
+                    lru_reference.misses(level.sets(), assoc),
+                    Some(level.misses()),
+                    "per_assoc_lru_run_blocks: miss counts diverged"
+                );
+            }
+        }
+    });
+    record_variant("per_assoc_lru_run_blocks", secs);
+
+    for (name, instrument) in [("fused_lru", false), ("fused_lru_instrumented", true)] {
+        let secs = best_of(samples, || {
+            let mut sim = LruTreeSimulator::with_instrumentation(
+                BLOCK_BITS,
+                SET_BITS,
+                (0, FUSED_MAX_ASSOC.trailing_zeros()),
+                lru_opts,
+                instrument,
+            )
+            .expect("valid");
+            let mut chunks = BlockChunks::new(records, BLOCK_BITS, BlockChunks::DEFAULT_CHUNK);
+            while let Some(chunk) = chunks.next_chunk() {
+                sim.run_blocks(chunk);
+            }
+            assert_eq!(sim.results(), lru_reference, "{name}: miss counts diverged");
+        });
+        record_variant(name, secs);
+    }
+
     let rate = |name: &str| {
         variants
             .iter()
@@ -205,6 +272,8 @@ fn main() {
     println!("\nspeedup run_blocks vs step_instrumented: {speedup:.2}x");
     let fused_speedup = rate("fused_multi_assoc") / rate("per_assoc_run_blocks");
     println!("speedup fused_multi_assoc vs per_assoc_run_blocks: {fused_speedup:.2}x");
+    let fused_lru_speedup = rate("fused_lru") / rate("per_assoc_lru_run_blocks");
+    println!("speedup fused_lru vs per_assoc_lru_run_blocks: {fused_lru_speedup:.2}x");
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -237,15 +306,25 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"sweep_shapes\": [\n    {{\"name\": \"per_assoc_passes_a1_{FUSED_MAX_ASSOC}\", \
-         \"trace_traversals\": {}}},\n    {{\"name\": \"fused_a1_{FUSED_MAX_ASSOC}\", \
-         \"trace_traversals\": 1}}\n  ],",
-        PER_ASSOC_PASSES.len()
+         \"trace_traversals\": {n_passes}}},\n    {{\"name\": \"fused_a1_{FUSED_MAX_ASSOC}\", \
+         \"trace_traversals\": 1}},\n    {{\"name\": \
+         \"lru_per_assoc_passes_a1_{FUSED_MAX_ASSOC}\", \
+         \"trace_traversals\": {n_passes}}},\n    {{\"name\": \
+         \"lru_fused_a1_{FUSED_MAX_ASSOC}\", \"trace_traversals\": 1}}\n  ],",
+        n_passes = PER_ASSOC_PASSES.len()
     );
     let _ = writeln!(
         json,
         "  \"speedup_run_blocks_vs_instrumented\": {speedup:.3},"
     );
-    let _ = writeln!(json, "  \"speedup_fused_vs_per_assoc\": {fused_speedup:.3}");
+    let _ = writeln!(
+        json,
+        "  \"speedup_fused_vs_per_assoc\": {fused_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_fused_lru_vs_per_assoc\": {fused_lru_speedup:.3}"
+    );
     json.push_str("}\n");
 
     let path = std::env::var("DEW_BENCH_JSON").unwrap_or_else(|_| "BENCH_hot_loop.json".into());

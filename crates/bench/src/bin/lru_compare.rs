@@ -66,9 +66,11 @@ fn main() {
     ]);
 
     // The LRU-specialised tree (stack property + inclusion early stop).
+    // Instrumented so the evaluation/comparison columns stay comparable with
+    // the DEW rows; the fast arena kernel keeps no counters.
     let start = Instant::now();
     let mut lru_tree =
-        LruTreeSimulator::new(2, SET_BITS.0, SET_BITS.1, ASSOC, LruTreeOptions::default())
+        LruTreeSimulator::instrumented(2, SET_BITS.0, SET_BITS.1, ASSOC, LruTreeOptions::default())
             .expect("valid");
     for r in trace.records() {
         lru_tree.step(r.addr);

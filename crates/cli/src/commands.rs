@@ -166,7 +166,8 @@ fn sweep(args: &Args) -> Result<String, CliError> {
 
     let start = std::time::Instant::now();
     // The default sweep decodes the trace once per block size and drives the
-    // fast monomorphized kernel in batches; --counters opts into the
+    // fast monomorphized kernel in batches — under either policy the passes
+    // of a block size fuse into one traversal; --counters opts into the
     // instrumented kernel to report the per-pass work breakdown.
     let outcome = if with_counters {
         sweep_trace_instrumented(&space, trace.records(), options, threads)?
@@ -175,7 +176,7 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     };
     let elapsed = start.elapsed().as_secs_f64();
 
-    // Only the FIFO scheduler fuses; LRU runs one traversal per pass.
+    // Single-pass-per-block-size spaces report the plain shape.
     let schedule = if outcome.trace_traversals() < outcome.passes().len() as u64 {
         format!(
             "{} passes fused into {} trace traversals",
@@ -531,11 +532,15 @@ mod tests {
         .expect("verify fifo");
         assert!(msg.contains("all miss counts match exactly"), "{msg}");
         let msg = run([
-            "verify", "--trace", &bin, "--sets", "0..4", "--blocks", "2..2", "--assocs", "1..1",
+            "verify", "--trace", &bin, "--sets", "0..4", "--blocks", "2..2", "--assocs", "0..2",
             "--policy", "lru",
         ])
         .expect("verify lru");
         assert!(msg.contains("all miss counts match exactly"), "{msg}");
+        assert!(
+            msg.contains("2 passes, 1 trace traversals"),
+            "LRU fuses one block size into one traversal: {msg}"
+        );
         let _ = std::fs::remove_file(&bin);
     }
 
@@ -617,11 +622,15 @@ mod tests {
         ])
         .expect("generate");
         let msg = run([
-            "sweep", "--trace", &bin, "--sets", "0..2", "--blocks", "2..2", "--assocs", "1..1",
+            "sweep", "--trace", &bin, "--sets", "0..2", "--blocks", "2..3", "--assocs", "0..2",
             "--policy", "lru",
         ])
         .expect("lru sweep");
         assert!(msg.contains("policy lru"), "{msg}");
+        assert!(
+            msg.contains("4 passes fused into 2 trace traversals"),
+            "LRU sweeps fuse per block size like FIFO: {msg}"
+        );
         let _ = std::fs::remove_file(&bin);
     }
 

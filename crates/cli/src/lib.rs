@@ -33,9 +33,10 @@ COMMANDS:
              --trace FILE --sets N --assoc N --block BYTES
              [--policy fifo|lru|plru|random] [--seed N]
              [--write-policy wb|wt] [--allocate wa|nwa] [--classify]
-  sweep      simulate a whole configuration space in fused DEW passes
-             (FIFO: one decode + one trace traversal per block size covers
-             every associativity at once; fused passes run in parallel)
+  sweep      simulate a whole configuration space in fused passes: one
+             decode + one trace traversal per block size covers every
+             associativity at once (FIFO via per-associativity DEW tag
+             lists, LRU via the stack property); passes run in parallel
              --trace FILE [--sets LO..HI] [--blocks LO..HI] [--assocs LO..HI]
              (ranges are log2, inclusive; defaults 0..14, 0..6, 0..4)
              [--policy fifo|lru] [--threads N (0 = auto, the default)]

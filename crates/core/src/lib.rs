@@ -21,13 +21,16 @@
 //!
 //! [`sweep_trace`] covers a whole `(S, A, B)` space ([`ConfigSpace`], e.g.
 //! the paper's 525-configuration Table 1 space) with **one fused trace
-//! traversal per block size**: a [`MultiAssocTree`] carries every
-//! associativity's FIFO tag lists through one shared walk (with
-//! CIPARSim-style intersection links pruning the wider lists' searches), so
-//! the paper's 28 per-pair passes become 7 traversals — in parallel across
-//! block sizes. The [`lru_tree`] module provides the LRU counterpart
-//! (stack property + set-refinement inclusion, in the spirit of Janapsatya's
-//! method and the CRCB enhancements) that the paper positions DEW against.
+//! traversal per block size, under either policy**: a [`MultiAssocTree`]
+//! carries every associativity's FIFO tag lists through one shared walk
+//! (with CIPARSim-style intersection links pruning the wider lists'
+//! searches), so the paper's 28 per-pair passes become 7 traversals — in
+//! parallel across block sizes. LRU sweeps fuse through the [`lru_tree`]
+//! module's arena [`lru_tree::LruTreeSimulator`] (stack property +
+//! set-refinement inclusion, in the spirit of Janapsatya's method and the
+//! CRCB enhancements — the comparator family the paper positions DEW
+//! against), whose single move-to-front lane answers every associativity
+//! at once.
 //!
 //! # Quickstart
 //!

@@ -1,5 +1,7 @@
 //! Single-pass multi-configuration **LRU** simulation over the same binomial
-//! forest — the comparator family DEW is positioned against.
+//! forest — the comparator family DEW is positioned against — on the same
+//! flat-arena storage and two-kernel compilation scheme as [`crate::DewTree`]
+//! and [`crate::MultiAssocTree`].
 //!
 //! The paper's related work (Section 2) builds on two classic LRU facts that
 //! FIFO lacks:
@@ -24,6 +26,38 @@
 //! counts for every power-of-two associativity up to the list depth, at every
 //! set count, in one pass.
 //!
+//! # Storage
+//!
+//! The whole forest lives in flat lanes: one dense **MRA lane** holding every
+//! node's depth-0 (MRU) tag — which is simultaneously the direct-mapped cache
+//! contents and the operand of the stack-property early exit — and one
+//! contiguous **recency lane** where node `i`'s move-to-front list occupies
+//! `tags[i*width ..][..width]` in MRU-first order, sized to the widest
+//! requested associativity. Cold ways hold a sentinel at the tail of the
+//! list, so a miss update is one `rotate_right(1)` of the whole region
+//! followed by a front store — no valid-count bookkeeping on the hot path.
+//!
+//! # The two kernels
+//!
+//! Mirroring [`crate::DewTree`], the step kernel is compiled twice:
+//!
+//! * the **fast** kernel ([`LruTreeSimulator::new`]) keeps no work counters;
+//!   residency depth is a branchless scan of the node's whole recency region
+//!   into a position bitmask, const-specialized over the common widths
+//!   (1/2/4/8/16), and the per-associativity miss tallies are computed
+//!   without branches from the depth;
+//! * the **instrumented** kernel ([`LruTreeSimulator::instrumented`])
+//!   performs the classic MRU-first stop-at-match search over the valid
+//!   prefix with every [`LruTreeCounters`] bucket live, plus a per-depth hit
+//!   histogram ([`LruTreeSimulator::depth_hits`]).
+//!
+//! Both kernels produce bit-identical miss counts — a property-tested
+//! invariant, exactly like the FIFO kernels'.
+//!
+//! [`crate::sweep_trace`] drives this type for LRU spaces: all passes of one
+//! block size fuse into a single streamed traversal, fanned back out through
+//! [`LruTreeSimulator::pass_results`] / [`LruTreeSimulator::pass_counters`].
+//!
 //! # Examples
 //!
 //! ```
@@ -47,8 +81,9 @@ use std::fmt;
 
 use dew_trace::Record;
 
+use crate::counters::DewCounters;
 use crate::node::INVALID_TAG;
-use crate::results::AllAssocResults;
+use crate::results::{AllAssocResults, LevelResult, PassResults};
 use crate::space::{DewError, PassConfig};
 
 /// Behaviour toggles of the LRU comparator (both default to on).
@@ -72,7 +107,8 @@ impl Default for LruTreeOptions {
     }
 }
 
-/// Work counters of the LRU comparator.
+/// Work counters of the LRU comparator (instrumented kernel only; the fast
+/// kernel maintains just the request-level `accesses`/`duplicate_skips`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LruTreeCounters {
     /// Requests simulated (skipped duplicates included).
@@ -83,7 +119,8 @@ pub struct LruTreeCounters {
     pub depth_zero_stops: u64,
     /// Requests elided as consecutive duplicates.
     pub duplicate_skips: u64,
-    /// Tag comparisons performed (MRU-first sequential search).
+    /// Tag comparisons performed (the depth-0 MRA comparison of each node
+    /// evaluation plus the MRU-first sequential search below it).
     pub tag_comparisons: u64,
 }
 
@@ -101,32 +138,91 @@ impl fmt::Display for LruTreeCounters {
     }
 }
 
+/// The arena: flat lanes over all forest levels concatenated.
 #[derive(Debug, Clone)]
-struct LruLevel {
-    /// `num_sets × max_assoc` tags, each set's slice in MRU-first order.
+struct LruArena {
+    /// Dense per-node MRU tags (depth 0 of every recency list): the
+    /// direct-mapped cache contents and the stack-property early-exit
+    /// operand.
+    mra: Vec<u64>,
+    /// Contiguous recency lane: node `i`'s move-to-front list is
+    /// `tags[i*width ..][..width]`, MRU-first, sentinel-padded at the tail.
     tags: Vec<u64>,
-    /// Valid prefix length per set.
+    /// Valid prefix length per node; instrumented only (the fast kernel's
+    /// sentinel scan never needs it).
     valid: Vec<u32>,
-    /// Miss counters indexed like the associativity list (1, 2, 4, …).
+    /// Node-index base per level plus a final total, as in `DewTree`.
+    node_off: Vec<usize>,
+    /// `(1 << set_bits) - 1` per level.
+    set_mask: Vec<u64>,
+    /// Misses per `(level, threshold)`, level-major (thresholds are the
+    /// reported associativities above 1).
     misses: Vec<u64>,
+    /// Direct-mapped misses per level (from the shared MRA comparisons).
+    dm_misses: Vec<u64>,
+}
+
+impl LruArena {
+    fn new(pass: &PassConfig, width: usize, num_thresholds: usize, instrument: bool) -> Self {
+        let mut node_off = Vec::with_capacity(pass.num_levels() as usize + 1);
+        let mut set_mask = Vec::with_capacity(pass.num_levels() as usize);
+        let mut total = 0usize;
+        for set_bits in pass.min_set_bits()..=pass.max_set_bits() {
+            node_off.push(total);
+            set_mask.push((1u64 << set_bits) - 1);
+            total += 1usize << set_bits;
+        }
+        node_off.push(total);
+        let num_levels = pass.num_levels() as usize;
+        LruArena {
+            mra: vec![INVALID_TAG; total],
+            tags: vec![INVALID_TAG; total * width],
+            valid: if instrument {
+                vec![0; total]
+            } else {
+                Vec::new()
+            },
+            node_off,
+            set_mask,
+            // `max(1)`: an assoc-1-only forest (no thresholds) still
+            // iterates its levels through `chunks_exact_mut`, which needs a
+            // nonzero stride.
+            misses: vec![0; num_levels * num_thresholds.max(1)],
+            dm_misses: vec![0; num_levels],
+        }
+    }
 }
 
 /// Exact single-pass LRU simulator for all set counts in a range and all
-/// power-of-two associativities up to a maximum. See the module docs.
+/// power-of-two associativities in a range. See the module docs.
 #[derive(Debug, Clone)]
 pub struct LruTreeSimulator {
+    /// Geometry; `assoc()` reports the widest simulated associativity.
     pass: PassConfig,
     opts: LruTreeOptions,
+    /// Every reported associativity, ascending (includes 1 when the range
+    /// starts there; associativity-1 results come from the MRA lane).
     assoc_list: Vec<u32>,
-    levels: Vec<LruLevel>,
+    /// Reported associativities above 1: a hit at depth `d` misses exactly
+    /// the thresholds `<= d` (the stack property).
+    thresholds: Vec<u32>,
+    /// Recency-lane entries per node (the widest associativity).
+    width: usize,
+    arena: LruArena,
     counters: LruTreeCounters,
+    /// Hits per recency depth (`0..width`); instrumented only.
+    depth_hits: Vec<u64>,
+    /// Block of the previous request, for the CRCB-style elision.
     prev_block: u64,
+    /// Which kernel instantiation `step` dispatches to.
+    instrument: bool,
 }
 
 impl LruTreeSimulator {
     /// Builds a simulator for set counts `2^min_set_bits..=2^max_set_bits`,
     /// block size `2^block_bits` bytes, and associativities
-    /// `1, 2, 4, …, max_assoc`.
+    /// `1, 2, 4, …, max_assoc`, using the fast (uninstrumented) kernel. Use
+    /// [`LruTreeSimulator::instrumented`] when the work counters matter.
     ///
     /// # Errors
     ///
@@ -138,25 +234,90 @@ impl LruTreeSimulator {
         max_assoc: u32,
         opts: LruTreeOptions,
     ) -> Result<Self, DewError> {
-        let pass = PassConfig::new(block_bits, min_set_bits, max_set_bits, max_assoc)?;
-        let assoc_list: Vec<u32> = (0..=max_assoc.trailing_zeros()).map(|b| 1 << b).collect();
-        let levels = (min_set_bits..=max_set_bits)
-            .map(|sb| {
-                let n = 1usize << sb;
-                LruLevel {
-                    tags: vec![INVALID_TAG; n * max_assoc as usize],
-                    valid: vec![0; n],
-                    misses: vec![0; assoc_list.len()],
-                }
-            })
+        if max_assoc == 0 || !max_assoc.is_power_of_two() {
+            return Err(DewError::BadAssoc(max_assoc));
+        }
+        LruTreeSimulator::with_instrumentation(
+            block_bits,
+            (min_set_bits, max_set_bits),
+            (0, max_assoc.trailing_zeros()),
+            opts,
+            false,
+        )
+    }
+
+    /// As [`LruTreeSimulator::new`], but with the instrumented kernel: the
+    /// classic MRU-first counted search with every [`LruTreeCounters`]
+    /// bucket and the per-depth hit histogram live. Miss counts are
+    /// bit-identical to the fast kernel's — a property-tested invariant.
+    ///
+    /// # Errors
+    ///
+    /// As [`LruTreeSimulator::new`].
+    pub fn instrumented(
+        block_bits: u32,
+        min_set_bits: u32,
+        max_set_bits: u32,
+        max_assoc: u32,
+        opts: LruTreeOptions,
+    ) -> Result<Self, DewError> {
+        if max_assoc == 0 || !max_assoc.is_power_of_two() {
+            return Err(DewError::BadAssoc(max_assoc));
+        }
+        LruTreeSimulator::with_instrumentation(
+            block_bits,
+            (min_set_bits, max_set_bits),
+            (0, max_assoc.trailing_zeros()),
+            opts,
+            true,
+        )
+    }
+
+    /// Full-control constructor: inclusive `log2` ranges for the set counts
+    /// and the reported associativities (so a sweep whose space starts above
+    /// associativity 1 does not report lists it was not asked for — the
+    /// recency lane is always sized to the widest), and a runtime kernel
+    /// selection. This is the entry point [`crate::sweep_trace`] uses for
+    /// its fused per-block-size LRU passes.
+    ///
+    /// # Errors
+    ///
+    /// As [`PassConfig::new`], plus [`DewError::EmptySetRange`] when the
+    /// associativity range is inverted.
+    pub fn with_instrumentation(
+        block_bits: u32,
+        set_bits: (u32, u32),
+        assoc_bits: (u32, u32),
+        opts: LruTreeOptions,
+        instrument: bool,
+    ) -> Result<Self, DewError> {
+        if assoc_bits.0 > assoc_bits.1 {
+            return Err(DewError::EmptySetRange {
+                min_set_bits: assoc_bits.0,
+                max_set_bits: assoc_bits.1,
+            });
+        }
+        let pass = PassConfig::new(block_bits, set_bits.0, set_bits.1, 1 << assoc_bits.1)?;
+        let assoc_list: Vec<u32> = (assoc_bits.0..=assoc_bits.1).map(|b| 1 << b).collect();
+        let thresholds: Vec<u32> = (assoc_bits.0.max(1)..=assoc_bits.1)
+            .map(|b| 1 << b)
             .collect();
+        let width = 1usize << assoc_bits.1;
         Ok(LruTreeSimulator {
+            arena: LruArena::new(&pass, width, thresholds.len(), instrument),
             pass,
             opts,
             assoc_list,
-            levels,
+            thresholds,
+            width,
             counters: LruTreeCounters::default(),
+            depth_hits: if instrument {
+                vec![0; width]
+            } else {
+                Vec::new()
+            },
             prev_block: INVALID_TAG,
+            instrument,
         })
     }
 
@@ -166,16 +327,34 @@ impl LruTreeSimulator {
         &self.assoc_list
     }
 
-    /// The geometry of the forest.
+    /// The geometry of the forest (`assoc()` reports the widest list).
     #[must_use]
     pub fn pass(&self) -> &PassConfig {
         &self.pass
+    }
+
+    /// `true` when this simulator maintains the work counters.
+    #[must_use]
+    pub fn is_instrumented(&self) -> bool {
+        self.instrument
     }
 
     /// The work counters.
     #[must_use]
     pub fn counters(&self) -> &LruTreeCounters {
         &self.counters
+    }
+
+    /// Hits per recency depth (`depth_hits()[d]` counts hits whose stack
+    /// distance was exactly `d`), maintained by the instrumented kernel;
+    /// empty for fast simulators. Depth-0 hits elided as consecutive
+    /// duplicates are tallied in
+    /// [`LruTreeCounters::duplicate_skips`] instead, and a fired depth-0
+    /// stop ends the walk, so deeper levels' depth-0 hits are — like every
+    /// other saved evaluation — not re-counted.
+    #[must_use]
+    pub fn depth_hits(&self) -> &[u64] {
+        &self.depth_hits
     }
 
     /// Simulates one record (only the address matters).
@@ -200,90 +379,328 @@ impl LruTreeSimulator {
     /// As [`crate::DewTree::step`]: the block number must not collide with
     /// the internal sentinel.
     pub fn step(&mut self, addr: u64) {
-        let block = addr >> self.pass.block_bits();
+        self.step_block(addr >> self.pass.block_bits());
+    }
+
+    /// Simulates one request given as a pre-decoded block number
+    /// (`addr >> block_bits` for this pass's block size).
+    ///
+    /// # Panics
+    ///
+    /// As [`LruTreeSimulator::step`], if `block` equals the internal
+    /// sentinel.
+    pub fn step_block(&mut self, block: u64) {
         assert_ne!(
             block, INVALID_TAG,
-            "address {addr:#x} exceeds the supported range"
+            "block {block:#x} exceeds the supported range"
         );
+        if self.instrument {
+            self.kernel_instrumented(block);
+        } else {
+            self.dispatch_fast(block);
+        }
+    }
+
+    /// Simulates a batch of pre-decoded block numbers (see
+    /// `dew_trace::decode_blocks` / `dew_trace::BlockChunks`). This is the
+    /// fastest way to drive a fused LRU pass: the sweep decodes the trace
+    /// once per block size and every associativity consumes the same lane.
+    ///
+    /// # Panics
+    ///
+    /// As [`LruTreeSimulator::step`], if any block equals the internal
+    /// sentinel.
+    pub fn run_blocks(&mut self, blocks: &[u64]) {
+        if self.instrument {
+            for &b in blocks {
+                assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
+                self.kernel_instrumented(b);
+            }
+        } else {
+            macro_rules! drive {
+                ($w:literal) => {{
+                    for &b in blocks {
+                        assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
+                        self.kernel_fast::<$w>(b);
+                    }
+                }};
+            }
+            match self.width {
+                1 => drive!(1),
+                2 => drive!(2),
+                4 => drive!(4),
+                8 => drive!(8),
+                16 => drive!(16),
+                _ => drive!(0),
+            }
+        }
+    }
+
+    /// Fast-kernel dispatch on the recency-lane width: the common widths
+    /// (the paper's sweep ranges) get their own instantiation so the scan
+    /// width is a compile-time constant and the position-bitmask loop
+    /// unrolls into straight-line vectorisable compares. Anything wider
+    /// falls back to the runtime-width scan (`W = 0`).
+    fn dispatch_fast(&mut self, block: u64) {
+        match self.width {
+            1 => self.kernel_fast::<1>(block),
+            2 => self.kernel_fast::<2>(block),
+            4 => self.kernel_fast::<4>(block),
+            8 => self.kernel_fast::<8>(block),
+            16 => self.kernel_fast::<16>(block),
+            _ => self.kernel_fast::<0>(block),
+        }
+    }
+
+    /// Shared per-request prologue of both kernels: request accounting and
+    /// the CRCB-style duplicate elision. Returns `true` when the request
+    /// was elided whole.
+    #[inline(always)]
+    fn prologue(&mut self, block: u64) -> bool {
         self.counters.accesses += 1;
-        if self.opts.duplicate_elision && block == self.prev_block {
-            // The block is the MRU entry of every set on its path: a hit at
-            // depth 0 for every configuration, and move-to-front is a no-op.
-            self.counters.duplicate_skips += 1;
+        if self.opts.duplicate_elision {
+            if block == self.prev_block {
+                // The block is the MRU entry of every set on its path: a hit
+                // at depth 0 for every configuration, and move-to-front is a
+                // no-op.
+                self.counters.duplicate_skips += 1;
+                return true;
+            }
+            self.prev_block = block;
+        }
+        false
+    }
+
+    /// The fast kernel: no counter traffic. Per level, one dense MRA
+    /// comparison settles depth 0 (and the direct-mapped result); otherwise
+    /// a branchless scan of the node's whole recency region yields the hit
+    /// depth as a position bitmask, the per-threshold miss tallies fall out
+    /// of the depth without branches, and the move-to-front update is a
+    /// single prefix rotation (a whole-region rotation plus front store on
+    /// a miss — the sentinel or true LRU victim wraps around and is
+    /// overwritten).
+    ///
+    /// `W` is the compile-time lane width, or `0` for the runtime fallback.
+    fn kernel_fast<const W: usize>(&mut self, block: u64) {
+        if self.prologue(block) {
             return;
         }
-        self.prev_block = block;
-        let max_assoc = self.pass.assoc() as usize;
-
-        for li in 0..self.levels.len() {
-            let set_bits = self.pass.min_set_bits() + li as u32;
-            let set_idx = if set_bits == 0 {
-                0
+        let width = if W == 0 { self.width } else { W };
+        debug_assert_eq!(width, self.width);
+        let stop = self.opts.depth_zero_stop;
+        let nk = self.thresholds.len();
+        let a = &mut self.arena;
+        let levels = a.set_mask.iter().zip(a.node_off.iter()).zip(
+            a.misses
+                .chunks_exact_mut(nk.max(1))
+                .zip(a.dm_misses.iter_mut()),
+        );
+        for ((&mask, &off), (level_misses, level_dm_misses)) in levels {
+            let node = off + (block & mask) as usize;
+            if a.mra[node] == block {
+                if stop {
+                    // Set-refinement inclusion: MRU here means MRU at every
+                    // larger set count — no accounting or update below.
+                    return;
+                }
+                continue;
+            }
+            *level_dm_misses += 1;
+            a.mra[node] = block;
+            let region = &mut a.tags[node * width..(node + 1) * width];
+            // A resident block occupies exactly one way, so the bitmask has
+            // at most one bit; depth `width` encodes a miss.
+            let depth = if W == 0 {
+                region.iter().position(|&t| t == block).unwrap_or(width)
             } else {
-                (block & ((1u64 << set_bits) - 1)) as usize
+                let mut hit_mask = 0u32;
+                for (i, &tag) in region.iter().enumerate() {
+                    hit_mask |= u32::from(tag == block) << i;
+                }
+                if hit_mask == 0 {
+                    width
+                } else {
+                    hit_mask.trailing_zeros() as usize
+                }
             };
-            self.counters.node_evaluations += 1;
-            let level = &mut self.levels[li];
-            let base = set_idx * max_assoc;
-            let valid = level.valid[set_idx] as usize;
-            let list = &mut level.tags[base..base + max_assoc];
+            // Stack property: a hit at depth d misses every associativity
+            // <= d; a miss (depth == width) misses them all.
+            for (k, &thr) in self.thresholds.iter().enumerate() {
+                level_misses[k] += u64::from(depth >= thr as usize);
+            }
+            // Move to front. On a hit the rotation carries the matching way
+            // to the front (the store is then a no-op); on a miss the
+            // whole-region rotation wraps the tail entry — a sentinel while
+            // cold, the true LRU victim when full — to the front, where the
+            // store replaces it.
+            region[..=depth.min(width - 1)].rotate_right(1);
+            region[0] = block;
+        }
+    }
 
-            // MRU-first search: Janapsatya's temporal-locality order.
-            let mut depth = None;
-            for (d, &t) in list[..valid].iter().enumerate() {
+    /// The instrumented kernel: the classic MRU-first stop-at-match search
+    /// over the valid prefix, with every counter and the per-depth hit
+    /// histogram live. Miss counts are bit-identical to the fast kernel's.
+    fn kernel_instrumented(&mut self, block: u64) {
+        if self.prologue(block) {
+            return;
+        }
+        let width = self.width;
+        let stop = self.opts.depth_zero_stop;
+        let nk = self.thresholds.len();
+        let stride = nk.max(1);
+        let a = &mut self.arena;
+        for li in 0..a.set_mask.len() {
+            let node = a.node_off[li] + (block & a.set_mask[li]) as usize;
+            self.counters.node_evaluations += 1;
+            // Depth 0 is the dense MRA lane: one comparison, shared with the
+            // direct-mapped simulation.
+            self.counters.tag_comparisons += 1;
+            if a.mra[node] == block {
+                self.depth_hits[0] += 1;
+                if stop {
+                    self.counters.depth_zero_stops += 1;
+                    return;
+                }
+                continue;
+            }
+            a.dm_misses[li] += 1;
+            a.mra[node] = block;
+            let valid = a.valid[node] as usize;
+            let region = &mut a.tags[node * width..(node + 1) * width];
+            // MRU-first search below depth 0 (Janapsatya's temporal-locality
+            // order), stopping at the match; depth 0 was settled above.
+            let mut found = None;
+            for (d, &tag) in region.iter().enumerate().take(valid).skip(1) {
                 self.counters.tag_comparisons += 1;
-                if t == block {
-                    depth = Some(d);
+                if tag == block {
+                    found = Some(d);
                     break;
                 }
             }
-
-            match depth {
-                Some(0) => {
-                    // Depth 0: a hit for every associativity; by inclusion it
-                    // is depth 0 at every larger set count too.
-                    if self.opts.depth_zero_stop {
-                        self.counters.depth_zero_stops += 1;
-                        return;
-                    }
-                }
+            match found {
                 Some(d) => {
-                    // Stack property: miss for every associativity <= d.
-                    for (ai, &a) in self.assoc_list.iter().enumerate() {
-                        if (a as usize) <= d {
-                            level.misses[ai] += 1;
-                        }
+                    self.depth_hits[d] += 1;
+                    for (k, &thr) in self.thresholds.iter().enumerate() {
+                        a.misses[li * stride + k] += u64::from(d >= thr as usize);
                     }
-                    // Move to front preserves exact LRU order for all assocs.
-                    list[..=d].rotate_right(1);
+                    region[..=d].rotate_right(1);
                 }
                 None => {
-                    for m in &mut level.misses {
-                        *m += 1;
+                    for k in 0..nk {
+                        a.misses[li * stride + k] += 1;
                     }
-                    // Insert at the MRU position; the LRU tag of a full list
-                    // falls off the end (evicted from the widest cache; the
-                    // narrower caches' contents are the list prefixes).
-                    let occupied = valid.min(max_assoc);
-                    if occupied < max_assoc {
-                        level.valid[set_idx] = (occupied + 1) as u32;
-                    }
-                    list[..(occupied + 1).min(max_assoc)].rotate_right(1);
-                    list[0] = block;
+                    region[..=valid.min(width - 1)].rotate_right(1);
+                    region[0] = block;
+                    a.valid[node] = (valid + 1).min(width) as u32;
                 }
             }
         }
     }
 
-    /// Snapshot of the per-configuration miss counts.
+    /// Snapshot of the per-configuration miss counts (associativity 1, when
+    /// simulated, comes from the shared direct-mapped accounting).
     #[must_use]
     pub fn results(&self) -> AllAssocResults {
+        let include_dm = self.assoc_list.first() == Some(&1);
+        let nk = self.thresholds.len();
+        let stride = nk.max(1);
+        let misses = (0..self.arena.dm_misses.len())
+            .map(|li| {
+                let mut row = Vec::with_capacity(self.assoc_list.len());
+                if include_dm {
+                    row.push(self.arena.dm_misses[li]);
+                }
+                row.extend_from_slice(&self.arena.misses[li * stride..li * stride + nk]);
+                row
+            })
+            .collect();
         AllAssocResults::new(
             self.pass,
             self.counters.accesses,
             self.assoc_list.clone(),
-            self.levels.iter().map(|l| l.misses.clone()).collect(),
+            misses,
         )
+    }
+
+    /// Fans this pass out into the [`PassResults`] a standalone
+    /// `(block size, assoc)` pass would have produced, or `None` when
+    /// `assoc` was not simulated. This is how [`crate::sweep_trace`] keeps
+    /// its per-pass result shape while traversing the trace once per block
+    /// size under LRU, exactly as the FIFO scheduler does through
+    /// [`crate::MultiAssocTree::pass_results`].
+    #[must_use]
+    pub fn pass_results(&self, assoc: u32) -> Option<PassResults> {
+        if !self.assoc_list.contains(&assoc) {
+            return None;
+        }
+        let pass = PassConfig::new(
+            self.pass.block_bits(),
+            self.pass.min_set_bits(),
+            self.pass.max_set_bits(),
+            assoc,
+        )
+        .ok()?;
+        let stride = self.thresholds.len().max(1);
+        let k = self.thresholds.iter().position(|&t| t == assoc);
+        let levels = self
+            .arena
+            .dm_misses
+            .iter()
+            .enumerate()
+            .map(|(li, &dm)| {
+                let misses = match k {
+                    Some(k) => self.arena.misses[li * stride + k],
+                    None => dm, // assoc 1: the MRA lane is the simulation
+                };
+                LevelResult::new(self.pass.min_set_bits() + li as u32, misses, dm)
+            })
+            .collect();
+        Some(PassResults::new(pass, self.counters.accesses, levels))
+    }
+
+    /// The [`DewCounters`] view a standalone pass at `assoc` is entitled to
+    /// report, derived from the shared walk: one recency list serves every
+    /// associativity, so — unlike the FIFO fan-out — *all* quantities are
+    /// shared verbatim. The depth-0 stop maps onto the `mra_stops` bucket
+    /// (it is the LRU analogue of Property 2) and every other evaluation is
+    /// a search, so the [`DewCounters::is_consistent`] identity holds for
+    /// every fanned-out view. Returns `None` when `assoc` was not
+    /// simulated.
+    #[must_use]
+    pub fn pass_counters(&self, assoc: u32) -> Option<DewCounters> {
+        if !self.assoc_list.contains(&assoc) {
+            return None;
+        }
+        if !self.instrument {
+            // The fast kernel maintains only the request-level counters,
+            // exactly like `DewTree::new`.
+            return Some(DewCounters {
+                accesses: self.counters.accesses,
+                duplicate_skips: self.counters.duplicate_skips,
+                ..DewCounters::new()
+            });
+        }
+        let searches = self.counters.node_evaluations - self.counters.depth_zero_stops;
+        let search_comparisons = self.counters.tag_comparisons - self.counters.node_evaluations;
+        Some(DewCounters {
+            accesses: self.counters.accesses,
+            duplicate_skips: self.counters.duplicate_skips,
+            node_evaluations: self.counters.node_evaluations,
+            mra_stops: self.counters.depth_zero_stops,
+            searches,
+            search_comparisons,
+            tag_comparisons: self.counters.tag_comparisons,
+            ..DewCounters::new()
+        })
+    }
+
+    /// Actual heap footprint of the arena's lanes in bytes (excludes
+    /// counters and scratch).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        let a = &self.arena;
+        a.mra.len() * 8 + a.tags.len() * 8 + a.valid.len() * 4
     }
 }
 
@@ -320,20 +737,91 @@ mod tests {
     #[test]
     fn matches_reference_lru_for_all_configs() {
         let a = addrs(3000, 0x5EED_1111);
-        let mut sim = LruTreeSimulator::new(2, 0, 5, 8, LruTreeOptions::default()).expect("valid");
-        for &x in &a {
-            sim.step(x);
-        }
-        let r = sim.results();
-        for set_bits in 0..=5u32 {
-            for assoc in [1u32, 2, 4, 8] {
-                let sets = 1 << set_bits;
-                assert_eq!(
-                    r.misses(sets, assoc),
-                    Some(oracle(sets, assoc, 4, &a)),
-                    "sets={sets} assoc={assoc}"
-                );
+        for instrument in [false, true] {
+            let mut sim = LruTreeSimulator::with_instrumentation(
+                2,
+                (0, 5),
+                (0, 3),
+                LruTreeOptions::default(),
+                instrument,
+            )
+            .expect("valid");
+            for &x in &a {
+                sim.step(x);
             }
+            let r = sim.results();
+            for set_bits in 0..=5u32 {
+                for assoc in [1u32, 2, 4, 8] {
+                    let sets = 1 << set_bits;
+                    assert_eq!(
+                        r.misses(sets, assoc),
+                        Some(oracle(sets, assoc, 4, &a)),
+                        "sets={sets} assoc={assoc} instrument={instrument}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_and_instrumented_kernels_are_bit_identical() {
+        let a = addrs(4000, 0x5EED_F00D);
+        let variants = [
+            LruTreeOptions {
+                depth_zero_stop: false,
+                duplicate_elision: false,
+            },
+            LruTreeOptions {
+                depth_zero_stop: true,
+                duplicate_elision: false,
+            },
+            LruTreeOptions {
+                depth_zero_stop: false,
+                duplicate_elision: true,
+            },
+            LruTreeOptions::default(),
+        ];
+        for o in variants {
+            let mut fast = LruTreeSimulator::new(2, 0, 6, 8, o).expect("valid");
+            let mut slow = LruTreeSimulator::instrumented(2, 0, 6, 8, o).expect("valid");
+            for &x in &a {
+                fast.step(x);
+                slow.step(x);
+            }
+            assert_eq!(fast.results(), slow.results(), "{o:?}");
+            assert_eq!(fast.counters().accesses, slow.counters().accesses);
+            assert!(fast.depth_hits().is_empty());
+            assert_eq!(slow.depth_hits().len(), 8);
+        }
+    }
+
+    #[test]
+    fn run_blocks_matches_per_record_stepping() {
+        let a = addrs(3000, 0x5EED_B10C);
+        let blocks: Vec<u64> = a.iter().map(|&x| x >> 2).collect();
+        for instrument in [false, true] {
+            let mut stepped = LruTreeSimulator::with_instrumentation(
+                2,
+                (0, 5),
+                (0, 3),
+                LruTreeOptions::default(),
+                instrument,
+            )
+            .expect("valid");
+            for &x in &a {
+                stepped.step(x);
+            }
+            let mut batched = LruTreeSimulator::with_instrumentation(
+                2,
+                (0, 5),
+                (0, 3),
+                LruTreeOptions::default(),
+                instrument,
+            )
+            .expect("valid");
+            batched.run_blocks(&blocks);
+            assert_eq!(stepped.results(), batched.results());
+            assert_eq!(stepped.counters(), batched.counters());
         }
     }
 
@@ -380,7 +868,7 @@ mod tests {
             a.push(x); // immediate duplicate
         }
         let run = |o: LruTreeOptions| {
-            let mut sim = LruTreeSimulator::new(2, 0, 6, 4, o).expect("valid");
+            let mut sim = LruTreeSimulator::instrumented(2, 0, 6, 4, o).expect("valid");
             for &x in &a {
                 sim.step(x);
             }
@@ -394,6 +882,30 @@ mod tests {
         assert!(on.node_evaluations < off.node_evaluations);
         assert!(on.tag_comparisons < off.tag_comparisons);
         assert!(on.duplicate_skips > 0);
+    }
+
+    #[test]
+    fn depth_hits_histogram_tracks_stack_distances() {
+        // A cyclic 3-block loop in one set: after warmup every hit has
+        // stack distance 2 (the loop distance).
+        let a: Vec<u64> = (0..300u64).map(|i| (i % 3) * 4).collect();
+        let opts = LruTreeOptions {
+            depth_zero_stop: false,
+            duplicate_elision: false,
+        };
+        let mut sim = LruTreeSimulator::instrumented(2, 0, 0, 4, opts).expect("valid");
+        for &x in &a {
+            sim.step(x);
+        }
+        let h = sim.depth_hits();
+        assert_eq!(h.len(), 4);
+        assert_eq!(h[0], 0, "the loop never re-touches its MRU block");
+        assert_eq!(h[1], 0);
+        assert_eq!(h[2], 297, "every post-warmup access hits at depth 2");
+        assert_eq!(h[3], 0);
+        let total_hits: u64 = h.iter().sum();
+        let misses = sim.results().misses(1, 4).expect("simulated");
+        assert_eq!(total_hits + misses, a.len() as u64);
     }
 
     #[test]
@@ -437,11 +949,129 @@ mod tests {
     }
 
     #[test]
+    fn wide_runtime_lanes_use_the_fallback_scan() {
+        // Width 32 exceeds the const-dispatch table, exercising the
+        // runtime-width kernel.
+        let a = addrs(2000, 0x5EED_3C3C);
+        let mut sim = LruTreeSimulator::new(2, 0, 3, 32, LruTreeOptions::default()).expect("valid");
+        for &x in &a {
+            sim.step(x);
+        }
+        let r = sim.results();
+        for set_bits in 0..=3u32 {
+            for assoc in [1u32, 4, 32] {
+                let sets = 1 << set_bits;
+                assert_eq!(
+                    r.misses(sets, assoc),
+                    Some(oracle(sets, assoc, 4, &a)),
+                    "sets={sets} assoc={assoc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assoc_range_above_one_skips_narrow_reports() {
+        let a = addrs(2000, 0x5EED_0404);
+        let mut ranged = LruTreeSimulator::with_instrumentation(
+            2,
+            (0, 4),
+            (2, 3),
+            LruTreeOptions::default(),
+            false,
+        )
+        .expect("valid");
+        let mut full = LruTreeSimulator::new(2, 0, 4, 8, LruTreeOptions::default()).expect("valid");
+        for &x in &a {
+            ranged.step(x);
+            full.step(x);
+        }
+        assert_eq!(ranged.assoc_list(), &[4, 8]);
+        let (rr, fr) = (ranged.results(), full.results());
+        for set_bits in 0..=4u32 {
+            let sets = 1 << set_bits;
+            for assoc in [4u32, 8] {
+                assert_eq!(rr.misses(sets, assoc), fr.misses(sets, assoc));
+            }
+            assert_eq!(rr.misses(sets, 1), None, "assoc 1 not in the range");
+            assert_eq!(rr.misses(sets, 2), None, "assoc 2 not in the range");
+        }
+    }
+
+    #[test]
+    fn pass_results_fan_out_matches_all_assoc_view() {
+        let a = addrs(2500, 0x5EED_FA11);
+        for instrument in [false, true] {
+            let mut sim = LruTreeSimulator::with_instrumentation(
+                3,
+                (1, 6),
+                (0, 3),
+                LruTreeOptions::default(),
+                instrument,
+            )
+            .expect("valid");
+            for &x in &a {
+                sim.step(x);
+            }
+            let all = sim.results();
+            for &assoc in sim.assoc_list() {
+                let pr = sim.pass_results(assoc).expect("simulated");
+                assert_eq!(pr.pass().assoc(), assoc);
+                for set_bits in 1..=6u32 {
+                    let sets = 1 << set_bits;
+                    assert_eq!(
+                        pr.misses(sets, assoc),
+                        all.misses(sets, assoc),
+                        "sets={sets} assoc={assoc}"
+                    );
+                    assert_eq!(
+                        pr.misses(sets, 1),
+                        all.misses(sets, 1),
+                        "DM via assoc={assoc}"
+                    );
+                }
+                let c = sim.pass_counters(assoc).expect("simulated");
+                assert!(c.is_consistent(), "assoc={assoc}: {c}");
+                assert_eq!(c.accesses, a.len() as u64);
+            }
+            assert!(sim.pass_results(16).is_none());
+            assert!(sim.pass_counters(16).is_none());
+        }
+    }
+
+    #[test]
     fn unknown_configs_return_none() {
         let sim = LruTreeSimulator::new(2, 1, 3, 4, LruTreeOptions::default()).expect("valid");
         let r = sim.results();
         assert_eq!(r.misses(1, 4), None, "below min set count");
         assert_eq!(r.misses(8, 3), None, "unsimulated associativity");
         assert_eq!(r.misses(6, 2), None, "non power-of-two sets");
+    }
+
+    #[test]
+    fn bad_assoc_ranges_are_rejected() {
+        assert!(matches!(
+            LruTreeSimulator::new(2, 0, 4, 3, LruTreeOptions::default()),
+            Err(DewError::BadAssoc(3))
+        ));
+        assert!(matches!(
+            LruTreeSimulator::new(2, 0, 4, 0, LruTreeOptions::default()),
+            Err(DewError::BadAssoc(0))
+        ));
+        assert!(LruTreeSimulator::with_instrumentation(
+            2,
+            (0, 4),
+            (3, 1),
+            LruTreeOptions::default(),
+            false
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported range")]
+    fn sentinel_block_panics_in_batches() {
+        let mut sim = LruTreeSimulator::new(0, 0, 1, 2, LruTreeOptions::default()).expect("valid");
+        sim.run_blocks(&[0, 1, u64::MAX]);
     }
 }

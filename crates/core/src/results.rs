@@ -287,9 +287,11 @@ impl SweepOutcome {
     }
 
     /// How many times the sweep iterated the trace (equivalently, how many
-    /// times it decoded block numbers). The fused FIFO scheduler performs
-    /// exactly one traversal per block size regardless of the associativity
-    /// range; the LRU fallback traverses once per `(block, assoc)` pass.
+    /// times it decoded block numbers). Both fused schedulers — FIFO
+    /// through [`crate::MultiAssocTree`]'s per-associativity tag lists, LRU
+    /// through [`crate::lru_tree::LruTreeSimulator`]'s stack property —
+    /// perform exactly one traversal per block size regardless of the
+    /// associativity range.
     #[must_use]
     pub const fn trace_traversals(&self) -> u64 {
         self.trace_traversals

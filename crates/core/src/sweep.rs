@@ -1,36 +1,39 @@
 //! Sweep driver: cover a whole [`ConfigSpace`] with the minimal number of
-//! *trace traversals*, optionally in parallel.
+//! *trace traversals* — one per block size for **both** policies —
+//! optionally in parallel.
 //!
-//! For FIFO spaces the scheduler is **fused**: all `(block size, assoc)`
-//! passes of one block size are folded into a single [`MultiAssocTree`]
-//! traversal (shared walk, shared MRA lane, per-associativity tag lists —
-//! see the `multi_assoc` module docs), so a sweep performs exactly one
-//! decode and one traversal per block size instead of one per pass. The
-//! fused results are fanned back out into the per-pass [`PassResults`]
-//! shape, so [`SweepOutcome`] is unchanged for callers. LRU spaces fall
-//! back to one [`DewTree`] pass per `(block size, assoc)` pair (the fused
-//! lists are FIFO-only).
+//! The scheduler is **fused**: all `(block size, assoc)` passes of one
+//! block size are folded into a single traversal. Under FIFO that
+//! traversal is a [`MultiAssocTree`] (shared walk, shared MRA lane,
+//! per-associativity tag lists — see the `multi_assoc` module docs); under
+//! LRU it is an arena [`LruTreeSimulator`] whose single move-to-front
+//! recency lane answers every associativity at once through the stack
+//! property (see the `lru_tree` module docs). Either way a sweep performs
+//! exactly one decode and one traversal per block size instead of one per
+//! pass, and the fused results are fanned back out into the per-pass
+//! [`PassResults`] shape, so [`SweepOutcome`] is unchanged for callers.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use dew_trace::{decode_blocks_into, BlockChunks, Record};
+use dew_trace::{BlockChunks, Record};
 
 use crate::counters::DewCounters;
+use crate::lru_tree::{LruTreeOptions, LruTreeSimulator};
 use crate::multi_assoc::MultiAssocTree;
 use crate::options::{DewOptions, TreePolicy};
 use crate::results::{PassResults, SweepOutcome};
 use crate::space::{ConfigSpace, DewError, PassConfig};
-use crate::tree::DewTree;
 
 /// Simulates every configuration of `space` over `records`.
 ///
-/// Under FIFO (the default), the sweep schedules one **fused pass per block
-/// size**: the trace's block numbers are decoded once and streamed in
-/// chunks through a [`MultiAssocTree`] that simulates every associativity
-/// of the space simultaneously, so the trace is traversed once per block
-/// size no matter how wide the associativity range is
+/// The sweep schedules one **fused pass per block size** for either
+/// policy: the trace's block numbers are decoded once and streamed in
+/// chunks through a simulator that covers every associativity of the space
+/// simultaneously — a [`MultiAssocTree`] under FIFO (the default), an
+/// arena [`LruTreeSimulator`] under LRU — so the trace is traversed once
+/// per block size no matter how wide the associativity range is
 /// ([`SweepOutcome::trace_traversals`] reports the count). Each fused pass
 /// runs the fast (uninstrumented) batched kernel; use
 /// [`sweep_trace_instrumented`] when the per-pass [`DewCounters`] breakdown
@@ -83,7 +86,9 @@ pub fn sweep_trace(
 /// In the fused FIFO scheduler the walk-level counters (node evaluations,
 /// MRA stops) are shared by all passes of a block size and reported
 /// verbatim in each; ladder counters come from each pass's own tag lists
-/// (see [`MultiAssocTree::pass_counters`]).
+/// (see [`MultiAssocTree::pass_counters`]). In the fused LRU scheduler one
+/// recency list serves every associativity, so all counters are shared
+/// verbatim (see [`LruTreeSimulator::pass_counters`]).
 ///
 /// # Errors
 ///
@@ -132,7 +137,9 @@ fn sweep_trace_with(
         passes.iter().map(|_| OnceLock::new()).collect();
 
     let trace_traversals = if options.policy == TreePolicy::Lru {
-        run_per_pass(&passes, records, options, threads, instrument, &slots)
+        run_fused_lru(
+            space, &passes, records, options, threads, instrument, &slots,
+        )
     } else {
         run_fused(
             space, &passes, records, options, threads, instrument, &slots,
@@ -152,9 +159,9 @@ fn sweep_trace_with(
             misses.insert(key, level.misses());
             if include_dm {
                 // Every pass of a block size re-derives the same DM results;
-                // cross-check them (a free internal consistency oracle —
-                // trivially shared within a fused job, still meaningful
-                // across LRU fallback passes).
+                // cross-check them (a free internal consistency oracle;
+                // trivially shared within one fused job, meaningful when a
+                // space ever splits a block size across jobs).
                 let prev = dm_seen.insert((level.sets(), pass.block_bytes()), level.dm_misses());
                 if let Some(prev) = prev {
                     assert_eq!(
@@ -179,10 +186,8 @@ fn sweep_trace_with(
     ))
 }
 
-/// The fused FIFO scheduler: one decode and one [`MultiAssocTree`]
-/// traversal per block size. Returns the traversal count (the job count).
 /// Groups the passes by block size through an indexed map built once per
-/// sweep; the schedulers' claim paths never scan.
+/// sweep (shared by both fused schedulers); the claim paths never scan.
 fn group_by_block(passes: &[PassConfig]) -> Vec<FusedJob> {
     let mut job_of_block: HashMap<u32, usize> = HashMap::new();
     let mut jobs: Vec<FusedJob> = Vec::new();
@@ -203,6 +208,8 @@ fn group_by_block(passes: &[PassConfig]) -> Vec<FusedJob> {
     jobs
 }
 
+/// The fused FIFO scheduler: one decode and one [`MultiAssocTree`]
+/// traversal per block size. Returns the traversal count (the job count).
 fn run_fused(
     space: &ConfigSpace,
     passes: &[PassConfig],
@@ -254,14 +261,16 @@ fn run_fused(
     jobs.len() as u64
 }
 
-/// The per-pass fallback (LRU spaces): one [`DewTree`] traversal per
-/// `(block size, assoc)` pair. Work is distributed at the same granularity
-/// as the fused scheduler — one claimed unit per block size, whose passes
-/// run sequentially over the claiming worker's single decoded lane — so
-/// each block size is decoded exactly once and peak extra memory stays
-/// bounded by one lane per worker, never one per pass. Returns the
-/// traversal count (every pass still iterates the lane once).
-fn run_per_pass(
+/// The fused LRU scheduler: one decode and one arena [`LruTreeSimulator`]
+/// traversal per block size — the stack property makes a single
+/// move-to-front recency lane exact for every associativity of the job at
+/// once, so LRU sweeps pay exactly the traversal count FIFO pays. The
+/// depth-0 early exit (the LRU analogue of the MRA stop, sound through
+/// set-refinement inclusion) is always on — it is a pure optimisation —
+/// and the CRCB-style elision follows [`DewOptions::dup_elision`]. Returns
+/// the traversal count (the job count).
+fn run_fused_lru(
+    space: &ConfigSpace,
     passes: &[PassConfig],
     records: &[Record],
     options: DewOptions,
@@ -272,32 +281,49 @@ fn run_per_pass(
     let jobs = group_by_block(passes);
     let workers = worker_count(threads, jobs.len());
     let next = AtomicUsize::new(0);
+    let lru_opts = LruTreeOptions {
+        depth_zero_stop: true,
+        duplicate_elision: options.dup_elision,
+    };
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| {
-                let mut blocks: Vec<u64> = Vec::new();
+                let mut chunks = BlockChunks::new(&[], 0, BlockChunks::DEFAULT_CHUNK);
                 loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(j) else { break };
-                    decode_blocks_into(records, job.block_bits, &mut blocks);
+                    let mut sim = LruTreeSimulator::with_instrumentation(
+                        job.block_bits,
+                        space.set_bits(),
+                        job.assoc_bits,
+                        lru_opts,
+                        instrument,
+                    )
+                    .expect("pass geometry validated above");
+                    chunks.reset(records, job.block_bits);
+                    while let Some(chunk) = chunks.next_chunk() {
+                        sim.run_blocks(chunk);
+                    }
                     for &i in &job.pass_idx {
-                        let mut tree =
-                            DewTree::with_instrumentation(passes[i], options, instrument)
-                                .expect("pass and options validated above");
-                        tree.run_blocks(&blocks);
-                        let claimed = slots[i].set((tree.results(), *tree.counters()));
+                        let assoc = passes[i].assoc();
+                        let fanned = (
+                            sim.pass_results(assoc).expect("job covers its passes"),
+                            sim.pass_counters(assoc).expect("job covers its passes"),
+                        );
+                        let claimed = slots[i].set(fanned);
                         assert!(claimed.is_ok(), "slot {i} claimed by exactly one worker");
                     }
                 }
             });
         }
     });
-    passes.len() as u64
+    jobs.len() as u64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tree::DewTree;
     use dew_cachesim::{simulate_trace, CacheConfig, Replacement};
 
     fn trace(n: usize) -> Vec<Record> {
@@ -387,15 +413,16 @@ mod tests {
     }
 
     #[test]
-    fn lru_fallback_traverses_once_per_pass() {
+    fn lru_sweep_fuses_to_one_traversal_per_block_size() {
         let records = trace(400);
-        let space = ConfigSpace::new((0, 3), (2, 3), (0, 1)).expect("valid");
+        let space = ConfigSpace::new((0, 3), (2, 3), (0, 2)).expect("valid");
         let outcome = sweep_trace(&space, &records, DewOptions::lru(), 2).expect("sweep");
         assert_eq!(
             outcome.trace_traversals(),
-            space.passes().len() as u64,
-            "LRU has no fused lists"
+            2,
+            "two block sizes, two traversals — the stack property fuses the rest"
         );
+        assert_eq!(outcome.passes().len(), 4, "per-pass shape is preserved");
         for (sets, assoc, block) in space.configs() {
             let expected = simulate_trace(
                 CacheConfig::new(sets, assoc, block, Replacement::Lru).expect("valid"),
@@ -404,6 +431,30 @@ mod tests {
             .misses();
             assert_eq!(outcome.misses(sets, assoc, block), Some(expected));
         }
+    }
+
+    #[test]
+    fn instrumented_lru_sweep_shares_the_walk_and_matches_fast() {
+        let records = trace(700);
+        let space = ConfigSpace::new((0, 4), (2, 2), (0, 3)).expect("valid");
+        let fast = sweep_trace(&space, &records, DewOptions::lru(), 0).expect("sweep");
+        let slow = sweep_trace_instrumented(&space, &records, DewOptions::lru(), 0).expect("sweep");
+        assert_eq!(slow.trace_traversals(), 1, "one block size, one traversal");
+        let mut a = fast.sorted();
+        let mut b = slow.sorted();
+        a.sort_by_key(|c| (c.block_bytes, c.assoc, c.sets));
+        b.sort_by_key(|c| (c.block_bytes, c.assoc, c.sets));
+        assert_eq!(a, b, "instrumentation must not change LRU miss counts");
+        // One recency lane serves every associativity: the fanned counters
+        // are the shared single-walk quantities, and they are consistent.
+        let walks: Vec<DewCounters> = slow.passes().iter().map(|(_, c)| *c).collect();
+        for c in &walks {
+            assert!(c.is_consistent(), "{c}");
+            assert_eq!(c.accesses, 700);
+            assert!(c.node_evaluations > 0);
+            assert_eq!(c, &walks[0], "all passes share the single fused walk");
+        }
+        assert!(fast.passes().iter().all(|(_, c)| c.node_evaluations == 0));
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Property-based equivalence of the fused **LRU** sweep scheduler: for
+//! arbitrary traces, configuration spaces and thread counts, the fused
+//! one-traversal-per-block-size LRU sweep (arena `LruTreeSimulator`, stack
+//! property) must be bit-identical to the per-pass schedule (one LRU
+//! `DewTree` per `(block size, assoc)` pair) and to the `dew-cachesim`
+//! per-configuration LRU oracle — and must report exactly one trace
+//! traversal per block size, just like FIFO.
+
+use proptest::prelude::*;
+
+use dew_cachesim::{simulate_trace, CacheConfig, Replacement};
+use dew_core::lru_tree::{LruTreeOptions, LruTreeSimulator};
+use dew_core::{sweep_trace, sweep_trace_instrumented, ConfigSpace, DewOptions, DewTree};
+use dew_trace::Record;
+
+/// Traces mixing tight locality with scattered far references, as in the
+/// exactness properties.
+fn trace_strategy() -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..256).prop_map(|a| Record::read(a * 4)), // hot words
+            (0u64..65_536).prop_map(Record::read),         // scattered
+            (0u64..64).prop_map(Record::write),            // hot bytes
+        ],
+        1..400,
+    )
+}
+
+/// Small but shape-diverse spaces: varying set ranges, 1-2 block sizes,
+/// associativity ranges that may or may not include 1.
+fn space_strategy() -> impl Strategy<Value = ConfigSpace> {
+    (0u32..3, 0u32..4, 0u32..4, 0u32..2, 0u32..3, 0u32..2).prop_map(
+        |(min_s, extra_s, min_b, extra_b, min_a, extra_a)| {
+            ConfigSpace::new(
+                (min_s, min_s + extra_s),
+                (min_b, min_b + extra_b),
+                (min_a, min_a + extra_a),
+            )
+            .expect("ranges are non-inverted by construction")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fused_lru_sweep_matches_per_pass_and_oracle(
+        records in trace_strategy(),
+        space in space_strategy(),
+        threads in 0usize..4,
+    ) {
+        let outcome = sweep_trace(&space, &records, DewOptions::lru(), threads)
+            .expect("sweep");
+
+        // One traversal (and one decode) per block size, never per pass —
+        // the stack property makes LRU fuse exactly like FIFO.
+        let (blo, bhi) = space.block_bits();
+        prop_assert_eq!(outcome.trace_traversals(), u64::from(bhi - blo + 1));
+
+        // Bit-identical to the per-pass DEW-LRU schedule …
+        for pass in space.passes() {
+            let mut tree = DewTree::new(pass, DewOptions::lru()).expect("sound");
+            tree.run(records.iter().copied());
+            let r = tree.results();
+            for level in r.levels() {
+                prop_assert_eq!(
+                    outcome.misses(level.sets(), pass.assoc(), pass.block_bytes()),
+                    Some(level.misses()),
+                    "{} diverged from the per-pass LRU tree", pass
+                );
+            }
+        }
+
+        // … and exact against the brute-force LRU oracle.
+        for (sets, assoc, block) in space.configs() {
+            let config = CacheConfig::new(sets, assoc, block, Replacement::Lru)
+                .expect("valid");
+            let expected = simulate_trace(config, &records).misses();
+            prop_assert_eq!(
+                outcome.misses(sets, assoc, block),
+                Some(expected),
+                "oracle mismatch at ({}, {}, {})", sets, assoc, block
+            );
+        }
+    }
+
+    #[test]
+    fn lru_thread_count_and_instrumentation_do_not_change_results(
+        records in trace_strategy(),
+        space in space_strategy(),
+    ) {
+        let base = sweep_trace(&space, &records, DewOptions::lru(), 1).expect("sweep");
+        for threads in [0usize, 2, 3] {
+            let par = sweep_trace(&space, &records, DewOptions::lru(), threads)
+                .expect("sweep");
+            prop_assert_eq!(base.sorted(), par.sorted(), "threads={}", threads);
+            prop_assert_eq!(base.trace_traversals(), par.trace_traversals());
+        }
+        let slow = sweep_trace_instrumented(&space, &records, DewOptions::lru(), 2)
+            .expect("sweep");
+        prop_assert_eq!(base.sorted(), slow.sorted(), "instrumentation changed results");
+        prop_assert_eq!(base.trace_traversals(), slow.trace_traversals());
+        for (pass, c) in slow.passes() {
+            prop_assert!(c.is_consistent(), "{}: {}", pass, c);
+            prop_assert_eq!(c.accesses, records.len() as u64);
+        }
+    }
+
+    #[test]
+    fn lru_kernels_agree_across_options_and_drive_paths(
+        records in trace_strategy(),
+        max_set_bits in 0u32..5,
+        assoc_hi_bits in 0u32..4,
+        block_bits in 0u32..4,
+    ) {
+        // Every option combination, both kernels, per-record stepping:
+        // identical results (the LRU analogue of proptest_fused_sweep's
+        // kernel property).
+        let mut reference = None;
+        for depth_zero_stop in [false, true] {
+            for duplicate_elision in [false, true] {
+                let opts = LruTreeOptions { depth_zero_stop, duplicate_elision };
+                for instrument in [false, true] {
+                    let mut sim = LruTreeSimulator::with_instrumentation(
+                        block_bits,
+                        (0, max_set_bits),
+                        (0, assoc_hi_bits),
+                        opts,
+                        instrument,
+                    )
+                    .expect("valid");
+                    sim.run(records.iter().copied());
+                    let r = sim.results();
+                    match &reference {
+                        None => reference = Some(r),
+                        Some(expected) => prop_assert_eq!(
+                            &r, expected,
+                            "diverged under {:?} instrument={}", opts, instrument
+                        ),
+                    }
+                }
+            }
+        }
+        // The batched drive path matches per-record stepping.
+        let blocks: Vec<u64> = records.iter().map(|r| r.addr >> block_bits).collect();
+        let mut batched = LruTreeSimulator::with_instrumentation(
+            block_bits,
+            (0, max_set_bits),
+            (0, assoc_hi_bits),
+            LruTreeOptions::default(),
+            true,
+        )
+        .expect("valid");
+        batched.run_blocks(&blocks);
+        prop_assert_eq!(Some(batched.results()), reference);
+    }
+}
+
+/// The acceptance criterion, spelled out for LRU: a sweep over
+/// associativities 1..=8 at a fixed block size performs exactly one decode
+/// and one trace traversal, verified through the instrumented walk counters
+/// (every pass of the block size reports the *same* shared walk, whose
+/// access count equals the trace length — i.e. the trace was iterated
+/// once).
+#[test]
+fn assoc_1_to_8_lru_sweep_is_one_traversal() {
+    let records: Vec<Record> = (0..4000u64)
+        .map(|i| Record::read((i.wrapping_mul(2654435761) >> 7) % (1 << 13)))
+        .collect();
+    let space = ConfigSpace::new((0, 8), (2, 2), (0, 3)).expect("valid");
+    let outcome = sweep_trace_instrumented(&space, &records, DewOptions::lru(), 0).expect("sweep");
+    assert_eq!(
+        outcome.trace_traversals(),
+        1,
+        "one block size, one traversal"
+    );
+    assert_eq!(outcome.passes().len(), 3, "passes for assoc 2, 4, 8");
+    let walks: Vec<_> = outcome
+        .passes()
+        .iter()
+        .map(|(_, c)| (c.accesses, c.node_evaluations, c.mra_stops))
+        .collect();
+    for w in &walks {
+        assert_eq!(w.0, records.len() as u64);
+        assert!(w.1 > 0, "the walk was instrumented");
+        assert_eq!(w, &walks[0], "all passes share the single fused walk");
+    }
+    // And the fused results remain bit-identical to the per-pass LRU path
+    // and the reference oracle.
+    for pass in space.passes() {
+        let mut tree = DewTree::new(pass, DewOptions::lru()).expect("sound");
+        tree.run(records.iter().copied());
+        for level in tree.results().levels() {
+            assert_eq!(
+                outcome.misses(level.sets(), pass.assoc(), pass.block_bytes()),
+                Some(level.misses())
+            );
+            assert_eq!(
+                outcome.misses(level.sets(), 1, pass.block_bytes()),
+                Some(level.dm_misses())
+            );
+        }
+    }
+    for (sets, assoc, block) in space.configs() {
+        let expected = simulate_trace(
+            CacheConfig::new(sets, assoc, block, Replacement::Lru).expect("valid"),
+            &records,
+        )
+        .misses();
+        assert_eq!(outcome.misses(sets, assoc, block), Some(expected));
+    }
+}
