@@ -22,7 +22,12 @@
 //!   associativity 2/4/8 back to back, one shared decode;
 //! * `fused_lru` — the arena `LruTreeSimulator`: every associativity 1..=8
 //!   in **one** traversal via the stack property (decode included);
-//! * `fused_lru_instrumented` — fused LRU with the counted MRU-first search.
+//! * `fused_lru_instrumented` — fused LRU with the counted MRU-first search;
+//! * `explore_pruned` / `explore_exhaustive` — the design-space exploration
+//!   engine end-to-end (fused FIFO+LRU sweeps, energy scoring, Pareto
+//!   frontier) over an 11×3×4×2 space; `ns_per_step`/`steps_per_sec` count
+//!   *simulated accesses* (requests × trace traversals), so the rate is
+//!   comparable to the kernel variants above.
 //!
 //! The JSON also records `trace_traversals` per sweep shape so the fusion
 //! win stays visible in the perf trajectory.
@@ -37,7 +42,8 @@ use std::time::Instant;
 use dew_bench::report::thousands;
 use dew_bench::suite::SuiteScale;
 use dew_core::lru_tree::{LruTreeOptions, LruTreeSimulator};
-use dew_core::{DewOptions, DewTree, MultiAssocTree, PassConfig};
+use dew_core::{ConfigSpace, DewOptions, DewTree, MultiAssocTree, PassConfig, TreePolicy};
+use dew_explore::{explore_trace, EnergyModel, ExplorationSpace, ParetoMode};
 use dew_trace::{decode_blocks, BlockChunks};
 use dew_workloads::mediabench::App;
 
@@ -261,6 +267,56 @@ fn main() {
         record_variant(name, secs);
     }
 
+    // The explore shape: design-space exploration end-to-end — fused
+    // FIFO+LRU sweeps (one traversal per block size per policy), analytic
+    // scoring, and Pareto-frontier extraction — over an 11 set counts ×
+    // 3 block sizes × 4 associativities × 2 policies space. Steps are
+    // *simulated accesses* (requests × trace traversals) so the rate is
+    // comparable to the kernel variants; both modes are cross-checked to
+    // produce the identical frontier.
+    let explore_space =
+        ExplorationSpace::new(ConfigSpace::new((0, 10), (2, 4), (0, 3)).expect("valid space"))
+            .with_policies(&[TreePolicy::Fifo, TreePolicy::Lru]);
+    let explore_model = EnergyModel::default();
+    let frontier_reference = explore_trace(
+        &explore_space,
+        records,
+        &explore_model,
+        ParetoMode::Exhaustive,
+        1,
+    )
+    .expect("explore")
+    .frontier();
+    let explore_traversals: u64 = 3 * 2; // block sizes x policies
+    for (name, mode) in [
+        ("explore_pruned", ParetoMode::Pruned),
+        ("explore_exhaustive", ParetoMode::Exhaustive),
+    ] {
+        let secs = best_of(samples, || {
+            let report =
+                explore_trace(&explore_space, records, &explore_model, mode, 1).expect("explore");
+            assert_eq!(report.trace_traversals(), explore_traversals);
+            assert_eq!(
+                report.frontier().len(),
+                frontier_reference.len(),
+                "{name}: frontier diverged"
+            );
+        });
+        let steps = n * explore_traversals as f64;
+        let v = Variant {
+            name,
+            ns_per_step: secs * 1e9 / steps,
+            steps_per_sec: steps / secs,
+        };
+        println!(
+            "{:<28} {:>8.2} ns/step  {:>10} steps/s",
+            v.name,
+            v.ns_per_step,
+            thousands(v.steps_per_sec as u64)
+        );
+        variants.push(v);
+    }
+
     let rate = |name: &str| {
         variants
             .iter()
@@ -274,6 +330,8 @@ fn main() {
     println!("speedup fused_multi_assoc vs per_assoc_run_blocks: {fused_speedup:.2}x");
     let fused_lru_speedup = rate("fused_lru") / rate("per_assoc_lru_run_blocks");
     println!("speedup fused_lru vs per_assoc_lru_run_blocks: {fused_lru_speedup:.2}x");
+    let explore_ratio = rate("explore_pruned") / rate("explore_exhaustive");
+    println!("explore throughput pruned vs exhaustive: {explore_ratio:.2}x");
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -310,7 +368,9 @@ fn main() {
          \"trace_traversals\": 1}},\n    {{\"name\": \
          \"lru_per_assoc_passes_a1_{FUSED_MAX_ASSOC}\", \
          \"trace_traversals\": {n_passes}}},\n    {{\"name\": \
-         \"lru_fused_a1_{FUSED_MAX_ASSOC}\", \"trace_traversals\": 1}}\n  ],",
+         \"lru_fused_a1_{FUSED_MAX_ASSOC}\", \"trace_traversals\": 1}},\n    \
+         {{\"name\": \"explore_s11_b3_a4_fifo_lru\", \
+         \"trace_traversals\": {explore_traversals}}}\n  ],",
         n_passes = PER_ASSOC_PASSES.len()
     );
     let _ = writeln!(
@@ -323,7 +383,11 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"speedup_fused_lru_vs_per_assoc\": {fused_lru_speedup:.3}"
+        "  \"speedup_fused_lru_vs_per_assoc\": {fused_lru_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"explore_pruned_vs_exhaustive\": {explore_ratio:.3}"
     );
     json.push_str("}\n");
 

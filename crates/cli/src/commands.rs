@@ -5,8 +5,11 @@ use std::path::Path;
 
 use dew_cachesim::classify::ThreeCClassifier;
 use dew_cachesim::{AllocatePolicy, Cache, CacheConfig, Replacement, WritePolicy};
-use dew_core::{sweep_trace, sweep_trace_instrumented, ConfigSpace, DewOptions};
-use dew_explore::{best_edp_under, evaluate_sweep, pareto_front, EnergyModel};
+use dew_core::{sweep_trace, sweep_trace_instrumented, ConfigSpace, DewOptions, TreePolicy};
+use dew_explore::{
+    best_edp_under, evaluate_sweep, explore_trace, pareto_front, EnergyModel, ExplorationSpace,
+    ParetoMode,
+};
 use dew_trace::Trace;
 use dew_workloads::mediabench::App;
 
@@ -34,6 +37,7 @@ where
     match command {
         "simulate" => simulate(&args),
         "sweep" => sweep(&args),
+        "explore" => explore(&args),
         "verify" => verify(&args),
         "stats" => stats(&args),
         "convert" => convert(&args),
@@ -258,6 +262,146 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses a comma-separated policy list (`fifo`, `lru`, or `fifo,lru`).
+fn parse_policies(s: &str) -> Result<Vec<TreePolicy>, CliError> {
+    let mut policies = Vec::new();
+    for part in s.split(',') {
+        match part.trim() {
+            "fifo" => policies.push(TreePolicy::Fifo),
+            "lru" => policies.push(TreePolicy::Lru),
+            other => {
+                return Err(CliError::Args(ArgsError::BadValue {
+                    key: "policies".into(),
+                    value: other.into(),
+                    ty: "comma-separated policy list (fifo|lru|fifo,lru)",
+                }))
+            }
+        }
+    }
+    Ok(policies)
+}
+
+fn explore(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&[
+        "trace", "sets", "blocks", "assocs", "policies", "mode", "threads", "budget", "json",
+        "csv", "top",
+    ])?;
+    let trace = load_trace(&args.require::<String>("trace")?)?;
+    let sets = parse_range(args.get("sets").unwrap_or("0..14"), "sets")?;
+    let blocks = parse_range(args.get("blocks").unwrap_or("0..6"), "blocks")?;
+    let assocs = parse_range(args.get("assocs").unwrap_or("0..4"), "assocs")?;
+    let space = ConfigSpace::new(sets, blocks, assocs)?;
+    let policies = parse_policies(args.get("policies").unwrap_or("fifo"))?;
+    let mode = match args.get("mode").unwrap_or("pruned") {
+        "pruned" => ParetoMode::Pruned,
+        "exhaustive" => ParetoMode::Exhaustive,
+        other => {
+            return Err(CliError::Args(ArgsError::BadValue {
+                key: "mode".into(),
+                value: other.into(),
+                ty: "frontier extraction mode (pruned|exhaustive)",
+            }))
+        }
+    };
+    let budget = match args.get("budget") {
+        None => None,
+        Some(_) => Some(args.require::<u64>("budget")?),
+    };
+    let threads = args.get_or("threads", 0usize)?;
+    let top = args.get_or("top", 12usize)?;
+
+    let exploration = ExplorationSpace::new(space)
+        .with_policies(&policies)
+        .with_budget(budget);
+    let start = std::time::Instant::now();
+    let report = explore_trace(
+        &exploration,
+        trace.records(),
+        &EnergyModel::default(),
+        mode,
+        threads,
+    )?;
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let policy_names: Vec<String> = exploration
+        .policies()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let mut out = format!(
+        "explored {} candidates ({space}; policies {}) over {} requests in {elapsed:.2}s\n",
+        report.candidates(),
+        policy_names.join("+"),
+        report.accesses(),
+    );
+    out.push_str(&format!(
+        "fused sweeps: {} trace traversals total (one per block size per policy), \
+         {:.2}s in kernels\n",
+        report.trace_traversals(),
+        report.sweep_seconds(),
+    ));
+    let frontier = report.frontier();
+    out.push_str(&format!(
+        "mode {}: {} over budget, {} pruned as dominated, {} points scored, \
+         frontier size {}\n",
+        report.mode(),
+        report.over_budget(),
+        report.pruned_dominated(),
+        report.points().len(),
+        frontier.len(),
+    ));
+
+    out.push_str(&format!(
+        "\nPareto frontier (miss rate x energy x size), best {} by energy:\n",
+        top.min(frontier.len())
+    ));
+    out.push_str(&format!(
+        "{:>6} {:>8} {:>6} {:>7} {:>9} {:>10} {:>12} {:>12}\n",
+        "policy", "sets", "assoc", "block", "bytes", "miss rate", "energy(nJ)", "cycles"
+    ));
+    for p in frontier.iter().take(top) {
+        let e = &p.evaluation;
+        out.push_str(&format!(
+            "{:>6} {:>8} {:>6} {:>7} {:>9} {:>9.4}% {:>12.1} {:>12}\n",
+            p.policy.to_string(),
+            e.geometry.sets,
+            e.geometry.assoc,
+            e.geometry.block_bytes,
+            e.geometry.total_bytes(),
+            e.miss_rate() * 100.0,
+            e.energy_nj,
+            e.cycles,
+        ));
+    }
+    if frontier.len() > top {
+        out.push_str(&format!("  ... and {} more\n", frontier.len() - top));
+    }
+
+    if let Some(cap) = budget {
+        for &policy in exploration.policies() {
+            let evals = report.evaluations(policy);
+            match best_edp_under(&evals, cap) {
+                Some(best) => {
+                    out.push_str(&format!("best EDP within {cap} B under {policy}: {best}\n"));
+                }
+                None => out.push_str(&format!(
+                    "no {policy} configuration fits within {cap} bytes\n"
+                )),
+            }
+        }
+    }
+
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.to_json())?;
+        out.push_str(&format!("\njson written to {path}\n"));
+    }
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, report.to_csv())?;
+        out.push_str(&format!("csv written to {path}\n"));
+    }
+    Ok(out)
+}
+
 fn verify(args: &Args) -> Result<String, CliError> {
     args.reject_unknown(&["trace", "sets", "blocks", "assocs", "policy", "threads"])?;
     let trace = load_trace(&args.require::<String>("trace")?)?;
@@ -310,7 +454,9 @@ fn verify(args: &Args) -> Result<String, CliError> {
         Ok(out)
     } else {
         out.push_str(&mismatches.join("\n"));
-        Err(CliError::Usage(format!("{out}\nverification FAILED")))
+        Err(CliError::Verification(format!(
+            "{out}\nverification FAILED"
+        )))
     }
 }
 
@@ -510,6 +656,100 @@ mod tests {
         .expect("sweep with counters");
         assert!(counted.contains("per-pass work counters"), "{counted}");
         assert!(counted.contains("evaluations"), "{counted}");
+        let _ = std::fs::remove_file(&bin);
+    }
+
+    #[test]
+    fn explore_reports_frontier_and_emits_json_csv() {
+        let bin = tmp("e.dewt");
+        let json = tmp("e.json");
+        let csv = tmp("e.csv");
+        run([
+            "generate",
+            "--app",
+            "mpeg2_dec",
+            "--requests",
+            "8000",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
+        let msg = run([
+            "explore",
+            "--trace",
+            &bin,
+            "--sets",
+            "0..4",
+            "--blocks",
+            "2..4",
+            "--assocs",
+            "0..2",
+            "--policies",
+            "fifo,lru",
+            "--budget",
+            "4096",
+            "--json",
+            &json,
+            "--csv",
+            &csv,
+        ])
+        .expect("explore");
+        // 5 sets x 3 blocks x 3 assocs x 2 policies = 90 candidates …
+        assert!(msg.contains("explored 90 candidates"), "{msg}");
+        // … through 3 block sizes x 2 policies = 6 fused traversals.
+        assert!(msg.contains("6 trace traversals total"), "{msg}");
+        assert!(msg.contains("Pareto frontier"), "{msg}");
+        assert!(msg.contains("best EDP within 4096 B under fifo"), "{msg}");
+        assert!(msg.contains("best EDP within 4096 B under lru"), "{msg}");
+        let json_text = std::fs::read_to_string(&json).expect("json written");
+        assert!(json_text.contains("\"trace_traversals\": 6"), "{json_text}");
+        assert!(json_text.contains("\"pareto\": true"));
+        let csv_text = std::fs::read_to_string(&csv).expect("csv written");
+        assert!(csv_text.starts_with("policy,sets,"));
+        assert!(csv_text.lines().count() > 1);
+        let _ = std::fs::remove_file(&bin);
+        let _ = std::fs::remove_file(&json);
+        let _ = std::fs::remove_file(&csv);
+    }
+
+    #[test]
+    fn explore_modes_agree_and_bad_values_error() {
+        let bin = tmp("em.dewt");
+        run([
+            "generate",
+            "--app",
+            "cjpeg",
+            "--requests",
+            "5000",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
+        let base = [
+            "explore", "--trace", &bin, "--sets", "0..3", "--blocks", "2..3", "--assocs", "0..2",
+            "--top", "99",
+        ];
+        let pruned = run(base.iter().copied().chain(["--mode", "pruned"])).expect("pruned");
+        let exhaustive =
+            run(base.iter().copied().chain(["--mode", "exhaustive"])).expect("exhaustive");
+        // The frontier tables (everything from the "Pareto frontier" header
+        // to the end) must be identical across modes.
+        let table = |s: &str| {
+            let i = s.find("\nPareto frontier").expect("frontier section");
+            s[i..].to_owned()
+        };
+        assert_eq!(table(&pruned), table(&exhaustive));
+        assert!(pruned.contains("mode pruned"), "{pruned}");
+        assert!(exhaustive.contains("0 pruned as dominated"), "{exhaustive}");
+
+        assert!(matches!(
+            run(["explore", "--trace", &bin, "--mode", "sideways"]),
+            Err(CliError::Args(ArgsError::BadValue { key, .. })) if key == "mode"
+        ));
+        assert!(matches!(
+            run(["explore", "--trace", &bin, "--policies", "belady"]),
+            Err(CliError::Args(ArgsError::BadValue { key, .. })) if key == "policies"
+        ));
         let _ = std::fs::remove_file(&bin);
     }
 

@@ -1,4 +1,17 @@
-//! The CLI's unified error type.
+//! The CLI's unified error type and the process exit-code contract.
+//!
+//! The `dew` binary maps every outcome to one of three exit codes, chosen
+//! so scripts can distinguish "you called it wrong" from "it ran and
+//! failed" (the same split `grep` and `diff` users rely on):
+//!
+//! | code | meaning | produced by |
+//! |------|---------|-------------|
+//! | 0 | success | a command returning `Ok` |
+//! | 1 | execution failure | [`CliError::Trace`], [`CliError::Config`], [`CliError::Dew`], [`CliError::Io`], [`CliError::Verification`] |
+//! | 2 | usage error | [`CliError::Usage`], [`CliError::Args`] |
+//!
+//! The mapping lives in [`CliError::exit_code`]; `main` applies it and
+//! prints the error on stderr.
 
 use std::error::Error;
 use std::fmt;
@@ -20,6 +33,26 @@ pub enum CliError {
     Dew(dew_core::DewError),
     /// Filesystem problems.
     Io(std::io::Error),
+    /// `dew verify` found miss-count mismatches between DEW and the
+    /// reference simulator — the run executed, the cross-check failed.
+    Verification(String),
+}
+
+impl CliError {
+    /// The process exit code for this error: `2` for usage problems
+    /// ([`CliError::Usage`], [`CliError::Args`] — the command never ran),
+    /// `1` for everything that failed while running. Success exits `0`.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) | CliError::Args(_) => 2,
+            CliError::Trace(_)
+            | CliError::Config(_)
+            | CliError::Dew(_)
+            | CliError::Io(_)
+            | CliError::Verification(_) => 1,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -31,6 +64,7 @@ impl fmt::Display for CliError {
             CliError::Config(e) => write!(f, "configuration error: {e}"),
             CliError::Dew(e) => write!(f, "dew error: {e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Verification(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -38,7 +72,7 @@ impl fmt::Display for CliError {
 impl Error for CliError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            CliError::Usage(_) => None,
+            CliError::Usage(_) | CliError::Verification(_) => None,
             CliError::Args(e) => Some(e),
             CliError::Trace(e) => Some(e),
             CliError::Config(e) => Some(e),
@@ -89,5 +123,19 @@ mod tests {
         assert!(e.source().is_some());
         let e = CliError::Usage("no command".into());
         assert!(e.source().is_none());
+        let e = CliError::Verification("mismatch".into());
+        assert!(e.source().is_none());
+        assert_eq!(e.to_string(), "mismatch");
+    }
+
+    #[test]
+    fn exit_codes_split_usage_from_execution() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(
+            CliError::from(ArgsError::Unknown("x".into())).exit_code(),
+            2
+        );
+        assert_eq!(CliError::Verification("x".into()).exit_code(), 1);
+        assert_eq!(CliError::from(std::io::Error::other("x")).exit_code(), 1);
     }
 }

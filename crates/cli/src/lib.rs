@@ -6,10 +6,13 @@
 //! ```text
 //! dew simulate --trace t.din --sets 64 --assoc 4 --block 16 [--policy fifo]
 //! dew sweep    --trace t.din [--sets 0..14 --blocks 0..6 --assocs 0..4]
+//! dew explore  --trace t.din [--policies fifo,lru --budget 8192 --json out.json]
 //! dew stats    --trace t.din
 //! dew convert  --input t.din --output t.dewt
 //! dew generate --app cjpeg --requests 100000 --output t.dewt [--seed 1]
 //! ```
+//!
+//! Exit codes are documented on [`CliError::exit_code`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +45,16 @@ COMMANDS:
              [--policy fifo|lru] [--threads N (0 = auto, the default)]
              [--csv FILE] [--budget BYTES]
              [--counters]  (instrumented kernel: per-pass work breakdown)
+  explore    design-space exploration: fused sweeps (one trace traversal
+             per block size per policy) -> analytic energy/cycle scoring ->
+             miss-rate x energy x size Pareto frontier
+             --trace FILE [--sets LO..HI] [--blocks LO..HI] [--assocs LO..HI]
+             [--policies fifo|lru|fifo,lru (default fifo)]
+             [--mode pruned|exhaustive (default pruned; identical frontiers,
+              pruned drops associativity-dominated points before the scan)]
+             [--budget BYTES (drop configurations larger than the budget)]
+             [--threads N (0 = auto)] [--top N (frontier rows shown)]
+             [--json FILE] [--csv FILE]  (full per-point report emission)
   verify     run DEW and the reference simulator, cross-check every config
              --trace FILE [--sets LO..HI] [--blocks LO..HI] [--assocs LO..HI]
              [--policy fifo|lru] [--threads N (0 = auto, the default)]
@@ -54,6 +67,22 @@ COMMANDS:
              --requests N --output FILE [--seed N]
   help       print this message
 
+EXAMPLES:
+  # Generate a Mediabench-like trace and explore the paper's Table 1 space:
+  dew generate --app mpeg2_dec --requests 400000 --output mpeg2.dewt
+  dew explore --trace mpeg2.dewt --json pareto.json --csv pareto.csv
+
+  # Compare FIFO against LRU under an 8 KiB budget, exhaustive frontier:
+  dew explore --trace mpeg2.dewt --policies fifo,lru --budget 8192 \\
+      --mode exhaustive --top 20
+
+  # Quick sweep of one block size with the instrumented work breakdown:
+  dew sweep --trace mpeg2.dewt --sets 0..8 --blocks 4..4 --assocs 0..2 \\
+      --counters
+
 Trace files: `.din` is the Dinero text format; anything else is the compact
 dew binary format.
+
+EXIT CODES: 0 success; 1 execution failure (I/O, bad trace, failed
+verification); 2 usage error (unknown command, bad arguments).
 ";

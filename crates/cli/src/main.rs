@@ -1,4 +1,6 @@
-//! The `dew` command-line tool. See [`dew_cli::USAGE`].
+//! The `dew` command-line tool. See [`dew_cli::USAGE`] for the commands and
+//! [`dew_cli::CliError::exit_code`] for the exit-code contract (0 success,
+//! 1 execution failure, 2 usage error).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -6,7 +8,7 @@ fn main() {
         Ok(report) => print!("{report}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(e.exit_code().into());
         }
     }
 }

@@ -32,6 +32,12 @@
 //! against), whose single move-to-front lane answers every associativity
 //! at once.
 //!
+//! A [`SweepOutcome`] records the exact miss table, the per-pass work
+//! counters, the policy it was swept under and the honest
+//! [`SweepOutcome::trace_traversals`] count; the `dew-explore` crate
+//! builds design-space exploration (energy scoring, Pareto frontiers) on
+//! top of it. The repository's `docs/GUIDE.md` walks the full pipeline.
+//!
 //! # Quickstart
 //!
 //! ```

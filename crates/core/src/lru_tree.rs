@@ -195,6 +195,29 @@ impl LruArena {
 
 /// Exact single-pass LRU simulator for all set counts in a range and all
 /// power-of-two associativities in a range. See the module docs.
+///
+/// # Examples
+///
+/// The stack property makes one move-to-front lane exact for every
+/// associativity at once:
+///
+/// ```
+/// use dew_core::lru_tree::{LruTreeOptions, LruTreeSimulator};
+///
+/// # fn main() -> Result<(), dew_core::DewError> {
+/// // Sets 1..=16, associativities 1, 2 and 4, 8-byte blocks.
+/// let mut sim = LruTreeSimulator::new(3, 0, 4, 4, LruTreeOptions::default())?;
+/// for i in 0..5_000u64 {
+///     sim.step((i * 40) % 4096);
+/// }
+/// let results = sim.results();
+/// assert_eq!(sim.assoc_list(), &[1, 2, 4]);
+/// // LRU inclusion: more ways never miss more at the same set count.
+/// let (m1, m2) = (results.misses(16, 1).unwrap(), results.misses(16, 2).unwrap());
+/// assert!(m2 <= m1);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct LruTreeSimulator {
     /// Geometry; `assoc()` reports the widest simulated associativity.

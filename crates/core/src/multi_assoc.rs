@@ -196,6 +196,27 @@ impl FusedForest {
 
 /// A single-pass FIFO simulator for a range of power-of-two associativities
 /// at every set count in a range. See the module docs.
+///
+/// # Examples
+///
+/// One traversal answers every `(sets, assoc)` pair at one block size:
+///
+/// ```
+/// use dew_core::{DewOptions, MultiAssocTree};
+///
+/// # fn main() -> Result<(), dew_core::DewError> {
+/// // Sets 1..=16, associativities 1, 2 and 4, 8-byte blocks.
+/// let mut tree = MultiAssocTree::new(3, 0, 4, 4, DewOptions::default())?;
+/// for i in 0..5_000u64 {
+///     tree.step((i * 40) % 4096);
+/// }
+/// let results = tree.results();
+/// assert_eq!(tree.assoc_list(), &[1, 2, 4]);
+/// assert!(results.misses(16, 4).expect("simulated") <= 5_000);
+/// assert!(results.misses(16, 1).is_some(), "DM rides along");
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct MultiAssocTree {
     /// Geometry; `assoc()` reports the largest simulated associativity.

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::counters::DewCounters;
+use crate::options::TreePolicy;
 use crate::space::PassConfig;
 
 /// Miss counts for one forest level (one simulated set count).
@@ -263,6 +264,7 @@ pub struct SweepOutcome {
     misses: HashMap<(u32, u32, u32), u64>,
     passes: Vec<(PassConfig, DewCounters)>,
     trace_traversals: u64,
+    policy: TreePolicy,
 }
 
 impl SweepOutcome {
@@ -271,12 +273,14 @@ impl SweepOutcome {
         misses: HashMap<(u32, u32, u32), u64>,
         passes: Vec<(PassConfig, DewCounters)>,
         trace_traversals: u64,
+        policy: TreePolicy,
     ) -> Self {
         SweepOutcome {
             accesses,
             misses,
             passes,
             trace_traversals,
+            policy,
         }
     }
 
@@ -284,6 +288,16 @@ impl SweepOutcome {
     #[must_use]
     pub const fn accesses(&self) -> u64 {
         self.accesses
+    }
+
+    /// The replacement policy every configuration was simulated under
+    /// ([`crate::DewOptions::policy`] of the sweep's options). Downstream
+    /// consumers — e.g. design-space exploration merging FIFO and LRU
+    /// sweeps — use this to label results without carrying the options
+    /// alongside the outcome.
+    #[must_use]
+    pub const fn policy(&self) -> TreePolicy {
+        self.policy
     }
 
     /// How many times the sweep iterated the trace (equivalently, how many
@@ -378,8 +392,9 @@ mod tests {
         m.insert((1u32, 1u32, 4u32), 10u64);
         m.insert((2, 1, 4), 8);
         m.insert((1, 2, 4), 9);
-        let o = SweepOutcome::new(100, m, Vec::new(), 2);
+        let o = SweepOutcome::new(100, m, Vec::new(), 2, TreePolicy::Fifo);
         assert_eq!(o.trace_traversals(), 2);
+        assert_eq!(o.policy(), TreePolicy::Fifo);
         assert_eq!(o.misses(2, 1, 4), Some(8));
         assert_eq!(o.misses(4, 1, 4), None);
         assert_eq!(o.miss_rate(1, 1, 4), Some(0.1));
@@ -395,7 +410,8 @@ mod tests {
     fn empty_outcome_miss_rate_is_zero() {
         let mut m = HashMap::new();
         m.insert((1u32, 1u32, 4u32), 0u64);
-        let o = SweepOutcome::new(0, m, Vec::new(), 1);
+        let o = SweepOutcome::new(0, m, Vec::new(), 1, TreePolicy::Lru);
         assert_eq!(o.miss_rate(1, 1, 4), Some(0.0));
+        assert_eq!(o.policy(), TreePolicy::Lru);
     }
 }

@@ -183,6 +183,7 @@ fn sweep_trace_with(
         misses,
         pass_counters,
         trace_traversals,
+        options.policy,
     ))
 }
 

@@ -19,6 +19,11 @@
 //!   multi-pass simulators decode `Record → u64` once per block size instead
 //!   of once per pass.
 //!
+//! This crate is the first stage of the pipeline documented in the
+//! repository's `docs/GUIDE.md`: traces flow through the block decoder
+//! into `dew-core`'s fused kernels and onward to sweeps and design-space
+//! exploration.
+//!
 //! # Examples
 //!
 //! ```

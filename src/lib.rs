@@ -12,8 +12,10 @@
 //! * [`explore`] — energy models and design-space exploration
 //!   ([`dew_explore`]).
 //!
-//! See `README.md` for the project overview, `DESIGN.md` for the system
-//! inventory and `EXPERIMENTS.md` for paper-versus-measured results.
+//! See `README.md` for the project overview, `docs/GUIDE.md` for the
+//! architecture walkthrough (how a trace becomes a Pareto frontier),
+//! `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-versus-measured results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
