@@ -1,0 +1,240 @@
+//! Sharded-sweep smoke benchmark: proves on every CI run that (a) the
+//! snapshot-handoff sharded sweep reproduces the sequential fused sweep
+//! miss for miss on a large synthetic Zipf trace, (b) the warmup-overlap
+//! estimate honours its cold-start slack bound under LRU, and (c) the
+//! streamed driver sweeps a trace far larger than the documented memory
+//! bound without materialising it — the process high-water mark
+//! (`VmHWM`) is asserted below [`MEMORY_BOUND_MIB`].
+//!
+//! Writes `BENCH_sharded_smoke.json` (override with `DEW_BENCH_JSON`) in
+//! the same `{"name", "steps_per_sec"}` variant shape as the hot-loop
+//! bench so `bench_guard` can track the throughput trajectory.
+//!
+//! Scale: `DEW_BENCH_QUICK=1` runs 200k in-memory / 2M streamed requests;
+//! the full run does 2M / 100M. `DEW_BENCH_STREAM_REQUESTS=n` overrides
+//! the streamed length (this is the knob the EXPERIMENTS.md numbers use).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dew_bench::report::thousands;
+use dew_core::{
+    sweep_trace, sweep_trace_sharded, sweep_trace_streamed, ConfigSpace, DewOptions, ShardMode,
+    ShardSpec,
+};
+use dew_trace::{Record, TraceError};
+use dew_workloads::zipf::Zipf;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The sweep space: 11 set counts × 3 block sizes × 3 associativities.
+const SPACE: ((u32, u32), (u32, u32), (u32, u32)) = ((0, 10), (2, 4), (0, 2));
+/// Zipf shape: ranks span 1 MiB of hot words, mildly heavy-tailed.
+const ZIPF_RANKS: usize = 1 << 18;
+const ZIPF_S: f64 = 0.8;
+const SHARDS: usize = 8;
+/// The documented bound the streamed phase must stay under, measured as the
+/// process `VmHWM`. A 100M-request trace is ~1.9 GiB in memory; streaming
+/// it must not take the process anywhere near that.
+const MEMORY_BOUND_MIB: u64 = 512;
+
+/// Deterministic synthetic Zipf request stream; re-opens identically, which
+/// is exactly what `sweep_trace_streamed` requires of a source.
+struct ZipfStream {
+    zipf: Zipf,
+    rng: SmallRng,
+    remaining: u64,
+}
+
+impl ZipfStream {
+    fn new(seed: u64, len: u64) -> Self {
+        ZipfStream {
+            zipf: Zipf::new(ZIPF_RANKS, ZIPF_S),
+            rng: SmallRng::seed_from_u64(seed),
+            remaining: len,
+        }
+    }
+}
+
+impl Iterator for ZipfStream {
+    type Item = Result<Record, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let rank = self.zipf.sample(&mut self.rng) as u64;
+        Some(Ok(Record::read(rank * 4)))
+    }
+}
+
+/// `VmHWM` (peak resident set) in KiB from `/proc/self/status`; 0 when the
+/// platform does not expose it (the assertion is skipped then).
+fn vm_hwm_kib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let quick = std::env::var_os("DEW_BENCH_QUICK").is_some();
+    let requests: u64 = if quick { 200_000 } else { 2_000_000 };
+    let stream_requests: u64 = std::env::var("DEW_BENCH_STREAM_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 2_000_000 } else { 100_000_000 });
+    let space = ConfigSpace::new(SPACE.0, SPACE.1, SPACE.2).expect("valid space");
+
+    eprintln!("generating zipf trace ({requests} requests) ...");
+    let records: Vec<Record> = ZipfStream::new(42, requests)
+        .map(|r| r.expect("synthetic stream never fails"))
+        .collect();
+
+    let mut variants: Vec<(&'static str, f64, f64)> = Vec::new();
+    let mut record_variant = |name: &'static str, steps: f64, secs: f64| {
+        println!(
+            "{:<22} {:>8.2} ns/step  {:>12} steps/s",
+            name,
+            secs * 1e9 / steps,
+            thousands((steps / secs) as u64)
+        );
+        variants.push((name, secs * 1e9 / steps, steps / secs));
+    };
+
+    // Sequential fused sweeps, both policies: the references.
+    let start = Instant::now();
+    let sequential = sweep_trace(&space, &records, DewOptions::default(), 0).expect("sweep");
+    record_variant(
+        "fifo_sequential",
+        requests as f64,
+        start.elapsed().as_secs_f64(),
+    );
+    let lru_exact = sweep_trace(&space, &records, DewOptions::lru(), 0).expect("sweep");
+
+    // Exact sharding: miss-for-miss equality with the sequential sweep.
+    let start = Instant::now();
+    let handoff = sweep_trace_sharded(
+        &space,
+        &records,
+        DewOptions::default(),
+        0,
+        ShardSpec {
+            shards: SHARDS,
+            mode: ShardMode::SnapshotHandoff,
+        },
+    )
+    .expect("sharded sweep");
+    record_variant(
+        "fifo_handoff8",
+        requests as f64,
+        start.elapsed().as_secs_f64(),
+    );
+    assert_eq!(
+        handoff.sorted(),
+        sequential.sorted(),
+        "snapshot-handoff sharding diverged from the sequential sweep"
+    );
+
+    // Estimating sharding: the LRU slack bound must hold for every config.
+    let overlap = (requests / (4 * SHARDS as u64)) as usize;
+    let start = Instant::now();
+    let warmup = sweep_trace_sharded(
+        &space,
+        &records,
+        DewOptions::lru(),
+        0,
+        ShardSpec {
+            shards: SHARDS,
+            mode: ShardMode::WarmupOverlap { overlap },
+        },
+    )
+    .expect("warmup sweep");
+    record_variant(
+        "lru_warmup8",
+        warmup.records_simulated() as f64 / warmup.trace_traversals() as f64,
+        start.elapsed().as_secs_f64(),
+    );
+    let bounds = warmup.bounds().expect("warmup mode reports bounds");
+    assert!(bounds.guaranteed(), "LRU cold-start bound is guaranteed");
+    let mut worst_rel = 0.0f64;
+    for (sets, assoc, block) in space.configs() {
+        let truth = lru_exact.misses(sets, assoc, block).expect("covered");
+        let guess = warmup.misses(sets, assoc, block).expect("covered");
+        let slack = bounds.slack(sets, assoc, block).expect("covered");
+        assert!(
+            guess >= truth && guess - truth <= slack,
+            "({sets},{assoc},{block}): truth={truth} est={guess} slack={slack}"
+        );
+        if truth > 0 {
+            worst_rel = worst_rel.max((guess - truth) as f64 / truth as f64);
+        }
+    }
+    println!(
+        "warmup estimate worst relative error: {:.4}%",
+        worst_rel * 100.0
+    );
+
+    // Bounded-memory streaming: sweep a stream that never lives in memory.
+    drop(records);
+    eprintln!("streaming zipf trace ({stream_requests} requests) ...");
+    let source = move || Ok(ZipfStream::new(42, stream_requests));
+    let start = Instant::now();
+    let streamed =
+        sweep_trace_streamed(&space, &source, DewOptions::default(), 0).expect("streamed sweep");
+    let stream_secs = start.elapsed().as_secs_f64();
+    record_variant(
+        "zipf_streamed",
+        stream_requests as f64 * streamed.trace_traversals() as f64,
+        stream_secs,
+    );
+    assert_eq!(streamed.accesses(), stream_requests);
+
+    let hwm_kib = vm_hwm_kib();
+    println!(
+        "peak RSS {} MiB (bound {MEMORY_BOUND_MIB} MiB), streamed {} requests in {stream_secs:.1}s",
+        hwm_kib / 1024,
+        thousands(stream_requests)
+    );
+    if hwm_kib > 0 {
+        assert!(
+            hwm_kib / 1024 < MEMORY_BOUND_MIB,
+            "peak RSS {} MiB breached the {MEMORY_BOUND_MIB} MiB bound",
+            hwm_kib / 1024
+        );
+    }
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"sharded_smoke\",");
+    let _ = writeln!(json, "  \"unix_time\": {unix_time},");
+    let _ = writeln!(json, "  \"requests\": {requests},");
+    let _ = writeln!(json, "  \"stream_requests\": {stream_requests},");
+    let _ = writeln!(json, "  \"shards\": {SHARDS},");
+    let _ = writeln!(json, "  \"overlap\": {overlap},");
+    let _ = writeln!(json, "  \"vm_hwm_kib\": {hwm_kib},");
+    let _ = writeln!(json, "  \"memory_bound_mib\": {MEMORY_BOUND_MIB},");
+    let _ = writeln!(json, "  \"warmup_worst_relative_error\": {worst_rel:.6},");
+    json.push_str("  \"variants\": [\n");
+    for (i, (name, ns, rate)) in variants.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"ns_per_step\": {ns:.3}, \"steps_per_sec\": {rate:.0}}}{}",
+            if i + 1 < variants.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path =
+        std::env::var("DEW_BENCH_JSON").unwrap_or_else(|_| "BENCH_sharded_smoke.json".into());
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {path}");
+}

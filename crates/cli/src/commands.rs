@@ -5,10 +5,13 @@ use std::path::Path;
 
 use dew_cachesim::classify::ThreeCClassifier;
 use dew_cachesim::{AllocatePolicy, Cache, CacheConfig, Replacement, WritePolicy};
-use dew_core::{sweep_trace, sweep_trace_instrumented, ConfigSpace, DewOptions, TreePolicy};
+use dew_core::{
+    sweep_trace, sweep_trace_instrumented, sweep_trace_sampled, sweep_trace_sharded, ConfigSpace,
+    DewOptions, ShardMode, ShardSpec, TreePolicy,
+};
 use dew_explore::{
-    best_edp_under, evaluate_sweep, explore_trace, pareto_front, EnergyModel, ExplorationSpace,
-    ParetoMode,
+    best_edp_under, evaluate_sweep, explore_trace_with_shards, pareto_front, EnergyModel,
+    ExplorationSpace, ParetoMode,
 };
 use dew_trace::Trace;
 use dew_workloads::mediabench::App;
@@ -152,9 +155,60 @@ fn simulate(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses the `--sample PERIOD:LEN` argument.
+fn parse_sample(s: &str) -> Result<(usize, usize), CliError> {
+    let bad = || {
+        CliError::Args(ArgsError::BadValue {
+            key: "sample".into(),
+            value: s.into(),
+            ty: "periodic sample spec PERIOD:LEN",
+        })
+    };
+    let (period, len) = s.split_once(':').ok_or_else(bad)?;
+    let period: usize = period.trim().parse().map_err(|_| bad())?;
+    let len: usize = len.trim().parse().map_err(|_| bad())?;
+    if period == 0 || len == 0 || len > period {
+        return Err(bad());
+    }
+    Ok((period, len))
+}
+
+fn parse_shard_spec(args: &Args) -> Result<Option<ShardSpec>, CliError> {
+    let shards = args.get_or("shards", 1usize)?;
+    if shards <= 1 {
+        return Ok(None);
+    }
+    let mode = match args.get("shard-mode").unwrap_or("handoff") {
+        "handoff" => ShardMode::SnapshotHandoff,
+        "warmup" => ShardMode::WarmupOverlap {
+            overlap: args.get_or("overlap", 8192usize)?,
+        },
+        other => {
+            return Err(CliError::Args(ArgsError::BadValue {
+                key: "shard-mode".into(),
+                value: other.into(),
+                ty: "shard reconciliation mode (handoff|warmup)",
+            }))
+        }
+    };
+    Ok(Some(ShardSpec { shards, mode }))
+}
+
 fn sweep(args: &Args) -> Result<String, CliError> {
     args.reject_unknown(&[
-        "trace", "sets", "blocks", "assocs", "policy", "threads", "csv", "budget", "counters",
+        "trace",
+        "sets",
+        "blocks",
+        "assocs",
+        "policy",
+        "threads",
+        "csv",
+        "budget",
+        "counters",
+        "shards",
+        "shard-mode",
+        "overlap",
+        "sample",
     ])?;
     let trace = load_trace(&args.require::<String>("trace")?)?;
     let sets = parse_range(args.get("sets").unwrap_or("0..14"), "sets")?;
@@ -167,13 +221,34 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     };
     let threads = args.get_or("threads", 0usize)?;
     let with_counters = args.flag("counters");
+    let spec = parse_shard_spec(args)?;
+    let sample = args.get("sample").map(parse_sample).transpose()?;
+    if sample.is_some() && spec.is_some() {
+        return Err(CliError::Usage(
+            "--sample and --shards are mutually exclusive (a sampled sweep already shards \
+             into clusters)"
+                .into(),
+        ));
+    }
+    if with_counters && (sample.is_some() || spec.is_some()) {
+        return Err(CliError::Usage(
+            "--counters needs the plain instrumented sweep; drop --shards/--sample".into(),
+        ));
+    }
 
     let start = std::time::Instant::now();
     // The default sweep decodes the trace once per block size and drives the
     // fast monomorphized kernel in batches — under either policy the passes
     // of a block size fuse into one traversal; --counters opts into the
-    // instrumented kernel to report the per-pass work breakdown.
-    let outcome = if with_counters {
+    // instrumented kernel to report the per-pass work breakdown. --shards
+    // splits the trace into intervals (exact snapshot handoff by default,
+    // warmup-overlap estimation on request) and --sample keeps periodic
+    // clusters only.
+    let outcome = if let Some((period, len)) = sample {
+        sweep_trace_sampled(&space, trace.records(), options, threads, period, len)?
+    } else if let Some(spec) = spec {
+        sweep_trace_sharded(&space, trace.records(), options, threads, spec)?
+    } else if with_counters {
         sweep_trace_instrumented(&space, trace.records(), options, threads)?
     } else {
         sweep_trace(&space, trace.records(), options, threads)?
@@ -195,12 +270,47 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         )
     };
     let mut out = format!(
-        "swept {} configurations over {} requests in {:.2}s ({schedule}, policy {})\n\n",
+        "swept {} configurations over {} requests in {:.2}s ({schedule}, policy {})\n",
         outcome.config_count(),
         outcome.accesses(),
         elapsed,
         options.policy,
     );
+    if let Some((period, len)) = sample {
+        let total = trace.records().len();
+        out.push_str(&format!(
+            "periodic sample: kept {} of {} requests (leading {len} of every {period})\n",
+            outcome.accesses(),
+            total,
+        ));
+    }
+    if let Some(spec) = spec {
+        match spec.mode {
+            ShardMode::SnapshotHandoff => out.push_str(&format!(
+                "sharded into {} intervals via exact snapshot handoff (bit-identical \
+                 to the unsharded sweep)\n",
+                spec.shards,
+            )),
+            ShardMode::WarmupOverlap { overlap } => out.push_str(&format!(
+                "sharded into {} parallel intervals with {overlap}-request warmup replay \
+                 ({} records simulated)\n",
+                spec.shards,
+                outcome.records_simulated(),
+            )),
+        }
+    }
+    if let Some(bounds) = outcome.bounds() {
+        out.push_str(&format!(
+            "cold-start slack: at most {} misses per configuration ({} bound)\n",
+            bounds.max_slack(),
+            if bounds.guaranteed() {
+                "guaranteed"
+            } else {
+                "heuristic"
+            },
+        ));
+    }
+    out.push('\n');
     out.push_str(&format!(
         "{:>8} {:>6} {:>7} {:>12} {:>10}\n",
         "sets", "assoc", "block", "misses", "miss rate"
@@ -284,7 +394,7 @@ fn parse_policies(s: &str) -> Result<Vec<TreePolicy>, CliError> {
 fn explore(args: &Args) -> Result<String, CliError> {
     args.reject_unknown(&[
         "trace", "sets", "blocks", "assocs", "policies", "mode", "threads", "budget", "json",
-        "csv", "top",
+        "csv", "top", "shards",
     ])?;
     let trace = load_trace(&args.require::<String>("trace")?)?;
     let sets = parse_range(args.get("sets").unwrap_or("0..14"), "sets")?;
@@ -309,17 +419,25 @@ fn explore(args: &Args) -> Result<String, CliError> {
     };
     let threads = args.get_or("threads", 0usize)?;
     let top = args.get_or("top", 12usize)?;
+    // Exploration scores must stay exact, so --shards always means snapshot
+    // handoff here (bit-identical miss counts, bounded per-traversal memory).
+    let shards = args.get_or("shards", 1usize)?;
+    let spec = (shards > 1).then_some(ShardSpec {
+        shards,
+        mode: ShardMode::SnapshotHandoff,
+    });
 
     let exploration = ExplorationSpace::new(space)
         .with_policies(&policies)
         .with_budget(budget);
     let start = std::time::Instant::now();
-    let report = explore_trace(
+    let report = explore_trace_with_shards(
         &exploration,
         trace.records(),
         &EnergyModel::default(),
         mode,
         threads,
+        spec,
     )?;
     let elapsed = start.elapsed().as_secs_f64();
 
@@ -621,6 +739,125 @@ mod tests {
         assert_eq!(csv_text.lines().count(), 11, "header + 10 rows");
         let _ = std::fs::remove_file(&bin);
         let _ = std::fs::remove_file(&csv);
+    }
+
+    /// The miss table lines of a sweep report (everything after the blank
+    /// separator, before any trailing sections).
+    fn miss_table(report: &str) -> &str {
+        report.split("\n\n").nth(1).expect("table section")
+    }
+
+    #[test]
+    fn sharded_sweep_flags() {
+        let bin = tmp("shard.dewt");
+        run([
+            "generate",
+            "--app",
+            "djpeg",
+            "--requests",
+            "9000",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
+        let base = [
+            "sweep", "--trace", &bin, "--sets", "0..4", "--blocks", "2..3", "--assocs", "0..2",
+        ];
+
+        let plain = run(base).expect("plain sweep");
+        let handoff = run(base.iter().copied().chain(["--shards", "4"])).expect("sharded");
+        assert!(handoff.contains("exact snapshot handoff"), "{handoff}");
+        assert_eq!(
+            miss_table(&handoff),
+            miss_table(&plain),
+            "handoff sharding is bit-identical"
+        );
+
+        let warm = run(base.iter().copied().chain([
+            "--shards",
+            "4",
+            "--shard-mode",
+            "warmup",
+            "--overlap",
+            "500",
+            "--policy",
+            "lru",
+        ]))
+        .expect("warmup");
+        assert!(warm.contains("warmup replay"), "{warm}");
+        assert!(warm.contains("cold-start slack"), "{warm}");
+        assert!(warm.contains("guaranteed bound"), "{warm}");
+
+        let sampled = run(base.iter().copied().chain(["--sample", "100:25"])).expect("sampled");
+        assert!(
+            sampled.contains("periodic sample: kept 2250 of 9000 requests"),
+            "{sampled}"
+        );
+        assert!(sampled.contains("heuristic bound"), "{sampled}");
+
+        assert!(matches!(
+            run(base.iter().copied().chain(["--sample", "25:100"])),
+            Err(CliError::Args(_))
+        ));
+        assert!(matches!(
+            run(base
+                .iter()
+                .copied()
+                .chain(["--shards", "2", "--sample", "100:25"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(base.iter().copied().chain(["--shards", "2", "--counters"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(base
+                .iter()
+                .copied()
+                .chain(["--shards", "2", "--shard-mode", "bogus"])),
+            Err(CliError::Args(_))
+        ));
+        let _ = std::fs::remove_file(&bin);
+    }
+
+    #[test]
+    fn explore_shards_keep_the_frontier_identical() {
+        let bin = tmp("exsh.dewt");
+        run([
+            "generate",
+            "--app",
+            "g721_dec",
+            "--requests",
+            "6000",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
+        let base = [
+            "explore",
+            "--trace",
+            &bin,
+            "--sets",
+            "0..4",
+            "--blocks",
+            "2..3",
+            "--assocs",
+            "0..1",
+            "--policies",
+            "fifo,lru",
+        ];
+        let plain = run(base).expect("explore");
+        let sharded = run(base.iter().copied().chain(["--shards", "3"])).expect("explore sharded");
+        // Everything after the timing header must agree line for line.
+        let tail = |s: &str| {
+            s.lines()
+                .skip(1)
+                .filter(|l| !l.contains("s in kernels"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&sharded), tail(&plain));
+        let _ = std::fs::remove_file(&bin);
     }
 
     #[test]

@@ -45,6 +45,15 @@ COMMANDS:
              [--policy fifo|lru] [--threads N (0 = auto, the default)]
              [--csv FILE] [--budget BYTES]
              [--counters]  (instrumented kernel: per-pass work breakdown)
+             [--shards K]  (split the trace into K intervals; exact by
+              default via snapshot handoff — bit-identical results with
+              bounded per-traversal memory)
+             [--shard-mode handoff|warmup] [--overlap N (default 8192)]
+              (warmup: shards run in parallel, each replaying N preceding
+              requests; reports a cold-start slack bound per configuration,
+              guaranteed under lru, heuristic under fifo)
+             [--sample PERIOD:LEN]  (keep the leading LEN of every PERIOD
+              requests; estimates carry the same per-cluster slack bound)
   explore    design-space exploration: fused sweeps (one trace traversal
              per block size per policy) -> analytic energy/cycle scoring ->
              miss-rate x energy x size Pareto frontier
@@ -54,6 +63,7 @@ COMMANDS:
               pruned drops associativity-dominated points before the scan)]
              [--budget BYTES (drop configurations larger than the budget)]
              [--threads N (0 = auto)] [--top N (frontier rows shown)]
+             [--shards K (exact snapshot-handoff sharding of the sweeps)]
              [--json FILE] [--csv FILE]  (full per-point report emission)
   verify     run DEW and the reference simulator, cross-check every config
              --trace FILE [--sets LO..HI] [--blocks LO..HI] [--assocs LO..HI]

@@ -38,6 +38,13 @@
 //! builds design-space exploration (energy scoring, Pareto frontiers) on
 //! top of it. The repository's `docs/GUIDE.md` walks the full pipeline.
 //!
+//! Long traces need not be resident: [`sweep_trace_streamed`] decodes a
+//! re-openable source in bounded chunks, [`sweep_trace_sharded`] splits a
+//! trace into intervals reconciled exactly (snapshot handoff — bit-identical
+//! to the unsharded sweep) or approximately (warmup overlap, with
+//! [`ShardBounds`] slack), and [`sweep_trace_sampled`] estimates from
+//! periodic clusters with the same per-cluster bound.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -80,8 +87,13 @@ mod tree;
 pub use counters::DewCounters;
 pub use multi_assoc::MultiAssocTree;
 pub use options::{DewOptions, TreePolicy};
-pub use results::{AllAssocResults, ConfigResult, LevelResult, PassResults, SweepOutcome};
+pub use results::{
+    AllAssocResults, ConfigResult, LevelResult, PassResults, ShardBounds, SweepOutcome,
+};
 pub use space::{ConfigSpace, DewError, PassConfig};
-pub use sweep::{sweep_trace, sweep_trace_instrumented};
+pub use sweep::{
+    sweep_trace, sweep_trace_instrumented, sweep_trace_sampled, sweep_trace_sharded,
+    sweep_trace_streamed, ShardMode, ShardSpec,
+};
 pub use timeline::{MissTimeline, WindowSample};
 pub use tree::DewTree;

@@ -86,6 +86,12 @@ use crate::node::INVALID_TAG;
 use crate::results::{AllAssocResults, LevelResult, PassResults};
 use crate::space::{DewError, PassConfig};
 
+/// Snapshot magic of the arena LRU simulator (the single-pass
+/// [`crate::DewTree`] format `DEWS` describes a different layout).
+const SNAP_MAGIC: [u8; 4] = *b"DEWL";
+/// Snapshot format version of the arena LRU simulator.
+const SNAP_VERSION: u8 = 1;
+
 /// Behaviour toggles of the LRU comparator (both default to on).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LruTreeOptions {
@@ -724,6 +730,126 @@ impl LruTreeSimulator {
     pub fn footprint_bytes(&self) -> usize {
         let a = &self.arena;
         a.mra.len() * 8 + a.tags.len() * 8 + a.valid.len() * 4
+    }
+
+    /// Serialises the complete arena state (geometry, options, counters,
+    /// every recency lane) to bytes under its own magic (`DEWL`), mirroring
+    /// [`crate::DewTree::to_snapshot`]. The sharded sweep's exact
+    /// snapshot-handoff mode rebuilds a fresh simulator from these bytes at
+    /// every shard boundary.
+    #[must_use]
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        use crate::snapshot::{put_u32, put_u64};
+        let mut out = Vec::with_capacity(64 + self.footprint_bytes() * 2);
+        out.extend_from_slice(&SNAP_MAGIC);
+        out.push(SNAP_VERSION);
+        put_u32(&mut out, self.pass.block_bits());
+        put_u32(&mut out, self.pass.min_set_bits());
+        put_u32(&mut out, self.pass.max_set_bits());
+        put_u32(&mut out, self.assoc_list[0].trailing_zeros());
+        put_u32(&mut out, self.pass.assoc().trailing_zeros());
+        let flags = u8::from(self.opts.depth_zero_stop)
+            | u8::from(self.opts.duplicate_elision) << 1
+            | u8::from(self.instrument) << 2;
+        out.push(flags);
+        let c = &self.counters;
+        for v in [
+            c.accesses,
+            c.node_evaluations,
+            c.depth_zero_stops,
+            c.duplicate_skips,
+            c.tag_comparisons,
+        ] {
+            put_u64(&mut out, v);
+        }
+        for &v in &self.depth_hits {
+            put_u64(&mut out, v);
+        }
+        put_u64(&mut out, self.prev_block);
+        let a = &self.arena;
+        for &v in a
+            .misses
+            .iter()
+            .chain(&a.dm_misses)
+            .chain(&a.mra)
+            .chain(&a.tags)
+        {
+            put_u64(&mut out, v);
+        }
+        for &v in &a.valid {
+            put_u32(&mut out, v);
+        }
+        out
+    }
+
+    /// Restores a simulator from [`LruTreeSimulator::to_snapshot`] output.
+    /// The snapshot is self-describing; continuing the restored simulator
+    /// produces bit-identical results to the uninterrupted run (a
+    /// property-tested invariant the sharded sweep relies on).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::snapshot::SnapshotError`] for foreign, truncated or
+    /// internally inconsistent buffers.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{Cursor, SnapshotError};
+        let mut cur = Cursor::new(bytes);
+        if cur.bytes(4)? != SNAP_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = cur.u8()?;
+        if version != SNAP_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let (block_bits, min_set_bits, max_set_bits) = (cur.u32()?, cur.u32()?, cur.u32()?);
+        let (assoc_lo_bits, assoc_hi_bits) = (cur.u32()?, cur.u32()?);
+        let flags = cur.u8()?;
+        let opts = LruTreeOptions {
+            depth_zero_stop: flags & 1 != 0,
+            duplicate_elision: flags & 2 != 0,
+        };
+        let instrument = flags & 4 != 0;
+        let mut sim = LruTreeSimulator::with_instrumentation(
+            block_bits,
+            (min_set_bits, max_set_bits),
+            (assoc_lo_bits, assoc_hi_bits),
+            opts,
+            instrument,
+        )
+        .map_err(|_| SnapshotError::Corrupt("invalid arena geometry"))?;
+        let c = &mut sim.counters;
+        c.accesses = cur.u64()?;
+        c.node_evaluations = cur.u64()?;
+        c.depth_zero_stops = cur.u64()?;
+        c.duplicate_skips = cur.u64()?;
+        c.tag_comparisons = cur.u64()?;
+        for v in &mut sim.depth_hits {
+            *v = cur.u64()?;
+        }
+        sim.prev_block = cur.u64()?;
+        let width = sim.width;
+        let a = &mut sim.arena;
+        for v in a
+            .misses
+            .iter_mut()
+            .chain(&mut a.dm_misses)
+            .chain(&mut a.mra)
+        {
+            *v = cur.u64()?;
+        }
+        for v in &mut a.tags {
+            *v = cur.u64()?;
+        }
+        for v in &mut a.valid {
+            *v = cur.u32()?;
+            if *v as usize > width {
+                return Err(SnapshotError::Corrupt("valid prefix out of range"));
+            }
+        }
+        if cur.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes(cur.remaining()));
+        }
+        Ok(sim)
     }
 }
 

@@ -91,6 +91,12 @@ use crate::space::{DewError, PassConfig};
 /// Sentinel for "no matching entry" (root level, previous-list miss, …).
 const NO_ENTRY: usize = usize::MAX;
 
+/// Snapshot magic of the fused multi-associativity forest (the single-pass
+/// [`crate::DewTree`] format `DEWS` describes a different layout).
+const SNAP_MAGIC: [u8; 4] = *b"DEWM";
+/// Snapshot format version of the fused forest.
+const SNAP_VERSION: u8 = 1;
+
 /// Per-associativity ladder tallies of the instrumented kernel, kept
 /// separately from the aggregate [`DewCounters`] so a fused pass can be
 /// fanned out into per-associativity counter reports.
@@ -927,6 +933,194 @@ impl MultiAssocTree {
             + f.mre_wave.len() * 4
             + f.waves.len() * 4
             + f.xlink.len() * 4
+    }
+
+    /// Serialises the complete fused-pass state (geometry, options,
+    /// counters, every lane) to bytes, in the spirit of
+    /// [`crate::DewTree::to_snapshot`] but under its own magic (`DEWM`)
+    /// since the fused forest has no per-pass equivalent layout. The
+    /// sharded sweep's exact snapshot-handoff mode rebuilds a fresh kernel
+    /// from these bytes at every shard boundary.
+    #[must_use]
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        use crate::snapshot::{put_u32, put_u64};
+        let mut out = Vec::with_capacity(64 + self.footprint_bytes() * 2);
+        out.extend_from_slice(&SNAP_MAGIC);
+        out.push(SNAP_VERSION);
+        put_u32(&mut out, self.pass.block_bits());
+        put_u32(&mut out, self.pass.min_set_bits());
+        put_u32(&mut out, self.pass.max_set_bits());
+        put_u32(&mut out, self.assoc_list[0].trailing_zeros());
+        put_u32(&mut out, self.pass.assoc().trailing_zeros());
+        let flags = u8::from(self.opts.mra_stop)
+            | u8::from(self.opts.wave) << 1
+            | u8::from(self.opts.mre) << 2
+            | u8::from(self.opts.dup_elision) << 3
+            | u8::from(self.instrument) << 4;
+        out.push(flags);
+        let c = &self.counters;
+        for v in [
+            c.accesses,
+            c.node_evaluations,
+            c.mra_stops,
+            c.wave_hits,
+            c.wave_misses,
+            c.mre_misses,
+            c.intersection_hits,
+            c.intersection_misses,
+            c.searches,
+            c.duplicate_skips,
+            c.search_comparisons,
+            c.tag_comparisons,
+        ] {
+            put_u64(&mut out, v);
+        }
+        for lc in &self.list_counters {
+            for v in [
+                lc.wave_hits,
+                lc.wave_misses,
+                lc.mre_checks,
+                lc.mre_misses,
+                lc.intersection_hits,
+                lc.intersection_misses,
+                lc.searches,
+                lc.search_comparisons,
+            ] {
+                put_u64(&mut out, v);
+            }
+        }
+        put_u64(&mut out, self.prev_block);
+        let f = &self.forest;
+        for &v in f
+            .misses
+            .iter()
+            .chain(&f.dm_misses)
+            .chain(&f.mra)
+            .chain(&f.tags)
+        {
+            put_u64(&mut out, v);
+        }
+        for &v in &f.fifo {
+            put_u32(&mut out, v);
+        }
+        if self.instrument {
+            for &v in &f.valid {
+                put_u32(&mut out, v);
+            }
+            for &v in &f.mre {
+                put_u64(&mut out, v);
+            }
+            for &v in f.mre_wave.iter().chain(&f.waves).chain(&f.xlink) {
+                put_u32(&mut out, v);
+            }
+        }
+        out
+    }
+
+    /// Restores a fused pass from [`MultiAssocTree::to_snapshot`] output.
+    /// The snapshot is self-describing; continuing the restored tree
+    /// produces bit-identical results to the uninterrupted run (a
+    /// property-tested invariant the sharded sweep relies on).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::snapshot::SnapshotError`] for foreign, truncated or
+    /// internally inconsistent buffers.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{Cursor, SnapshotError};
+        let mut cur = Cursor::new(bytes);
+        if cur.bytes(4)? != SNAP_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = cur.u8()?;
+        if version != SNAP_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let (block_bits, min_set_bits, max_set_bits) = (cur.u32()?, cur.u32()?, cur.u32()?);
+        let (assoc_lo_bits, assoc_hi_bits) = (cur.u32()?, cur.u32()?);
+        let flags = cur.u8()?;
+        let opts = DewOptions {
+            mra_stop: flags & 1 != 0,
+            wave: flags & 2 != 0,
+            mre: flags & 4 != 0,
+            dup_elision: flags & 8 != 0,
+            policy: TreePolicy::Fifo,
+        };
+        let instrument = flags & 16 != 0;
+        let mut tree = MultiAssocTree::with_instrumentation(
+            block_bits,
+            (min_set_bits, max_set_bits),
+            (assoc_lo_bits, assoc_hi_bits),
+            opts,
+            instrument,
+        )
+        .map_err(|_| SnapshotError::Corrupt("invalid fused-pass geometry"))?;
+        let c = &mut tree.counters;
+        c.accesses = cur.u64()?;
+        c.node_evaluations = cur.u64()?;
+        c.mra_stops = cur.u64()?;
+        c.wave_hits = cur.u64()?;
+        c.wave_misses = cur.u64()?;
+        c.mre_misses = cur.u64()?;
+        c.intersection_hits = cur.u64()?;
+        c.intersection_misses = cur.u64()?;
+        c.searches = cur.u64()?;
+        c.duplicate_skips = cur.u64()?;
+        c.search_comparisons = cur.u64()?;
+        c.tag_comparisons = cur.u64()?;
+        for lc in &mut tree.list_counters {
+            lc.wave_hits = cur.u64()?;
+            lc.wave_misses = cur.u64()?;
+            lc.mre_checks = cur.u64()?;
+            lc.mre_misses = cur.u64()?;
+            lc.intersection_hits = cur.u64()?;
+            lc.intersection_misses = cur.u64()?;
+            lc.searches = cur.u64()?;
+            lc.search_comparisons = cur.u64()?;
+        }
+        tree.prev_block = cur.u64()?;
+        let num_lists = tree.widths.len();
+        let f = &mut tree.forest;
+        for v in f
+            .misses
+            .iter_mut()
+            .chain(&mut f.dm_misses)
+            .chain(&mut f.mra)
+        {
+            *v = cur.u64()?;
+        }
+        for v in &mut f.tags {
+            *v = cur.u64()?;
+        }
+        for (i, v) in f.fifo.iter_mut().enumerate() {
+            *v = cur.u32()?;
+            if num_lists > 0 && *v as usize >= tree.widths[i % num_lists] {
+                return Err(SnapshotError::Corrupt("fifo pointer out of range"));
+            }
+        }
+        if instrument {
+            for (i, v) in f.valid.iter_mut().enumerate() {
+                *v = cur.u32()?;
+                if num_lists > 0 && *v as usize > tree.widths[i % num_lists] {
+                    return Err(SnapshotError::Corrupt("valid count out of range"));
+                }
+            }
+            for v in &mut f.mre {
+                *v = cur.u64()?;
+            }
+            for v in f
+                .mre_wave
+                .iter_mut()
+                .chain(&mut f.waves)
+                .chain(&mut f.xlink)
+            {
+                *v = cur.u32()?;
+            }
+        }
+        if cur.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes(cur.remaining()));
+        }
+        Ok(tree)
     }
 }
 

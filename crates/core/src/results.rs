@@ -254,6 +254,56 @@ impl ConfigResult {
     }
 }
 
+/// Per-configuration uncertainty of an approximate (warmup-overlap sharded
+/// or interval-sampled) sweep: how many accesses may have been
+/// misclassified by cold starts at shard or cluster boundaries.
+///
+/// For every boundary after the first, at most
+/// `min(first-touch blocks in the measured region, sets × assoc)` accesses
+/// are unknowns — an access that is *not* the window's first touch of its
+/// block is classified exactly, because its reuse interval lies entirely
+/// inside the contiguous replayed window. Summing that cap over boundaries
+/// gives the reported slack.
+///
+/// Under **LRU** the slack is a guarantee ([`ShardBounds::guaranteed`] is
+/// `true`): the stack property confines every divergence to the unknown
+/// accesses, so the true miss count lies within `slack` of the estimate.
+/// Under **FIFO** there is no inclusion property (Belady's anomaly) — a
+/// cold-start divergence can cascade past the first-touch set — so the same
+/// figure is reported as a diagnostic with `guaranteed == false`; see
+/// `DESIGN.md` ("Sharding and cold-start reconciliation").
+#[derive(Debug, Clone)]
+pub struct ShardBounds {
+    slack: HashMap<(u32, u32, u32), u64>,
+    guaranteed: bool,
+}
+
+impl ShardBounds {
+    pub(crate) fn new(slack: HashMap<(u32, u32, u32), u64>, guaranteed: bool) -> Self {
+        ShardBounds { slack, guaranteed }
+    }
+
+    /// Maximum possibly-misclassified accesses for `(sets, assoc,
+    /// block_bytes)`, if in the swept space.
+    #[must_use]
+    pub fn slack(&self, sets: u32, assoc: u32, block_bytes: u32) -> Option<u64> {
+        self.slack.get(&(sets, assoc, block_bytes)).copied()
+    }
+
+    /// Whether the slack is a sound bound (LRU) or a cold-start diagnostic
+    /// (FIFO — no inclusion across boundaries).
+    #[must_use]
+    pub const fn guaranteed(&self) -> bool {
+        self.guaranteed
+    }
+
+    /// The largest slack over all configurations (worst-case uncertainty).
+    #[must_use]
+    pub fn max_slack(&self) -> u64 {
+        self.slack.values().copied().max().unwrap_or(0)
+    }
+}
+
 /// Aggregated results of a multi-pass sweep over a configuration space.
 ///
 /// Built by [`crate::sweep_trace`]; maps every `(sets, assoc, block)` of the
@@ -265,6 +315,8 @@ pub struct SweepOutcome {
     passes: Vec<(PassConfig, DewCounters)>,
     trace_traversals: u64,
     policy: TreePolicy,
+    records_simulated: u64,
+    bounds: Option<ShardBounds>,
 }
 
 impl SweepOutcome {
@@ -281,7 +333,22 @@ impl SweepOutcome {
             passes,
             trace_traversals,
             policy,
+            records_simulated: accesses * trace_traversals,
+            bounds: None,
         }
+    }
+
+    /// Overrides the records-simulated tally (warmup-overlap sharding
+    /// replays overlap records beyond `accesses × traversals`).
+    pub(crate) fn with_records_simulated(mut self, records_simulated: u64) -> Self {
+        self.records_simulated = records_simulated;
+        self
+    }
+
+    /// Attaches the cold-start uncertainty of an approximate sweep.
+    pub(crate) fn with_bounds(mut self, bounds: ShardBounds) -> Self {
+        self.bounds = Some(bounds);
+        self
     }
 
     /// Requests in the swept trace.
@@ -309,6 +376,27 @@ impl SweepOutcome {
     #[must_use]
     pub const fn trace_traversals(&self) -> u64 {
         self.trace_traversals
+    }
+
+    /// Total records fed through a kernel, across all traversals — the
+    /// truthful work tally. A plain sweep simulates
+    /// `accesses × trace_traversals`; a warmup-overlap sharded sweep
+    /// additionally replays up to `overlap` records per interior shard
+    /// boundary per traversal, and that replay is counted here (it is work
+    /// performed) while [`SweepOutcome::trace_traversals`] still reports
+    /// one traversal per block size.
+    #[must_use]
+    pub const fn records_simulated(&self) -> u64 {
+        self.records_simulated
+    }
+
+    /// Cold-start uncertainty of an approximate sweep
+    /// ([`crate::sweep_trace_sharded`] in warmup-overlap mode,
+    /// [`crate::sweep_trace_sampled`]); `None` for exact sweeps, including
+    /// snapshot-handoff sharding.
+    #[must_use]
+    pub fn bounds(&self) -> Option<&ShardBounds> {
+        self.bounds.as_ref()
     }
 
     /// Number of configurations with results.
@@ -404,6 +492,30 @@ mod tests {
         assert!(sorted.windows(2).all(|w| {
             (w[0].block_bytes, w[0].assoc, w[0].sets) <= (w[1].block_bytes, w[1].assoc, w[1].sets)
         }));
+    }
+
+    #[test]
+    fn records_simulated_defaults_to_accesses_times_traversals() {
+        let mut m = HashMap::new();
+        m.insert((1u32, 1u32, 4u32), 1u64);
+        let o = SweepOutcome::new(100, m, Vec::new(), 3, TreePolicy::Fifo);
+        assert_eq!(o.records_simulated(), 300);
+        assert!(o.bounds().is_none());
+        let o = o.with_records_simulated(340);
+        assert_eq!(o.records_simulated(), 340);
+    }
+
+    #[test]
+    fn shard_bounds_lookup_and_flags() {
+        let mut slack = HashMap::new();
+        slack.insert((4u32, 2u32, 16u32), 7u64);
+        slack.insert((8, 2, 16), 12);
+        let b = ShardBounds::new(slack, true);
+        assert_eq!(b.slack(4, 2, 16), Some(7));
+        assert_eq!(b.slack(4, 4, 16), None);
+        assert_eq!(b.max_slack(), 12);
+        assert!(b.guaranteed());
+        assert_eq!(ShardBounds::new(HashMap::new(), false).max_slack(), 0);
     }
 
     #[test]

@@ -319,6 +319,11 @@ pub enum DewError {
     /// with LRU tag lists, whose recency state must be refreshed at every
     /// level).
     UnsoundOptions(&'static str),
+    /// A streaming trace source failed mid-sweep (truncated or corrupt
+    /// input, I/O failure). Carries the source error's message — the
+    /// underlying `TraceError` is not `Clone`, which this error type
+    /// requires.
+    TraceRead(String),
 }
 
 impl fmt::Display for DewError {
@@ -343,6 +348,7 @@ impl fmt::Display for DewError {
                 )
             }
             DewError::UnsoundOptions(why) => write!(f, "unsound option combination: {why}"),
+            DewError::TraceRead(why) => write!(f, "trace source failed mid-sweep: {why}"),
         }
     }
 }

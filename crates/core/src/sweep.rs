@@ -13,17 +13,18 @@
 //! pass, and the fused results are fanned back out into the per-pass
 //! [`PassResults`] shape, so [`SweepOutcome`] is unchanged for callers.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use dew_trace::{BlockChunks, Record};
+use dew_trace::{BlockChunks, Record, StreamBlockChunks, TraceSource};
 
 use crate::counters::DewCounters;
 use crate::lru_tree::{LruTreeOptions, LruTreeSimulator};
 use crate::multi_assoc::MultiAssocTree;
 use crate::options::{DewOptions, TreePolicy};
-use crate::results::{PassResults, SweepOutcome};
+use crate::results::{LevelResult, PassResults, ShardBounds, SweepOutcome};
+use crate::snapshot::SnapshotError;
 use crate::space::{ConfigSpace, DewError, PassConfig};
 
 /// Simulates every configuration of `space` over `records`.
@@ -146,6 +147,26 @@ fn sweep_trace_with(
         )
     };
 
+    Ok(assemble(
+        space,
+        &passes,
+        slots,
+        records.len() as u64,
+        trace_traversals,
+        options.policy,
+    ))
+}
+
+/// Fans the completed per-pass slots out into a [`SweepOutcome`] (shared by
+/// every sweep flavour: plain, sharded, sampled, streamed).
+fn assemble(
+    space: &ConfigSpace,
+    passes: &[PassConfig],
+    slots: Vec<OnceLock<(PassResults, DewCounters)>>,
+    accesses: u64,
+    trace_traversals: u64,
+    policy: TreePolicy,
+) -> SweepOutcome {
     let include_dm = space.assoc_bits().0 == 0;
     let mut misses: HashMap<(u32, u32, u32), u64> = HashMap::new();
     let mut dm_seen: HashMap<(u32, u32), u64> = HashMap::new();
@@ -178,13 +199,7 @@ fn sweep_trace_with(
         pass_counters.push((*pass, counters));
     }
 
-    Ok(SweepOutcome::new(
-        records.len() as u64,
-        misses,
-        pass_counters,
-        trace_traversals,
-        options.policy,
-    ))
+    SweepOutcome::new(accesses, misses, pass_counters, trace_traversals, policy)
 }
 
 /// Groups the passes by block size through an indexed map built once per
@@ -319,6 +334,725 @@ fn run_fused_lru(
         }
     });
     jobs.len() as u64
+}
+
+// ---------------------------------------------------------------------------
+// Sharded sweeps: bounded-memory simulation of a trace split into K
+// contiguous intervals, reconciled across the cold-start boundaries.
+// ---------------------------------------------------------------------------
+
+/// How a sharded sweep reconciles the cold simulator state at each shard
+/// boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// Carry exact kernel state across every boundary as a serialized
+    /// snapshot restored into a fresh kernel. Shards of one block size run
+    /// sequentially (parallelism stays across block sizes), and the result
+    /// is **bit-identical** to the unsharded sweep — this mode exists to
+    /// bound memory per traversal and to exactness-test the snapshot
+    /// format, not to add parallelism within a block size.
+    SnapshotHandoff,
+    /// Start every shard cold, but replay up to `overlap` records of the
+    /// preceding interval first to warm the kernel, then discard the
+    /// warmup's counts. All `(block size, shard)` items run in parallel.
+    /// The result is an estimate: [`SweepOutcome::bounds`] reports a
+    /// per-configuration slack derived from first-touch counting
+    /// (guaranteed sound for LRU, heuristic for FIFO — see the DESIGN
+    /// notes on cold-start reconciliation).
+    WarmupOverlap {
+        /// Records of warmup replay per boundary (clamped to the available
+        /// prefix).
+        overlap: usize,
+    },
+}
+
+/// A sharding request: how many intervals and how to reconcile them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of contiguous trace intervals (`0` and `1` both mean
+    /// unsharded).
+    pub shards: usize,
+    /// Boundary reconciliation mode.
+    pub mode: ShardMode,
+}
+
+/// One fused simulator, either policy: the sharded paths are policy-generic,
+/// so they dispatch through this enum instead of duplicating the driver.
+enum FusedKernel {
+    Fifo(Box<MultiAssocTree>),
+    Lru(Box<LruTreeSimulator>),
+}
+
+impl FusedKernel {
+    fn build(space: &ConfigSpace, job: &FusedJob, options: DewOptions) -> FusedKernel {
+        if options.policy == TreePolicy::Lru {
+            let lru_opts = LruTreeOptions {
+                depth_zero_stop: true,
+                duplicate_elision: options.dup_elision,
+            };
+            FusedKernel::Lru(Box::new(
+                LruTreeSimulator::with_instrumentation(
+                    job.block_bits,
+                    space.set_bits(),
+                    job.assoc_bits,
+                    lru_opts,
+                    false,
+                )
+                .expect("pass geometry validated above"),
+            ))
+        } else {
+            FusedKernel::Fifo(Box::new(
+                MultiAssocTree::with_instrumentation(
+                    job.block_bits,
+                    space.set_bits(),
+                    job.assoc_bits,
+                    options,
+                    false,
+                )
+                .expect("pass geometry and options validated above"),
+            ))
+        }
+    }
+
+    fn run_blocks(&mut self, blocks: &[u64]) {
+        match self {
+            FusedKernel::Fifo(tree) => tree.run_blocks(blocks),
+            FusedKernel::Lru(sim) => sim.run_blocks(blocks),
+        }
+    }
+
+    fn to_snapshot(&self) -> Vec<u8> {
+        match self {
+            FusedKernel::Fifo(tree) => tree.to_snapshot(),
+            FusedKernel::Lru(sim) => sim.to_snapshot(),
+        }
+    }
+
+    fn from_snapshot(policy: TreePolicy, bytes: &[u8]) -> Result<FusedKernel, SnapshotError> {
+        Ok(match policy {
+            TreePolicy::Lru => FusedKernel::Lru(Box::new(LruTreeSimulator::from_snapshot(bytes)?)),
+            TreePolicy::Fifo => FusedKernel::Fifo(Box::new(MultiAssocTree::from_snapshot(bytes)?)),
+        })
+    }
+
+    fn fan_out(&self, assoc: u32) -> (PassResults, DewCounters) {
+        match self {
+            FusedKernel::Fifo(tree) => (
+                tree.pass_results(assoc).expect("job covers its passes"),
+                tree.pass_counters(assoc).expect("job covers its passes"),
+            ),
+            FusedKernel::Lru(sim) => (
+                sim.pass_results(assoc).expect("job covers its passes"),
+                sim.pass_counters(assoc).expect("job covers its passes"),
+            ),
+        }
+    }
+}
+
+/// Splits `n` records into `shards` contiguous half-open intervals whose
+/// lengths differ by at most one.
+fn shard_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.max(1);
+    (0..shards)
+        .map(|s| (s * n / shards, (s + 1) * n / shards))
+        .collect()
+}
+
+/// Fieldwise `after - before` for monotone kernel counters.
+fn counters_delta(before: &DewCounters, after: &DewCounters) -> DewCounters {
+    DewCounters {
+        accesses: after.accesses - before.accesses,
+        node_evaluations: after.node_evaluations - before.node_evaluations,
+        mra_stops: after.mra_stops - before.mra_stops,
+        wave_hits: after.wave_hits - before.wave_hits,
+        wave_misses: after.wave_misses - before.wave_misses,
+        mre_misses: after.mre_misses - before.mre_misses,
+        intersection_hits: after.intersection_hits - before.intersection_hits,
+        intersection_misses: after.intersection_misses - before.intersection_misses,
+        searches: after.searches - before.searches,
+        duplicate_skips: after.duplicate_skips - before.duplicate_skips,
+        search_comparisons: after.search_comparisons - before.search_comparisons,
+        tag_comparisons: after.tag_comparisons - before.tag_comparisons,
+    }
+}
+
+/// Per-level `after - before` miss deltas: the counts attributable to the
+/// measured region once the warmup baseline is subtracted.
+fn results_delta(before: &PassResults, after: &PassResults) -> PassResults {
+    let levels = after
+        .levels()
+        .iter()
+        .zip(before.levels())
+        .map(|(a, b)| {
+            debug_assert_eq!(a.set_bits(), b.set_bits());
+            LevelResult::new(
+                a.set_bits(),
+                a.misses() - b.misses(),
+                a.dm_misses() - b.dm_misses(),
+            )
+        })
+        .collect();
+    PassResults::new(*after.pass(), after.accesses() - before.accesses(), levels)
+}
+
+/// Per-level sum of two shard deltas of the same pass.
+fn results_add(a: &PassResults, b: &PassResults) -> PassResults {
+    let levels = a
+        .levels()
+        .iter()
+        .zip(b.levels())
+        .map(|(x, y)| {
+            debug_assert_eq!(x.set_bits(), y.set_bits());
+            LevelResult::new(
+                x.set_bits(),
+                x.misses() + y.misses(),
+                x.dm_misses() + y.dm_misses(),
+            )
+        })
+        .collect();
+    PassResults::new(*a.pass(), a.accesses() + b.accesses(), levels)
+}
+
+/// [`sweep_trace`] over `records` split into `spec.shards` contiguous
+/// intervals, each simulated on the fused arena kernels with its state
+/// reconciled at the boundaries per [`ShardMode`].
+///
+/// With [`ShardMode::SnapshotHandoff`] the outcome is bit-identical to the
+/// unsharded sweep (the property tests prove this across random traces,
+/// spaces, shard and thread counts, both policies): each boundary crossing
+/// serializes the kernel and restores it into a fresh one, so the sharded
+/// path continuously exercises the snapshot wire format. Peak decoded-chunk
+/// memory per worker stays the [`BlockChunks`] chunk bound; kernel state is
+/// geometry-sized, independent of shard length.
+///
+/// With [`ShardMode::WarmupOverlap`] each `(block size, shard)` item is an
+/// independent parallel work unit: the shard replays up to `overlap`
+/// preceding records to warm its cold kernel, then simulates its own
+/// interval; the warmup's counts are subtracted out as a baseline. The
+/// summed result is an estimate whose error is bounded by first-touch
+/// counting: within a contiguous replayed window every non-first-touch
+/// access has its reuse interval inside the window and is classified
+/// exactly, so only first-touch-in-window accesses are unknowns — and each
+/// unknown that was truly a hit maps to a distinct block resident at the
+/// window start, capping the overcount at `sets × assoc` per boundary.
+/// [`SweepOutcome::bounds`] reports `Σ_{boundaries} min(first_touches,
+/// sets × assoc)` per configuration, flagged `guaranteed` only under LRU
+/// (FIFO lacks inclusion, so a cold FIFO queue can also *undercount*;
+/// the figure remains the right scale but not a proof — see DESIGN.md).
+/// [`SweepOutcome::records_simulated`] counts the warmup replays truthfully;
+/// [`SweepOutcome::trace_traversals`] stays the fused job count (the trace
+/// is still decoded once per block size worth of work).
+///
+/// `spec.shards <= 1` (or an empty trace) falls back to [`sweep_trace`].
+///
+/// # Errors
+///
+/// [`DewError::UnsoundOptions`] when `options` fails validation.
+pub fn sweep_trace_sharded(
+    space: &ConfigSpace,
+    records: &[Record],
+    options: DewOptions,
+    threads: usize,
+    spec: ShardSpec,
+) -> Result<SweepOutcome, DewError> {
+    options.validate()?;
+    if spec.shards <= 1 || records.is_empty() {
+        return sweep_trace(space, records, options, threads);
+    }
+    let passes = space.passes();
+    let slots: Vec<OnceLock<(PassResults, DewCounters)>> =
+        passes.iter().map(|_| OnceLock::new()).collect();
+    match spec.mode {
+        ShardMode::SnapshotHandoff => {
+            let traversals = run_sharded_handoff(
+                space,
+                &passes,
+                records,
+                options,
+                threads,
+                spec.shards,
+                &slots,
+            );
+            Ok(assemble(
+                space,
+                &passes,
+                slots,
+                records.len() as u64,
+                traversals,
+                options.policy,
+            ))
+        }
+        ShardMode::WarmupOverlap { overlap } => Ok(run_warmup_overlap(
+            space,
+            &passes,
+            records,
+            options,
+            threads,
+            spec.shards,
+            overlap,
+            slots,
+        )),
+    }
+}
+
+/// The exact sharded scheduler: shards of one block size run in sequence on
+/// one logical kernel whose state crosses each boundary only as serialized
+/// snapshot bytes restored into a fresh kernel. Returns the traversal count
+/// (still the job count — the shards of a job partition one traversal).
+fn run_sharded_handoff(
+    space: &ConfigSpace,
+    passes: &[PassConfig],
+    records: &[Record],
+    options: DewOptions,
+    threads: usize,
+    shards: usize,
+    slots: &[OnceLock<(PassResults, DewCounters)>],
+) -> u64 {
+    let jobs = group_by_block(passes);
+    let ranges = shard_ranges(records.len(), shards);
+    let workers = worker_count(threads, jobs.len());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut chunks = BlockChunks::new(&[], 0, BlockChunks::DEFAULT_CHUNK);
+                loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(j) else { break };
+                    let mut kernel = FusedKernel::build(space, job, options);
+                    for (si, &(lo, hi)) in ranges.iter().enumerate() {
+                        if si > 0 {
+                            // The handoff is the point: state crosses the
+                            // boundary only as wire-format bytes, so every
+                            // sharded sweep doubles as a snapshot
+                            // round-trip exactness test.
+                            let bytes = kernel.to_snapshot();
+                            kernel = FusedKernel::from_snapshot(options.policy, &bytes)
+                                .expect("kernel snapshots round-trip");
+                        }
+                        chunks.reset(&records[lo..hi], job.block_bits);
+                        while let Some(chunk) = chunks.next_chunk() {
+                            kernel.run_blocks(chunk);
+                        }
+                    }
+                    for &i in &job.pass_idx {
+                        let fanned = kernel.fan_out(passes[i].assoc());
+                        let claimed = slots[i].set(fanned);
+                        assert!(claimed.is_ok(), "slot {i} claimed by exactly one worker");
+                    }
+                }
+            });
+        }
+    });
+    jobs.len() as u64
+}
+
+/// Per-`(job, shard)` output of the warmup-overlap scheduler: the measured
+/// region's deltas for each of the job's passes, plus the shard's
+/// first-touch count (accesses whose reuse interval escapes the replayed
+/// window — the only accesses the warmup can misclassify).
+struct ShardPartial {
+    /// Parallel to `job.pass_idx`.
+    passes: Vec<(PassResults, DewCounters)>,
+    first_touch: u64,
+}
+
+/// The estimating sharded scheduler: every `(block size, shard)` pair is an
+/// independent parallel item (this is the mode that adds intra-block-size
+/// parallelism and needs no sequential handoff). Builds the summed outcome
+/// with its [`ShardBounds`] directly.
+#[allow(clippy::too_many_arguments)]
+fn run_warmup_overlap(
+    space: &ConfigSpace,
+    passes: &[PassConfig],
+    records: &[Record],
+    options: DewOptions,
+    threads: usize,
+    shards: usize,
+    overlap: usize,
+    slots: Vec<OnceLock<(PassResults, DewCounters)>>,
+) -> SweepOutcome {
+    let jobs = group_by_block(passes);
+    let ranges = shard_ranges(records.len(), shards);
+    // First-touch tracking saturates at the largest configuration of the
+    // space: beyond `max sets × max assoc` distinct blocks, every per-config
+    // `min(F, sets × assoc)` is already pinned, so the seen-set stays
+    // bounded by the space geometry (plus the overlap window), not by the
+    // shard length.
+    let cap_max = {
+        let (_, smax) = space.set_bits();
+        let (_, amax) = space.assoc_bits();
+        (1u64 << smax) * (1u64 << amax)
+    };
+    let items = jobs.len() * shards;
+    let partials: Vec<OnceLock<ShardPartial>> = (0..items).map(|_| OnceLock::new()).collect();
+    let workers = worker_count(threads, items);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut chunks = BlockChunks::new(&[], 0, BlockChunks::DEFAULT_CHUNK);
+                loop {
+                    let it = next.fetch_add(1, Ordering::Relaxed);
+                    if it >= items {
+                        break;
+                    }
+                    let (j, si) = (it / shards, it % shards);
+                    let job = &jobs[j];
+                    let (lo, hi) = ranges[si];
+                    let warm_lo = lo.saturating_sub(overlap);
+                    let mut kernel = FusedKernel::build(space, job, options);
+                    let mut seen: HashSet<u64> = HashSet::new();
+                    // Warmup replay: simulate the preceding window, then
+                    // freeze a baseline so its counts subtract out.
+                    chunks.reset(&records[warm_lo..lo], job.block_bits);
+                    while let Some(chunk) = chunks.next_chunk() {
+                        if si > 0 {
+                            seen.extend(chunk.iter().copied());
+                        }
+                        kernel.run_blocks(chunk);
+                    }
+                    let baseline: Vec<(PassResults, DewCounters)> = job
+                        .pass_idx
+                        .iter()
+                        .map(|&i| kernel.fan_out(passes[i].assoc()))
+                        .collect();
+                    // Measured region, counting first touches (shard 0
+                    // starts exact — its "window" is the whole prefix).
+                    let mut first_touch = 0u64;
+                    chunks.reset(&records[lo..hi], job.block_bits);
+                    while let Some(chunk) = chunks.next_chunk() {
+                        if si > 0 && first_touch < cap_max {
+                            for &block in chunk {
+                                if first_touch >= cap_max {
+                                    break;
+                                }
+                                if seen.insert(block) {
+                                    first_touch += 1;
+                                }
+                            }
+                        }
+                        kernel.run_blocks(chunk);
+                    }
+                    let partial = ShardPartial {
+                        passes: job
+                            .pass_idx
+                            .iter()
+                            .enumerate()
+                            .map(|(p, &i)| {
+                                let after = kernel.fan_out(passes[i].assoc());
+                                (
+                                    results_delta(&baseline[p].0, &after.0),
+                                    counters_delta(&baseline[p].1, &after.1),
+                                )
+                            })
+                            .collect(),
+                        first_touch,
+                    };
+                    let claimed = partials[it].set(partial);
+                    assert!(claimed.is_ok(), "item {it} claimed by exactly one worker");
+                }
+            });
+        }
+    });
+
+    // Sum the measured-region deltas shard by shard into the pass slots.
+    for (j, job) in jobs.iter().enumerate() {
+        for (p, &i) in job.pass_idx.iter().enumerate() {
+            let mut acc: Option<(PassResults, DewCounters)> = None;
+            for si in 0..shards {
+                let part = partials[j * shards + si]
+                    .get()
+                    .expect("all items completed");
+                let (results, counters) = &part.passes[p];
+                acc = Some(match acc {
+                    None => (results.clone(), *counters),
+                    Some((ar, ac)) => (results_add(&ar, results), ac + *counters),
+                });
+            }
+            let claimed = slots[i].set(acc.expect("shards >= 1"));
+            assert!(claimed.is_ok(), "slot {i} filled exactly once");
+        }
+    }
+
+    // Slack per configuration: sum over cold boundaries of
+    // min(first_touches, sets × assoc).
+    let include_dm = space.assoc_bits().0 == 0;
+    let mut slack: HashMap<(u32, u32, u32), u64> = HashMap::new();
+    for (j, job) in jobs.iter().enumerate() {
+        let touches: Vec<u64> = (1..shards)
+            .map(|si| {
+                partials[j * shards + si]
+                    .get()
+                    .expect("all items completed")
+                    .first_touch
+            })
+            .collect();
+        for &i in &job.pass_idx {
+            let pass = &passes[i];
+            for sb in pass.min_set_bits()..=pass.max_set_bits() {
+                let sets = 1u32 << sb;
+                let cap = u64::from(sets) * u64::from(pass.assoc());
+                let total: u64 = touches.iter().map(|&f| f.min(cap)).sum();
+                slack.insert((sets, pass.assoc(), pass.block_bytes()), total);
+                if include_dm {
+                    let dm_cap = u64::from(sets);
+                    let dm_total: u64 = touches.iter().map(|&f| f.min(dm_cap)).sum();
+                    slack.insert((sets, 1, pass.block_bytes()), dm_total);
+                }
+            }
+        }
+    }
+
+    let warmup_total: u64 = ranges
+        .iter()
+        .skip(1)
+        .map(|&(lo, _)| (lo - lo.saturating_sub(overlap)) as u64)
+        .sum();
+    let records_simulated = jobs.len() as u64 * (records.len() as u64 + warmup_total);
+    assemble(
+        space,
+        passes,
+        slots,
+        records.len() as u64,
+        jobs.len() as u64,
+        options.policy,
+    )
+    .with_records_simulated(records_simulated)
+    .with_bounds(ShardBounds::new(slack, options.policy == TreePolicy::Lru))
+}
+
+/// [`sweep_trace`] over a **periodic cluster sample** of `records`: from
+/// every window of `period` records, the leading `sample_len` are kept
+/// (see `dew_trace::sample::periodic`) and spliced into one continuous
+/// stream per fused kernel.
+///
+/// The returned outcome describes the *sampled* stream — `accesses()` is
+/// the retained record count and miss counts are raw counts over it;
+/// extrapolate by `period / sample_len` for full-trace estimates (that
+/// extrapolation error is statistical and not bounded here). What *is*
+/// bounded is the splice error inside the measured stream: each cluster is
+/// a contiguous original-trace window, so exactly the warmup-overlap
+/// argument applies per cluster — non-first-touch accesses within a
+/// cluster are classified exactly, and [`SweepOutcome::bounds`] carries
+/// `Σ_{clusters after the first} min(first_touches, sets × assoc)` per
+/// configuration (guaranteed for LRU, heuristic for FIFO).
+///
+/// `sample_len == period` keeps everything and falls back to
+/// [`sweep_trace`].
+///
+/// # Errors
+///
+/// [`DewError::UnsoundOptions`] when `options` fails validation or when
+/// `period == 0`, `sample_len == 0`, or `sample_len > period`.
+pub fn sweep_trace_sampled(
+    space: &ConfigSpace,
+    records: &[Record],
+    options: DewOptions,
+    threads: usize,
+    period: usize,
+    sample_len: usize,
+) -> Result<SweepOutcome, DewError> {
+    options.validate()?;
+    if period == 0 || sample_len == 0 || sample_len > period {
+        return Err(DewError::UnsoundOptions(
+            "sampling needs 0 < sample_len <= period",
+        ));
+    }
+    if sample_len == period {
+        return sweep_trace(space, records, options, threads);
+    }
+    let sampled: Vec<Record> = records
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % period < sample_len)
+        .map(|(_, r)| *r)
+        .collect();
+
+    let passes = space.passes();
+    let slots: Vec<OnceLock<(PassResults, DewCounters)>> =
+        passes.iter().map(|_| OnceLock::new()).collect();
+    let jobs = group_by_block(&passes);
+    let cap_max = {
+        let (_, smax) = space.set_bits();
+        let (_, amax) = space.assoc_bits();
+        (1u64 << smax) * (1u64 << amax)
+    };
+    // Per-job first-touch totals over clusters 1.. (cluster 0 starts exact),
+    // each already saturated at every per-config cap via min() at sum time —
+    // so only the per-cluster counts are kept, as one capped running vector.
+    let touch_slots: Vec<OnceLock<Vec<u64>>> = jobs.iter().map(|_| OnceLock::new()).collect();
+    let workers = worker_count(threads, jobs.len());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut chunks = BlockChunks::new(&[], 0, BlockChunks::DEFAULT_CHUNK);
+                loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(j) else { break };
+                    let mut kernel = FusedKernel::build(space, job, options);
+                    let mut seen: HashSet<u64> = HashSet::new();
+                    let mut touches: Vec<u64> = Vec::new();
+                    let mut cluster_touch = 0u64;
+                    let mut pos = 0usize;
+                    chunks.reset(&sampled, job.block_bits);
+                    while let Some(chunk) = chunks.next_chunk() {
+                        for &block in chunk {
+                            if pos % sample_len == 0 {
+                                // New cluster: the previous window closes.
+                                if pos > 0 {
+                                    touches.push(cluster_touch);
+                                }
+                                seen.clear();
+                                cluster_touch = 0;
+                            }
+                            // Cluster 0 starts on exact state; later
+                            // clusters count first touches (saturated at
+                            // the space's largest configuration).
+                            if pos >= sample_len && cluster_touch < cap_max && seen.insert(block) {
+                                cluster_touch += 1;
+                            }
+                            pos += 1;
+                        }
+                        kernel.run_blocks(chunk);
+                    }
+                    if pos > sample_len {
+                        touches.push(cluster_touch);
+                    }
+                    let claimed = touch_slots[j].set(touches);
+                    assert!(claimed.is_ok(), "job {j} claimed by exactly one worker");
+                    for &i in &job.pass_idx {
+                        let fanned = kernel.fan_out(passes[i].assoc());
+                        let claimed = slots[i].set(fanned);
+                        assert!(claimed.is_ok(), "slot {i} claimed by exactly one worker");
+                    }
+                }
+            });
+        }
+    });
+
+    let include_dm = space.assoc_bits().0 == 0;
+    let mut slack: HashMap<(u32, u32, u32), u64> = HashMap::new();
+    for (j, job) in jobs.iter().enumerate() {
+        let touches = touch_slots[j].get().expect("all jobs completed");
+        for &i in &job.pass_idx {
+            let pass = &passes[i];
+            for sb in pass.min_set_bits()..=pass.max_set_bits() {
+                let sets = 1u32 << sb;
+                let cap = u64::from(sets) * u64::from(pass.assoc());
+                let total: u64 = touches.iter().map(|&f| f.min(cap)).sum();
+                slack.insert((sets, pass.assoc(), pass.block_bytes()), total);
+                if include_dm {
+                    let dm_cap = u64::from(sets);
+                    let dm_total: u64 = touches.iter().map(|&f| f.min(dm_cap)).sum();
+                    slack.insert((sets, 1, pass.block_bytes()), dm_total);
+                }
+            }
+        }
+    }
+
+    Ok(assemble(
+        space,
+        &passes,
+        slots,
+        sampled.len() as u64,
+        jobs.len() as u64,
+        options.policy,
+    )
+    .with_records_simulated(sampled.len() as u64 * jobs.len() as u64)
+    .with_bounds(ShardBounds::new(slack, options.policy == TreePolicy::Lru)))
+}
+
+/// [`sweep_trace`] from a re-openable [`TraceSource`] instead of an
+/// in-memory record slice: each fused job opens its own reader and streams
+/// it through a [`StreamBlockChunks`] decoder, so peak memory per worker is
+/// the chunk buffer (`BlockChunks::DEFAULT_CHUNK × 8` bytes) plus
+/// geometry-sized kernel state — the trace itself is never resident. This
+/// is the path that sweeps billion-request traces in megabytes.
+///
+/// The source is opened once per block size (the fused traversal count);
+/// it must replay identically on every open — the driver cross-checks the
+/// decoded record counts across jobs and panics on disagreement.
+///
+/// # Errors
+///
+/// [`DewError::UnsoundOptions`] when `options` fails validation;
+/// [`DewError::TraceRead`] when any open or any record yields an error
+/// (e.g. a truncated or corrupt binary trace) — reported, not panicked,
+/// and the remaining work is abandoned promptly.
+pub fn sweep_trace_streamed<S: TraceSource>(
+    space: &ConfigSpace,
+    source: &S,
+    options: DewOptions,
+    threads: usize,
+) -> Result<SweepOutcome, DewError> {
+    options.validate()?;
+    let passes = space.passes();
+    let slots: Vec<OnceLock<(PassResults, DewCounters)>> =
+        passes.iter().map(|_| OnceLock::new()).collect();
+    let jobs = group_by_block(&passes);
+    let counts: Vec<OnceLock<u64>> = jobs.iter().map(|_| OnceLock::new()).collect();
+    let failure: OnceLock<String> = OnceLock::new();
+    let workers = worker_count(threads, jobs.len());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if failure.get().is_some() {
+                    break;
+                }
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(j) else { break };
+                let reader = match source.open() {
+                    Ok(reader) => reader,
+                    Err(err) => {
+                        let _ = failure.set(err.to_string());
+                        break;
+                    }
+                };
+                let mut chunks =
+                    StreamBlockChunks::new(reader, job.block_bits, BlockChunks::DEFAULT_CHUNK);
+                let mut kernel = FusedKernel::build(space, job, options);
+                loop {
+                    match chunks.next_chunk() {
+                        Ok(Some(chunk)) => kernel.run_blocks(chunk),
+                        Ok(None) => break,
+                        Err(err) => {
+                            let _ = failure.set(err.to_string());
+                            return;
+                        }
+                    }
+                }
+                let claimed = counts[j].set(chunks.decoded());
+                assert!(claimed.is_ok(), "job {j} claimed by exactly one worker");
+                for &i in &job.pass_idx {
+                    let fanned = kernel.fan_out(passes[i].assoc());
+                    let claimed = slots[i].set(fanned);
+                    assert!(claimed.is_ok(), "slot {i} claimed by exactly one worker");
+                }
+            });
+        }
+    });
+    if let Some(why) = failure.get() {
+        return Err(DewError::TraceRead(why.clone()));
+    }
+    let accesses = counts.first().and_then(|c| c.get().copied()).unwrap_or(0);
+    for count in &counts {
+        assert_eq!(
+            count.get().copied(),
+            Some(accesses),
+            "trace source must replay identically on every open"
+        );
+    }
+    Ok(assemble(
+        space,
+        &passes,
+        slots,
+        accesses,
+        jobs.len() as u64,
+        options.policy,
+    ))
 }
 
 #[cfg(test)]
@@ -514,5 +1248,192 @@ mod tests {
             outcome.total_counters().accesses,
             300 * outcome.passes().len() as u64
         );
+    }
+
+    fn lru_options() -> DewOptions {
+        DewOptions {
+            policy: TreePolicy::Lru,
+            mra_stop: false,
+            ..DewOptions::default()
+        }
+    }
+
+    #[test]
+    fn snapshot_handoff_is_bit_identical_to_sequential() {
+        let space = ConfigSpace::new((0, 4), (0, 2), (0, 2)).expect("valid");
+        let records = trace(1100);
+        for options in [DewOptions::default(), lru_options()] {
+            let sequential = sweep_trace(&space, &records, options, 0).expect("sweep");
+            for shards in [2, 3, 5, 7] {
+                let spec = ShardSpec {
+                    shards,
+                    mode: ShardMode::SnapshotHandoff,
+                };
+                let sharded =
+                    sweep_trace_sharded(&space, &records, options, 0, spec).expect("sharded");
+                assert_eq!(sharded.sorted(), sequential.sorted(), "shards={shards}");
+                assert_eq!(sharded.trace_traversals(), sequential.trace_traversals());
+                assert_eq!(sharded.records_simulated(), sequential.records_simulated());
+                assert!(sharded.bounds().is_none(), "handoff mode is exact");
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_falls_back_to_the_plain_sweep() {
+        let space = ConfigSpace::new((0, 3), (0, 1), (0, 1)).expect("valid");
+        let records = trace(400);
+        let spec = ShardSpec {
+            shards: 1,
+            mode: ShardMode::SnapshotHandoff,
+        };
+        let a = sweep_trace_sharded(&space, &records, DewOptions::default(), 1, spec).expect("ok");
+        let b = sweep_trace(&space, &records, DewOptions::default(), 1).expect("ok");
+        assert_eq!(a.sorted(), b.sorted());
+    }
+
+    #[test]
+    fn warmup_overlap_lru_estimate_is_within_its_slack() {
+        let space = ConfigSpace::new((0, 3), (0, 2), (0, 1)).expect("valid");
+        let records = trace(1600);
+        let exact = sweep_trace(&space, &records, lru_options(), 0).expect("sweep");
+        for overlap in [0usize, 64, 400] {
+            let spec = ShardSpec {
+                shards: 4,
+                mode: ShardMode::WarmupOverlap { overlap },
+            };
+            let est = sweep_trace_sharded(&space, &records, lru_options(), 0, spec).expect("est");
+            let bounds = est.bounds().expect("warmup mode reports bounds");
+            assert!(bounds.guaranteed(), "LRU bound is guaranteed");
+            for (sets, assoc, block) in space.configs() {
+                let truth = exact.misses(sets, assoc, block).expect("covered");
+                let guess = est.misses(sets, assoc, block).expect("covered");
+                let slack = bounds.slack(sets, assoc, block).expect("covered");
+                assert!(
+                    guess >= truth && guess - truth <= slack,
+                    "({sets},{assoc},{block}): truth={truth} est={guess} slack={slack}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_overlap_counts_replayed_records_truthfully() {
+        let space = ConfigSpace::new((0, 2), (0, 1), (0, 1)).expect("valid");
+        let records = trace(1000);
+        let overlap = 100;
+        let spec = ShardSpec {
+            shards: 4,
+            mode: ShardMode::WarmupOverlap { overlap },
+        };
+        let est =
+            sweep_trace_sharded(&space, &records, DewOptions::default(), 2, spec).expect("est");
+        // 2 block sizes (jobs), 3 boundaries each replaying 100 records.
+        assert_eq!(est.trace_traversals(), 2);
+        assert_eq!(est.records_simulated(), 2 * (1000 + 3 * 100));
+        assert_eq!(est.accesses(), 1000);
+        let bounds = est.bounds().expect("bounds");
+        assert!(!bounds.guaranteed(), "FIFO slack is heuristic");
+    }
+
+    #[test]
+    fn warmup_with_full_overlap_is_exact() {
+        // When every shard replays the entire preceding prefix, the kernels
+        // are fully warm: the estimate must equal the exact sweep (and for
+        // LRU the bound must still hold with equality at slack usage 0).
+        let space = ConfigSpace::new((0, 3), (0, 2), (0, 2)).expect("valid");
+        let records = trace(900);
+        for options in [DewOptions::default(), lru_options()] {
+            let exact = sweep_trace(&space, &records, options, 0).expect("sweep");
+            let spec = ShardSpec {
+                shards: 3,
+                mode: ShardMode::WarmupOverlap {
+                    overlap: records.len(),
+                },
+            };
+            let est = sweep_trace_sharded(&space, &records, options, 0, spec).expect("est");
+            for (sets, assoc, block) in space.configs() {
+                assert_eq!(
+                    est.misses(sets, assoc, block),
+                    exact.misses(sets, assoc, block),
+                    "({sets},{assoc},{block})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_sweep_validates_and_degenerates_to_exact() {
+        let space = ConfigSpace::new((0, 2), (0, 1), (0, 1)).expect("valid");
+        let records = trace(500);
+        assert!(sweep_trace_sampled(&space, &records, DewOptions::default(), 1, 0, 1).is_err());
+        assert!(sweep_trace_sampled(&space, &records, DewOptions::default(), 1, 8, 0).is_err());
+        assert!(sweep_trace_sampled(&space, &records, DewOptions::default(), 1, 8, 9).is_err());
+        let full = sweep_trace_sampled(&space, &records, DewOptions::default(), 1, 8, 8)
+            .expect("identity sampling");
+        let exact = sweep_trace(&space, &records, DewOptions::default(), 1).expect("sweep");
+        assert_eq!(full.sorted(), exact.sorted());
+        assert!(full.bounds().is_none(), "identity sampling is exact");
+    }
+
+    #[test]
+    fn sampled_sweep_reports_retained_accesses_and_bounds() {
+        let space = ConfigSpace::new((0, 3), (0, 1), (0, 1)).expect("valid");
+        let records = trace(1000);
+        let est = sweep_trace_sampled(&space, &records, lru_options(), 0, 100, 25).expect("est");
+        assert_eq!(est.accesses(), 250, "10 clusters of 25");
+        let bounds = est.bounds().expect("sampled mode reports bounds");
+        assert!(bounds.guaranteed(), "LRU bound is guaranteed");
+        // The sampled stream is itself a trace; per-config miss counts must
+        // be within slack of an exact sweep over the same spliced stream.
+        let sampled: Vec<Record> = records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 100 < 25)
+            .map(|(_, r)| *r)
+            .collect();
+        let exact = sweep_trace(&space, &sampled, lru_options(), 0).expect("sweep");
+        for (sets, assoc, block) in space.configs() {
+            let truth = exact.misses(sets, assoc, block).expect("covered");
+            let guess = est.misses(sets, assoc, block).expect("covered");
+            let slack = bounds.slack(sets, assoc, block).expect("covered");
+            assert!(
+                guess.abs_diff(truth) <= slack,
+                "({sets},{assoc},{block}): truth={truth} est={guess} slack={slack}"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_sweep_matches_in_memory_sweep() {
+        use dew_trace::SliceSource;
+        let space = ConfigSpace::new((0, 4), (0, 2), (0, 2)).expect("valid");
+        let records = trace(1300);
+        for options in [DewOptions::default(), lru_options()] {
+            let in_memory = sweep_trace(&space, &records, options, 0).expect("sweep");
+            let streamed =
+                sweep_trace_streamed(&space, &SliceSource(&records), options, 0).expect("stream");
+            assert_eq!(streamed.sorted(), in_memory.sorted());
+            assert_eq!(streamed.accesses(), in_memory.accesses());
+            assert_eq!(streamed.trace_traversals(), in_memory.trace_traversals());
+        }
+    }
+
+    #[test]
+    fn streamed_sweep_reports_source_errors() {
+        use dew_trace::TraceError;
+        let space = ConfigSpace::new((0, 2), (0, 1), (0, 1)).expect("valid");
+        // A source whose reader fails after two good records.
+        let source = || {
+            Ok([
+                Ok(Record::read(0)),
+                Ok(Record::read(64)),
+                Err(TraceError::Truncated),
+            ]
+            .into_iter())
+        };
+        let err = sweep_trace_streamed(&space, &source, DewOptions::default(), 1)
+            .expect_err("truncation must surface");
+        assert!(matches!(err, DewError::TraceRead(_)), "{err}");
     }
 }

@@ -33,7 +33,10 @@
 use std::fmt;
 use std::time::Instant;
 
-use dew_core::{sweep_trace, ConfigSpace, DewError, DewOptions, SweepOutcome, TreePolicy};
+use dew_core::{
+    sweep_trace, sweep_trace_sharded, ConfigSpace, DewError, DewOptions, ShardSpec, SweepOutcome,
+    TreePolicy,
+};
 use dew_trace::Record;
 
 use crate::energy::EnergyModel;
@@ -407,6 +410,27 @@ pub fn explore_trace(
     mode: ParetoMode,
     threads: usize,
 ) -> Result<ExplorationReport, DewError> {
+    explore_trace_with_shards(exploration, records, model, mode, threads, None)
+}
+
+/// [`explore_trace`] with the underlying sweeps sharded per `spec` (see
+/// `dew_core::sweep_trace_sharded`). With `ShardMode::SnapshotHandoff`
+/// — the mode the CLI's `--shards` selects — every score is computed from
+/// miss counts bit-identical to the unsharded sweep, so the frontier is
+/// unchanged; the sharding only bounds per-traversal memory. `None` (or
+/// `shards <= 1`) is exactly [`explore_trace`].
+///
+/// # Errors
+///
+/// As [`explore_trace`].
+pub fn explore_trace_with_shards(
+    exploration: &ExplorationSpace,
+    records: &[Record],
+    model: &EnergyModel,
+    mode: ParetoMode,
+    threads: usize,
+    spec: Option<ShardSpec>,
+) -> Result<ExplorationReport, DewError> {
     let start = Instant::now();
     let mut sweeps: Vec<SweepOutcome> = Vec::with_capacity(exploration.policies.len());
     for &policy in &exploration.policies {
@@ -414,7 +438,10 @@ pub fn explore_trace(
             TreePolicy::Fifo => DewOptions::default(),
             TreePolicy::Lru => DewOptions::lru(),
         };
-        sweeps.push(sweep_trace(&exploration.space, records, options, threads)?);
+        sweeps.push(match spec {
+            Some(spec) => sweep_trace_sharded(&exploration.space, records, options, threads, spec)?,
+            None => sweep_trace(&exploration.space, records, options, threads)?,
+        });
     }
     let sweep_seconds = start.elapsed().as_secs_f64();
     Ok(score_sweeps(

@@ -17,7 +17,10 @@
 //!   unique-block footprints per block size);
 //! * batched block-number decoding ([`decode_blocks`], [`BlockChunks`]) so
 //!   multi-pass simulators decode `Record → u64` once per block size instead
-//!   of once per pass.
+//!   of once per pass;
+//! * bounded-memory streaming ingestion ([`StreamBlockChunks`],
+//!   [`TraceSource`]) so traces longer than RAM feed the same batched
+//!   kernels straight from a reader or generator.
 //!
 //! This crate is the first stage of the pipeline documented in the
 //! repository's `docs/GUIDE.md`: traces flow through the block decoder
@@ -48,10 +51,12 @@ mod error;
 mod record;
 pub mod sample;
 pub mod stats;
+mod stream;
 mod trace;
 
 pub use blocks::{decode_blocks, decode_blocks_into, BlockChunks};
 pub use error::{ParseRecordError, TraceError};
 pub use record::{AccessKind, BlockAddr, Record};
 pub use stats::TraceStats;
+pub use stream::{SliceIter, SliceSource, StreamBlockChunks, TraceSource};
 pub use trace::Trace;

@@ -137,6 +137,45 @@ mod tests {
     }
 
     #[test]
+    fn empty_trace_samples_to_empty() {
+        let empty = Trace::new();
+        assert!(prefix(&empty, 5).is_empty());
+        assert!(periodic(&empty, 4, 2).is_empty());
+        assert!(stratified(&empty, 3).is_empty());
+        assert_eq!(retained_fraction(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn period_at_least_trace_length_keeps_one_cluster() {
+        // A period covering the whole trace leaves exactly one cluster: the
+        // head `sample_len` requests (or everything, if the cluster is
+        // longer than the trace).
+        let t = trace(6);
+        assert_eq!(periodic(&t, 6, 2), prefix(&t, 2));
+        assert_eq!(periodic(&t, 100, 4), prefix(&t, 4));
+        assert_eq!(periodic(&t, 100, 100), t, "oversized cluster is identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn periodic_rejects_zero_period() {
+        let _ = periodic(&trace(5), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn stratified_rejects_zero_stride() {
+        let _ = stratified(&trace(5), 0);
+    }
+
+    #[test]
+    fn stratified_stride_one_is_identity() {
+        let t = trace(11);
+        assert_eq!(stratified(&t, 1), t);
+        assert!((retained_fraction(&t, &stratified(&t, 1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn error_and_fraction_helpers() {
         assert!((relative_error(0.5, 0.45) - 0.1).abs() < 1e-12);
         assert!((relative_error(0.2, 0.25) - 0.25).abs() < 1e-12);

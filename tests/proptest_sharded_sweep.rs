@@ -1,0 +1,230 @@
+//! Property-based contract of the sharded sweep paths.
+//!
+//! The headline: snapshot-handoff sharding is **bit-identical** to the
+//! sequential fused sweep — across random traces, spaces, shard counts,
+//! thread counts, and both policies — and therefore also exact against the
+//! brute-force per-configuration oracle. The estimating paths
+//! (warmup-overlap sharding and periodic-cluster sampling) must honour
+//! their stated error bounds: under LRU the reported cold-start slack is a
+//! guaranteed envelope, and a full-prefix warmup reproduces the exact sweep
+//! under either policy. The streamed driver must match the in-memory one
+//! record for record.
+
+use proptest::prelude::*;
+
+use dew_cachesim::{simulate_trace, CacheConfig, Replacement};
+use dew_core::{
+    sweep_trace, sweep_trace_sampled, sweep_trace_sharded, sweep_trace_streamed, ConfigSpace,
+    DewOptions, ShardMode, ShardSpec, TreePolicy,
+};
+use dew_trace::{Record, SliceSource};
+
+/// Traces mixing tight locality with scattered far references, as in the
+/// fused-sweep properties.
+fn trace_strategy() -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..256).prop_map(|a| Record::read(a * 4)), // hot words
+            (0u64..65_536).prop_map(Record::read),         // scattered
+            (0u64..64).prop_map(Record::write),            // hot bytes
+        ],
+        1..400,
+    )
+}
+
+/// Small but shape-diverse spaces: varying set ranges, 1-2 block sizes,
+/// associativity ranges that may or may not include 1.
+fn space_strategy() -> impl Strategy<Value = ConfigSpace> {
+    (0u32..3, 0u32..4, 0u32..4, 0u32..2, 0u32..3, 0u32..2).prop_map(
+        |(min_s, extra_s, min_b, extra_b, min_a, extra_a)| {
+            ConfigSpace::new(
+                (min_s, min_s + extra_s),
+                (min_b, min_b + extra_b),
+                (min_a, min_a + extra_a),
+            )
+            .expect("ranges are non-inverted by construction")
+        },
+    )
+}
+
+fn options_for(policy: TreePolicy) -> DewOptions {
+    match policy {
+        TreePolicy::Fifo => DewOptions::default(),
+        TreePolicy::Lru => DewOptions::lru(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn snapshot_handoff_is_bit_identical_to_sequential(
+        records in trace_strategy(),
+        space in space_strategy(),
+        shards in 1usize..6,
+        threads in 0usize..4,
+        lru in any::<bool>(),
+    ) {
+        let policy = if lru { TreePolicy::Lru } else { TreePolicy::Fifo };
+        let options = options_for(policy);
+        let sequential = sweep_trace(&space, &records, options, 1).expect("sweep");
+        let spec = ShardSpec { shards, mode: ShardMode::SnapshotHandoff };
+        let sharded = sweep_trace_sharded(&space, &records, options, threads, spec)
+            .expect("sharded sweep");
+
+        prop_assert_eq!(sharded.sorted(), sequential.sorted(),
+            "shards={} threads={} policy={}", shards, threads, policy);
+
+        // Truthful accounting: handoff sharding neither adds traversals nor
+        // replays records — the shards of a job partition one traversal.
+        let (blo, bhi) = space.block_bits();
+        prop_assert_eq!(sharded.trace_traversals(), u64::from(bhi - blo + 1));
+        prop_assert_eq!(
+            sharded.records_simulated(),
+            records.len() as u64 * sharded.trace_traversals()
+        );
+        prop_assert!(sharded.bounds().is_none(), "handoff mode is exact");
+    }
+
+    #[test]
+    fn snapshot_handoff_matches_the_oracle(
+        records in trace_strategy(),
+        space in space_strategy(),
+        shards in 2usize..6,
+        lru in any::<bool>(),
+    ) {
+        let (policy, replacement) = if lru {
+            (TreePolicy::Lru, Replacement::Lru)
+        } else {
+            (TreePolicy::Fifo, Replacement::Fifo)
+        };
+        let spec = ShardSpec { shards, mode: ShardMode::SnapshotHandoff };
+        let sharded = sweep_trace_sharded(&space, &records, options_for(policy), 0, spec)
+            .expect("sharded sweep");
+        for (sets, assoc, block) in space.configs() {
+            let config = CacheConfig::new(sets, assoc, block, replacement).expect("valid");
+            let expected = simulate_trace(config, &records).misses();
+            prop_assert_eq!(
+                sharded.misses(sets, assoc, block),
+                Some(expected),
+                "oracle mismatch at ({}, {}, {}) under {}", sets, assoc, block, policy
+            );
+        }
+    }
+
+    #[test]
+    fn warmup_overlap_slack_is_a_guaranteed_envelope_under_lru(
+        records in trace_strategy(),
+        space in space_strategy(),
+        shards in 2usize..6,
+        overlap in 0usize..300,
+        threads in 0usize..4,
+    ) {
+        let options = DewOptions::lru();
+        let exact = sweep_trace(&space, &records, options, 1).expect("sweep");
+        let spec = ShardSpec { shards, mode: ShardMode::WarmupOverlap { overlap } };
+        let est = sweep_trace_sharded(&space, &records, options, threads, spec)
+            .expect("estimated sweep");
+        let bounds = est.bounds().expect("warmup mode reports bounds");
+        prop_assert!(bounds.guaranteed(), "the LRU cold-start bound is guaranteed");
+        for (sets, assoc, block) in space.configs() {
+            let truth = exact.misses(sets, assoc, block).expect("covered");
+            let guess = est.misses(sets, assoc, block).expect("covered");
+            let slack = bounds.slack(sets, assoc, block).expect("covered");
+            // A cold LRU shard can only *overcount* misses (inclusion: the
+            // warm cache holds a superset of useful recency state), and the
+            // overcount is at most the first-touch slack.
+            prop_assert!(
+                guess >= truth && guess - truth <= slack,
+                "({}, {}, {}): truth={} est={} slack={}",
+                sets, assoc, block, truth, guess, slack
+            );
+        }
+        // Warmup replays are charged to records_simulated, never hidden.
+        prop_assert!(est.records_simulated()
+            >= est.accesses() * est.trace_traversals());
+    }
+
+    #[test]
+    fn warmup_with_the_whole_prefix_is_exact_under_both_policies(
+        records in trace_strategy(),
+        space in space_strategy(),
+        shards in 2usize..5,
+        lru in any::<bool>(),
+    ) {
+        let policy = if lru { TreePolicy::Lru } else { TreePolicy::Fifo };
+        let options = options_for(policy);
+        let exact = sweep_trace(&space, &records, options, 1).expect("sweep");
+        let spec = ShardSpec {
+            shards,
+            mode: ShardMode::WarmupOverlap { overlap: records.len() },
+        };
+        let est = sweep_trace_sharded(&space, &records, options, 0, spec).expect("est");
+        for (sets, assoc, block) in space.configs() {
+            prop_assert_eq!(
+                est.misses(sets, assoc, block),
+                exact.misses(sets, assoc, block),
+                "full warmup must be exact at ({}, {}, {}) under {}",
+                sets, assoc, block, policy
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_sweep_slack_bounds_the_spliced_stream_under_lru(
+        records in trace_strategy(),
+        space in space_strategy(),
+        period in 1usize..120,
+        len_frac in 1usize..120,
+    ) {
+        let sample_len = len_frac.min(period);
+        let options = DewOptions::lru();
+        let est = sweep_trace_sampled(&space, &records, options, 0, period, sample_len)
+            .expect("sampled sweep");
+        let sampled: Vec<Record> = records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % period < sample_len)
+            .map(|(_, r)| *r)
+            .collect();
+        prop_assert_eq!(est.accesses(), sampled.len() as u64);
+        let exact = sweep_trace(&space, &sampled, options, 1).expect("sweep");
+        match est.bounds() {
+            None => {
+                // Identity sampling degenerates to the exact sweep.
+                prop_assert_eq!(sample_len, period);
+                prop_assert_eq!(est.sorted(), exact.sorted());
+            }
+            Some(bounds) => {
+                prop_assert!(bounds.guaranteed());
+                for (sets, assoc, block) in space.configs() {
+                    let truth = exact.misses(sets, assoc, block).expect("covered");
+                    let guess = est.misses(sets, assoc, block).expect("covered");
+                    let slack = bounds.slack(sets, assoc, block).expect("covered");
+                    prop_assert!(
+                        guess.abs_diff(truth) <= slack,
+                        "({}, {}, {}): truth={} est={} slack={}",
+                        sets, assoc, block, truth, guess, slack
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_sweep_matches_the_in_memory_sweep(
+        records in trace_strategy(),
+        space in space_strategy(),
+        threads in 0usize..4,
+        lru in any::<bool>(),
+    ) {
+        let policy = if lru { TreePolicy::Lru } else { TreePolicy::Fifo };
+        let options = options_for(policy);
+        let in_memory = sweep_trace(&space, &records, options, 1).expect("sweep");
+        let streamed = sweep_trace_streamed(&space, &SliceSource(&records), options, threads)
+            .expect("streamed sweep");
+        prop_assert_eq!(streamed.sorted(), in_memory.sorted(), "policy={}", policy);
+        prop_assert_eq!(streamed.accesses(), in_memory.accesses());
+        prop_assert_eq!(streamed.trace_traversals(), in_memory.trace_traversals());
+    }
+}

@@ -2,7 +2,8 @@
 //! extensions: snapshots must survive the filesystem and resume exactly;
 //! timelines must expose the phase structure of the Mediabench surrogates.
 
-use dew_core::{DewOptions, DewTree, MissTimeline, PassConfig};
+use dew_core::lru_tree::{LruTreeOptions, LruTreeSimulator};
+use dew_core::{DewOptions, DewTree, MissTimeline, MultiAssocTree, PassConfig};
 use dew_workloads::mediabench::App;
 
 #[test]
@@ -32,6 +33,108 @@ fn snapshot_survives_disk_and_resumes_exactly() {
 
     assert_eq!(resumed.results(), straight.results());
     assert_eq!(resumed.counters(), straight.counters());
+}
+
+#[test]
+fn fused_fifo_kernel_snapshot_resumes_exactly() {
+    // The arena kernel behind the fused FIFO sweep (and the sharded
+    // snapshot-handoff path): checkpoint mid-trace, restore into a fresh
+    // kernel, continue — results and counters must match an uninterrupted
+    // run bit for bit, instrumented or not.
+    let trace = App::JpegDecode.generate(30_000, 5);
+    let records = trace.records();
+    let (head, tail) = records.split_at(records.len() / 3);
+    for instrument in [false, true] {
+        let mut straight = MultiAssocTree::with_instrumentation(
+            4,
+            (0, 7),
+            (0, 3),
+            DewOptions::default(),
+            instrument,
+        )
+        .expect("valid");
+        straight.run(records.iter().copied());
+
+        let mut first = MultiAssocTree::with_instrumentation(
+            4,
+            (0, 7),
+            (0, 3),
+            DewOptions::default(),
+            instrument,
+        )
+        .expect("valid");
+        first.run(head.iter().copied());
+        let bytes = first.to_snapshot();
+        drop(first);
+        let mut resumed = MultiAssocTree::from_snapshot(&bytes).expect("restore");
+        resumed.run(tail.iter().copied());
+
+        assert_eq!(resumed.results(), straight.results());
+        for assoc in [1u32, 2, 4, 8] {
+            assert_eq!(resumed.pass_results(assoc), straight.pass_results(assoc));
+            assert_eq!(resumed.pass_counters(assoc), straight.pass_counters(assoc));
+        }
+    }
+}
+
+#[test]
+fn fused_lru_kernel_snapshot_resumes_exactly() {
+    let trace = App::Mpeg2Encode.generate(30_000, 8);
+    let records = trace.records();
+    let (head, tail) = records.split_at(2 * records.len() / 3);
+    let opts = LruTreeOptions {
+        depth_zero_stop: true,
+        duplicate_elision: true,
+    };
+    for instrument in [false, true] {
+        let mut straight =
+            LruTreeSimulator::with_instrumentation(3, (0, 6), (0, 2), opts, instrument)
+                .expect("valid");
+        straight.run(records.iter().copied());
+
+        let mut first = LruTreeSimulator::with_instrumentation(3, (0, 6), (0, 2), opts, instrument)
+            .expect("valid");
+        first.run(head.iter().copied());
+        let bytes = first.to_snapshot();
+        drop(first);
+        let mut resumed = LruTreeSimulator::from_snapshot(&bytes).expect("restore");
+        resumed.run(tail.iter().copied());
+
+        assert_eq!(resumed.results(), straight.results());
+        for assoc in [1u32, 2, 4] {
+            assert_eq!(resumed.pass_results(assoc), straight.pass_results(assoc));
+            assert_eq!(resumed.pass_counters(assoc), straight.pass_counters(assoc));
+        }
+    }
+}
+
+#[test]
+fn kernel_snapshots_reject_foreign_and_corrupt_buffers() {
+    let fifo =
+        MultiAssocTree::with_instrumentation(2, (0, 4), (0, 2), DewOptions::default(), false)
+            .expect("valid");
+    let lru = LruTreeSimulator::with_instrumentation(
+        2,
+        (0, 4),
+        (0, 2),
+        LruTreeOptions {
+            depth_zero_stop: true,
+            duplicate_elision: false,
+        },
+        false,
+    )
+    .expect("valid");
+    let fifo_bytes = fifo.to_snapshot();
+    let lru_bytes = lru.to_snapshot();
+    // Each kernel's magic protects it from the other's bytes.
+    assert!(MultiAssocTree::from_snapshot(&lru_bytes).is_err());
+    assert!(LruTreeSimulator::from_snapshot(&fifo_bytes).is_err());
+    // Truncation and trailing garbage are rejected, not misread.
+    assert!(MultiAssocTree::from_snapshot(&fifo_bytes[..fifo_bytes.len() - 1]).is_err());
+    assert!(LruTreeSimulator::from_snapshot(&lru_bytes[..8]).is_err());
+    let mut padded = fifo_bytes.clone();
+    padded.push(0);
+    assert!(MultiAssocTree::from_snapshot(&padded).is_err());
 }
 
 #[test]
