@@ -3,12 +3,16 @@
 //! `steps_per_sec` dropped by more than the threshold (default 30%, override
 //! with `DEW_BENCH_GUARD_THRESHOLD=0.2`-style fractions).
 //!
-//! Usage: `bench_guard <committed.json> <fresh.json>`
+//! Usage: `bench_guard [--strict] <committed.json> <fresh.json>`
 //!
 //! CI runs it after the hot-loop smoke so a kernel regression shows up in
 //! the job log (as a GitHub `::warning::` annotation) without blocking
 //! unrelated work; absolute throughput on shared runners is too noisy for a
-//! hard gate. When `GITHUB_STEP_SUMMARY` is set (it always is on GitHub
+//! hard gate. `--strict` escalates: regressions print as `::error::`
+//! annotations and the process exits nonzero (the chaos CI step uses this
+//! to make a resilience-layer slowdown a hard failure). A missing or
+//! unparsable baseline stays tolerated even under `--strict` — only a
+//! measured regression fails the run. When `GITHUB_STEP_SUMMARY` is set (it always is on GitHub
 //! runners), the guard additionally appends a markdown comparison table —
 //! variant, baseline steps/sec, fresh steps/sec, delta — to the job
 //! summary, so the trajectory is readable without opening the log, and the
@@ -123,9 +127,13 @@ fn write_step_summary(table: &str) {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let strict = args.first().is_some_and(|a| a == "--strict");
+    if strict {
+        args.remove(0);
+    }
     let [committed_path, fresh_path] = args.as_slice() else {
-        eprintln!("usage: bench_guard <committed.json> <fresh.json>");
+        eprintln!("usage: bench_guard [--strict] <committed.json> <fresh.json>");
         return ExitCode::FAILURE;
     };
     let threshold = std::env::var("DEW_BENCH_GUARD_THRESHOLD")
@@ -157,10 +165,14 @@ fn main() -> ExitCode {
     write_step_summary(&summary_table(&base, &now, threshold));
     let warnings = regressions(&base, &now, threshold);
     for w in &warnings {
-        // Advisory only: the committed baseline may come from a different
-        // machine class than this runner, so a drop is a prompt to compare
-        // trajectories, not a verdict.
-        println!("::warning::hot_loop throughput regression — {w}");
+        // Advisory by default: the committed baseline may come from a
+        // different machine class than this runner, so a drop is a prompt
+        // to compare trajectories, not a verdict. --strict makes it one.
+        if strict {
+            println!("::error::throughput regression — {w}");
+        } else {
+            println!("::warning::hot_loop throughput regression — {w}");
+        }
     }
     if warnings.is_empty() {
         println!(
@@ -168,6 +180,8 @@ fn main() -> ExitCode {
             now.len(),
             threshold * 100.0
         );
+    } else if strict {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

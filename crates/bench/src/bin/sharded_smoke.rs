@@ -13,6 +13,14 @@
 //! Scale: `DEW_BENCH_QUICK=1` runs 200k in-memory / 2M streamed requests;
 //! the full run does 2M / 100M. `DEW_BENCH_STREAM_REQUESTS=n` overrides
 //! the streamed length (this is the knob the EXPERIMENTS.md numbers use).
+//!
+//! `DEW_BENCH_CHAOS=1` runs the chaos smoke *instead* of the benchmark:
+//! the resilient sweep drivers under deterministic injected faults
+//! (transient open failures + seeded read faults) must reproduce the
+//! fault-free table bit for bit after retries, and a checkpoint image
+//! captured mid-run and round-tripped through the `.dewc` sidecar must
+//! resume to the same table as the uninterrupted baseline. The sidecar
+//! (`chaos_checkpoint.dewc`) is left behind on failure for CI to upload.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -82,9 +90,104 @@ fn vm_hwm_kib() -> u64 {
         .unwrap_or(0)
 }
 
+/// The checkpoint sidecar the chaos smoke writes; removed on success, left
+/// behind for the CI artifact upload when an assertion fails.
+const CHAOS_CKPT: &str = "chaos_checkpoint.dewc";
+
+/// Chaos smoke (`DEW_BENCH_CHAOS=1`): proves the resilience layer end to
+/// end — (a) a streamed sweep over a fault-injecting source converges to
+/// the fault-free table after retries, and (b) a kill+resume through the
+/// checkpoint sidecar matches the uninterrupted baseline bit for bit.
+fn chaos(requests: u64) {
+    use dew_core::{
+        sweep_trace_sharded_resilient, sweep_trace_streamed_resilient, MemoryCheckpointStore,
+        Resilience, RetryPolicy, SweepCheckpoint,
+    };
+    use dew_trace::{FaultPlan, FaultyTraceSource};
+    use std::time::Duration;
+
+    let space = ConfigSpace::new(SPACE.0, SPACE.1, SPACE.2).expect("valid space");
+    eprintln!("chaos smoke: {requests} zipf requests under injected faults ...");
+    let clean_source = move || Ok(ZipfStream::new(42, requests));
+    let baseline = sweep_trace_streamed(&space, &clean_source, DewOptions::default(), 0)
+        .expect("fault-free baseline");
+
+    // (a) Deterministic transient faults: two failed opens plus seeded read
+    // faults, all within the retry budget. The recovered table must be
+    // identical to the fault-free one, with the retries accounted for.
+    let plan = FaultPlan {
+        seed: 7,
+        fail_opens: 2,
+        transient_per_10k: 3,
+        transient_budget: 6,
+        ..FaultPlan::none()
+    };
+    let faulty = FaultyTraceSource::new(clean_source, plan);
+    let retry = RetryPolicy {
+        max_retries: 32,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(10),
+    };
+    let res = Resilience::new().with_retry(retry);
+    let recovered = sweep_trace_streamed_resilient(&space, &faulty, DewOptions::default(), 0, &res)
+        .expect("sweep under transient faults");
+    assert!(
+        !recovered.is_partial(),
+        "every injected fault was transient"
+    );
+    assert!(recovered.retries() > 0, "faults were actually injected");
+    assert_eq!(
+        recovered.sorted(),
+        baseline.sorted(),
+        "chaos run diverged from the fault-free sweep"
+    );
+    println!(
+        "chaos: {} injected faults absorbed by {} retries, table identical to fault-free run",
+        faulty.faults_injected(),
+        recovered.retries()
+    );
+
+    // (b) Kill + resume: checkpoint a sharded run, pick a mid-run image,
+    // round-trip it through the on-disk sidecar, resume, compare.
+    let records: Vec<Record> = ZipfStream::new(42, requests)
+        .map(|r| r.expect("synthetic stream never fails"))
+        .collect();
+    let store = MemoryCheckpointStore::new();
+    let res = Resilience::new().with_checkpoint((requests / 4).max(1), &store);
+    let ckpted =
+        sweep_trace_sharded_resilient(&space, &records, DewOptions::default(), 0, SHARDS, &res)
+            .expect("checkpointed sharded sweep");
+    assert_eq!(ckpted.sorted(), baseline.sorted());
+    let history = store.history();
+    assert!(!history.is_empty(), "checkpoints were taken");
+    let kill_at = history.len() / 2;
+    std::fs::write(CHAOS_CKPT, &history[kill_at]).expect("write checkpoint sidecar");
+    let bytes = std::fs::read(CHAOS_CKPT).expect("read checkpoint sidecar");
+    let ckpt = SweepCheckpoint::from_bytes(&bytes).expect("sidecar decodes");
+    let res = Resilience::new().resume_from(&ckpt);
+    let resumed =
+        sweep_trace_sharded_resilient(&space, &records, DewOptions::default(), 0, SHARDS, &res)
+            .expect("resumed sweep");
+    assert_eq!(
+        resumed.sorted(),
+        baseline.sorted(),
+        "resume from image {kill_at} diverged from the uninterrupted baseline"
+    );
+    println!(
+        "chaos: killed at checkpoint image {kill_at}/{} and resumed bit-identically",
+        history.len()
+    );
+    let _ = std::fs::remove_file(CHAOS_CKPT);
+    println!("chaos smoke passed");
+}
+
 fn main() {
     let quick = std::env::var_os("DEW_BENCH_QUICK").is_some();
     let requests: u64 = if quick { 200_000 } else { 2_000_000 };
+    if std::env::var_os("DEW_BENCH_CHAOS").is_some() {
+        chaos(requests);
+        return;
+    }
     let stream_requests: u64 = std::env::var("DEW_BENCH_STREAM_REQUESTS")
         .ok()
         .and_then(|v| v.parse().ok())

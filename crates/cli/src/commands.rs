@@ -6,8 +6,10 @@ use std::path::Path;
 use dew_cachesim::classify::ThreeCClassifier;
 use dew_cachesim::{AllocatePolicy, Cache, CacheConfig, Replacement, WritePolicy};
 use dew_core::{
-    sweep_trace, sweep_trace_instrumented, sweep_trace_sampled, sweep_trace_sharded, ConfigSpace,
-    DewOptions, ShardMode, ShardSpec, TreePolicy,
+    sweep_trace, sweep_trace_instrumented, sweep_trace_resilient, sweep_trace_sampled,
+    sweep_trace_sharded, sweep_trace_sharded_resilient, ConfigSpace, DewError, DewOptions,
+    FileCheckpointStore, Resilience, RetryPolicy, ShardMode, ShardSpec, SweepCheckpoint,
+    TreePolicy,
 };
 use dew_explore::{
     best_edp_under, evaluate_sweep, explore_trace_with_shards, pareto_front, EnergyModel,
@@ -31,7 +33,7 @@ where
     I: IntoIterator<Item = S>,
     S: Into<String>,
 {
-    let args = Args::parse(raw, &["classify", "counters"])?;
+    let args = Args::parse(raw, &["classify", "counters", "fail-fast"])?;
     let command = args
         .positional()
         .first()
@@ -209,6 +211,10 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         "shard-mode",
         "overlap",
         "sample",
+        "checkpoint",
+        "checkpoint-every",
+        "resume",
+        "retries",
     ])?;
     let trace = load_trace(&args.require::<String>("trace")?)?;
     let sets = parse_range(args.get("sets").unwrap_or("0..14"), "sets")?;
@@ -236,6 +242,57 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         ));
     }
 
+    // Resilience flags route through the fault-tolerant drivers: periodic
+    // checkpoints, bit-identical resume, retry with backoff, and degraded
+    // partial results (exit code 3) instead of an all-or-nothing abort.
+    let checkpoint_path = args.get("checkpoint");
+    let checkpoint_every = args.get_or("checkpoint-every", 1_000_000u64)?;
+    let resume_path = args.get("resume");
+    let fail_fast = args.flag("fail-fast");
+    let retries = args.get_or("retries", RetryPolicy::default().max_retries)?;
+    let resilient = checkpoint_path.is_some()
+        || resume_path.is_some()
+        || fail_fast
+        || args.get("retries").is_some();
+    if resilient && sample.is_some() {
+        return Err(CliError::Usage(
+            "--checkpoint/--resume/--fail-fast/--retries need an exact sweep; drop --sample".into(),
+        ));
+    }
+    if resilient && with_counters {
+        return Err(CliError::Usage(
+            "--counters needs the plain instrumented sweep; drop the resilience flags".into(),
+        ));
+    }
+    if resilient && spec.is_some_and(|s| matches!(s.mode, ShardMode::WarmupOverlap { .. })) {
+        return Err(CliError::Usage(
+            "resilient sweeps shard exactly via snapshot handoff; drop --shard-mode warmup".into(),
+        ));
+    }
+    let resume_image = match resume_path {
+        None => None,
+        Some(path) => {
+            let bytes = std::fs::read(path)?;
+            Some(
+                SweepCheckpoint::from_bytes(&bytes)
+                    .map_err(|e| CliError::Dew(DewError::Checkpoint(format!("{path}: {e}"))))?,
+            )
+        }
+    };
+    let store = checkpoint_path.map(FileCheckpointStore::new);
+    let mut res = Resilience::new()
+        .fail_fast(fail_fast)
+        .with_retry(RetryPolicy {
+            max_retries: retries,
+            ..RetryPolicy::default()
+        });
+    if let Some(store) = &store {
+        res = res.with_checkpoint(checkpoint_every, store);
+    }
+    if let Some(ckpt) = &resume_image {
+        res = res.resume_from(ckpt);
+    }
+
     let start = std::time::Instant::now();
     // The default sweep decodes the trace once per block size and drives the
     // fast monomorphized kernel in batches — under either policy the passes
@@ -244,7 +301,20 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     // splits the trace into intervals (exact snapshot handoff by default,
     // warmup-overlap estimation on request) and --sample keeps periodic
     // clusters only.
-    let outcome = if let Some((period, len)) = sample {
+    let outcome = if resilient {
+        if let Some(spec) = spec {
+            sweep_trace_sharded_resilient(
+                &space,
+                trace.records(),
+                options,
+                threads,
+                spec.shards,
+                &res,
+            )?
+        } else {
+            sweep_trace_resilient(&space, trace.records(), options, threads, &res)?
+        }
+    } else if let Some((period, len)) = sample {
         sweep_trace_sampled(&space, trace.records(), options, threads, period, len)?
     } else if let Some(spec) = spec {
         sweep_trace_sharded(&space, trace.records(), options, threads, spec)?
@@ -310,6 +380,28 @@ fn sweep(args: &Args) -> Result<String, CliError> {
             },
         ));
     }
+    if let Some(path) = resume_path {
+        out.push_str(&format!("resumed from checkpoint {path}\n"));
+    }
+    if let Some(path) = checkpoint_path {
+        out.push_str(&format!(
+            "checkpointing every {checkpoint_every} records to {path}\n"
+        ));
+    }
+    if outcome.retries() > 0 {
+        out.push_str(&format!(
+            "recovered from {} transient source fault(s) via retry\n",
+            outcome.retries()
+        ));
+    }
+    if outcome.is_partial() {
+        out.push_str(&format!(
+            "PARTIAL RESULTS: {} of {} block-size jobs failed, {} records lost\n",
+            outcome.failed_jobs().len(),
+            outcome.trace_traversals(),
+            outcome.records_lost(),
+        ));
+    }
     out.push('\n');
     out.push_str(&format!(
         "{:>8} {:>6} {:>7} {:>12} {:>10}\n",
@@ -325,6 +417,15 @@ fn sweep(args: &Args) -> Result<String, CliError> {
             c.misses,
             rate * 100.0
         ));
+    }
+    if outcome.is_partial() {
+        out.push_str("\nfailed jobs:\n");
+        for f in outcome.failed_jobs() {
+            out.push_str(&format!(
+                "  {} (after {} records)\n",
+                f.error, f.records_done
+            ));
+        }
     }
 
     if with_counters {
@@ -368,6 +469,11 @@ fn sweep(args: &Args) -> Result<String, CliError> {
             Some(best) => out.push_str(&format!("best EDP within {budget} bytes: {best}\n")),
             None => out.push_str(&format!("no configuration fits within {budget} bytes\n")),
         }
+    }
+    // A degraded run still returns its report — through the Partial error,
+    // so `main` can print the table and exit with the distinct code 3.
+    if outcome.is_partial() {
+        return Err(CliError::Partial(out));
     }
     Ok(out)
 }
@@ -816,6 +922,119 @@ mod tests {
                 .copied()
                 .chain(["--shards", "2", "--shard-mode", "bogus"])),
             Err(CliError::Args(_))
+        ));
+        let _ = std::fs::remove_file(&bin);
+    }
+
+    #[test]
+    fn resilient_sweep_checkpoints_and_resumes_bit_identically() {
+        let bin = tmp("r.dewt");
+        let ckpt = tmp("r.dewc");
+        run([
+            "generate",
+            "--app",
+            "cjpeg",
+            "--requests",
+            "8000",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
+        let base = [
+            "sweep", "--trace", &bin, "--sets", "0..4", "--blocks", "2..3", "--assocs", "0..2",
+        ];
+        let plain = run(base).expect("plain sweep");
+
+        let ckpted =
+            run(base
+                .iter()
+                .copied()
+                .chain(["--checkpoint", &ckpt, "--checkpoint-every", "2000"]))
+            .expect("checkpointed sweep");
+        assert!(
+            ckpted.contains("checkpointing every 2000 records"),
+            "{ckpted}"
+        );
+        assert_eq!(miss_table(&ckpted), miss_table(&plain));
+        assert!(
+            std::path::Path::new(&ckpt).exists(),
+            "checkpoint sidecar written"
+        );
+
+        let resumed = run(base.iter().copied().chain(["--resume", &ckpt])).expect("resumed");
+        assert!(resumed.contains("resumed from checkpoint"), "{resumed}");
+        assert_eq!(
+            miss_table(&resumed),
+            miss_table(&plain),
+            "resume is bit-identical"
+        );
+
+        let sharded = run(base
+            .iter()
+            .copied()
+            .chain(["--shards", "3", "--retries", "2"]))
+        .expect("sharded resilient");
+        assert_eq!(miss_table(&sharded), miss_table(&plain));
+
+        // A checkpoint from a different configuration space is rejected
+        // cleanly, before any simulation runs.
+        let err = run([
+            "sweep", "--trace", &bin, "--sets", "0..2", "--blocks", "2..3", "--assocs", "0..2",
+            "--resume", &ckpt,
+        ])
+        .expect_err("fingerprint mismatch");
+        assert!(matches!(err, CliError::Dew(_)), "{err}");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+
+        let _ = std::fs::remove_file(&bin);
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn resilience_flags_reject_incompatible_modes() {
+        let bin = tmp("rx.dewt");
+        run([
+            "generate",
+            "--app",
+            "djpeg",
+            "--requests",
+            "2000",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
+        let base = [
+            "sweep", "--trace", &bin, "--sets", "0..2", "--blocks", "2..2", "--assocs", "0..1",
+        ];
+        assert!(matches!(
+            run(base
+                .iter()
+                .copied()
+                .chain(["--fail-fast", "--sample", "100:25"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(base.iter().copied().chain(["--retries", "2", "--counters"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(base.iter().copied().chain([
+                "--checkpoint",
+                "x.dewc",
+                "--shards",
+                "2",
+                "--shard-mode",
+                "warmup"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        // A missing resume file is an I/O error, not a crash.
+        assert!(matches!(
+            run(base
+                .iter()
+                .copied()
+                .chain(["--resume", "/does/not/exist.dewc"])),
+            Err(CliError::Io(_))
         ));
         let _ = std::fs::remove_file(&bin);
     }

@@ -1,14 +1,16 @@
 //! The CLI's unified error type and the process exit-code contract.
 //!
-//! The `dew` binary maps every outcome to one of three exit codes, chosen
+//! The `dew` binary maps every outcome to one of four exit codes, chosen
 //! so scripts can distinguish "you called it wrong" from "it ran and
-//! failed" (the same split `grep` and `diff` users rely on):
+//! failed" (the same split `grep` and `diff` users rely on) — and both
+//! from "it ran, degraded, and the results are partial":
 //!
 //! | code | meaning | produced by |
 //! |------|---------|-------------|
 //! | 0 | success | a command returning `Ok` |
 //! | 1 | execution failure | [`CliError::Trace`], [`CliError::Config`], [`CliError::Dew`], [`CliError::Io`], [`CliError::Verification`] |
 //! | 2 | usage error | [`CliError::Usage`], [`CliError::Args`] |
+//! | 3 | partial success | [`CliError::Partial`] — a resilient sweep finished in degraded mode: some jobs failed, the surviving results (with honest failure accounting) are in the report |
 //!
 //! The mapping lives in [`CliError::exit_code`]; `main` applies it and
 //! prints the error on stderr.
@@ -36,16 +38,23 @@ pub enum CliError {
     /// `dew verify` found miss-count mismatches between DEW and the
     /// reference simulator — the run executed, the cross-check failed.
     Verification(String),
+    /// A resilient sweep finished in degraded mode: the payload is the
+    /// full report (surviving results plus per-job failure lines), which
+    /// `main` prints to stdout before exiting with code 3.
+    Partial(String),
 }
 
 impl CliError {
     /// The process exit code for this error: `2` for usage problems
     /// ([`CliError::Usage`], [`CliError::Args`] — the command never ran),
-    /// `1` for everything that failed while running. Success exits `0`.
+    /// `3` for a degraded sweep that still produced partial results
+    /// ([`CliError::Partial`]), `1` for everything else that failed while
+    /// running. Success exits `0`.
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) | CliError::Args(_) => 2,
+            CliError::Partial(_) => 3,
             CliError::Trace(_)
             | CliError::Config(_)
             | CliError::Dew(_)
@@ -65,6 +74,7 @@ impl fmt::Display for CliError {
             CliError::Dew(e) => write!(f, "dew error: {e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Verification(msg) => write!(f, "{msg}"),
+            CliError::Partial(report) => write!(f, "{report}"),
         }
     }
 }
@@ -72,7 +82,7 @@ impl fmt::Display for CliError {
 impl Error for CliError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            CliError::Usage(_) | CliError::Verification(_) => None,
+            CliError::Usage(_) | CliError::Verification(_) | CliError::Partial(_) => None,
             CliError::Args(e) => Some(e),
             CliError::Trace(e) => Some(e),
             CliError::Config(e) => Some(e),
@@ -137,5 +147,9 @@ mod tests {
         );
         assert_eq!(CliError::Verification("x".into()).exit_code(), 1);
         assert_eq!(CliError::from(std::io::Error::other("x")).exit_code(), 1);
+        let partial = CliError::Partial("table\nfailed jobs\n".into());
+        assert_eq!(partial.exit_code(), 3);
+        assert!(partial.source().is_none());
+        assert_eq!(partial.to_string(), "table\nfailed jobs\n");
     }
 }

@@ -54,6 +54,16 @@ COMMANDS:
               guaranteed under lru, heuristic under fifo)
              [--sample PERIOD:LEN]  (keep the leading LEN of every PERIOD
               requests; estimates carry the same per-cluster slack bound)
+             [--checkpoint FILE] [--checkpoint-every N (default 1000000)]
+              (periodically persist every job's kernel snapshot + position
+              to a sidecar file; a killed run resumes bit-identically)
+             [--resume FILE]  (resume from a checkpoint sidecar; rejected
+              if it was taken under a different space/options/policy)
+             [--retries N (default 4)]  (bounded-backoff retries of
+              transient trace-source faults before a job fails)
+             [--fail-fast]  (abort on the first job failure instead of the
+              default degraded mode, which reports the surviving results,
+              lists the failed jobs, and exits with code 3)
   explore    design-space exploration: fused sweeps (one trace traversal
              per block size per policy) -> analytic energy/cycle scoring ->
              miss-rate x energy x size Pareto frontier
@@ -94,5 +104,7 @@ Trace files: `.din` is the Dinero text format; anything else is the compact
 dew binary format.
 
 EXIT CODES: 0 success; 1 execution failure (I/O, bad trace, failed
-verification); 2 usage error (unknown command, bad arguments).
+verification); 2 usage error (unknown command, bad arguments); 3 partial
+success (a resilient sweep degraded: some jobs failed, the printed table
+covers the survivors and names what was lost).
 ";

@@ -1,11 +1,19 @@
 //! The `dew` command-line tool. See [`dew_cli::USAGE`] for the commands and
 //! [`dew_cli::CliError::exit_code`] for the exit-code contract (0 success,
-//! 1 execution failure, 2 usage error).
+//! 1 execution failure, 2 usage error, 3 partial success).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dew_cli::run(args) {
         Ok(report) => print!("{report}"),
+        // A degraded sweep still produced results: the report goes to
+        // stdout like a success, the warning and the distinct exit code
+        // tell scripts the table is incomplete.
+        Err(e @ dew_cli::CliError::Partial(_)) => {
+            print!("{e}");
+            eprintln!("warning: sweep degraded — some jobs failed, results above are partial");
+            std::process::exit(e.exit_code().into());
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(e.exit_code().into());

@@ -1,0 +1,446 @@
+//! Sweep-level checkpoints: periodically persisted per-job kernel state so
+//! a long sweep can crash at any point and resume bit-identically.
+//!
+//! A [`SweepCheckpoint`] is a sidecar file (magic `DEWC`) bundling, for
+//! every fused job of a sweep (one per block size), the job's decode
+//! position and its kernel snapshot — the same versioned `DEWM`/`DEWL`
+//! buffers the sharded snapshot-handoff path round-trips. Because a kernel
+//! snapshot restores *exact* state (property-tested in
+//! `tests/snapshot_and_timeline.rs`) and the fused kernels are insensitive
+//! to how the record stream is chunked, "restore every job's kernel and
+//! replay the remaining records" is not an approximation: it reproduces the
+//! uninterrupted sweep bit for bit. The resilient drivers in
+//! [`crate::sweep`] write and consume these through a [`CheckpointStore`].
+//!
+//! A checkpoint also records a *fingerprint* of the sweep it belongs to
+//! (configuration space + options + policy), so resuming with a different
+//! sweep shape is rejected up front instead of corrupting results. The
+//! shard count is deliberately excluded: snapshot handoff is an identity,
+//! so a checkpoint taken under one shard count resumes soundly under
+//! another.
+//!
+//! # Wire format (version 1, little-endian)
+//!
+//! ```text
+//! magic        b"DEWC"
+//! version      u8 (currently 1)
+//! policy       u8 (0 = fifo, 1 = lru)
+//! fingerprint  u64
+//! job_count    u32
+//! per job:     block_bits u32, records_done u64, complete u8,
+//!              kernel_len u32, kernel bytes (DEWM/DEWL snapshot; a
+//!              complete job stores its final kernel so a resumed sweep
+//!              can still fan its results out)
+//! ```
+
+use std::io::Write;
+use std::sync::{Mutex, PoisonError};
+
+use crate::options::{DewOptions, TreePolicy};
+use crate::snapshot::{put_u32, put_u64, Cursor, SnapshotError};
+use crate::space::ConfigSpace;
+
+/// File magic of the sweep-checkpoint sidecar format.
+pub const CKPT_MAGIC: [u8; 4] = *b"DEWC";
+/// Current sweep-checkpoint format version.
+pub const CKPT_VERSION: u8 = 1;
+
+/// Persisted progress of one fused sweep job (one block size).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobCheckpoint {
+    /// log2 of the job's block size in bytes.
+    pub block_bits: u32,
+    /// Records the job has consumed; resume replays the source from here.
+    pub records_done: u64,
+    /// Whether the job ran to the end of the trace (its results are final
+    /// and `kernel` may be the job's last pre-completion snapshot).
+    pub complete: bool,
+    /// The kernel's `to_snapshot` buffer at `records_done`.
+    pub kernel: Vec<u8>,
+}
+
+/// A point-in-time capture of a whole sweep: every job's kernel state and
+/// decode position, plus the identity of the sweep they belong to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCheckpoint {
+    fingerprint: u64,
+    policy: TreePolicy,
+    jobs: Vec<JobCheckpoint>,
+}
+
+impl SweepCheckpoint {
+    /// An empty checkpoint for the sweep identified by `fingerprint`.
+    pub(crate) fn new(fingerprint: u64, policy: TreePolicy) -> Self {
+        SweepCheckpoint {
+            fingerprint,
+            policy,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// The fingerprint of the sweep this checkpoint belongs to
+    /// ([`sweep_fingerprint`]).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The replacement policy of the checkpointed sweep.
+    #[must_use]
+    pub fn policy(&self) -> TreePolicy {
+        self.policy
+    }
+
+    /// All per-job captures, in no particular order.
+    #[must_use]
+    pub fn jobs(&self) -> &[JobCheckpoint] {
+        &self.jobs
+    }
+
+    /// The capture for the job simulating `1 << block_bits`-byte blocks.
+    #[must_use]
+    pub fn job(&self, block_bits: u32) -> Option<&JobCheckpoint> {
+        self.jobs.iter().find(|j| j.block_bits == block_bits)
+    }
+
+    /// Inserts or replaces the capture for `block_bits`.
+    pub(crate) fn update_job(
+        &mut self,
+        block_bits: u32,
+        records_done: u64,
+        kernel: Vec<u8>,
+        complete: bool,
+    ) {
+        let job = JobCheckpoint {
+            block_bits,
+            records_done,
+            complete,
+            kernel,
+        };
+        match self.jobs.iter_mut().find(|j| j.block_bits == block_bits) {
+            Some(slot) => *slot = job,
+            None => self.jobs.push(job),
+        }
+    }
+
+    /// Serialises the checkpoint to the `DEWC` wire format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CKPT_MAGIC);
+        out.push(CKPT_VERSION);
+        out.push(match self.policy {
+            TreePolicy::Fifo => 0,
+            TreePolicy::Lru => 1,
+        });
+        put_u64(&mut out, self.fingerprint);
+        put_u32(&mut out, u32::try_from(self.jobs.len()).expect("job count"));
+        for job in &self.jobs {
+            put_u32(&mut out, job.block_bits);
+            put_u64(&mut out, job.records_done);
+            out.push(u8::from(job.complete));
+            put_u32(&mut out, u32::try_from(job.kernel.len()).expect("kernel"));
+            out.extend_from_slice(&job.kernel);
+        }
+        out
+    }
+
+    /// Decodes a checkpoint written by [`SweepCheckpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] for foreign, truncated, trailing-garbage or
+    /// internally inconsistent buffers. Per-job kernel buffers are carried
+    /// opaquely; they are validated by the kernel's own `from_snapshot`
+    /// when the resume actually restores them.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut cur = Cursor::new(bytes);
+        if cur.bytes(4)? != CKPT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = cur.u8()?;
+        if version != CKPT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let policy = match cur.u8()? {
+            0 => TreePolicy::Fifo,
+            1 => TreePolicy::Lru,
+            _ => return Err(SnapshotError::Corrupt("unknown checkpoint policy byte")),
+        };
+        let fingerprint = cur.u64()?;
+        let job_count = cur.u32()? as usize;
+        let mut jobs = Vec::with_capacity(job_count.min(1024));
+        for _ in 0..job_count {
+            let block_bits = cur.u32()?;
+            let records_done = cur.u64()?;
+            let complete = match cur.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(SnapshotError::Corrupt("bad job completion flag")),
+            };
+            let kernel_len = cur.u32()? as usize;
+            let kernel = cur.bytes(kernel_len)?.to_vec();
+            if jobs
+                .iter()
+                .any(|j: &JobCheckpoint| j.block_bits == block_bits)
+            {
+                return Err(SnapshotError::Corrupt("duplicate job block size"));
+            }
+            jobs.push(JobCheckpoint {
+                block_bits,
+                records_done,
+                complete,
+                kernel,
+            });
+        }
+        if cur.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes(cur.remaining()));
+        }
+        Ok(SweepCheckpoint {
+            fingerprint,
+            policy,
+            jobs,
+        })
+    }
+}
+
+/// Fingerprint of a sweep's identity — configuration space, kernel options
+/// and policy folded through FNV-1a — used to reject resuming a checkpoint
+/// into a *different* sweep. The shard count and thread count are excluded
+/// on purpose: neither affects results (snapshot handoff is an identity and
+/// job scheduling is deterministic per job), so a checkpoint is portable
+/// across them.
+#[must_use]
+pub fn sweep_fingerprint(space: &ConfigSpace, options: DewOptions) -> u64 {
+    let (s0, s1) = space.set_bits();
+    let (b0, b1) = space.block_bits();
+    let (a0, a1) = space.assoc_bits();
+    let flags = u64::from(options.mra_stop)
+        | u64::from(options.wave) << 1
+        | u64::from(options.mre) << 2
+        | u64::from(options.dup_elision) << 3
+        | u64::from(options.policy == TreePolicy::Lru) << 4;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [
+        u64::from(s0),
+        u64::from(s1),
+        u64::from(b0),
+        u64::from(b1),
+        u64::from(a0),
+        u64::from(a1),
+        flags,
+    ] {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Where resilient sweeps persist their periodic [`SweepCheckpoint`]s.
+///
+/// Implementations must be safe to call from multiple worker threads; the
+/// drivers serialise full-checkpoint images, so each `save` call replaces
+/// the previous one.
+pub trait CheckpointStore: Sync {
+    /// Atomically replaces the persisted checkpoint with `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when persisting failed; the sweep treats a
+    /// failed save as fatal for the *checkpointing contract* (the run
+    /// aborts rather than silently continuing unprotected).
+    fn save(&self, bytes: &[u8]) -> Result<(), String>;
+}
+
+/// A [`CheckpointStore`] writing to a file via tmp-file-then-rename, so a
+/// crash mid-save never leaves a torn checkpoint behind.
+#[derive(Debug)]
+pub struct FileCheckpointStore {
+    path: std::path::PathBuf,
+}
+
+impl FileCheckpointStore {
+    /// A store persisting to `path` (its parent directory must exist).
+    #[must_use]
+    pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
+        FileCheckpointStore { path: path.into() }
+    }
+
+    /// The destination path of the checkpoint file.
+    #[must_use]
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl CheckpointStore for FileCheckpointStore {
+    fn save(&self, bytes: &[u8]) -> Result<(), String> {
+        let mut tmp = self.path.clone();
+        let mut name = self.path.file_name().unwrap_or_default().to_os_string();
+        name.push(".tmp");
+        tmp.set_file_name(name);
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, &self.path)
+        };
+        write().map_err(|e| format!("cannot write checkpoint {}: {e}", self.path.display()))
+    }
+}
+
+/// An in-memory [`CheckpointStore`] recording every saved image, for tests
+/// and for the chaos harness: each history entry is a valid kill point a
+/// resume can start from.
+#[derive(Debug, Default)]
+pub struct MemoryCheckpointStore {
+    history: Mutex<Vec<Vec<u8>>>,
+}
+
+impl MemoryCheckpointStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoryCheckpointStore::default()
+    }
+
+    /// The most recently saved checkpoint image, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<Vec<u8>> {
+        self.history
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .last()
+            .cloned()
+    }
+
+    /// Every image ever saved, oldest first.
+    #[must_use]
+    pub fn history(&self) -> Vec<Vec<u8>> {
+        self.history
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl CheckpointStore for MemoryCheckpointStore {
+    fn save(&self, bytes: &[u8]) -> Result<(), String> {
+        self.history
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(bytes.to_vec());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepCheckpoint {
+        let mut c = SweepCheckpoint::new(0xFEED_F00D, TreePolicy::Lru);
+        c.update_job(4, 1_000, vec![1, 2, 3], false);
+        c.update_job(5, 2_500, vec![9; 40], true);
+        c
+    }
+
+    #[test]
+    fn wire_format_round_trips() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        let back = SweepCheckpoint::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, c);
+        assert_eq!(back.job(5).expect("job").records_done, 2_500);
+        assert!(back.job(5).expect("job").complete);
+        assert!(back.job(6).is_none());
+    }
+
+    #[test]
+    fn update_job_replaces_in_place() {
+        let mut c = sample();
+        c.update_job(4, 1_500, vec![7], false);
+        assert_eq!(c.jobs().len(), 2);
+        assert_eq!(c.job(4).expect("job").records_done, 1_500);
+    }
+
+    #[test]
+    fn damaged_buffers_are_rejected() {
+        let bytes = sample().to_bytes();
+        assert_eq!(
+            SweepCheckpoint::from_bytes(b"DEWS rest"),
+            Err(SnapshotError::BadMagic)
+        );
+        assert_eq!(
+            SweepCheckpoint::from_bytes(&bytes[..bytes.len() - 2]),
+            Err(SnapshotError::Corrupt("unexpected end of snapshot"))
+        );
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(
+            SweepCheckpoint::from_bytes(&padded),
+            Err(SnapshotError::TrailingBytes(1))
+        );
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert_eq!(
+            SweepCheckpoint::from_bytes(&bad_version),
+            Err(SnapshotError::UnsupportedVersion(99))
+        );
+        let mut bad_policy = bytes;
+        bad_policy[5] = 7;
+        assert!(matches!(
+            SweepCheckpoint::from_bytes(&bad_policy),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_separates_sweep_shapes() {
+        let a = ConfigSpace::new((0, 4), (2, 4), (0, 2)).expect("valid");
+        let b = ConfigSpace::new((0, 4), (2, 5), (0, 2)).expect("valid");
+        let opts = DewOptions::default();
+        assert_eq!(sweep_fingerprint(&a, opts), sweep_fingerprint(&a, opts));
+        assert_ne!(sweep_fingerprint(&a, opts), sweep_fingerprint(&b, opts));
+        let lru = DewOptions {
+            policy: TreePolicy::Lru,
+            mra_stop: false,
+            ..opts
+        };
+        assert_ne!(sweep_fingerprint(&a, opts), sweep_fingerprint(&a, lru));
+        let mra_off = DewOptions {
+            mra_stop: false,
+            ..opts
+        };
+        assert_ne!(sweep_fingerprint(&a, opts), sweep_fingerprint(&a, mra_off));
+    }
+
+    #[test]
+    fn file_store_replaces_atomically() {
+        let dir = std::env::temp_dir().join(format!("dew_ckpt_store_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("sweep.dewc");
+        let store = FileCheckpointStore::new(&path);
+        store.save(&sample().to_bytes()).expect("first save");
+        let mut second = sample();
+        second.update_job(4, 9_999, vec![4, 5], false);
+        store.save(&second.to_bytes()).expect("second save");
+        let back =
+            SweepCheckpoint::from_bytes(&std::fs::read(&path).expect("read")).expect("decode");
+        assert_eq!(back.job(4).expect("job").records_done, 9_999);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn memory_store_keeps_history() {
+        let store = MemoryCheckpointStore::new();
+        assert!(store.latest().is_none());
+        store.save(&[1]).expect("save");
+        store.save(&[2, 2]).expect("save");
+        assert_eq!(store.latest(), Some(vec![2, 2]));
+        assert_eq!(store.history().len(), 2);
+    }
+}

@@ -45,6 +45,17 @@
 //! [`ShardBounds`] slack), and [`sweep_trace_sampled`] estimates from
 //! periodic clusters with the same per-cluster bound.
 //!
+//! Long runs also need not be fragile: the resilient drivers
+//! ([`sweep_trace_resilient`], [`sweep_trace_sharded_resilient`],
+//! [`sweep_trace_streamed_resilient`]) wrap the same kernels with
+//! checkpoint/resume (a [`SweepCheckpoint`] persists every job's kernel
+//! snapshot and decode position, and resuming is bit-identical), retry
+//! with bounded exponential backoff for transient source failures
+//! ([`RetryPolicy`]), per-job panic isolation, and graceful degradation —
+//! a partial [`SweepOutcome`] with honest [`SweepOutcome::failed_jobs`] /
+//! [`SweepOutcome::retries`] / [`SweepOutcome::records_lost`] accounting
+//! instead of an all-or-nothing abort. See [`Resilience`].
+//!
 //! # Quickstart
 //!
 //! ```
@@ -72,11 +83,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod counters;
 pub mod lru_tree;
 mod multi_assoc;
 mod node;
 mod options;
+mod resilience;
 mod results;
 pub mod snapshot;
 mod space;
@@ -84,16 +97,23 @@ mod sweep;
 mod timeline;
 mod tree;
 
+pub use checkpoint::{
+    sweep_fingerprint, CheckpointStore, FileCheckpointStore, JobCheckpoint, MemoryCheckpointStore,
+    SweepCheckpoint, CKPT_MAGIC, CKPT_VERSION,
+};
 pub use counters::DewCounters;
 pub use multi_assoc::MultiAssocTree;
 pub use options::{DewOptions, TreePolicy};
+pub use resilience::{CheckpointSpec, NoSleep, Resilience, RetryPolicy, Sleeper, ThreadSleeper};
 pub use results::{
-    AllAssocResults, ConfigResult, LevelResult, PassResults, ShardBounds, SweepOutcome,
+    AllAssocResults, ConfigResult, FailureKind, JobFailure, LevelResult, PassResults, ShardBounds,
+    SweepOutcome,
 };
 pub use space::{ConfigSpace, DewError, PassConfig};
 pub use sweep::{
-    sweep_trace, sweep_trace_instrumented, sweep_trace_sampled, sweep_trace_sharded,
-    sweep_trace_streamed, ShardMode, ShardSpec,
+    sweep_trace, sweep_trace_instrumented, sweep_trace_resilient, sweep_trace_sampled,
+    sweep_trace_sharded, sweep_trace_sharded_resilient, sweep_trace_streamed,
+    sweep_trace_streamed_resilient, ShardMode, ShardSpec,
 };
 pub use timeline::{MissTimeline, WindowSample};
 pub use tree::DewTree;

@@ -88,7 +88,7 @@ use crate::space::{DewError, PassConfig};
 
 /// Snapshot magic of the arena LRU simulator (the single-pass
 /// [`crate::DewTree`] format `DEWS` describes a different layout).
-const SNAP_MAGIC: [u8; 4] = *b"DEWL";
+pub(crate) const SNAP_MAGIC: [u8; 4] = *b"DEWL";
 /// Snapshot format version of the arena LRU simulator.
 const SNAP_VERSION: u8 = 1;
 
@@ -794,7 +794,16 @@ impl LruTreeSimulator {
     pub fn from_snapshot(bytes: &[u8]) -> Result<Self, crate::snapshot::SnapshotError> {
         use crate::snapshot::{Cursor, SnapshotError};
         let mut cur = Cursor::new(bytes);
-        if cur.bytes(4)? != SNAP_MAGIC {
+        let magic = cur.bytes(4)?;
+        if magic != SNAP_MAGIC {
+            // A structurally valid buffer for the FIFO kernel is a policy
+            // mixup, not random corruption — report it as such.
+            if magic == crate::multi_assoc::SNAP_MAGIC {
+                return Err(SnapshotError::PolicyMismatch {
+                    expected: SNAP_MAGIC,
+                    found: crate::multi_assoc::SNAP_MAGIC,
+                });
+            }
             return Err(SnapshotError::BadMagic);
         }
         let version = cur.u8()?;

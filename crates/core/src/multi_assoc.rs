@@ -93,7 +93,7 @@ const NO_ENTRY: usize = usize::MAX;
 
 /// Snapshot magic of the fused multi-associativity forest (the single-pass
 /// [`crate::DewTree`] format `DEWS` describes a different layout).
-const SNAP_MAGIC: [u8; 4] = *b"DEWM";
+pub(crate) const SNAP_MAGIC: [u8; 4] = *b"DEWM";
 /// Snapshot format version of the fused forest.
 const SNAP_VERSION: u8 = 1;
 
@@ -1029,7 +1029,16 @@ impl MultiAssocTree {
     pub fn from_snapshot(bytes: &[u8]) -> Result<Self, crate::snapshot::SnapshotError> {
         use crate::snapshot::{Cursor, SnapshotError};
         let mut cur = Cursor::new(bytes);
-        if cur.bytes(4)? != SNAP_MAGIC {
+        let magic = cur.bytes(4)?;
+        if magic != SNAP_MAGIC {
+            // A structurally valid buffer for the LRU kernel is a policy
+            // mixup, not random corruption — report it as such.
+            if magic == crate::lru_tree::SNAP_MAGIC {
+                return Err(SnapshotError::PolicyMismatch {
+                    expected: SNAP_MAGIC,
+                    found: crate::lru_tree::SNAP_MAGIC,
+                });
+            }
             return Err(SnapshotError::BadMagic);
         }
         let version = cur.u8()?;

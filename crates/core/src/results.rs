@@ -304,10 +304,40 @@ impl ShardBounds {
     }
 }
 
+/// What sank a fused sweep job in a resilient (degraded-mode) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The trace source failed fatally (or exhausted its retries).
+    Source,
+    /// The kernel panicked; the panic was isolated to this job.
+    Panic,
+}
+
+/// One fused job that a resilient sweep could not complete. A fused job
+/// covers every configuration sharing a block size, so a failure flags all
+/// `(sets, assoc)` combinations at that block size
+/// ([`SweepOutcome::config_error`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// log2 of the failed job's block size in bytes.
+    pub block_bits: u32,
+    /// Records the job had consumed when it failed.
+    pub records_done: u64,
+    /// Human-readable failure description (source error or panic message),
+    /// including the job's block size and policy.
+    pub error: String,
+    /// Whether the source or the kernel failed.
+    pub kind: FailureKind,
+}
+
 /// Aggregated results of a multi-pass sweep over a configuration space.
 ///
 /// Built by [`crate::sweep_trace`]; maps every `(sets, assoc, block)` of the
 /// space to its exact miss count, and retains the per-pass work counters.
+/// Resilient drivers ([`crate::sweep_trace_resilient`] and friends) may
+/// return a *partial* outcome: [`SweepOutcome::is_partial`] flags it, and
+/// [`SweepOutcome::failed_jobs`] / [`SweepOutcome::retries`] /
+/// [`SweepOutcome::records_lost`] carry the honest accounting.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
     accesses: u64,
@@ -317,6 +347,9 @@ pub struct SweepOutcome {
     policy: TreePolicy,
     records_simulated: u64,
     bounds: Option<ShardBounds>,
+    failed: Vec<JobFailure>,
+    retries: u64,
+    records_lost: u64,
 }
 
 impl SweepOutcome {
@@ -335,7 +368,23 @@ impl SweepOutcome {
             policy,
             records_simulated: accesses * trace_traversals,
             bounds: None,
+            failed: Vec::new(),
+            retries: 0,
+            records_lost: 0,
         }
+    }
+
+    /// Attaches a degraded run's failure accounting.
+    pub(crate) fn with_failures(
+        mut self,
+        failed: Vec<JobFailure>,
+        retries: u64,
+        records_lost: u64,
+    ) -> Self {
+        self.failed = failed;
+        self.retries = retries;
+        self.records_lost = records_lost;
+        self
     }
 
     /// Overrides the records-simulated tally (warmup-overlap sharding
@@ -397,6 +446,46 @@ impl SweepOutcome {
     #[must_use]
     pub fn bounds(&self) -> Option<&ShardBounds> {
         self.bounds.as_ref()
+    }
+
+    /// Fused jobs a resilient sweep could not complete (empty for the
+    /// non-resilient drivers and for clean resilient runs).
+    #[must_use]
+    pub fn failed_jobs(&self) -> &[JobFailure] {
+        &self.failed
+    }
+
+    /// Transient-failure retries performed across all jobs of a resilient
+    /// sweep (each successful retry recovered the job without data loss).
+    #[must_use]
+    pub const fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Records the failed jobs did *not* simulate, summed over
+    /// [`SweepOutcome::failed_jobs`] — the truthful size of the hole in a
+    /// partial outcome. Zero for complete runs.
+    #[must_use]
+    pub const fn records_lost(&self) -> u64 {
+        self.records_lost
+    }
+
+    /// Whether this outcome is missing results for some configurations
+    /// (degraded mode swallowed at least one job failure).
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        !self.failed.is_empty()
+    }
+
+    /// The failure covering `block_bytes`-byte-block configurations, if
+    /// that fused job failed. Failures are per fused job — one job per
+    /// block size — so every `(sets, assoc)` at this block size shares the
+    /// same error.
+    #[must_use]
+    pub fn config_error(&self, block_bytes: u32) -> Option<&JobFailure> {
+        self.failed
+            .iter()
+            .find(|f| 1u32 << f.block_bits == block_bytes)
     }
 
     /// Number of configurations with results.
@@ -516,6 +605,40 @@ mod tests {
         assert_eq!(b.max_slack(), 12);
         assert!(b.guaranteed());
         assert_eq!(ShardBounds::new(HashMap::new(), false).max_slack(), 0);
+    }
+
+    #[test]
+    fn failure_accounting_flags_partial_outcomes() {
+        let mut m = HashMap::new();
+        m.insert((1u32, 1u32, 4u32), 10u64);
+        let clean = SweepOutcome::new(100, m.clone(), Vec::new(), 1, TreePolicy::Fifo);
+        assert!(!clean.is_partial());
+        assert_eq!(clean.retries(), 0);
+        assert_eq!(clean.records_lost(), 0);
+        assert!(clean.failed_jobs().is_empty());
+
+        let failure = JobFailure {
+            block_bits: 3,
+            records_done: 40,
+            error: "block 8B (fifo): at record 40: boom".into(),
+            kind: FailureKind::Source,
+        };
+        let partial = SweepOutcome::new(100, m, Vec::new(), 2, TreePolicy::Fifo).with_failures(
+            vec![failure.clone()],
+            5,
+            60,
+        );
+        assert!(partial.is_partial());
+        assert_eq!(partial.retries(), 5);
+        assert_eq!(partial.records_lost(), 60);
+        assert_eq!(partial.failed_jobs(), &[failure]);
+        // Failures are keyed by the fused job's block size.
+        assert_eq!(partial.config_error(8).expect("failed").records_done, 40);
+        assert!(partial.config_error(4).is_none());
+        assert_eq!(
+            partial.config_error(8).expect("failed").kind,
+            FailureKind::Source
+        );
     }
 
     #[test]

@@ -58,6 +58,17 @@ pub const VERSION_1: u8 = 1;
 pub enum SnapshotError {
     /// The buffer does not start with the snapshot magic.
     BadMagic,
+    /// The buffer is a valid kernel snapshot, but for the *other* policy's
+    /// kernel (a FIFO `DEWM` buffer handed to the LRU kernel, or an LRU
+    /// `DEWL` buffer handed to the FIFO kernel). Distinguished from
+    /// [`SnapshotError::BadMagic`] so resume paths can report a policy mixup
+    /// rather than generic corruption.
+    PolicyMismatch {
+        /// The magic of the kernel that tried to restore the buffer.
+        expected: [u8; 4],
+        /// The magic actually found in the buffer.
+        found: [u8; 4],
+    },
     /// The snapshot was written by an unsupported format version.
     UnsupportedVersion(u8),
     /// The buffer ended before the state was complete, or geometry fields
@@ -71,6 +82,12 @@ impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SnapshotError::BadMagic => write!(f, "not a dew snapshot (bad magic)"),
+            SnapshotError::PolicyMismatch { expected, found } => write!(
+                f,
+                "kernel snapshot policy mismatch: expected a {} buffer, found {}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found),
+            ),
             SnapshotError::UnsupportedVersion(v) => {
                 write!(f, "unsupported snapshot version {v}")
             }
@@ -161,6 +178,10 @@ mod tests {
     fn error_display_nonempty() {
         for e in [
             SnapshotError::BadMagic,
+            SnapshotError::PolicyMismatch {
+                expected: *b"DEWM",
+                found: *b"DEWL",
+            },
             SnapshotError::UnsupportedVersion(3),
             SnapshotError::Corrupt("x"),
             SnapshotError::TrailingBytes(9),

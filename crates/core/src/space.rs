@@ -324,6 +324,15 @@ pub enum DewError {
     /// underlying `TraceError` is not `Clone`, which this error type
     /// requires.
     TraceRead(String),
+    /// A resume checkpoint was rejected: wrong file format, a policy or
+    /// sweep-configuration fingerprint that does not match the requested
+    /// sweep, or an undecodable kernel buffer — or the checkpoint sidecar
+    /// could not be written mid-sweep.
+    Checkpoint(String),
+    /// A sweep worker panicked while running a kernel job and `fail_fast`
+    /// (or an all-jobs failure) turned it into a sweep-level error. Carries
+    /// the panic message.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for DewError {
@@ -349,6 +358,8 @@ impl fmt::Display for DewError {
             }
             DewError::UnsoundOptions(why) => write!(f, "unsound option combination: {why}"),
             DewError::TraceRead(why) => write!(f, "trace source failed mid-sweep: {why}"),
+            DewError::Checkpoint(why) => write!(f, "sweep checkpoint error: {why}"),
+            DewError::WorkerPanic(why) => write!(f, "sweep worker panicked: {why}"),
         }
     }
 }
@@ -436,6 +447,9 @@ mod tests {
             DewError::BadAssoc(3),
             DewError::TooLarge,
             DewError::UnsoundOptions("demo"),
+            DewError::TraceRead("short read".into()),
+            DewError::Checkpoint("fingerprint mismatch".into()),
+            DewError::WorkerPanic("index out of bounds".into()),
         ] {
             assert!(!e.to_string().is_empty());
         }

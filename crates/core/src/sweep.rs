@@ -14,16 +14,20 @@
 //! [`PassResults`] shape, so [`SweepOutcome`] is unchanged for callers.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
-use dew_trace::{BlockChunks, Record, StreamBlockChunks, TraceSource};
+use dew_trace::{BlockChunks, Record, SliceSource, StreamBlockChunks, TraceError, TraceSource};
 
+use crate::checkpoint::{sweep_fingerprint, SweepCheckpoint};
 use crate::counters::DewCounters;
 use crate::lru_tree::{LruTreeOptions, LruTreeSimulator};
 use crate::multi_assoc::MultiAssocTree;
 use crate::options::{DewOptions, TreePolicy};
-use crate::results::{LevelResult, PassResults, ShardBounds, SweepOutcome};
+use crate::resilience::Resilience;
+use crate::results::{
+    FailureKind, JobFailure, LevelResult, PassResults, ShardBounds, SweepOutcome,
+};
 use crate::snapshot::SnapshotError;
 use crate::space::{ConfigSpace, DewError, PassConfig};
 
@@ -154,11 +158,17 @@ fn sweep_trace_with(
         records.len() as u64,
         trace_traversals,
         options.policy,
+        false,
     ))
 }
 
 /// Fans the completed per-pass slots out into a [`SweepOutcome`] (shared by
-/// every sweep flavour: plain, sharded, sampled, streamed).
+/// every sweep flavour: plain, sharded, sampled, streamed, resilient).
+///
+/// With `degraded` set, unfilled slots belong to failed jobs of a resilient
+/// run and are skipped — the caller attaches the failure accounting via
+/// [`SweepOutcome::failed_jobs`]. Without it an unfilled slot is an internal
+/// scheduling bug and panics.
 fn assemble(
     space: &ConfigSpace,
     passes: &[PassConfig],
@@ -166,15 +176,18 @@ fn assemble(
     accesses: u64,
     trace_traversals: u64,
     policy: TreePolicy,
+    degraded: bool,
 ) -> SweepOutcome {
     let include_dm = space.assoc_bits().0 == 0;
     let mut misses: HashMap<(u32, u32, u32), u64> = HashMap::new();
     let mut dm_seen: HashMap<(u32, u32), u64> = HashMap::new();
     let mut pass_counters = Vec::with_capacity(passes.len());
     for (pass, slot) in passes.iter().zip(slots) {
-        let (results, counters) = slot
-            .into_inner()
-            .expect("every pass index was claimed and completed");
+        let slot = slot.into_inner();
+        if degraded && slot.is_none() {
+            continue;
+        }
+        let (results, counters) = slot.expect("every pass index was claimed and completed");
         for level in results.levels() {
             let key = (level.sets(), pass.assoc(), pass.block_bytes());
             misses.insert(key, level.misses());
@@ -580,6 +593,7 @@ pub fn sweep_trace_sharded(
                 records.len() as u64,
                 traversals,
                 options.policy,
+                false,
             ))
         }
         ShardMode::WarmupOverlap { overlap } => Ok(run_warmup_overlap(
@@ -817,6 +831,7 @@ fn run_warmup_overlap(
         records.len() as u64,
         jobs.len() as u64,
         options.policy,
+        false,
     )
     .with_records_simulated(records_simulated)
     .with_bounds(ShardBounds::new(slack, options.policy == TreePolicy::Lru))
@@ -959,6 +974,7 @@ pub fn sweep_trace_sampled(
         sampled.len() as u64,
         jobs.len() as u64,
         options.policy,
+        false,
     )
     .with_records_simulated(sampled.len() as u64 * jobs.len() as u64)
     .with_bounds(ShardBounds::new(slack, options.policy == TreePolicy::Lru)))
@@ -1007,7 +1023,13 @@ pub fn sweep_trace_streamed<S: TraceSource>(
                 let reader = match source.open() {
                     Ok(reader) => reader,
                     Err(err) => {
-                        let _ = failure.set(err.to_string());
+                        // Name the failing job: a degraded-mode report needs
+                        // to say *which* configuration family died, not just
+                        // what the I/O layer said.
+                        let _ = failure.set(format!(
+                            "{}: opening source: {err}",
+                            job_label(job.block_bits, options.policy)
+                        ));
                         break;
                     }
                 };
@@ -1019,7 +1041,11 @@ pub fn sweep_trace_streamed<S: TraceSource>(
                         Ok(Some(chunk)) => kernel.run_blocks(chunk),
                         Ok(None) => break,
                         Err(err) => {
-                            let _ = failure.set(err.to_string());
+                            let _ = failure.set(format!(
+                                "{}: at record {}: {err}",
+                                job_label(job.block_bits, options.policy),
+                                chunks.decoded()
+                            ));
                             return;
                         }
                     }
@@ -1052,7 +1078,630 @@ pub fn sweep_trace_streamed<S: TraceSource>(
         accesses,
         jobs.len() as u64,
         options.policy,
+        false,
     ))
+}
+
+// ---------------------------------------------------------------------------
+// Resilient sweeps: checkpoint/resume, retry with bounded backoff, panic
+// isolation, graceful degradation.
+// ---------------------------------------------------------------------------
+
+/// Human-readable identity of a fused job for resilience-path error
+/// messages: one fused job covers every configuration of one block size.
+fn job_label(block_bits: u32, policy: TreePolicy) -> String {
+    format!("block {}B ({policy})", 1u64 << block_bits)
+}
+
+/// Kernel state restored from a resume checkpoint for one job.
+struct ResumeJob {
+    kernel: FusedKernel,
+    records_done: u64,
+    complete: bool,
+}
+
+/// A completed job ready for fan-out: `(job index, records decoded,
+/// per-pass fanned results)`.
+type FinishedJob = (usize, u64, Vec<(PassResults, DewCounters)>);
+
+/// What a resilient worker records for its job.
+enum JobOutcome {
+    /// The job ran to the end of the stream; `decoded` records were
+    /// consumed and `fanned` parallels `FusedJob::pass_idx`.
+    Done {
+        decoded: u64,
+        fanned: Vec<(PassResults, DewCounters)>,
+    },
+    Failed(JobFailure),
+}
+
+/// Internal failure of one resilient job (before it becomes a
+/// [`JobFailure`]).
+enum JobError {
+    /// The source failed fatally, or exhausted its retry budget.
+    Source { records_done: u64, message: String },
+    /// Another job aborted the sweep (fail-fast or a broken checkpoint
+    /// store); this job stopped cooperatively.
+    Aborted,
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
+/// Shared state of one resilient sweep, borrowed by every worker.
+struct ResilientRun<'a, S> {
+    space: &'a ConfigSpace,
+    source: &'a S,
+    passes: &'a [PassConfig],
+    /// Sorted record positions where kernel state must cross a shard
+    /// boundary as snapshot bytes (empty for unsharded drivers).
+    boundaries: &'a [u64],
+    options: DewOptions,
+    res: &'a Resilience<'a>,
+    /// The evolving checkpoint image (present iff checkpointing is on).
+    ckpt: Option<Mutex<SweepCheckpoint>>,
+    /// First checkpoint-store failure; set once, aborts the sweep.
+    ckpt_broken: OnceLock<String>,
+    /// First *causal* job failure (fatal source error or panic) — abort
+    /// echoes and never-started jobs do not land here.
+    first_failure: OnceLock<JobFailure>,
+    abort: AtomicBool,
+    retries_total: AtomicU64,
+}
+
+impl<S: TraceSource> ResilientRun<'_, S> {
+    /// Persists the current checkpoint image with `block_bits` updated to
+    /// `position`. A store failure breaks the checkpointing contract, so it
+    /// aborts the whole sweep rather than continuing unprotected.
+    fn save_checkpoint(
+        &self,
+        block_bits: u32,
+        position: u64,
+        kernel: &FusedKernel,
+        complete: bool,
+    ) {
+        let (Some(state), Some(spec)) = (self.ckpt.as_ref(), self.res.checkpoint) else {
+            return;
+        };
+        if self.ckpt_broken.get().is_some() {
+            return;
+        }
+        // The save stays inside the lock: checkpoint images must reach the
+        // store in update order, or a crash could resume from a stale one.
+        let mut guard = state.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.update_job(block_bits, position, kernel.to_snapshot(), complete);
+        if let Err(why) = spec.store.save(&guard.to_bytes()) {
+            let _ = self.ckpt_broken.set(why);
+            self.abort.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Opens the source and replays it to `position`, retrying transient
+    /// failures (of the open *and* of reads during the replay) against the
+    /// shared no-progress attempt budget.
+    fn open_skip(
+        &self,
+        position: u64,
+        attempts: &mut u32,
+        label: &str,
+    ) -> Result<S::Iter, JobError> {
+        let retry = self.res.retry;
+        loop {
+            match self.source.open() {
+                Ok(mut iter) => {
+                    let mut skipped = 0u64;
+                    let mut fault: Option<TraceError> = None;
+                    while skipped < position {
+                        match iter.next() {
+                            Some(Ok(_)) => skipped += 1,
+                            Some(Err(e)) => {
+                                fault = Some(e);
+                                break;
+                            }
+                            None => {
+                                return Err(JobError::Source {
+                                    records_done: position,
+                                    message: format!(
+                                        "{label}: source ended at record {skipped} while \
+                                         replaying to {position} — a resumable source must \
+                                         replay identically on every open"
+                                    ),
+                                })
+                            }
+                        }
+                    }
+                    match fault {
+                        None => return Ok(iter),
+                        Some(e) if e.is_transient() && *attempts < retry.max_retries => {
+                            *attempts += 1;
+                            self.retries_total.fetch_add(1, Ordering::Relaxed);
+                            self.res.sleeper.sleep(retry.delay(*attempts));
+                        }
+                        Some(e) => {
+                            return Err(JobError::Source {
+                                records_done: position,
+                                message: format!("{label}: replaying to record {position}: {e}"),
+                            })
+                        }
+                    }
+                }
+                Err(e) if e.is_transient() && *attempts < retry.max_retries => {
+                    *attempts += 1;
+                    self.retries_total.fetch_add(1, Ordering::Relaxed);
+                    self.res.sleeper.sleep(retry.delay(*attempts));
+                }
+                Err(e) => {
+                    return Err(JobError::Source {
+                        records_done: position,
+                        message: format!("{label}: opening source: {e}"),
+                    })
+                }
+            }
+            if self.abort.load(Ordering::Relaxed) {
+                return Err(JobError::Aborted);
+            }
+        }
+    }
+
+    /// Runs one fused job to the end of the stream (or resumes a finished
+    /// one straight to fan-out). Returns the records consumed and the
+    /// per-pass results, parallel to `job.pass_idx`.
+    ///
+    /// The record loop buffers block numbers itself (instead of using
+    /// [`StreamBlockChunks`]) so it can flush at *exact* positions — shard
+    /// boundaries and checkpoint points — and flush delivered records
+    /// before handling a mid-chunk fault. The kernels consume blocks one at
+    /// a time, so chunk partitioning never affects results; that invariance
+    /// is what makes checkpoint resume and retry replay bit-exact.
+    fn run_job(
+        &self,
+        job: &FusedJob,
+        resume: Option<ResumeJob>,
+        position_out: &AtomicU64,
+    ) -> Result<(u64, Vec<(PassResults, DewCounters)>), JobError> {
+        let label = job_label(job.block_bits, self.options.policy);
+        let (mut kernel, mut position, complete) = match resume {
+            Some(r) => (r.kernel, r.records_done, r.complete),
+            None => (FusedKernel::build(self.space, job, self.options), 0, false),
+        };
+        position_out.store(position, Ordering::Relaxed);
+        if !complete {
+            let retry = self.res.retry;
+            let every = self.res.checkpoint.map(|c| c.every.max(1));
+            let mut next_boundary = self.boundaries.partition_point(|&b| b <= position);
+            let mut next_ckpt = every.map(|e| (position / e + 1) * e);
+            let mut attempts = 0u32;
+            let mut last_fault: Option<u64> = None;
+            let mut buf: Vec<u64> = Vec::with_capacity(BlockChunks::DEFAULT_CHUNK);
+            'stream: loop {
+                let mut iter = self.open_skip(position, &mut attempts, &label)?;
+                loop {
+                    match iter.next() {
+                        Some(Ok(rec)) => {
+                            buf.push(rec.addr >> job.block_bits);
+                            position += 1;
+                            let at_boundary =
+                                self.boundaries.get(next_boundary).copied() == Some(position);
+                            let at_ckpt = next_ckpt == Some(position);
+                            if buf.len() >= BlockChunks::DEFAULT_CHUNK || at_boundary || at_ckpt {
+                                kernel.run_blocks(&buf);
+                                buf.clear();
+                                position_out.store(position, Ordering::Relaxed);
+                                if at_boundary {
+                                    // Shard handoff, exactly as in
+                                    // `run_sharded_handoff`: state crosses
+                                    // the boundary only as wire-format
+                                    // bytes (an identity round trip).
+                                    let bytes = kernel.to_snapshot();
+                                    kernel =
+                                        FusedKernel::from_snapshot(self.options.policy, &bytes)
+                                            .expect("kernel snapshots round-trip");
+                                    while self.boundaries.get(next_boundary).copied()
+                                        == Some(position)
+                                    {
+                                        next_boundary += 1;
+                                    }
+                                }
+                                if at_ckpt {
+                                    self.save_checkpoint(job.block_bits, position, &kernel, false);
+                                    next_ckpt = every.map(|e| position + e);
+                                }
+                                if self.abort.load(Ordering::Relaxed) {
+                                    return Err(JobError::Aborted);
+                                }
+                            }
+                        }
+                        Some(Err(e)) => {
+                            // Delivered records are real progress: simulate
+                            // them before judging the error, so a retry
+                            // replays from the exact failure point.
+                            if !buf.is_empty() {
+                                kernel.run_blocks(&buf);
+                                buf.clear();
+                            }
+                            position_out.store(position, Ordering::Relaxed);
+                            if !e.is_transient() {
+                                return Err(JobError::Source {
+                                    records_done: position,
+                                    message: format!("{label}: at record {position}: {e}"),
+                                });
+                            }
+                            // The attempt budget bounds *stalls*, not total
+                            // faults over a long stream: progress since the
+                            // previous fault earns a fresh budget.
+                            if last_fault.is_some_and(|p| position > p) {
+                                attempts = 0;
+                            }
+                            last_fault = Some(position);
+                            if attempts >= retry.max_retries {
+                                return Err(JobError::Source {
+                                    records_done: position,
+                                    message: format!(
+                                        "{label}: at record {position}: {e} \
+                                         (gave up after {attempts} retries without progress)"
+                                    ),
+                                });
+                            }
+                            attempts += 1;
+                            self.retries_total.fetch_add(1, Ordering::Relaxed);
+                            self.res.sleeper.sleep(retry.delay(attempts));
+                            continue 'stream;
+                        }
+                        None => {
+                            if !buf.is_empty() {
+                                kernel.run_blocks(&buf);
+                                buf.clear();
+                            }
+                            position_out.store(position, Ordering::Relaxed);
+                            break 'stream;
+                        }
+                    }
+                }
+            }
+            // The completion record makes a resume skip this job entirely
+            // (its kernel snapshot still fans out the final results).
+            self.save_checkpoint(job.block_bits, position, &kernel, true);
+        }
+        let fanned = job
+            .pass_idx
+            .iter()
+            .map(|&i| kernel.fan_out(self.passes[i].assoc()))
+            .collect();
+        Ok((position, fanned))
+    }
+}
+
+/// The shared fault-tolerant driver behind [`sweep_trace_resilient`],
+/// [`sweep_trace_sharded_resilient`] and [`sweep_trace_streamed_resilient`].
+fn run_resilient<S: TraceSource>(
+    space: &ConfigSpace,
+    source: &S,
+    boundaries: &[u64],
+    options: DewOptions,
+    threads: usize,
+    res: &Resilience<'_>,
+) -> Result<SweepOutcome, DewError> {
+    options.validate()?;
+    let fingerprint = sweep_fingerprint(space, options);
+    let passes = space.passes();
+    let jobs = group_by_block(&passes);
+
+    // Validate and restore the resume state up front, outside the workers,
+    // so a rejected checkpoint is one clean error instead of N job deaths.
+    let resume_slots: Vec<Mutex<Option<ResumeJob>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    if let Some(ckpt) = res.resume {
+        if ckpt.policy() != options.policy {
+            return Err(DewError::Checkpoint(format!(
+                "checkpoint was taken under the {} policy, this sweep runs {}",
+                ckpt.policy(),
+                options.policy
+            )));
+        }
+        if ckpt.fingerprint() != fingerprint {
+            return Err(DewError::Checkpoint(format!(
+                "checkpoint fingerprint {:#018x} does not match this sweep's {fingerprint:#018x} \
+                 (different configuration space or options)",
+                ckpt.fingerprint()
+            )));
+        }
+        for (slot, job) in resume_slots.iter().zip(&jobs) {
+            if let Some(jc) = ckpt.job(job.block_bits) {
+                let kernel =
+                    FusedKernel::from_snapshot(options.policy, &jc.kernel).map_err(|e| {
+                        DewError::Checkpoint(format!(
+                            "{}: {e}",
+                            job_label(job.block_bits, options.policy)
+                        ))
+                    })?;
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(ResumeJob {
+                    kernel,
+                    records_done: jc.records_done,
+                    complete: jc.complete,
+                });
+            }
+        }
+    }
+
+    let run = ResilientRun {
+        space,
+        source,
+        passes: &passes,
+        boundaries,
+        options,
+        res,
+        ckpt: res.checkpoint.map(|_| {
+            Mutex::new(match res.resume {
+                Some(c) => c.clone(),
+                None => SweepCheckpoint::new(fingerprint, options.policy),
+            })
+        }),
+        ckpt_broken: OnceLock::new(),
+        first_failure: OnceLock::new(),
+        abort: AtomicBool::new(false),
+        retries_total: AtomicU64::new(0),
+    };
+
+    let outcomes: Vec<OnceLock<JobOutcome>> = jobs.iter().map(|_| OnceLock::new()).collect();
+    let positions: Vec<AtomicU64> = jobs.iter().map(|_| AtomicU64::new(0)).collect();
+    let workers = worker_count(threads, jobs.len());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if run.abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(j) else { break };
+                let resume = resume_slots[j]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take();
+                // Panic isolation: a kernel blow-up fails this job, not the
+                // sweep. The shared state a panic could leave mid-update is
+                // per-job (kernel, buffers) or poison-tolerant (checkpoint
+                // mutex), so the unwind boundary is sound to cross.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run.run_job(job, resume, &positions[j])
+                }));
+                let outcome = match caught {
+                    Ok(Ok((decoded, fanned))) => JobOutcome::Done { decoded, fanned },
+                    Ok(Err(JobError::Source {
+                        records_done,
+                        message,
+                    })) => {
+                        let failure = JobFailure {
+                            block_bits: job.block_bits,
+                            records_done,
+                            error: message,
+                            kind: FailureKind::Source,
+                        };
+                        let _ = run.first_failure.set(failure.clone());
+                        if run.res.fail_fast {
+                            run.abort.store(true, Ordering::Relaxed);
+                        }
+                        JobOutcome::Failed(failure)
+                    }
+                    Ok(Err(JobError::Aborted)) => JobOutcome::Failed(JobFailure {
+                        block_bits: job.block_bits,
+                        records_done: positions[j].load(Ordering::Relaxed),
+                        error: format!(
+                            "{}: abandoned after the sweep aborted",
+                            job_label(job.block_bits, options.policy)
+                        ),
+                        kind: FailureKind::Source,
+                    }),
+                    Err(payload) => {
+                        let failure = JobFailure {
+                            block_bits: job.block_bits,
+                            records_done: positions[j].load(Ordering::Relaxed),
+                            error: format!(
+                                "{}: worker panicked: {}",
+                                job_label(job.block_bits, options.policy),
+                                panic_message(payload.as_ref())
+                            ),
+                            kind: FailureKind::Panic,
+                        };
+                        let _ = run.first_failure.set(failure.clone());
+                        if run.res.fail_fast {
+                            run.abort.store(true, Ordering::Relaxed);
+                        }
+                        JobOutcome::Failed(failure)
+                    }
+                };
+                let claimed = outcomes[j].set(outcome);
+                assert!(claimed.is_ok(), "job {j} claimed by exactly one worker");
+            });
+        }
+    });
+
+    if let Some(why) = run.ckpt_broken.get() {
+        return Err(DewError::Checkpoint(why.clone()));
+    }
+
+    let mut failed: Vec<JobFailure> = Vec::new();
+    let mut done: Vec<FinishedJob> = Vec::new();
+    for (j, slot) in outcomes.into_iter().enumerate() {
+        match slot.into_inner() {
+            Some(JobOutcome::Done { decoded, fanned }) => done.push((j, decoded, fanned)),
+            Some(JobOutcome::Failed(f)) => failed.push(f),
+            None => failed.push(JobFailure {
+                block_bits: jobs[j].block_bits,
+                records_done: positions[j].load(Ordering::Relaxed),
+                error: format!(
+                    "{}: never started (sweep aborted first)",
+                    job_label(jobs[j].block_bits, options.policy)
+                ),
+                kind: FailureKind::Source,
+            }),
+        }
+    }
+    let retries = run.retries_total.load(Ordering::Relaxed);
+
+    // Fail-fast runs and total losses escalate to a sweep-level error; a
+    // degraded run with at least one surviving job returns partial results.
+    let escalate = |f: &JobFailure| match f.kind {
+        FailureKind::Source => DewError::TraceRead(f.error.clone()),
+        FailureKind::Panic => DewError::WorkerPanic(f.error.clone()),
+    };
+    if res.fail_fast {
+        if let Some(f) = run.first_failure.get() {
+            return Err(escalate(f));
+        }
+    }
+    if done.is_empty() {
+        let f = run
+            .first_failure
+            .get()
+            .or_else(|| failed.first())
+            .expect("a sweep with no surviving jobs recorded a failure");
+        return Err(escalate(f));
+    }
+
+    let accesses = done.first().map_or(0, |(_, d, _)| *d);
+    for (_, d, _) in &done {
+        assert_eq!(
+            *d, accesses,
+            "trace source must replay identically on every open"
+        );
+    }
+    let done_jobs = done.len() as u64;
+    let slots: Vec<OnceLock<(PassResults, DewCounters)>> =
+        passes.iter().map(|_| OnceLock::new()).collect();
+    for (j, _, fanned) in done {
+        for (&i, f) in jobs[j].pass_idx.iter().zip(fanned) {
+            let claimed = slots[i].set(f);
+            assert!(claimed.is_ok(), "slot {i} filled exactly once");
+        }
+    }
+    let records_lost: u64 = failed
+        .iter()
+        .map(|f| accesses.saturating_sub(f.records_done))
+        .sum();
+    let records_simulated =
+        accesses * done_jobs + failed.iter().map(|f| f.records_done).sum::<u64>();
+    Ok(assemble(
+        space,
+        &passes,
+        slots,
+        accesses,
+        jobs.len() as u64,
+        options.policy,
+        true,
+    )
+    .with_records_simulated(records_simulated)
+    .with_failures(failed, retries, records_lost))
+}
+
+/// Fault-tolerant [`sweep_trace`]: the same fused kernels and bit-identical
+/// results on the happy path, plus the resilience contract of
+/// [`Resilience`] — periodic [`SweepCheckpoint`]s, resume, retry with
+/// bounded backoff for transient source failures, per-job panic isolation,
+/// and graceful degradation (a partial [`SweepOutcome`] whose
+/// [`SweepOutcome::failed_jobs`] / [`SweepOutcome::retries`] /
+/// [`SweepOutcome::records_lost`] tell the truth about what was lost).
+///
+/// Resuming from a checkpoint is **bit-identical** to the uninterrupted
+/// sweep: a checkpoint stores each job's exact kernel snapshot at an exact
+/// record position, restoring a snapshot is an identity (property-tested),
+/// and the kernels are insensitive to how the replayed stream is chunked.
+///
+/// # Errors
+///
+/// [`DewError::UnsoundOptions`] when `options` fails validation;
+/// [`DewError::Checkpoint`] when a resume checkpoint mismatches this sweep
+/// (policy, fingerprint, undecodable kernel) or the checkpoint store fails
+/// mid-run; [`DewError::TraceRead`] / [`DewError::WorkerPanic`] when
+/// `fail_fast` is set and a job fails, or when *every* job fails.
+///
+/// # Examples
+///
+/// ```
+/// use dew_core::{sweep_trace, sweep_trace_resilient, ConfigSpace, DewOptions, Resilience};
+/// use dew_trace::Record;
+///
+/// # fn main() -> Result<(), dew_core::DewError> {
+/// let space = ConfigSpace::new((0, 4), (2, 4), (0, 2))?;
+/// let trace: Vec<Record> = (0..500u64).map(|i| Record::read((i % 97) * 4)).collect();
+/// let plain = sweep_trace(&space, &trace, DewOptions::default(), 1)?;
+/// let resilient =
+///     sweep_trace_resilient(&space, &trace, DewOptions::default(), 1, &Resilience::new())?;
+/// assert!(!resilient.is_partial());
+/// assert_eq!(resilient.sorted(), plain.sorted());
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep_trace_resilient(
+    space: &ConfigSpace,
+    records: &[Record],
+    options: DewOptions,
+    threads: usize,
+    res: &Resilience<'_>,
+) -> Result<SweepOutcome, DewError> {
+    run_resilient(space, &SliceSource(records), &[], options, threads, res)
+}
+
+/// Fault-tolerant [`sweep_trace_sharded`] in snapshot-handoff mode: kernel
+/// state crosses each of the `shards` interval boundaries as serialized
+/// snapshot bytes (bit-identical to the unsharded sweep), under the full
+/// resilience contract of [`sweep_trace_resilient`]. Checkpoints compose
+/// with sharding — both reuse the same snapshot identity — and a
+/// checkpoint taken under one shard count resumes soundly under another.
+///
+/// # Errors
+///
+/// As [`sweep_trace_resilient`].
+pub fn sweep_trace_sharded_resilient(
+    space: &ConfigSpace,
+    records: &[Record],
+    options: DewOptions,
+    threads: usize,
+    shards: usize,
+    res: &Resilience<'_>,
+) -> Result<SweepOutcome, DewError> {
+    let boundaries: Vec<u64> = shard_ranges(records.len(), shards)
+        .iter()
+        .skip(1)
+        .map(|&(lo, _)| lo as u64)
+        .collect();
+    run_resilient(
+        space,
+        &SliceSource(records),
+        &boundaries,
+        options,
+        threads,
+        res,
+    )
+}
+
+/// Fault-tolerant [`sweep_trace_streamed`]: bounded-memory sweeping from a
+/// re-openable [`TraceSource`] under the full resilience contract of
+/// [`sweep_trace_resilient`]. This is the driver for billion-request runs:
+/// transient I/O faults are retried with backoff (re-open + replay to the
+/// failure point — the source must replay identically on every open),
+/// fatal faults degrade to per-job failures, and `--checkpoint`-style
+/// periodic snapshots make a crash cost at most `every` records of replay.
+///
+/// # Errors
+///
+/// As [`sweep_trace_resilient`].
+pub fn sweep_trace_streamed_resilient<S: TraceSource>(
+    space: &ConfigSpace,
+    source: &S,
+    options: DewOptions,
+    threads: usize,
+    res: &Resilience<'_>,
+) -> Result<SweepOutcome, DewError> {
+    run_resilient(space, source, &[], options, threads, res)
 }
 
 #[cfg(test)]
@@ -1434,6 +2083,215 @@ mod tests {
         };
         let err = sweep_trace_streamed(&space, &source, DewOptions::default(), 1)
             .expect_err("truncation must surface");
-        assert!(matches!(err, DewError::TraceRead(_)), "{err}");
+        let DewError::TraceRead(msg) = &err else {
+            panic!("expected TraceRead, got {err}");
+        };
+        // The message names the failing job and the decode position.
+        assert!(msg.contains("block "), "{msg}");
+        assert!(msg.contains("at record 2"), "{msg}");
+    }
+
+    #[test]
+    fn resilient_defaults_match_plain_sweep_for_both_policies() {
+        let space = ConfigSpace::new((0, 4), (0, 2), (0, 2)).expect("valid");
+        let records = trace(1100);
+        for options in [DewOptions::default(), lru_options()] {
+            let plain = sweep_trace(&space, &records, options, 0).expect("sweep");
+            let res = Resilience::new().with_sleeper(&crate::resilience::NoSleep);
+            let resilient =
+                sweep_trace_resilient(&space, &records, options, 0, &res).expect("resilient");
+            assert!(!resilient.is_partial());
+            assert_eq!(resilient.retries(), 0);
+            assert_eq!(resilient.sorted(), plain.sorted());
+            assert_eq!(resilient.accesses(), plain.accesses());
+            let sharded = sweep_trace_sharded_resilient(&space, &records, options, 0, 4, &res)
+                .expect("sharded resilient");
+            assert_eq!(sharded.sorted(), plain.sorted());
+        }
+    }
+
+    #[test]
+    fn transient_open_failures_are_retried_and_recovered() {
+        use dew_trace::TraceError;
+        let space = ConfigSpace::new((0, 3), (2, 3), (0, 1)).expect("valid");
+        let records = trace(600);
+        let plain = sweep_trace(&space, &records, DewOptions::default(), 0).expect("sweep");
+        let fails = AtomicU64::new(2);
+        let source = || {
+            let failed = fails
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok();
+            if failed {
+                return Err(TraceError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "injected transient open failure",
+                )));
+            }
+            Ok(records.iter().copied().map(Ok::<Record, TraceError>))
+        };
+        let res = Resilience::new().with_sleeper(&crate::resilience::NoSleep);
+        let outcome =
+            sweep_trace_streamed_resilient(&space, &source, DewOptions::default(), 1, &res)
+                .expect("recovered");
+        assert!(!outcome.is_partial());
+        assert_eq!(outcome.retries(), 2);
+        assert_eq!(outcome.sorted(), plain.sorted());
+    }
+
+    /// A source that truncates to 100 records with a fatal error — but only
+    /// on its second open (ordinal 1), which under one worker is the 8-byte
+    /// block job. Every other open replays the full trace cleanly.
+    fn second_open_truncates<'a>(
+        records: &'a [Record],
+        opens: &'a AtomicU64,
+    ) -> impl Fn() -> Result<
+        std::vec::IntoIter<Result<Record, dew_trace::TraceError>>,
+        dew_trace::TraceError,
+    > + Sync
+           + 'a {
+        move || {
+            let ordinal = opens.fetch_add(1, Ordering::Relaxed);
+            let mut items: Vec<Result<Record, dew_trace::TraceError>> =
+                records.iter().copied().map(Ok).collect();
+            if ordinal == 1 {
+                items.truncate(100);
+                items.push(Err(dew_trace::TraceError::Truncated));
+            }
+            Ok(items.into_iter())
+        }
+    }
+
+    #[test]
+    fn fatal_job_failures_degrade_to_partial_results() {
+        let space = ConfigSpace::new((0, 2), (2, 4), (0, 1)).expect("valid");
+        let records = trace(500);
+        let opens = AtomicU64::new(0);
+        let source = second_open_truncates(&records, &opens);
+        let res = Resilience::new().with_sleeper(&crate::resilience::NoSleep);
+        let outcome =
+            sweep_trace_streamed_resilient(&space, &source, DewOptions::default(), 1, &res)
+                .expect("degraded mode returns partial results");
+        assert!(outcome.is_partial());
+        assert_eq!(outcome.retries(), 0, "fatal errors are not retried");
+        let failed = outcome.failed_jobs();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].block_bits, 3, "the 8-byte job died");
+        assert_eq!(failed[0].records_done, 100);
+        assert_eq!(failed[0].kind, FailureKind::Source);
+        assert!(failed[0].error.contains("block 8B"), "{}", failed[0].error);
+        assert!(outcome.config_error(8).is_some());
+        assert!(outcome.config_error(4).is_none());
+        assert!(outcome.config_error(16).is_none());
+        // The miss table is honest: surviving blocks answer, the dead one
+        // does not.
+        assert!(outcome.misses(1, 2, 4).is_some());
+        assert!(outcome.misses(1, 2, 8).is_none());
+        assert_eq!(outcome.records_lost(), outcome.accesses() - 100);
+    }
+
+    #[test]
+    fn fail_fast_escalates_the_first_job_failure() {
+        let space = ConfigSpace::new((0, 2), (2, 4), (0, 1)).expect("valid");
+        let records = trace(500);
+        let opens = AtomicU64::new(0);
+        let source = second_open_truncates(&records, &opens);
+        let res = Resilience::new()
+            .fail_fast(true)
+            .with_sleeper(&crate::resilience::NoSleep);
+        let err = sweep_trace_streamed_resilient(&space, &source, DewOptions::default(), 1, &res)
+            .expect_err("fail-fast aborts");
+        let DewError::TraceRead(msg) = &err else {
+            panic!("expected TraceRead, got {err}");
+        };
+        assert!(msg.contains("block 8B"), "{msg}");
+    }
+
+    #[test]
+    fn worker_panics_are_isolated_into_job_failures() {
+        let space = ConfigSpace::new((0, 2), (2, 4), (0, 1)).expect("valid");
+        let records = trace(400);
+        let opens = AtomicU64::new(0);
+        let source = move || {
+            let ordinal = opens.fetch_add(1, Ordering::Relaxed);
+            Ok(records.clone().into_iter().enumerate().map(move |(i, r)| {
+                if ordinal == 1 && i == 50 {
+                    panic!("injected kernel panic");
+                }
+                Ok::<Record, dew_trace::TraceError>(r)
+            }))
+        };
+        let res = Resilience::new().with_sleeper(&crate::resilience::NoSleep);
+        let outcome =
+            sweep_trace_streamed_resilient(&space, &source, DewOptions::default(), 1, &res)
+                .expect("panic degrades, not aborts");
+        assert!(outcome.is_partial());
+        let failed = outcome.failed_jobs();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].kind, FailureKind::Panic);
+        assert!(
+            failed[0].error.contains("injected kernel panic"),
+            "{}",
+            failed[0].error
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let space = ConfigSpace::new((0, 4), (0, 2), (0, 2)).expect("valid");
+        let records = trace(1000);
+        for options in [DewOptions::default(), lru_options()] {
+            let baseline = sweep_trace(&space, &records, options, 0).expect("sweep");
+            let store = crate::checkpoint::MemoryCheckpointStore::new();
+            let res = Resilience::new()
+                .with_checkpoint(300, &store)
+                .with_sleeper(&crate::resilience::NoSleep);
+            let full = sweep_trace_resilient(&space, &records, options, 0, &res)
+                .expect("checkpointed run");
+            assert_eq!(full.sorted(), baseline.sorted());
+            let history = store.history();
+            assert!(!history.is_empty(), "checkpoints were taken");
+            // Resume from the first, a middle, and the final image: every
+            // resumed sweep reproduces the uninterrupted results exactly.
+            for idx in [0, history.len() / 2, history.len() - 1] {
+                let ckpt =
+                    SweepCheckpoint::from_bytes(&history[idx]).expect("stored image decodes");
+                let res = Resilience::new()
+                    .resume_from(&ckpt)
+                    .with_sleeper(&crate::resilience::NoSleep);
+                let resumed =
+                    sweep_trace_resilient(&space, &records, options, 0, &res).expect("resumed run");
+                assert!(!resumed.is_partial());
+                assert_eq!(resumed.sorted(), baseline.sorted(), "image {idx}");
+                assert_eq!(resumed.accesses(), baseline.accesses());
+            }
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_checkpoints() {
+        let space = ConfigSpace::new((0, 3), (2, 3), (0, 1)).expect("valid");
+        let records = trace(300);
+        let store = crate::checkpoint::MemoryCheckpointStore::new();
+        let res = Resilience::new()
+            .with_checkpoint(100, &store)
+            .with_sleeper(&crate::resilience::NoSleep);
+        sweep_trace_resilient(&space, &records, DewOptions::default(), 0, &res).expect("sweep");
+        let ckpt =
+            SweepCheckpoint::from_bytes(&store.latest().expect("saved")).expect("image decodes");
+        // Different space → fingerprint mismatch.
+        let other = ConfigSpace::new((0, 4), (2, 3), (0, 1)).expect("valid");
+        let res = Resilience::new()
+            .resume_from(&ckpt)
+            .with_sleeper(&crate::resilience::NoSleep);
+        let err = sweep_trace_resilient(&other, &records, DewOptions::default(), 0, &res)
+            .expect_err("fingerprint mismatch");
+        assert!(matches!(err, DewError::Checkpoint(_)), "{err}");
+        // Different policy → rejected before fingerprints are compared.
+        let err = sweep_trace_resilient(&space, &records, lru_options(), 0, &res)
+            .expect_err("policy mismatch");
+        let DewError::Checkpoint(msg) = &err else {
+            panic!("expected Checkpoint, got {err}");
+        };
+        assert!(msg.contains("policy"), "{msg}");
     }
 }

@@ -58,6 +58,23 @@ pub enum TraceError {
     VarintOverflow,
 }
 
+impl TraceError {
+    /// Whether retrying the failed operation (re-opening the source and
+    /// replaying to the failure point) could plausibly succeed.
+    ///
+    /// The taxonomy is: **I/O failures are transient** — interrupted reads,
+    /// dropped connections, transiently unavailable files come and go —
+    /// while **format failures are fatal**: a corrupt record, truncated
+    /// stream, bad magic, unsupported version or overflowing varint is a
+    /// property of the bytes themselves and will reproduce on every retry.
+    /// Resilient sweep drivers use this split to decide between
+    /// retry-with-backoff and failing the job.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TraceError::Io(_))
+    }
+}
+
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -110,6 +127,23 @@ mod tests {
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn only_io_errors_are_transient() {
+        assert!(TraceError::Io(io::Error::other("x")).is_transient());
+        for fatal in [
+            TraceError::Parse {
+                position: 3,
+                source: ParseRecordError::MissingLabel,
+            },
+            TraceError::BadMagic,
+            TraceError::UnsupportedVersion(9),
+            TraceError::Truncated,
+            TraceError::VarintOverflow,
+        ] {
+            assert!(!fatal.is_transient(), "{fatal}");
         }
     }
 

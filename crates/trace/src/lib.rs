@@ -20,7 +20,11 @@
 //!   of once per pass;
 //! * bounded-memory streaming ingestion ([`StreamBlockChunks`],
 //!   [`TraceSource`]) so traces longer than RAM feed the same batched
-//!   kernels straight from a reader or generator.
+//!   kernels straight from a reader or generator;
+//! * deterministic fault injection ([`FaultyTraceSource`], [`FaultPlan`])
+//!   wrapping any source with a seed-controlled schedule of transient I/O
+//!   errors, short reads, corrupt records and latency, for exercising
+//!   retry/checkpoint/degradation paths reproducibly.
 //!
 //! This crate is the first stage of the pipeline documented in the
 //! repository's `docs/GUIDE.md`: traces flow through the block decoder
@@ -48,6 +52,7 @@ pub mod binary;
 mod blocks;
 pub mod din;
 mod error;
+mod fault;
 mod record;
 pub mod sample;
 pub mod stats;
@@ -56,6 +61,7 @@ mod trace;
 
 pub use blocks::{decode_blocks, decode_blocks_into, BlockChunks};
 pub use error::{ParseRecordError, TraceError};
+pub use fault::{FaultPlan, FaultyIter, FaultyTraceSource};
 pub use record::{AccessKind, BlockAddr, Record};
 pub use stats::TraceStats;
 pub use stream::{SliceIter, SliceSource, StreamBlockChunks, TraceSource};

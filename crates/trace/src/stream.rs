@@ -89,7 +89,10 @@ where
         self.buf.clear();
         while self.buf.len() < self.chunk_len {
             match self.source.next() {
-                Some(Ok(record)) => self.buf.push(record.addr >> self.block_bits),
+                Some(Ok(record)) => {
+                    self.buf.push(record.addr >> self.block_bits);
+                    self.decoded += 1;
+                }
                 Some(Err(e)) => {
                     self.done = true;
                     return Err(e);
@@ -100,7 +103,6 @@ where
                 }
             }
         }
-        self.decoded += self.buf.len() as u64;
         if self.buf.is_empty() {
             Ok(None)
         } else {
@@ -108,7 +110,9 @@ where
         }
     }
 
-    /// Records decoded so far.
+    /// Records decoded so far — including those consumed before a
+    /// mid-chunk error, so after an `Err` this is the exact position of
+    /// the failing record.
     #[must_use]
     pub fn decoded(&self) -> u64 {
         self.decoded

@@ -1,0 +1,155 @@
+//! Property-based contract of the resilient sweep drivers.
+//!
+//! The headline: **kill-anywhere resume is bit-identical**. A sweep
+//! checkpointed every few records can be killed at *any* checkpoint image —
+//! first, middle, last, property-chosen — and resuming from that image
+//! reproduces the uninterrupted sweep's miss table exactly, across random
+//! traces, spaces, checkpoint cadences, both policies, and all three
+//! resilient drivers (in-memory, sharded snapshot-handoff, streamed). The
+//! second property: deterministic transient faults injected by
+//! [`FaultyTraceSource`] are fully absorbed by the retry/backoff path —
+//! the recovered table equals the fault-free one, never an approximation.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use dew_core::{
+    sweep_trace, sweep_trace_resilient, sweep_trace_sharded_resilient,
+    sweep_trace_streamed_resilient, ConfigSpace, DewOptions, MemoryCheckpointStore, NoSleep,
+    Resilience, RetryPolicy, SweepCheckpoint, SweepOutcome,
+};
+use dew_trace::{FaultPlan, FaultyTraceSource, Record, SliceSource};
+
+/// Traces mixing tight locality with scattered far references, as in the
+/// other sweep properties.
+fn trace_strategy() -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..256).prop_map(|a| Record::read(a * 4)), // hot words
+            (0u64..65_536).prop_map(Record::read),         // scattered
+            (0u64..64).prop_map(Record::write),            // hot bytes
+        ],
+        1..400,
+    )
+}
+
+/// Small but shape-diverse spaces: varying set ranges, 1-2 block sizes,
+/// associativity ranges that may or may not include 1.
+fn space_strategy() -> impl Strategy<Value = ConfigSpace> {
+    (0u32..3, 0u32..4, 0u32..4, 0u32..2, 0u32..3, 0u32..2).prop_map(
+        |(min_s, extra_s, min_b, extra_b, min_a, extra_a)| {
+            ConfigSpace::new(
+                (min_s, min_s + extra_s),
+                (min_b, min_b + extra_b),
+                (min_a, min_a + extra_a),
+            )
+            .expect("ranges are non-inverted by construction")
+        },
+    )
+}
+
+fn options_for(lru: bool) -> DewOptions {
+    if lru {
+        DewOptions::lru()
+    } else {
+        DewOptions::default()
+    }
+}
+
+/// Runs the property-selected resilient driver over `records`.
+fn run_driver(
+    driver: usize,
+    space: &ConfigSpace,
+    records: &[Record],
+    options: DewOptions,
+    res: &Resilience<'_>,
+) -> SweepOutcome {
+    match driver {
+        0 => sweep_trace_resilient(space, records, options, 1, res).expect("resilient sweep"),
+        1 => sweep_trace_sharded_resilient(space, records, options, 1, 3, res)
+            .expect("sharded resilient sweep"),
+        _ => sweep_trace_streamed_resilient(space, &SliceSource(records), options, 1, res)
+            .expect("streamed resilient sweep"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn kill_at_any_checkpoint_and_resume_is_bit_identical(
+        records in trace_strategy(),
+        space in space_strategy(),
+        every in 1u64..200,
+        kill_pick in 0usize..1000,
+        driver in 0usize..3,
+        lru in any::<bool>(),
+    ) {
+        let options = options_for(lru);
+        let baseline = sweep_trace(&space, &records, options, 1).expect("sweep");
+
+        // Checkpointed run: its own table must already match the plain
+        // sweep (resilience never perturbs results).
+        let store = MemoryCheckpointStore::new();
+        let res = Resilience::new()
+            .with_retry(RetryPolicy::none())
+            .with_sleeper(&NoSleep)
+            .with_checkpoint(every, &store);
+        let full = run_driver(driver, &space, &records, options, &res);
+        prop_assert!(!full.is_partial());
+        prop_assert_eq!(full.sorted(), baseline.sorted(),
+            "checkpointed run diverged: driver={} every={}", driver, every);
+
+        // Kill at a property-chosen checkpoint image and resume: the store
+        // kept every image in order, so indexing into the history is
+        // exactly "the process died right after this save hit disk".
+        let history = store.history();
+        prop_assert!(!history.is_empty(), "at least the completion image was saved");
+        let kill_at = kill_pick % history.len();
+        let ckpt = SweepCheckpoint::from_bytes(&history[kill_at]).expect("image decodes");
+        let res = Resilience::new()
+            .with_retry(RetryPolicy::none())
+            .with_sleeper(&NoSleep)
+            .resume_from(&ckpt);
+        let resumed = run_driver(driver, &space, &records, options, &res);
+        prop_assert!(!resumed.is_partial());
+        prop_assert_eq!(resumed.accesses(), baseline.accesses());
+        prop_assert_eq!(resumed.sorted(), baseline.sorted(),
+            "resume diverged: killed at image {}/{} driver={} every={} lru={}",
+            kill_at, history.len(), driver, every, lru);
+    }
+
+    #[test]
+    fn retries_absorb_deterministic_transient_faults(
+        records in trace_strategy(),
+        space in space_strategy(),
+        seed in any::<u64>(),
+        lru in any::<bool>(),
+    ) {
+        let options = options_for(lru);
+        let baseline = sweep_trace(&space, &records, options, 1).expect("sweep");
+        // A failed first open plus up to 5 seeded transient read faults:
+        // all within the retry budget, so recovery must be total.
+        let plan = FaultPlan {
+            seed,
+            fail_opens: 1,
+            transient_per_10k: 50,
+            transient_budget: 5,
+            ..FaultPlan::none()
+        };
+        let faulty = FaultyTraceSource::new(SliceSource(&records), plan);
+        let retry = RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        };
+        let res = Resilience::new().with_retry(retry).with_sleeper(&NoSleep);
+        let outcome = sweep_trace_streamed_resilient(&space, &faulty, options, 1, &res)
+            .expect("transient faults must be absorbed");
+        prop_assert!(!outcome.is_partial());
+        prop_assert!(outcome.retries() >= 1, "the failed open alone forces a retry");
+        prop_assert_eq!(outcome.sorted(), baseline.sorted(),
+            "recovered table diverged from the fault-free sweep (seed={})", seed);
+    }
+}

@@ -3,6 +3,7 @@
 //! timelines must expose the phase structure of the Mediabench surrogates.
 
 use dew_core::lru_tree::{LruTreeOptions, LruTreeSimulator};
+use dew_core::snapshot::SnapshotError;
 use dew_core::{DewOptions, DewTree, MissTimeline, MultiAssocTree, PassConfig};
 use dew_workloads::mediabench::App;
 
@@ -126,9 +127,34 @@ fn kernel_snapshots_reject_foreign_and_corrupt_buffers() {
     .expect("valid");
     let fifo_bytes = fifo.to_snapshot();
     let lru_bytes = lru.to_snapshot();
-    // Each kernel's magic protects it from the other's bytes.
-    assert!(MultiAssocTree::from_snapshot(&lru_bytes).is_err());
-    assert!(LruTreeSimulator::from_snapshot(&fifo_bytes).is_err());
+    // Each kernel's magic protects it from the other's bytes — and a
+    // valid-but-wrong sibling magic gets the dedicated policy-mismatch
+    // diagnosis (naming both formats), not a generic bad-magic error.
+    match MultiAssocTree::from_snapshot(&lru_bytes) {
+        Err(SnapshotError::PolicyMismatch { expected, found }) => {
+            assert_eq!(&expected, b"DEWM");
+            assert_eq!(&found, b"DEWL");
+        }
+        other => panic!("expected PolicyMismatch, got {other:?}"),
+    }
+    match LruTreeSimulator::from_snapshot(&fifo_bytes) {
+        Err(SnapshotError::PolicyMismatch { expected, found }) => {
+            assert_eq!(&expected, b"DEWL");
+            assert_eq!(&found, b"DEWM");
+        }
+        other => panic!("expected PolicyMismatch, got {other:?}"),
+    }
+    // An unrelated magic (the v2 DewTree format) stays a plain BadMagic.
+    let dewtree_bytes = DewTree::new(
+        PassConfig::new(2, 0, 4, 2).expect("valid"),
+        DewOptions::default(),
+    )
+    .expect("sound")
+    .to_snapshot();
+    assert!(matches!(
+        MultiAssocTree::from_snapshot(&dewtree_bytes),
+        Err(SnapshotError::BadMagic)
+    ));
     // Truncation and trailing garbage are rejected, not misread.
     assert!(MultiAssocTree::from_snapshot(&fifo_bytes[..fifo_bytes.len() - 1]).is_err());
     assert!(LruTreeSimulator::from_snapshot(&lru_bytes[..8]).is_err());
