@@ -113,13 +113,17 @@ fn chaos(requests: u64) {
         .expect("fault-free baseline");
 
     // (a) Deterministic transient faults: two failed opens plus seeded read
-    // faults, all within the retry budget. The recovered table must be
-    // identical to the fault-free one, with the retries accounted for.
+    // faults, all within the retry budget, and a periodic injected stall so
+    // the slow-source path (reads that hang, not fail) is exercised too.
+    // The recovered table must be identical to the fault-free one, with the
+    // retries accounted for.
     let plan = FaultPlan {
         seed: 7,
         fail_opens: 2,
         transient_per_10k: 3,
         transient_budget: 6,
+        delay_every: 4096,
+        delay: Duration::from_micros(100),
         ..FaultPlan::none()
     };
     let faulty = FaultyTraceSource::new(clean_source, plan);

@@ -7,9 +7,9 @@ use dew_cachesim::classify::ThreeCClassifier;
 use dew_cachesim::{AllocatePolicy, Cache, CacheConfig, Replacement, WritePolicy};
 use dew_core::{
     sweep_trace, sweep_trace_instrumented, sweep_trace_resilient, sweep_trace_sampled,
-    sweep_trace_sharded, sweep_trace_sharded_resilient, ConfigSpace, DewError, DewOptions,
-    FileCheckpointStore, Resilience, RetryPolicy, ShardMode, ShardSpec, SweepCheckpoint,
-    TreePolicy,
+    sweep_trace_sharded, sweep_trace_sharded_resilient, CancelToken, ConfigSpace, DewError,
+    DewOptions, FileCheckpointStore, Resilience, RetryPolicy, ShardMode, ShardSpec,
+    SweepCheckpoint, TreePolicy,
 };
 use dew_explore::{
     best_edp_under, evaluate_sweep, explore_trace_with_shards, pareto_front, EnergyModel,
@@ -33,7 +33,7 @@ where
     I: IntoIterator<Item = S>,
     S: Into<String>,
 {
-    let args = Args::parse(raw, &["classify", "counters", "fail-fast"])?;
+    let args = Args::parse(raw, &["classify", "counters", "fail-fast", "chaos"])?;
     let command = args
         .positional()
         .first()
@@ -47,6 +47,8 @@ where
         "stats" => stats(&args),
         "convert" => convert(&args),
         "generate" => generate(&args),
+        "serve" => serve(&args),
+        "gen" => gen(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
@@ -215,8 +217,10 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         "checkpoint-every",
         "resume",
         "retries",
+        "timeout",
     ])?;
-    let trace = load_trace(&args.require::<String>("trace")?)?;
+    let trace_path: String = args.require("trace")?;
+    let trace = load_trace(&trace_path)?;
     let sets = parse_range(args.get("sets").unwrap_or("0..14"), "sets")?;
     let blocks = parse_range(args.get("blocks").unwrap_or("0..6"), "blocks")?;
     let assocs = parse_range(args.get("assocs").unwrap_or("0..4"), "assocs")?;
@@ -250,13 +254,28 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     let resume_path = args.get("resume");
     let fail_fast = args.flag("fail-fast");
     let retries = args.get_or("retries", RetryPolicy::default().max_retries)?;
+    let timeout_secs: Option<f64> = args
+        .get("timeout")
+        .map(|v| {
+            v.parse().map_err(|_| {
+                CliError::Args(ArgsError::BadValue {
+                    key: "timeout".into(),
+                    value: v.into(),
+                    ty: "wall-clock budget in seconds",
+                })
+            })
+        })
+        .transpose()?;
     let resilient = checkpoint_path.is_some()
         || resume_path.is_some()
         || fail_fast
+        || timeout_secs.is_some()
         || args.get("retries").is_some();
     if resilient && sample.is_some() {
         return Err(CliError::Usage(
-            "--checkpoint/--resume/--fail-fast/--retries need an exact sweep; drop --sample".into(),
+            "--checkpoint/--resume/--fail-fast/--retries/--timeout need an exact sweep; \
+             drop --sample"
+                .into(),
         ));
     }
     if resilient && with_counters {
@@ -280,6 +299,19 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         }
     };
     let store = checkpoint_path.map(FileCheckpointStore::new);
+    // One token serves both interrupt paths: `--timeout` arms its deadline,
+    // and (for checkpointing runs) a SIGINT watcher cancels it so Ctrl-C
+    // flushes a final checkpoint instead of killing the run mid-job.
+    let cancel_token = if timeout_secs.is_some() || checkpoint_path.is_some() {
+        Some(match timeout_secs {
+            Some(secs) => {
+                CancelToken::with_deadline(std::time::Duration::from_secs_f64(secs.max(0.0)))
+            }
+            None => CancelToken::new(),
+        })
+    } else {
+        None
+    };
     let mut res = Resilience::new()
         .fail_fast(fail_fast)
         .with_retry(RetryPolicy {
@@ -292,6 +324,30 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     if let Some(ckpt) = &resume_image {
         res = res.resume_from(ckpt);
     }
+    if let Some(token) = &cancel_token {
+        res = res.with_cancel(token);
+    }
+    // Graceful Ctrl-C only makes sense when there is a checkpoint to save;
+    // without one, the default SIGINT disposition (die) loses nothing.
+    let sigint_watch = cancel_token
+        .clone()
+        .filter(|_| checkpoint_path.is_some())
+        .map(|token| {
+            dew_serve::signal::install();
+            let baseline = dew_serve::signal::hits();
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop_flag = std::sync::Arc::clone(&stop);
+            let handle = std::thread::spawn(move || {
+                while !stop_flag.load(std::sync::atomic::Ordering::Acquire) {
+                    if dew_serve::signal::hits() > baseline {
+                        token.cancel();
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+            });
+            (stop, handle)
+        });
 
     let start = std::time::Instant::now();
     // The default sweep decodes the trace once per block size and drives the
@@ -324,6 +380,10 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         sweep_trace(&space, trace.records(), options, threads)?
     };
     let elapsed = start.elapsed().as_secs_f64();
+    if let Some((stop, handle)) = sigint_watch {
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        let _ = handle.join();
+    }
 
     // Single-pass-per-block-size spaces report the plain shape.
     let schedule = if outcome.trace_traversals() < outcome.passes().len() as u64 {
@@ -393,6 +453,17 @@ fn sweep(args: &Args) -> Result<String, CliError> {
             "recovered from {} transient source fault(s) via retry\n",
             outcome.retries()
         ));
+    }
+    if let Some(reason) = cancel_token.as_ref().and_then(CancelToken::cancelled) {
+        out.push_str(&format!(
+            "sweep interrupted ({reason}); every in-flight job flushed a final checkpoint\n"
+        ));
+        if let Some(path) = checkpoint_path {
+            out.push_str(&format!(
+                "resume with:\n  dew sweep --trace {trace_path} --resume {path} \
+                 --checkpoint {path}\n"
+            ));
+        }
     }
     if outcome.is_partial() {
         out.push_str(&format!(
@@ -740,6 +811,139 @@ fn generate(args: &Args) -> Result<String, CliError> {
         "generated {} ({requests} requests, seed {seed}) -> {output}\n",
         app.name()
     ))
+}
+
+fn serve(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&[
+        "addr",
+        "workers",
+        "queue",
+        "deadline-ms",
+        "max-deadline-ms",
+        "io-timeout-ms",
+        "drain-ms",
+        "sim-threads",
+        "shutdown-after-ms",
+    ])?;
+    let cfg = dew_serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:4960").to_owned(),
+        workers: args.get_or("workers", 2usize)?,
+        queue_capacity: args.get_or("queue", 16usize)?,
+        default_deadline: std::time::Duration::from_millis(args.get_or("deadline-ms", 10_000u64)?),
+        max_deadline: std::time::Duration::from_millis(args.get_or("max-deadline-ms", 60_000u64)?),
+        io_timeout: std::time::Duration::from_millis(args.get_or("io-timeout-ms", 30_000u64)?),
+        drain_timeout: std::time::Duration::from_millis(args.get_or("drain-ms", 5_000u64)?),
+        sim_threads: args.get_or("sim-threads", 1usize)?,
+    };
+    // Tests and CI smoke runs set a self-shutdown; interactive runs don't.
+    let shutdown_after = args
+        .get("shutdown-after-ms")
+        .map(|_| args.require::<u64>("shutdown-after-ms"))
+        .transpose()?
+        .map(std::time::Duration::from_millis);
+    let workers = cfg.workers;
+    let queue = cfg.queue_capacity;
+    let server = dew_serve::Server::start(cfg)?;
+    // Printed eagerly (not via the returned report) because the server now
+    // blocks until shutdown and clients need the address to connect.
+    println!(
+        "dew serve listening on {} ({workers} workers, queue {queue}); \
+         Ctrl-C or a `shutdown` request drains gracefully",
+        server.addr()
+    );
+    dew_serve::signal::install();
+    let baseline = dew_serve::signal::hits();
+    let started = std::time::Instant::now();
+    loop {
+        if server.is_stopping() {
+            break; // a protocol `shutdown` already drained
+        }
+        if dew_serve::signal::hits() > baseline {
+            println!("SIGINT: draining (second Ctrl-C force-quits)...");
+            break;
+        }
+        if shutdown_after.is_some_and(|d| started.elapsed() >= d) {
+            break;
+        }
+        if dew_serve::signal::hits() > baseline + 1 {
+            std::process::exit(130);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let report = server.stop();
+    Ok(format!(
+        "server stopped after {:.1}s\n{report}\n",
+        started.elapsed().as_secs_f64()
+    ))
+}
+
+fn gen(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&[
+        "addr",
+        "jobs",
+        "concurrency",
+        "rate",
+        "mix",
+        "requests",
+        "seed",
+        "deadline-ms",
+        "wait-timeout-ms",
+        "json",
+    ])?;
+    let mix = args
+        .get("mix")
+        .unwrap_or("zipf")
+        .parse::<dew_workloads::traffic::MixKind>()
+        .map_err(|_| {
+            CliError::Args(ArgsError::BadValue {
+                key: "mix".into(),
+                value: args.get("mix").unwrap_or_default().into(),
+                ty: "request mix (zipf|loop|scan|mix)",
+            })
+        })?;
+    let rate = args
+        .get("rate")
+        .map(|v| {
+            v.parse::<f64>().ok().filter(|r| *r > 0.0).ok_or_else(|| {
+                CliError::Args(ArgsError::BadValue {
+                    key: "rate".into(),
+                    value: v.into(),
+                    ty: "positive jobs/second",
+                })
+            })
+        })
+        .transpose()?;
+    let cfg = dew_serve::GenConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:4960").to_owned(),
+        jobs: args.get_or("jobs", 16u64)?,
+        concurrency: args.get_or("concurrency", 4usize)?,
+        mix,
+        requests: args.get_or("requests", 20_000u64)?,
+        seed: args.get_or("seed", 1u64)?,
+        rate,
+        deadline_ms: args
+            .get("deadline-ms")
+            .map(|_| args.require::<u64>("deadline-ms"))
+            .transpose()?,
+        chaos: args.flag("chaos"),
+        wait_timeout_ms: args.get_or("wait-timeout-ms", 60_000u64)?,
+        io_timeout: std::time::Duration::from_secs(30),
+    };
+    let report = dew_serve::run_gen(&cfg);
+    let mut out = format!("{report}\n");
+    if !report.reconciles() {
+        out.push_str("WARNING: client-side ledger does not reconcile (a response was lost)\n");
+    }
+    // The server's own counters, so one terminal shows both sides of the
+    // reconciliation.
+    if let Ok(stats) = dew_serve::gen::fetch_stats(&cfg.addr, std::time::Duration::from_secs(5)) {
+        out.push_str(&format!("server stats: {}\n", stats.emit()));
+    }
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.to_json().emit())?;
+        out.push_str(&format!("json written to {path}\n"));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1384,5 +1588,162 @@ mod tests {
         ])
         .is_err());
         let _ = std::fs::remove_file(&bin);
+    }
+
+    #[test]
+    fn sweep_timeout_exits_partial_with_a_resume_hint() {
+        let bin = tmp("to.dewt");
+        let ckpt = tmp("to.ckpt");
+        run([
+            "generate",
+            "--app",
+            "cjpeg",
+            "--requests",
+            "20000",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
+        // A zero-second budget expires before the first chunk, so every job
+        // is cut at its deadline and the sweep lands on the partial path.
+        let err = run([
+            "sweep",
+            "--trace",
+            &bin,
+            "--sets",
+            "0..4",
+            "--blocks",
+            "2..3",
+            "--assocs",
+            "0..2",
+            "--timeout",
+            "0",
+            "--checkpoint",
+            &ckpt,
+        ])
+        .expect_err("an expired budget is a partial run");
+        match err {
+            CliError::Partial(report) => {
+                assert!(
+                    report.contains("sweep interrupted (deadline exceeded)"),
+                    "{report}"
+                );
+                assert!(report.contains("resume with:"), "{report}");
+                assert!(
+                    report.contains(&format!("--resume {ckpt}")),
+                    "resume hint names the checkpoint: {report}"
+                );
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
+        assert!(
+            std::fs::metadata(&ckpt).is_ok(),
+            "the final checkpoint was flushed before exit"
+        );
+        let _ = std::fs::remove_file(&bin);
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn sweep_timeout_generous_enough_still_completes() {
+        let bin = tmp("tok.dewt");
+        run([
+            "generate",
+            "--app",
+            "cjpeg",
+            "--requests",
+            "3000",
+            "--output",
+            &bin,
+        ])
+        .expect("generate");
+        let msg = run([
+            "sweep",
+            "--trace",
+            &bin,
+            "--sets",
+            "0..2",
+            "--blocks",
+            "2..2",
+            "--assocs",
+            "0..1",
+            "--timeout",
+            "300",
+        ])
+        .expect("a generous budget changes nothing");
+        assert!(msg.contains("swept 6 configurations"), "{msg}");
+        assert!(!msg.contains("sweep interrupted"), "{msg}");
+        let _ = std::fs::remove_file(&bin);
+    }
+
+    #[test]
+    fn serve_self_shutdown_returns_a_drain_report() {
+        let msg = run([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--queue",
+            "2",
+            "--shutdown-after-ms",
+            "100",
+        ])
+        .expect("serve with a self-shutdown deadline");
+        assert!(msg.contains("server stopped after"), "{msg}");
+        assert!(msg.contains("drain: 0 in flight"), "idle drain: {msg}");
+    }
+
+    #[test]
+    fn gen_drives_a_real_server_and_reports_both_ledgers() {
+        let server = dew_serve::Server::start(dew_serve::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 8,
+            ..Default::default()
+        })
+        .expect("server starts");
+        let addr = server.addr().to_string();
+        let json = tmp("gen.json");
+        let msg = run([
+            "gen",
+            "--addr",
+            &addr,
+            "--jobs",
+            "4",
+            "--concurrency",
+            "2",
+            "--requests",
+            "2000",
+            "--mix",
+            "loop",
+            "--json",
+            &json,
+        ])
+        .expect("gen against a live server");
+        assert!(msg.contains("4 submitted"), "{msg}");
+        assert!(msg.contains("server stats:"), "{msg}");
+        assert!(!msg.contains("does not reconcile"), "{msg}");
+        let blob = std::fs::read_to_string(&json).expect("json report written");
+        assert!(blob.contains("\"completed\""), "{blob}");
+        let report = server.stop();
+        assert_eq!(report.in_flight, 0);
+        let _ = std::fs::remove_file(&json);
+    }
+
+    #[test]
+    fn serve_and_gen_reject_bad_arguments() {
+        assert!(matches!(
+            run(["gen", "--mix", "pareto"]),
+            Err(CliError::Args(ArgsError::BadValue { key, .. })) if key == "mix"
+        ));
+        assert!(matches!(
+            run(["gen", "--rate", "-3"]),
+            Err(CliError::Args(ArgsError::BadValue { key, .. })) if key == "rate"
+        ));
+        assert!(matches!(
+            run(["serve", "--port", "80"]),
+            Err(CliError::Args(ArgsError::Unknown(k))) if k == "port"
+        ));
     }
 }

@@ -10,6 +10,8 @@
 //! dew stats    --trace t.din
 //! dew convert  --input t.din --output t.dewt
 //! dew generate --app cjpeg --requests 100000 --output t.dewt [--seed 1]
+//! dew serve    [--addr 127.0.0.1:4960 --workers 2 --queue 16]
+//! dew gen      [--addr 127.0.0.1:4960 --jobs 16 --concurrency 4 --rate 50]
 //! ```
 //!
 //! Exit codes are documented on [`CliError::exit_code`].
@@ -64,6 +66,11 @@ COMMANDS:
              [--fail-fast]  (abort on the first job failure instead of the
               default degraded mode, which reports the surviving results,
               lists the failed jobs, and exits with code 3)
+             [--timeout SECS]  (wall-clock budget; on expiry every job cuts
+              at its next chunk boundary, the final checkpoint is flushed,
+              and the partial table is printed with exit code 3)
+              With --checkpoint, Ctrl-C does the same cooperative cut and
+              the report prints the exact resume command.
   explore    design-space exploration: fused sweeps (one trace traversal
              per block size per policy) -> analytic energy/cycle scoring ->
              miss-rate x energy x size Pareto frontier
@@ -85,6 +92,35 @@ COMMANDS:
   generate   synthesise a Mediabench-like workload trace
              --app cjpeg|djpeg|g721_enc|g721_dec|mpeg2_enc|mpeg2_dec
              --requests N --output FILE [--seed N]
+  serve      run a concurrent simulation service over TCP: line-delimited
+             JSON requests (submit/status/wait/cancel/stats/health/shutdown),
+             a fixed worker pool behind a bounded admission queue (full ->
+             structured `rejected: overloaded`, never a blocked accept loop),
+             per-job deadlines with checkpointed cancellation, and graceful
+             drain on Ctrl-C or a `shutdown` request (a second Ctrl-C
+             force-quits with code 130)
+             [--addr HOST:PORT (default 127.0.0.1:4960; port 0 = ephemeral)]
+             [--workers N (default 2)] [--queue N (admission capacity, 16)]
+             [--deadline-ms N (default job deadline, 10000)]
+             [--max-deadline-ms N (cap on client deadlines, 60000)]
+             [--io-timeout-ms N (per-connection read/write, 30000)]
+             [--drain-ms N (natural-drain window before stragglers are
+              cancelled at a checkpoint, 5000)] [--sim-threads N (per job)]
+             [--shutdown-after-ms N (self-initiated drain; CI smoke hook)]
+  gen        load-generate against a running `dew serve`: submits sweep
+             jobs, waits for terminal states, and prints a client-side
+             ledger (completed / deadline / cancelled / rejected / shed,
+             latency p50/p95/p99, jobs/s) plus the server's own counters
+             so the two sides can be reconciled line by line
+             [--addr HOST:PORT (default 127.0.0.1:4960)]
+             [--jobs N (default 16)] [--concurrency N (client threads, 4)]
+             [--rate R (open-loop jobs/second; omit for closed-loop)]
+             [--mix zipf|loop|scan|mix (request mix, default zipf)]
+             [--requests N (per job, default 20000)] [--seed N]
+             [--deadline-ms N (per-job deadline sent with each submit)]
+             [--chaos]  (ask the server to wrap each job's trace source in
+              the fault injector: flaky opens, transient faults, latency)
+             [--wait-timeout-ms N (default 60000)] [--json FILE]
   help       print this message
 
 EXAMPLES:
@@ -105,6 +141,8 @@ dew binary format.
 
 EXIT CODES: 0 success; 1 execution failure (I/O, bad trace, failed
 verification); 2 usage error (unknown command, bad arguments); 3 partial
-success (a resilient sweep degraded: some jobs failed, the printed table
-covers the survivors and names what was lost).
+success (a resilient sweep degraded, hit --timeout, or was interrupted:
+the printed table covers the survivors, names what was lost, and — when a
+checkpoint sidecar is active — ends with the exact resume command); 130
+forced quit (second Ctrl-C during a serve drain).
 ";

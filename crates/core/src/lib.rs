@@ -54,7 +54,11 @@
 //! ([`RetryPolicy`]), per-job panic isolation, and graceful degradation —
 //! a partial [`SweepOutcome`] with honest [`SweepOutcome::failed_jobs`] /
 //! [`SweepOutcome::retries`] / [`SweepOutcome::records_lost`] accounting
-//! instead of an all-or-nothing abort. See [`Resilience`].
+//! instead of an all-or-nothing abort. See [`Resilience`]. A sweep can
+//! also be stopped cooperatively — an explicit request, a SIGINT, or a
+//! wall-clock deadline — through a [`CancelToken`]: cancelled jobs flush a
+//! final checkpoint before stopping, so interrupted work stays resumable
+//! ([`Resilience::with_cancel`]).
 //!
 //! # Quickstart
 //!
@@ -83,6 +87,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod checkpoint;
 mod counters;
 pub mod lru_tree;
@@ -97,6 +102,7 @@ mod sweep;
 mod timeline;
 mod tree;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use checkpoint::{
     sweep_fingerprint, CheckpointStore, FileCheckpointStore, JobCheckpoint, MemoryCheckpointStore,
     SweepCheckpoint, CKPT_MAGIC, CKPT_VERSION,

@@ -6,6 +6,7 @@
 
 use std::time::Duration;
 
+use crate::cancel::CancelToken;
 use crate::checkpoint::{CheckpointStore, SweepCheckpoint};
 
 /// Bounded exponential backoff for transient trace-source failures.
@@ -122,6 +123,10 @@ pub struct Resilience<'a> {
     pub checkpoint: Option<CheckpointSpec<'a>>,
     /// Resume from this previously captured checkpoint.
     pub resume: Option<&'a SweepCheckpoint>,
+    /// Cooperative cancellation (explicit or deadline-driven), polled at
+    /// chunk boundaries. A cancelled job flushes a final checkpoint before
+    /// stopping, so the sweep stays resumable.
+    pub cancel: Option<&'a CancelToken>,
     /// How retry backoff waits. Tests inject [`NoSleep`].
     pub sleeper: &'a dyn Sleeper,
 }
@@ -135,6 +140,7 @@ impl Resilience<'static> {
             fail_fast: false,
             checkpoint: None,
             resume: None,
+            cancel: None,
             sleeper: &ThreadSleeper,
         }
     }
@@ -185,6 +191,22 @@ impl<'a> Resilience<'a> {
         }
     }
 
+    /// Attaches a cancellation token. The resilient drivers poll it at
+    /// chunk boundaries; once it fires, every in-flight job saves a final
+    /// checkpoint (when checkpointing is on) and the sweep returns a
+    /// degraded partial outcome whose failed jobs carry
+    /// [`crate::FailureKind::Cancelled`].
+    #[must_use]
+    pub fn with_cancel<'b>(self, cancel: &'b CancelToken) -> Resilience<'b>
+    where
+        'a: 'b,
+    {
+        Resilience {
+            cancel: Some(cancel),
+            ..self
+        }
+    }
+
     /// Replaces the sleeper (tests: [`NoSleep`] or a recording fake).
     #[must_use]
     pub fn with_sleeper<'b>(self, sleeper: &'b dyn Sleeper) -> Resilience<'b>
@@ -202,6 +224,7 @@ impl std::fmt::Debug for Resilience<'_> {
             .field("fail_fast", &self.fail_fast)
             .field("checkpoint", &self.checkpoint)
             .field("resume", &self.resume.map(|c| c.fingerprint()))
+            .field("cancel", &self.cancel.map(|t| t.cancelled()))
             .finish_non_exhaustive()
     }
 }

@@ -311,6 +311,11 @@ pub enum FailureKind {
     Source,
     /// The kernel panicked; the panic was isolated to this job.
     Panic,
+    /// The job was cancelled cooperatively — an explicit
+    /// [`crate::CancelToken::cancel`] or an expired deadline. The job's
+    /// final state was checkpointed (when checkpointing was enabled), so a
+    /// cancelled job is resumable, not lost.
+    Cancelled,
 }
 
 /// One fused job that a resilient sweep could not complete. A fused job

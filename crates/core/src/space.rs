@@ -333,6 +333,10 @@ pub enum DewError {
     /// (or an all-jobs failure) turned it into a sweep-level error. Carries
     /// the panic message.
     WorkerPanic(String),
+    /// The sweep was cancelled cooperatively (explicit request or expired
+    /// deadline) under `fail_fast`, so no partial outcome was assembled.
+    /// Carries the first cancelled job's description.
+    Cancelled(String),
 }
 
 impl fmt::Display for DewError {
@@ -360,6 +364,7 @@ impl fmt::Display for DewError {
             DewError::TraceRead(why) => write!(f, "trace source failed mid-sweep: {why}"),
             DewError::Checkpoint(why) => write!(f, "sweep checkpoint error: {why}"),
             DewError::WorkerPanic(why) => write!(f, "sweep worker panicked: {why}"),
+            DewError::Cancelled(why) => write!(f, "sweep cancelled: {why}"),
         }
     }
 }

@@ -19,6 +19,7 @@ use std::sync::{Mutex, OnceLock, PoisonError};
 
 use dew_trace::{BlockChunks, Record, SliceSource, StreamBlockChunks, TraceError, TraceSource};
 
+use crate::cancel::CancelReason;
 use crate::checkpoint::{sweep_fingerprint, SweepCheckpoint};
 use crate::counters::DewCounters;
 use crate::lru_tree::{LruTreeOptions, LruTreeSimulator};
@@ -1123,6 +1124,12 @@ enum JobError {
     /// Another job aborted the sweep (fail-fast or a broken checkpoint
     /// store); this job stopped cooperatively.
     Aborted,
+    /// The sweep's [`crate::CancelToken`] fired (explicit cancel or an
+    /// expired deadline); this job flushed a final checkpoint and stopped.
+    Cancelled {
+        records_done: u64,
+        reason: CancelReason,
+    },
 }
 
 /// Extracts a printable message from a caught panic payload.
@@ -1158,6 +1165,11 @@ struct ResilientRun<'a, S> {
 }
 
 impl<S: TraceSource> ResilientRun<'_, S> {
+    /// Whether the sweep's cancellation token (if any) has fired.
+    fn cancel_fired(&self) -> Option<CancelReason> {
+        self.res.cancel.and_then(|t| t.cancelled())
+    }
+
     /// Persists the current checkpoint image with `block_bits` updated to
     /// `position`. A store failure breaks the checkpointing contract, so it
     /// aborts the whole sweep rather than continuing unprotected.
@@ -1248,6 +1260,12 @@ impl<S: TraceSource> ResilientRun<'_, S> {
             if self.abort.load(Ordering::Relaxed) {
                 return Err(JobError::Aborted);
             }
+            if let Some(reason) = self.cancel_fired() {
+                return Err(JobError::Cancelled {
+                    records_done: position,
+                    reason,
+                });
+            }
         }
     }
 
@@ -1281,6 +1299,16 @@ impl<S: TraceSource> ResilientRun<'_, S> {
             let mut attempts = 0u32;
             let mut last_fault: Option<u64> = None;
             let mut buf: Vec<u64> = Vec::with_capacity(BlockChunks::DEFAULT_CHUNK);
+            // A token that fired before this job started (an already-expired
+            // deadline, a drain in progress) stops it before any decode; the
+            // resume state captured here is the job's honest position.
+            if let Some(reason) = self.cancel_fired() {
+                self.save_checkpoint(job.block_bits, position, &kernel, false);
+                return Err(JobError::Cancelled {
+                    records_done: position,
+                    reason,
+                });
+            }
             'stream: loop {
                 let mut iter = self.open_skip(position, &mut attempts, &label)?;
                 loop {
@@ -1316,6 +1344,17 @@ impl<S: TraceSource> ResilientRun<'_, S> {
                                 }
                                 if self.abort.load(Ordering::Relaxed) {
                                     return Err(JobError::Aborted);
+                                }
+                                // Cooperative cancellation: the buffered
+                                // records above were flushed into the
+                                // kernel, so the final checkpoint captures
+                                // exactly the simulated prefix.
+                                if let Some(reason) = self.cancel_fired() {
+                                    self.save_checkpoint(job.block_bits, position, &kernel, false);
+                                    return Err(JobError::Cancelled {
+                                        records_done: position,
+                                        reason,
+                                    });
                                 }
                             }
                         }
@@ -1500,6 +1539,21 @@ fn run_resilient<S: TraceSource>(
                         ),
                         kind: FailureKind::Source,
                     }),
+                    // Cancellation is not causal — it never lands in
+                    // `first_failure` and never aborts the other jobs
+                    // (the shared token reaches each of them directly).
+                    Ok(Err(JobError::Cancelled {
+                        records_done,
+                        reason,
+                    })) => JobOutcome::Failed(JobFailure {
+                        block_bits: job.block_bits,
+                        records_done,
+                        error: format!(
+                            "{}: {reason} after {records_done} records",
+                            job_label(job.block_bits, options.policy)
+                        ),
+                        kind: FailureKind::Cancelled,
+                    }),
                     Err(payload) => {
                         let failure = JobFailure {
                             block_bits: job.block_bits,
@@ -1534,15 +1588,23 @@ fn run_resilient<S: TraceSource>(
         match slot.into_inner() {
             Some(JobOutcome::Done { decoded, fanned }) => done.push((j, decoded, fanned)),
             Some(JobOutcome::Failed(f)) => failed.push(f),
-            None => failed.push(JobFailure {
-                block_bits: jobs[j].block_bits,
-                records_done: positions[j].load(Ordering::Relaxed),
-                error: format!(
-                    "{}: never started (sweep aborted first)",
-                    job_label(jobs[j].block_bits, options.policy)
-                ),
-                kind: FailureKind::Source,
-            }),
+            None => {
+                // Never started: a cancelled sweep sheds its unstarted jobs
+                // as cancellations (they are resumable work, not errors).
+                let (kind, why) = match res.cancel.and_then(|t| t.cancelled()) {
+                    Some(reason) => (FailureKind::Cancelled, format!("never started ({reason})")),
+                    None => (
+                        FailureKind::Source,
+                        "never started (sweep aborted first)".to_owned(),
+                    ),
+                };
+                failed.push(JobFailure {
+                    block_bits: jobs[j].block_bits,
+                    records_done: positions[j].load(Ordering::Relaxed),
+                    error: format!("{}: {why}", job_label(jobs[j].block_bits, options.policy)),
+                    kind,
+                });
+            }
         }
     }
     let retries = run.retries_total.load(Ordering::Relaxed);
@@ -1552,6 +1614,7 @@ fn run_resilient<S: TraceSource>(
     let escalate = |f: &JobFailure| match f.kind {
         FailureKind::Source => DewError::TraceRead(f.error.clone()),
         FailureKind::Panic => DewError::WorkerPanic(f.error.clone()),
+        FailureKind::Cancelled => DewError::Cancelled(f.error.clone()),
     };
     if res.fail_fast {
         if let Some(f) = run.first_failure.get() {
@@ -1559,12 +1622,18 @@ fn run_resilient<S: TraceSource>(
         }
     }
     if done.is_empty() {
-        let f = run
-            .first_failure
-            .get()
-            .or_else(|| failed.first())
-            .expect("a sweep with no surviving jobs recorded a failure");
-        return Err(escalate(f));
+        // A cancellation that outran every job still degrades (the partial
+        // outcome carries the resumable accounting the caller needs to
+        // print a resume hint); genuine total losses stay hard errors.
+        let cancelled_only = failed.iter().all(|f| f.kind == FailureKind::Cancelled);
+        if res.fail_fast || !cancelled_only {
+            let f = run
+                .first_failure
+                .get()
+                .or_else(|| failed.first())
+                .expect("a sweep with no surviving jobs recorded a failure");
+            return Err(escalate(f));
+        }
     }
 
     let accesses = done.first().map_or(0, |(_, d, _)| *d);
@@ -2293,5 +2362,97 @@ mod tests {
             panic!("expected Checkpoint, got {err}");
         };
         assert!(msg.contains("policy"), "{msg}");
+    }
+
+    #[test]
+    fn cancellation_flushes_a_final_checkpoint_and_stays_resumable() {
+        use crate::cancel::CancelToken;
+        let space = ConfigSpace::new((0, 3), (2, 4), (0, 1)).expect("valid");
+        let records = trace(1000);
+        let baseline = sweep_trace(&space, &records, DewOptions::default(), 0).expect("sweep");
+
+        // The source itself trips the token while delivering record 400, so
+        // cancellation lands mid-stream deterministically.
+        let token = CancelToken::new();
+        let trip = token.clone();
+        let stream = records.clone();
+        let source = move || {
+            let trip = trip.clone();
+            Ok(stream.clone().into_iter().enumerate().map(move |(i, r)| {
+                if i == 400 {
+                    trip.cancel();
+                }
+                Ok::<Record, dew_trace::TraceError>(r)
+            }))
+        };
+        let store = crate::checkpoint::MemoryCheckpointStore::new();
+        let res = Resilience::new()
+            .with_checkpoint(250, &store)
+            .with_cancel(&token)
+            .with_sleeper(&crate::resilience::NoSleep);
+        let outcome =
+            sweep_trace_streamed_resilient(&space, &source, DewOptions::default(), 1, &res)
+                .expect("cancellation degrades, not errors");
+        assert!(outcome.is_partial());
+        let failed = outcome.failed_jobs();
+        assert_eq!(failed.len(), 3, "all three block-size jobs stopped");
+        assert!(failed.iter().all(|f| f.kind == FailureKind::Cancelled));
+        // The first job was caught at the 500-record chunk boundary after
+        // the token fired at 400; later jobs never simulated a record.
+        let first = failed
+            .iter()
+            .find(|f| f.records_done == 500)
+            .expect("mid-stream job");
+        assert!(
+            first.error.contains("cancelled after 500"),
+            "{}",
+            first.error
+        );
+
+        // The final checkpoint images make the interrupted sweep resumable:
+        // a resume (without the token) completes bit-identically.
+        let ckpt = SweepCheckpoint::from_bytes(&store.latest().expect("final checkpoint saved"))
+            .expect("image decodes");
+        let res = Resilience::new()
+            .resume_from(&ckpt)
+            .with_sleeper(&crate::resilience::NoSleep);
+        let resumed =
+            sweep_trace_streamed_resilient(&space, &source, DewOptions::default(), 1, &res)
+                .expect("resumed run");
+        assert!(!resumed.is_partial());
+        assert_eq!(resumed.sorted(), baseline.sorted());
+    }
+
+    #[test]
+    fn expired_deadline_cancels_with_the_deadline_reason() {
+        use crate::cancel::CancelToken;
+        let space = ConfigSpace::new((0, 2), (2, 3), (0, 1)).expect("valid");
+        let records = trace(300);
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let res = Resilience::new()
+            .with_cancel(&token)
+            .with_sleeper(&crate::resilience::NoSleep);
+        let outcome = sweep_trace_resilient(&space, &records, DewOptions::default(), 0, &res)
+            .expect("deadline degrades, not errors");
+        assert!(outcome.is_partial());
+        assert!(outcome
+            .failed_jobs()
+            .iter()
+            .all(|f| f.kind == FailureKind::Cancelled));
+        assert!(
+            outcome.failed_jobs()[0].error.contains("deadline exceeded"),
+            "{}",
+            outcome.failed_jobs()[0].error
+        );
+
+        // Under fail-fast a fully-cancelled sweep escalates to the named
+        // error instead of a partial outcome.
+        let res = Resilience::new()
+            .with_cancel(&token)
+            .fail_fast(true)
+            .with_sleeper(&crate::resilience::NoSleep);
+        let err = sweep_trace_resilient(&space, &records, DewOptions::default(), 0, &res)
+            .expect_err("fail-fast escalates cancellation");
+        assert!(matches!(err, DewError::Cancelled(_)), "{err}");
     }
 }

@@ -12,7 +12,9 @@
 //!   traffic the way SimpleScalar traces do;
 //! * [`mediabench`] — six surrogates mirroring the paper's Table 2
 //!   applications (JPEG/G721/MPEG2, encode and decode);
-//! * [`zipf`] — the popularity distribution shaping temporal locality.
+//! * [`zipf`] — the popularity distribution shaping temporal locality;
+//! * [`traffic`] — compact, replayable request-mix specs (zipf/loop/scan)
+//!   for the `dew serve` job protocol and the `dew gen` load generator.
 //!
 //! # Examples
 //!
@@ -36,4 +38,5 @@ pub mod code;
 pub mod kernels;
 pub mod mediabench;
 pub mod numeric;
+pub mod traffic;
 pub mod zipf;
