@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dew_bench::suite::SuiteScale;
 use dew_cachesim::{simulate_trace, CacheConfig, Replacement};
 use dew_core::lru_tree::{LruTreeOptions, LruTreeSimulator};
-use dew_core::{sweep_trace, ConfigSpace, DewOptions};
+use dew_core::{ConfigSpace, SweepRequest};
 use dew_trace::Record;
 use dew_workloads::mediabench::App;
 
@@ -26,7 +26,9 @@ fn bench_sweep(c: &mut Criterion) {
 
     group.bench_function("dew_single_thread", |b| {
         b.iter(|| {
-            sweep_trace(&space, &records, DewOptions::default(), 1)
+            SweepRequest::new(&space)
+                .threads(1)
+                .run(&records)
                 .expect("sweep")
                 .config_count()
         });
@@ -34,7 +36,8 @@ fn bench_sweep(c: &mut Criterion) {
 
     group.bench_function("dew_parallel", |b| {
         b.iter(|| {
-            sweep_trace(&space, &records, DewOptions::default(), 0)
+            SweepRequest::new(&space)
+                .run(&records)
                 .expect("sweep")
                 .config_count()
         });

@@ -23,6 +23,9 @@
 //! * `fused_lru` — the arena `LruTreeSimulator`: every associativity 1..=8
 //!   in **one** traversal via the stack property (decode included);
 //! * `fused_lru_instrumented` — fused LRU with the counted MRU-first search;
+//! * `fused_plru` / `fused_slru` — the arena tree-PLRU and SLRU kernels:
+//!   every associativity 1..=8 in **one** traversal (decode included), each
+//!   cross-checked against its own instrumented sibling;
 //! * `explore_pruned` / `explore_exhaustive` — the design-space exploration
 //!   engine end-to-end (fused FIFO+LRU sweeps, energy scoring, Pareto
 //!   frontier) over an 11×3×4×2 space; `ns_per_step`/`steps_per_sec` count
@@ -42,6 +45,8 @@ use std::time::Instant;
 use dew_bench::report::thousands;
 use dew_bench::suite::SuiteScale;
 use dew_core::lru_tree::{LruTreeOptions, LruTreeSimulator};
+use dew_core::plru_tree::{PlruTreeOptions, PlruTreeSimulator};
+use dew_core::slru_tree::SlruTreeSimulator;
 use dew_core::{ConfigSpace, DewOptions, DewTree, MultiAssocTree, PassConfig, TreePolicy};
 use dew_explore::{explore_trace, EnergyModel, ExplorationSpace, ParetoMode};
 use dew_trace::{decode_blocks, BlockChunks};
@@ -212,7 +217,8 @@ fn main() {
     // soundness requires, sharing one decode) versus one fused traversal of
     // the arena LruTreeSimulator, whose stack property answers every
     // associativity from a single move-to-front lane. Options match what
-    // `sweep_trace` uses for LRU spaces (no duplicate elision by default).
+    // `SweepRequest::run` uses for LRU spaces (no duplicate elision by
+    // default).
     let lru_opts = LruTreeOptions {
         depth_zero_stop: true,
         duplicate_elision: false,
@@ -266,6 +272,78 @@ fn main() {
         });
         record_variant(name, secs);
     }
+
+    // The newer arena policy kernels in the same fused sweep shape: every
+    // associativity 1..=8 in one traversal. There is no pre-fusion DewTree
+    // schedule for these policies, so each fast kernel is cross-checked
+    // against its instrumented sibling, which recomputes the same miss
+    // counts through the counted path. Options match the sweep presets
+    // (`DewOptions::plru` / `DewOptions::slru`: no duplicate elision — for
+    // SLRU it is unsound, a repeated access promotes a probationary block).
+    let plru_opts = PlruTreeOptions {
+        duplicate_elision: false,
+    };
+    let plru_reference = {
+        let mut sim = PlruTreeSimulator::instrumented(
+            BLOCK_BITS,
+            SET_BITS.0,
+            SET_BITS.1,
+            FUSED_MAX_ASSOC,
+            plru_opts,
+        )
+        .expect("valid");
+        let blocks = decode_blocks(records, BLOCK_BITS);
+        sim.run_blocks(&blocks);
+        sim.results()
+    };
+    let secs = best_of(samples, || {
+        let mut sim = PlruTreeSimulator::with_instrumentation(
+            BLOCK_BITS,
+            SET_BITS,
+            (0, FUSED_MAX_ASSOC.trailing_zeros()),
+            plru_opts,
+            false,
+        )
+        .expect("valid");
+        let mut chunks = BlockChunks::new(records, BLOCK_BITS, BlockChunks::DEFAULT_CHUNK);
+        while let Some(chunk) = chunks.next_chunk() {
+            sim.run_blocks(chunk);
+        }
+        assert_eq!(
+            sim.results(),
+            plru_reference,
+            "fused_plru: miss counts diverged"
+        );
+    });
+    record_variant("fused_plru", secs);
+
+    let slru_reference = {
+        let mut sim =
+            SlruTreeSimulator::instrumented(BLOCK_BITS, SET_BITS.0, SET_BITS.1, FUSED_MAX_ASSOC)
+                .expect("valid");
+        let blocks = decode_blocks(records, BLOCK_BITS);
+        sim.run_blocks(&blocks);
+        sim.results()
+    };
+    let secs = best_of(samples, || {
+        let mut sim = SlruTreeSimulator::with_instrumentation(
+            BLOCK_BITS,
+            SET_BITS,
+            (0, FUSED_MAX_ASSOC.trailing_zeros()),
+            false,
+        )
+        .expect("valid");
+        let mut chunks = BlockChunks::new(records, BLOCK_BITS, BlockChunks::DEFAULT_CHUNK);
+        while let Some(chunk) = chunks.next_chunk() {
+            sim.run_blocks(chunk);
+        }
+        assert_eq!(
+            sim.results(),
+            slru_reference,
+            "fused_slru: miss counts diverged"
+        );
+    });
+    record_variant("fused_slru", secs);
 
     // The explore shape: design-space exploration end-to-end — fused
     // FIFO+LRU sweeps (one traversal per block size per policy), analytic
@@ -369,6 +447,9 @@ fn main() {
          \"lru_per_assoc_passes_a1_{FUSED_MAX_ASSOC}\", \
          \"trace_traversals\": {n_passes}}},\n    {{\"name\": \
          \"lru_fused_a1_{FUSED_MAX_ASSOC}\", \"trace_traversals\": 1}},\n    \
+         {{\"name\": \"plru_fused_a1_{FUSED_MAX_ASSOC}\", \
+         \"trace_traversals\": 1}},\n    {{\"name\": \
+         \"slru_fused_a1_{FUSED_MAX_ASSOC}\", \"trace_traversals\": 1}},\n    \
          {{\"name\": \"explore_s11_b3_a4_fifo_lru\", \
          \"trace_traversals\": {explore_traversals}}}\n  ],",
         n_passes = PER_ASSOC_PASSES.len()

@@ -26,10 +26,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use dew_bench::report::thousands;
-use dew_core::{
-    sweep_trace, sweep_trace_sharded, sweep_trace_streamed, ConfigSpace, DewOptions, ShardMode,
-    ShardSpec,
-};
+use dew_core::{ConfigSpace, DewOptions, ShardMode, ShardSpec, SweepRequest};
 use dew_trace::{Record, TraceError};
 use dew_workloads::zipf::Zipf;
 use rand::rngs::SmallRng;
@@ -47,7 +44,7 @@ const SHARDS: usize = 8;
 const MEMORY_BOUND_MIB: u64 = 512;
 
 /// Deterministic synthetic Zipf request stream; re-opens identically, which
-/// is exactly what `sweep_trace_streamed` requires of a source.
+/// is exactly what `SweepRequest::run_streamed` requires of a source.
 struct ZipfStream {
     zipf: Zipf,
     rng: SmallRng,
@@ -99,17 +96,15 @@ const CHAOS_CKPT: &str = "chaos_checkpoint.dewc";
 /// the fault-free table after retries, and (b) a kill+resume through the
 /// checkpoint sidecar matches the uninterrupted baseline bit for bit.
 fn chaos(requests: u64) {
-    use dew_core::{
-        sweep_trace_sharded_resilient, sweep_trace_streamed_resilient, MemoryCheckpointStore,
-        Resilience, RetryPolicy, SweepCheckpoint,
-    };
+    use dew_core::{MemoryCheckpointStore, Resilience, RetryPolicy, SweepCheckpoint};
     use dew_trace::{FaultPlan, FaultyTraceSource};
     use std::time::Duration;
 
     let space = ConfigSpace::new(SPACE.0, SPACE.1, SPACE.2).expect("valid space");
     eprintln!("chaos smoke: {requests} zipf requests under injected faults ...");
     let clean_source = move || Ok(ZipfStream::new(42, requests));
-    let baseline = sweep_trace_streamed(&space, &clean_source, DewOptions::default(), 0)
+    let baseline = SweepRequest::new(&space)
+        .run_streamed(&clean_source)
         .expect("fault-free baseline");
 
     // (a) Deterministic transient faults: two failed opens plus seeded read
@@ -133,7 +128,9 @@ fn chaos(requests: u64) {
         max_delay: Duration::from_millis(10),
     };
     let res = Resilience::new().with_retry(retry);
-    let recovered = sweep_trace_streamed_resilient(&space, &faulty, DewOptions::default(), 0, &res)
+    let recovered = SweepRequest::new(&space)
+        .resilient(&res)
+        .run_streamed(&faulty)
         .expect("sweep under transient faults");
     assert!(
         !recovered.is_partial(),
@@ -158,9 +155,14 @@ fn chaos(requests: u64) {
         .collect();
     let store = MemoryCheckpointStore::new();
     let res = Resilience::new().with_checkpoint((requests / 4).max(1), &store);
-    let ckpted =
-        sweep_trace_sharded_resilient(&space, &records, DewOptions::default(), 0, SHARDS, &res)
-            .expect("checkpointed sharded sweep");
+    let ckpted = SweepRequest::new(&space)
+        .sharded(ShardSpec {
+            shards: SHARDS,
+            mode: ShardMode::SnapshotHandoff,
+        })
+        .resilient(&res)
+        .run(&records)
+        .expect("checkpointed sharded sweep");
     assert_eq!(ckpted.sorted(), baseline.sorted());
     let history = store.history();
     assert!(!history.is_empty(), "checkpoints were taken");
@@ -169,9 +171,14 @@ fn chaos(requests: u64) {
     let bytes = std::fs::read(CHAOS_CKPT).expect("read checkpoint sidecar");
     let ckpt = SweepCheckpoint::from_bytes(&bytes).expect("sidecar decodes");
     let res = Resilience::new().resume_from(&ckpt);
-    let resumed =
-        sweep_trace_sharded_resilient(&space, &records, DewOptions::default(), 0, SHARDS, &res)
-            .expect("resumed sweep");
+    let resumed = SweepRequest::new(&space)
+        .sharded(ShardSpec {
+            shards: SHARDS,
+            mode: ShardMode::SnapshotHandoff,
+        })
+        .resilient(&res)
+        .run(&records)
+        .expect("resumed sweep");
     assert_eq!(
         resumed.sorted(),
         baseline.sorted(),
@@ -216,27 +223,26 @@ fn main() {
 
     // Sequential fused sweeps, both policies: the references.
     let start = Instant::now();
-    let sequential = sweep_trace(&space, &records, DewOptions::default(), 0).expect("sweep");
+    let sequential = SweepRequest::new(&space).run(&records).expect("sweep");
     record_variant(
         "fifo_sequential",
         requests as f64,
         start.elapsed().as_secs_f64(),
     );
-    let lru_exact = sweep_trace(&space, &records, DewOptions::lru(), 0).expect("sweep");
+    let lru_exact = SweepRequest::new(&space)
+        .options(DewOptions::lru())
+        .run(&records)
+        .expect("sweep");
 
     // Exact sharding: miss-for-miss equality with the sequential sweep.
     let start = Instant::now();
-    let handoff = sweep_trace_sharded(
-        &space,
-        &records,
-        DewOptions::default(),
-        0,
-        ShardSpec {
+    let handoff = SweepRequest::new(&space)
+        .sharded(ShardSpec {
             shards: SHARDS,
             mode: ShardMode::SnapshotHandoff,
-        },
-    )
-    .expect("sharded sweep");
+        })
+        .run(&records)
+        .expect("sharded sweep");
     record_variant(
         "fifo_handoff8",
         requests as f64,
@@ -251,17 +257,14 @@ fn main() {
     // Estimating sharding: the LRU slack bound must hold for every config.
     let overlap = (requests / (4 * SHARDS as u64)) as usize;
     let start = Instant::now();
-    let warmup = sweep_trace_sharded(
-        &space,
-        &records,
-        DewOptions::lru(),
-        0,
-        ShardSpec {
+    let warmup = SweepRequest::new(&space)
+        .options(DewOptions::lru())
+        .sharded(ShardSpec {
             shards: SHARDS,
             mode: ShardMode::WarmupOverlap { overlap },
-        },
-    )
-    .expect("warmup sweep");
+        })
+        .run(&records)
+        .expect("warmup sweep");
     record_variant(
         "lru_warmup8",
         warmup.records_simulated() as f64 / warmup.trace_traversals() as f64,
@@ -292,8 +295,9 @@ fn main() {
     eprintln!("streaming zipf trace ({stream_requests} requests) ...");
     let source = move || Ok(ZipfStream::new(42, stream_requests));
     let start = Instant::now();
-    let streamed =
-        sweep_trace_streamed(&space, &source, DewOptions::default(), 0).expect("streamed sweep");
+    let streamed = SweepRequest::new(&space)
+        .run_streamed(&source)
+        .expect("streamed sweep");
     let stream_secs = start.elapsed().as_secs_f64();
     record_variant(
         "zipf_streamed",

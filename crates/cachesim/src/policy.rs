@@ -5,8 +5,8 @@ use std::fmt;
 /// Block replacement policy of a cache.
 ///
 /// The DEW paper targets [`Replacement::Fifo`]; [`Replacement::Lru`] is the
-/// policy of the prior single-pass simulators (Janapsatya, CRCB); tree-PLRU
-/// and seeded random round out the set Dinero IV offers.
+/// policy of the prior single-pass simulators (Janapsatya, CRCB); tree-PLRU,
+/// segmented LRU and seeded random round out the set Dinero IV offers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Replacement {
     /// First-in first-out (round-robin): the victim is the way holding the
@@ -19,19 +19,29 @@ pub enum Replacement {
     /// LRU with one bit per internal node. Requires power-of-two
     /// associativity.
     Plru,
+    /// Segmented LRU: the set is split into a protected segment of capacity
+    /// `assoc / 2` and a probationary segment. Misses insert at the
+    /// probationary MRU position; a probationary hit promotes the block to
+    /// the protected MRU (demoting the protected LRU block to probationary
+    /// MRU when the protected segment is full); victims are always the
+    /// probationary LRU block, which makes one-shot scans unable to flush
+    /// the protected working set. Degenerates to plain LRU at
+    /// associativity 1.
+    Slru,
     /// Uniform random victim, from a deterministic per-cache PRNG seeded with
     /// the given value (so simulations are reproducible).
     Random(u64),
 }
 
 impl Replacement {
-    /// A short lowercase name (`fifo`, `lru`, `plru`, `random`).
+    /// A short lowercase name (`fifo`, `lru`, `plru`, `slru`, `random`).
     #[must_use]
     pub const fn name(self) -> &'static str {
         match self {
             Replacement::Fifo => "fifo",
             Replacement::Lru => "lru",
             Replacement::Plru => "plru",
+            Replacement::Slru => "slru",
             Replacement::Random(_) => "random",
         }
     }
@@ -93,6 +103,7 @@ mod tests {
         assert_eq!(Replacement::Fifo.name(), "fifo");
         assert_eq!(Replacement::Lru.name(), "lru");
         assert_eq!(Replacement::Plru.name(), "plru");
+        assert_eq!(Replacement::Slru.name(), "slru");
         assert_eq!(Replacement::Random(7).name(), "random");
     }
 
@@ -108,6 +119,7 @@ mod tests {
             Replacement::Fifo,
             Replacement::Lru,
             Replacement::Plru,
+            Replacement::Slru,
             Replacement::Random(0),
         ] {
             assert!(!r.to_string().is_empty());

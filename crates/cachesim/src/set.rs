@@ -11,8 +11,11 @@ pub(crate) struct Way {
     pub tag: u64,
     pub valid: bool,
     pub dirty: bool,
-    /// Monotonic time of the last access; replacement state for LRU.
+    /// Monotonic time of the last access; replacement state for LRU and
+    /// (as the segment-entry time) SLRU.
     pub last_access: u64,
+    /// SLRU: whether the block sits in the protected segment.
+    pub protected: bool,
 }
 
 impl Way {
@@ -21,6 +24,7 @@ impl Way {
         valid: false,
         dirty: false,
         last_access: 0,
+        protected: false,
     };
 }
 
@@ -81,6 +85,7 @@ impl CacheSet {
             Replacement::Fifo => {} // FIFO state is insertion order only
             Replacement::Lru => self.ways[way].last_access = now,
             Replacement::Plru => self.plru_touch(way),
+            Replacement::Slru => self.slru_touch(way, now),
             Replacement::Random(_) => {}
         }
     }
@@ -108,13 +113,16 @@ impl CacheSet {
             valid: true,
             dirty,
             last_access: now,
+            // SLRU inserts land in the probationary segment; a later hit
+            // promotes them (`slru_touch`).
+            protected: false,
         };
         match self.policy {
             Replacement::Fifo => {
                 self.fifo_ptr = (self.fifo_ptr + 1) % self.ways.len() as u32;
             }
             Replacement::Plru => self.plru_touch(way),
-            Replacement::Lru | Replacement::Random(_) => {}
+            Replacement::Lru | Replacement::Slru | Replacement::Random(_) => {}
         }
         victim.valid.then_some(Victim {
             tag: victim.tag,
@@ -150,6 +158,13 @@ impl CacheSet {
                     i
                 } else {
                     self.plru_victim()
+                }
+            }
+            Replacement::Slru => {
+                if let Some(i) = self.ways.iter().position(|w| !w.valid) {
+                    i
+                } else {
+                    self.slru_victim()
                 }
             }
             Replacement::Random(_) => {
@@ -189,6 +204,54 @@ impl CacheSet {
             }
             idx = 2 * idx + dir;
         }
+    }
+
+    /// Protected-segment capacity for SLRU: half the ways (0 at
+    /// associativity 1, where SLRU degenerates to plain LRU).
+    fn slru_protected_cap(&self) -> usize {
+        self.ways.len() / 2
+    }
+
+    /// SLRU hit handling. Per-way `last_access` stamps double as
+    /// segment-entry order: recency *within* a segment is stamp order, and
+    /// the victim / demotion choices are the segments' minimum stamps.
+    fn slru_touch(&mut self, way: usize, now: u64) {
+        let cap = self.slru_protected_cap();
+        self.ways[way].last_access = now;
+        if cap == 0 || self.ways[way].protected {
+            // Protected hit (or degenerate 1-way set): refresh recency only.
+            return;
+        }
+        // Probationary hit: promote to protected MRU; when the protected
+        // segment is full, its LRU block demotes to the probationary MRU
+        // (stamped `now`, making it the youngest probationary entry).
+        self.ways[way].protected = true;
+        let protected = self.ways.iter().filter(|w| w.valid && w.protected).count();
+        if protected > cap {
+            let demote = self
+                .ways
+                .iter()
+                .enumerate()
+                .filter(|(i, w)| w.valid && w.protected && *i != way)
+                .min_by_key(|(_, w)| w.last_access)
+                .map(|(i, _)| i)
+                .expect("over-full protected segment has another member");
+            self.ways[demote].protected = false;
+            self.ways[demote].last_access = now;
+        }
+    }
+
+    /// The probationary block with the oldest segment-entry stamp. The
+    /// probationary segment is never empty when the set is full: at most
+    /// `assoc / 2` ways are protected.
+    fn slru_victim(&self) -> usize {
+        self.ways
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.protected)
+            .min_by_key(|(_, w)| w.last_access)
+            .map(|(i, _)| i)
+            .expect("full set keeps a probationary block")
     }
 }
 
@@ -270,6 +333,56 @@ mod tests {
         s.touch(0, 2);
         let v = s.insert(3, false, 3, None).expect("evicts");
         assert_eq!(v.tag, 2);
+    }
+
+    #[test]
+    fn slru_protects_rehit_blocks_from_scans() {
+        // 4 ways: protected capacity 2. Blocks 1 and 2 are hit once each,
+        // entering the protected segment; a scan of one-shot blocks must
+        // evict only probationary blocks.
+        let mut s = CacheSet::new(4, Replacement::Slru);
+        s.insert(1, false, 0, None);
+        s.insert(2, false, 1, None);
+        s.touch(0, 2); // promote tag 1
+        s.touch(1, 3); // promote tag 2
+        let mut evicted = Vec::new();
+        for t in 10..16u64 {
+            if let Some(v) = s.insert(t, false, t, None) {
+                evicted.push(v.tag);
+            }
+        }
+        assert!(
+            !evicted.contains(&1) && !evicted.contains(&2),
+            "protected blocks survive the scan: evicted {evicted:?}"
+        );
+        assert_eq!(s.lookup(1).0, Some(0));
+        assert_eq!(s.lookup(2).0, Some(1));
+    }
+
+    #[test]
+    fn slru_full_protected_segment_demotes_its_lru_block() {
+        let mut s = CacheSet::new(4, Replacement::Slru);
+        for t in 1..=4u64 {
+            s.insert(t, false, t, None);
+        }
+        s.touch(0, 10); // promote tag 1
+        s.touch(1, 11); // promote tag 2 — protected segment now full
+        s.touch(2, 12); // promote tag 3 — demotes tag 1 (protected LRU)
+                        // The demoted block is now the *youngest* probationary entry, so the
+                        // next victim is tag 4 (the oldest probationary block).
+        let v = s.insert(5, false, 13, None).expect("full set evicts");
+        assert_eq!(v.tag, 4, "victims come from the probationary LRU");
+        // Tags 2 and 3 stay protected; the demoted tag 1 is still resident.
+        assert_eq!(s.lookup(1).0, Some(0));
+    }
+
+    #[test]
+    fn slru_degenerates_to_lru_for_one_way() {
+        let mut s = CacheSet::new(1, Replacement::Slru);
+        s.insert(1, false, 0, None);
+        s.touch(0, 1); // protected capacity is 0: recency refresh only
+        let v = s.insert(2, false, 2, None).expect("evicts");
+        assert_eq!(v.tag, 1);
     }
 
     #[test]

@@ -6,10 +6,8 @@ use std::path::Path;
 use dew_cachesim::classify::ThreeCClassifier;
 use dew_cachesim::{AllocatePolicy, Cache, CacheConfig, Replacement, WritePolicy};
 use dew_core::{
-    sweep_trace, sweep_trace_instrumented, sweep_trace_resilient, sweep_trace_sampled,
-    sweep_trace_sharded, sweep_trace_sharded_resilient, CancelToken, ConfigSpace, DewError,
-    DewOptions, FileCheckpointStore, Resilience, RetryPolicy, ShardMode, ShardSpec,
-    SweepCheckpoint, TreePolicy,
+    CancelToken, ConfigSpace, DewError, FileCheckpointStore, Resilience, RetryPolicy, ShardMode,
+    ShardSpec, SweepCheckpoint, SweepRequest, TreePolicy,
 };
 use dew_explore::{
     best_edp_under, evaluate_sweep, explore_trace_with_shards, pareto_front, EnergyModel,
@@ -81,13 +79,25 @@ fn parse_policy(s: &str, seed: u64) -> Result<Replacement, CliError> {
         "fifo" => Ok(Replacement::Fifo),
         "lru" => Ok(Replacement::Lru),
         "plru" => Ok(Replacement::Plru),
+        "slru" => Ok(Replacement::Slru),
         "random" => Ok(Replacement::Random(seed)),
         other => Err(CliError::Args(ArgsError::BadValue {
             key: "policy".into(),
             value: other.into(),
-            ty: "replacement policy (fifo|lru|plru|random)",
+            ty: "replacement policy (fifo|lru|plru|slru|random)",
         })),
     }
+}
+
+/// Parses one fused-sweep policy name (`fifo|lru|plru|slru`) for `key`.
+fn parse_tree_policy(s: &str, key: &str) -> Result<TreePolicy, CliError> {
+    TreePolicy::from_name(s).ok_or_else(|| {
+        CliError::Args(ArgsError::BadValue {
+            key: key.into(),
+            value: s.into(),
+            ty: "sweep policy (fifo|lru|plru|slru)",
+        })
+    })
 }
 
 /// Parses an inclusive `LO..HI` log2 range.
@@ -225,10 +235,7 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     let blocks = parse_range(args.get("blocks").unwrap_or("0..6"), "blocks")?;
     let assocs = parse_range(args.get("assocs").unwrap_or("0..4"), "assocs")?;
     let space = ConfigSpace::new(sets, blocks, assocs)?;
-    let options = match args.get("policy").unwrap_or("fifo") {
-        "lru" => DewOptions::lru(),
-        _ => DewOptions::default(),
-    };
+    let policy = parse_tree_policy(args.get("policy").unwrap_or("fifo"), "policy")?;
     let threads = args.get_or("threads", 0usize)?;
     let with_counters = args.flag("counters");
     let spec = parse_shard_spec(args)?;
@@ -357,27 +364,20 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     // splits the trace into intervals (exact snapshot handoff by default,
     // warmup-overlap estimation on request) and --sample keeps periodic
     // clusters only.
+    let mut request = SweepRequest::new(&space)
+        .policy(policy)
+        .threads(threads)
+        .instrumented(with_counters);
+    if let Some((period, len)) = sample {
+        request = request.sampled(period, len);
+    }
+    if let Some(spec) = spec {
+        request = request.sharded(spec);
+    }
     let outcome = if resilient {
-        if let Some(spec) = spec {
-            sweep_trace_sharded_resilient(
-                &space,
-                trace.records(),
-                options,
-                threads,
-                spec.shards,
-                &res,
-            )?
-        } else {
-            sweep_trace_resilient(&space, trace.records(), options, threads, &res)?
-        }
-    } else if let Some((period, len)) = sample {
-        sweep_trace_sampled(&space, trace.records(), options, threads, period, len)?
-    } else if let Some(spec) = spec {
-        sweep_trace_sharded(&space, trace.records(), options, threads, spec)?
-    } else if with_counters {
-        sweep_trace_instrumented(&space, trace.records(), options, threads)?
+        request.resilient(&res).run(trace.records())?
     } else {
-        sweep_trace(&space, trace.records(), options, threads)?
+        request.run(trace.records())?
     };
     let elapsed = start.elapsed().as_secs_f64();
     if let Some((stop, handle)) = sigint_watch {
@@ -400,11 +400,10 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         )
     };
     let mut out = format!(
-        "swept {} configurations over {} requests in {:.2}s ({schedule}, policy {})\n",
+        "swept {} configurations over {} requests in {:.2}s ({schedule}, policy {policy})\n",
         outcome.config_count(),
         outcome.accesses(),
         elapsed,
-        options.policy,
     );
     if let Some((period, len)) = sample {
         let total = trace.records().len();
@@ -549,18 +548,18 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Parses a comma-separated policy list (`fifo`, `lru`, or `fifo,lru`).
+/// Parses a comma-separated policy list (any of `fifo`, `lru`, `plru`,
+/// `slru`, e.g. `fifo,lru,plru,slru`).
 fn parse_policies(s: &str) -> Result<Vec<TreePolicy>, CliError> {
     let mut policies = Vec::new();
     for part in s.split(',') {
-        match part.trim() {
-            "fifo" => policies.push(TreePolicy::Fifo),
-            "lru" => policies.push(TreePolicy::Lru),
-            other => {
+        match TreePolicy::from_name(part.trim()) {
+            Some(p) => policies.push(p),
+            None => {
                 return Err(CliError::Args(ArgsError::BadValue {
                     key: "policies".into(),
-                    value: other.into(),
-                    ty: "comma-separated policy list (fifo|lru|fifo,lru)",
+                    value: part.trim().into(),
+                    ty: "comma-separated policy list (fifo|lru|plru|slru)",
                 }))
             }
         }
@@ -704,14 +703,20 @@ fn verify(args: &Args) -> Result<String, CliError> {
     let blocks = parse_range(args.get("blocks").unwrap_or("2..4"), "blocks")?;
     let assocs = parse_range(args.get("assocs").unwrap_or("0..2"), "assocs")?;
     let space = ConfigSpace::new(sets, blocks, assocs)?;
-    let (options, policy) = match args.get("policy").unwrap_or("fifo") {
-        "lru" => (DewOptions::lru(), Replacement::Lru),
-        _ => (DewOptions::default(), Replacement::Fifo),
+    let tree_policy = parse_tree_policy(args.get("policy").unwrap_or("fifo"), "policy")?;
+    let policy = match tree_policy {
+        TreePolicy::Fifo => Replacement::Fifo,
+        TreePolicy::Lru => Replacement::Lru,
+        TreePolicy::Plru => Replacement::Plru,
+        TreePolicy::Slru => Replacement::Slru,
     };
     let threads = args.get_or("threads", 0usize)?;
 
     let start = std::time::Instant::now();
-    let sweep = sweep_trace(&space, trace.records(), options, threads)?;
+    let sweep = SweepRequest::new(&space)
+        .policy(tree_policy)
+        .threads(threads)
+        .run(trace.records())?;
     let dew_time = start.elapsed().as_secs_f64();
 
     let start = std::time::Instant::now();

@@ -6,7 +6,7 @@
 //! ```text
 //! dew simulate --trace t.din --sets 64 --assoc 4 --block 16 [--policy fifo]
 //! dew sweep    --trace t.din [--sets 0..14 --blocks 0..6 --assocs 0..4]
-//! dew explore  --trace t.din [--policies fifo,lru --budget 8192 --json out.json]
+//! dew explore  --trace t.din [--policies fifo,lru,plru,slru --budget 8192 --json out.json]
 //! dew stats    --trace t.din
 //! dew convert  --input t.din --output t.dewt
 //! dew generate --app cjpeg --requests 100000 --output t.dewt [--seed 1]
@@ -36,15 +36,16 @@ USAGE:
 COMMANDS:
   simulate   simulate one cache configuration over a trace file
              --trace FILE --sets N --assoc N --block BYTES
-             [--policy fifo|lru|plru|random] [--seed N]
+             [--policy fifo|lru|plru|slru|random] [--seed N]
              [--write-policy wb|wt] [--allocate wa|nwa] [--classify]
   sweep      simulate a whole configuration space in fused passes: one
              decode + one trace traversal per block size covers every
              associativity at once (FIFO via per-associativity DEW tag
-             lists, LRU via the stack property); passes run in parallel
+             lists; LRU, tree-PLRU and SLRU via their fused arena
+             kernels); passes run in parallel
              --trace FILE [--sets LO..HI] [--blocks LO..HI] [--assocs LO..HI]
              (ranges are log2, inclusive; defaults 0..14, 0..6, 0..4)
-             [--policy fifo|lru] [--threads N (0 = auto, the default)]
+             [--policy fifo|lru|plru|slru] [--threads N (0 = auto)]
              [--csv FILE] [--budget BYTES]
              [--counters]  (instrumented kernel: per-pass work breakdown)
              [--shards K]  (split the trace into K intervals; exact by
@@ -75,7 +76,7 @@ COMMANDS:
              per block size per policy) -> analytic energy/cycle scoring ->
              miss-rate x energy x size Pareto frontier
              --trace FILE [--sets LO..HI] [--blocks LO..HI] [--assocs LO..HI]
-             [--policies fifo|lru|fifo,lru (default fifo)]
+             [--policies any of fifo,lru,plru,slru (default fifo)]
              [--mode pruned|exhaustive (default pruned; identical frontiers,
               pruned drops associativity-dominated points before the scan)]
              [--budget BYTES (drop configurations larger than the budget)]
@@ -84,7 +85,7 @@ COMMANDS:
              [--json FILE] [--csv FILE]  (full per-point report emission)
   verify     run DEW and the reference simulator, cross-check every config
              --trace FILE [--sets LO..HI] [--blocks LO..HI] [--assocs LO..HI]
-             [--policy fifo|lru] [--threads N (0 = auto, the default)]
+             [--policy fifo|lru|plru|slru] [--threads N (0 = auto)]
   stats      print trace statistics
              --trace FILE
   convert    convert between trace formats (by file extension)
@@ -128,9 +129,9 @@ EXAMPLES:
   dew generate --app mpeg2_dec --requests 400000 --output mpeg2.dewt
   dew explore --trace mpeg2.dewt --json pareto.json --csv pareto.csv
 
-  # Compare FIFO against LRU under an 8 KiB budget, exhaustive frontier:
-  dew explore --trace mpeg2.dewt --policies fifo,lru --budget 8192 \\
-      --mode exhaustive --top 20
+  # Compare all four policies under an 8 KiB budget, exhaustive frontier:
+  dew explore --trace mpeg2.dewt --policies fifo,lru,plru,slru \\
+      --budget 8192 --mode exhaustive --top 20
 
   # Quick sweep of one block size with the instrumented work breakdown:
   dew sweep --trace mpeg2.dewt --sets 0..8 --blocks 4..4 --assocs 0..2 \\

@@ -3,8 +3,9 @@
 //!
 //! A [`SweepCheckpoint`] is a sidecar file (magic `DEWC`) bundling, for
 //! every fused job of a sweep (one per block size), the job's decode
-//! position and its kernel snapshot — the same versioned `DEWM`/`DEWL`
-//! buffers the sharded snapshot-handoff path round-trips. Because a kernel
+//! position and its kernel snapshot — the same versioned
+//! `DEWM`/`DEWL`/`DEWP`/`DEWU` buffers the sharded snapshot-handoff path
+//! round-trips. Because a kernel
 //! snapshot restores *exact* state (property-tested in
 //! `tests/snapshot_and_timeline.rs`) and the fused kernels are insensitive
 //! to how the record stream is chunked, "restore every job's kernel and
@@ -24,13 +25,13 @@
 //! ```text
 //! magic        b"DEWC"
 //! version      u8 (currently 1)
-//! policy       u8 (0 = fifo, 1 = lru)
+//! policy       u8 (0 = fifo, 1 = lru, 2 = plru, 3 = slru)
 //! fingerprint  u64
 //! job_count    u32
 //! per job:     block_bits u32, records_done u64, complete u8,
-//!              kernel_len u32, kernel bytes (DEWM/DEWL snapshot; a
-//!              complete job stores its final kernel so a resumed sweep
-//!              can still fan its results out)
+//!              kernel_len u32, kernel bytes (the policy kernel's own
+//!              snapshot format; a complete job stores its final kernel
+//!              so a resumed sweep can still fan its results out)
 //! ```
 
 use std::io::Write;
@@ -132,6 +133,8 @@ impl SweepCheckpoint {
         out.push(match self.policy {
             TreePolicy::Fifo => 0,
             TreePolicy::Lru => 1,
+            TreePolicy::Plru => 2,
+            TreePolicy::Slru => 3,
         });
         put_u64(&mut out, self.fingerprint);
         put_u32(&mut out, u32::try_from(self.jobs.len()).expect("job count"));
@@ -165,6 +168,8 @@ impl SweepCheckpoint {
         let policy = match cur.u8()? {
             0 => TreePolicy::Fifo,
             1 => TreePolicy::Lru,
+            2 => TreePolicy::Plru,
+            3 => TreePolicy::Slru,
             _ => return Err(SnapshotError::Corrupt("unknown checkpoint policy byte")),
         };
         let fingerprint = cur.u64()?;
@@ -215,11 +220,20 @@ pub fn sweep_fingerprint(space: &ConfigSpace, options: DewOptions) -> u64 {
     let (s0, s1) = space.set_bits();
     let (b0, b1) = space.block_bits();
     let (a0, a1) = space.assoc_bits();
+    // Two policy bits at 4..=5: FIFO=0 and LRU=1 keep the exact encodings
+    // (and therefore fingerprints) of the two-policy format, so old
+    // checkpoints resume unchanged.
+    let policy_code: u64 = match options.policy {
+        TreePolicy::Fifo => 0,
+        TreePolicy::Lru => 1,
+        TreePolicy::Plru => 2,
+        TreePolicy::Slru => 3,
+    };
     let flags = u64::from(options.mra_stop)
         | u64::from(options.wave) << 1
         | u64::from(options.mre) << 2
         | u64::from(options.dup_elision) << 3
-        | u64::from(options.policy == TreePolicy::Lru) << 4;
+        | policy_code << 4;
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for word in [
         u64::from(s0),
@@ -395,6 +409,29 @@ mod tests {
             SweepCheckpoint::from_bytes(&bad_policy),
             Err(SnapshotError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn policy_byte_round_trips_for_every_policy() {
+        for policy in TreePolicy::ALL {
+            let c = SweepCheckpoint::new(1, policy);
+            let back = SweepCheckpoint::from_bytes(&c.to_bytes()).expect("round trip");
+            assert_eq!(back.policy(), policy);
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_policies() {
+        let space = ConfigSpace::new((0, 4), (2, 4), (0, 2)).expect("valid");
+        let prints: Vec<u64> = TreePolicy::ALL
+            .iter()
+            .map(|&p| sweep_fingerprint(&space, DewOptions::for_policy(p)))
+            .collect();
+        for i in 0..prints.len() {
+            for j in i + 1..prints.len() {
+                assert_ne!(prints[i], prints[j], "{i} vs {j}");
+            }
+        }
     }
 
     #[test]

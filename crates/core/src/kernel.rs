@@ -1,0 +1,346 @@
+//! Pluggable policy kernels: the common surface every fused arena simulator
+//! presents to the sweep drivers, and the enum that dispatches over the
+//! registered policies.
+//!
+//! A replacement policy plugs into the fused sweep as **a lane layout plus
+//! an update rule** behind one contract:
+//!
+//! * consume pre-decoded block numbers **one at a time** (chunk
+//!   partitioning never affects results — the invariance behind exact
+//!   checkpoint resume, retry replay and shard handoff);
+//! * cover every associativity of a block size in **one traversal**;
+//! * fan the fused state back out into per-pass [`PassResults`] /
+//!   [`DewCounters`] views;
+//! * serialise to a versioned snapshot under the policy's own magic
+//!   (`DEWM` FIFO, `DEWL` LRU, `DEWP` tree-PLRU, `DEWU` SLRU) and reject a
+//!   sibling's buffer as a [`SnapshotError::PolicyMismatch`].
+//!
+//! [`PolicyKernel`] is that contract as a trait; [`FusedKernel`] is the
+//! concrete dispatcher the drivers hold (enum, not `dyn`, so the hot
+//! `run_blocks` call is a direct jump). Registering a policy means: a
+//! [`TreePolicy`] variant, a simulator implementing [`PolicyKernel`], a
+//! build arm in [`FusedKernel::build`], and a decode arm in
+//! [`FusedKernel::from_snapshot`].
+
+use std::fmt;
+
+use crate::counters::DewCounters;
+use crate::lru_tree::{LruTreeOptions, LruTreeSimulator};
+use crate::multi_assoc::MultiAssocTree;
+use crate::options::{DewOptions, TreePolicy};
+use crate::plru_tree::{PlruTreeOptions, PlruTreeSimulator};
+use crate::results::PassResults;
+use crate::slru_tree::SlruTreeSimulator;
+use crate::snapshot::SnapshotError;
+use crate::space::DewError;
+
+/// The surface a fused arena simulator exposes to the policy-generic sweep
+/// drivers. See the module docs for the contract behind each method.
+pub trait PolicyKernel {
+    /// The replacement policy this kernel simulates.
+    fn policy(&self) -> TreePolicy;
+
+    /// Simulates a batch of pre-decoded block numbers. Kernels consume
+    /// blocks one at a time: running one batch or the same blocks split
+    /// across many batches is bit-identical.
+    fn run_blocks(&mut self, blocks: &[u64]);
+
+    /// Fans the fused state out into the results a standalone
+    /// `(block size, assoc)` pass would have produced, or `None` when
+    /// `assoc` is not covered.
+    fn pass_results(&self, assoc: u32) -> Option<PassResults>;
+
+    /// The per-pass work-counter view at `assoc`, or `None` when `assoc` is
+    /// not covered.
+    fn pass_counters(&self, assoc: u32) -> Option<DewCounters>;
+
+    /// Serialises the complete kernel state under the policy's own magic.
+    fn to_snapshot(&self) -> Vec<u8>;
+
+    /// Actual heap footprint of the kernel's lanes in bytes.
+    fn footprint_bytes(&self) -> usize;
+}
+
+impl PolicyKernel for MultiAssocTree {
+    fn policy(&self) -> TreePolicy {
+        TreePolicy::Fifo
+    }
+    fn run_blocks(&mut self, blocks: &[u64]) {
+        MultiAssocTree::run_blocks(self, blocks);
+    }
+    fn pass_results(&self, assoc: u32) -> Option<PassResults> {
+        MultiAssocTree::pass_results(self, assoc)
+    }
+    fn pass_counters(&self, assoc: u32) -> Option<DewCounters> {
+        MultiAssocTree::pass_counters(self, assoc)
+    }
+    fn to_snapshot(&self) -> Vec<u8> {
+        MultiAssocTree::to_snapshot(self)
+    }
+    fn footprint_bytes(&self) -> usize {
+        MultiAssocTree::footprint_bytes(self)
+    }
+}
+
+impl PolicyKernel for LruTreeSimulator {
+    fn policy(&self) -> TreePolicy {
+        TreePolicy::Lru
+    }
+    fn run_blocks(&mut self, blocks: &[u64]) {
+        LruTreeSimulator::run_blocks(self, blocks);
+    }
+    fn pass_results(&self, assoc: u32) -> Option<PassResults> {
+        LruTreeSimulator::pass_results(self, assoc)
+    }
+    fn pass_counters(&self, assoc: u32) -> Option<DewCounters> {
+        LruTreeSimulator::pass_counters(self, assoc)
+    }
+    fn to_snapshot(&self) -> Vec<u8> {
+        LruTreeSimulator::to_snapshot(self)
+    }
+    fn footprint_bytes(&self) -> usize {
+        LruTreeSimulator::footprint_bytes(self)
+    }
+}
+
+impl PolicyKernel for PlruTreeSimulator {
+    fn policy(&self) -> TreePolicy {
+        TreePolicy::Plru
+    }
+    fn run_blocks(&mut self, blocks: &[u64]) {
+        PlruTreeSimulator::run_blocks(self, blocks);
+    }
+    fn pass_results(&self, assoc: u32) -> Option<PassResults> {
+        PlruTreeSimulator::pass_results(self, assoc)
+    }
+    fn pass_counters(&self, assoc: u32) -> Option<DewCounters> {
+        PlruTreeSimulator::pass_counters(self, assoc)
+    }
+    fn to_snapshot(&self) -> Vec<u8> {
+        PlruTreeSimulator::to_snapshot(self)
+    }
+    fn footprint_bytes(&self) -> usize {
+        PlruTreeSimulator::footprint_bytes(self)
+    }
+}
+
+impl PolicyKernel for SlruTreeSimulator {
+    fn policy(&self) -> TreePolicy {
+        TreePolicy::Slru
+    }
+    fn run_blocks(&mut self, blocks: &[u64]) {
+        SlruTreeSimulator::run_blocks(self, blocks);
+    }
+    fn pass_results(&self, assoc: u32) -> Option<PassResults> {
+        SlruTreeSimulator::pass_results(self, assoc)
+    }
+    fn pass_counters(&self, assoc: u32) -> Option<DewCounters> {
+        SlruTreeSimulator::pass_counters(self, assoc)
+    }
+    fn to_snapshot(&self) -> Vec<u8> {
+        SlruTreeSimulator::to_snapshot(self)
+    }
+    fn footprint_bytes(&self) -> usize {
+        SlruTreeSimulator::footprint_bytes(self)
+    }
+}
+
+/// One fused simulator, any registered policy: the concrete kernel every
+/// sweep driver holds. Enum dispatch keeps the per-chunk call direct.
+pub enum FusedKernel {
+    /// FIFO on the [`MultiAssocTree`] (per-associativity tag lists,
+    /// intersection links, MRA early termination).
+    Fifo(Box<MultiAssocTree>),
+    /// LRU on the arena [`LruTreeSimulator`] (one move-to-front lane
+    /// answers every associativity through the stack property).
+    Lru(Box<LruTreeSimulator>),
+    /// Tree-PLRU on the arena [`PlruTreeSimulator`] (per-lane direction
+    /// bits plus an MRA way pointer).
+    Plru(Box<PlruTreeSimulator>),
+    /// SLRU on the arena [`SlruTreeSimulator`] (per-lane segmented recency
+    /// regions).
+    Slru(Box<SlruTreeSimulator>),
+}
+
+impl FusedKernel {
+    /// Builds the kernel for `options.policy` covering set counts
+    /// `2^set_bits.0 ..= 2^set_bits.1` and associativities
+    /// `2^assoc_bits.0 ..= 2^assoc_bits.1` at one block size.
+    ///
+    /// The flags of `options` map onto each policy's own toggles: FIFO
+    /// consumes them all, LRU and tree-PLRU take the CRCB-style duplicate
+    /// elision, SLRU takes none (elision is unsound for it and
+    /// [`DewOptions::validate`] rejects the combination upstream).
+    ///
+    /// # Errors
+    ///
+    /// [`DewError::UnsoundOptions`] when `options` fails validation, plus
+    /// each kernel's own geometry errors (e.g. [`DewError::BadAssoc`] for a
+    /// tree-PLRU lane wider than [`crate::plru_tree::MAX_PLRU_ASSOC`]).
+    pub fn build(
+        block_bits: u32,
+        set_bits: (u32, u32),
+        assoc_bits: (u32, u32),
+        options: DewOptions,
+        instrument: bool,
+    ) -> Result<FusedKernel, DewError> {
+        options.validate()?;
+        Ok(match options.policy {
+            TreePolicy::Fifo => FusedKernel::Fifo(Box::new(MultiAssocTree::with_instrumentation(
+                block_bits, set_bits, assoc_bits, options, instrument,
+            )?)),
+            TreePolicy::Lru => {
+                let lru_opts = LruTreeOptions {
+                    depth_zero_stop: true,
+                    duplicate_elision: options.dup_elision,
+                };
+                FusedKernel::Lru(Box::new(LruTreeSimulator::with_instrumentation(
+                    block_bits, set_bits, assoc_bits, lru_opts, instrument,
+                )?))
+            }
+            TreePolicy::Plru => {
+                let plru_opts = PlruTreeOptions {
+                    duplicate_elision: options.dup_elision,
+                };
+                FusedKernel::Plru(Box::new(PlruTreeSimulator::with_instrumentation(
+                    block_bits, set_bits, assoc_bits, plru_opts, instrument,
+                )?))
+            }
+            TreePolicy::Slru => {
+                FusedKernel::Slru(Box::new(SlruTreeSimulator::with_instrumentation(
+                    block_bits, set_bits, assoc_bits, instrument,
+                )?))
+            }
+        })
+    }
+
+    /// Restores the kernel of `policy` from its snapshot bytes.
+    ///
+    /// # Errors
+    ///
+    /// As the policy's own `from_snapshot` — in particular
+    /// [`SnapshotError::PolicyMismatch`] when `bytes` carries a sibling
+    /// kernel's magic.
+    pub fn from_snapshot(policy: TreePolicy, bytes: &[u8]) -> Result<FusedKernel, SnapshotError> {
+        Ok(match policy {
+            TreePolicy::Fifo => FusedKernel::Fifo(Box::new(MultiAssocTree::from_snapshot(bytes)?)),
+            TreePolicy::Lru => FusedKernel::Lru(Box::new(LruTreeSimulator::from_snapshot(bytes)?)),
+            TreePolicy::Plru => {
+                FusedKernel::Plru(Box::new(PlruTreeSimulator::from_snapshot(bytes)?))
+            }
+            TreePolicy::Slru => {
+                FusedKernel::Slru(Box::new(SlruTreeSimulator::from_snapshot(bytes)?))
+            }
+        })
+    }
+
+    /// The trait object view (read-only).
+    fn as_kernel(&self) -> &dyn PolicyKernel {
+        match self {
+            FusedKernel::Fifo(k) => k.as_ref(),
+            FusedKernel::Lru(k) => k.as_ref(),
+            FusedKernel::Plru(k) => k.as_ref(),
+            FusedKernel::Slru(k) => k.as_ref(),
+        }
+    }
+
+    /// Fans out one pass's results and counters; the sweep drivers call
+    /// this once per `(block size, assoc)` pair a job covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `assoc` is not covered by this kernel — drivers only ask
+    /// for associativities of the job that built the kernel.
+    pub(crate) fn fan_out(&self, assoc: u32) -> (PassResults, DewCounters) {
+        let k = self.as_kernel();
+        (
+            k.pass_results(assoc).expect("job covers its passes"),
+            k.pass_counters(assoc).expect("job covers its passes"),
+        )
+    }
+}
+
+impl fmt::Debug for FusedKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FusedKernel")
+            .field("policy", &self.policy())
+            .field("footprint_bytes", &self.footprint_bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PolicyKernel for FusedKernel {
+    fn policy(&self) -> TreePolicy {
+        self.as_kernel().policy()
+    }
+    fn run_blocks(&mut self, blocks: &[u64]) {
+        match self {
+            FusedKernel::Fifo(k) => k.run_blocks(blocks),
+            FusedKernel::Lru(k) => k.run_blocks(blocks),
+            FusedKernel::Plru(k) => k.run_blocks(blocks),
+            FusedKernel::Slru(k) => k.run_blocks(blocks),
+        }
+    }
+    fn pass_results(&self, assoc: u32) -> Option<PassResults> {
+        self.as_kernel().pass_results(assoc)
+    }
+    fn pass_counters(&self, assoc: u32) -> Option<DewCounters> {
+        self.as_kernel().pass_counters(assoc)
+    }
+    fn to_snapshot(&self) -> Vec<u8> {
+        self.as_kernel().to_snapshot()
+    }
+    fn footprint_bytes(&self) -> usize {
+        self.as_kernel().footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_covers_every_policy_and_round_trips_snapshots() {
+        for policy in TreePolicy::ALL {
+            let options = DewOptions::for_policy(policy);
+            let mut kernel =
+                FusedKernel::build(2, (0, 3), (0, 2), options, false).expect("valid geometry");
+            assert_eq!(kernel.policy(), policy);
+            kernel.run_blocks(&[1, 2, 3, 1, 2, 9, 1]);
+            let restored = FusedKernel::from_snapshot(policy, &kernel.to_snapshot())
+                .expect("own snapshot restores");
+            assert_eq!(restored.policy(), policy);
+            assert_eq!(restored.to_snapshot(), kernel.to_snapshot());
+            let (results, counters) = kernel.fan_out(4);
+            assert_eq!(results.accesses(), 7);
+            assert_eq!(counters.accesses, 7);
+            assert!(kernel.footprint_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn every_kernel_rejects_every_sibling_snapshot_as_policy_mismatch() {
+        let snapshots: Vec<(TreePolicy, Vec<u8>)> = TreePolicy::ALL
+            .iter()
+            .map(|&p| {
+                let kernel =
+                    FusedKernel::build(2, (0, 2), (0, 1), DewOptions::for_policy(p), false)
+                        .expect("valid geometry");
+                (p, kernel.to_snapshot())
+            })
+            .collect();
+        for &(restore_as, _) in &snapshots {
+            for (written_by, bytes) in &snapshots {
+                let got = FusedKernel::from_snapshot(restore_as, bytes);
+                if *written_by == restore_as {
+                    assert!(got.is_ok(), "{restore_as} restores its own snapshot");
+                } else {
+                    assert!(
+                        matches!(got, Err(SnapshotError::PolicyMismatch { .. })),
+                        "{restore_as} kernel fed a {written_by} buffer"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -19,18 +19,25 @@
 //! * **MRE entries** — the most recently evicted tag is certainly absent, so
 //!   a match decides a miss without searching (Property 4).
 //!
-//! [`sweep_trace`] covers a whole `(S, A, B)` space ([`ConfigSpace`], e.g.
-//! the paper's 525-configuration Table 1 space) with **one fused trace
-//! traversal per block size, under either policy**: a [`MultiAssocTree`]
-//! carries every associativity's FIFO tag lists through one shared walk
-//! (with CIPARSim-style intersection links pruning the wider lists'
-//! searches), so the paper's 28 per-pair passes become 7 traversals — in
-//! parallel across block sizes. LRU sweeps fuse through the [`lru_tree`]
-//! module's arena [`lru_tree::LruTreeSimulator`] (stack property +
-//! set-refinement inclusion, in the spirit of Janapsatya's method and the
-//! CRCB enhancements — the comparator family the paper positions DEW
-//! against), whose single move-to-front lane answers every associativity
-//! at once.
+//! [`SweepRequest`] covers a whole `(S, A, B)` space ([`ConfigSpace`],
+//! e.g. the paper's 525-configuration Table 1 space) with **one fused
+//! trace traversal per block size, under every registered policy**. A
+//! replacement policy is a pluggable fused-arena kernel — a lane layout
+//! plus a lookup rule plus an update rule behind the
+//! [`kernel::PolicyKernel`] trait:
+//!
+//! * **FIFO** — [`MultiAssocTree`]: every associativity's FIFO tag lists
+//!   share one walk, with CIPARSim-style intersection links pruning the
+//!   wider lists' searches, so the paper's 28 per-pair passes become 7
+//!   traversals;
+//! * **LRU** — [`lru_tree::LruTreeSimulator`]: the stack property makes a
+//!   single move-to-front lane exact for every associativity at once (the
+//!   Janapsatya / CRCB comparator family the paper positions DEW against);
+//! * **tree-PLRU** — [`plru_tree::PlruTreeSimulator`]: per-lane direction
+//!   bits; like FIFO, PLRU never moves a resident block, so the shared MRA
+//!   lane re-touches a cached way without a search;
+//! * **SLRU** — [`slru_tree::SlruTreeSimulator`]: a segmented
+//!   protected/probationary recency lane that resists scan pollution.
 //!
 //! A [`SweepOutcome`] records the exact miss table, the per-pass work
 //! counters, the policy it was swept under and the honest
@@ -38,26 +45,26 @@
 //! builds design-space exploration (energy scoring, Pareto frontiers) on
 //! top of it. The repository's `docs/GUIDE.md` walks the full pipeline.
 //!
-//! Long traces need not be resident: [`sweep_trace_streamed`] decodes a
-//! re-openable source in bounded chunks, [`sweep_trace_sharded`] splits a
-//! trace into intervals reconciled exactly (snapshot handoff — bit-identical
-//! to the unsharded sweep) or approximately (warmup overlap, with
-//! [`ShardBounds`] slack), and [`sweep_trace_sampled`] estimates from
-//! periodic clusters with the same per-cluster bound.
+//! Execution plans are orthogonal builder axes on [`SweepRequest`]: long
+//! traces need not be resident ([`SweepRequest::run_streamed`] decodes a
+//! re-openable source in bounded chunks), can be sharded into intervals
+//! reconciled exactly (snapshot handoff — bit-identical to the unsharded
+//! sweep) or approximately (warmup overlap, with [`ShardBounds`] slack),
+//! or sampled from periodic clusters with the same per-cluster bound. The
+//! free `sweep_trace*` functions remain as deprecated forwarders.
 //!
-//! Long runs also need not be fragile: the resilient drivers
-//! ([`sweep_trace_resilient`], [`sweep_trace_sharded_resilient`],
-//! [`sweep_trace_streamed_resilient`]) wrap the same kernels with
-//! checkpoint/resume (a [`SweepCheckpoint`] persists every job's kernel
-//! snapshot and decode position, and resuming is bit-identical), retry
-//! with bounded exponential backoff for transient source failures
-//! ([`RetryPolicy`]), per-job panic isolation, and graceful degradation —
-//! a partial [`SweepOutcome`] with honest [`SweepOutcome::failed_jobs`] /
-//! [`SweepOutcome::retries`] / [`SweepOutcome::records_lost`] accounting
-//! instead of an all-or-nothing abort. See [`Resilience`]. A sweep can
-//! also be stopped cooperatively — an explicit request, a SIGINT, or a
-//! wall-clock deadline — through a [`CancelToken`]: cancelled jobs flush a
-//! final checkpoint before stopping, so interrupted work stays resumable
+//! Long runs also need not be fragile: [`SweepRequest::resilient`] wraps
+//! the same kernels with checkpoint/resume (a [`SweepCheckpoint`] persists
+//! every job's kernel snapshot and decode position, and resuming is
+//! bit-identical), retry with bounded exponential backoff for transient
+//! source failures ([`RetryPolicy`]), per-job panic isolation, and
+//! graceful degradation — a partial [`SweepOutcome`] with honest
+//! [`SweepOutcome::failed_jobs`] / [`SweepOutcome::retries`] /
+//! [`SweepOutcome::records_lost`] accounting instead of an all-or-nothing
+//! abort. See [`Resilience`]. A sweep can also be stopped cooperatively —
+//! an explicit request, a SIGINT, or a wall-clock deadline — through a
+//! [`CancelToken`]: cancelled jobs flush a final checkpoint before
+//! stopping, so interrupted work stays resumable
 //! ([`Resilience::with_cancel`]).
 //!
 //! # Quickstart
@@ -90,12 +97,16 @@
 mod cancel;
 mod checkpoint;
 mod counters;
+pub mod kernel;
 pub mod lru_tree;
 mod multi_assoc;
 mod node;
 mod options;
+pub mod plru_tree;
+mod request;
 mod resilience;
 mod results;
+pub mod slru_tree;
 pub mod snapshot;
 mod space;
 mod sweep;
@@ -108,14 +119,17 @@ pub use checkpoint::{
     SweepCheckpoint, CKPT_MAGIC, CKPT_VERSION,
 };
 pub use counters::DewCounters;
+pub use kernel::{FusedKernel, PolicyKernel};
 pub use multi_assoc::MultiAssocTree;
 pub use options::{DewOptions, TreePolicy};
+pub use request::SweepRequest;
 pub use resilience::{CheckpointSpec, NoSleep, Resilience, RetryPolicy, Sleeper, ThreadSleeper};
 pub use results::{
     AllAssocResults, ConfigResult, FailureKind, JobFailure, LevelResult, PassResults, ShardBounds,
     SweepOutcome,
 };
 pub use space::{ConfigSpace, DewError, PassConfig};
+#[allow(deprecated)]
 pub use sweep::{
     sweep_trace, sweep_trace_instrumented, sweep_trace_resilient, sweep_trace_sampled,
     sweep_trace_sharded, sweep_trace_sharded_resilient, sweep_trace_streamed,

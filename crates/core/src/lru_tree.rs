@@ -796,13 +796,19 @@ impl LruTreeSimulator {
         let mut cur = Cursor::new(bytes);
         let magic = cur.bytes(4)?;
         if magic != SNAP_MAGIC {
-            // A structurally valid buffer for the FIFO kernel is a policy
-            // mixup, not random corruption — report it as such.
-            if magic == crate::multi_assoc::SNAP_MAGIC {
-                return Err(SnapshotError::PolicyMismatch {
-                    expected: SNAP_MAGIC,
-                    found: crate::multi_assoc::SNAP_MAGIC,
-                });
+            // A structurally valid buffer for a sibling policy kernel is a
+            // policy mixup, not random corruption — report it as such.
+            for sibling in [
+                crate::multi_assoc::SNAP_MAGIC,
+                crate::plru_tree::SNAP_MAGIC,
+                crate::slru_tree::SNAP_MAGIC,
+            ] {
+                if magic == sibling {
+                    return Err(SnapshotError::PolicyMismatch {
+                        expected: SNAP_MAGIC,
+                        found: sibling,
+                    });
+                }
             }
             return Err(SnapshotError::BadMagic);
         }

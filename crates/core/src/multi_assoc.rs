@@ -331,10 +331,10 @@ impl MultiAssocTree {
         instrument: bool,
     ) -> Result<Self, DewError> {
         opts.validate()?;
-        if opts.policy == TreePolicy::Lru {
+        if opts.policy != TreePolicy::Fifo {
             return Err(DewError::UnsoundOptions(
-                "multi-assoc lists are FIFO-only; LRU gets all associativities from \
-                 the stack property (lru_tree)",
+                "multi-assoc lists are FIFO-only; every other policy runs its own \
+                 fused arena kernel (lru_tree, plru_tree, slru_tree)",
             ));
         }
         if assoc_bits.0 > assoc_bits.1 {
@@ -1031,13 +1031,19 @@ impl MultiAssocTree {
         let mut cur = Cursor::new(bytes);
         let magic = cur.bytes(4)?;
         if magic != SNAP_MAGIC {
-            // A structurally valid buffer for the LRU kernel is a policy
-            // mixup, not random corruption — report it as such.
-            if magic == crate::lru_tree::SNAP_MAGIC {
-                return Err(SnapshotError::PolicyMismatch {
-                    expected: SNAP_MAGIC,
-                    found: crate::lru_tree::SNAP_MAGIC,
-                });
+            // A structurally valid buffer for a sibling policy kernel is a
+            // policy mixup, not random corruption — report it as such.
+            for sibling in [
+                crate::lru_tree::SNAP_MAGIC,
+                crate::plru_tree::SNAP_MAGIC,
+                crate::slru_tree::SNAP_MAGIC,
+            ] {
+                if magic == sibling {
+                    return Err(SnapshotError::PolicyMismatch {
+                        expected: SNAP_MAGIC,
+                        found: sibling,
+                    });
+                }
             }
             return Err(SnapshotError::BadMagic);
         }

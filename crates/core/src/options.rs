@@ -12,6 +12,12 @@ use crate::space::DewError;
 /// replacement policy, but will typically be slower" than LRU-specialised
 /// methods: under LRU the MRA early termination must stay off (recency state
 /// below the stop level would go stale), so every request walks all levels.
+///
+/// [`TreePolicy::Plru`] (tree pseudo-LRU, the policy real embedded L1s ship)
+/// and [`TreePolicy::Slru`] (segmented LRU, scan-resistant) run on their own
+/// fused-arena kernels ([`crate::plru_tree`], [`crate::slru_tree`]); like
+/// LRU they must keep the MRA early stop off, because their per-set
+/// replacement state below a stop level would go stale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TreePolicy {
     /// First-in first-out tag lists (the paper's subject).
@@ -19,14 +25,46 @@ pub enum TreePolicy {
     Fifo,
     /// Least-recently-used tag lists (supported but slower; see above).
     Lru,
+    /// Tree pseudo-LRU: one direction bit per internal node of a binary tree
+    /// over the ways approximates LRU (power-of-two associativity only).
+    Plru,
+    /// Segmented LRU: a protected segment (capacity `assoc / 2`) fed by hits
+    /// out of a probationary segment; victims always come from the
+    /// probationary side, making the policy scan-resistant.
+    Slru,
 }
 
 impl fmt::Display for TreePolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl TreePolicy {
+    /// Every policy the fused sweep drivers support, in canonical order.
+    pub const ALL: [TreePolicy; 4] = [
+        TreePolicy::Fifo,
+        TreePolicy::Lru,
+        TreePolicy::Plru,
+        TreePolicy::Slru,
+    ];
+
+    /// A short lowercase name (`fifo`, `lru`, `plru`, `slru`) — the wire
+    /// spelling used by the CLI flags and the serve protocol.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
         match self {
-            TreePolicy::Fifo => f.write_str("fifo"),
-            TreePolicy::Lru => f.write_str("lru"),
+            TreePolicy::Fifo => "fifo",
+            TreePolicy::Lru => "lru",
+            TreePolicy::Plru => "plru",
+            TreePolicy::Slru => "slru",
         }
+    }
+
+    /// Parses a [`TreePolicy::name`] spelling.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<TreePolicy> {
+        TreePolicy::ALL.into_iter().find(|p| p.name() == name)
     }
 }
 
@@ -125,16 +163,73 @@ impl DewOptions {
         }
     }
 
+    /// Sound defaults for tree-PLRU lanes (the MRA early stop is off; the
+    /// wave/MRE toggles are carried but the PLRU arena kernel has no
+    /// intersection-link machinery to spend them on).
+    #[must_use]
+    pub fn plru() -> Self {
+        DewOptions {
+            mra_stop: false,
+            wave: true,
+            mre: true,
+            dup_elision: false,
+            policy: TreePolicy::Plru,
+        }
+    }
+
+    /// Sound defaults for segmented-LRU lanes (the MRA early stop is off and
+    /// duplicate elision must stay off: a repeated access *promotes* a
+    /// probationary block, so eliding it would change state).
+    #[must_use]
+    pub fn slru() -> Self {
+        DewOptions {
+            mra_stop: false,
+            wave: true,
+            mre: true,
+            dup_elision: false,
+            policy: TreePolicy::Slru,
+        }
+    }
+
+    /// The sound preset for `policy` — [`DewOptions::default`] for FIFO,
+    /// [`DewOptions::lru`] / [`DewOptions::plru`] / [`DewOptions::slru`]
+    /// otherwise. The one entry point the CLI, the exploration engine and
+    /// the serve protocol all use to map a policy name to kernel options.
+    #[must_use]
+    pub fn for_policy(policy: TreePolicy) -> Self {
+        match policy {
+            TreePolicy::Fifo => DewOptions::default(),
+            TreePolicy::Lru => DewOptions::lru(),
+            TreePolicy::Plru => DewOptions::plru(),
+            TreePolicy::Slru => DewOptions::slru(),
+        }
+    }
+
     /// Checks the combination for soundness.
     ///
     /// # Errors
     ///
-    /// [`DewError::UnsoundOptions`] when `mra_stop` is combined with
-    /// [`TreePolicy::Lru`].
+    /// [`DewError::UnsoundOptions`] when `mra_stop` is combined with any
+    /// policy other than [`TreePolicy::Fifo`] (replacement state below the
+    /// stop level would go stale), or when `dup_elision` is combined with
+    /// [`TreePolicy::Slru`] (a repeated access promotes a probationary
+    /// block, so skipping it changes state).
     pub fn validate(&self) -> Result<(), DewError> {
-        if self.mra_stop && self.policy == TreePolicy::Lru {
+        if self.mra_stop && self.policy != TreePolicy::Fifo {
+            return Err(DewError::UnsoundOptions(match self.policy {
+                TreePolicy::Lru => {
+                    "the MRA early stop would leave LRU recency state stale at larger set counts"
+                }
+                _ => {
+                    "the MRA early stop would leave replacement state stale at larger set counts \
+                     (it is sound for FIFO only)"
+                }
+            }));
+        }
+        if self.dup_elision && self.policy == TreePolicy::Slru {
             return Err(DewError::UnsoundOptions(
-                "the MRA early stop would leave LRU recency state stale at larger set counts",
+                "duplicate elision is unsound under SLRU: a repeated access promotes a \
+                 probationary block, so skipping it changes replacement state",
             ));
         }
         Ok(())
@@ -200,8 +295,52 @@ mod tests {
     #[test]
     fn ablation_grid_sizes() {
         assert_eq!(DewOptions::ablation_grid(TreePolicy::Fifo).len(), 8);
-        // LRU drops the 4 combinations with mra_stop on.
+        // Non-FIFO policies drop the 4 combinations with mra_stop on.
         assert_eq!(DewOptions::ablation_grid(TreePolicy::Lru).len(), 4);
+        assert_eq!(DewOptions::ablation_grid(TreePolicy::Plru).len(), 4);
+        assert_eq!(DewOptions::ablation_grid(TreePolicy::Slru).len(), 4);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in TreePolicy::ALL {
+            assert_eq!(TreePolicy::from_name(p.name()), Some(p));
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(TreePolicy::from_name("rand"), None);
+    }
+
+    #[test]
+    fn presets_are_sound_for_every_policy() {
+        for p in TreePolicy::ALL {
+            let o = DewOptions::for_policy(p);
+            assert_eq!(o.policy, p);
+            assert!(o.validate().is_ok(), "{p}");
+            assert_eq!(o.mra_stop, p == TreePolicy::Fifo, "{p}");
+        }
+    }
+
+    #[test]
+    fn non_fifo_mra_stop_and_slru_dup_elision_are_rejected() {
+        for p in [TreePolicy::Plru, TreePolicy::Slru] {
+            let o = DewOptions {
+                mra_stop: true,
+                ..DewOptions::for_policy(p)
+            };
+            assert!(matches!(o.validate(), Err(DewError::UnsoundOptions(_))));
+        }
+        let o = DewOptions {
+            dup_elision: true,
+            ..DewOptions::slru()
+        };
+        assert!(matches!(o.validate(), Err(DewError::UnsoundOptions(_))));
+        // ...but duplicate elision stays sound for PLRU (touching the same
+        // way twice is idempotent on the direction bits).
+        let o = DewOptions {
+            dup_elision: true,
+            ..DewOptions::plru()
+        };
+        assert!(o.validate().is_ok());
     }
 
     #[test]

@@ -1,0 +1,802 @@
+//! Single-pass multi-configuration **segmented-LRU** (SLRU) simulation on
+//! the fused arena, under the same one-traversal-per-block-size contract as
+//! the FIFO, LRU and tree-PLRU kernels.
+//!
+//! # A policy is a lane layout plus an update rule
+//!
+//! SLRU splits each set into a protected segment (capacity `assoc / 2`) and
+//! a probationary segment. Misses insert at the probationary MRU position; a
+//! probationary hit promotes the block to the protected MRU, demoting the
+//! protected LRU block to probationary MRU when the protected segment is
+//! full; victims are always the probationary LRU block. Like LRU (and unlike
+//! FIFO) a hit mutates set state, so no early termination of the walk is
+//! sound; unlike LRU there is no stack property (a promotion reorders blocks
+//! non-monotonically across associativities), so each associativity gets its
+//! own lane: an ordered tag region `[protected MRU→LRU | probationary
+//! MRU→LRU | invalid]` plus a protected-length scalar. What carries over:
+//!
+//! * the shared **MRA lane** (direct-mapped results and the per-level hit
+//!   short-circuit — sound under any policy);
+//! * an MRA-match fast path in the spirit of the wave pointers: the MRA
+//!   block sits either at the protected MRU slot (then the re-hit is a
+//!   no-op) or at the probationary MRU slot (then it promotes with one
+//!   bounded rotate) — no tag search either way.
+//!
+//! Duplicate elision is **not** sound under SLRU — a repeated access
+//! promotes a probationary block — so this kernel has no elision option and
+//! [`crate::DewOptions::validate`] rejects the flag for the policy.
+//!
+//! Within one lane the update rule matches the reference semantics of
+//! `dew_cachesim`'s set (`crates/cachesim/src/set.rs`), which models the
+//! segments with a per-way protected flag and access stamps; here the
+//! segment order is held explicitly so hits and inserts are bounded rotates,
+//! exactly like the LRU kernel's recency regions.
+//!
+//! # Examples
+//!
+//! ```
+//! use dew_core::slru_tree::SlruTreeSimulator;
+//!
+//! # fn main() -> Result<(), dew_core::DewError> {
+//! // Sets 1..=8, associativities 1, 2 and 4, 4-byte blocks.
+//! let mut sim = SlruTreeSimulator::new(2, 0, 3, 4)?;
+//! for i in 0..100u64 {
+//!     sim.step((i % 40) * 4);
+//! }
+//! assert_eq!(sim.assoc_list(), &[1, 2, 4]);
+//! assert!(sim.results().misses(8, 4).is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use dew_trace::Record;
+
+use crate::counters::DewCounters;
+use crate::node::INVALID_TAG;
+use crate::results::{AllAssocResults, LevelResult, PassResults};
+use crate::space::{DewError, PassConfig};
+
+/// Snapshot magic of the arena SLRU simulator.
+pub(crate) const SNAP_MAGIC: [u8; 4] = *b"DEWU";
+/// Snapshot format version of the arena SLRU simulator.
+const SNAP_VERSION: u8 = 1;
+
+/// Work counters of the SLRU simulator (instrumented kernel only; the fast
+/// kernel maintains just the request tally).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlruTreeCounters {
+    /// Requests simulated.
+    pub accesses: u64,
+    /// Tree nodes visited.
+    pub node_evaluations: u64,
+    /// Evaluations settled by the MRA comparison (a hit in every lane; the
+    /// walk continues, but every lane updates by position, without a
+    /// search).
+    pub mra_hits: u64,
+    /// Tag comparisons performed (the MRA comparison of each node evaluation
+    /// plus the per-lane searches below it).
+    pub tag_comparisons: u64,
+}
+
+impl fmt::Display for SlruTreeCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} evaluations, {} MRA hits, {} comparisons",
+            self.accesses, self.node_evaluations, self.mra_hits, self.tag_comparisons
+        )
+    }
+}
+
+/// The arena: flat lanes over all forest levels concatenated, as in the
+/// other fused kernels.
+#[derive(Debug, Clone)]
+struct SlruArena {
+    /// Dense per-node MRA tags (direct-mapped contents + hit short-circuit).
+    mra: Vec<u64>,
+    /// Ordered tag regions: per `(node, lane)`, `[protected MRU→LRU |
+    /// probationary MRU→LRU | sentinel…]`.
+    tags: Vec<u64>,
+    /// Protected-segment length per `(node, lane)`; never exceeds half the
+    /// lane width.
+    prot_len: Vec<u32>,
+    /// Node-index base per level plus a final total.
+    node_off: Vec<usize>,
+    /// `(1 << set_bits) - 1` per level.
+    set_mask: Vec<u64>,
+    /// Misses per `(level, lane)`, level-major.
+    misses: Vec<u64>,
+    /// Direct-mapped misses per level (from the shared MRA comparisons).
+    dm_misses: Vec<u64>,
+}
+
+impl SlruArena {
+    fn new(pass: &PassConfig, stride: usize, num_lanes: usize) -> Self {
+        let mut node_off = Vec::with_capacity(pass.num_levels() as usize + 1);
+        let mut set_mask = Vec::with_capacity(pass.num_levels() as usize);
+        let mut total = 0usize;
+        for set_bits in pass.min_set_bits()..=pass.max_set_bits() {
+            node_off.push(total);
+            set_mask.push((1u64 << set_bits) - 1);
+            total += 1usize << set_bits;
+        }
+        node_off.push(total);
+        let num_levels = pass.num_levels() as usize;
+        SlruArena {
+            mra: vec![INVALID_TAG; total],
+            tags: vec![INVALID_TAG; total * stride],
+            prot_len: vec![0; total * num_lanes],
+            node_off,
+            set_mask,
+            misses: vec![0; num_levels * num_lanes.max(1)],
+            dm_misses: vec![0; num_levels],
+        }
+    }
+}
+
+/// Exact single-pass SLRU simulator for all set counts in a range and all
+/// power-of-two associativities in a range. See the module docs.
+#[derive(Debug, Clone)]
+pub struct SlruTreeSimulator {
+    /// Geometry; `assoc()` reports the widest simulated associativity.
+    pass: PassConfig,
+    /// Every reported associativity, ascending (includes 1 when the range
+    /// starts there; associativity-1 results come from the MRA lane, and
+    /// SLRU degenerates to plain LRU there).
+    assoc_list: Vec<u32>,
+    /// Simulated lane associativities (the reported list above 1).
+    lanes: Vec<u32>,
+    /// Per-lane tag offset inside a node's region.
+    lane_off: Vec<usize>,
+    /// Tag-region entries per node (sum of the lane widths).
+    stride: usize,
+    arena: SlruArena,
+    counters: SlruTreeCounters,
+    /// Search comparisons per lane; instrumented only.
+    lane_comparisons: Vec<u64>,
+    /// Whether the kernel maintains the work counters.
+    instrument: bool,
+}
+
+impl SlruTreeSimulator {
+    /// Builds a simulator for set counts `2^min_set_bits..=2^max_set_bits`,
+    /// block size `2^block_bits` bytes, and associativities
+    /// `1, 2, 4, …, max_assoc`, using the fast (uninstrumented) kernel.
+    ///
+    /// # Errors
+    ///
+    /// As [`PassConfig::new`], plus [`DewError::BadAssoc`] for a
+    /// non-power-of-two `max_assoc`.
+    pub fn new(
+        block_bits: u32,
+        min_set_bits: u32,
+        max_set_bits: u32,
+        max_assoc: u32,
+    ) -> Result<Self, DewError> {
+        if max_assoc == 0 || !max_assoc.is_power_of_two() {
+            return Err(DewError::BadAssoc(max_assoc));
+        }
+        SlruTreeSimulator::with_instrumentation(
+            block_bits,
+            (min_set_bits, max_set_bits),
+            (0, max_assoc.trailing_zeros()),
+            false,
+        )
+    }
+
+    /// As [`SlruTreeSimulator::new`], but with the work counters live.
+    ///
+    /// # Errors
+    ///
+    /// As [`SlruTreeSimulator::new`].
+    pub fn instrumented(
+        block_bits: u32,
+        min_set_bits: u32,
+        max_set_bits: u32,
+        max_assoc: u32,
+    ) -> Result<Self, DewError> {
+        if max_assoc == 0 || !max_assoc.is_power_of_two() {
+            return Err(DewError::BadAssoc(max_assoc));
+        }
+        SlruTreeSimulator::with_instrumentation(
+            block_bits,
+            (min_set_bits, max_set_bits),
+            (0, max_assoc.trailing_zeros()),
+            true,
+        )
+    }
+
+    /// Full-control constructor: inclusive `log2` ranges for the set counts
+    /// and the reported associativities, and a runtime kernel selection.
+    /// This is the entry point the fused sweep uses for its per-block-size
+    /// SLRU passes.
+    ///
+    /// # Errors
+    ///
+    /// As [`PassConfig::new`], plus [`DewError::EmptySetRange`] when the
+    /// associativity range is inverted.
+    pub fn with_instrumentation(
+        block_bits: u32,
+        set_bits: (u32, u32),
+        assoc_bits: (u32, u32),
+        instrument: bool,
+    ) -> Result<Self, DewError> {
+        if assoc_bits.0 > assoc_bits.1 {
+            return Err(DewError::EmptySetRange {
+                min_set_bits: assoc_bits.0,
+                max_set_bits: assoc_bits.1,
+            });
+        }
+        let pass = PassConfig::new(block_bits, set_bits.0, set_bits.1, 1 << assoc_bits.1)?;
+        let assoc_list: Vec<u32> = (assoc_bits.0..=assoc_bits.1).map(|b| 1 << b).collect();
+        let lanes: Vec<u32> = (assoc_bits.0.max(1)..=assoc_bits.1)
+            .map(|b| 1 << b)
+            .collect();
+        let mut lane_off = Vec::with_capacity(lanes.len());
+        let mut stride = 0usize;
+        for &w in &lanes {
+            lane_off.push(stride);
+            stride += w as usize;
+        }
+        Ok(SlruTreeSimulator {
+            arena: SlruArena::new(&pass, stride.max(1), lanes.len()),
+            pass,
+            assoc_list,
+            lane_comparisons: if instrument {
+                vec![0; lanes.len()]
+            } else {
+                Vec::new()
+            },
+            lanes,
+            lane_off,
+            stride,
+            counters: SlruTreeCounters::default(),
+            instrument,
+        })
+    }
+
+    /// The simulated associativities, ascending.
+    #[must_use]
+    pub fn assoc_list(&self) -> &[u32] {
+        &self.assoc_list
+    }
+
+    /// The geometry of the forest (`assoc()` reports the widest lane).
+    #[must_use]
+    pub fn pass(&self) -> &PassConfig {
+        &self.pass
+    }
+
+    /// `true` when this simulator maintains the work counters.
+    #[must_use]
+    pub fn is_instrumented(&self) -> bool {
+        self.instrument
+    }
+
+    /// The work counters.
+    #[must_use]
+    pub fn counters(&self) -> &SlruTreeCounters {
+        &self.counters
+    }
+
+    /// Simulates one record (only the address matters).
+    pub fn step_record(&mut self, record: Record) {
+        self.step(record.addr);
+    }
+
+    /// Simulates one request by byte address.
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::DewTree::step`]: the block number must not collide with
+    /// the internal sentinel.
+    pub fn step(&mut self, addr: u64) {
+        self.step_block(addr >> self.pass.block_bits());
+    }
+
+    /// Simulates one request given as a pre-decoded block number.
+    ///
+    /// # Panics
+    ///
+    /// As [`SlruTreeSimulator::step`], if `block` equals the internal
+    /// sentinel.
+    pub fn step_block(&mut self, block: u64) {
+        assert_ne!(
+            block, INVALID_TAG,
+            "block {block:#x} exceeds the supported range"
+        );
+        self.kernel(block);
+    }
+
+    /// Simulates a batch of pre-decoded block numbers — the sweep's fused
+    /// drive path.
+    ///
+    /// # Panics
+    ///
+    /// As [`SlruTreeSimulator::step`], if any block equals the sentinel.
+    pub fn run_blocks(&mut self, blocks: &[u64]) {
+        for &b in blocks {
+            assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
+            self.kernel(b);
+        }
+    }
+
+    /// The kernel. Per level: one MRA comparison settles the direct-mapped
+    /// result. On a match the block sits at a known position in every lane —
+    /// the protected MRU slot (re-hit is a no-op) or the probationary MRU
+    /// slot (one rotate promotes it) — so no lane searches. On a mismatch
+    /// each lane searches its valid prefix: a hit rotates the block to the
+    /// protected or segment front (growing the protected segment on a
+    /// probationary hit, demoting the protected LRU when it is full, both by
+    /// the same rotate); a miss inserts at the probationary MRU slot,
+    /// evicting the probationary LRU block when the lane is full.
+    fn kernel(&mut self, block: u64) {
+        self.counters.accesses += 1;
+        let nk = self.lanes.len();
+        let stride = self.stride.max(1);
+        let a = &mut self.arena;
+        for li in 0..a.set_mask.len() {
+            let node = a.node_off[li] + (block & a.set_mask[li]) as usize;
+            if self.instrument {
+                self.counters.node_evaluations += 1;
+                self.counters.tag_comparisons += 1;
+            }
+            let region_base = node * stride;
+            if a.mra[node] == block {
+                if self.instrument {
+                    self.counters.mra_hits += 1;
+                }
+                for (k, (&w, &off)) in self.lanes.iter().zip(self.lane_off.iter()).enumerate() {
+                    let w = w as usize;
+                    let cap = w / 2;
+                    let lane = &mut a.tags[region_base + off..region_base + off + w];
+                    let prot = &mut a.prot_len[node * nk + k];
+                    let p = *prot as usize;
+                    // The MRA block is the protected MRU (previous access
+                    // was a hit that promoted or refreshed it) or the
+                    // probationary MRU at index `prot_len` (previous access
+                    // inserted it); `prot_len == 0` makes the two slots
+                    // coincide and the access is a probationary hit.
+                    if p == 0 || lane[0] != block {
+                        debug_assert_eq!(lane[p], block);
+                        lane[..=p].rotate_right(1);
+                        if p < cap {
+                            *prot += 1;
+                        }
+                    }
+                }
+                continue;
+            }
+            a.dm_misses[li] += 1;
+            a.mra[node] = block;
+            for (k, (&w, &off)) in self.lanes.iter().zip(self.lane_off.iter()).enumerate() {
+                let w = w as usize;
+                let cap = w / 2;
+                let lane = &mut a.tags[region_base + off..region_base + off + w];
+                let prot = &mut a.prot_len[node * nk + k];
+                let p = *prot as usize;
+                // One scan finds the block or, failing that, the end of the
+                // valid prefix (inserts keep valid tags contiguous).
+                let mut hit = None;
+                let mut valid_len = w;
+                for (i, &tag) in lane.iter().enumerate() {
+                    if tag == INVALID_TAG {
+                        valid_len = i;
+                        break;
+                    }
+                    if self.instrument {
+                        self.lane_comparisons[k] += 1;
+                        self.counters.tag_comparisons += 1;
+                    }
+                    if tag == block {
+                        hit = Some(i);
+                        break;
+                    }
+                }
+                match hit {
+                    Some(d) => {
+                        // Protected hit (d < prot_len): refresh within the
+                        // protected segment. Probationary hit: the same
+                        // rotate promotes the block to protected MRU and,
+                        // when the protected segment is full, wraps its LRU
+                        // block to index `prot_len` — the probationary MRU —
+                        // demoting it.
+                        lane[..=d].rotate_right(1);
+                        if d >= p && p < cap {
+                            *prot += 1;
+                        }
+                    }
+                    None => {
+                        a.misses[li * nk.max(1) + k] += 1;
+                        // Insert at the probationary MRU slot. Not full: the
+                        // invalid way at `valid_len` wraps around and is
+                        // overwritten. Full: the probationary LRU block at
+                        // `w - 1` wraps around and is overwritten — the
+                        // victim (the probationary segment is nonempty when
+                        // the lane is full, since `prot_len <= w / 2 < w`).
+                        let end = valid_len.min(w - 1);
+                        lane[p..=end].rotate_right(1);
+                        lane[p] = block;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the per-configuration miss counts (associativity 1, when
+    /// simulated, comes from the shared direct-mapped accounting).
+    #[must_use]
+    pub fn results(&self) -> AllAssocResults {
+        let include_dm = self.assoc_list.first() == Some(&1);
+        let nk = self.lanes.len();
+        let stride = nk.max(1);
+        let misses = (0..self.arena.dm_misses.len())
+            .map(|li| {
+                let mut row = Vec::with_capacity(self.assoc_list.len());
+                if include_dm {
+                    row.push(self.arena.dm_misses[li]);
+                }
+                row.extend_from_slice(&self.arena.misses[li * stride..li * stride + nk]);
+                row
+            })
+            .collect();
+        AllAssocResults::new(
+            self.pass,
+            self.counters.accesses,
+            self.assoc_list.clone(),
+            misses,
+        )
+    }
+
+    /// Fans this pass out into the [`PassResults`] a standalone
+    /// `(block size, assoc)` pass would have produced, or `None` when
+    /// `assoc` was not simulated.
+    #[must_use]
+    pub fn pass_results(&self, assoc: u32) -> Option<PassResults> {
+        if !self.assoc_list.contains(&assoc) {
+            return None;
+        }
+        let pass = PassConfig::new(
+            self.pass.block_bits(),
+            self.pass.min_set_bits(),
+            self.pass.max_set_bits(),
+            assoc,
+        )
+        .ok()?;
+        let stride = self.lanes.len().max(1);
+        let k = self.lanes.iter().position(|&a| a == assoc);
+        let levels = self
+            .arena
+            .dm_misses
+            .iter()
+            .enumerate()
+            .map(|(li, &dm)| {
+                let misses = match k {
+                    Some(k) => self.arena.misses[li * stride + k],
+                    None => dm, // assoc 1: the MRA lane is the simulation
+                };
+                LevelResult::new(self.pass.min_set_bits() + li as u32, misses, dm)
+            })
+            .collect();
+        Some(PassResults::new(pass, self.counters.accesses, levels))
+    }
+
+    /// The [`DewCounters`] view a standalone pass at `assoc` is entitled to
+    /// report, mirroring the tree-PLRU fan-out: MRA hits settle a node
+    /// without a search and map onto the `mra_stops` bucket, every other
+    /// evaluation is a search in this lane, and per-lane search comparisons
+    /// are tracked separately. Returns `None` when `assoc` was not
+    /// simulated.
+    #[must_use]
+    pub fn pass_counters(&self, assoc: u32) -> Option<DewCounters> {
+        if !self.assoc_list.contains(&assoc) {
+            return None;
+        }
+        if !self.instrument {
+            return Some(DewCounters {
+                accesses: self.counters.accesses,
+                ..DewCounters::new()
+            });
+        }
+        let searches = self.counters.node_evaluations - self.counters.mra_hits;
+        let search_comparisons = match self.lanes.iter().position(|&a| a == assoc) {
+            Some(k) => self.lane_comparisons[k],
+            // Associativity 1: the MRA mismatch *is* the decision.
+            None => searches,
+        };
+        Some(DewCounters {
+            accesses: self.counters.accesses,
+            node_evaluations: self.counters.node_evaluations,
+            mra_stops: self.counters.mra_hits,
+            searches,
+            search_comparisons,
+            tag_comparisons: self.counters.node_evaluations + search_comparisons,
+            ..DewCounters::new()
+        })
+    }
+
+    /// Actual heap footprint of the arena's lanes in bytes (excludes
+    /// counters and scratch).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        let a = &self.arena;
+        a.mra.len() * 8 + a.tags.len() * 8 + a.prot_len.len() * 4
+    }
+
+    /// Serialises the complete arena state to bytes under its own magic
+    /// (`DEWU`). The sharded sweep's snapshot-handoff mode and the
+    /// checkpoint sidecars round-trip these buffers.
+    #[must_use]
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        use crate::snapshot::{put_u32, put_u64};
+        let mut out = Vec::with_capacity(64 + self.footprint_bytes() * 2);
+        out.extend_from_slice(&SNAP_MAGIC);
+        out.push(SNAP_VERSION);
+        put_u32(&mut out, self.pass.block_bits());
+        put_u32(&mut out, self.pass.min_set_bits());
+        put_u32(&mut out, self.pass.max_set_bits());
+        put_u32(&mut out, self.assoc_list[0].trailing_zeros());
+        put_u32(&mut out, self.pass.assoc().trailing_zeros());
+        out.push(u8::from(self.instrument));
+        let c = &self.counters;
+        for v in [
+            c.accesses,
+            c.node_evaluations,
+            c.mra_hits,
+            c.tag_comparisons,
+        ] {
+            put_u64(&mut out, v);
+        }
+        for &v in &self.lane_comparisons {
+            put_u64(&mut out, v);
+        }
+        let a = &self.arena;
+        for &v in a
+            .misses
+            .iter()
+            .chain(&a.dm_misses)
+            .chain(&a.mra)
+            .chain(&a.tags)
+        {
+            put_u64(&mut out, v);
+        }
+        for &v in &a.prot_len {
+            put_u32(&mut out, v);
+        }
+        out
+    }
+
+    /// Restores a simulator from [`SlruTreeSimulator::to_snapshot`] output;
+    /// continuing it is bit-identical to the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::snapshot::SnapshotError`] for foreign, truncated or
+    /// internally inconsistent buffers; a valid buffer of one of the *other*
+    /// policies' kernels reports [`crate::snapshot::SnapshotError::PolicyMismatch`].
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{Cursor, SnapshotError};
+        let mut cur = Cursor::new(bytes);
+        let magic = cur.bytes(4)?;
+        if magic != SNAP_MAGIC {
+            for sibling in [
+                crate::multi_assoc::SNAP_MAGIC,
+                crate::lru_tree::SNAP_MAGIC,
+                crate::plru_tree::SNAP_MAGIC,
+            ] {
+                if magic == sibling {
+                    return Err(SnapshotError::PolicyMismatch {
+                        expected: SNAP_MAGIC,
+                        found: sibling,
+                    });
+                }
+            }
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = cur.u8()?;
+        if version != SNAP_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let (block_bits, min_set_bits, max_set_bits) = (cur.u32()?, cur.u32()?, cur.u32()?);
+        let (assoc_lo_bits, assoc_hi_bits) = (cur.u32()?, cur.u32()?);
+        let instrument = cur.u8()? != 0;
+        let mut sim = SlruTreeSimulator::with_instrumentation(
+            block_bits,
+            (min_set_bits, max_set_bits),
+            (assoc_lo_bits, assoc_hi_bits),
+            instrument,
+        )
+        .map_err(|_| SnapshotError::Corrupt("invalid arena geometry"))?;
+        let c = &mut sim.counters;
+        c.accesses = cur.u64()?;
+        c.node_evaluations = cur.u64()?;
+        c.mra_hits = cur.u64()?;
+        c.tag_comparisons = cur.u64()?;
+        for v in &mut sim.lane_comparisons {
+            *v = cur.u64()?;
+        }
+        let a = &mut sim.arena;
+        for v in a
+            .misses
+            .iter_mut()
+            .chain(&mut a.dm_misses)
+            .chain(&mut a.mra)
+            .chain(&mut a.tags)
+        {
+            *v = cur.u64()?;
+        }
+        let nk = sim.lanes.len();
+        for (i, v) in a.prot_len.iter_mut().enumerate() {
+            *v = cur.u32()?;
+            if nk > 0 && *v > sim.lanes[i % nk] / 2 {
+                return Err(SnapshotError::Corrupt("protected length out of range"));
+            }
+        }
+        if cur.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes(cur.remaining()));
+        }
+        Ok(sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dew_cachesim::{simulate_trace, CacheConfig, Replacement};
+
+    fn addrs(n: usize, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if i % 6 == 0 {
+                    x % (1 << 12)
+                } else {
+                    (x % 80) * 4
+                }
+            })
+            .collect()
+    }
+
+    fn oracle(sets: u32, assoc: u32, block: u32, addrs: &[u64]) -> u64 {
+        let records: Vec<Record> = addrs.iter().map(|&a| Record::read(a)).collect();
+        simulate_trace(
+            CacheConfig::new(sets, assoc, block, Replacement::Slru).expect("valid"),
+            &records,
+        )
+        .misses()
+    }
+
+    #[test]
+    fn matches_reference_slru_for_all_configs() {
+        let a = addrs(3000, 0x5EED_7001);
+        for instrument in [false, true] {
+            let mut sim = SlruTreeSimulator::with_instrumentation(2, (0, 5), (0, 3), instrument)
+                .expect("valid");
+            for &x in &a {
+                sim.step(x);
+            }
+            let r = sim.results();
+            for set_bits in 0..=5u32 {
+                for assoc in [1u32, 2, 4, 8] {
+                    let sets = 1 << set_bits;
+                    assert_eq!(
+                        r.misses(sets, assoc),
+                        Some(oracle(sets, assoc, 4, &a)),
+                        "sets={sets} assoc={assoc} instrument={instrument}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_accesses_promote_and_resist_scans() {
+        // Two re-hit blocks survive a long one-shot scan: the protected
+        // segment shields them, which plain LRU would not.
+        let mut hot = vec![0u64, 64, 0, 64];
+        for i in 0..64u64 {
+            hot.push(4096 + i * 64); // one-shot scan, same set count rollover
+        }
+        hot.push(0);
+        hot.push(64);
+        let sets = 1u32;
+        let assoc = 4u32;
+        let slru = oracle(sets, assoc, 64, &hot);
+        let records: Vec<Record> = hot.iter().map(|&a| Record::read(a)).collect();
+        let lru = simulate_trace(
+            CacheConfig::new(sets, assoc, 64, Replacement::Lru).expect("valid"),
+            &records,
+        )
+        .misses();
+        assert!(slru < lru, "slru={slru} lru={lru}");
+        let mut sim = SlruTreeSimulator::new(6, 0, 0, 4).expect("valid");
+        for &x in &hot {
+            sim.step(x);
+        }
+        assert_eq!(sim.results().misses(1, 4), Some(slru));
+    }
+
+    #[test]
+    fn pass_results_fan_out_matches_all_assoc_view() {
+        let a = addrs(2500, 0x5EED_7003);
+        for instrument in [false, true] {
+            let mut sim = SlruTreeSimulator::with_instrumentation(3, (1, 5), (0, 3), instrument)
+                .expect("valid");
+            for &x in &a {
+                sim.step(x);
+            }
+            let all = sim.results();
+            for &assoc in sim.assoc_list() {
+                let pr = sim.pass_results(assoc).expect("simulated");
+                assert_eq!(pr.pass().assoc(), assoc);
+                for set_bits in 1..=5u32 {
+                    let sets = 1 << set_bits;
+                    assert_eq!(pr.misses(sets, assoc), all.misses(sets, assoc));
+                    assert_eq!(pr.misses(sets, 1), all.misses(sets, 1));
+                }
+                let c = sim.pass_counters(assoc).expect("simulated");
+                assert!(c.is_consistent(), "assoc={assoc}: {c}");
+                assert_eq!(c.accesses, a.len() as u64);
+            }
+            assert!(sim.pass_results(16).is_none());
+            assert!(sim.pass_counters(16).is_none());
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let a = addrs(2000, 0x5EED_7004);
+        for instrument in [false, true] {
+            let mut sim = SlruTreeSimulator::with_instrumentation(2, (0, 4), (1, 3), instrument)
+                .expect("valid");
+            for &x in &a[..1000] {
+                sim.step(x);
+            }
+            let mut restored =
+                SlruTreeSimulator::from_snapshot(&sim.to_snapshot()).expect("round trip");
+            for &x in &a[1000..] {
+                sim.step(x);
+                restored.step(x);
+            }
+            assert_eq!(sim.results(), restored.results());
+            assert_eq!(sim.counters(), restored.counters());
+            assert_eq!(sim.to_snapshot(), restored.to_snapshot());
+        }
+    }
+
+    #[test]
+    fn foreign_magic_is_a_policy_mismatch() {
+        use crate::snapshot::SnapshotError;
+        let plru = crate::plru_tree::PlruTreeSimulator::new(
+            2,
+            0,
+            2,
+            2,
+            crate::plru_tree::PlruTreeOptions::default(),
+        )
+        .expect("valid");
+        match SlruTreeSimulator::from_snapshot(&plru.to_snapshot()) {
+            Err(SnapshotError::PolicyMismatch { expected, found }) => {
+                assert_eq!(expected, SNAP_MAGIC);
+                assert_eq!(found, crate::plru_tree::SNAP_MAGIC);
+            }
+            other => panic!("expected PolicyMismatch, got {other:?}"),
+        }
+        assert!(matches!(
+            SlruTreeSimulator::from_snapshot(b"JUNKrest"),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported range")]
+    fn sentinel_block_panics_in_batches() {
+        let mut sim = SlruTreeSimulator::new(0, 0, 1, 2).expect("ok");
+        sim.run_blocks(&[0, 1, u64::MAX]);
+    }
+}

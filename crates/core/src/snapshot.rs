@@ -58,11 +58,11 @@ pub const VERSION_1: u8 = 1;
 pub enum SnapshotError {
     /// The buffer does not start with the snapshot magic.
     BadMagic,
-    /// The buffer is a valid kernel snapshot, but for the *other* policy's
-    /// kernel (a FIFO `DEWM` buffer handed to the LRU kernel, or an LRU
-    /// `DEWL` buffer handed to the FIFO kernel). Distinguished from
-    /// [`SnapshotError::BadMagic`] so resume paths can report a policy mixup
-    /// rather than generic corruption.
+    /// The buffer is a valid kernel snapshot, but for a *different* policy's
+    /// kernel — each fused kernel writes its own magic (FIFO `DEWM`, LRU
+    /// `DEWL`, tree-PLRU `DEWP`, SLRU `DEWU`) and rejects its siblings'.
+    /// Distinguished from [`SnapshotError::BadMagic`] so resume paths can
+    /// report a policy mixup rather than generic corruption.
     PolicyMismatch {
         /// The magic of the kernel that tried to restore the buffer.
         expected: [u8; 4],

@@ -1,17 +1,21 @@
-//! Sweep driver: cover a whole [`ConfigSpace`] with the minimal number of
-//! *trace traversals* — one per block size for **both** policies —
-//! optionally in parallel.
+//! Sweep drivers: cover a whole [`ConfigSpace`] with the minimal number of
+//! *trace traversals* — one per block size for **every** registered policy
+//! — optionally in parallel.
 //!
 //! The scheduler is **fused**: all `(block size, assoc)` passes of one
-//! block size are folded into a single traversal. Under FIFO that
-//! traversal is a [`MultiAssocTree`] (shared walk, shared MRA lane,
-//! per-associativity tag lists — see the `multi_assoc` module docs); under
-//! LRU it is an arena [`LruTreeSimulator`] whose single move-to-front
-//! recency lane answers every associativity at once through the stack
-//! property (see the `lru_tree` module docs). Either way a sweep performs
-//! exactly one decode and one traversal per block size instead of one per
-//! pass, and the fused results are fanned back out into the per-pass
-//! [`PassResults`] shape, so [`SweepOutcome`] is unchanged for callers.
+//! block size are folded into a single traversal on the policy's
+//! [`FusedKernel`] — FIFO multi-assoc lists, or the LRU / tree-PLRU / SLRU
+//! arena lanes (see the `kernel` module docs for the pluggable-kernel
+//! contract). A sweep performs exactly one decode and one traversal per
+//! block size instead of one per pass, and the fused results are fanned
+//! back out into the per-pass [`PassResults`] shape, so [`SweepOutcome`]
+//! is unchanged for callers.
+//!
+//! [`crate::SweepRequest`] is the one entry point: policy, thread count,
+//! instrumentation, sharding, sampling and resilience are orthogonal
+//! builder options over the drivers in this module. The free
+//! `sweep_trace*` functions are deprecated forwarders kept so existing
+//! call sites keep compiling (with bit-identical results).
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -22,60 +26,41 @@ use dew_trace::{BlockChunks, Record, SliceSource, StreamBlockChunks, TraceError,
 use crate::cancel::CancelReason;
 use crate::checkpoint::{sweep_fingerprint, SweepCheckpoint};
 use crate::counters::DewCounters;
-use crate::lru_tree::{LruTreeOptions, LruTreeSimulator};
-use crate::multi_assoc::MultiAssocTree;
+use crate::kernel::{FusedKernel, PolicyKernel};
 use crate::options::{DewOptions, TreePolicy};
 use crate::resilience::Resilience;
 use crate::results::{
     FailureKind, JobFailure, LevelResult, PassResults, ShardBounds, SweepOutcome,
 };
-use crate::snapshot::SnapshotError;
 use crate::space::{ConfigSpace, DewError, PassConfig};
 
-/// Simulates every configuration of `space` over `records`.
+/// Upstream validation shared by every driver: the option flags must be
+/// sound for the policy, and the space must fit the policy's kernel (the
+/// tree-PLRU direction bits cap a lane at
+/// [`crate::plru_tree::MAX_PLRU_ASSOC`] ways).
+pub(crate) fn validate_request(space: &ConfigSpace, options: DewOptions) -> Result<(), DewError> {
+    options.validate()?;
+    if options.policy == TreePolicy::Plru {
+        let (_, amax) = space.assoc_bits();
+        if amax > crate::plru_tree::MAX_PLRU_ASSOC.trailing_zeros() {
+            return Err(DewError::BadAssoc(
+                1u32.checked_shl(amax).unwrap_or(u32::MAX),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Simulates every configuration of `space` over `records` — one fused
+/// traversal per block size, whichever policy `options` selects.
 ///
-/// The sweep schedules one **fused pass per block size** for either
-/// policy: the trace's block numbers are decoded once and streamed in
-/// chunks through a simulator that covers every associativity of the space
-/// simultaneously — a [`MultiAssocTree`] under FIFO (the default), an
-/// arena [`LruTreeSimulator`] under LRU — so the trace is traversed once
-/// per block size no matter how wide the associativity range is
-/// ([`SweepOutcome::trace_traversals`] reports the count). Each fused pass
-/// runs the fast (uninstrumented) batched kernel; use
-/// [`sweep_trace_instrumented`] when the per-pass [`DewCounters`] breakdown
-/// matters.
-///
-/// `threads == 0` selects the machine's available parallelism; fused
-/// passes are independent, so they distribute over a simple work queue and
-/// each worker writes its results into pre-sized per-pass slots (no lock,
-/// no re-sort). Results are deterministic regardless of the thread count.
+/// Equivalent builder call:
+/// `SweepRequest::new(space).options(options).threads(threads).run(records)`.
 ///
 /// # Errors
 ///
-/// [`DewError::UnsoundOptions`] when `options` fails validation.
-///
-/// # Panics
-///
-/// Panics if two passes of the same block size disagree on the
-/// associativity-1 miss counts — an internal consistency failure that the
-/// exactness tests rule out.
-///
-/// # Examples
-///
-/// ```
-/// use dew_core::{sweep_trace, ConfigSpace, DewOptions};
-/// use dew_trace::Record;
-///
-/// # fn main() -> Result<(), dew_core::DewError> {
-/// let space = ConfigSpace::new((0, 4), (2, 4), (0, 2))?;
-/// let trace: Vec<Record> = (0..500u64).map(|i| Record::read((i % 97) * 4)).collect();
-/// let outcome = sweep_trace(&space, &trace, DewOptions::default(), 1)?;
-/// assert_eq!(outcome.config_count() as u64, space.config_count());
-/// // Three block sizes, three traversals — however many associativities.
-/// assert_eq!(outcome.trace_traversals(), 3);
-/// # Ok(())
-/// # }
-/// ```
+/// As [`crate::SweepRequest::run`].
+#[deprecated(note = "use SweepRequest::new(space).options(options).threads(threads).run(records)")]
 pub fn sweep_trace(
     space: &ConfigSpace,
     records: &[Record],
@@ -86,19 +71,17 @@ pub fn sweep_trace(
 }
 
 /// [`sweep_trace`] with instrumented passes: every pass maintains the full
-/// [`DewCounters`] breakdown (Table 1/3/4 quantities) at the cost of counter
-/// traffic in the kernel. Miss counts are bit-identical to [`sweep_trace`]'s.
+/// [`DewCounters`] breakdown, with bit-identical miss counts.
 ///
-/// In the fused FIFO scheduler the walk-level counters (node evaluations,
-/// MRA stops) are shared by all passes of a block size and reported
-/// verbatim in each; ladder counters come from each pass's own tag lists
-/// (see [`MultiAssocTree::pass_counters`]). In the fused LRU scheduler one
-/// recency list serves every associativity, so all counters are shared
-/// verbatim (see [`LruTreeSimulator::pass_counters`]).
+/// Equivalent builder call:
+/// `SweepRequest::new(space).options(options).threads(threads).instrumented(true).run(records)`.
 ///
 /// # Errors
 ///
-/// As [`sweep_trace`].
+/// As [`crate::SweepRequest::run`].
+#[deprecated(
+    note = "use SweepRequest::new(space).options(options).threads(threads).instrumented(true).run(records)"
+)]
 pub fn sweep_trace_instrumented(
     space: &ConfigSpace,
     records: &[Record],
@@ -126,14 +109,14 @@ fn worker_count(threads: usize, work_items: usize) -> usize {
     .min(work_items.max(1))
 }
 
-fn sweep_trace_with(
+pub(crate) fn sweep_trace_with(
     space: &ConfigSpace,
     records: &[Record],
     options: DewOptions,
     threads: usize,
     instrument: bool,
 ) -> Result<SweepOutcome, DewError> {
-    options.validate()?;
+    validate_request(space, options)?;
     let passes = space.passes();
 
     // One pre-sized slot per pass: the worker that claims a job is the only
@@ -142,15 +125,9 @@ fn sweep_trace_with(
     let slots: Vec<OnceLock<(PassResults, DewCounters)>> =
         passes.iter().map(|_| OnceLock::new()).collect();
 
-    let trace_traversals = if options.policy == TreePolicy::Lru {
-        run_fused_lru(
-            space, &passes, records, options, threads, instrument, &slots,
-        )
-    } else {
-        run_fused(
-            space, &passes, records, options, threads, instrument, &slots,
-        )
-    };
+    let trace_traversals = run_fused(
+        space, &passes, records, options, threads, instrument, &slots,
+    );
 
     Ok(assemble(
         space,
@@ -238,8 +215,9 @@ fn group_by_block(passes: &[PassConfig]) -> Vec<FusedJob> {
     jobs
 }
 
-/// The fused FIFO scheduler: one decode and one [`MultiAssocTree`]
-/// traversal per block size. Returns the traversal count (the job count).
+/// The fused scheduler, policy-generic: one decode and one [`FusedKernel`]
+/// traversal per block size, whichever policy `options` selects. Returns
+/// the traversal count (the job count).
 fn run_fused(
     space: &ConfigSpace,
     passes: &[PassConfig],
@@ -263,7 +241,7 @@ fn run_fused(
                 loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(j) else { break };
-                    let mut tree = MultiAssocTree::with_instrumentation(
+                    let mut kernel = FusedKernel::build(
                         job.block_bits,
                         space.set_bits(),
                         job.assoc_bits,
@@ -273,73 +251,10 @@ fn run_fused(
                     .expect("pass geometry and options validated above");
                     chunks.reset(records, job.block_bits);
                     while let Some(chunk) = chunks.next_chunk() {
-                        tree.run_blocks(chunk);
+                        kernel.run_blocks(chunk);
                     }
                     for &i in &job.pass_idx {
-                        let assoc = passes[i].assoc();
-                        let fanned = (
-                            tree.pass_results(assoc).expect("job covers its passes"),
-                            tree.pass_counters(assoc).expect("job covers its passes"),
-                        );
-                        let claimed = slots[i].set(fanned);
-                        assert!(claimed.is_ok(), "slot {i} claimed by exactly one worker");
-                    }
-                }
-            });
-        }
-    });
-    jobs.len() as u64
-}
-
-/// The fused LRU scheduler: one decode and one arena [`LruTreeSimulator`]
-/// traversal per block size — the stack property makes a single
-/// move-to-front recency lane exact for every associativity of the job at
-/// once, so LRU sweeps pay exactly the traversal count FIFO pays. The
-/// depth-0 early exit (the LRU analogue of the MRA stop, sound through
-/// set-refinement inclusion) is always on — it is a pure optimisation —
-/// and the CRCB-style elision follows [`DewOptions::dup_elision`]. Returns
-/// the traversal count (the job count).
-fn run_fused_lru(
-    space: &ConfigSpace,
-    passes: &[PassConfig],
-    records: &[Record],
-    options: DewOptions,
-    threads: usize,
-    instrument: bool,
-    slots: &[OnceLock<(PassResults, DewCounters)>],
-) -> u64 {
-    let jobs = group_by_block(passes);
-    let workers = worker_count(threads, jobs.len());
-    let next = AtomicUsize::new(0);
-    let lru_opts = LruTreeOptions {
-        depth_zero_stop: true,
-        duplicate_elision: options.dup_elision,
-    };
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
-                let mut chunks = BlockChunks::new(&[], 0, BlockChunks::DEFAULT_CHUNK);
-                loop {
-                    let j = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(j) else { break };
-                    let mut sim = LruTreeSimulator::with_instrumentation(
-                        job.block_bits,
-                        space.set_bits(),
-                        job.assoc_bits,
-                        lru_opts,
-                        instrument,
-                    )
-                    .expect("pass geometry validated above");
-                    chunks.reset(records, job.block_bits);
-                    while let Some(chunk) = chunks.next_chunk() {
-                        sim.run_blocks(chunk);
-                    }
-                    for &i in &job.pass_idx {
-                        let assoc = passes[i].assoc();
-                        let fanned = (
-                            sim.pass_results(assoc).expect("job covers its passes"),
-                            sim.pass_counters(assoc).expect("job covers its passes"),
-                        );
+                        let fanned = kernel.fan_out(passes[i].assoc());
                         let claimed = slots[i].set(fanned);
                         assert!(claimed.is_ok(), "slot {i} claimed by exactly one worker");
                     }
@@ -390,77 +305,18 @@ pub struct ShardSpec {
     pub mode: ShardMode,
 }
 
-/// One fused simulator, either policy: the sharded paths are policy-generic,
-/// so they dispatch through this enum instead of duplicating the driver.
-enum FusedKernel {
-    Fifo(Box<MultiAssocTree>),
-    Lru(Box<LruTreeSimulator>),
-}
-
-impl FusedKernel {
-    fn build(space: &ConfigSpace, job: &FusedJob, options: DewOptions) -> FusedKernel {
-        if options.policy == TreePolicy::Lru {
-            let lru_opts = LruTreeOptions {
-                depth_zero_stop: true,
-                duplicate_elision: options.dup_elision,
-            };
-            FusedKernel::Lru(Box::new(
-                LruTreeSimulator::with_instrumentation(
-                    job.block_bits,
-                    space.set_bits(),
-                    job.assoc_bits,
-                    lru_opts,
-                    false,
-                )
-                .expect("pass geometry validated above"),
-            ))
-        } else {
-            FusedKernel::Fifo(Box::new(
-                MultiAssocTree::with_instrumentation(
-                    job.block_bits,
-                    space.set_bits(),
-                    job.assoc_bits,
-                    options,
-                    false,
-                )
-                .expect("pass geometry and options validated above"),
-            ))
-        }
-    }
-
-    fn run_blocks(&mut self, blocks: &[u64]) {
-        match self {
-            FusedKernel::Fifo(tree) => tree.run_blocks(blocks),
-            FusedKernel::Lru(sim) => sim.run_blocks(blocks),
-        }
-    }
-
-    fn to_snapshot(&self) -> Vec<u8> {
-        match self {
-            FusedKernel::Fifo(tree) => tree.to_snapshot(),
-            FusedKernel::Lru(sim) => sim.to_snapshot(),
-        }
-    }
-
-    fn from_snapshot(policy: TreePolicy, bytes: &[u8]) -> Result<FusedKernel, SnapshotError> {
-        Ok(match policy {
-            TreePolicy::Lru => FusedKernel::Lru(Box::new(LruTreeSimulator::from_snapshot(bytes)?)),
-            TreePolicy::Fifo => FusedKernel::Fifo(Box::new(MultiAssocTree::from_snapshot(bytes)?)),
-        })
-    }
-
-    fn fan_out(&self, assoc: u32) -> (PassResults, DewCounters) {
-        match self {
-            FusedKernel::Fifo(tree) => (
-                tree.pass_results(assoc).expect("job covers its passes"),
-                tree.pass_counters(assoc).expect("job covers its passes"),
-            ),
-            FusedKernel::Lru(sim) => (
-                sim.pass_results(assoc).expect("job covers its passes"),
-                sim.pass_counters(assoc).expect("job covers its passes"),
-            ),
-        }
-    }
+/// Builds the [`FusedKernel`] for one fused job, uninstrumented — the
+/// sharded, sampled, streamed and resilient drivers all construct kernels
+/// through this one helper.
+fn build_job_kernel(space: &ConfigSpace, job: &FusedJob, options: DewOptions) -> FusedKernel {
+    FusedKernel::build(
+        job.block_bits,
+        space.set_bits(),
+        job.assoc_bits,
+        options,
+        false,
+    )
+    .expect("pass geometry and options validated above")
 }
 
 /// Splits `n` records into `shards` contiguous half-open intervals whose
@@ -557,11 +413,18 @@ fn results_add(a: &PassResults, b: &PassResults) -> PassResults {
 /// [`SweepOutcome::trace_traversals`] stays the fused job count (the trace
 /// is still decoded once per block size worth of work).
 ///
-/// `spec.shards <= 1` (or an empty trace) falls back to [`sweep_trace`].
+/// `spec.shards <= 1` (or an empty trace) falls back to the unsharded
+/// sweep.
+///
+/// Equivalent builder call:
+/// `SweepRequest::new(space).options(options).threads(threads).sharded(spec).run(records)`.
 ///
 /// # Errors
 ///
-/// [`DewError::UnsoundOptions`] when `options` fails validation.
+/// As [`crate::SweepRequest::run`].
+#[deprecated(
+    note = "use SweepRequest::new(space).options(options).threads(threads).sharded(spec).run(records)"
+)]
 pub fn sweep_trace_sharded(
     space: &ConfigSpace,
     records: &[Record],
@@ -569,9 +432,21 @@ pub fn sweep_trace_sharded(
     threads: usize,
     spec: ShardSpec,
 ) -> Result<SweepOutcome, DewError> {
-    options.validate()?;
+    sharded_impl(space, records, options, threads, spec)
+}
+
+/// Implementation behind [`sweep_trace_sharded`] and
+/// [`crate::SweepRequest::run`] with a shard spec.
+pub(crate) fn sharded_impl(
+    space: &ConfigSpace,
+    records: &[Record],
+    options: DewOptions,
+    threads: usize,
+    spec: ShardSpec,
+) -> Result<SweepOutcome, DewError> {
+    validate_request(space, options)?;
     if spec.shards <= 1 || records.is_empty() {
-        return sweep_trace(space, records, options, threads);
+        return sweep_trace_with(space, records, options, threads, false);
     }
     let passes = space.passes();
     let slots: Vec<OnceLock<(PassResults, DewCounters)>> =
@@ -634,7 +509,7 @@ fn run_sharded_handoff(
                 loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(j) else { break };
-                    let mut kernel = FusedKernel::build(space, job, options);
+                    let mut kernel = build_job_kernel(space, job, options);
                     for (si, &(lo, hi)) in ranges.iter().enumerate() {
                         if si > 0 {
                             // The handoff is the point: state crosses the
@@ -716,7 +591,7 @@ fn run_warmup_overlap(
                     let job = &jobs[j];
                     let (lo, hi) = ranges[si];
                     let warm_lo = lo.saturating_sub(overlap);
-                    let mut kernel = FusedKernel::build(space, job, options);
+                    let mut kernel = build_job_kernel(space, job, options);
                     let mut seen: HashSet<u64> = HashSet::new();
                     // Warmup replay: simulate the preceding window, then
                     // freeze a baseline so its counts subtract out.
@@ -854,13 +729,18 @@ fn run_warmup_overlap(
 /// `Σ_{clusters after the first} min(first_touches, sets × assoc)` per
 /// configuration (guaranteed for LRU, heuristic for FIFO).
 ///
-/// `sample_len == period` keeps everything and falls back to
-/// [`sweep_trace`].
+/// `sample_len == period` keeps everything and falls back to the full
+/// sweep.
+///
+/// Equivalent builder call:
+/// `SweepRequest::new(space).options(options).threads(threads).sampled(period, sample_len).run(records)`.
 ///
 /// # Errors
 ///
-/// [`DewError::UnsoundOptions`] when `options` fails validation or when
-/// `period == 0`, `sample_len == 0`, or `sample_len > period`.
+/// As [`crate::SweepRequest::run`].
+#[deprecated(
+    note = "use SweepRequest::new(space).options(options).threads(threads).sampled(period, sample_len).run(records)"
+)]
 pub fn sweep_trace_sampled(
     space: &ConfigSpace,
     records: &[Record],
@@ -869,14 +749,27 @@ pub fn sweep_trace_sampled(
     period: usize,
     sample_len: usize,
 ) -> Result<SweepOutcome, DewError> {
-    options.validate()?;
+    sampled_impl(space, records, options, threads, period, sample_len)
+}
+
+/// Implementation behind [`sweep_trace_sampled`] and
+/// [`crate::SweepRequest::run`] with a sampling plan.
+pub(crate) fn sampled_impl(
+    space: &ConfigSpace,
+    records: &[Record],
+    options: DewOptions,
+    threads: usize,
+    period: usize,
+    sample_len: usize,
+) -> Result<SweepOutcome, DewError> {
+    validate_request(space, options)?;
     if period == 0 || sample_len == 0 || sample_len > period {
         return Err(DewError::UnsoundOptions(
             "sampling needs 0 < sample_len <= period",
         ));
     }
     if sample_len == period {
-        return sweep_trace(space, records, options, threads);
+        return sweep_trace_with(space, records, options, threads, false);
     }
     let sampled: Vec<Record> = records
         .iter()
@@ -907,7 +800,7 @@ pub fn sweep_trace_sampled(
                 loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(j) else { break };
-                    let mut kernel = FusedKernel::build(space, job, options);
+                    let mut kernel = build_job_kernel(space, job, options);
                     let mut seen: HashSet<u64> = HashSet::new();
                     let mut touches: Vec<u64> = Vec::new();
                     let mut cluster_touch = 0u64;
@@ -992,19 +885,33 @@ pub fn sweep_trace_sampled(
 /// it must replay identically on every open — the driver cross-checks the
 /// decoded record counts across jobs and panics on disagreement.
 ///
+/// Equivalent builder call:
+/// `SweepRequest::new(space).options(options).threads(threads).run_streamed(source)`.
+///
 /// # Errors
 ///
-/// [`DewError::UnsoundOptions`] when `options` fails validation;
-/// [`DewError::TraceRead`] when any open or any record yields an error
-/// (e.g. a truncated or corrupt binary trace) — reported, not panicked,
-/// and the remaining work is abandoned promptly.
+/// As [`crate::SweepRequest::run_streamed`].
+#[deprecated(
+    note = "use SweepRequest::new(space).options(options).threads(threads).run_streamed(source)"
+)]
 pub fn sweep_trace_streamed<S: TraceSource>(
     space: &ConfigSpace,
     source: &S,
     options: DewOptions,
     threads: usize,
 ) -> Result<SweepOutcome, DewError> {
-    options.validate()?;
+    streamed_impl(space, source, options, threads)
+}
+
+/// Implementation behind [`sweep_trace_streamed`] and
+/// [`crate::SweepRequest::run_streamed`].
+pub(crate) fn streamed_impl<S: TraceSource>(
+    space: &ConfigSpace,
+    source: &S,
+    options: DewOptions,
+    threads: usize,
+) -> Result<SweepOutcome, DewError> {
+    validate_request(space, options)?;
     let passes = space.passes();
     let slots: Vec<OnceLock<(PassResults, DewCounters)>> =
         passes.iter().map(|_| OnceLock::new()).collect();
@@ -1036,7 +943,7 @@ pub fn sweep_trace_streamed<S: TraceSource>(
                 };
                 let mut chunks =
                     StreamBlockChunks::new(reader, job.block_bits, BlockChunks::DEFAULT_CHUNK);
-                let mut kernel = FusedKernel::build(space, job, options);
+                let mut kernel = build_job_kernel(space, job, options);
                 loop {
                     match chunks.next_chunk() {
                         Ok(Some(chunk)) => kernel.run_blocks(chunk),
@@ -1288,7 +1195,7 @@ impl<S: TraceSource> ResilientRun<'_, S> {
         let label = job_label(job.block_bits, self.options.policy);
         let (mut kernel, mut position, complete) = match resume {
             Some(r) => (r.kernel, r.records_done, r.complete),
-            None => (FusedKernel::build(self.space, job, self.options), 0, false),
+            None => (build_job_kernel(self.space, job, self.options), 0, false),
         };
         position_out.store(position, Ordering::Relaxed);
         if !complete {
@@ -1418,9 +1325,9 @@ impl<S: TraceSource> ResilientRun<'_, S> {
     }
 }
 
-/// The shared fault-tolerant driver behind [`sweep_trace_resilient`],
-/// [`sweep_trace_sharded_resilient`] and [`sweep_trace_streamed_resilient`].
-fn run_resilient<S: TraceSource>(
+/// The shared fault-tolerant driver behind the resilient forwarders and
+/// [`crate::SweepRequest`]'s resilient dispatch.
+pub(crate) fn run_resilient<S: TraceSource>(
     space: &ConfigSpace,
     source: &S,
     boundaries: &[u64],
@@ -1428,7 +1335,7 @@ fn run_resilient<S: TraceSource>(
     threads: usize,
     res: &Resilience<'_>,
 ) -> Result<SweepOutcome, DewError> {
-    options.validate()?;
+    validate_request(space, options)?;
     let fingerprint = sweep_fingerprint(space, options);
     let passes = space.passes();
     let jobs = group_by_block(&passes);
@@ -1692,23 +1599,29 @@ fn run_resilient<S: TraceSource>(
 /// mid-run; [`DewError::TraceRead`] / [`DewError::WorkerPanic`] when
 /// `fail_fast` is set and a job fails, or when *every* job fails.
 ///
+/// Equivalent builder call:
+/// `SweepRequest::new(space).options(options).threads(threads).resilient(res).run(records)`.
+///
 /// # Examples
 ///
 /// ```
-/// use dew_core::{sweep_trace, sweep_trace_resilient, ConfigSpace, DewOptions, Resilience};
+/// use dew_core::{ConfigSpace, DewOptions, Resilience, SweepRequest};
 /// use dew_trace::Record;
 ///
 /// # fn main() -> Result<(), dew_core::DewError> {
 /// let space = ConfigSpace::new((0, 4), (2, 4), (0, 2))?;
 /// let trace: Vec<Record> = (0..500u64).map(|i| Record::read((i % 97) * 4)).collect();
-/// let plain = sweep_trace(&space, &trace, DewOptions::default(), 1)?;
-/// let resilient =
-///     sweep_trace_resilient(&space, &trace, DewOptions::default(), 1, &Resilience::new())?;
+/// let plain = SweepRequest::new(&space).threads(1).run(&trace)?;
+/// let res = Resilience::new();
+/// let resilient = SweepRequest::new(&space).threads(1).resilient(&res).run(&trace)?;
 /// assert!(!resilient.is_partial());
 /// assert_eq!(resilient.sorted(), plain.sorted());
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    note = "use SweepRequest::new(space).options(options).threads(threads).resilient(res).run(records)"
+)]
 pub fn sweep_trace_resilient(
     space: &ConfigSpace,
     records: &[Record],
@@ -1726,9 +1639,15 @@ pub fn sweep_trace_resilient(
 /// with sharding — both reuse the same snapshot identity — and a
 /// checkpoint taken under one shard count resumes soundly under another.
 ///
+/// Equivalent builder call:
+/// `SweepRequest::new(space).options(options).threads(threads).sharded(ShardSpec { shards, mode: ShardMode::SnapshotHandoff }).resilient(res).run(records)`.
+///
 /// # Errors
 ///
-/// As [`sweep_trace_resilient`].
+/// As [`crate::SweepRequest::run`].
+#[deprecated(
+    note = "use SweepRequest::new(space).options(options).threads(threads).sharded(ShardSpec { shards, mode: ShardMode::SnapshotHandoff }).resilient(res).run(records)"
+)]
 pub fn sweep_trace_sharded_resilient(
     space: &ConfigSpace,
     records: &[Record],
@@ -1737,11 +1656,7 @@ pub fn sweep_trace_sharded_resilient(
     shards: usize,
     res: &Resilience<'_>,
 ) -> Result<SweepOutcome, DewError> {
-    let boundaries: Vec<u64> = shard_ranges(records.len(), shards)
-        .iter()
-        .skip(1)
-        .map(|&(lo, _)| lo as u64)
-        .collect();
+    let boundaries = handoff_boundaries(records.len(), shards);
     run_resilient(
         space,
         &SliceSource(records),
@@ -1752,6 +1667,17 @@ pub fn sweep_trace_sharded_resilient(
     )
 }
 
+/// The snapshot-handoff boundary positions for `n` records split into
+/// `shards` contiguous intervals — the record indices at which a resilient
+/// sharded sweep serialises and restores each kernel.
+pub(crate) fn handoff_boundaries(n: usize, shards: usize) -> Vec<u64> {
+    shard_ranges(n, shards)
+        .iter()
+        .skip(1)
+        .map(|&(lo, _)| lo as u64)
+        .collect()
+}
+
 /// Fault-tolerant [`sweep_trace_streamed`]: bounded-memory sweeping from a
 /// re-openable [`TraceSource`] under the full resilience contract of
 /// [`sweep_trace_resilient`]. This is the driver for billion-request runs:
@@ -1760,9 +1686,15 @@ pub fn sweep_trace_sharded_resilient(
 /// fatal faults degrade to per-job failures, and `--checkpoint`-style
 /// periodic snapshots make a crash cost at most `every` records of replay.
 ///
+/// Equivalent builder call:
+/// `SweepRequest::new(space).options(options).threads(threads).resilient(res).run_streamed(source)`.
+///
 /// # Errors
 ///
-/// As [`sweep_trace_resilient`].
+/// As [`crate::SweepRequest::run_streamed`].
+#[deprecated(
+    note = "use SweepRequest::new(space).options(options).threads(threads).resilient(res).run_streamed(source)"
+)]
 pub fn sweep_trace_streamed_resilient<S: TraceSource>(
     space: &ConfigSpace,
     source: &S,
@@ -1774,6 +1706,7 @@ pub fn sweep_trace_streamed_resilient<S: TraceSource>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::tree::DewTree;

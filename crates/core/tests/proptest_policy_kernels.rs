@@ -1,0 +1,213 @@
+//! Property-based contract of the pluggable policy kernels: every policy
+//! registered in [`TreePolicy::ALL`] must honour the fused-arena bargain.
+//!
+//! * **Exactness** — the fused sweep (one traversal per block size, every
+//!   associativity at once) equals an associativity-pinned kernel per pass
+//!   and the brute-force per-configuration `dew_cachesim` oracle, across
+//!   random traces, spaces and thread counts.
+//! * **Truthful accounting** — `trace_traversals` is exactly the number of
+//!   block sizes, for every policy.
+//! * **Snapshots** — a kernel interrupted anywhere resumes bit-identically
+//!   from its snapshot, and every kernel rejects every sibling's buffer as
+//!   a [`SnapshotError::PolicyMismatch`] naming both magics.
+
+use proptest::prelude::*;
+
+use dew_cachesim::{simulate_trace, CacheConfig, Replacement};
+use dew_core::kernel::{FusedKernel, PolicyKernel};
+use dew_core::snapshot::SnapshotError;
+use dew_core::{ConfigSpace, DewOptions, SweepRequest, TreePolicy};
+use dew_trace::{decode_blocks, Record};
+
+/// Traces mixing tight locality with scattered far references, as in the
+/// fused-sweep properties.
+fn trace_strategy() -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..256).prop_map(|a| Record::read(a * 4)), // hot words
+            (0u64..65_536).prop_map(Record::read),         // scattered
+            (0u64..64).prop_map(Record::write),            // hot bytes
+        ],
+        1..300,
+    )
+}
+
+/// Small but shape-diverse spaces: varying set ranges, 1-2 block sizes,
+/// associativity ranges that may or may not include 1. The widest lane is
+/// 2^4 = 16 ways, inside every kernel's capacity (tree-PLRU caps at 64).
+fn space_strategy() -> impl Strategy<Value = ConfigSpace> {
+    (0u32..3, 0u32..4, 0u32..4, 0u32..2, 0u32..3, 0u32..2).prop_map(
+        |(min_s, extra_s, min_b, extra_b, min_a, extra_a)| {
+            ConfigSpace::new(
+                (min_s, min_s + extra_s),
+                (min_b, min_b + extra_b),
+                (min_a, min_a + extra_a),
+            )
+            .expect("ranges are non-inverted by construction")
+        },
+    )
+}
+
+/// The reference simulator's policy matching each fused kernel.
+fn oracle_replacement(policy: TreePolicy) -> Replacement {
+    match policy {
+        TreePolicy::Fifo => Replacement::Fifo,
+        TreePolicy::Lru => Replacement::Lru,
+        TreePolicy::Plru => Replacement::Plru,
+        TreePolicy::Slru => Replacement::Slru,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// (a) Fused == per-pass == oracle, and (b) exactly one traversal per
+    /// block size — for **every** registered policy on the same inputs.
+    #[test]
+    fn every_policy_is_exact_and_traverses_once_per_block_size(
+        records in trace_strategy(),
+        space in space_strategy(),
+        threads in 0usize..4,
+    ) {
+        for &policy in &TreePolicy::ALL {
+            let outcome = SweepRequest::new(&space)
+                .policy(policy)
+                .threads(threads)
+                .run(&records)
+                .expect("sweep");
+
+            // Truthful accounting: the fused kernels traverse the trace
+            // once per block size, never once per (block, assoc) pass.
+            let (blo, bhi) = space.block_bits();
+            prop_assert_eq!(
+                outcome.trace_traversals(),
+                u64::from(bhi - blo + 1),
+                "policy {}", policy
+            );
+
+            // Brute-force oracle: one reference simulation per point.
+            let replacement = oracle_replacement(policy);
+            for (sets, assoc, block) in space.configs() {
+                let config =
+                    CacheConfig::new(sets, assoc, block, replacement).expect("valid");
+                let expected = simulate_trace(config, &records).misses();
+                prop_assert_eq!(
+                    outcome.misses(sets, assoc, block),
+                    Some(expected),
+                    "oracle mismatch at ({}, {}, {}) under {}",
+                    sets, assoc, block, policy
+                );
+            }
+
+            // Per-pass schedule: an associativity-pinned kernel per
+            // (block size, assoc) pair must fan out the same counts the
+            // fused all-associativity kernel produced.
+            let options = DewOptions::for_policy(policy);
+            let (alo, ahi) = space.assoc_bits();
+            for block_bits in blo..=bhi {
+                let blocks = decode_blocks(&records, block_bits);
+                for assoc_bits in alo..=ahi {
+                    let mut kernel = FusedKernel::build(
+                        block_bits,
+                        space.set_bits(),
+                        (assoc_bits, assoc_bits),
+                        options,
+                        false,
+                    )
+                    .expect("valid geometry");
+                    kernel.run_blocks(&blocks);
+                    let pass = kernel
+                        .pass_results(1 << assoc_bits)
+                        .expect("pinned assoc is covered");
+                    for level in pass.levels() {
+                        prop_assert_eq!(
+                            outcome.misses(level.sets(), 1 << assoc_bits, 1 << block_bits),
+                            Some(level.misses()),
+                            "per-pass mismatch at ({}, {}, {}) under {}",
+                            level.sets(), 1 << assoc_bits, 1 << block_bits, policy
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// (c) A kernel cut anywhere resumes from its snapshot bit-identically:
+    /// same final snapshot, same fanned-out results as the uncut run.
+    #[test]
+    fn every_policy_snapshot_resumes_bit_identically(
+        records in trace_strategy(),
+        split_percent in 0usize..=100,
+    ) {
+        for &policy in &TreePolicy::ALL {
+            let options = DewOptions::for_policy(policy);
+            let blocks = decode_blocks(&records, 2);
+            let split = blocks.len() * split_percent / 100;
+
+            let mut straight =
+                FusedKernel::build(2, (0, 3), (0, 2), options, false).expect("valid");
+            straight.run_blocks(&blocks);
+
+            let mut head =
+                FusedKernel::build(2, (0, 3), (0, 2), options, false).expect("valid");
+            head.run_blocks(&blocks[..split]);
+            let mut resumed = FusedKernel::from_snapshot(policy, &head.to_snapshot())
+                .expect("a kernel restores its own snapshot");
+            prop_assert_eq!(resumed.policy(), policy);
+            resumed.run_blocks(&blocks[split..]);
+
+            prop_assert_eq!(
+                resumed.to_snapshot(),
+                straight.to_snapshot(),
+                "split at {} diverged under {}", split, policy
+            );
+            for assoc in [1u32, 2, 4] {
+                prop_assert_eq!(
+                    resumed.pass_results(assoc),
+                    straight.pass_results(assoc),
+                    "fan-out at assoc {} diverged under {}", assoc, policy
+                );
+            }
+        }
+    }
+}
+
+/// (c) The full rejection matrix: restoring any policy's buffer as any
+/// *other* policy fails as a `PolicyMismatch` that names both magics —
+/// never a generic corruption error, never a silent success.
+#[test]
+fn every_kernel_rejects_every_foreign_snapshot_with_both_magics() {
+    let snapshots: Vec<(TreePolicy, Vec<u8>)> = TreePolicy::ALL
+        .iter()
+        .map(|&policy| {
+            let mut kernel =
+                FusedKernel::build(2, (0, 2), (0, 1), DewOptions::for_policy(policy), false)
+                    .expect("valid geometry");
+            kernel.run_blocks(&[3, 1, 4, 1, 5, 9, 2, 6]);
+            (policy, kernel.to_snapshot())
+        })
+        .collect();
+    for &(restore_as, _) in &snapshots {
+        for (written_by, bytes) in &snapshots {
+            let got = FusedKernel::from_snapshot(restore_as, bytes);
+            if *written_by == restore_as {
+                assert!(got.is_ok(), "{restore_as} must restore its own snapshot");
+                continue;
+            }
+            match got {
+                Err(SnapshotError::PolicyMismatch { expected, found }) => {
+                    assert_ne!(expected, found, "distinct kernels, distinct magics");
+                    assert_eq!(
+                        &found,
+                        &bytes[..4],
+                        "the error reports the magic actually found"
+                    );
+                }
+                other => panic!(
+                    "{restore_as} kernel fed a {written_by} buffer: \
+                     expected PolicyMismatch, got {other:?}"
+                ),
+            }
+        }
+    }
+}

@@ -111,7 +111,7 @@ impl MissRateCurve {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dew_core::{sweep_trace, ConfigSpace, DewOptions};
+    use dew_core::{ConfigSpace, SweepRequest};
     use dew_trace::Record;
 
     fn sweep() -> SweepOutcome {
@@ -131,7 +131,10 @@ mod tests {
             })
             .collect();
         let space = ConfigSpace::new((0, 10), (2, 2), (0, 1)).expect("valid");
-        sweep_trace(&space, &records, DewOptions::default(), 1).expect("sweep")
+        SweepRequest::new(&space)
+            .threads(1)
+            .run(&records)
+            .expect("sweep")
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! CIPARSim/NVSim-family work frames single-pass simulation the same way.
 //! This module is the outer loop: an [`ExplorationSpace`] names the
 //! `(sets, assoc, block, policy)` candidates, [`explore_trace`] drives them
-//! through the fused [`dew_core::sweep_trace`] scheduler (one decode and
+//! through the fused [`dew_core::SweepRequest`] scheduler (one decode and
 //! one trace traversal per block size **per policy**, never per
 //! configuration), scores every point under an [`EnergyModel`], and
 //! extracts the three-objective Pareto frontier
@@ -33,10 +33,7 @@
 use std::fmt;
 use std::time::Instant;
 
-use dew_core::{
-    sweep_trace, sweep_trace_sharded, ConfigSpace, DewError, DewOptions, ShardSpec, SweepOutcome,
-    TreePolicy,
-};
+use dew_core::{ConfigSpace, DewError, ShardSpec, SweepOutcome, SweepRequest, TreePolicy};
 use dew_trace::Record;
 
 use crate::energy::EnergyModel;
@@ -371,13 +368,15 @@ impl ExplorationReport {
 /// sweep per policy (one decode + one trace traversal per block size),
 /// scoring under `model`, frontier extraction per `mode`.
 ///
-/// `threads` is forwarded to [`sweep_trace`] (0 = auto).
+/// `threads` is forwarded to [`dew_core::SweepRequest::threads`]
+/// (0 = auto).
 ///
 /// # Errors
 ///
-/// [`DewError`] as [`sweep_trace`] (unsound options are impossible here —
-/// both policy presets validate — so in practice this only fails if the
-/// underlying sweep does).
+/// [`DewError`] as [`dew_core::SweepRequest::run`] (unsound options are
+/// impossible here — every policy preset validates — though a space wider
+/// than a policy's lane capacity, e.g. beyond 64-way under tree-PLRU, is
+/// still rejected).
 ///
 /// # Examples
 ///
@@ -414,7 +413,7 @@ pub fn explore_trace(
 }
 
 /// [`explore_trace`] with the underlying sweeps sharded per `spec` (see
-/// `dew_core::sweep_trace_sharded`). With `ShardMode::SnapshotHandoff`
+/// `dew_core::SweepRequest::sharded`). With `ShardMode::SnapshotHandoff`
 /// — the mode the CLI's `--shards` selects — every score is computed from
 /// miss counts bit-identical to the unsharded sweep, so the frontier is
 /// unchanged; the sharding only bounds per-traversal memory. `None` (or
@@ -434,14 +433,13 @@ pub fn explore_trace_with_shards(
     let start = Instant::now();
     let mut sweeps: Vec<SweepOutcome> = Vec::with_capacity(exploration.policies.len());
     for &policy in &exploration.policies {
-        let options = match policy {
-            TreePolicy::Fifo => DewOptions::default(),
-            TreePolicy::Lru => DewOptions::lru(),
-        };
-        sweeps.push(match spec {
-            Some(spec) => sweep_trace_sharded(&exploration.space, records, options, threads, spec)?,
-            None => sweep_trace(&exploration.space, records, options, threads)?,
-        });
+        let mut request = SweepRequest::new(&exploration.space)
+            .policy(policy)
+            .threads(threads);
+        if let Some(spec) = spec {
+            request = request.sharded(spec);
+        }
+        sweeps.push(request.run(records)?);
     }
     let sweep_seconds = start.elapsed().as_secs_f64();
     Ok(score_sweeps(

@@ -10,7 +10,7 @@
 //!
 //! | `cmd`      | fields                                                        |
 //! |------------|---------------------------------------------------------------|
-//! | `submit`   | `kind` (`sweep`\|`explore`), `mix`, `requests`, `seed`, `sets`, `blocks`, `assocs` (`LO..HI` log2 ranges), `policy` (`fifo`\|`lru`), `deadline_ms`, `chaos` |
+//! | `submit`   | `kind` (`sweep`\|`explore`), `mix`, `requests`, `seed`, `sets`, `blocks`, `assocs` (`LO..HI` log2 ranges), `policy` (`fifo`\|`lru`\|`plru`\|`slru`), `deadline_ms`, `chaos` |
 //! | `status`   | `id`                                                          |
 //! | `wait`     | `id`, `timeout_ms` (optional)                                 |
 //! | `cancel`   | `id`                                                          |
@@ -191,11 +191,13 @@ fn parse_submit(v: &Json) -> Result<Request, String> {
         ));
     }
     let seed = opt_u64(v, "seed")?.unwrap_or(1);
+    // An unknown policy dies here, as a structured protocol error on the
+    // submit response — never as a worker-side job failure.
     let policy = match v.get("policy").map(Json::as_str) {
         None => TreePolicy::Fifo,
-        Some(Some("fifo")) => TreePolicy::Fifo,
-        Some(Some("lru")) => TreePolicy::Lru,
-        Some(Some(other)) => return Err(format!("unknown policy `{other}` (expected fifo|lru)")),
+        Some(Some(name)) => TreePolicy::from_name(name).ok_or(format!(
+            "unknown policy `{name}` (expected fifo|lru|plru|slru)"
+        ))?,
         Some(None) => return Err("field `policy` must be a string".to_owned()),
     };
     let deadline_ms = opt_u64(v, "deadline_ms")?;
@@ -306,6 +308,22 @@ mod tests {
         assert_eq!(s.policy, TreePolicy::Lru);
         assert_eq!(s.deadline_ms, Some(750));
         assert!(s.chaos);
+    }
+
+    #[test]
+    fn every_fused_policy_name_parses() {
+        for (name, policy) in [
+            ("fifo", TreePolicy::Fifo),
+            ("lru", TreePolicy::Lru),
+            ("plru", TreePolicy::Plru),
+            ("slru", TreePolicy::Slru),
+        ] {
+            let line = format!(r#"{{"cmd":"submit","policy":"{name}"}}"#);
+            let Request::Submit(s) = Request::parse(&line).expect(name) else {
+                panic!("{name} must parse as a submit");
+            };
+            assert_eq!(s.policy, policy);
+        }
     }
 
     #[test]

@@ -44,8 +44,8 @@ use crate::json::{num, obj, str, Json};
 use crate::protocol::{JobKind, Request, SubmitRequest};
 use crate::queue::{BoundedQueue, PushError};
 use dew_core::{
-    sweep_trace_streamed_resilient, CancelReason, CancelToken, ConfigSpace, DewOptions,
-    FailureKind, MemoryCheckpointStore, Resilience, RetryPolicy, SweepOutcome,
+    CancelReason, CancelToken, ConfigSpace, DewOptions, FailureKind, MemoryCheckpointStore,
+    Resilience, RetryPolicy, SweepOutcome, SweepRequest,
 };
 use dew_explore::{best_edp_under, evaluate_sweep, pareto_front, EnergyModel};
 use dew_trace::{FaultPlan, FaultyTraceSource, Record, TraceError, TraceSource};
@@ -808,10 +808,7 @@ fn run_job(req: &SubmitRequest, token: &CancelToken, sim_threads: usize) -> RunR
         Ok(s) => s,
         Err(e) => return RunResult::Failed(format!("invalid space: {e}")),
     };
-    let options = DewOptions {
-        policy: req.policy,
-        ..DewOptions::default()
-    };
+    let options = DewOptions::for_policy(req.policy);
     let spec = req.traffic;
     let store = MemoryCheckpointStore::new();
     // Checkpoint a handful of times per job so cancellation always has a
@@ -845,7 +842,11 @@ fn sweep_with<S: TraceSource>(
         .fail_fast(false)
         .with_checkpoint(every, store)
         .with_cancel(token);
-    sweep_trace_streamed_resilient(space, source, options, threads, &res)
+    SweepRequest::new(space)
+        .options(options)
+        .threads(threads)
+        .resilient(&res)
+        .run_streamed(source)
 }
 
 fn summarise(

@@ -390,6 +390,30 @@ fn malformed_lines_and_unknown_ids_get_structured_errors() {
         .and_then(Json::as_str)
         .expect("msg")
         .contains("invalid space"));
+
+    // Same for an unregistered policy: the submit response carries a
+    // structured protocol error naming the valid set — the job never
+    // reaches a worker, so no job id is allocated and nothing fails
+    // worker-side.
+    let unknown_policy = c
+        .request(&Json::parse(r#"{"cmd":"submit","policy":"lfu"}"#).unwrap())
+        .expect("response");
+    assert_eq!(
+        unknown_policy.get("ok").and_then(Json::as_bool),
+        Some(false)
+    );
+    let msg = unknown_policy
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("msg");
+    assert!(
+        msg.contains("unknown policy `lfu`") && msg.contains("fifo|lru|plru|slru"),
+        "unexpected error message: {msg}"
+    );
+    assert!(
+        unknown_policy.get("id").is_none(),
+        "a rejected submit must not allocate a job id"
+    );
     server.stop();
 }
 

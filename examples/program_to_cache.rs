@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example program_to_cache`
 
-use dew_core::{sweep_trace, ConfigSpace, DewOptions};
+use dew_core::{ConfigSpace, SweepRequest};
 use dew_explore::{best_edp_under, evaluate_sweep, EnergyModel};
 use dew_isa::programs::{matmul, run_program, A_BASE, B_BASE, OUT_BASE};
 use dew_isa::Stop;
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Sweep a realistic embedded configuration space over the trace.
     let space = ConfigSpace::new((0, 10), (2, 5), (0, 3))?;
-    let sweep = sweep_trace(&space, run.trace.records(), DewOptions::default(), 0)?;
+    let sweep = SweepRequest::new(&space).run(run.trace.records())?;
     println!(
         "swept {} configurations in {} DEW passes",
         sweep.config_count(),

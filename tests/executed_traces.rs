@@ -3,6 +3,11 @@
 //! exact agreement — the full shape of the paper's pipeline:
 //! program → trace → single-pass multi-config simulation → verification.
 
+// These suites drive the deprecated `sweep_trace*` forwarders on purpose:
+// they are the compatibility contract, and forwarding keeps them covering
+// the `SweepRequest` implementations underneath.
+#![allow(deprecated)]
+
 use dew_cachesim::{simulate_trace, CacheConfig, Replacement};
 use dew_core::{sweep_trace, ConfigSpace, DewOptions, DewTree, PassConfig};
 use dew_isa::programs::{

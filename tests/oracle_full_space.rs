@@ -5,6 +5,11 @@
 //! This is the integration-scale version of the paper's verification
 //! ("hit and miss rates of DEW ... are exactly the same" as Dinero IV's).
 
+// These suites drive the deprecated `sweep_trace*` forwarders on purpose:
+// they are the compatibility contract, and forwarding keeps them covering
+// the `SweepRequest` implementations underneath.
+#![allow(deprecated)]
+
 use dew_cachesim::{simulate_trace, CacheConfig, Replacement};
 use dew_core::{sweep_trace, sweep_trace_instrumented, ConfigSpace, DewOptions};
 use dew_trace::Trace;

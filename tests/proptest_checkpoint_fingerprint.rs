@@ -10,11 +10,17 @@
 //! deadline flushes a final image whose resume reproduces the
 //! uninterrupted table bit for bit.
 
+// These suites drive the deprecated `sweep_trace*` forwarders on purpose:
+// they are the compatibility contract, and forwarding keeps them covering
+// the `SweepRequest` implementations underneath.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 
 use dew_core::{
     sweep_trace, sweep_trace_resilient, CancelReason, CancelToken, ConfigSpace, DewError,
     DewOptions, MemoryCheckpointStore, NoSleep, Resilience, RetryPolicy, SweepCheckpoint,
+    TreePolicy,
 };
 use dew_trace::Record;
 
@@ -64,9 +70,9 @@ proptest! {
         records in trace_strategy(),
         space_a in space_strategy(),
         space_b in space_strategy(),
-        lru in any::<bool>(),
+        policy_idx in 0usize..4,
     ) {
-        let options = if lru { DewOptions::lru() } else { DewOptions::default() };
+        let options = DewOptions::for_policy(TreePolicy::ALL[policy_idx]);
         let image = checkpoint_image(&space_a, &records, options);
         let ckpt = SweepCheckpoint::from_bytes(&image).expect("image decodes");
 
@@ -93,9 +99,9 @@ proptest! {
             }
         }
 
-        // The other policy is rejected too (before fingerprints are even
-        // compared — the kernel snapshots would not decode).
-        let flipped = if lru { DewOptions::default() } else { DewOptions::lru() };
+        // Any other registered policy is rejected too (before fingerprints
+        // are even compared — the kernel snapshots would not decode).
+        let flipped = DewOptions::for_policy(TreePolicy::ALL[(policy_idx + 1) % 4]);
         let res = Resilience::new().with_sleeper(&NoSleep).resume_from(&ckpt);
         let err = sweep_trace_resilient(&space_a, &records, flipped, 1, &res)
             .expect_err("policy flip must be rejected");
@@ -111,9 +117,9 @@ proptest! {
         records in trace_strategy(),
         space in space_strategy(),
         every in 1u64..100,
-        lru in any::<bool>(),
+        policy_idx in 0usize..4,
     ) {
-        let options = if lru { DewOptions::lru() } else { DewOptions::default() };
+        let options = DewOptions::for_policy(TreePolicy::ALL[policy_idx]);
         let baseline = sweep_trace(&space, &records, options, 1).expect("sweep");
 
         let store = MemoryCheckpointStore::new();
@@ -135,6 +141,6 @@ proptest! {
             .expect("resume after the deadline cut");
         prop_assert!(!resumed.is_partial());
         prop_assert_eq!(resumed.sorted(), baseline.sorted(),
-            "deadline cut + resume diverged (every={}, lru={})", every, lru);
+            "deadline cut + resume diverged (every={}, policy_idx={})", every, policy_idx);
     }
 }

@@ -6,6 +6,11 @@
 //! per-configuration LRU oracle — and must report exactly one trace
 //! traversal per block size, just like FIFO.
 
+// These suites drive the deprecated `sweep_trace*` forwarders on purpose:
+// they are the compatibility contract, and forwarding keeps them covering
+// the `SweepRequest` implementations underneath.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 
 use dew_cachesim::{simulate_trace, CacheConfig, Replacement};

@@ -10,6 +10,11 @@
 //! [`FaultyTraceSource`] are fully absorbed by the retry/backoff path —
 //! the recovered table equals the fault-free one, never an approximation.
 
+// These suites drive the deprecated `sweep_trace*` forwarders on purpose:
+// they are the compatibility contract, and forwarding keeps them covering
+// the `SweepRequest` implementations underneath.
+#![allow(deprecated)]
+
 use std::time::Duration;
 
 use proptest::prelude::*;
@@ -17,7 +22,7 @@ use proptest::prelude::*;
 use dew_core::{
     sweep_trace, sweep_trace_resilient, sweep_trace_sharded_resilient,
     sweep_trace_streamed_resilient, ConfigSpace, DewOptions, MemoryCheckpointStore, NoSleep,
-    Resilience, RetryPolicy, SweepCheckpoint, SweepOutcome,
+    Resilience, RetryPolicy, SweepCheckpoint, SweepOutcome, TreePolicy,
 };
 use dew_trace::{FaultPlan, FaultyTraceSource, Record, SliceSource};
 
@@ -49,12 +54,8 @@ fn space_strategy() -> impl Strategy<Value = ConfigSpace> {
     )
 }
 
-fn options_for(lru: bool) -> DewOptions {
-    if lru {
-        DewOptions::lru()
-    } else {
-        DewOptions::default()
-    }
+fn options_for(policy_idx: usize) -> DewOptions {
+    DewOptions::for_policy(TreePolicy::ALL[policy_idx % TreePolicy::ALL.len()])
 }
 
 /// Runs the property-selected resilient driver over `records`.
@@ -84,9 +85,9 @@ proptest! {
         every in 1u64..200,
         kill_pick in 0usize..1000,
         driver in 0usize..3,
-        lru in any::<bool>(),
+        policy_idx in 0usize..4,
     ) {
-        let options = options_for(lru);
+        let options = options_for(policy_idx);
         let baseline = sweep_trace(&space, &records, options, 1).expect("sweep");
 
         // Checkpointed run: its own table must already match the plain
@@ -116,8 +117,8 @@ proptest! {
         prop_assert!(!resumed.is_partial());
         prop_assert_eq!(resumed.accesses(), baseline.accesses());
         prop_assert_eq!(resumed.sorted(), baseline.sorted(),
-            "resume diverged: killed at image {}/{} driver={} every={} lru={}",
-            kill_at, history.len(), driver, every, lru);
+            "resume diverged: killed at image {}/{} driver={} every={} policy_idx={}",
+            kill_at, history.len(), driver, every, policy_idx);
     }
 
     #[test]
@@ -125,9 +126,9 @@ proptest! {
         records in trace_strategy(),
         space in space_strategy(),
         seed in any::<u64>(),
-        lru in any::<bool>(),
+        policy_idx in 0usize..4,
     ) {
-        let options = options_for(lru);
+        let options = options_for(policy_idx);
         let baseline = sweep_trace(&space, &records, options, 1).expect("sweep");
         // A failed first open plus up to 5 seeded transient read faults:
         // all within the retry budget, so recovery must be total.

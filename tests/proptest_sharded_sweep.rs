@@ -10,6 +10,11 @@
 //! under either policy. The streamed driver must match the in-memory one
 //! record for record.
 
+// These suites drive the deprecated `sweep_trace*` forwarders on purpose:
+// they are the compatibility contract, and forwarding keeps them covering
+// the `SweepRequest` implementations underneath.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 
 use dew_cachesim::{simulate_trace, CacheConfig, Replacement};
@@ -48,10 +53,7 @@ fn space_strategy() -> impl Strategy<Value = ConfigSpace> {
 }
 
 fn options_for(policy: TreePolicy) -> DewOptions {
-    match policy {
-        TreePolicy::Fifo => DewOptions::default(),
-        TreePolicy::Lru => DewOptions::lru(),
-    }
+    DewOptions::for_policy(policy)
 }
 
 proptest! {
@@ -63,9 +65,9 @@ proptest! {
         space in space_strategy(),
         shards in 1usize..6,
         threads in 0usize..4,
-        lru in any::<bool>(),
+        policy_idx in 0usize..4,
     ) {
-        let policy = if lru { TreePolicy::Lru } else { TreePolicy::Fifo };
+        let policy = TreePolicy::ALL[policy_idx];
         let options = options_for(policy);
         let sequential = sweep_trace(&space, &records, options, 1).expect("sweep");
         let spec = ShardSpec { shards, mode: ShardMode::SnapshotHandoff };
@@ -91,12 +93,14 @@ proptest! {
         records in trace_strategy(),
         space in space_strategy(),
         shards in 2usize..6,
-        lru in any::<bool>(),
+        policy_idx in 0usize..4,
     ) {
-        let (policy, replacement) = if lru {
-            (TreePolicy::Lru, Replacement::Lru)
-        } else {
-            (TreePolicy::Fifo, Replacement::Fifo)
+        let policy = TreePolicy::ALL[policy_idx];
+        let replacement = match policy {
+            TreePolicy::Fifo => Replacement::Fifo,
+            TreePolicy::Lru => Replacement::Lru,
+            TreePolicy::Plru => Replacement::Plru,
+            TreePolicy::Slru => Replacement::Slru,
         };
         let spec = ShardSpec { shards, mode: ShardMode::SnapshotHandoff };
         let sharded = sweep_trace_sharded(&space, &records, options_for(policy), 0, spec)
@@ -150,9 +154,9 @@ proptest! {
         records in trace_strategy(),
         space in space_strategy(),
         shards in 2usize..5,
-        lru in any::<bool>(),
+        policy_idx in 0usize..4,
     ) {
-        let policy = if lru { TreePolicy::Lru } else { TreePolicy::Fifo };
+        let policy = TreePolicy::ALL[policy_idx];
         let options = options_for(policy);
         let exact = sweep_trace(&space, &records, options, 1).expect("sweep");
         let spec = ShardSpec {
@@ -216,9 +220,9 @@ proptest! {
         records in trace_strategy(),
         space in space_strategy(),
         threads in 0usize..4,
-        lru in any::<bool>(),
+        policy_idx in 0usize..4,
     ) {
-        let policy = if lru { TreePolicy::Lru } else { TreePolicy::Fifo };
+        let policy = TreePolicy::ALL[policy_idx];
         let options = options_for(policy);
         let in_memory = sweep_trace(&space, &records, options, 1).expect("sweep");
         let streamed = sweep_trace_streamed(&space, &SliceSource(&records), options, threads)

@@ -2,7 +2,7 @@
 //! identities across passes, and the FIFO/LRU landscape claims of the paper.
 
 use dew_core::lru_tree::{LruTreeOptions, LruTreeSimulator};
-use dew_core::{sweep_trace, ConfigSpace, DewOptions, DewTree, PassConfig};
+use dew_core::{ConfigSpace, DewOptions, DewTree, PassConfig, SweepRequest};
 use dew_explore::{best_edp_under, evaluate_sweep, fastest_under, pareto_front, EnergyModel};
 use dew_workloads::mediabench::App;
 
@@ -10,7 +10,9 @@ use dew_workloads::mediabench::App;
 fn sweep_feeds_exploration_end_to_end() {
     let trace = App::JpegEncode.generate(60_000, 21);
     let space = ConfigSpace::new((0, 8), (2, 4), (0, 2)).expect("valid");
-    let sweep = sweep_trace(&space, trace.records(), DewOptions::default(), 0).expect("sweep");
+    let sweep = SweepRequest::new(&space)
+        .run(trace.records())
+        .expect("sweep");
     let evals = evaluate_sweep(&sweep, &EnergyModel::default());
     assert_eq!(evals.len() as u64, space.config_count());
 
@@ -66,11 +68,13 @@ fn evaluations_and_mra_stops_are_associativity_independent() {
 #[test]
 fn dm_results_agree_across_block_size_passes() {
     // Each (block, assoc) pass re-derives the associativity-1 results for
-    // its block size; sweep_trace asserts their consistency internally.
+    // its block size; the fused scheduler asserts their consistency internally.
     // Exercise it with multiple associativities per block size.
     let trace = App::Mpeg2Encode.generate(30_000, 4);
     let space = ConfigSpace::new((0, 9), (0, 3), (0, 2)).expect("valid");
-    let sweep = sweep_trace(&space, trace.records(), DewOptions::default(), 0).expect("sweep");
+    let sweep = SweepRequest::new(&space)
+        .run(trace.records())
+        .expect("sweep");
     assert_eq!(sweep.config_count() as u64, space.config_count());
 }
 
@@ -80,7 +84,9 @@ fn fifo_violates_inclusion_but_lru_does_not() {
     // FIFO cache misses more, while LRU is provably monotone.
     let trace = App::JpegDecode.generate(50_000, 33);
     let space = ConfigSpace::new((0, 10), (2, 2), (0, 2)).expect("valid");
-    let fifo = sweep_trace(&space, trace.records(), DewOptions::default(), 0).expect("sweep");
+    let fifo = SweepRequest::new(&space)
+        .run(trace.records())
+        .expect("sweep");
 
     let mut lru = LruTreeSimulator::new(2, 0, 10, 4, LruTreeOptions::default()).expect("valid");
     lru.run(trace.iter().copied());
