@@ -17,8 +17,29 @@
 //! variant, baseline steps/sec, fresh steps/sec, delta — to the job
 //! summary, so the trajectory is readable without opening the log, and the
 //! artifact upload of both JSON files makes it diffable per run.
+//!
+//! **Ratio gates** are always hard, `--strict` or not: speedup ratios in
+//! the fresh JSON compare two variants measured in the *same* run on the
+//! *same* machine, so runner-class noise cancels and a violation is a real
+//! kernel property, not a slow runner. Gated (when the fields are present;
+//! older baselines without them are skipped):
+//!
+//! * `speedup_fused_vs_per_assoc >= 2.0` when the fresh run's
+//!   `kernel_backend` is `avx2` — the wide-scan fused FIFO walk must beat
+//!   the pre-fusion schedule at least twofold on full hardware;
+//! * `instrumented_over_fast_fused_fifo <= 8.0` — the full counter ladder
+//!   costs about 5–6× the fast fused walk on the tracked machine (the
+//!   counters serialize the ladder's loads; see `EXPERIMENTS.md`), and this
+//!   ceiling keeps that honest overhead from silently growing.
 
 use std::process::ExitCode;
+
+/// Minimum fused-vs-per-assoc FIFO speedup on an `avx2` run (same-machine
+/// ratio, so gated hard).
+const FUSED_SPEEDUP_FLOOR: f64 = 2.0;
+/// Maximum instrumented-over-fast ratio on the fused FIFO walk (same-machine
+/// ratio; the measured honest cost is ~5–6×).
+const INSTR_OVERHEAD_CEILING: f64 = 8.0;
 
 /// Extracts `(name, steps_per_sec)` pairs from a `BENCH_hot_loop.json`
 /// document. The format is the one `hot_loop.rs` writes: each variant
@@ -42,6 +63,51 @@ fn parse_variants(text: &str) -> Vec<(String, f64)> {
             if let Ok(rate) = num.parse::<f64>() {
                 out.push((name, rate));
             }
+        }
+    }
+    out
+}
+
+/// Extracts a top-level numeric field (`"key": 1.234`) from the JSON text.
+fn parse_scalar(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let i = text.find(&pat)?;
+    text[i + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
+/// Extracts a top-level string field (`"key": "value"`) from the JSON text.
+fn parse_string(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let i = text.find(&pat)?;
+    let rest = &text[i + pat.len()..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// The hard same-run ratio gates (see the module docs): one error line per
+/// violated gate in the fresh JSON. Fields absent from older formats are
+/// skipped, never failed.
+fn ratio_gates(fresh: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let backend = parse_string(fresh, "kernel_backend");
+    if let Some(speedup) = parse_scalar(fresh, "speedup_fused_vs_per_assoc") {
+        if backend.as_deref() == Some("avx2") && speedup < FUSED_SPEEDUP_FLOOR {
+            out.push(format!(
+                "speedup_fused_vs_per_assoc {speedup:.3} is below the \
+                 {FUSED_SPEEDUP_FLOOR:.1} floor on an avx2 run"
+            ));
+        }
+    }
+    if let Some(ratio) = parse_scalar(fresh, "instrumented_over_fast_fused_fifo") {
+        if ratio > INSTR_OVERHEAD_CEILING {
+            out.push(format!(
+                "instrumented_over_fast_fused_fifo {ratio:.3} exceeds the \
+                 {INSTR_OVERHEAD_CEILING:.1} ceiling"
+            ));
         }
     }
     out
@@ -180,7 +246,17 @@ fn main() -> ExitCode {
             now.len(),
             threshold * 100.0
         );
-    } else if strict {
+    }
+    let gate_errors = ratio_gates(&fresh);
+    for g in &gate_errors {
+        // Same-run ratios are machine-relative: a violation is a kernel
+        // property, not runner noise, so these fail hard either way.
+        println!("::error::ratio gate violated — {g}");
+    }
+    if gate_errors.is_empty() {
+        println!("bench_guard: same-run ratio gates hold");
+    }
+    if !gate_errors.is_empty() || (strict && !warnings.is_empty()) {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -231,6 +307,63 @@ mod tests {
         let base = vec![("gone".to_owned(), 500.0), ("fast".to_owned(), 100.0)];
         let fresh = vec![("fast".to_owned(), 400.0)];
         assert!(regressions(&base, &fresh, 0.30).is_empty());
+    }
+
+    const RATIOS: &str = r#"{
+  "kernel_backend": "avx2",
+  "speedup_fused_vs_per_assoc": 2.39,
+  "speedup_fused_plru_vs_per_assoc": 1.22,
+  "instrumented_over_fast_fused_fifo": 5.95
+}"#;
+
+    #[test]
+    fn parses_top_level_scalar_and_string_fields() {
+        assert_eq!(
+            parse_scalar(RATIOS, "speedup_fused_vs_per_assoc"),
+            Some(2.39)
+        );
+        assert_eq!(
+            parse_scalar(RATIOS, "instrumented_over_fast_fused_fifo"),
+            Some(5.95)
+        );
+        assert_eq!(parse_scalar(RATIOS, "absent_field"), None);
+        assert_eq!(
+            parse_string(RATIOS, "kernel_backend").as_deref(),
+            Some("avx2")
+        );
+        assert_eq!(parse_string(RATIOS, "absent_field"), None);
+    }
+
+    #[test]
+    fn ratio_gates_hold_on_the_tracked_numbers() {
+        assert!(ratio_gates(RATIOS).is_empty(), "{:?}", ratio_gates(RATIOS));
+    }
+
+    #[test]
+    fn low_fused_speedup_fails_only_on_avx2_runs() {
+        let slow_avx2 = RATIOS.replace("2.39", "1.40");
+        let e = ratio_gates(&slow_avx2);
+        assert_eq!(e.len(), 1, "{e:?}");
+        assert!(e[0].contains("speedup_fused_vs_per_assoc 1.400"), "{e:?}");
+        // The same ratio on a scalar run is expected (no wide scans): no gate.
+        let slow_scalar = slow_avx2.replace("avx2", "scalar");
+        assert!(ratio_gates(&slow_scalar).is_empty());
+    }
+
+    #[test]
+    fn runaway_instrumentation_overhead_fails_on_any_backend() {
+        let heavy = RATIOS.replace("5.95", "9.10").replace("avx2", "scalar");
+        let e = ratio_gates(&heavy);
+        assert_eq!(e.len(), 1, "{e:?}");
+        assert!(
+            e[0].contains("instrumented_over_fast_fused_fifo 9.100"),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn json_without_ratio_fields_is_not_gated() {
+        assert!(ratio_gates(SAMPLE).is_empty());
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * `fused_lru` — the arena `LruTreeSimulator`: every associativity 1..=8
 //!   in **one** traversal via the stack property (decode included);
 //! * `fused_lru_instrumented` — fused LRU with the counted MRU-first search;
+//! * `per_assoc_plru_run_blocks` / `per_assoc_slru_run_blocks` — the
+//!   pre-fusion tree-PLRU and SLRU schedules: one single-associativity
+//!   arena pass per associativity 2/4/8 back to back, one shared decode;
 //! * `fused_plru` / `fused_slru` — the arena tree-PLRU and SLRU kernels:
 //!   every associativity 1..=8 in **one** traversal (decode included), each
 //!   cross-checked against its own instrumented sibling;
@@ -296,6 +299,35 @@ fn main() {
         sim.run_blocks(&blocks);
         sim.results()
     };
+    // The pre-fusion PLRU schedule: one single-associativity arena pass per
+    // associativity, back to back, sharing one decode — what a sweep would
+    // cost without the fused walk.
+    let secs = best_of(samples, || {
+        let blocks = decode_blocks(records, BLOCK_BITS);
+        for assoc in PER_ASSOC_PASSES {
+            let bits = assoc.trailing_zeros();
+            let mut sim = PlruTreeSimulator::with_instrumentation(
+                BLOCK_BITS,
+                SET_BITS,
+                (bits, bits),
+                plru_opts,
+                false,
+            )
+            .expect("valid");
+            sim.run_blocks(&blocks);
+            let r = sim.results();
+            for set_bits in SET_BITS.0..=SET_BITS.1 {
+                let sets = 1 << set_bits;
+                assert_eq!(
+                    r.misses(sets, assoc),
+                    plru_reference.misses(sets, assoc),
+                    "per_assoc_plru_run_blocks: miss counts diverged"
+                );
+            }
+        }
+    });
+    record_variant("per_assoc_plru_run_blocks", secs);
+
     let secs = best_of(samples, || {
         let mut sim = PlruTreeSimulator::with_instrumentation(
             BLOCK_BITS,
@@ -325,6 +357,28 @@ fn main() {
         sim.run_blocks(&blocks);
         sim.results()
     };
+    // The pre-fusion SLRU schedule, mirroring the PLRU one.
+    let secs = best_of(samples, || {
+        let blocks = decode_blocks(records, BLOCK_BITS);
+        for assoc in PER_ASSOC_PASSES {
+            let bits = assoc.trailing_zeros();
+            let mut sim =
+                SlruTreeSimulator::with_instrumentation(BLOCK_BITS, SET_BITS, (bits, bits), false)
+                    .expect("valid");
+            sim.run_blocks(&blocks);
+            let r = sim.results();
+            for set_bits in SET_BITS.0..=SET_BITS.1 {
+                let sets = 1 << set_bits;
+                assert_eq!(
+                    r.misses(sets, assoc),
+                    slru_reference.misses(sets, assoc),
+                    "per_assoc_slru_run_blocks: miss counts diverged"
+                );
+            }
+        }
+    });
+    record_variant("per_assoc_slru_run_blocks", secs);
+
     let secs = best_of(samples, || {
         let mut sim = SlruTreeSimulator::with_instrumentation(
             BLOCK_BITS,
@@ -408,8 +462,18 @@ fn main() {
     println!("speedup fused_multi_assoc vs per_assoc_run_blocks: {fused_speedup:.2}x");
     let fused_lru_speedup = rate("fused_lru") / rate("per_assoc_lru_run_blocks");
     println!("speedup fused_lru vs per_assoc_lru_run_blocks: {fused_lru_speedup:.2}x");
+    let fused_plru_speedup = rate("fused_plru") / rate("per_assoc_plru_run_blocks");
+    println!("speedup fused_plru vs per_assoc_plru_run_blocks: {fused_plru_speedup:.2}x");
+    let fused_slru_speedup = rate("fused_slru") / rate("per_assoc_slru_run_blocks");
+    println!("speedup fused_slru vs per_assoc_slru_run_blocks: {fused_slru_speedup:.2}x");
+    // The honest cost of the full counter ladder on the fused FIFO walk
+    // (>1; tracked so instrumentation-overhead regressions are visible).
+    let instr_overhead = rate("fused_multi_assoc") / rate("fused_multi_assoc_instrumented");
+    println!("instrumented overhead on fused_multi_assoc: {instr_overhead:.2}x");
     let explore_ratio = rate("explore_pruned") / rate("explore_exhaustive");
     println!("explore throughput pruned vs exhaustive: {explore_ratio:.2}x");
+    let backend = dew_core::KernelBackend::active();
+    println!("tag-scan backend: {}", backend.name());
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -421,6 +485,7 @@ fn main() {
     let _ = writeln!(json, "  \"app\": \"{}\",", app.name());
     let _ = writeln!(json, "  \"requests\": {requests},");
     let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"kernel_backend\": \"{}\",", backend.name());
     let _ = writeln!(
         json,
         "  \"pass\": {{\"block_bits\": {BLOCK_BITS}, \"min_set_bits\": {}, \
@@ -447,8 +512,12 @@ fn main() {
          \"lru_per_assoc_passes_a1_{FUSED_MAX_ASSOC}\", \
          \"trace_traversals\": {n_passes}}},\n    {{\"name\": \
          \"lru_fused_a1_{FUSED_MAX_ASSOC}\", \"trace_traversals\": 1}},\n    \
-         {{\"name\": \"plru_fused_a1_{FUSED_MAX_ASSOC}\", \
+         {{\"name\": \"plru_per_assoc_passes_a1_{FUSED_MAX_ASSOC}\", \
+         \"trace_traversals\": {n_passes}}},\n    {{\"name\": \
+         \"plru_fused_a1_{FUSED_MAX_ASSOC}\", \
          \"trace_traversals\": 1}},\n    {{\"name\": \
+         \"slru_per_assoc_passes_a1_{FUSED_MAX_ASSOC}\", \
+         \"trace_traversals\": {n_passes}}},\n    {{\"name\": \
          \"slru_fused_a1_{FUSED_MAX_ASSOC}\", \"trace_traversals\": 1}},\n    \
          {{\"name\": \"explore_s11_b3_a4_fifo_lru\", \
          \"trace_traversals\": {explore_traversals}}}\n  ],",
@@ -465,6 +534,18 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"speedup_fused_lru_vs_per_assoc\": {fused_lru_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_fused_plru_vs_per_assoc\": {fused_plru_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_fused_slru_vs_per_assoc\": {fused_slru_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"instrumented_over_fast_fused_fifo\": {instr_overhead:.3},"
     );
     let _ = writeln!(
         json,

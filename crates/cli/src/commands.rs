@@ -400,10 +400,12 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         )
     };
     let mut out = format!(
-        "swept {} configurations over {} requests in {:.2}s ({schedule}, policy {policy})\n",
+        "swept {} configurations over {} requests in {:.2}s ({schedule}, policy {policy}, \
+         {} scan kernels)\n",
         outcome.config_count(),
         outcome.accesses(),
         elapsed,
+        outcome.kernel_backend().name(),
     );
     if let Some((period, len)) = sample {
         let total = trace.records().len();
@@ -630,9 +632,10 @@ fn explore(args: &Args) -> Result<String, CliError> {
     );
     out.push_str(&format!(
         "fused sweeps: {} trace traversals total (one per block size per policy), \
-         {:.2}s in kernels\n",
+         {:.2}s in kernels ({} scans)\n",
         report.trace_traversals(),
         report.sweep_seconds(),
+        dew_core::KernelBackend::active().name(),
     ));
     let frontier = report.frontier();
     out.push_str(&format!(
@@ -1048,6 +1051,11 @@ mod tests {
         assert!(
             msg.contains("1 passes, 1 trace traversals"),
             "one single-assoc block size is one pass, one traversal: {msg}"
+        );
+        let backend = dew_core::KernelBackend::active().name();
+        assert!(
+            msg.contains(&format!("{backend} scan kernels")),
+            "sweep report names the tag-scan backend: {msg}"
         );
         assert!(msg.contains("Pareto front"), "{msg}");
         let csv_text = std::fs::read_to_string(&csv).expect("csv written");

@@ -30,6 +30,7 @@ use crate::multi_assoc::MultiAssocTree;
 use crate::options::{DewOptions, TreePolicy};
 use crate::plru_tree::{PlruTreeOptions, PlruTreeSimulator};
 use crate::results::PassResults;
+use crate::simd::KernelBackend;
 use crate::slru_tree::SlruTreeSimulator;
 use crate::snapshot::SnapshotError;
 use crate::space::DewError;
@@ -59,6 +60,21 @@ pub trait PolicyKernel {
 
     /// Actual heap footprint of the kernel's lanes in bytes.
     fn footprint_bytes(&self) -> usize;
+
+    /// The tag-scan backend this kernel's batched scans run on (fixed at
+    /// construction from [`KernelBackend::active`] unless pinned).
+    fn scan_backend(&self) -> KernelBackend;
+
+    /// Pins the tag-scan backend. The differential harness
+    /// ([`selftest`], `tests/proptest_simd_kernels.rs`) drives the same
+    /// trace once per backend to prove them bit-identical; results never
+    /// depend on the choice.
+    ///
+    /// # Errors
+    ///
+    /// [`DewError::UnsoundOptions`] when `backend` is not available on this
+    /// build/machine.
+    fn force_scan_backend(&mut self, backend: KernelBackend) -> Result<(), DewError>;
 }
 
 impl PolicyKernel for MultiAssocTree {
@@ -79,6 +95,12 @@ impl PolicyKernel for MultiAssocTree {
     }
     fn footprint_bytes(&self) -> usize {
         MultiAssocTree::footprint_bytes(self)
+    }
+    fn scan_backend(&self) -> KernelBackend {
+        MultiAssocTree::scan_backend(self)
+    }
+    fn force_scan_backend(&mut self, backend: KernelBackend) -> Result<(), DewError> {
+        MultiAssocTree::force_scan_backend(self, backend)
     }
 }
 
@@ -101,6 +123,12 @@ impl PolicyKernel for LruTreeSimulator {
     fn footprint_bytes(&self) -> usize {
         LruTreeSimulator::footprint_bytes(self)
     }
+    fn scan_backend(&self) -> KernelBackend {
+        LruTreeSimulator::scan_backend(self)
+    }
+    fn force_scan_backend(&mut self, backend: KernelBackend) -> Result<(), DewError> {
+        LruTreeSimulator::force_scan_backend(self, backend)
+    }
 }
 
 impl PolicyKernel for PlruTreeSimulator {
@@ -122,6 +150,12 @@ impl PolicyKernel for PlruTreeSimulator {
     fn footprint_bytes(&self) -> usize {
         PlruTreeSimulator::footprint_bytes(self)
     }
+    fn scan_backend(&self) -> KernelBackend {
+        PlruTreeSimulator::scan_backend(self)
+    }
+    fn force_scan_backend(&mut self, backend: KernelBackend) -> Result<(), DewError> {
+        PlruTreeSimulator::force_scan_backend(self, backend)
+    }
 }
 
 impl PolicyKernel for SlruTreeSimulator {
@@ -142,6 +176,12 @@ impl PolicyKernel for SlruTreeSimulator {
     }
     fn footprint_bytes(&self) -> usize {
         SlruTreeSimulator::footprint_bytes(self)
+    }
+    fn scan_backend(&self) -> KernelBackend {
+        SlruTreeSimulator::scan_backend(self)
+    }
+    fn force_scan_backend(&mut self, backend: KernelBackend) -> Result<(), DewError> {
+        SlruTreeSimulator::force_scan_backend(self, backend)
     }
 }
 
@@ -293,6 +333,147 @@ impl PolicyKernel for FusedKernel {
     fn footprint_bytes(&self) -> usize {
         self.as_kernel().footprint_bytes()
     }
+    fn scan_backend(&self) -> KernelBackend {
+        self.as_kernel().scan_backend()
+    }
+    fn force_scan_backend(&mut self, backend: KernelBackend) -> Result<(), DewError> {
+        match self {
+            FusedKernel::Fifo(k) => k.force_scan_backend(backend),
+            FusedKernel::Lru(k) => k.force_scan_backend(backend),
+            FusedKernel::Plru(k) => k.force_scan_backend(backend),
+            FusedKernel::Slru(k) => k.force_scan_backend(backend),
+        }
+    }
+}
+
+pub mod selftest {
+    //! Startup differential check of the wide-scan backends.
+    //!
+    //! The SIMD tag scans are property-tested against the scalar oracle in
+    //! CI (`tests/proptest_simd_kernels.rs`), but the machine running a
+    //! sweep is not the machine that ran CI. This module re-proves the
+    //! equivalence in-process, once, the first time a sweep driver
+    //! validates a request: a deterministic trace is driven through every
+    //! registered policy kernel, instrumented and fast, under the active
+    //! backend and again under the pinned scalar backend, and the results,
+    //! work counters and full state snapshots are compared bit-for-bit. On
+    //! any mismatch the process permanently downgrades to the scalar
+    //! backend ([`KernelBackend::active`] reports the downgrade) — wrong
+    //! fast answers are never served. Debug builds panic instead, so the
+    //! failure is loud where a developer can see it.
+
+    use super::{DewOptions, FusedKernel, PolicyKernel, TreePolicy};
+    use crate::simd::KernelBackend;
+    use std::sync::OnceLock;
+
+    /// Number of trace blocks driven per policy and mode: enough to fill
+    /// and evict every lane of the self-test geometry many times over.
+    const TRACE_LEN: usize = 2048;
+
+    /// The deterministic self-test trace: an LCG mixing a hot working set
+    /// (re-hits, promotions), a medium stream (evictions) and periodic
+    /// cold scans (invalid-prefix fills), so every ladder stage and every
+    /// lane-scan outcome is exercised.
+    fn trace() -> Vec<u64> {
+        let mut x = 0x5EED_CAFE_F00D_u64;
+        (0..TRACE_LEN)
+            .map(|i| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let r = x >> 33;
+                match i % 7 {
+                    0..=2 => r % 24,              // hot set: hits at every depth
+                    3 | 4 => r % 160,             // medium: misses and evictions
+                    _ => 4096 + (i as u64) % 512, // cold scan: fills and pollution
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the differential check and reports the first divergence.
+    ///
+    /// Drives the self-test trace through every policy, instrumented and
+    /// fast, under the active backend and under the pinned scalar oracle,
+    /// in unequal chunk sizes (so wide-scan windows straddle chunk
+    /// boundaries differently), then compares per-associativity results,
+    /// per-associativity counters and the complete state snapshots.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first mismatch.
+    pub fn verify() -> Result<(), String> {
+        let blocks = trace();
+        for &policy in TreePolicy::ALL.iter() {
+            for instrument in [false, true] {
+                let options = DewOptions::for_policy(policy);
+                let build = |tag: &str| {
+                    FusedKernel::build(2, (0, 4), (0, 3), options, instrument)
+                        .map_err(|e| format!("selftest {policy}/{tag}: build failed: {e}"))
+                };
+                let mut active = build("active")?;
+                let mut oracle = build("scalar")?;
+                oracle
+                    .force_scan_backend(KernelBackend::Scalar)
+                    .map_err(|e| format!("selftest {policy}: cannot pin scalar: {e}"))?;
+                // Deliberately unequal chunking on the two sides.
+                for chunk in blocks.chunks(97) {
+                    active.run_blocks(chunk);
+                }
+                for chunk in blocks.chunks(61) {
+                    oracle.run_blocks(chunk);
+                }
+                for assoc in [1u32, 2, 4, 8] {
+                    if active.pass_results(assoc) != oracle.pass_results(assoc) {
+                        return Err(format!(
+                            "selftest {policy} (instrument={instrument}): {} and scalar \
+                             backends disagree on results at assoc {assoc}",
+                            active.scan_backend().name()
+                        ));
+                    }
+                    if active.pass_counters(assoc) != oracle.pass_counters(assoc) {
+                        return Err(format!(
+                            "selftest {policy} (instrument={instrument}): {} and scalar \
+                             backends disagree on counters at assoc {assoc}",
+                            active.scan_backend().name()
+                        ));
+                    }
+                }
+                if active.to_snapshot() != oracle.to_snapshot() {
+                    return Err(format!(
+                        "selftest {policy} (instrument={instrument}): {} and scalar \
+                         backends diverge in snapshot state",
+                        active.scan_backend().name()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ensures the active backend has passed the differential check this
+    /// process, running it on first call (sub-millisecond; a no-op when the
+    /// scalar backend is already active). On failure the process downgrades
+    /// to the scalar backend for good — release builds log to stderr and
+    /// carry on with the oracle, debug builds panic.
+    ///
+    /// Returns the backend sweeps will actually run on.
+    pub fn ensure() -> KernelBackend {
+        static CHECKED: OnceLock<()> = OnceLock::new();
+        CHECKED.get_or_init(|| {
+            if KernelBackend::active() == KernelBackend::Scalar {
+                return;
+            }
+            if let Err(msg) = verify() {
+                crate::simd::force_scalar_globally();
+                if cfg!(debug_assertions) {
+                    panic!("{msg}");
+                }
+                eprintln!("dew: {msg}; pinning the scalar backend for this process");
+            }
+        });
+        KernelBackend::active()
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +496,27 @@ mod tests {
             assert_eq!(results.accesses(), 7);
             assert_eq!(counters.accesses, 7);
             assert!(kernel.footprint_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn selftest_passes_on_this_machine() {
+        assert_eq!(selftest::verify(), Ok(()));
+        // `ensure` must report the backend the verification actually ran.
+        assert_eq!(selftest::ensure(), crate::simd::KernelBackend::active());
+    }
+
+    #[test]
+    fn every_kernel_reports_and_pins_a_scan_backend() {
+        for policy in TreePolicy::ALL {
+            let mut kernel =
+                FusedKernel::build(2, (0, 2), (0, 2), DewOptions::for_policy(policy), false)
+                    .expect("valid geometry");
+            assert_eq!(kernel.scan_backend(), crate::simd::KernelBackend::active());
+            kernel
+                .force_scan_backend(crate::simd::KernelBackend::Scalar)
+                .expect("scalar is always available");
+            assert_eq!(kernel.scan_backend(), crate::simd::KernelBackend::Scalar);
         }
     }
 

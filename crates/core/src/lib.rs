@@ -91,7 +91,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// The crate is unsafe-free except for the `simd` feature's `core::arch`
+// intrinsics, which live in `simd.rs` and the kernels' `#[target_feature]`
+// batch drivers behind scoped `#[allow(unsafe_code)]` with SAFETY comments.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod cancel;
@@ -106,6 +110,7 @@ pub mod plru_tree;
 mod request;
 mod resilience;
 mod results;
+mod simd;
 pub mod slru_tree;
 pub mod snapshot;
 mod space;
@@ -128,6 +133,7 @@ pub use results::{
     AllAssocResults, ConfigResult, FailureKind, JobFailure, LevelResult, PassResults, ShardBounds,
     SweepOutcome,
 };
+pub use simd::KernelBackend;
 pub use space::{ConfigSpace, DewError, PassConfig};
 #[allow(deprecated)]
 pub use sweep::{

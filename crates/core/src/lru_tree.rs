@@ -84,6 +84,9 @@ use dew_trace::Record;
 use crate::counters::DewCounters;
 use crate::node::INVALID_TAG;
 use crate::results::{AllAssocResults, LevelResult, PassResults};
+use crate::simd::{
+    first_match, prefetch_read, KernelBackend, ScalarScan, TagLane, TagScan, PF_DIST,
+};
 use crate::space::{DewError, PassConfig};
 
 /// Snapshot magic of the arena LRU simulator (the single-pass
@@ -151,9 +154,10 @@ struct LruArena {
     /// direct-mapped cache contents and the stack-property early-exit
     /// operand.
     mra: Vec<u64>,
-    /// Contiguous recency lane: node `i`'s move-to-front list is
-    /// `tags[i*width ..][..width]`, MRU-first, sentinel-padded at the tail.
-    tags: Vec<u64>,
+    /// Contiguous recency lane, cache-line aligned ([`TagLane`]): node
+    /// `i`'s move-to-front list is `tags[i*width ..][..width]`, MRU-first,
+    /// sentinel-padded at the tail.
+    tags: TagLane,
     /// Valid prefix length per node; instrumented only (the fast kernel's
     /// sentinel scan never needs it).
     valid: Vec<u32>,
@@ -182,7 +186,7 @@ impl LruArena {
         let num_levels = pass.num_levels() as usize;
         LruArena {
             mra: vec![INVALID_TAG; total],
-            tags: vec![INVALID_TAG; total * width],
+            tags: TagLane::filled(total * width, INVALID_TAG),
             valid: if instrument {
                 vec![0; total]
             } else {
@@ -245,6 +249,9 @@ pub struct LruTreeSimulator {
     prev_block: u64,
     /// Which kernel instantiation `step` dispatches to.
     instrument: bool,
+    /// The tag-scan backend batched fast scans run on, fixed at
+    /// construction from [`KernelBackend::active`].
+    backend: KernelBackend,
 }
 
 impl LruTreeSimulator {
@@ -347,6 +354,7 @@ impl LruTreeSimulator {
             },
             prev_block: INVALID_TAG,
             instrument,
+            backend: KernelBackend::active(),
         })
     }
 
@@ -366,6 +374,30 @@ impl LruTreeSimulator {
     #[must_use]
     pub fn is_instrumented(&self) -> bool {
         self.instrument
+    }
+
+    /// The tag-scan backend batched fast scans run on (fixed at
+    /// construction from [`KernelBackend::active`]).
+    #[must_use]
+    pub fn scan_backend(&self) -> KernelBackend {
+        self.backend
+    }
+
+    /// Pins the scan backend (the differential harness drives the same
+    /// simulator once per backend to prove them bit-identical).
+    ///
+    /// # Errors
+    ///
+    /// [`DewError::UnsoundOptions`] when `backend` is not available on this
+    /// build/machine.
+    pub fn force_scan_backend(&mut self, backend: KernelBackend) -> Result<(), DewError> {
+        if !backend.is_available() {
+            return Err(DewError::UnsoundOptions(
+                "requested scan backend is not available on this build/machine",
+            ));
+        }
+        self.backend = backend;
+        Ok(())
     }
 
     /// The work counters.
@@ -446,22 +478,65 @@ impl LruTreeSimulator {
                 self.kernel_instrumented(b);
             }
         } else {
-            macro_rules! drive {
-                ($w:literal) => {{
-                    for &b in blocks {
-                        assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
-                        self.kernel_fast::<$w>(b);
+            match self.backend {
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                KernelBackend::Avx2 => {
+                    // SAFETY: `backend` is only `Avx2` after runtime
+                    // detection (`KernelBackend::is_available`).
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        self.run_blocks_fast_avx2(blocks);
                     }
-                }};
+                }
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                KernelBackend::Sse2 => self.drive_fast(crate::simd::Sse2Scan, blocks),
+                _ => self.drive_fast(ScalarScan, blocks),
             }
-            match self.width {
-                1 => drive!(1),
-                2 => drive!(2),
-                4 => drive!(4),
-                8 => drive!(8),
-                16 => drive!(16),
-                _ => drive!(0),
-            }
+        }
+    }
+
+    /// The AVX2 compilation root of the fast batch loop (see
+    /// `crate::simd` module docs for the dispatch rules).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    unsafe fn run_blocks_fast_avx2(&mut self, blocks: &[u64]) {
+        self.drive_fast(crate::simd::Avx2Scan, blocks);
+    }
+
+    /// The fast batch loop: width dispatch, plus software prefetch of the
+    /// deepest (largest, least cache-resident) level's MRA word and recency
+    /// region [`PF_DIST`] requests ahead.
+    #[inline(always)]
+    fn drive_fast<S: TagScan>(&mut self, scan: S, blocks: &[u64]) {
+        let deepest = self.arena.set_mask.len() - 1;
+        let d_off = self.arena.node_off[deepest];
+        let d_mask = self.arena.set_mask[deepest];
+        let width = self.width;
+        macro_rules! drive {
+            ($w:literal) => {{
+                for (i, &b) in blocks.iter().enumerate() {
+                    assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
+                    if let Some(&ahead) = blocks.get(i + PF_DIST) {
+                        let node = d_off + (ahead & d_mask) as usize;
+                        prefetch_read(&self.arena.mra, node);
+                        prefetch_read(&self.arena.tags, node * width);
+                    }
+                    self.kernel_fast::<$w, S>(scan, b);
+                }
+            }};
+        }
+        match self.width {
+            1 => drive!(1),
+            2 => drive!(2),
+            4 => drive!(4),
+            8 => drive!(8),
+            16 => drive!(16),
+            _ => drive!(0),
         }
     }
 
@@ -471,13 +546,16 @@ impl LruTreeSimulator {
     /// unrolls into straight-line vectorisable compares. Anything wider
     /// falls back to the runtime-width scan (`W = 0`).
     fn dispatch_fast(&mut self, block: u64) {
+        // Single steps always use the scalar scan: batch-level backend
+        // dispatch is where the SIMD instantiations live (`crate::simd`
+        // module docs), and the backends are bit-identical anyway.
         match self.width {
-            1 => self.kernel_fast::<1>(block),
-            2 => self.kernel_fast::<2>(block),
-            4 => self.kernel_fast::<4>(block),
-            8 => self.kernel_fast::<8>(block),
-            16 => self.kernel_fast::<16>(block),
-            _ => self.kernel_fast::<0>(block),
+            1 => self.kernel_fast::<1, _>(ScalarScan, block),
+            2 => self.kernel_fast::<2, _>(ScalarScan, block),
+            4 => self.kernel_fast::<4, _>(ScalarScan, block),
+            8 => self.kernel_fast::<8, _>(ScalarScan, block),
+            16 => self.kernel_fast::<16, _>(ScalarScan, block),
+            _ => self.kernel_fast::<0, _>(ScalarScan, block),
         }
     }
 
@@ -509,8 +587,9 @@ impl LruTreeSimulator {
     /// a miss — the sentinel or true LRU victim wraps around and is
     /// overwritten).
     ///
-    /// `W` is the compile-time lane width, or `0` for the runtime fallback.
-    fn kernel_fast<const W: usize>(&mut self, block: u64) {
+    /// `W` is the compile-time lane width, or `0` for the runtime fallback;
+    /// `S` is the tag-scan backend the wide compare runs on ([`TagScan`]).
+    fn kernel_fast<const W: usize, S: TagScan>(&mut self, scan: S, block: u64) {
         if self.prologue(block) {
             return;
         }
@@ -540,12 +619,9 @@ impl LruTreeSimulator {
             // A resident block occupies exactly one way, so the bitmask has
             // at most one bit; depth `width` encodes a miss.
             let depth = if W == 0 {
-                region.iter().position(|&t| t == block).unwrap_or(width)
+                first_match(scan, region, block).unwrap_or(width)
             } else {
-                let mut hit_mask = 0u32;
-                for (i, &tag) in region.iter().enumerate() {
-                    hit_mask |= u32::from(tag == block) << i;
-                }
+                let hit_mask = scan.match_mask(region, block);
                 if hit_mask == 0 {
                     width
                 } else {

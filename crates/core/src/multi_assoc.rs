@@ -86,10 +86,29 @@ use crate::counters::DewCounters;
 use crate::node::{EMPTY_WAVE, INVALID_TAG};
 use crate::options::{DewOptions, TreePolicy};
 use crate::results::{AllAssocResults, LevelResult, PassResults};
+use crate::simd::{
+    first_match, prefetch_read, KernelBackend, ScalarScan, TagLane, TagScan, PF_DIST,
+};
 use crate::space::{DewError, PassConfig};
 
 /// Sentinel for "no matching entry" (root level, previous-list miss, …).
 const NO_ENTRY: usize = usize::MAX;
+
+/// Pads a node's way-lane stride up to a whole number of 8-tag (64-byte)
+/// groups, so consecutive node regions start on cache-line boundaries when
+/// the lane base is line-aligned (see [`TagLane`]) and the wide scans read
+/// whole lines. Strides under one line stay exact — several small nodes per
+/// line beats alignment there. Padding lanes hold the invalid-tag sentinel
+/// forever; they are scanned (harmlessly — requests never equal the
+/// sentinel) but never written, and snapshots serialise only the logical
+/// stride, so the byte format is unchanged.
+const fn padded_stride(stride: usize) -> usize {
+    if stride >= 8 {
+        stride.next_multiple_of(8)
+    } else {
+        stride
+    }
+}
 
 /// Snapshot magic of the fused multi-associativity forest (the single-pass
 /// [`crate::DewTree`] format `DEWS` describes a different layout).
@@ -118,9 +137,10 @@ struct ListCounters {
 struct FusedForest {
     /// Shared per-node MRA tags (also the direct-mapped cache contents).
     mra: Vec<u64>,
-    /// Contiguous multi-width way-tag lane: node `i`'s region is
-    /// `tags[i*stride ..][..stride]`, list `k` at `list_off[k]..+width[k]`.
-    tags: Vec<u64>,
+    /// Contiguous multi-width way-tag lane, cache-line aligned: node `i`'s
+    /// region is `tags[i*pstride ..][..pstride]` (`pstride` the
+    /// [`padded_stride`]), list `k` at `list_off[k]..+width[k]`.
+    tags: TagLane,
     /// FIFO round-robin pointer per `(node, list)`:
     /// `fifo[i*num_lists + k]`.
     fifo: Vec<u32>,
@@ -131,7 +151,8 @@ struct FusedForest {
     mre: Vec<u64>,
     /// Wave pointer preserved alongside the MRE tag; instrumented only.
     mre_wave: Vec<u32>,
-    /// Wave-pointer lane, parallel to `tags`; instrumented only.
+    /// Wave-pointer lane, parallel to `tags` (padded stride included, so
+    /// the two share indices); instrumented only.
     waves: Vec<u32>,
     /// Intersection-link lane, parallel to `tags`: the way this entry's tag
     /// occupied in the *next wider* list of the same node when last handled.
@@ -159,11 +180,12 @@ impl FusedForest {
         }
         node_off.push(total);
         let stride: usize = widths.iter().sum();
+        let pstride = padded_stride(stride);
         let num_lists = widths.len();
         let num_levels = pass.num_levels() as usize;
         FusedForest {
             mra: vec![INVALID_TAG; total],
-            tags: vec![INVALID_TAG; total * stride],
+            tags: TagLane::filled(total * pstride, INVALID_TAG),
             fifo: vec![0; total * num_lists],
             valid: if instrument {
                 vec![0; total * num_lists]
@@ -181,12 +203,12 @@ impl FusedForest {
                 Vec::new()
             },
             waves: if instrument {
-                vec![EMPTY_WAVE; total * stride]
+                vec![EMPTY_WAVE; total * pstride]
             } else {
                 Vec::new()
             },
             xlink: if instrument {
-                vec![EMPTY_WAVE; total * stride]
+                vec![EMPTY_WAVE; total * pstride]
             } else {
                 Vec::new()
             },
@@ -236,8 +258,14 @@ pub struct MultiAssocTree {
     widths: Vec<usize>,
     /// Offset of each list inside a node's region of the way lane.
     list_off: Vec<usize>,
-    /// Way-lane entries per node (`widths` summed).
+    /// Logical way-lane entries per node (`widths` summed).
     stride: usize,
+    /// Allocated way-lane entries per node ([`padded_stride`] of `stride`).
+    pstride: usize,
+    /// Which tag-scan backend the batch drivers run
+    /// ([`KernelBackend::active`] at construction; see
+    /// [`MultiAssocTree::force_scan_backend`]).
+    backend: KernelBackend,
     forest: FusedForest,
     /// Aggregate work counters (real work performed once).
     counters: DewCounters,
@@ -368,6 +396,8 @@ impl MultiAssocTree {
             widths,
             list_off,
             stride,
+            pstride: padded_stride(stride),
+            backend: KernelBackend::active(),
             counters: DewCounters::new(),
             list_counters: vec![ListCounters::default(); num_lists],
             prev_block: INVALID_TAG,
@@ -404,6 +434,33 @@ impl MultiAssocTree {
     #[must_use]
     pub fn counters(&self) -> &DewCounters {
         &self.counters
+    }
+
+    /// The tag-scan backend the batch drivers run
+    /// ([`KernelBackend::active`] at construction time).
+    #[must_use]
+    pub fn scan_backend(&self) -> KernelBackend {
+        self.backend
+    }
+
+    /// Pins the batch drivers to `backend`, regardless of what
+    /// [`KernelBackend::active`] detected. This is the differential-testing
+    /// hook: results, counters and snapshots are bit-identical under every
+    /// backend (property-tested), so forcing [`KernelBackend::Scalar`] on
+    /// one of two twin kernels turns any trace into an oracle check.
+    ///
+    /// # Errors
+    ///
+    /// [`DewError::UnsoundOptions`] when `backend` is not available on this
+    /// build and machine (see [`KernelBackend::is_available`]).
+    pub fn force_scan_backend(&mut self, backend: KernelBackend) -> Result<(), DewError> {
+        if !backend.is_available() {
+            return Err(DewError::UnsoundOptions(
+                "requested scan backend is not available on this build/machine",
+            ));
+        }
+        self.backend = backend;
+        Ok(())
     }
 
     /// Simulates one record (only the address matters).
@@ -445,8 +502,8 @@ impl MultiAssocTree {
         match (self.instrument, self.specialized) {
             (false, true) => self.step_block_fast::<true>(block),
             (false, false) => self.step_block_fast::<false>(block),
-            (true, true) => self.kernel_instrumented::<true>(block),
-            (true, false) => self.kernel_instrumented::<false>(block),
+            (true, true) => self.kernel_instrumented::<true, 0, 0, _>(ScalarScan, block),
+            (true, false) => self.kernel_instrumented::<false, 0, 0, _>(ScalarScan, block),
         }
     }
 
@@ -463,18 +520,8 @@ impl MultiAssocTree {
         match (self.instrument, self.specialized) {
             (false, true) => self.run_blocks_fast::<true>(blocks),
             (false, false) => self.run_blocks_fast::<false>(blocks),
-            (true, true) => {
-                for &b in blocks {
-                    assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
-                    self.kernel_instrumented::<true>(b);
-                }
-            }
-            (true, false) => {
-                for &b in blocks {
-                    assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
-                    self.kernel_instrumented::<false>(b);
-                }
-            }
+            (true, true) => self.run_blocks_instrumented::<true>(blocks),
+            (true, false) => self.run_blocks_instrumented::<false>(blocks),
         }
     }
 
@@ -485,36 +532,179 @@ impl MultiAssocTree {
     /// instantiation so every scan width is a compile-time constant and the
     /// per-list loop unrolls into straight-line vectorisable compares.
     /// Anything else falls back to the runtime-shape loop (`FIRST = 0`).
+    ///
+    /// The single-record path always uses the scalar oracle (bit-identical
+    /// to every backend); the wide backends pay off — and are dispatched —
+    /// in the batch drivers below.
     fn step_block_fast<const DEFAULT_PATH: bool>(&mut self, block: u64) {
         macro_rules! shape {
             ($b:expr, $($first:literal x $n:literal),+) => {
                 match (self.widths.first().copied().unwrap_or(0), self.widths.len()) {
-                    $(($first, $n) => self.kernel_fast::<DEFAULT_PATH, $first, $n>($b),)+
-                    _ => self.kernel_fast::<DEFAULT_PATH, 0, 0>($b),
+                    $(($first, $n) => self.kernel_fast::<DEFAULT_PATH, $first, $n, _>(ScalarScan, $b),)+
+                    _ => self.kernel_fast::<DEFAULT_PATH, 0, 0, _>(ScalarScan, $b),
                 }
             };
         }
         shape!(block, 2 x 1, 2 x 2, 2 x 3, 2 x 4, 4 x 1, 8 x 1, 16 x 1)
     }
 
+    /// Batch-level backend dispatch: one selection per `run_blocks` call,
+    /// so the per-scan compare/movemask stays a straight inlined sequence.
+    /// The AVX2 arm routes through a `#[target_feature]` wrapper — rustc
+    /// refuses to inline feature-gated code into plain callers, so the
+    /// wrapper is where the whole batch loop gets compiled *as* AVX2 code.
     fn run_blocks_fast<const DEFAULT_PATH: bool>(&mut self, blocks: &[u64]) {
-        macro_rules! drive {
-            ($first:literal, $n:literal) => {{
-                for &b in blocks {
-                    assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
-                    self.kernel_fast::<DEFAULT_PATH, $first, $n>(b);
+        match self.backend {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            KernelBackend::Avx2 => {
+                // SAFETY: `backend` is only `Avx2` after runtime detection
+                // (`KernelBackend::is_available` gates the constructor and
+                // `force_scan_backend`).
+                #[allow(unsafe_code)]
+                unsafe {
+                    self.run_blocks_fast_avx2::<DEFAULT_PATH>(blocks);
                 }
-            }};
+            }
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            KernelBackend::Sse2 => {
+                self.run_blocks_fast_impl::<DEFAULT_PATH, _>(crate::simd::Sse2Scan, blocks);
+            }
+            _ => self.run_blocks_fast_impl::<DEFAULT_PATH, _>(ScalarScan, blocks),
         }
+    }
+
+    /// The AVX2 compilation root of the fast batch loop (see
+    /// [`MultiAssocTree::run_blocks_fast`]).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    unsafe fn run_blocks_fast_avx2<const DEFAULT_PATH: bool>(&mut self, blocks: &[u64]) {
+        self.run_blocks_fast_impl::<DEFAULT_PATH, _>(crate::simd::Avx2Scan, blocks);
+    }
+
+    #[inline(always)]
+    fn run_blocks_fast_impl<const DEFAULT_PATH: bool, S: TagScan>(
+        &mut self,
+        scan: S,
+        blocks: &[u64],
+    ) {
         macro_rules! shapes {
             ($($first:literal x $n:literal),+) => {
                 match (self.widths.first().copied().unwrap_or(0), self.widths.len()) {
-                    $(($first, $n) => drive!($first, $n),)+
-                    _ => drive!(0, 0),
+                    $(($first, $n) => self.drive_fast::<DEFAULT_PATH, $first, $n, S>(scan, blocks),)+
+                    _ => self.drive_fast::<DEFAULT_PATH, 0, 0, S>(scan, blocks),
                 }
             };
         }
         shapes!(2 x 1, 2 x 2, 2 x 3, 2 x 4, 4 x 1, 8 x 1, 16 x 1)
+    }
+
+    /// The fast batch loop: software prefetch of the deepest (largest,
+    /// least cache-resident) level's MRA word and tag region [`PF_DIST`]
+    /// requests ahead, then the per-request kernel.
+    #[inline(always)]
+    fn drive_fast<const DEFAULT_PATH: bool, const FIRST: usize, const NLISTS: usize, S: TagScan>(
+        &mut self,
+        scan: S,
+        blocks: &[u64],
+    ) {
+        let deepest = self.forest.set_mask.len() - 1;
+        let d_off = self.forest.node_off[deepest];
+        let d_mask = self.forest.set_mask[deepest];
+        let pstride = self.pstride;
+        for (i, &b) in blocks.iter().enumerate() {
+            assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
+            if let Some(&ahead) = blocks.get(i + PF_DIST) {
+                let node = d_off + (ahead & d_mask) as usize;
+                prefetch_read(&self.forest.mra, node);
+                prefetch_read(&self.forest.tags, node * pstride);
+            }
+            self.kernel_fast::<DEFAULT_PATH, FIRST, NLISTS, S>(scan, b);
+        }
+    }
+
+    /// Batch-level backend dispatch of the instrumented kernel; the same
+    /// shape as [`MultiAssocTree::run_blocks_fast`].
+    fn run_blocks_instrumented<const DEFAULT_PATH: bool>(&mut self, blocks: &[u64]) {
+        match self.backend {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            KernelBackend::Avx2 => {
+                // SAFETY: `backend` is only `Avx2` after runtime detection.
+                #[allow(unsafe_code)]
+                unsafe {
+                    self.run_blocks_instrumented_avx2::<DEFAULT_PATH>(blocks);
+                }
+            }
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            KernelBackend::Sse2 => {
+                self.drive_instrumented::<DEFAULT_PATH, _>(crate::simd::Sse2Scan, blocks);
+            }
+            _ => self.drive_instrumented::<DEFAULT_PATH, _>(ScalarScan, blocks),
+        }
+    }
+
+    /// The AVX2 compilation root of the instrumented batch loop.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    unsafe fn run_blocks_instrumented_avx2<const DEFAULT_PATH: bool>(&mut self, blocks: &[u64]) {
+        self.drive_instrumented::<DEFAULT_PATH, _>(crate::simd::Avx2Scan, blocks);
+    }
+
+    #[inline(always)]
+    fn drive_instrumented<const DEFAULT_PATH: bool, S: TagScan>(
+        &mut self,
+        scan: S,
+        blocks: &[u64],
+    ) {
+        macro_rules! shapes {
+            ($($first:literal x $n:literal),+) => {
+                match (self.widths.first().copied().unwrap_or(0), self.widths.len()) {
+                    $(($first, $n) =>
+                        self.drive_instrumented_shaped::<DEFAULT_PATH, $first, $n, S>(scan, blocks),)+
+                    _ => self.drive_instrumented_shaped::<DEFAULT_PATH, 0, 0, S>(scan, blocks),
+                }
+            };
+        }
+        shapes!(2 x 1, 2 x 2, 2 x 3, 2 x 4, 4 x 1, 8 x 1, 16 x 1)
+    }
+
+    #[inline(always)]
+    fn drive_instrumented_shaped<
+        const DEFAULT_PATH: bool,
+        const FIRST: usize,
+        const NLISTS: usize,
+        S: TagScan,
+    >(
+        &mut self,
+        scan: S,
+        blocks: &[u64],
+    ) {
+        let deepest = self.forest.set_mask.len() - 1;
+        let d_off = self.forest.node_off[deepest];
+        let d_mask = self.forest.set_mask[deepest];
+        let pstride = self.pstride;
+        for (i, &b) in blocks.iter().enumerate() {
+            assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
+            if let Some(&ahead) = blocks.get(i + PF_DIST) {
+                // As in the fast loop: the deepest level's MRA word and tag
+                // region. (Prefetching the ladder lanes too was measured and
+                // does not pay — most evaluations land on small, cached
+                // levels, and the extra prefetches only burn load slots.)
+                let node = d_off + (ahead & d_mask) as usize;
+                prefetch_read(&self.forest.mra, node);
+                prefetch_read(&self.forest.tags, node * pstride);
+            }
+            self.kernel_instrumented::<DEFAULT_PATH, FIRST, NLISTS, S>(scan, b);
+        }
     }
 
     /// Shared per-request prologue of both kernels: request accounting and
@@ -543,9 +733,16 @@ impl MultiAssocTree {
     /// `FIRST`/`NLISTS` encode the list shape when positive (consecutive
     /// power-of-two widths starting at `FIRST`, so every width, offset and
     /// the stride are compile-time constants) and are both `0` for the
-    /// runtime fallback.
-    fn kernel_fast<const DEFAULT_PATH: bool, const FIRST: usize, const NLISTS: usize>(
+    /// runtime fallback. `S` is the tag-scan backend the whole-region
+    /// compare runs on ([`TagScan`]).
+    fn kernel_fast<
+        const DEFAULT_PATH: bool,
+        const FIRST: usize,
+        const NLISTS: usize,
+        S: TagScan,
+    >(
         &mut self,
+        scan: S,
         block: u64,
     ) {
         if self.prologue::<DEFAULT_PATH>(block) {
@@ -560,12 +757,12 @@ impl MultiAssocTree {
         };
         // Consecutive power-of-two widths: list `k` is `FIRST << k` wide at
         // offset `FIRST·(2^k − 1)`, and the stride is `FIRST·(2^NLISTS − 1)`.
-        let stride = if FIRST == 0 {
-            self.stride
+        let pstride = if FIRST == 0 {
+            self.pstride
         } else {
-            FIRST * ((1 << NLISTS) - 1)
+            padded_stride(FIRST * ((1 << NLISTS) - 1))
         };
-        debug_assert_eq!(stride, self.stride);
+        debug_assert_eq!(pstride, self.pstride);
         let mra_stop = DEFAULT_PATH || self.opts.mra_stop;
         let f = &mut self.forest;
         let levels = f.set_mask.iter().zip(f.node_off.iter()).zip(
@@ -585,19 +782,15 @@ impl MultiAssocTree {
             }
             *level_dm_misses += 1;
             f.mra[node] = block;
-            let region = &mut f.tags[node * stride..(node + 1) * stride];
+            let region = &mut f.tags[node * pstride..(node + 1) * pstride];
             if FIRST == 0 {
-                // Runtime shape: independent branchless scans per list
-                // (widths may exceed what a position bitmask can hold).
+                // Runtime shape: independent wide scans per list (widths may
+                // exceed one 64-lane mask window).
                 #[allow(clippy::needless_range_loop)] // k indexes parallel lanes
                 for k in 0..num_lists {
                     let (w, o) = (self.widths[k], self.list_off[k]);
                     let lane = &mut region[o..o + w];
-                    let mut hit = false;
-                    for &tag in lane.iter() {
-                        hit |= tag == block;
-                    }
-                    if !hit {
+                    if first_match(scan, lane, block).is_none() {
                         level_misses[k] += 1;
                         let fp = &mut f.fifo[node * num_lists + k];
                         lane[*fp as usize] = block;
@@ -605,20 +798,17 @@ impl MultiAssocTree {
                     }
                 }
             } else {
-                // Const shape (stride = FIRST·(2^NLISTS − 1) ≤ 30): one
-                // branchless scan of the node's whole contiguous region —
-                // every list at once — into a position bitmask; invalid
-                // ways hold the sentinel and a resident block occupies
-                // exactly one way per list, so a list hits iff its window
-                // of the mask is nonzero. The single dense loop vectorises.
-                let mut hit_mask = 0u32;
-                for (i, &tag) in region.iter().enumerate() {
-                    hit_mask |= u32::from(tag == block) << i;
-                }
+                // Const shape (pstride ≤ 32): one wide compare/movemask of
+                // the node's whole contiguous region — every list at once —
+                // into a position bitmask; invalid ways (including the
+                // padding tail) hold the sentinel and a resident block
+                // occupies exactly one way per list, so a list hits iff its
+                // window of the mask is nonzero.
+                let hit_mask = scan.match_mask(region, block);
                 #[allow(clippy::needless_range_loop)] // k indexes parallel lanes
                 for k in 0..num_lists {
                     let (w, o) = (FIRST << k, FIRST * ((1 << k) - 1));
-                    if hit_mask & (((1u32 << w) - 1) << o) == 0 {
+                    if hit_mask & (((1u64 << w) - 1) << o) == 0 {
                         level_misses[k] += 1;
                         let fp = &mut f.fifo[node * num_lists + k];
                         region[o + *fp as usize] = block;
@@ -633,65 +823,146 @@ impl MultiAssocTree {
     /// list — wave pointer, then intersection link, then MRE, then a
     /// stop-at-match search — with the aggregate *and* per-list counters
     /// maintained. Miss counts are bit-identical to the fast kernel's.
-    fn kernel_instrumented<const DEFAULT_PATH: bool>(&mut self, block: u64) {
+    ///
+    /// The ladder rides the same wide compare as the fast kernel: under a
+    /// const shape (`FIRST`/`NLISTS` as in [`MultiAssocTree::kernel_fast`])
+    /// one position-exact scan of the node's whole region answers residency
+    /// for every list up front — a block occupies at most one way per list,
+    /// so "the wave's way holds the block" is "the scan's bit for that way
+    /// is set" — and the ladder stages then only decide which stage gets
+    /// the credit and what the sequential ladder would have spent. Every
+    /// counter stays bit-identical to the stage-by-stage compare sequence
+    /// it replaces. The runtime shape (`FIRST = 0`, widths that may exceed
+    /// one mask window) scans per list instead.
+    fn kernel_instrumented<
+        const DEFAULT_PATH: bool,
+        const FIRST: usize,
+        const NLISTS: usize,
+        S: TagScan,
+    >(
+        &mut self,
+        scan: S,
+        block: u64,
+    ) {
         if self.prologue::<DEFAULT_PATH>(block) {
             return;
         }
-        let num_lists = self.widths.len();
-        let stride = self.stride;
+        debug_assert!(NLISTS == 0 || NLISTS == self.widths.len());
+        debug_assert!(FIRST == 0 || Some(&FIRST) == self.widths.first());
+        let num_lists = if NLISTS == 0 {
+            self.widths.len()
+        } else {
+            NLISTS
+        };
+        let pstride = if FIRST == 0 {
+            self.pstride
+        } else {
+            padded_stride(FIRST * ((1 << NLISTS) - 1))
+        };
+        debug_assert_eq!(pstride, self.pstride);
         let mra_stop = DEFAULT_PATH || self.opts.mra_stop;
         let use_wave = DEFAULT_PATH || self.opts.wave;
         let use_mre = DEFAULT_PATH || self.opts.mre;
         for p in &mut self.parent {
             *p = NO_ENTRY;
         }
-        let counters = &mut self.counters;
+        // Aggregate counters accumulate in locals and flush once at the
+        // single exit below. Bumping `self.counters` fields inline instead
+        // hits the same per-field address on every handled list, and the
+        // resulting store-to-load-forwarding RMW chains were measured to
+        // cost ~10% of the instrumented kernel's runtime. (A fully
+        // branchless ladder of masked adds was also tried and measured
+        // *slower*: it must load every ladder lane unconditionally, while
+        // the staged ladder below loads only what the settled stage needs
+        // -- the wave pointer settles ~90% of list handles on real traces.)
+        let mut a_node_evals = 0u64;
+        let mut a_tag_cmp = 0u64;
+        let mut a_mra_stops = 0u64;
+        let mut a_wave_hits = 0u64;
+        let mut a_wave_misses = 0u64;
+        let mut a_x_hits = 0u64;
+        let mut a_x_misses = 0u64;
+        let mut a_mre_misses = 0u64;
+        let mut a_searches = 0u64;
+        let mut a_search_cmp = 0u64;
         let f = &mut self.forest;
-        for li in 0..f.set_mask.len() {
+        'walk: for li in 0..f.set_mask.len() {
             let node = f.node_off[li] + (block & f.set_mask[li]) as usize;
-            counters.node_evaluations += 1;
-            counters.tag_comparisons += 1; // the one shared MRA comparison
+            a_node_evals += 1;
+            a_tag_cmp += 1; // the one shared MRA comparison
             let mra_match = f.mra[node] == block;
             if mra_match {
                 if mra_stop {
                     // Property 2: hit here and at every larger set count,
                     // in every list at once.
-                    counters.mra_stops += 1;
-                    return;
+                    a_mra_stops += 1;
+                    break 'walk;
                 }
             } else {
                 f.dm_misses[li] += 1;
             }
             f.mra[node] = block;
-            let base = node * stride;
+            let base = node * pstride;
+            // Const shape: one wide compare of the node's whole region
+            // answers residency for every list of this node at once -- the
+            // ladder stages below then only decide which stage gets the
+            // credit, each with its paper-exact comparison count.
+            let node_mask = if FIRST == 0 {
+                0
+            } else {
+                scan.match_mask(&f.tags[base..base + pstride], block)
+            };
             // The block's way entry in the previous (narrower) list of this
             // node, and whether that list *hit* (the consult gate of the
             // intersection link; see the module docs).
             let mut prev_entry = NO_ENTRY;
             let mut prev_hit = false;
             for k in 0..num_lists {
-                let w = self.widths[k];
-                let start = base + self.list_off[k];
+                let (w, o) = if FIRST == 0 {
+                    (self.widths[k], self.list_off[k])
+                } else {
+                    (FIRST << k, FIRST * ((1 << k) - 1))
+                };
+                let start = base + o;
                 let ml = node * num_lists + k;
-                let lc = &mut self.list_counters[k];
 
-                // Determination ladder.
-                let mut found: Option<usize> = None;
+                // Residency, settled once by the wide compare (lanes past
+                // the valid prefix hold the sentinel and never match).
+                let resident = if FIRST == 0 {
+                    first_match(scan, &f.tags[start..start + w], block)
+                } else {
+                    let window = (node_mask >> o) & ((1u64 << w) - 1);
+                    if window == 0 {
+                        None
+                    } else {
+                        Some(window.trailing_zeros() as usize)
+                    }
+                };
+
+                // Determination ladder -- counter accounting only from
+                // here. Every stage's *outcome* is implied by residency
+                // (Properties 3/4 and the link argument: a consulted
+                // pointer that misses, or a matching MRE, proves absence),
+                // so the stages test `resident` instead of re-comparing
+                // tags; the debug asserts pin the implication.
                 let mut determined = false;
                 if use_wave && self.parent[k] != NO_ENTRY {
                     let wave = f.waves[self.parent[k]];
                     if wave != EMPTY_WAVE {
                         // Property 3: one comparison decides.
-                        counters.tag_comparisons += 1;
-                        let n = wave as usize;
-                        debug_assert!(n < w, "wave pointer within tag list");
-                        if f.tags[start + n] == block {
-                            counters.wave_hits += 1;
-                            lc.wave_hits += 1;
-                            found = Some(n);
+                        a_tag_cmp += 1;
+                        debug_assert!((wave as usize) < w, "wave pointer within tag list");
+                        if resident.is_some() {
+                            debug_assert_eq!(
+                                resident,
+                                Some(wave as usize),
+                                "a resident block is where its wave pointer says"
+                            );
+                            a_wave_hits += 1;
+                            self.list_counters[k].wave_hits += 1;
                         } else {
-                            counters.wave_misses += 1;
-                            lc.wave_misses += 1;
+                            a_wave_misses += 1;
+                            self.list_counters[k].wave_misses += 1;
                         }
                         determined = true;
                     }
@@ -702,16 +973,19 @@ impl MultiAssocTree {
                         // Intersection link: the narrower list hit, so the
                         // link was refreshed at this block's last handling
                         // and one comparison decides (module docs).
-                        counters.tag_comparisons += 1;
-                        let n = x as usize;
-                        debug_assert!(n < w, "intersection link within tag list");
-                        if f.tags[start + n] == block {
-                            counters.intersection_hits += 1;
-                            lc.intersection_hits += 1;
-                            found = Some(n);
+                        a_tag_cmp += 1;
+                        debug_assert!((x as usize) < w, "intersection link within tag list");
+                        if resident.is_some() {
+                            debug_assert_eq!(
+                                resident,
+                                Some(x as usize),
+                                "a resident block is where its link says"
+                            );
+                            a_x_hits += 1;
+                            self.list_counters[k].intersection_hits += 1;
                         } else {
-                            counters.intersection_misses += 1;
-                            lc.intersection_misses += 1;
+                            a_x_misses += 1;
+                            self.list_counters[k].intersection_misses += 1;
                         }
                         determined = true;
                     }
@@ -719,36 +993,36 @@ impl MultiAssocTree {
                 if !determined && use_mre {
                     // Property 4: the most recently evicted block is
                     // certainly absent.
-                    counters.tag_comparisons += 1;
-                    lc.mre_checks += 1;
+                    a_tag_cmp += 1;
+                    self.list_counters[k].mre_checks += 1;
                     if f.mre[ml] == block {
-                        counters.mre_misses += 1;
-                        lc.mre_misses += 1;
+                        debug_assert!(resident.is_none(), "an MRE match implies absence");
+                        a_mre_misses += 1;
+                        self.list_counters[k].mre_misses += 1;
                         determined = true;
                     }
                 }
                 if !determined {
-                    counters.searches += 1;
+                    a_searches += 1;
+                    // The sequential search stops at the match, because the
+                    // paper's comparison counts do: a hit at depth `i`
+                    // costs `i + 1` comparisons, a miss costs `valid`.
+                    let spent = match resident {
+                        Some(i) => (i + 1) as u64,
+                        None => f.valid[ml] as u64,
+                    };
+                    a_search_cmp += spent;
+                    a_tag_cmp += spent;
+                    let lc = &mut self.list_counters[k];
                     lc.searches += 1;
-                    let valid = f.valid[ml] as usize;
-                    // The scan stops at the match, because the paper's
-                    // comparison counts do.
-                    for (i, &tag) in f.tags[start..start + valid].iter().enumerate() {
-                        counters.search_comparisons += 1;
-                        counters.tag_comparisons += 1;
-                        lc.search_comparisons += 1;
-                        if tag == block {
-                            found = Some(i);
-                            break;
-                        }
-                    }
+                    lc.search_comparisons += spent;
                 }
                 debug_assert!(
-                    !(mra_match && found.is_none()),
+                    !(mra_match && resident.is_none()),
                     "an MRA match implies residency; miss determination is wrong"
                 );
 
-                let n = match found {
+                let n = match resident {
                     Some(n) => n, // Algorithm 1: FIFO hits change nothing.
                     None => {
                         // Algorithm 2: Handle_miss.
@@ -779,12 +1053,12 @@ impl MultiAssocTree {
                     }
                 };
                 // Refresh the parent's matching entry's wave pointer
-                // (Algorithm 1 line 3 / Algorithm 2 line 10) …
+                // (Algorithm 1 line 3 / Algorithm 2 line 10) ...
                 if use_wave && self.parent[k] != NO_ENTRY {
                     f.waves[self.parent[k]] = n as u32;
                 }
                 self.parent[k] = start + n;
-                // … and the previous list's intersection link. The refresh
+                // ... and the previous list's intersection link. The refresh
                 // is unconditional (hit or insert): the block is resident in
                 // both lists after handling, which is what keeps a later
                 // consult exact.
@@ -792,9 +1066,20 @@ impl MultiAssocTree {
                     f.xlink[prev_entry] = n as u32;
                 }
                 prev_entry = start + n;
-                prev_hit = found.is_some();
+                prev_hit = resident.is_some();
             }
         }
+        let c = &mut self.counters;
+        c.node_evaluations += a_node_evals;
+        c.tag_comparisons += a_tag_cmp;
+        c.mra_stops += a_mra_stops;
+        c.wave_hits += a_wave_hits;
+        c.wave_misses += a_wave_misses;
+        c.intersection_hits += a_x_hits;
+        c.intersection_misses += a_x_misses;
+        c.mre_misses += a_mre_misses;
+        c.searches += a_searches;
+        c.search_comparisons += a_search_cmp;
     }
 
     /// Snapshot of the per-configuration miss counts (associativity 1, when
@@ -991,14 +1276,19 @@ impl MultiAssocTree {
         }
         put_u64(&mut out, self.prev_block);
         let f = &self.forest;
-        for &v in f
-            .misses
-            .iter()
-            .chain(&f.dm_misses)
-            .chain(&f.mra)
-            .chain(&f.tags)
-        {
+        for &v in f.misses.iter().chain(&f.dm_misses).chain(&f.mra) {
             put_u64(&mut out, v);
+        }
+        // The way lanes are allocated at the padded stride but serialised at
+        // the logical one — the padding tail is an immutable all-sentinel
+        // alignment artefact, and leaving it out keeps the byte format
+        // identical to the unpadded layout.
+        let total_nodes = *f.node_off.last().expect("at least one level");
+        for node in 0..total_nodes {
+            let base = node * self.pstride;
+            for &v in &f.tags[base..base + self.stride] {
+                put_u64(&mut out, v);
+            }
         }
         for &v in &f.fifo {
             put_u32(&mut out, v);
@@ -1010,8 +1300,16 @@ impl MultiAssocTree {
             for &v in &f.mre {
                 put_u64(&mut out, v);
             }
-            for &v in f.mre_wave.iter().chain(&f.waves).chain(&f.xlink) {
+            for &v in &f.mre_wave {
                 put_u32(&mut out, v);
+            }
+            for lane in [&f.waves, &f.xlink] {
+                for node in 0..total_nodes {
+                    let base = node * self.pstride;
+                    for &v in &lane[base..base + self.stride] {
+                        put_u32(&mut out, v);
+                    }
+                }
             }
         }
         out
@@ -1095,6 +1393,7 @@ impl MultiAssocTree {
         }
         tree.prev_block = cur.u64()?;
         let num_lists = tree.widths.len();
+        let (stride, pstride) = (tree.stride, tree.pstride);
         let f = &mut tree.forest;
         for v in f
             .misses
@@ -1104,8 +1403,14 @@ impl MultiAssocTree {
         {
             *v = cur.u64()?;
         }
-        for v in &mut f.tags {
-            *v = cur.u64()?;
+        // Snapshots carry the logical stride per node; the padding tail
+        // keeps its construction-time sentinels (see `to_snapshot`).
+        let total_nodes = *f.node_off.last().expect("at least one level");
+        for node in 0..total_nodes {
+            let base = node * pstride;
+            for v in &mut f.tags[base..base + stride] {
+                *v = cur.u64()?;
+            }
         }
         for (i, v) in f.fifo.iter_mut().enumerate() {
             *v = cur.u32()?;
@@ -1123,13 +1428,16 @@ impl MultiAssocTree {
             for v in &mut f.mre {
                 *v = cur.u64()?;
             }
-            for v in f
-                .mre_wave
-                .iter_mut()
-                .chain(&mut f.waves)
-                .chain(&mut f.xlink)
-            {
+            for v in &mut f.mre_wave {
                 *v = cur.u32()?;
+            }
+            for lane in [&mut f.waves, &mut f.xlink] {
+                for node in 0..total_nodes {
+                    let base = node * pstride;
+                    for v in &mut lane[base..base + stride] {
+                        *v = cur.u32()?;
+                    }
+                }
             }
         }
         if cur.remaining() != 0 {

@@ -55,6 +55,9 @@ use dew_trace::Record;
 use crate::counters::DewCounters;
 use crate::node::INVALID_TAG;
 use crate::results::{AllAssocResults, LevelResult, PassResults};
+use crate::simd::{
+    lane_scan, prefetch_read, KernelBackend, LaneScan, ScalarScan, TagLane, TagScan, PF_DIST,
+};
 use crate::space::{DewError, PassConfig};
 
 /// Snapshot magic of the arena tree-PLRU simulator.
@@ -126,9 +129,10 @@ struct PlruArena {
     /// Dense per-node MRA tags: the direct-mapped contents and the shared
     /// hit short-circuit, as in every fused kernel.
     mra: Vec<u64>,
-    /// Way-tag regions, invalid ways holding the sentinel. Ways fill in
-    /// physical order, so valid tags are always a prefix of each lane.
-    tags: Vec<u64>,
+    /// Way-tag regions, cache-line aligned ([`TagLane`]), invalid ways
+    /// holding the sentinel. Ways fill in physical order, so valid tags are
+    /// always a prefix of each lane.
+    tags: TagLane,
     /// Direction bits per `(node, lane)`, heap-indexed with the root at
     /// bit 1 (the reference layout of `dew_cachesim`'s set).
     bits: Vec<u64>,
@@ -159,7 +163,7 @@ impl PlruArena {
         let num_levels = pass.num_levels() as usize;
         PlruArena {
             mra: vec![INVALID_TAG; total],
-            tags: vec![INVALID_TAG; total * stride],
+            tags: TagLane::filled(total * stride, INVALID_TAG),
             bits: vec![0; total * num_lanes],
             mra_way: vec![0; total * num_lanes],
             node_off,
@@ -226,6 +230,9 @@ pub struct PlruTreeSimulator {
     prev_block: u64,
     /// Whether the kernel maintains the work counters.
     instrument: bool,
+    /// The tag-scan backend batched scans run on, fixed at construction
+    /// ([`KernelBackend::active`]).
+    backend: KernelBackend,
 }
 
 impl PlruTreeSimulator {
@@ -335,7 +342,32 @@ impl PlruTreeSimulator {
             counters: PlruTreeCounters::default(),
             prev_block: INVALID_TAG,
             instrument,
+            backend: KernelBackend::active(),
         })
+    }
+
+    /// The tag-scan backend batched scans run on (fixed at construction
+    /// unless [`PlruTreeSimulator::force_scan_backend`] pins another).
+    #[must_use]
+    pub fn scan_backend(&self) -> KernelBackend {
+        self.backend
+    }
+
+    /// Pins the scan backend (the differential harness drives the same
+    /// simulator once per backend to prove them bit-identical).
+    ///
+    /// # Errors
+    ///
+    /// [`DewError::UnsoundOptions`] when `backend` is not available on this
+    /// build/machine.
+    pub fn force_scan_backend(&mut self, backend: KernelBackend) -> Result<(), DewError> {
+        if !backend.is_available() {
+            return Err(DewError::UnsoundOptions(
+                "requested scan backend is not available on this build/machine",
+            ));
+        }
+        self.backend = backend;
+        Ok(())
     }
 
     /// The simulated associativities, ascending.
@@ -388,7 +420,10 @@ impl PlruTreeSimulator {
             block, INVALID_TAG,
             "block {block:#x} exceeds the supported range"
         );
-        self.kernel(block);
+        // Single steps always use the scalar scan: batch-level backend
+        // dispatch is where the SIMD instantiations live (`crate::simd`
+        // module docs), and the backends are bit-identical anyway.
+        self.kernel(ScalarScan, block);
     }
 
     /// Simulates a batch of pre-decoded block numbers — the sweep's fused
@@ -398,9 +433,52 @@ impl PlruTreeSimulator {
     ///
     /// As [`PlruTreeSimulator::step`], if any block equals the sentinel.
     pub fn run_blocks(&mut self, blocks: &[u64]) {
-        for &b in blocks {
+        match self.backend {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            KernelBackend::Avx2 => {
+                // SAFETY: `backend` is only `Avx2` after runtime detection
+                // (`KernelBackend::is_available`).
+                #[allow(unsafe_code)]
+                unsafe {
+                    self.run_blocks_avx2(blocks);
+                }
+            }
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            KernelBackend::Sse2 => self.drive(crate::simd::Sse2Scan, blocks),
+            _ => self.drive(ScalarScan, blocks),
+        }
+    }
+
+    /// The AVX2 compilation root of the batch loop (see `crate::simd`
+    /// module docs for the dispatch rules).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    unsafe fn run_blocks_avx2(&mut self, blocks: &[u64]) {
+        self.drive(crate::simd::Avx2Scan, blocks);
+    }
+
+    /// The batch loop: the kernel on every block, plus software prefetch of
+    /// the deepest (largest, least cache-resident) level's MRA word and
+    /// way-tag region [`PF_DIST`] requests ahead.
+    #[inline(always)]
+    fn drive<S: TagScan>(&mut self, scan: S, blocks: &[u64]) {
+        let deepest = self.arena.set_mask.len() - 1;
+        let d_off = self.arena.node_off[deepest];
+        let d_mask = self.arena.set_mask[deepest];
+        let stride = self.stride.max(1);
+        for (i, &b) in blocks.iter().enumerate() {
             assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
-            self.kernel(b);
+            if let Some(&ahead) = blocks.get(i + PF_DIST) {
+                let node = d_off + (ahead & d_mask) as usize;
+                prefetch_read(&self.arena.mra, node);
+                prefetch_read(&self.arena.tags, node * stride);
+            }
+            self.kernel(scan, b);
         }
     }
 
@@ -410,7 +488,9 @@ impl PlruTreeSimulator {
     /// direction bits of deeper levels still need the touch). On a mismatch
     /// each lane searches its valid prefix, touching the hit way or
     /// inserting at the first invalid way / the direction-bit victim.
-    fn kernel(&mut self, block: u64) {
+    ///
+    /// `S` is the tag-scan backend the wide compares run on ([`TagScan`]).
+    fn kernel<S: TagScan>(&mut self, scan: S, block: u64) {
         self.counters.accesses += 1;
         if self.opts.duplicate_elision {
             if block == self.prev_block {
@@ -451,24 +531,24 @@ impl PlruTreeSimulator {
             for (k, (&w, &off)) in self.lanes.iter().zip(self.lane_off.iter()).enumerate() {
                 let w = w as usize;
                 let lane = &mut region[off..off + w];
-                // One scan finds the block or, failing that, the first
+                // One wide scan finds the block or, failing that, the first
                 // invalid way (valid tags are a prefix: ways fill in
-                // physical order and evictions overwrite in place).
-                let mut hit = None;
-                let mut first_invalid = w;
-                for (i, &tag) in lane.iter().enumerate() {
-                    if tag == INVALID_TAG {
-                        first_invalid = i;
-                        break;
-                    }
-                    if self.instrument {
-                        self.lane_comparisons[k] += 1;
-                        self.counters.tag_comparisons += 1;
-                    }
-                    if tag == block {
-                        hit = Some(i);
-                        break;
-                    }
+                // physical order and evictions overwrite in place). The
+                // comparison tallies are derived arithmetically — a hit at
+                // depth `i` would have inspected `i + 1` valid tags, a miss
+                // the whole valid prefix — so the instrumented counters stay
+                // bit-identical to the sequential scalar scan's.
+                let (hit, first_invalid) = match lane_scan(scan, lane, block, INVALID_TAG) {
+                    LaneScan::Hit(i) => (Some(i), w),
+                    LaneScan::Miss { valid_len } => (None, valid_len),
+                };
+                if self.instrument {
+                    let spent = match hit {
+                        Some(i) => i as u64 + 1,
+                        None => first_invalid as u64,
+                    };
+                    self.lane_comparisons[k] += spent;
+                    self.counters.tag_comparisons += spent;
                 }
                 let bits = &mut a.bits[node * nk + k];
                 let way = match hit {

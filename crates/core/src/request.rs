@@ -276,6 +276,14 @@ mod tests {
     }
 
     #[test]
+    fn outcome_records_the_active_scan_backend() {
+        let space = ConfigSpace::new((0, 2), (2, 2), (0, 1)).expect("valid");
+        let outcome = SweepRequest::new(&space).run(&trace(200)).expect("sweep");
+        assert_eq!(outcome.kernel_backend(), crate::KernelBackend::active());
+        assert!(["scalar", "sse2", "avx2"].contains(&outcome.kernel_backend().name()));
+    }
+
+    #[test]
     fn builder_matches_every_forwarder_for_every_policy() {
         let space = ConfigSpace::new((0, 3), (1, 3), (0, 2)).expect("valid");
         let records = trace(900);

@@ -5,6 +5,7 @@ use std::fmt;
 
 use crate::counters::DewCounters;
 use crate::options::TreePolicy;
+use crate::simd::KernelBackend;
 use crate::space::PassConfig;
 
 /// Miss counts for one forest level (one simulated set count).
@@ -355,6 +356,7 @@ pub struct SweepOutcome {
     failed: Vec<JobFailure>,
     retries: u64,
     records_lost: u64,
+    kernel_backend: KernelBackend,
 }
 
 impl SweepOutcome {
@@ -376,6 +378,10 @@ impl SweepOutcome {
             failed: Vec::new(),
             retries: 0,
             records_lost: 0,
+            // The drivers build their kernels from the same process-wide
+            // detection (after the startup selftest has vetted it), so the
+            // active backend at completion is the backend the sweep ran on.
+            kernel_backend: KernelBackend::active(),
         }
     }
 
@@ -419,6 +425,16 @@ impl SweepOutcome {
     #[must_use]
     pub const fn policy(&self) -> TreePolicy {
         self.policy
+    }
+
+    /// The tag-scan backend the sweep's kernels ran their batched scans on
+    /// (`scalar` / `sse2` / `avx2`). Purely diagnostic: the startup
+    /// selftest and the differential test suite prove every backend
+    /// bit-identical, so this never explains a result — only how fast it
+    /// arrived. `dew sweep` and `dew explore` print it.
+    #[must_use]
+    pub const fn kernel_backend(&self) -> KernelBackend {
+        self.kernel_backend
     }
 
     /// How many times the sweep iterated the trace (equivalently, how many

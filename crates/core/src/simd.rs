@@ -1,0 +1,556 @@
+//! Explicit wide-scan tag-compare primitives: the lane-wide compare /
+//! movemask kernel behind every fused arena scan, with a mandatory scalar
+//! fallback.
+//!
+//! The fused kernels' hot operation is always the same: compare a small
+//! contiguous region of 64-bit way tags against one requested block number
+//! and learn *which* lane matched (FIFO and LRU need the position — FIFO for
+//! its per-list windows, LRU for the stack depth — and PLRU/SLRU need the
+//! first match or the first sentinel). Until this module, that scan relied
+//! on LLVM autovectorising the branchless `hit_mask |= (tag == block) << i`
+//! loop; here it is explicit:
+//!
+//! * **scalar** — a branchless u64 loop using the SWAR zero test
+//!   `((x - 1) & !x) >> 63` on `tag ^ needle`, so even the fallback emits no
+//!   per-lane branches. This path is the **oracle**: the SIMD paths are
+//!   property-tested bit-identical to it (`tests/proptest_simd_kernels.rs`,
+//!   [`crate::kernel::selftest`]);
+//! * **sse2** — two tags per step via `_mm_cmpeq_epi32` plus a lane swap and
+//!   AND (plain SSE2 has no 64-bit compare; equality of both 32-bit halves
+//!   is 64-bit equality), movemasked through `_mm_movemask_pd`;
+//! * **avx2** — four tags per step via `_mm256_cmpeq_epi64` /
+//!   `_mm256_movemask_pd`.
+//!
+//! Because a match mask is position-exact (bit `i` set iff lane `i` equals
+//! the needle), every policy's semantics survive the translation: FIFO's
+//! per-list windows test `mask & window`, LRU's depth is
+//! `mask.trailing_zeros()`, and PLRU/SLRU's "first match or first invalid"
+//! falls out of masking the region against the needle *and* the sentinel
+//! ([`lane_scan`]).
+//!
+//! # Dispatch
+//!
+//! [`KernelBackend::active`] detects the widest usable backend **once per
+//! process** (`OnceLock`): compiled out unless the `simd` cargo feature is
+//! on and the target is `x86_64`, overridden by `DEW_FORCE_SCALAR=1` in the
+//! environment, and downgraded for the rest of the process if the
+//! [`crate::kernel::selftest`] differential check ever disagrees with the
+//! scalar oracle. Kernels capture the backend at construction and dispatch
+//! their *batch* loop (`run_blocks`), not each scan: the batch driver is
+//! compiled once per backend under `#[target_feature]`, so the
+//! `#[inline(always)]` scan below it inlines into feature-enabled codegen
+//! and costs no per-scan call.
+//!
+//! # Safety
+//!
+//! This module is the only place `dew-core` touches `core::arch` (the crate
+//! otherwise forbids unsafe code; with the `simd` feature it is demoted to
+//! `deny` and allowed here and in the kernels' `#[target_feature]` batch
+//! wrappers). The AVX2 intrinsics are only reachable through
+//! [`KernelBackend::Avx2`], which [`KernelBackend::active`] and
+//! [`KernelBackend::is_available`] hand out only after
+//! `is_x86_feature_detected!("avx2")` succeeds; the SSE2 path is
+//! unconditionally sound on `x86_64` (baseline ISA). The unaligned-load
+//! intrinsics read only in-bounds lanes: full vectors while
+//! `i + LANES <= region.len()`, then a scalar tail.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Which tag-scan implementation a kernel runs. See the module docs for the
+/// dispatch rules; [`KernelBackend::active`] is the process-wide selection
+/// every kernel captures at construction, and
+/// [`crate::SweepOutcome::kernel_backend`] reports it per sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelBackend {
+    /// The branchless SWAR u64 loop — always available, and the oracle the
+    /// SIMD paths are property-tested against.
+    Scalar,
+    /// Two tags per step through `core::arch` SSE2 intrinsics (`x86_64`
+    /// baseline; requires the `simd` cargo feature).
+    Sse2,
+    /// Four tags per step through `core::arch` AVX2 intrinsics (runtime
+    /// detected; requires the `simd` cargo feature).
+    Avx2,
+}
+
+/// Set when the startup selftest caught a divergence: every later
+/// [`KernelBackend::active`] answers `Scalar`, so freshly built kernels
+/// degrade to the oracle instead of trusting a miscompiled or misdetected
+/// SIMD path.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+impl KernelBackend {
+    /// Stable lowercase name (`scalar` / `sse2` / `avx2`), as printed by
+    /// `dew sweep` and recorded in bench JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Sse2 => "sse2",
+            KernelBackend::Avx2 => "avx2",
+        }
+    }
+
+    /// The widest backend this build *and* this machine support, detected
+    /// once per process. `DEW_FORCE_SCALAR=1` (any non-empty value other
+    /// than `0`) pins it to `Scalar`; a failed [`crate::kernel::selftest`]
+    /// downgrades it to `Scalar` for the rest of the process.
+    #[must_use]
+    pub fn active() -> KernelBackend {
+        static ACTIVE: OnceLock<KernelBackend> = OnceLock::new();
+        if FORCE_SCALAR.load(Ordering::Relaxed) {
+            return KernelBackend::Scalar;
+        }
+        *ACTIVE.get_or_init(Self::detect)
+    }
+
+    /// `true` when this backend can run on this build and machine.
+    #[must_use]
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelBackend::Scalar => true,
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            KernelBackend::Sse2 => true,
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            KernelBackend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+            _ => false,
+        }
+    }
+
+    fn detect() -> KernelBackend {
+        let forced =
+            std::env::var_os("DEW_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != *"0");
+        if forced {
+            return KernelBackend::Scalar;
+        }
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return KernelBackend::Avx2;
+            }
+            return KernelBackend::Sse2;
+        }
+        #[allow(unreachable_code)]
+        KernelBackend::Scalar
+    }
+}
+
+impl fmt::Display for KernelBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Downgrades every subsequent [`KernelBackend::active`] call to `Scalar`.
+/// Called by [`crate::kernel::selftest`] when a differential check fails.
+pub(crate) fn force_scalar_globally() {
+    FORCE_SCALAR.store(true, Ordering::Relaxed);
+}
+
+/// One scan backend as a zero-sized strategy type: kernels monomorphise
+/// their batch loop over this, so the `#[inline(always)]` mask computation
+/// inlines into each backend's `#[target_feature]` driver.
+pub(crate) trait TagScan: Copy {
+    /// Position-exact match mask: bit `i` is set iff `region[i] == needle`.
+    /// `region.len()` must not exceed 64.
+    fn match_mask(self, region: &[u64], needle: u64) -> u64;
+}
+
+/// Branchless scalar equality bit: `1` iff `a == b`, computed with the SWAR
+/// zero test on the XOR (no `setcc` needed even without vector units).
+#[inline(always)]
+fn eq_bit(a: u64, b: u64) -> u64 {
+    let x = a ^ b;
+    (!x & x.wrapping_sub(1)) >> 63
+}
+
+/// The scalar oracle. See [`TagScan`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScalarScan;
+
+impl TagScan for ScalarScan {
+    #[inline(always)]
+    fn match_mask(self, region: &[u64], needle: u64) -> u64 {
+        debug_assert!(region.len() <= 64);
+        let mut mask = 0u64;
+        for (i, &tag) in region.iter().enumerate() {
+            mask |= eq_bit(tag, needle) << i;
+        }
+        mask
+    }
+}
+
+/// The SSE2 backend (x86_64 baseline). See [`TagScan`] and the module docs.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Sse2Scan;
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+impl TagScan for Sse2Scan {
+    #[inline(always)]
+    #[allow(unsafe_code)]
+    fn match_mask(self, region: &[u64], needle: u64) -> u64 {
+        debug_assert!(region.len() <= 64);
+        use core::arch::x86_64::{
+            _mm_and_si128, _mm_castsi128_pd, _mm_cmpeq_epi32, _mm_loadu_si128, _mm_movemask_pd,
+            _mm_set1_epi64x, _mm_shuffle_epi32,
+        };
+        let len = region.len();
+        let mut mask = 0u64;
+        let mut i = 0usize;
+        // SAFETY: SSE2 is baseline on x86_64; the unaligned load reads lanes
+        // `i..i+2`, in bounds by the loop condition.
+        unsafe {
+            let n = _mm_set1_epi64x(needle as i64);
+            while i + 2 <= len {
+                let v = _mm_loadu_si128(region.as_ptr().add(i).cast());
+                // Plain SSE2 has no 64-bit compare: a u64 lane is equal iff
+                // both of its 32-bit halves compare equal, so AND the 32-bit
+                // compare with its half-swapped self (0xB1 swaps adjacent
+                // 32-bit lanes) before taking the two 64-bit sign bits.
+                let eq32 = _mm_cmpeq_epi32(v, n);
+                let eq64 = _mm_and_si128(eq32, _mm_shuffle_epi32::<0b1011_0001>(eq32));
+                mask |= (_mm_movemask_pd(_mm_castsi128_pd(eq64)) as u64) << i;
+                i += 2;
+            }
+        }
+        if i < len {
+            mask |= eq_bit(region[i], needle) << i;
+        }
+        mask
+    }
+}
+
+/// The AVX2 backend (runtime detected). See [`TagScan`] and the module docs.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Avx2Scan;
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+impl TagScan for Avx2Scan {
+    #[inline(always)]
+    #[allow(unsafe_code)]
+    fn match_mask(self, region: &[u64], needle: u64) -> u64 {
+        debug_assert!(region.len() <= 64);
+        debug_assert!(KernelBackend::Avx2.is_available());
+        use core::arch::x86_64::{
+            _mm256_castsi256_pd, _mm256_cmpeq_epi64, _mm256_loadu_si256, _mm256_movemask_pd,
+            _mm256_set1_epi64x,
+        };
+        let len = region.len();
+        let mut mask = 0u64;
+        let mut i = 0usize;
+        // SAFETY: this strategy is only constructed after
+        // `is_x86_feature_detected!("avx2")` succeeded (and the kernels'
+        // batch drivers carry `#[target_feature(enable = "avx2")]`, so the
+        // intrinsics inline there); the unaligned load reads lanes
+        // `i..i+4`, in bounds by the loop condition.
+        unsafe {
+            let n = _mm256_set1_epi64x(needle as i64);
+            while i + 4 <= len {
+                let v = _mm256_loadu_si256(region.as_ptr().add(i).cast());
+                let eq = _mm256_cmpeq_epi64(v, n);
+                mask |= ((_mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u32) as u64) << i;
+                i += 4;
+            }
+        }
+        while i < len {
+            mask |= eq_bit(region[i], needle) << i;
+            i += 1;
+        }
+        mask
+    }
+}
+
+/// Match mask over a region of any length, windowed in 64-lane pieces:
+/// the first window with a match decides (callers only need the first
+/// position). Returns the global position of the first matching lane.
+#[inline(always)]
+pub(crate) fn first_match<S: TagScan>(scan: S, region: &[u64], needle: u64) -> Option<usize> {
+    let mut base = 0usize;
+    for window in region.chunks(64) {
+        let m = scan.match_mask(window, needle);
+        if m != 0 {
+            return Some(base + m.trailing_zeros() as usize);
+        }
+        base += window.len();
+    }
+    None
+}
+
+/// Outcome of [`lane_scan`]: the first matching lane, or the valid-prefix
+/// length when the needle is absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LaneScan {
+    /// The needle is resident at this index (always inside the valid
+    /// prefix: sentinels never equal a real block number).
+    Hit(usize),
+    /// The needle is absent; `valid_len` is the index of the first sentinel
+    /// lane (== `region.len()` when the lane is full).
+    Miss {
+        /// Length of the valid prefix.
+        valid_len: usize,
+    },
+}
+
+/// The PLRU/SLRU scan — first match or first sentinel, whichever comes
+/// first — as two masks: lanes equal to `needle` and lanes equal to
+/// `sentinel`. Bit-identical to the sequential "break at sentinel, stop at
+/// match" loop because the first set bit of the combined mask is exactly
+/// where that loop stops.
+#[inline(always)]
+pub(crate) fn lane_scan<S: TagScan>(
+    scan: S,
+    region: &[u64],
+    needle: u64,
+    sentinel: u64,
+) -> LaneScan {
+    let mut base = 0usize;
+    for window in region.chunks(64) {
+        let hits = scan.match_mask(window, needle);
+        let invalid = scan.match_mask(window, sentinel);
+        let combined = hits | invalid;
+        if combined != 0 {
+            let t = combined.trailing_zeros() as usize;
+            if (hits >> t) & 1 == 1 {
+                return LaneScan::Hit(base + t);
+            }
+            return LaneScan::Miss {
+                valid_len: base + t,
+            };
+        }
+        base += window.len();
+    }
+    LaneScan::Miss {
+        valid_len: region.len(),
+    }
+}
+
+/// How many requests ahead of the batch cursor the fused drivers prefetch
+/// the deepest level's lanes — far enough to cover a memory round trip at
+/// the kernel's per-request cost, near enough that the lines are still
+/// resident when the cursor arrives.
+pub(crate) const PF_DIST: usize = 8;
+
+/// Byte alignment of every way-tag lane: one cache line, so a node's scan
+/// region starts at a line boundary and the wide loads split across as few
+/// lines as possible.
+pub(crate) const LANE_ALIGN: usize = 64;
+const LANE_PAD: usize = LANE_ALIGN / std::mem::size_of::<u64>() - 1;
+
+/// A `u64` lane over-allocated by [`LANE_PAD`] words and offset so the
+/// logical slice starts on a [`LANE_ALIGN`]-byte boundary. Alignment is
+/// best-effort (correctness never depends on it — `align_offset` is allowed
+/// to fail); everything else behaves like the `Vec<u64>` it replaces, via
+/// `Deref`.
+#[derive(Debug)]
+pub(crate) struct TagLane {
+    buf: Vec<u64>,
+    off: usize,
+    len: usize,
+}
+
+impl TagLane {
+    /// A lane of `len` words, every word `fill`, aligned to [`LANE_ALIGN`].
+    pub(crate) fn filled(len: usize, fill: u64) -> TagLane {
+        let buf = vec![fill; len + LANE_PAD];
+        let off = buf.as_ptr().align_offset(LANE_ALIGN);
+        let off = if off > LANE_PAD { 0 } else { off };
+        TagLane { buf, off, len }
+    }
+}
+
+impl std::ops::Deref for TagLane {
+    type Target = [u64];
+    #[inline(always)]
+    fn deref(&self) -> &[u64] {
+        &self.buf[self.off..self.off + self.len]
+    }
+}
+
+impl std::ops::DerefMut for TagLane {
+    #[inline(always)]
+    fn deref_mut(&mut self) -> &mut [u64] {
+        &mut self.buf[self.off..self.off + self.len]
+    }
+}
+
+impl Clone for TagLane {
+    fn clone(&self) -> TagLane {
+        let mut lane = TagLane::filled(self.len, 0);
+        lane.copy_from_slice(self);
+        lane
+    }
+}
+
+impl<'a> IntoIterator for &'a TagLane {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut TagLane {
+    type Item = &'a mut u64;
+    type IntoIter = std::slice::IterMut<'a, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter_mut()
+    }
+}
+
+/// Software prefetch of `lane[idx]` into L1 (no-op off `x86_64`, without
+/// the `simd` feature, or out of bounds — the bounds check keeps the read
+/// address inside the allocation, which also keeps Miri happy).
+#[inline(always)]
+#[allow(unused_variables)]
+pub(crate) fn prefetch_read<T>(lane: &[T], idx: usize) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64", not(miri)))]
+    if idx < lane.len() {
+        // SAFETY: in bounds by the check above; prefetch performs no
+        // architecturally visible memory access.
+        #[allow(unsafe_code)]
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch::<_MM_HINT_T0>(lane.as_ptr().add(idx).cast());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backends() -> Vec<KernelBackend> {
+        let mut b = vec![KernelBackend::Scalar];
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        {
+            b.push(KernelBackend::Sse2);
+            if KernelBackend::Avx2.is_available() {
+                b.push(KernelBackend::Avx2);
+            }
+        }
+        b
+    }
+
+    fn mask_via(backend: KernelBackend, region: &[u64], needle: u64) -> u64 {
+        match backend {
+            KernelBackend::Scalar => ScalarScan.match_mask(region, needle),
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            KernelBackend::Sse2 => Sse2Scan.match_mask(region, needle),
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            KernelBackend::Avx2 => Avx2Scan.match_mask(region, needle),
+            #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+            _ => unreachable!("backend unavailable in this build"),
+        }
+    }
+
+    #[test]
+    fn every_backend_masks_every_length_and_position_identically() {
+        for backend in backends() {
+            for len in 0..=64usize {
+                let mut region = vec![0xDEAD_BEEFu64; len];
+                assert_eq!(mask_via(backend, &region, 7), 0, "{backend} len={len}");
+                for pos in 0..len {
+                    region[pos] = 7;
+                    let expected = 1u64 << pos;
+                    assert_eq!(
+                        mask_via(backend, &region, 7),
+                        expected,
+                        "{backend} len={len} pos={pos}"
+                    );
+                    region[pos] = 0xDEAD_BEEF;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masks_catch_high_bit_and_half_word_aliases() {
+        // Values whose 32-bit halves collide pairwise: the SSE2 half-compare
+        // must not report a false positive.
+        let region = [
+            0x0000_0001_0000_0002u64,
+            0x0000_0001_0000_0003,
+            0x0000_0004_0000_0002,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for backend in backends() {
+            assert_eq!(mask_via(backend, &region, 0x0000_0001_0000_0002), 1);
+            assert_eq!(mask_via(backend, &region, 0x0000_0001_0000_0003), 2);
+            assert_eq!(mask_via(backend, &region, 0x0000_0004_0000_0002), 4);
+            assert_eq!(mask_via(backend, &region, u64::MAX), 16);
+            assert_eq!(mask_via(backend, &region, 0x0000_0002_0000_0001), 0);
+        }
+    }
+
+    #[test]
+    fn lane_scan_matches_sequential_semantics() {
+        const S: u64 = u64::MAX;
+        let cases: Vec<(Vec<u64>, u64, LaneScan)> = vec![
+            (vec![], 1, LaneScan::Miss { valid_len: 0 }),
+            (vec![S, S], 1, LaneScan::Miss { valid_len: 0 }),
+            (vec![2, 1, S], 1, LaneScan::Hit(1)),
+            (vec![2, 3, S], 1, LaneScan::Miss { valid_len: 2 }),
+            (vec![2, 3, 4], 1, LaneScan::Miss { valid_len: 3 }),
+            (vec![1, S, S], 1, LaneScan::Hit(0)),
+        ];
+        for (region, needle, expected) in &cases {
+            assert_eq!(
+                lane_scan(ScalarScan, region, *needle, S),
+                *expected,
+                "region={region:?}"
+            );
+        }
+        // A long lane exercises the windowing.
+        let mut long = vec![9u64; 100];
+        long[97] = 1;
+        assert_eq!(lane_scan(ScalarScan, &long, 1, S), LaneScan::Hit(97));
+        assert_eq!(first_match(ScalarScan, &long, 1), Some(97));
+        assert_eq!(first_match(ScalarScan, &long, 8), None);
+    }
+
+    #[test]
+    fn tag_lane_is_aligned_and_behaves_like_a_vec() {
+        for len in [0usize, 1, 7, 14, 16, 1000] {
+            let mut lane = TagLane::filled(len, u64::MAX);
+            assert_eq!(lane.len(), len);
+            assert!(lane.iter().all(|&v| v == u64::MAX));
+            if len > 0 {
+                assert_eq!(
+                    lane.as_ptr() as usize % LANE_ALIGN,
+                    0,
+                    "lane base must sit on a cache line"
+                );
+                lane[len - 1] = 42;
+            }
+            let clone = lane.clone();
+            assert_eq!(&*clone, &*lane);
+            if len > 0 {
+                assert_eq!(clone.as_ptr() as usize % LANE_ALIGN, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn active_backend_is_available_and_stable() {
+        let a = KernelBackend::active();
+        assert!(a.is_available());
+        assert_eq!(KernelBackend::active(), a, "cached per process");
+        assert!(KernelBackend::Scalar.is_available());
+        assert_eq!(a.name().to_string(), format!("{a}"));
+    }
+
+    #[test]
+    fn prefetch_is_safe_at_any_index() {
+        let lane = vec![1u64; 8];
+        prefetch_read(&lane, 0);
+        prefetch_read(&lane, 7);
+        prefetch_read(&lane, 8); // out of bounds: no-op
+        prefetch_read::<u64>(&[], 0);
+    }
+}

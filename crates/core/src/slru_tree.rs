@@ -56,6 +56,9 @@ use dew_trace::Record;
 use crate::counters::DewCounters;
 use crate::node::INVALID_TAG;
 use crate::results::{AllAssocResults, LevelResult, PassResults};
+use crate::simd::{
+    lane_scan, prefetch_read, KernelBackend, LaneScan, ScalarScan, TagLane, TagScan, PF_DIST,
+};
 use crate::space::{DewError, PassConfig};
 
 /// Snapshot magic of the arena SLRU simulator.
@@ -96,9 +99,9 @@ impl fmt::Display for SlruTreeCounters {
 struct SlruArena {
     /// Dense per-node MRA tags (direct-mapped contents + hit short-circuit).
     mra: Vec<u64>,
-    /// Ordered tag regions: per `(node, lane)`, `[protected MRU→LRU |
-    /// probationary MRU→LRU | sentinel…]`.
-    tags: Vec<u64>,
+    /// Ordered tag regions, cache-line aligned ([`TagLane`]): per `(node,
+    /// lane)`, `[protected MRU→LRU | probationary MRU→LRU | sentinel…]`.
+    tags: TagLane,
     /// Protected-segment length per `(node, lane)`; never exceeds half the
     /// lane width.
     prot_len: Vec<u32>,
@@ -126,7 +129,7 @@ impl SlruArena {
         let num_levels = pass.num_levels() as usize;
         SlruArena {
             mra: vec![INVALID_TAG; total],
-            tags: vec![INVALID_TAG; total * stride],
+            tags: TagLane::filled(total * stride, INVALID_TAG),
             prot_len: vec![0; total * num_lanes],
             node_off,
             set_mask,
@@ -158,6 +161,9 @@ pub struct SlruTreeSimulator {
     lane_comparisons: Vec<u64>,
     /// Whether the kernel maintains the work counters.
     instrument: bool,
+    /// The tag-scan backend batched scans run on, fixed at construction
+    /// ([`KernelBackend::active`]).
+    backend: KernelBackend,
 }
 
 impl SlruTreeSimulator {
@@ -254,7 +260,32 @@ impl SlruTreeSimulator {
             stride,
             counters: SlruTreeCounters::default(),
             instrument,
+            backend: KernelBackend::active(),
         })
+    }
+
+    /// The tag-scan backend batched scans run on (fixed at construction
+    /// unless [`SlruTreeSimulator::force_scan_backend`] pins another).
+    #[must_use]
+    pub fn scan_backend(&self) -> KernelBackend {
+        self.backend
+    }
+
+    /// Pins the scan backend (the differential harness drives the same
+    /// simulator once per backend to prove them bit-identical).
+    ///
+    /// # Errors
+    ///
+    /// [`DewError::UnsoundOptions`] when `backend` is not available on this
+    /// build/machine.
+    pub fn force_scan_backend(&mut self, backend: KernelBackend) -> Result<(), DewError> {
+        if !backend.is_available() {
+            return Err(DewError::UnsoundOptions(
+                "requested scan backend is not available on this build/machine",
+            ));
+        }
+        self.backend = backend;
+        Ok(())
     }
 
     /// The simulated associativities, ascending.
@@ -307,7 +338,10 @@ impl SlruTreeSimulator {
             block, INVALID_TAG,
             "block {block:#x} exceeds the supported range"
         );
-        self.kernel(block);
+        // Single steps always use the scalar scan: batch-level backend
+        // dispatch is where the SIMD instantiations live (`crate::simd`
+        // module docs), and the backends are bit-identical anyway.
+        self.kernel(ScalarScan, block);
     }
 
     /// Simulates a batch of pre-decoded block numbers — the sweep's fused
@@ -317,9 +351,52 @@ impl SlruTreeSimulator {
     ///
     /// As [`SlruTreeSimulator::step`], if any block equals the sentinel.
     pub fn run_blocks(&mut self, blocks: &[u64]) {
-        for &b in blocks {
+        match self.backend {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            KernelBackend::Avx2 => {
+                // SAFETY: `backend` is only `Avx2` after runtime detection
+                // (`KernelBackend::is_available`).
+                #[allow(unsafe_code)]
+                unsafe {
+                    self.run_blocks_avx2(blocks);
+                }
+            }
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            KernelBackend::Sse2 => self.drive(crate::simd::Sse2Scan, blocks),
+            _ => self.drive(ScalarScan, blocks),
+        }
+    }
+
+    /// The AVX2 compilation root of the batch loop (see `crate::simd`
+    /// module docs for the dispatch rules).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    unsafe fn run_blocks_avx2(&mut self, blocks: &[u64]) {
+        self.drive(crate::simd::Avx2Scan, blocks);
+    }
+
+    /// The batch loop: the kernel on every block, plus software prefetch of
+    /// the deepest (largest, least cache-resident) level's MRA word and tag
+    /// region [`PF_DIST`] requests ahead.
+    #[inline(always)]
+    fn drive<S: TagScan>(&mut self, scan: S, blocks: &[u64]) {
+        let deepest = self.arena.set_mask.len() - 1;
+        let d_off = self.arena.node_off[deepest];
+        let d_mask = self.arena.set_mask[deepest];
+        let stride = self.stride.max(1);
+        for (i, &b) in blocks.iter().enumerate() {
             assert_ne!(b, INVALID_TAG, "block {b:#x} exceeds the supported range");
-            self.kernel(b);
+            if let Some(&ahead) = blocks.get(i + PF_DIST) {
+                let node = d_off + (ahead & d_mask) as usize;
+                prefetch_read(&self.arena.mra, node);
+                prefetch_read(&self.arena.tags, node * stride);
+            }
+            self.kernel(scan, b);
         }
     }
 
@@ -332,7 +409,9 @@ impl SlruTreeSimulator {
     /// probationary hit, demoting the protected LRU when it is full, both by
     /// the same rotate); a miss inserts at the probationary MRU slot,
     /// evicting the probationary LRU block when the lane is full.
-    fn kernel(&mut self, block: u64) {
+    ///
+    /// `S` is the tag-scan backend the wide compares run on ([`TagScan`]).
+    fn kernel<S: TagScan>(&mut self, scan: S, block: u64) {
         self.counters.accesses += 1;
         let nk = self.lanes.len();
         let stride = self.stride.max(1);
@@ -377,23 +456,23 @@ impl SlruTreeSimulator {
                 let lane = &mut a.tags[region_base + off..region_base + off + w];
                 let prot = &mut a.prot_len[node * nk + k];
                 let p = *prot as usize;
-                // One scan finds the block or, failing that, the end of the
-                // valid prefix (inserts keep valid tags contiguous).
-                let mut hit = None;
-                let mut valid_len = w;
-                for (i, &tag) in lane.iter().enumerate() {
-                    if tag == INVALID_TAG {
-                        valid_len = i;
-                        break;
-                    }
-                    if self.instrument {
-                        self.lane_comparisons[k] += 1;
-                        self.counters.tag_comparisons += 1;
-                    }
-                    if tag == block {
-                        hit = Some(i);
-                        break;
-                    }
+                // One wide scan finds the block or, failing that, the end of
+                // the valid prefix (inserts keep valid tags contiguous). The
+                // comparison tallies are derived arithmetically — a hit at
+                // depth `i` would have inspected `i + 1` valid tags, a miss
+                // the whole valid prefix — so the instrumented counters stay
+                // bit-identical to the sequential scalar scan's.
+                let (hit, valid_len) = match lane_scan(scan, lane, block, INVALID_TAG) {
+                    LaneScan::Hit(i) => (Some(i), w),
+                    LaneScan::Miss { valid_len } => (None, valid_len),
+                };
+                if self.instrument {
+                    let spent = match hit {
+                        Some(i) => i as u64 + 1,
+                        None => valid_len as u64,
+                    };
+                    self.lane_comparisons[k] += spent;
+                    self.counters.tag_comparisons += spent;
                 }
                 match hit {
                     Some(d) => {

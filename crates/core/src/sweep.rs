@@ -39,6 +39,10 @@ use crate::space::{ConfigSpace, DewError, PassConfig};
 /// tree-PLRU direction bits cap a lane at
 /// [`crate::plru_tree::MAX_PLRU_ASSOC`] ways).
 pub(crate) fn validate_request(space: &ConfigSpace, options: DewOptions) -> Result<(), DewError> {
+    // First sweep of the process: prove the active wide-scan backend
+    // bit-identical to the scalar oracle before trusting it with results
+    // (no-op afterwards, and when the scalar backend is already active).
+    crate::kernel::selftest::ensure();
     options.validate()?;
     if options.policy == TreePolicy::Plru {
         let (_, amax) = space.assoc_bits();

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use dew_core::{DewOptions, DewTree, PassConfig, TreePolicy};
+use dew_core::{DewOptions, DewTree, FusedKernel, PassConfig, PolicyKernel, TreePolicy};
 use dew_trace::{decode_blocks, BlockChunks, Record};
 
 /// Traces mixing tight locality with scattered far references, as in the
@@ -108,6 +108,61 @@ proptest! {
         }
         prop_assert_eq!(stepped.results(), chunked.results(), "chunked run diverged under {}", opts);
         prop_assert_eq!(stepped.counters(), chunked.counters());
+    }
+
+    /// Chunk partitioning never affects results — the [`PolicyKernel`]
+    /// contract behind checkpoint resume, retry replay and shard handoff —
+    /// including at *adversarial* chunk sizes: 1 (every wide scan and
+    /// prefetch window restarts per request), `assoc - 1` (chunks go out of
+    /// phase with the widest lane), and the wide-scan window width ± 1
+    /// (63/65: chunk boundaries straddle the 64-lane `match_mask` windows
+    /// both ways). Every registered policy, both instrumentation modes.
+    #[test]
+    fn every_policy_kernel_is_chunk_invariant_at_adversarial_sizes(
+        records in trace_strategy(),
+        block_bits in 0u32..4,
+        max_set_bits in 0u32..5,
+        assoc_bits in 0u32..5,
+        instrument in any::<bool>(),
+    ) {
+        let blocks = decode_blocks(&records, block_bits);
+        let assoc = 1usize << assoc_bits;
+        for policy in TreePolicy::ALL {
+            let options = DewOptions::for_policy(policy);
+            let build = || {
+                FusedKernel::build(
+                    block_bits,
+                    (0, max_set_bits),
+                    (0, assoc_bits),
+                    options,
+                    instrument,
+                )
+                .expect("valid geometry")
+            };
+            let mut whole = build();
+            whole.run_blocks(&blocks);
+            for chunk_len in [1, assoc.saturating_sub(1).max(1), 63, 65] {
+                let mut chunked = build();
+                for chunk in blocks.chunks(chunk_len) {
+                    chunked.run_blocks(chunk);
+                }
+                for bits in 0..=assoc_bits {
+                    let a = 1u32 << bits;
+                    prop_assert_eq!(
+                        chunked.pass_results(a),
+                        whole.pass_results(a),
+                        "{} results diverged re-chunked at {}, assoc {}, instrument {}",
+                        policy, chunk_len, a, instrument
+                    );
+                    prop_assert_eq!(
+                        chunked.pass_counters(a),
+                        whole.pass_counters(a),
+                        "{} counters diverged re-chunked at {}, assoc {}, instrument {}",
+                        policy, chunk_len, a, instrument
+                    );
+                }
+            }
+        }
     }
 
     #[test]
